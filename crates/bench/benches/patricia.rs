@@ -1,0 +1,106 @@
+//! Patricia-trie benchmarks, including the §5.3 safe-iterator ablation:
+//! refcounted deferred deletion vs snapshotting the table before a drain.
+
+use std::net::Ipv4Addr;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xorp_bench::bench_routes;
+use xorp_net::{PatriciaTrie, Prefix, RouteEntry};
+
+type Trie = PatriciaTrie<Ipv4Addr, RouteEntry<Ipv4Addr>>;
+
+fn filled(n: u32) -> (Trie, Vec<Prefix<Ipv4Addr>>) {
+    let routes = bench_routes(n);
+    let mut t = Trie::new();
+    for r in &routes {
+        t.insert(r.net, r.clone());
+    }
+    (t, routes.iter().map(|r| r.net).collect())
+}
+
+fn bench_patricia(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patricia");
+    for n in [10_000u32, 146_515] {
+        let (trie, nets) = filled(n);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("longest_match", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % nets.len();
+                trie.longest_match(nets[i].addr())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact_get", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % nets.len();
+                trie.get(&nets[i])
+            });
+        });
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("iterate_all", n), &n, |b, _| {
+            b.iter(|| trie.iter().count());
+        });
+        group.bench_with_input(BenchmarkId::new("insert_all", n), &n, |b, _| {
+            let routes = bench_routes(n);
+            b.iter(|| {
+                let mut t = Trie::new();
+                for r in &routes {
+                    t.insert(r.net, r.clone());
+                }
+                t.len()
+            });
+        });
+    }
+
+    // Ablation: drain a 50k-route table in slices with (a) the paper's
+    // safe iterator over the live table vs (b) snapshotting every prefix
+    // up front.  The safe iterator avoids the O(n) copy and its memory.
+    let n = 50_000u32;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("drain_safe_iterator", |b| {
+        b.iter_batched(
+            || filled(n).0,
+            |mut t| {
+                let mut h = t.iter_handle();
+                loop {
+                    let mut batch = Vec::with_capacity(64);
+                    for _ in 0..64 {
+                        match t.iter_next(&mut h) {
+                            Some((net, _)) => batch.push(net),
+                            None => break,
+                        }
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for net in batch {
+                        t.remove(&net);
+                    }
+                }
+                t.iter_release(h);
+                t.len()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("drain_snapshot", |b| {
+        b.iter_batched(
+            || filled(n).0,
+            |mut t| {
+                let snapshot: Vec<_> = t.iter().map(|(net, _)| net).collect();
+                for chunk in snapshot.chunks(64) {
+                    for net in chunk {
+                        t.remove(net);
+                    }
+                }
+                t.len()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_patricia);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Policy-engine benchmarks: cost of running the §8.3 stack language per
+//! route, for a trivial accept, a realistic import policy, and a
+//! multi-policy bank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xorp_bench::bench_routes;
+use xorp_policy::{compile, FilterBank};
+
+const IMPORT: &str = r#"
+if network within 192.168.0.0/16 then reject; endif
+if aspath contains 64512 then set localpref 80; endif
+if aspath-len <= 2 then set localpref 200; endif
+add-tag 100;
+accept;
+"#;
+
+fn bench_policy(c: &mut Criterion) {
+    let routes = bench_routes(1_000);
+    let mut group = c.benchmark_group("policy_vm");
+    group.throughput(Throughput::Elements(routes.len() as u64));
+
+    let trivial = compile("accept;").unwrap();
+    group.bench_function(BenchmarkId::new("run", "trivial_accept"), |b| {
+        b.iter(|| {
+            routes
+                .iter()
+                .filter(|r| {
+                    let mut copy = (*r).clone();
+                    trivial.run(&mut copy).is_ok()
+                })
+                .count()
+        });
+    });
+
+    let import = compile(IMPORT).unwrap();
+    group.bench_function(BenchmarkId::new("run", "realistic_import"), |b| {
+        b.iter(|| {
+            routes
+                .iter()
+                .filter(|r| {
+                    let mut copy = (*r).clone();
+                    import.run(&mut copy).is_ok()
+                })
+                .count()
+        });
+    });
+
+    let mut bank = FilterBank::accept_by_default();
+    for i in 0..5 {
+        bank.push_source(format!("p{i}"), "if med > 1000 then reject; endif pass;")
+            .unwrap();
+    }
+    bank.push_source("final", IMPORT).unwrap();
+    group.bench_function(BenchmarkId::new("bank", "six_policies"), |b| {
+        b.iter(|| {
+            routes
+                .iter()
+                .filter(|r| {
+                    let mut copy = (*r).clone();
+                    bank.filter(&mut copy)
+                })
+                .count()
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("compile", "realistic_import"), |b| {
+        b.iter(|| compile(IMPORT).unwrap().ops.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

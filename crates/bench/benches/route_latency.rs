@@ -1,0 +1,160 @@
+//! Figures 10–12 as a Criterion bench: per-route propagation cost through
+//! the full staged pipeline (BGP stages → RIB stages → FIB insert) on one
+//! loop, with empty vs preloaded tables.  The `fig10`–`fig12` binaries
+//! measure the same flow across real TCP XRL process boundaries.
+
+use std::cell::RefCell;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xorp_bench::bench_routes;
+use xorp_bgp::bgp::UpdateIn;
+use xorp_bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
+use xorp_bgp::{BgpConfig, BgpProcess, PeerConfig, PeerId};
+use xorp_event::EventLoop;
+use xorp_fea::{test_iface, Fea, FibEntry};
+use xorp_net::{AsNum, PathAttributes, Prefix, ProtocolId, RouteEntry};
+use xorp_rib::Rib;
+use xorp_stages::RouteOp;
+
+struct Flat;
+impl NexthopService<Ipv4Addr> for Flat {
+    fn resolve_nexthop(&self, el: &mut EventLoop, addr: Ipv4Addr, cb: AnswerCb<Ipv4Addr>) {
+        let valid: Prefix<Ipv4Addr> = "192.168.0.0/16".parse().unwrap();
+        cb(
+            el,
+            RibNexthopAnswer {
+                valid,
+                metric: valid.contains_addr(addr).then_some(1),
+            },
+        );
+    }
+}
+
+struct Pipeline {
+    el: EventLoop,
+    bgp: BgpProcess<Ipv4Addr>,
+}
+
+fn pipeline(initial: u32) -> Pipeline {
+    let mut el = EventLoop::new_virtual();
+    let fea = Rc::new(RefCell::new(Fea::new()));
+    fea.borrow_mut()
+        .configure_interface(test_iface("eth0", "192.168.0.1", 16));
+
+    let rib: Rc<RefCell<Rib<Ipv4Addr>>> = Rc::new(RefCell::new(Rib::new(false)));
+    let fib = fea.clone();
+    rib.borrow_mut().set_output(move |_el, _o, op| match op {
+        RouteOp::Add { net, route }
+        | RouteOp::Replace {
+            net, new: route, ..
+        } => {
+            fib.borrow_mut().add_route4(FibEntry {
+                net,
+                nexthop: route.nexthop(),
+                ifname: "eth0".into(),
+                metric: route.metric,
+            });
+        }
+        RouteOp::Delete { net, .. } => {
+            fib.borrow_mut().delete_route4(&net);
+        }
+    });
+    {
+        let mut conn = RouteEntry::new(
+            "192.168.0.0/16".parse().unwrap(),
+            Arc::new(PathAttributes::new(IpAddr::V4(
+                "192.168.0.1".parse().unwrap(),
+            ))),
+            1,
+            ProtocolId::Connected,
+        );
+        conn.ifname = Some("eth0".into());
+        rib.borrow_mut().add_route(&mut el, conn);
+    }
+
+    let mut bgp = BgpProcess::new(
+        BgpConfig {
+            local_as: AsNum(65000),
+            router_id: "10.0.0.1".parse().unwrap(),
+            local_addr: IpAddr::V4("10.0.0.1".parse().unwrap()),
+            hold_time: 90,
+        },
+        Rc::new(Flat),
+    );
+    bgp.add_peer(&mut el, PeerConfig::simple(PeerId(1), AsNum(65001)), None);
+    bgp.peering_up(&mut el, PeerId(1));
+    bgp.add_peer(&mut el, PeerConfig::simple(PeerId(2), AsNum(65002)), None);
+    bgp.peering_up(&mut el, PeerId(2));
+    let rib2 = rib.clone();
+    bgp.set_rib_output(&mut el, move |el, _o, op| match op {
+        RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+            let mut r = route.clone();
+            r.ifname = Some("eth0".into());
+            rib2.borrow_mut().add_route(el, r);
+        }
+        RouteOp::Delete { net, old } => {
+            rib2.borrow_mut().delete_route(el, old.proto, net);
+        }
+    });
+
+    // Preload.
+    for chunk in bench_routes(initial).chunks(64) {
+        let attrs = chunk[0].attrs.clone();
+        let nets = chunk.iter().map(|r| r.net).collect();
+        bgp.apply_update(
+            &mut el,
+            PeerId(1),
+            UpdateIn {
+                withdrawn: vec![],
+                announce: Some((attrs, nets)),
+            },
+        );
+        el.run_until_idle();
+    }
+    Pipeline { el, bgp }
+}
+
+fn bench_route_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_12_route_latency");
+    group.sample_size(20);
+    for (label, initial, peer) in [
+        ("empty_table", 0u32, 1u32),     // Figure 10
+        ("50k_same_peering", 50_000, 1), // Figure 11 (scaled)
+        ("50k_diff_peering", 50_000, 2), // Figure 12 (scaled)
+    ] {
+        let mut p = pipeline(initial);
+        let probe: Prefix<Ipv4Addr> = "10.0.1.0/24".parse().unwrap();
+        let attrs = Arc::new(PathAttributes::new(IpAddr::V4(
+            "192.168.1.77".parse().unwrap(),
+        )));
+        group.bench_function(BenchmarkId::new("add_withdraw", label), |b| {
+            b.iter(|| {
+                p.bgp.apply_update(
+                    &mut p.el,
+                    PeerId(peer),
+                    UpdateIn {
+                        withdrawn: vec![],
+                        announce: Some((attrs.clone(), vec![probe])),
+                    },
+                );
+                p.el.run_until_idle();
+                p.bgp.apply_update(
+                    &mut p.el,
+                    PeerId(peer),
+                    UpdateIn {
+                        withdrawn: vec![probe],
+                        announce: None,
+                    },
+                );
+                p.el.run_until_idle();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_latency);
+criterion_main!(benches);

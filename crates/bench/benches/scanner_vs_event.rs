@@ -1,0 +1,71 @@
+//! Figure 13 as a bench: simulation cost of the four router models, plus
+//! the scanner-period ablation (1 s / 5 s / 30 s).  The interesting
+//! *protocol* result (delay sawtooth vs flat) is printed by `fig13`; this
+//! bench tracks the harness cost and prints each model's mean delay so
+//! regressions in either show up.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xorp_baseline::{run_route_flow, EventDrivenModel, ScannerModel};
+use xorp_event::EventLoop;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_route_flow");
+    group.sample_size(20);
+
+    group.bench_function("xorp_event_driven", |b| {
+        b.iter(|| {
+            let mut el = EventLoop::new_virtual();
+            let m = EventDrivenModel::xorp();
+            run_route_flow(&mut el, &m, 255, Duration::from_secs(1)).len()
+        });
+    });
+    group.bench_function("mrtd_monolithic", |b| {
+        b.iter(|| {
+            let mut el = EventLoop::new_virtual();
+            let m = EventDrivenModel::mrtd();
+            run_route_flow(&mut el, &m, 255, Duration::from_secs(1)).len()
+        });
+    });
+    for secs in [1u64, 5, 30] {
+        group.bench_with_input(
+            BenchmarkId::new("scanner_period_s", secs),
+            &secs,
+            |b, &secs| {
+                b.iter(|| {
+                    let mut el = EventLoop::new_virtual();
+                    let m = ScannerModel::with_interval("scan", Duration::from_secs(secs));
+                    m.start(&mut el);
+                    run_route_flow(&mut el, &m, 255, Duration::from_secs(1)).len()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // One-shot delay summary (the protocol-level result).
+    for (name, props) in [
+        ("XORP", {
+            let mut el = EventLoop::new_virtual();
+            let m = EventDrivenModel::xorp();
+            run_route_flow(&mut el, &m, 255, Duration::from_secs(1))
+        }),
+        ("Cisco/Quagga (30s scanner)", {
+            let mut el = EventLoop::new_virtual();
+            let m = ScannerModel::cisco();
+            m.start(&mut el);
+            run_route_flow(&mut el, &m, 255, Duration::from_secs(1))
+        }),
+    ] {
+        let mean: f64 =
+            props.iter().map(|p| p.delay.as_secs_f64()).sum::<f64>() / props.len() as f64;
+        eprintln!(
+            "fig13 delay summary: {name}: mean {mean:.3}s over {} routes",
+            props.len()
+        );
+    }
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

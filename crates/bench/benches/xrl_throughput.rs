@@ -1,0 +1,46 @@
+//! Figure 9 as a Criterion bench: XRL transaction cost per transport and
+//! argument count.  `fig09` prints the paper-style table; this bench gives
+//! statistically solid timings for regression tracking, including the
+//! pipelining ablation (TCP window 100 vs window 1 — the structural
+//! difference behind the paper's TCP/UDP gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xorp_harness::figures::xrl_throughput;
+use xorp_xrl::router::TransportPref;
+
+fn bench_xrl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_xrl_throughput");
+    group.sample_size(10);
+    for (name, family) in [
+        ("intra", TransportPref::Intra),
+        ("tcp", TransportPref::Tcp),
+        ("udp", TransportPref::Udp),
+    ] {
+        for args in [0usize, 8, 25] {
+            let transaction: u32 = if family == TransportPref::Udp {
+                500
+            } else {
+                2_000
+            };
+            group.throughput(Throughput::Elements(transaction as u64));
+            group.bench_with_input(BenchmarkId::new(name, args), &args, |b, &args| {
+                b.iter(|| xrl_throughput(family, args, transaction, 100));
+            });
+        }
+    }
+    // Ablation: pipelining window 100 vs 1 over TCP.
+    for window in [1u32, 100] {
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_with_input(
+            BenchmarkId::new("tcp_window", window),
+            &window,
+            |b, &window| {
+                b.iter(|| xrl_throughput(TransportPref::Tcp, 2, 1_000, window));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xrl);
+criterion_main!(benches);

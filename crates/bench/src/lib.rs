@@ -1,0 +1,23 @@
+//! Shared helpers for the benchmark suite.  The benches themselves live in
+//! `benches/`, one per reproduced table/figure plus the DESIGN.md
+//! ablations.
+
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+use xorp_net::{AsPath, PathAttributes, Prefix, ProtocolId, RouteEntry};
+
+/// A deterministic set of `n` distinct /24 routes for benching.
+pub fn bench_routes(n: u32) -> Vec<RouteEntry<Ipv4Addr>> {
+    let mut attrs = PathAttributes::new(IpAddr::V4("192.168.1.1".parse().unwrap()));
+    attrs.as_path = AsPath::from_sequence([65001, 64512]);
+    let attrs = Arc::new(attrs);
+    (0..n)
+        .map(|i| {
+            let net = Prefix::new(Ipv4Addr::from(0x1000_0000u32 + (i << 8)), 24).unwrap();
+            let mut r = RouteEntry::new(net, attrs.clone(), 1, ProtocolId::Ebgp);
+            r.ifname = Some("eth0".into());
+            r
+        })
+        .collect()
+}

@@ -1,0 +1,396 @@
+//! Route-flap damping as a pipeline stage (§8.3).
+//!
+//! "Route flap damping was also not a part of our original BGP design.  We
+//! are currently adding this functionality (ISPs demand it, even though
+//! it's a flawed mechanism), and can do so efficiently and simply by adding
+//! another stage to the BGP pipeline.  The code does not impact other
+//! stages, which need not be aware that damping is occurring."
+//!
+//! Standard RFC 2439-style mechanics: each flap (withdrawal) adds a fixed
+//! penalty; the penalty decays exponentially with a configurable half
+//! life; beyond the suppress threshold a prefix's announcements are
+//! withheld; once decay brings the penalty under the reuse threshold, the
+//! held route is released.  Decay is computed lazily from loop time, plus
+//! a periodic sweep releases suppressed routes whose penalty has decayed.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use xorp_event::{EventLoop, Time};
+use xorp_net::{Addr, Prefix};
+use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
+
+use crate::{BgpRoute, PeerId};
+
+/// Damping parameters (defaults follow common vendor practice).
+#[derive(Debug, Clone, Copy)]
+pub struct DampingConfig {
+    /// Penalty added per flap.
+    pub flap_penalty: f64,
+    /// Penalty above which a prefix is suppressed.
+    pub suppress_threshold: f64,
+    /// Penalty below which a suppressed prefix is reused.
+    pub reuse_threshold: f64,
+    /// Exponential-decay half life.
+    pub half_life: Duration,
+    /// Penalty ceiling.
+    pub max_penalty: f64,
+}
+
+impl Default for DampingConfig {
+    fn default() -> Self {
+        DampingConfig {
+            flap_penalty: 1000.0,
+            suppress_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            half_life: Duration::from_secs(900),
+            max_penalty: 16000.0,
+        }
+    }
+}
+
+struct DampState<A: Addr> {
+    penalty: f64,
+    stamped: Time,
+    suppressed: bool,
+    /// The latest announcement withheld while suppressed.
+    held: Option<BgpRoute<A>>,
+}
+
+/// The per-peer damping stage (sits just after PeerIn).
+pub struct DampingStage<A: Addr> {
+    peer: PeerId,
+    config: DampingConfig,
+    state: BTreeMap<Prefix<A>, DampState<A>>,
+    /// What downstream currently sees (needed for consistent
+    /// suppress/release deltas and lookups).
+    visible: BTreeMap<Prefix<A>, BgpRoute<A>>,
+    downstream: Option<StageRef<A, BgpRoute<A>>>,
+}
+
+impl<A: Addr> DampingStage<A> {
+    /// A damping stage for `peer`.
+    pub fn new(peer: PeerId, config: DampingConfig) -> Self {
+        DampingStage {
+            peer,
+            config,
+            state: BTreeMap::new(),
+            visible: BTreeMap::new(),
+            downstream: None,
+        }
+    }
+
+    /// Plumb the downstream neighbor.
+    pub fn set_downstream(&mut self, s: StageRef<A, BgpRoute<A>>) {
+        self.downstream = Some(s);
+    }
+
+    /// Number of currently suppressed prefixes.
+    pub fn suppressed_count(&self) -> usize {
+        self.state.values().filter(|s| s.suppressed).count()
+    }
+
+    /// Current (decayed) penalty for a prefix.
+    pub fn penalty(&self, net: &Prefix<A>, now: Time) -> f64 {
+        self.state
+            .get(net)
+            .map(|s| decay(s.penalty, s.stamped, now, self.config.half_life))
+            .unwrap_or(0.0)
+    }
+
+    fn bump(&mut self, net: Prefix<A>, now: Time) -> &mut DampState<A> {
+        let cfg = self.config;
+        let entry = self.state.entry(net).or_insert(DampState {
+            penalty: 0.0,
+            stamped: now,
+            suppressed: false,
+            held: None,
+        });
+        entry.penalty = decay(entry.penalty, entry.stamped, now, cfg.half_life);
+        entry.stamped = now;
+        entry
+    }
+
+    fn emit(&self, el: &mut EventLoop, origin: OriginId, op: RouteOp<A, BgpRoute<A>>) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().route_op(el, origin, op);
+        }
+    }
+
+    /// Periodic sweep: release suppressed prefixes whose penalty decayed
+    /// below the reuse threshold.  Call from a timer (the façade arms it).
+    pub fn sweep(&mut self, el: &mut EventLoop) {
+        let now = el.now();
+        let cfg = self.config;
+        let mut releases = Vec::new();
+        for (net, s) in self.state.iter_mut() {
+            s.penalty = decay(s.penalty, s.stamped, now, cfg.half_life);
+            s.stamped = now;
+            if s.suppressed && s.penalty < cfg.reuse_threshold {
+                s.suppressed = false;
+                if let Some(route) = s.held.take() {
+                    releases.push((*net, route));
+                }
+            }
+        }
+        // Forget fully-decayed clean entries.
+        self.state
+            .retain(|_, s| s.suppressed || s.held.is_some() || s.penalty > 1.0);
+        for (net, route) in releases {
+            self.visible.insert(net, route.clone());
+            self.emit(el, self.peer.into(), RouteOp::Add { net, route });
+        }
+    }
+}
+
+fn decay(penalty: f64, stamped: Time, now: Time, half_life: Duration) -> f64 {
+    let dt = (now - stamped).as_secs_f64();
+    if dt <= 0.0 {
+        return penalty;
+    }
+    penalty * 0.5f64.powf(dt / half_life.as_secs_f64())
+}
+
+impl<A: Addr> Stage<A, BgpRoute<A>> for DampingStage<A> {
+    fn name(&self) -> String {
+        format!("damping[{}]", self.peer.0)
+    }
+
+    fn route_op(&mut self, el: &mut EventLoop, origin: OriginId, op: RouteOp<A, BgpRoute<A>>) {
+        let now = el.now();
+        let cfg = self.config;
+        let net = op.net();
+        match op {
+            RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                let entry = self.bump(net, now);
+                if entry.suppressed {
+                    if entry.penalty < cfg.reuse_threshold {
+                        // Decayed under reuse: release immediately.
+                        entry.suppressed = false;
+                        entry.held = None;
+                    } else {
+                        entry.held = Some(route);
+                        return;
+                    }
+                }
+                // Forward, preserving add/replace shape against what
+                // downstream actually has.
+                let old = self.visible.insert(net, route.clone());
+                match old {
+                    Some(old) if old != route => self.emit(
+                        el,
+                        origin,
+                        RouteOp::Replace {
+                            net,
+                            old,
+                            new: route,
+                        },
+                    ),
+                    Some(_) => {}
+                    None => self.emit(el, origin, RouteOp::Add { net, route }),
+                }
+            }
+            RouteOp::Delete { .. } => {
+                let entry = self.bump(net, now);
+                entry.penalty = (entry.penalty + cfg.flap_penalty).min(cfg.max_penalty);
+                entry.held = None;
+                if entry.penalty >= cfg.suppress_threshold {
+                    entry.suppressed = true;
+                }
+                if let Some(old) = self.visible.remove(&net) {
+                    self.emit(el, origin, RouteOp::Delete { net, old });
+                }
+            }
+        }
+    }
+
+    fn lookup_route(&self, net: &Prefix<A>) -> Option<BgpRoute<A>> {
+        self.visible.get(net).cloned()
+    }
+
+    fn push(&mut self, el: &mut EventLoop) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().push(el);
+        }
+    }
+
+    fn set_downstream(&mut self, s: StageRef<A, BgpRoute<A>>) {
+        DampingStage::set_downstream(self, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+    use xorp_net::{AsPath, PathAttributes, ProtocolId};
+    use xorp_stages::{stage_ref, CacheStage, SinkStage};
+
+    type R = BgpRoute<Ipv4Addr>;
+
+    fn route(net: &str) -> R {
+        let mut attrs = PathAttributes::new(IpAddr::V4("192.0.2.1".parse().unwrap()));
+        attrs.as_path = AsPath::from_sequence([65001]);
+        R::new(net.parse().unwrap(), attrs.shared(), 0, ProtocolId::Ebgp)
+    }
+
+    fn cfg() -> DampingConfig {
+        DampingConfig {
+            flap_penalty: 1000.0,
+            suppress_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            half_life: Duration::from_secs(60),
+            max_penalty: 16000.0,
+        }
+    }
+
+    struct Rig {
+        el: EventLoop,
+        stage: DampingStage<Ipv4Addr>,
+        cache: std::rc::Rc<std::cell::RefCell<CacheStage<Ipv4Addr, R>>>,
+        sink: std::rc::Rc<std::cell::RefCell<SinkStage<Ipv4Addr, R>>>,
+    }
+
+    fn rig() -> Rig {
+        let el = EventLoop::new_virtual();
+        let mut stage = DampingStage::new(PeerId(1), cfg());
+        let cache = stage_ref(CacheStage::new("damp-out"));
+        let sink = stage_ref(SinkStage::new());
+        cache.borrow_mut().set_downstream(sink.clone());
+        stage.set_downstream(cache.clone());
+        Rig {
+            el,
+            stage,
+            cache,
+            sink,
+        }
+    }
+
+    impl Rig {
+        fn announce(&mut self, net: &str) {
+            let r = route(net);
+            self.stage.route_op(
+                &mut self.el,
+                OriginId(1),
+                RouteOp::Add {
+                    net: r.net,
+                    route: r,
+                },
+            );
+        }
+
+        fn withdraw(&mut self, net: &str) {
+            let r = route(net);
+            self.stage.route_op(
+                &mut self.el,
+                OriginId(1),
+                RouteOp::Delete { net: r.net, old: r },
+            );
+        }
+
+        fn flap(&mut self, net: &str) {
+            self.announce(net);
+            self.withdraw(net);
+        }
+
+        fn visible(&self, net: &str) -> bool {
+            self.sink.borrow().table.contains_key(&net.parse().unwrap())
+        }
+    }
+
+    #[test]
+    fn stable_routes_pass_through() {
+        let mut r = rig();
+        r.announce("10.0.0.0/8");
+        assert!(r.visible("10.0.0.0/8"));
+        r.withdraw("10.0.0.0/8");
+        assert!(!r.visible("10.0.0.0/8"));
+        assert!(r.cache.borrow().violations().is_empty());
+    }
+
+    #[test]
+    fn repeated_flaps_suppress() {
+        let mut r = rig();
+        r.flap("10.0.0.0/8"); // penalty 1000
+        r.flap("10.0.0.0/8"); // penalty 2000 → suppressed
+        assert_eq!(r.stage.suppressed_count(), 1);
+        // Re-announcement is withheld.
+        r.announce("10.0.0.0/8");
+        assert!(!r.visible("10.0.0.0/8"));
+        assert!(r.cache.borrow().violations().is_empty());
+    }
+
+    #[test]
+    fn penalty_decays_and_reuses_via_sweep() {
+        let mut r = rig();
+        r.flap("10.0.0.0/8");
+        r.flap("10.0.0.0/8");
+        r.announce("10.0.0.0/8"); // held
+        assert!(!r.visible("10.0.0.0/8"));
+        // Two half-lives: 2000 → 500 < reuse(750).
+        r.el.run_until(Time::from_secs(120));
+        r.stage.sweep(&mut r.el);
+        assert!(r.visible("10.0.0.0/8"));
+        assert_eq!(r.stage.suppressed_count(), 0);
+        assert!(r.cache.borrow().violations().is_empty());
+    }
+
+    #[test]
+    fn reannounce_after_decay_without_sweep() {
+        let mut r = rig();
+        r.flap("10.0.0.0/8");
+        r.flap("10.0.0.0/8");
+        r.el.run_until(Time::from_secs(120)); // decay below reuse
+        r.announce("10.0.0.0/8"); // immediate release path
+        assert!(r.visible("10.0.0.0/8"));
+        assert!(r.cache.borrow().violations().is_empty());
+    }
+
+    #[test]
+    fn other_prefixes_unaffected() {
+        let mut r = rig();
+        r.flap("10.0.0.0/8");
+        r.flap("10.0.0.0/8");
+        r.announce("20.0.0.0/8");
+        assert!(r.visible("20.0.0.0/8"));
+    }
+
+    #[test]
+    fn penalty_capped() {
+        let mut r = rig();
+        for _ in 0..100 {
+            r.flap("10.0.0.0/8");
+        }
+        assert!(r.stage.penalty(&"10.0.0.0/8".parse().unwrap(), r.el.now()) <= 16000.0);
+    }
+
+    #[test]
+    fn lookup_reflects_suppression() {
+        let mut r = rig();
+        r.flap("10.0.0.0/8");
+        r.flap("10.0.0.0/8");
+        r.announce("10.0.0.0/8");
+        assert!(r
+            .stage
+            .lookup_route(&"10.0.0.0/8".parse().unwrap())
+            .is_none());
+        r.announce("20.0.0.0/8");
+        assert!(r
+            .stage
+            .lookup_route(&"20.0.0.0/8".parse().unwrap())
+            .is_some());
+    }
+
+    #[test]
+    fn decay_math() {
+        let hl = Duration::from_secs(60);
+        let p = decay(1000.0, Time::ZERO, Time::from_secs(60), hl);
+        assert!((p - 500.0).abs() < 1e-6);
+        let p = decay(1000.0, Time::ZERO, Time::from_secs(120), hl);
+        assert!((p - 250.0).abs() < 1e-6);
+        assert_eq!(
+            decay(1000.0, Time::from_secs(5), Time::from_secs(5), hl),
+            1000.0
+        );
+    }
+}

@@ -1,0 +1,471 @@
+//! The Fanout Queue (§5.1.1).
+//!
+//! "The Fanout Queue, which duplicates routes for each peer and for the
+//! RIB, is in practice complicated by the need to send routes to slow
+//! peers ... Since the outgoing filter banks modify routes in different
+//! ways for different peers, the best place to queue changes is in the
+//! fanout stage, after the routes have been chosen but before they have
+//! been specialized.  The Fanout Queue module then maintains a single route
+//! change queue, with n readers (one for each peer) referencing it."
+//!
+//! Readers can be *paused* (a slow peer exerting backpressure); their
+//! cursor falls behind, and entries are garbage-collected only once every
+//! reader has consumed them — one copy of each change, however many slow
+//! peers there are.  The ablation bench compares this against naive
+//! per-peer queues.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use xorp_event::EventLoop;
+use xorp_net::{Addr, Prefix};
+use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
+
+use crate::{BgpRoute, PeerId};
+
+/// A reader identity: a peer branch or the RIB output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReaderId {
+    /// A peer's output pipeline (skips routes learned from that peer).
+    Peer(PeerId),
+    /// The RIB branch (receives everything).
+    Rib,
+}
+
+struct Reader<A: Addr> {
+    branch: StageRef<A, BgpRoute<A>>,
+    /// Queue sequence this reader will consume next.
+    cursor: u64,
+    paused: bool,
+}
+
+/// The single-queue, n-reader fanout stage.
+pub struct FanoutQueue<A: Addr> {
+    queue: VecDeque<(u64, RouteOp<A, BgpRoute<A>>)>,
+    next_seq: u64,
+    readers: HashMap<ReaderId, Reader<A>>,
+    /// Mirror of the current best table, used to replay state to readers
+    /// added after routes already flowed (a freshly established peering).
+    best: BTreeMap<Prefix<A>, BgpRoute<A>>,
+    /// High-water mark of queue length (ablation measurements).
+    pub max_queue_len: usize,
+}
+
+impl<A: Addr> Default for FanoutQueue<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Addr> FanoutQueue<A> {
+    /// An empty fanout.
+    pub fn new() -> Self {
+        FanoutQueue {
+            queue: VecDeque::new(),
+            next_seq: 0,
+            readers: HashMap::new(),
+            best: BTreeMap::new(),
+            max_queue_len: 0,
+        }
+    }
+
+    /// Attach a reader; it starts at the current queue tail and is
+    /// immediately replayed the current best table as adds.
+    pub fn add_reader(
+        &mut self,
+        el: &mut EventLoop,
+        id: ReaderId,
+        branch: StageRef<A, BgpRoute<A>>,
+    ) {
+        let cursor = self.next_seq;
+        // Replay current state so a new peering learns the table (skipping
+        // its own routes).
+        for (net, route) in &self.best {
+            if let Some(op) = translate(
+                id,
+                &RouteOp::Add {
+                    net: *net,
+                    route: route.clone(),
+                },
+            ) {
+                branch.borrow_mut().route_op(el, origin_of(route), op);
+            }
+        }
+        self.readers.insert(
+            id,
+            Reader {
+                branch,
+                cursor,
+                paused: false,
+            },
+        );
+    }
+
+    /// Detach a reader.  The caller withdraws its routes separately.
+    pub fn remove_reader(&mut self, id: ReaderId) {
+        self.readers.remove(&id);
+        self.gc();
+    }
+
+    /// Pause a reader (slow peer): entries queue up for it.
+    pub fn pause(&mut self, id: ReaderId) {
+        if let Some(r) = self.readers.get_mut(&id) {
+            r.paused = true;
+        }
+    }
+
+    /// Resume a paused reader, draining its backlog.
+    pub fn resume(&mut self, el: &mut EventLoop, id: ReaderId) {
+        if let Some(r) = self.readers.get_mut(&id) {
+            r.paused = false;
+        }
+        self.pump(el);
+    }
+
+    /// Entries currently queued (bounded by the slowest reader).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Routes in the mirrored best table.
+    pub fn best_count(&self) -> usize {
+        self.best.len()
+    }
+
+    /// The current best route for a prefix.
+    pub fn best(&self, net: &Prefix<A>) -> Option<&BgpRoute<A>> {
+        self.best.get(net)
+    }
+
+    /// Deliver queued entries to every unpaused reader, then collect
+    /// entries all readers have consumed.
+    pub fn pump(&mut self, el: &mut EventLoop) {
+        for (id, reader) in &mut self.readers {
+            if reader.paused {
+                continue;
+            }
+            // Find this reader's position in the queue.
+            for (seq, op) in &self.queue {
+                if *seq < reader.cursor {
+                    continue;
+                }
+                if let Some(translated) = translate(*id, op) {
+                    let origin = op_origin(op);
+                    reader.branch.borrow_mut().route_op(el, origin, translated);
+                }
+                reader.cursor = *seq + 1;
+            }
+        }
+        self.gc();
+    }
+
+    fn gc(&mut self) {
+        let min_cursor = self
+            .readers
+            .values()
+            .map(|r| r.cursor)
+            .min()
+            .unwrap_or(self.next_seq);
+        while let Some((seq, _)) = self.queue.front() {
+            if *seq < min_cursor {
+                self.queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn origin_of<A: Addr>(route: &BgpRoute<A>) -> OriginId {
+    OriginId(route.source.unwrap_or(0))
+}
+
+fn op_origin<A: Addr>(op: &RouteOp<A, BgpRoute<A>>) -> OriginId {
+    match op {
+        RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => origin_of(route),
+        RouteOp::Delete { old, .. } => origin_of(old),
+    }
+}
+
+/// Specialize one queue entry for one reader: never send a route back to
+/// the peer it came from.  A replace whose sides differ in source splits
+/// into an add or delete for the affected peer.
+fn translate<A: Addr>(
+    id: ReaderId,
+    op: &RouteOp<A, BgpRoute<A>>,
+) -> Option<RouteOp<A, BgpRoute<A>>> {
+    let mine = |r: &BgpRoute<A>| match id {
+        ReaderId::Rib => false,
+        ReaderId::Peer(p) => r.source == Some(p.0),
+    };
+    match op {
+        RouteOp::Add { net, route } => {
+            if mine(route) {
+                None
+            } else {
+                Some(RouteOp::Add {
+                    net: *net,
+                    route: route.clone(),
+                })
+            }
+        }
+        RouteOp::Delete { net, old } => {
+            if mine(old) {
+                None
+            } else {
+                Some(RouteOp::Delete {
+                    net: *net,
+                    old: old.clone(),
+                })
+            }
+        }
+        RouteOp::Replace { net, old, new } => match (mine(old), mine(new)) {
+            (false, false) => Some(RouteOp::Replace {
+                net: *net,
+                old: old.clone(),
+                new: new.clone(),
+            }),
+            (false, true) => Some(RouteOp::Delete {
+                net: *net,
+                old: old.clone(),
+            }),
+            (true, false) => Some(RouteOp::Add {
+                net: *net,
+                route: new.clone(),
+            }),
+            (true, true) => None,
+        },
+    }
+}
+
+impl<A: Addr> Stage<A, BgpRoute<A>> for FanoutQueue<A> {
+    fn name(&self) -> String {
+        "fanout".into()
+    }
+
+    fn route_op(&mut self, el: &mut EventLoop, _origin: OriginId, op: RouteOp<A, BgpRoute<A>>) {
+        // Mirror the best table.
+        match &op {
+            RouteOp::Add { net, route }
+            | RouteOp::Replace {
+                net, new: route, ..
+            } => {
+                self.best.insert(*net, route.clone());
+            }
+            RouteOp::Delete { net, .. } => {
+                self.best.remove(net);
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push_back((seq, op));
+        self.max_queue_len = self.max_queue_len.max(self.queue.len());
+        self.pump(el);
+    }
+
+    fn lookup_route(&self, net: &Prefix<A>) -> Option<BgpRoute<A>> {
+        self.best.get(net).cloned()
+    }
+
+    fn push(&mut self, el: &mut EventLoop) {
+        for reader in self.readers.values() {
+            if !reader.paused {
+                reader.branch.borrow_mut().push(el);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+    use xorp_net::{AsPath, PathAttributes, ProtocolId};
+    use xorp_stages::{stage_ref, SinkStage};
+
+    type R = BgpRoute<Ipv4Addr>;
+    type Sink = SinkStage<Ipv4Addr, R>;
+
+    fn route(net: &str, peer: u32) -> R {
+        let mut attrs = PathAttributes::new(IpAddr::V4("192.0.2.1".parse().unwrap()));
+        attrs.as_path = AsPath::from_sequence([65000 + peer]);
+        let mut r = R::new(net.parse().unwrap(), attrs.shared(), 0, ProtocolId::Ebgp);
+        r.source = Some(peer);
+        r
+    }
+
+    fn add(r: R) -> RouteOp<Ipv4Addr, R> {
+        RouteOp::Add {
+            net: r.net,
+            route: r,
+        }
+    }
+
+    struct Rig {
+        el: EventLoop,
+        fanout: std::rc::Rc<std::cell::RefCell<FanoutQueue<Ipv4Addr>>>,
+        outs: HashMap<ReaderId, std::rc::Rc<std::cell::RefCell<Sink>>>,
+    }
+
+    fn rig(peers: &[u32]) -> Rig {
+        let mut el = EventLoop::new_virtual();
+        let fanout = stage_ref(FanoutQueue::new());
+        let mut outs = HashMap::new();
+        let rib = stage_ref(Sink::new());
+        fanout
+            .borrow_mut()
+            .add_reader(&mut el, ReaderId::Rib, rib.clone());
+        outs.insert(ReaderId::Rib, rib);
+        for &p in peers {
+            let sink = stage_ref(Sink::new());
+            fanout
+                .borrow_mut()
+                .add_reader(&mut el, ReaderId::Peer(PeerId(p)), sink.clone());
+            outs.insert(ReaderId::Peer(PeerId(p)), sink);
+        }
+        Rig { el, fanout, outs }
+    }
+
+    impl Rig {
+        fn send(&mut self, op: RouteOp<Ipv4Addr, R>) {
+            self.fanout
+                .borrow_mut()
+                .route_op(&mut self.el, op_origin(&op), op);
+        }
+
+        fn table_len(&self, id: ReaderId) -> usize {
+            self.outs[&id].borrow().table.len()
+        }
+    }
+
+    #[test]
+    fn duplicates_to_all_but_source() {
+        let mut rig = rig(&[1, 2, 3]);
+        rig.send(add(route("10.0.0.0/8", 1)));
+        assert_eq!(rig.table_len(ReaderId::Rib), 1);
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(1))), 0); // split horizon
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(2))), 1);
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(3))), 1);
+    }
+
+    #[test]
+    fn paused_reader_queues_without_blocking_others() {
+        let mut rig = rig(&[1, 2]);
+        rig.fanout.borrow_mut().pause(ReaderId::Peer(PeerId(2)));
+        for i in 0..10u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        // Fast readers saw everything immediately.
+        assert_eq!(rig.table_len(ReaderId::Rib), 10);
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(2))), 0);
+        // One queue holds the backlog.
+        assert_eq!(rig.fanout.borrow().queue_len(), 10);
+        // Resume: backlog drains in order.
+        let f = rig.fanout.clone();
+        f.borrow_mut()
+            .resume(&mut rig.el, ReaderId::Peer(PeerId(2)));
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(2))), 10);
+        assert_eq!(rig.fanout.borrow().queue_len(), 0);
+    }
+
+    #[test]
+    fn queue_is_shared_not_per_reader() {
+        let mut rig = rig(&[1, 2, 3]);
+        rig.fanout.borrow_mut().pause(ReaderId::Peer(PeerId(2)));
+        rig.fanout.borrow_mut().pause(ReaderId::Peer(PeerId(3)));
+        for i in 0..100u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        // Two slow peers, but only ONE queue of 100 entries.
+        assert_eq!(rig.fanout.borrow().queue_len(), 100);
+        assert_eq!(rig.fanout.borrow().max_queue_len, 100);
+    }
+
+    #[test]
+    fn replace_across_sources_splits_per_reader() {
+        let mut rig = rig(&[1, 2, 3]);
+        let from1 = route("10.0.0.0/8", 1);
+        rig.send(add(from1.clone()));
+        let from2 = route("10.0.0.0/8", 2);
+        rig.send(RouteOp::Replace {
+            net: from1.net,
+            old: from1,
+            new: from2,
+        });
+        // Peer 1: previously skipped the add, now receives an Add.
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(1))), 1);
+        // Peer 2: had the old route; new one is its own → Delete.
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(2))), 0);
+        // Peer 3 and RIB: straight replace.
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(3))), 1);
+        assert_eq!(rig.table_len(ReaderId::Rib), 1);
+    }
+
+    #[test]
+    fn late_reader_gets_replay() {
+        let mut rig = rig(&[1]);
+        rig.send(add(route("10.0.0.0/8", 1)));
+        rig.send(add(route("20.0.0.0/8", 1)));
+        // A new peering comes up: it must learn the existing table.
+        let late = stage_ref(Sink::new());
+        rig.fanout
+            .borrow_mut()
+            .add_reader(&mut rig.el, ReaderId::Peer(PeerId(9)), late.clone());
+        assert_eq!(late.borrow().table.len(), 2);
+        // And subsequent changes flow normally.
+        rig.send(add(route("30.0.0.0/8", 1)));
+        assert_eq!(late.borrow().table.len(), 3);
+    }
+
+    #[test]
+    fn late_reader_replay_respects_split_horizon() {
+        let mut rig = rig(&[1]);
+        rig.send(add(route("10.0.0.0/8", 2))); // from peer 2 (not attached)
+        rig.send(add(route("20.0.0.0/8", 1)));
+        let peer2 = stage_ref(Sink::new());
+        rig.fanout
+            .borrow_mut()
+            .add_reader(&mut rig.el, ReaderId::Peer(PeerId(2)), peer2.clone());
+        // Replay must skip peer 2's own route.
+        assert_eq!(peer2.borrow().table.len(), 1);
+        assert!(peer2
+            .borrow()
+            .table
+            .contains_key(&"20.0.0.0/8".parse().unwrap()));
+    }
+
+    #[test]
+    fn gc_reclaims_consumed_entries() {
+        let mut rig = rig(&[1, 2]);
+        for i in 0..5u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        // Nobody paused: queue should be empty after delivery.
+        assert_eq!(rig.fanout.borrow().queue_len(), 0);
+    }
+
+    #[test]
+    fn remove_reader_unblocks_gc() {
+        let mut rig = rig(&[1, 2]);
+        rig.fanout.borrow_mut().pause(ReaderId::Peer(PeerId(2)));
+        for i in 0..5u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        assert_eq!(rig.fanout.borrow().queue_len(), 5);
+        // The slow peer goes away entirely.
+        rig.fanout
+            .borrow_mut()
+            .remove_reader(ReaderId::Peer(PeerId(2)));
+        assert_eq!(rig.fanout.borrow().queue_len(), 0);
+    }
+
+    #[test]
+    fn lookup_reflects_best_mirror() {
+        let mut rig = rig(&[1]);
+        let r = route("10.0.0.0/8", 1);
+        rig.send(add(r.clone()));
+        assert_eq!(
+            rig.fanout.borrow().lookup_route(&r.net).unwrap().source,
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! The per-peer BGP session state machine ("state machine for neighboring
+//! router", Figure 2).
+//!
+//! The FSM is pure: events in, `(state, actions)` out.  The session driver
+//! (in the harness, or any embedding) owns sockets and timers and executes
+//! the returned [`FsmAction`]s — keeping "packet formats and state
+//! machines largely separate from route processing" (§5).
+
+use crate::msg::{NotificationCode, OpenMessage};
+
+/// RFC 4271 session states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmState {
+    /// Not trying.
+    Idle,
+    /// TCP connect in progress.
+    Connect,
+    /// Waiting to retry after a connect failure.
+    Active,
+    /// OPEN sent, waiting for the peer's.
+    OpenSent,
+    /// OPENs exchanged, waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+/// Inputs to the FSM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsmEvent {
+    /// Operator/start.
+    ManualStart,
+    /// Operator/stop.
+    ManualStop,
+    /// The transport connected.
+    TcpConnected,
+    /// The transport failed or closed.
+    TcpClosed,
+    /// An OPEN arrived.
+    OpenReceived(OpenMessage),
+    /// A KEEPALIVE arrived.
+    KeepAliveReceived,
+    /// An UPDATE arrived (liveness only; payload handled by the caller).
+    UpdateReceived,
+    /// A NOTIFICATION arrived.
+    NotificationReceived,
+    /// The hold timer fired.
+    HoldTimerExpired,
+    /// The keepalive timer fired.
+    KeepaliveTimerExpired,
+    /// The connect-retry timer fired.
+    ConnectRetryExpired,
+}
+
+/// Outputs: what the session driver must do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsmAction {
+    /// Initiate the TCP connection.
+    Connect,
+    /// Close the TCP connection.
+    Close,
+    /// Send our OPEN.
+    SendOpen,
+    /// Send a KEEPALIVE.
+    SendKeepAlive,
+    /// Send a NOTIFICATION then close.
+    SendNotification(NotificationCode),
+    /// (Re)start the connect-retry timer.
+    StartConnectRetry,
+    /// Cancel the connect-retry timer (the connection is up).
+    StopConnectRetry,
+    /// (Re)start the hold timer (negotiated interval).
+    StartHoldTimer,
+    /// (Re)start the keepalive timer (1/3 of hold time).
+    StartKeepaliveTimer,
+    /// Cancel all session timers.
+    StopTimers,
+    /// The peering is now established: announce our table.
+    PeeringUp,
+    /// The peering went down: withdraw its routes (spawn the deletion
+    /// stage, §5.1.2).
+    PeeringDown,
+}
+
+/// The per-peer FSM.
+#[derive(Debug)]
+pub struct PeerFsm {
+    state: FsmState,
+    /// Hold time we propose, seconds.
+    pub proposed_hold_time: u16,
+    /// Negotiated hold time (min of both sides), set on OPEN receipt.
+    pub hold_time: u16,
+    /// Peer's OPEN, once received.
+    pub peer_open: Option<OpenMessage>,
+}
+
+impl PeerFsm {
+    /// A new FSM in `Idle`.
+    pub fn new(proposed_hold_time: u16) -> PeerFsm {
+        PeerFsm {
+            state: FsmState::Idle,
+            proposed_hold_time,
+            hold_time: proposed_hold_time,
+            peer_open: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> FsmState {
+        self.state
+    }
+
+    /// True when routes may be exchanged.
+    pub fn is_established(&self) -> bool {
+        self.state == FsmState::Established
+    }
+
+    fn reset_to_idle(&mut self, actions: &mut Vec<FsmAction>, was_established: bool) {
+        if was_established {
+            actions.push(FsmAction::PeeringDown);
+        }
+        actions.push(FsmAction::StopTimers);
+        actions.push(FsmAction::Close);
+        self.state = FsmState::Idle;
+        self.peer_open = None;
+    }
+
+    /// Feed one event; returns the driver's to-do list.
+    pub fn handle(&mut self, event: FsmEvent) -> Vec<FsmAction> {
+        use FsmAction as A;
+        use FsmEvent as E;
+        use FsmState as S;
+
+        let mut actions = Vec::new();
+        let established = self.state == S::Established;
+
+        match (self.state, event) {
+            // ---- starting --------------------------------------------------
+            (S::Idle, E::ManualStart) => {
+                self.state = S::Connect;
+                actions.push(A::StartConnectRetry);
+                actions.push(A::Connect);
+            }
+            (_, E::ManualStop) => self.reset_to_idle(&mut actions, established),
+
+            // ---- connecting ------------------------------------------------
+            (S::Connect, E::TcpConnected) | (S::Active, E::TcpConnected) => {
+                self.state = S::OpenSent;
+                actions.push(A::StopConnectRetry);
+                actions.push(A::SendOpen);
+                actions.push(A::StartHoldTimer);
+            }
+            (S::Connect, E::TcpClosed) => {
+                self.state = S::Active;
+                actions.push(A::StartConnectRetry);
+            }
+            (S::Active, E::ConnectRetryExpired) | (S::Connect, E::ConnectRetryExpired) => {
+                self.state = S::Connect;
+                actions.push(A::StartConnectRetry);
+                actions.push(A::Connect);
+            }
+
+            // ---- opening ---------------------------------------------------
+            (S::OpenSent, E::OpenReceived(open)) => {
+                self.hold_time = self.proposed_hold_time.min(open.hold_time);
+                self.peer_open = Some(open);
+                self.state = S::OpenConfirm;
+                actions.push(A::SendKeepAlive);
+                actions.push(A::StartHoldTimer);
+            }
+            (S::OpenConfirm, E::KeepAliveReceived) => {
+                self.state = S::Established;
+                actions.push(A::StartHoldTimer);
+                actions.push(A::StartKeepaliveTimer);
+                actions.push(A::PeeringUp);
+            }
+
+            // ---- established -----------------------------------------------
+            (S::Established, E::KeepAliveReceived) | (S::Established, E::UpdateReceived) => {
+                actions.push(A::StartHoldTimer); // any message resets it
+            }
+            (S::Established, E::KeepaliveTimerExpired) => {
+                actions.push(A::SendKeepAlive);
+                actions.push(A::StartKeepaliveTimer);
+            }
+
+            // ---- failures --------------------------------------------------
+            (_, E::HoldTimerExpired) => {
+                actions.push(A::SendNotification(NotificationCode::HoldTimerExpired));
+                self.reset_to_idle(&mut actions, established);
+            }
+            (_, E::NotificationReceived) => self.reset_to_idle(&mut actions, established),
+            (_, E::TcpClosed) => self.reset_to_idle(&mut actions, established),
+
+            // Anything else in the wrong state is an FSM error.
+            (S::OpenConfirm | S::Established, E::OpenReceived(_))
+            | (S::OpenSent, E::KeepAliveReceived) => {
+                actions.push(A::SendNotification(NotificationCode::FsmError));
+                self.reset_to_idle(&mut actions, established);
+            }
+
+            // Stale timer pops and irrelevant events are ignored.
+            _ => {}
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::OpenMessage;
+    use xorp_net::AsNum;
+
+    fn open(hold: u16) -> OpenMessage {
+        OpenMessage {
+            version: 4,
+            asn: AsNum(65002),
+            hold_time: hold,
+            router_id: "192.0.2.2".parse().unwrap(),
+        }
+    }
+
+    /// Drive a fresh FSM to Established; returns it.
+    fn establish() -> PeerFsm {
+        let mut fsm = PeerFsm::new(90);
+        fsm.handle(FsmEvent::ManualStart);
+        fsm.handle(FsmEvent::TcpConnected);
+        fsm.handle(FsmEvent::OpenReceived(open(90)));
+        let actions = fsm.handle(FsmEvent::KeepAliveReceived);
+        assert!(actions.contains(&FsmAction::PeeringUp));
+        assert!(fsm.is_established());
+        fsm
+    }
+
+    #[test]
+    fn happy_path_to_established() {
+        let mut fsm = PeerFsm::new(90);
+        assert_eq!(fsm.state(), FsmState::Idle);
+        let a = fsm.handle(FsmEvent::ManualStart);
+        assert!(a.contains(&FsmAction::Connect));
+        assert_eq!(fsm.state(), FsmState::Connect);
+        let a = fsm.handle(FsmEvent::TcpConnected);
+        assert!(a.contains(&FsmAction::SendOpen));
+        assert_eq!(fsm.state(), FsmState::OpenSent);
+        let a = fsm.handle(FsmEvent::OpenReceived(open(90)));
+        assert!(a.contains(&FsmAction::SendKeepAlive));
+        assert_eq!(fsm.state(), FsmState::OpenConfirm);
+        let a = fsm.handle(FsmEvent::KeepAliveReceived);
+        assert!(a.contains(&FsmAction::PeeringUp));
+        assert_eq!(fsm.state(), FsmState::Established);
+    }
+
+    #[test]
+    fn hold_time_negotiated_to_minimum() {
+        let mut fsm = PeerFsm::new(90);
+        fsm.handle(FsmEvent::ManualStart);
+        fsm.handle(FsmEvent::TcpConnected);
+        fsm.handle(FsmEvent::OpenReceived(open(30)));
+        assert_eq!(fsm.hold_time, 30);
+        let mut fsm2 = PeerFsm::new(20);
+        fsm2.handle(FsmEvent::ManualStart);
+        fsm2.handle(FsmEvent::TcpConnected);
+        fsm2.handle(FsmEvent::OpenReceived(open(30)));
+        assert_eq!(fsm2.hold_time, 20);
+    }
+
+    #[test]
+    fn connect_failure_retries() {
+        let mut fsm = PeerFsm::new(90);
+        fsm.handle(FsmEvent::ManualStart);
+        let a = fsm.handle(FsmEvent::TcpClosed);
+        assert_eq!(fsm.state(), FsmState::Active);
+        assert!(a.contains(&FsmAction::StartConnectRetry));
+        let a = fsm.handle(FsmEvent::ConnectRetryExpired);
+        assert_eq!(fsm.state(), FsmState::Connect);
+        assert!(a.contains(&FsmAction::Connect));
+    }
+
+    #[test]
+    fn hold_timer_expiry_notifies_and_resets() {
+        let mut fsm = establish();
+        let a = fsm.handle(FsmEvent::HoldTimerExpired);
+        assert!(a.contains(&FsmAction::SendNotification(
+            NotificationCode::HoldTimerExpired
+        )));
+        assert!(a.contains(&FsmAction::PeeringDown));
+        assert_eq!(fsm.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn tcp_close_when_established_takes_peering_down() {
+        let mut fsm = establish();
+        let a = fsm.handle(FsmEvent::TcpClosed);
+        assert!(a.contains(&FsmAction::PeeringDown));
+        assert_eq!(fsm.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn tcp_close_before_established_no_peering_down() {
+        let mut fsm = PeerFsm::new(90);
+        fsm.handle(FsmEvent::ManualStart);
+        fsm.handle(FsmEvent::TcpConnected);
+        let a = fsm.handle(FsmEvent::TcpClosed);
+        assert!(!a.contains(&FsmAction::PeeringDown));
+    }
+
+    #[test]
+    fn keepalive_and_update_reset_hold_timer() {
+        let mut fsm = establish();
+        let a = fsm.handle(FsmEvent::KeepAliveReceived);
+        assert_eq!(a, vec![FsmAction::StartHoldTimer]);
+        let a = fsm.handle(FsmEvent::UpdateReceived);
+        assert_eq!(a, vec![FsmAction::StartHoldTimer]);
+        assert!(fsm.is_established());
+    }
+
+    #[test]
+    fn keepalive_timer_sends_keepalive() {
+        let mut fsm = establish();
+        let a = fsm.handle(FsmEvent::KeepaliveTimerExpired);
+        assert!(a.contains(&FsmAction::SendKeepAlive));
+        assert!(a.contains(&FsmAction::StartKeepaliveTimer));
+    }
+
+    #[test]
+    fn duplicate_open_is_fsm_error() {
+        let mut fsm = establish();
+        let a = fsm.handle(FsmEvent::OpenReceived(open(90)));
+        assert!(a.contains(&FsmAction::SendNotification(NotificationCode::FsmError)));
+        assert!(a.contains(&FsmAction::PeeringDown));
+        assert_eq!(fsm.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn manual_stop_from_anywhere() {
+        let mut fsm = establish();
+        let a = fsm.handle(FsmEvent::ManualStop);
+        assert!(a.contains(&FsmAction::PeeringDown));
+        assert_eq!(fsm.state(), FsmState::Idle);
+        // Stop while idle is harmless.
+        let a = fsm.handle(FsmEvent::ManualStop);
+        assert!(!a.contains(&FsmAction::PeeringDown));
+    }
+
+    #[test]
+    fn notification_resets_session() {
+        let mut fsm = establish();
+        let a = fsm.handle(FsmEvent::NotificationReceived);
+        assert!(a.contains(&FsmAction::PeeringDown));
+        assert_eq!(fsm.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn flap_and_reestablish() {
+        let mut fsm = establish();
+        fsm.handle(FsmEvent::TcpClosed);
+        fsm.handle(FsmEvent::ManualStart);
+        fsm.handle(FsmEvent::TcpConnected);
+        fsm.handle(FsmEvent::OpenReceived(open(90)));
+        fsm.handle(FsmEvent::KeepAliveReceived);
+        assert!(fsm.is_established());
+    }
+
+    #[test]
+    fn stale_timer_pops_ignored() {
+        let mut fsm = PeerFsm::new(90);
+        assert!(fsm.handle(FsmEvent::KeepaliveTimerExpired).is_empty());
+        assert!(fsm.handle(FsmEvent::KeepAliveReceived).is_empty());
+        assert_eq!(fsm.state(), FsmState::Idle);
+    }
+}

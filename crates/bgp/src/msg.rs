@@ -1,0 +1,728 @@
+//! BGP-4 wire format (RFC 4271, with 4-byte AS numbers per RFC 6793).
+//!
+//! The paper notes that "packet formats and state machines are largely
+//! separate from route processing" (§5) — this module is that separate
+//! part: encode/decode for OPEN, UPDATE, KEEPALIVE and NOTIFICATION over
+//! the standard 19-byte marker/length/type header.
+//!
+//! AS_PATH segments carry 4-byte AS numbers throughout (modern BGP);
+//! the OPEN message's fixed 2-byte field uses `AS_TRANS` when the local AS
+//! doesn't fit, with the real AS in the RFC 6793 capability.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use xorp_net::{AsNum, AsPath, AsPathSegment, Community, Ipv4Net, Origin, Prefix};
+
+/// Message-type octets.
+const TYPE_OPEN: u8 = 1;
+const TYPE_UPDATE: u8 = 2;
+const TYPE_NOTIFICATION: u8 = 3;
+const TYPE_KEEPALIVE: u8 = 4;
+
+/// BGP header: 16 marker bytes (all-ones), u16 length, u8 type.
+pub const HEADER_LEN: usize = 19;
+/// Maximum BGP message size (RFC 4271).
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgError {
+    /// Fewer bytes than a header, or body shorter than the length field.
+    Truncated,
+    /// Marker bytes were not all-ones.
+    BadMarker,
+    /// Length field out of range.
+    BadLength(u16),
+    /// Unknown message type.
+    BadType(u8),
+    /// Malformed body.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for MsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgError::Truncated => write!(f, "truncated message"),
+            MsgError::BadMarker => write!(f, "bad marker"),
+            MsgError::BadLength(l) => write!(f, "bad length {l}"),
+            MsgError::BadType(t) => write!(f, "bad message type {t}"),
+            MsgError::Malformed(s) => write!(f, "malformed message: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MsgError {}
+
+/// NOTIFICATION error codes (major only; subcode carried verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotificationCode {
+    /// Message header error.
+    MessageHeader,
+    /// OPEN message error.
+    OpenMessage,
+    /// UPDATE message error.
+    UpdateMessage,
+    /// Hold timer expired.
+    HoldTimerExpired,
+    /// FSM error.
+    FsmError,
+    /// Administrative cease.
+    Cease,
+    /// Anything else (carried as raw code).
+    Other(u8),
+}
+
+impl NotificationCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            NotificationCode::MessageHeader => 1,
+            NotificationCode::OpenMessage => 2,
+            NotificationCode::UpdateMessage => 3,
+            NotificationCode::HoldTimerExpired => 4,
+            NotificationCode::FsmError => 5,
+            NotificationCode::Cease => 6,
+            NotificationCode::Other(c) => c,
+        }
+    }
+
+    fn from_u8(c: u8) -> NotificationCode {
+        match c {
+            1 => NotificationCode::MessageHeader,
+            2 => NotificationCode::OpenMessage,
+            3 => NotificationCode::UpdateMessage,
+            4 => NotificationCode::HoldTimerExpired,
+            5 => NotificationCode::FsmError,
+            6 => NotificationCode::Cease,
+            other => NotificationCode::Other(other),
+        }
+    }
+}
+
+/// An OPEN message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenMessage {
+    /// BGP version (always 4).
+    pub version: u8,
+    /// The sender's AS number (full 4-byte value).
+    pub asn: AsNum,
+    /// Proposed hold time, seconds.
+    pub hold_time: u16,
+    /// Sender's router id.
+    pub router_id: Ipv4Addr,
+}
+
+/// An UPDATE message: withdrawals plus announcements sharing one attribute
+/// block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UpdateMessage {
+    /// Withdrawn prefixes.
+    pub withdrawn: Vec<Ipv4Net>,
+    /// ORIGIN (required when `nlri` non-empty).
+    pub origin: Option<Origin>,
+    /// AS_PATH.
+    pub as_path: Option<AsPath>,
+    /// NEXT_HOP.
+    pub nexthop: Option<Ipv4Addr>,
+    /// MULTI_EXIT_DISC.
+    pub med: Option<u32>,
+    /// LOCAL_PREF.
+    pub local_pref: Option<u32>,
+    /// COMMUNITIES.
+    pub communities: Vec<Community>,
+    /// Announced prefixes.
+    pub nlri: Vec<Ipv4Net>,
+}
+
+/// Any BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// Session open.
+    Open(OpenMessage),
+    /// Route announcement/withdrawal.
+    Update(UpdateMessage),
+    /// Error + close.
+    Notification {
+        /// Major error code.
+        code: NotificationCode,
+        /// Subcode, verbatim.
+        subcode: u8,
+    },
+    /// Liveness.
+    KeepAlive,
+}
+
+// Path-attribute type codes.
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MED: u8 = 4;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_COMMUNITIES: u8 = 8;
+
+// Attribute flags.
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXT_LEN: u8 = 0x10;
+
+fn put_prefix(buf: &mut BytesMut, p: &Ipv4Net) {
+    buf.put_u8(p.len());
+    let octets = p.addr().octets();
+    let nbytes = p.len().div_ceil(8) as usize;
+    buf.put_slice(&octets[..nbytes]);
+}
+
+fn get_prefix(buf: &mut Bytes) -> Result<Ipv4Net, MsgError> {
+    if buf.remaining() < 1 {
+        return Err(MsgError::Malformed("truncated prefix length"));
+    }
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(MsgError::Malformed("prefix length > 32"));
+    }
+    let nbytes = len.div_ceil(8) as usize;
+    if buf.remaining() < nbytes {
+        return Err(MsgError::Malformed("truncated prefix"));
+    }
+    let mut octets = [0u8; 4];
+    buf.copy_to_slice(&mut octets[..nbytes]);
+    Prefix::new(Ipv4Addr::from(octets), len).map_err(|_| MsgError::Malformed("bad prefix"))
+}
+
+fn put_attr(buf: &mut BytesMut, flags: u8, code: u8, value: &[u8]) {
+    if value.len() > 255 {
+        buf.put_u8(flags | FLAG_EXT_LEN);
+        buf.put_u8(code);
+        buf.put_u16(value.len() as u16);
+    } else {
+        buf.put_u8(flags);
+        buf.put_u8(code);
+        buf.put_u8(value.len() as u8);
+    }
+    buf.put_slice(value);
+}
+
+fn encode_as_path(path: &AsPath) -> Vec<u8> {
+    let mut out = Vec::new();
+    for seg in path.segments() {
+        let (ty, ases) = match seg {
+            AsPathSegment::Set(v) => (1u8, v),
+            AsPathSegment::Sequence(v) => (2u8, v),
+        };
+        out.push(ty);
+        out.push(ases.len() as u8);
+        for a in ases {
+            out.extend_from_slice(&a.0.to_be_bytes());
+        }
+    }
+    out
+}
+
+fn decode_as_path(mut value: Bytes) -> Result<AsPath, MsgError> {
+    let mut segments = Vec::new();
+    while value.has_remaining() {
+        if value.remaining() < 2 {
+            return Err(MsgError::Malformed("truncated AS_PATH segment header"));
+        }
+        let ty = value.get_u8();
+        let count = value.get_u8() as usize;
+        if value.remaining() < count * 4 {
+            return Err(MsgError::Malformed("truncated AS_PATH segment"));
+        }
+        let mut ases = Vec::with_capacity(count);
+        for _ in 0..count {
+            ases.push(AsNum(value.get_u32()));
+        }
+        segments.push(match ty {
+            1 => AsPathSegment::Set(ases),
+            2 => AsPathSegment::Sequence(ases),
+            _ => return Err(MsgError::Malformed("bad AS_PATH segment type")),
+        });
+    }
+    Ok(AsPath::from_segments(segments))
+}
+
+impl BgpMessage {
+    /// Encode with header.
+    pub fn encode(&self) -> BytesMut {
+        let mut body = BytesMut::with_capacity(64);
+        let ty = match self {
+            BgpMessage::Open(o) => {
+                body.put_u8(o.version);
+                let as2 = if o.asn.is_2byte() {
+                    o.asn.0 as u16
+                } else {
+                    AsNum::TRANS.0 as u16
+                };
+                body.put_u16(as2);
+                body.put_u16(o.hold_time);
+                body.put_slice(&o.router_id.octets());
+                // Optional parameters: one capability option carrying the
+                // 4-byte AS (RFC 6793).
+                let mut caps = BytesMut::new();
+                caps.put_u8(2); // param type: capability
+                caps.put_u8(6); // param length
+                caps.put_u8(65); // capability: 4-octet AS
+                caps.put_u8(4); // capability length
+                caps.put_u32(o.asn.0);
+                body.put_u8(caps.len() as u8);
+                body.put_slice(&caps);
+                TYPE_OPEN
+            }
+            BgpMessage::Update(u) => {
+                let mut withdrawn = BytesMut::new();
+                for p in &u.withdrawn {
+                    put_prefix(&mut withdrawn, p);
+                }
+                body.put_u16(withdrawn.len() as u16);
+                body.put_slice(&withdrawn);
+
+                let mut attrs = BytesMut::new();
+                if let Some(origin) = u.origin {
+                    put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[origin as u8]);
+                }
+                if let Some(path) = &u.as_path {
+                    put_attr(
+                        &mut attrs,
+                        FLAG_TRANSITIVE,
+                        ATTR_AS_PATH,
+                        &encode_as_path(path),
+                    );
+                }
+                if let Some(nh) = u.nexthop {
+                    put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &nh.octets());
+                }
+                if let Some(med) = u.med {
+                    put_attr(&mut attrs, FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
+                }
+                if let Some(lp) = u.local_pref {
+                    put_attr(
+                        &mut attrs,
+                        FLAG_TRANSITIVE,
+                        ATTR_LOCAL_PREF,
+                        &lp.to_be_bytes(),
+                    );
+                }
+                if !u.communities.is_empty() {
+                    let mut v = Vec::with_capacity(u.communities.len() * 4);
+                    for c in &u.communities {
+                        v.extend_from_slice(&c.0.to_be_bytes());
+                    }
+                    put_attr(
+                        &mut attrs,
+                        FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                        ATTR_COMMUNITIES,
+                        &v,
+                    );
+                }
+                body.put_u16(attrs.len() as u16);
+                body.put_slice(&attrs);
+                for p in &u.nlri {
+                    put_prefix(&mut body, p);
+                }
+                TYPE_UPDATE
+            }
+            BgpMessage::Notification { code, subcode } => {
+                body.put_u8(code.to_u8());
+                body.put_u8(*subcode);
+                TYPE_NOTIFICATION
+            }
+            BgpMessage::KeepAlive => TYPE_KEEPALIVE,
+        };
+
+        let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+        out.put_slice(&[0xffu8; 16]);
+        out.put_u16((HEADER_LEN + body.len()) as u16);
+        out.put_u8(ty);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode one message from the front of `buf`, if a complete one is
+    /// present.  Consumes the message bytes on success; on `None`, more
+    /// bytes are needed; errors consume nothing useful (session resets).
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<BgpMessage>, MsgError> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if buf[..16].iter().any(|&b| b != 0xff) {
+            return Err(MsgError::BadMarker);
+        }
+        let len = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&len) {
+            return Err(MsgError::BadLength(len as u16));
+        }
+        if buf.len() < len {
+            return Ok(None);
+        }
+        let frame = buf.split_to(len);
+        let ty = frame[18];
+        let mut body = Bytes::copy_from_slice(&frame[HEADER_LEN..]);
+        let msg = match ty {
+            TYPE_OPEN => {
+                if body.remaining() < 10 {
+                    return Err(MsgError::Truncated);
+                }
+                let version = body.get_u8();
+                let as2 = body.get_u16();
+                let hold_time = body.get_u16();
+                let mut rid = [0u8; 4];
+                body.copy_to_slice(&mut rid);
+                let optlen = body.get_u8() as usize;
+                if body.remaining() < optlen {
+                    return Err(MsgError::Truncated);
+                }
+                // Scan optional parameters for the 4-byte-AS capability.
+                let mut asn = AsNum(as2 as u32);
+                let mut opts = body.copy_to_bytes(optlen);
+                while opts.remaining() >= 2 {
+                    let pty = opts.get_u8();
+                    let plen = opts.get_u8() as usize;
+                    if opts.remaining() < plen {
+                        return Err(MsgError::Malformed("truncated optional parameter"));
+                    }
+                    let mut pval = opts.copy_to_bytes(plen);
+                    if pty == 2 {
+                        while pval.remaining() >= 2 {
+                            let cap = pval.get_u8();
+                            let clen = pval.get_u8() as usize;
+                            if pval.remaining() < clen {
+                                return Err(MsgError::Malformed("truncated capability"));
+                            }
+                            let mut cval = pval.copy_to_bytes(clen);
+                            if cap == 65 && clen == 4 {
+                                asn = AsNum(cval.get_u32());
+                            }
+                        }
+                    }
+                }
+                BgpMessage::Open(OpenMessage {
+                    version,
+                    asn,
+                    hold_time,
+                    router_id: Ipv4Addr::from(rid),
+                })
+            }
+            TYPE_UPDATE => {
+                if body.remaining() < 2 {
+                    return Err(MsgError::Truncated);
+                }
+                let wlen = body.get_u16() as usize;
+                if body.remaining() < wlen {
+                    return Err(MsgError::Truncated);
+                }
+                let mut wbytes = body.copy_to_bytes(wlen);
+                let mut withdrawn = Vec::new();
+                while wbytes.has_remaining() {
+                    withdrawn.push(get_prefix(&mut wbytes)?);
+                }
+
+                if body.remaining() < 2 {
+                    return Err(MsgError::Truncated);
+                }
+                let alen = body.get_u16() as usize;
+                if body.remaining() < alen {
+                    return Err(MsgError::Truncated);
+                }
+                let mut abytes = body.copy_to_bytes(alen);
+                let mut update = UpdateMessage {
+                    withdrawn,
+                    ..Default::default()
+                };
+                while abytes.has_remaining() {
+                    if abytes.remaining() < 3 {
+                        return Err(MsgError::Malformed("truncated attribute header"));
+                    }
+                    let flags = abytes.get_u8();
+                    let code = abytes.get_u8();
+                    let vlen = if flags & FLAG_EXT_LEN != 0 {
+                        if abytes.remaining() < 2 {
+                            return Err(MsgError::Malformed("truncated ext length"));
+                        }
+                        abytes.get_u16() as usize
+                    } else {
+                        abytes.get_u8() as usize
+                    };
+                    if abytes.remaining() < vlen {
+                        return Err(MsgError::Malformed("truncated attribute value"));
+                    }
+                    let mut value = abytes.copy_to_bytes(vlen);
+                    match code {
+                        ATTR_ORIGIN => {
+                            if vlen != 1 {
+                                return Err(MsgError::Malformed("bad ORIGIN length"));
+                            }
+                            update.origin = Some(
+                                Origin::from_u8(value.get_u8())
+                                    .ok_or(MsgError::Malformed("bad ORIGIN value"))?,
+                            );
+                        }
+                        ATTR_AS_PATH => {
+                            update.as_path = Some(decode_as_path(value)?);
+                        }
+                        ATTR_NEXT_HOP => {
+                            if vlen != 4 {
+                                return Err(MsgError::Malformed("bad NEXT_HOP length"));
+                            }
+                            let mut o = [0u8; 4];
+                            value.copy_to_slice(&mut o);
+                            update.nexthop = Some(Ipv4Addr::from(o));
+                        }
+                        ATTR_MED => {
+                            if vlen != 4 {
+                                return Err(MsgError::Malformed("bad MED length"));
+                            }
+                            update.med = Some(value.get_u32());
+                        }
+                        ATTR_LOCAL_PREF => {
+                            if vlen != 4 {
+                                return Err(MsgError::Malformed("bad LOCAL_PREF length"));
+                            }
+                            update.local_pref = Some(value.get_u32());
+                        }
+                        ATTR_COMMUNITIES => {
+                            if vlen % 4 != 0 {
+                                return Err(MsgError::Malformed("bad COMMUNITIES length"));
+                            }
+                            while value.has_remaining() {
+                                update.communities.push(Community(value.get_u32()));
+                            }
+                        }
+                        _ => { /* unknown attribute: ignore (tolerant) */ }
+                    }
+                }
+                while body.has_remaining() {
+                    update.nlri.push(get_prefix(&mut body)?);
+                }
+                BgpMessage::Update(update)
+            }
+            TYPE_NOTIFICATION => {
+                if body.remaining() < 2 {
+                    return Err(MsgError::Truncated);
+                }
+                BgpMessage::Notification {
+                    code: NotificationCode::from_u8(body.get_u8()),
+                    subcode: body.get_u8(),
+                }
+            }
+            TYPE_KEEPALIVE => {
+                if len != HEADER_LEN {
+                    return Err(MsgError::BadLength(len as u16));
+                }
+                BgpMessage::KeepAlive
+            }
+            other => return Err(MsgError::BadType(other)),
+        };
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: BgpMessage) -> BgpMessage {
+        let mut buf = msg.encode();
+        let decoded = BgpMessage::decode(&mut buf).unwrap().unwrap();
+        assert!(buf.is_empty(), "bytes left over");
+        assert_eq!(decoded, msg);
+        decoded
+    }
+
+    #[test]
+    fn keepalive_roundtrip() {
+        roundtrip(BgpMessage::KeepAlive);
+    }
+
+    #[test]
+    fn open_roundtrip_2byte_as() {
+        roundtrip(BgpMessage::Open(OpenMessage {
+            version: 4,
+            asn: AsNum(65001),
+            hold_time: 90,
+            router_id: "10.0.0.1".parse().unwrap(),
+        }));
+    }
+
+    #[test]
+    fn open_roundtrip_4byte_as() {
+        // A 4-byte AS travels in the capability; the fixed field carries
+        // AS_TRANS.
+        let msg = BgpMessage::Open(OpenMessage {
+            version: 4,
+            asn: AsNum(400_000),
+            hold_time: 180,
+            router_id: "192.0.2.1".parse().unwrap(),
+        });
+        let encoded = msg.encode();
+        // AS_TRANS in the 2-byte field (offset: header 19 + version 1).
+        let as2 = u16::from_be_bytes([encoded[20], encoded[21]]);
+        assert_eq!(as2 as u32, AsNum::TRANS.0);
+        roundtrip(msg);
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        roundtrip(BgpMessage::Notification {
+            code: NotificationCode::HoldTimerExpired,
+            subcode: 0,
+        });
+        roundtrip(BgpMessage::Notification {
+            code: NotificationCode::Other(77),
+            subcode: 3,
+        });
+    }
+
+    #[test]
+    fn update_roundtrip_full() {
+        roundtrip(BgpMessage::Update(UpdateMessage {
+            withdrawn: vec!["10.9.0.0/16".parse().unwrap(), "0.0.0.0/0".parse().unwrap()],
+            origin: Some(Origin::Igp),
+            as_path: Some(AsPath::from_segments(vec![
+                AsPathSegment::Sequence(vec![AsNum(65001), AsNum(400_000)]),
+                AsPathSegment::Set(vec![AsNum(3), AsNum(4)]),
+            ])),
+            nexthop: Some("192.0.2.1".parse().unwrap()),
+            med: Some(50),
+            local_pref: Some(200),
+            communities: vec![Community::new(65001, 100), Community::NO_EXPORT],
+            nlri: vec![
+                "10.0.0.0/8".parse().unwrap(),
+                "172.16.0.0/12".parse().unwrap(),
+                "192.168.1.0/24".parse().unwrap(),
+                "1.2.3.4/32".parse().unwrap(),
+            ],
+        }));
+    }
+
+    #[test]
+    fn update_withdraw_only() {
+        roundtrip(BgpMessage::Update(UpdateMessage {
+            withdrawn: vec!["10.0.0.0/8".parse().unwrap()],
+            ..Default::default()
+        }));
+    }
+
+    #[test]
+    fn prefix_packing_is_minimal() {
+        // A /8 prefix takes 1 length byte + 1 octet.
+        let mut buf = BytesMut::new();
+        put_prefix(&mut buf, &"10.0.0.0/8".parse().unwrap());
+        assert_eq!(buf.len(), 2);
+        put_prefix(&mut buf, &"10.1.0.0/16".parse().unwrap());
+        assert_eq!(buf.len(), 5);
+        put_prefix(&mut buf, &"0.0.0.0/0".parse().unwrap());
+        assert_eq!(buf.len(), 6);
+    }
+
+    #[test]
+    fn partial_buffers_return_none() {
+        let full = BgpMessage::KeepAlive.encode();
+        for cut in 0..full.len() {
+            let mut partial = BytesMut::from(&full[..cut]);
+            assert_eq!(BgpMessage::decode(&mut partial).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn two_messages_in_one_buffer() {
+        let mut buf = BgpMessage::KeepAlive.encode();
+        buf.extend_from_slice(&BgpMessage::KeepAlive.encode());
+        assert_eq!(
+            BgpMessage::decode(&mut buf).unwrap(),
+            Some(BgpMessage::KeepAlive)
+        );
+        assert_eq!(
+            BgpMessage::decode(&mut buf).unwrap(),
+            Some(BgpMessage::KeepAlive)
+        );
+        assert_eq!(BgpMessage::decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut buf = BgpMessage::KeepAlive.encode();
+        buf[0] = 0;
+        assert_eq!(BgpMessage::decode(&mut buf), Err(MsgError::BadMarker));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut buf = BgpMessage::KeepAlive.encode();
+        buf[16] = 0xff;
+        buf[17] = 0xff;
+        assert!(matches!(
+            BgpMessage::decode(&mut buf),
+            Err(MsgError::BadLength(_))
+        ));
+        let mut buf = BgpMessage::KeepAlive.encode();
+        buf[17] = 5; // shorter than a header
+        assert!(matches!(
+            BgpMessage::decode(&mut buf),
+            Err(MsgError::BadLength(5))
+        ));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let mut buf = BgpMessage::KeepAlive.encode();
+        buf[18] = 99;
+        assert_eq!(BgpMessage::decode(&mut buf), Err(MsgError::BadType(99)));
+    }
+
+    #[test]
+    fn malformed_update_rejected() {
+        // NLRI with prefix length 99.
+        let mut body = BytesMut::new();
+        body.put_u16(0); // withdrawn len
+        body.put_u16(0); // attr len
+        body.put_u8(99); // bogus prefix length
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0xff; 16]);
+        buf.put_u16((HEADER_LEN + body.len()) as u16);
+        buf.put_u8(TYPE_UPDATE);
+        buf.extend_from_slice(&body);
+        assert!(matches!(
+            BgpMessage::decode(&mut buf),
+            Err(MsgError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_attributes_tolerated() {
+        // Hand-craft an update with an unknown attribute code 99.
+        let mut attrs = BytesMut::new();
+        put_attr(&mut attrs, FLAG_OPTIONAL, 99, &[1, 2, 3]);
+        put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[0]);
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        body.put_u16(attrs.len() as u16);
+        body.put_slice(&attrs);
+        put_prefix(&mut body, &"10.0.0.0/8".parse().unwrap());
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[0xff; 16]);
+        buf.put_u16((HEADER_LEN + body.len()) as u16);
+        buf.put_u8(TYPE_UPDATE);
+        buf.extend_from_slice(&body);
+        match BgpMessage::decode(&mut buf).unwrap().unwrap() {
+            BgpMessage::Update(u) => {
+                assert_eq!(u.origin, Some(Origin::Igp));
+                assert_eq!(u.nlri.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extended_length_attribute() {
+        // An AS_PATH long enough to need the extended-length flag.
+        let long_path = AsPath::from_sequence((0..100).map(|i| 65000 + i));
+        roundtrip(BgpMessage::Update(UpdateMessage {
+            origin: Some(Origin::Igp),
+            as_path: Some(long_path),
+            nexthop: Some("192.0.2.1".parse().unwrap()),
+            nlri: vec!["10.0.0.0/8".parse().unwrap()],
+            ..Default::default()
+        }));
+    }
+}

@@ -1,0 +1,261 @@
+//! The PeerIn stage: where BGP routes are stored (§5.1).
+//!
+//! "we only store the original versions of routes, in the Peer In stages.
+//! This in turn means that the Decision Process must be able to look up
+//! alternative routes via calls upstream through the pipeline."
+
+use xorp_event::EventLoop;
+use xorp_net::{Addr, HeapSize, PatriciaTrie, Prefix};
+use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
+
+use crate::{BgpRoute, PeerId};
+
+/// Per-peer route store at the head of a BGP pipeline branch.
+pub struct PeerIn<A: Addr> {
+    peer: PeerId,
+    /// Our AS, for loop detection.
+    local_as: xorp_net::AsNum,
+    routes: PatriciaTrie<A, BgpRoute<A>>,
+    downstream: Option<StageRef<A, BgpRoute<A>>>,
+    /// Routes dropped by AS-path loop detection (diagnostics).
+    pub loops_detected: u64,
+}
+
+impl<A: Addr> PeerIn<A> {
+    /// A PeerIn for `peer`, performing loop detection against `local_as`.
+    pub fn new(peer: PeerId, local_as: xorp_net::AsNum) -> Self {
+        PeerIn {
+            peer,
+            local_as,
+            routes: PatriciaTrie::new(),
+            downstream: None,
+            loops_detected: 0,
+        }
+    }
+
+    /// This branch's peer.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// Plumb the downstream neighbor.
+    pub fn set_downstream(&mut self, s: StageRef<A, BgpRoute<A>>) {
+        self.downstream = Some(s);
+    }
+
+    /// Number of stored routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Heap bytes of this peer's table.
+    pub fn memory_bytes(&self) -> usize {
+        self.routes.heap_size()
+    }
+
+    /// Ingest an announcement from the wire.  Returns false if the route
+    /// was dropped (AS loop).
+    pub fn announce(&mut self, el: &mut EventLoop, mut route: BgpRoute<A>) -> bool {
+        // Loop detection: our AS already in the path means the route has
+        // been through us.
+        if route.attrs.as_path.contains(self.local_as) {
+            self.loops_detected += 1;
+            // If we previously accepted a route for this prefix, it is now
+            // implicitly withdrawn (the peer replaced it with a looped one).
+            self.withdraw(el, route.net);
+            return false;
+        }
+        route.source = Some(self.peer.0);
+        let net = route.net;
+        let old = self.routes.insert(net, route.clone());
+        let op = match old {
+            Some(old) if old == route => return true,
+            Some(old) => RouteOp::Replace {
+                net,
+                old,
+                new: route,
+            },
+            None => RouteOp::Add { net, route },
+        };
+        self.emit(el, op);
+        true
+    }
+
+    /// Ingest a withdrawal from the wire.
+    pub fn withdraw(&mut self, el: &mut EventLoop, net: Prefix<A>) -> Option<BgpRoute<A>> {
+        let old = self.routes.remove(&net)?;
+        self.emit(
+            el,
+            RouteOp::Delete {
+                net,
+                old: old.clone(),
+            },
+        );
+        Some(old)
+    }
+
+    /// Signal a batch boundary (end of one UPDATE's worth of changes).
+    pub fn push_batch(&mut self, el: &mut EventLoop) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().push(el);
+        }
+    }
+
+    /// Hand the entire table over (peering down, §5.1.2): the internal
+    /// table is replaced with a fresh empty one — "the Peer In ... is
+    /// immediately ready for the peering to come back up" — and the old
+    /// table is returned for a deletion stage to drain.
+    pub fn take_table(&mut self) -> PatriciaTrie<A, BgpRoute<A>> {
+        std::mem::replace(&mut self.routes, PatriciaTrie::new())
+    }
+
+    /// Iterate stored routes (for refiltering / replay).
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix<A>, &BgpRoute<A>)> {
+        self.routes.iter()
+    }
+
+    fn emit(&mut self, el: &mut EventLoop, op: RouteOp<A, BgpRoute<A>>) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().route_op(el, self.peer.into(), op);
+        }
+    }
+}
+
+impl<A: Addr> Stage<A, BgpRoute<A>> for PeerIn<A> {
+    fn name(&self) -> String {
+        format!("peer-in[{}]", self.peer.0)
+    }
+
+    fn route_op(&mut self, el: &mut EventLoop, _origin: OriginId, op: RouteOp<A, BgpRoute<A>>) {
+        // Stage-message input path (used by tests and synthetic feeds).
+        match op {
+            RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                self.announce(el, route);
+            }
+            RouteOp::Delete { net, .. } => {
+                self.withdraw(el, net);
+            }
+        }
+    }
+
+    fn lookup_route(&self, net: &Prefix<A>) -> Option<BgpRoute<A>> {
+        self.routes.get(net).cloned()
+    }
+
+    fn push(&mut self, el: &mut EventLoop) {
+        self.push_batch(el);
+    }
+
+    fn set_downstream(&mut self, s: StageRef<A, BgpRoute<A>>) {
+        PeerIn::set_downstream(self, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+    use xorp_net::{AsNum, AsPath, PathAttributes, ProtocolId};
+    use xorp_stages::{stage_ref, SinkStage};
+
+    fn route(net: &str, path: &[u32]) -> BgpRoute<Ipv4Addr> {
+        let mut attrs = PathAttributes::new(IpAddr::V4("192.0.2.1".parse().unwrap()));
+        attrs.as_path = AsPath::from_sequence(path.iter().copied());
+        BgpRoute::new(net.parse().unwrap(), attrs.shared(), 0, ProtocolId::Ebgp)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn rig() -> (
+        EventLoop,
+        PeerIn<Ipv4Addr>,
+        std::rc::Rc<std::cell::RefCell<SinkStage<Ipv4Addr, BgpRoute<Ipv4Addr>>>>,
+    ) {
+        let el = EventLoop::new_virtual();
+        let mut pi = PeerIn::new(PeerId(1), AsNum(65000));
+        let sink = stage_ref(SinkStage::new());
+        pi.set_downstream(sink.clone());
+        (el, pi, sink)
+    }
+
+    #[test]
+    fn announce_withdraw_stream() {
+        let (mut el, mut pi, sink) = rig();
+        assert!(pi.announce(&mut el, route("10.0.0.0/8", &[65001])));
+        assert!(pi.announce(&mut el, route("10.0.0.0/8", &[65001, 65002]))); // replace
+        pi.withdraw(&mut el, "10.0.0.0/8".parse().unwrap());
+        let log = &sink.borrow().log;
+        assert!(matches!(log[0].1, RouteOp::Add { .. }));
+        assert!(matches!(log[1].1, RouteOp::Replace { .. }));
+        assert!(matches!(log[2].1, RouteOp::Delete { .. }));
+        assert!(pi.is_empty());
+    }
+
+    #[test]
+    fn source_is_stamped() {
+        let (mut el, mut pi, sink) = rig();
+        pi.announce(&mut el, route("10.0.0.0/8", &[65001]));
+        let sink = sink.borrow();
+        match &sink.log[0].1 {
+            RouteOp::Add { route, .. } => assert_eq!(route.source, Some(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn as_loop_dropped() {
+        let (mut el, mut pi, sink) = rig();
+        assert!(!pi.announce(&mut el, route("10.0.0.0/8", &[65001, 65000])));
+        assert_eq!(pi.loops_detected, 1);
+        assert!(sink.borrow().log.is_empty());
+        assert!(pi.is_empty());
+    }
+
+    #[test]
+    fn loop_replacing_good_route_withdraws() {
+        let (mut el, mut pi, sink) = rig();
+        pi.announce(&mut el, route("10.0.0.0/8", &[65001]));
+        // The peer now sends a looped path for the same prefix: previous
+        // route is implicitly withdrawn.
+        pi.announce(&mut el, route("10.0.0.0/8", &[65001, 65000]));
+        let log = &sink.borrow().log;
+        assert_eq!(log.len(), 2);
+        assert!(matches!(log[1].1, RouteOp::Delete { .. }));
+        assert!(pi.is_empty());
+    }
+
+    #[test]
+    fn idempotent_reannounce_is_silent() {
+        let (mut el, mut pi, sink) = rig();
+        pi.announce(&mut el, route("10.0.0.0/8", &[65001]));
+        pi.announce(&mut el, route("10.0.0.0/8", &[65001]));
+        assert_eq!(sink.borrow().log.len(), 1);
+    }
+
+    #[test]
+    fn take_table_leaves_empty_store() {
+        let (mut el, mut pi, _sink) = rig();
+        for i in 0..50u8 {
+            pi.announce(&mut el, route(&format!("10.{i}.0.0/16"), &[65001]));
+        }
+        let table = pi.take_table();
+        assert_eq!(table.len(), 50);
+        assert!(pi.is_empty());
+        // Immediately ready for the peering to come back up.
+        assert!(pi.announce(&mut el, route("10.0.0.0/16", &[65001])));
+        assert_eq!(pi.len(), 1);
+    }
+
+    #[test]
+    fn withdraw_unknown_is_silent() {
+        let (mut el, mut pi, sink) = rig();
+        assert!(pi
+            .withdraw(&mut el, "10.0.0.0/8".parse().unwrap())
+            .is_none());
+        assert!(sink.borrow().log.is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! The Peer Out stage: specializing best routes for one peering and
+//! turning them into UPDATE traffic (§5.1).
+//!
+//! Outbound transformations:
+//!
+//! * EBGP sessions: prepend the local AS, rewrite the nexthop to ourselves,
+//!   strip LOCAL_PREF, honour `NO_EXPORT`.
+//! * IBGP sessions: keep LOCAL_PREF and the path untouched, but never
+//!   reflect a route learned from another IBGP peer (full-mesh rule).
+//!
+//! The transformed stream is handed to a writer callback as abstract
+//! [`UpdateOut`]s; the session layer batches them into wire UPDATEs.
+
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use xorp_event::EventLoop;
+use xorp_net::{Addr, AsNum, PathAttributes, Prefix};
+use xorp_stages::{OriginId, RouteOp, Stage};
+
+use crate::{BgpRoute, PeerId};
+
+/// One outbound change: a withdrawal or an announcement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOut<A: Addr> {
+    /// Withdraw a prefix.
+    Withdraw(Prefix<A>),
+    /// Announce a prefix with the given (already specialized) attributes.
+    Announce(Prefix<A>, Arc<PathAttributes>),
+}
+
+/// Writer callback receiving outbound changes.
+pub type UpdateWriter<A> = Rc<dyn Fn(&mut EventLoop, UpdateOut<A>)>;
+
+/// Per-peering output stage.
+pub struct PeerOut<A: Addr> {
+    peer: PeerId,
+    local_as: AsNum,
+    /// True for an EBGP session.
+    ebgp_session: bool,
+    /// Our address on this session (nexthop-self rewriting).
+    local_addr: IpAddr,
+    writer: UpdateWriter<A>,
+    /// Prefixes currently announced to this peer (keeps withdraw/announce
+    /// symmetric when transforms drop routes).
+    announced: BTreeSet<Prefix<A>>,
+    /// Count of UPDATE-visible changes (diagnostics).
+    pub updates_sent: u64,
+}
+
+impl<A: Addr> PeerOut<A> {
+    /// Build the output stage for one peering.
+    pub fn new(
+        peer: PeerId,
+        local_as: AsNum,
+        ebgp_session: bool,
+        local_addr: IpAddr,
+        writer: UpdateWriter<A>,
+    ) -> Self {
+        PeerOut {
+            peer,
+            local_as,
+            ebgp_session,
+            local_addr,
+            writer,
+            announced: BTreeSet::new(),
+            updates_sent: 0,
+        }
+    }
+
+    /// Prefixes currently announced.
+    pub fn announced_count(&self) -> usize {
+        self.announced.len()
+    }
+
+    /// Forget announcement state without emitting withdrawals: the session
+    /// dropped, so the remote peer's table is already gone.
+    pub fn reset(&mut self) {
+        self.announced.clear();
+    }
+
+    /// Apply the outbound transform; `None` means "do not advertise".
+    pub fn transform(&self, route: &BgpRoute<A>) -> Option<Arc<PathAttributes>> {
+        // NO_EXPORT: never crosses an EBGP boundary.
+        if self.ebgp_session && route.attrs.no_export() {
+            return None;
+        }
+        // IBGP full-mesh rule: routes learned over IBGP are not reflected
+        // to IBGP peers.
+        if !self.ebgp_session && !route.attrs.ebgp {
+            return None;
+        }
+        let mut attrs = (*route.attrs).clone();
+        if self.ebgp_session {
+            attrs.as_path = attrs.as_path.prepend(self.local_as);
+            attrs.nexthop = self.local_addr;
+            attrs.local_pref = None;
+            attrs.med = None; // MED is not propagated to third parties
+        } else {
+            // IBGP: ensure LOCAL_PREF present.
+            attrs.local_pref = Some(attrs.effective_local_pref());
+        }
+        Some(Arc::new(attrs))
+    }
+
+    fn announce(&mut self, el: &mut EventLoop, net: Prefix<A>, attrs: Arc<PathAttributes>) {
+        self.announced.insert(net);
+        self.updates_sent += 1;
+        (self.writer)(el, UpdateOut::Announce(net, attrs));
+    }
+
+    fn withdraw(&mut self, el: &mut EventLoop, net: Prefix<A>) {
+        if self.announced.remove(&net) {
+            self.updates_sent += 1;
+            (self.writer)(el, UpdateOut::Withdraw(net));
+        }
+    }
+}
+
+impl<A: Addr> Stage<A, BgpRoute<A>> for PeerOut<A> {
+    fn name(&self) -> String {
+        format!("peer-out[{}]", self.peer.0)
+    }
+
+    fn route_op(&mut self, el: &mut EventLoop, _origin: OriginId, op: RouteOp<A, BgpRoute<A>>) {
+        let net = op.net();
+        match op.new_route().map(|r| self.transform(r)) {
+            // Add/Replace with an advertisable result.
+            Some(Some(attrs)) => self.announce(el, net, attrs),
+            // Add/Replace transformed away: if we had announced it, take
+            // it back.
+            Some(None) => self.withdraw(el, net),
+            // Delete.
+            None => self.withdraw(el, net),
+        }
+    }
+
+    fn lookup_route(&self, _net: &Prefix<A>) -> Option<BgpRoute<A>> {
+        None // terminal stage
+    }
+
+    fn push(&mut self, _el: &mut EventLoop) {}
+}
+
+/// Helper: collect a run of [`UpdateOut`]s into per-attribute batches, the
+/// way a session layer packs one UPDATE per shared attribute block.
+#[allow(clippy::type_complexity)]
+pub fn batch_updates<A: Addr>(
+    outs: &[UpdateOut<A>],
+) -> (Vec<Prefix<A>>, Vec<(Arc<PathAttributes>, Vec<Prefix<A>>)>) {
+    let mut withdrawn = Vec::new();
+    let mut announced: Vec<(Arc<PathAttributes>, Vec<Prefix<A>>)> = Vec::new();
+    for out in outs {
+        match out {
+            UpdateOut::Withdraw(net) => withdrawn.push(*net),
+            UpdateOut::Announce(net, attrs) => {
+                if let Some((last_attrs, nets)) = announced.last_mut() {
+                    if Arc::ptr_eq(last_attrs, attrs) || **last_attrs == **attrs {
+                        nets.push(*net);
+                        continue;
+                    }
+                }
+                announced.push((attrs.clone(), vec![*net]));
+            }
+        }
+    }
+    (withdrawn, announced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::net::Ipv4Addr;
+    use xorp_net::{AsPath, Community, ProtocolId};
+
+    type R = BgpRoute<Ipv4Addr>;
+
+    fn route(net: &str, f: impl FnOnce(&mut PathAttributes)) -> R {
+        let mut attrs = PathAttributes::new(IpAddr::V4("192.0.2.9".parse().unwrap()));
+        attrs.as_path = AsPath::from_sequence([65002]);
+        attrs.local_pref = Some(150);
+        f(&mut attrs);
+        R::new(net.parse().unwrap(), attrs.shared(), 0, ProtocolId::Ebgp)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn rig(
+        ebgp: bool,
+    ) -> (
+        EventLoop,
+        PeerOut<Ipv4Addr>,
+        Rc<RefCell<Vec<UpdateOut<Ipv4Addr>>>>,
+    ) {
+        let el = EventLoop::new_virtual();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        let po = PeerOut::new(
+            PeerId(1),
+            AsNum(65000),
+            ebgp,
+            IpAddr::V4("10.0.0.1".parse().unwrap()),
+            Rc::new(move |_el, u| s.borrow_mut().push(u)),
+        );
+        (el, po, seen)
+    }
+
+    fn add(r: R) -> RouteOp<Ipv4Addr, R> {
+        RouteOp::Add {
+            net: r.net,
+            route: r,
+        }
+    }
+
+    #[test]
+    fn ebgp_transform_prepends_and_rewrites() {
+        let (mut el, mut po, seen) = rig(true);
+        po.route_op(&mut el, OriginId(2), add(route("10.0.0.0/8", |_| {})));
+        let seen = seen.borrow();
+        match &seen[0] {
+            UpdateOut::Announce(net, attrs) => {
+                assert_eq!(*net, "10.0.0.0/8".parse().unwrap());
+                assert_eq!(attrs.as_path, AsPath::from_sequence([65000, 65002]));
+                assert_eq!(attrs.nexthop.to_string(), "10.0.0.1");
+                assert_eq!(attrs.local_pref, None); // stripped on EBGP
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ibgp_keeps_localpref_no_prepend() {
+        let (mut el, mut po, seen) = rig(false);
+        let mut r = route("10.0.0.0/8", |_| {});
+        // Learned over EBGP → may go to IBGP peers.
+        Arc::make_mut(&mut r.attrs).ebgp = true;
+        po.route_op(&mut el, OriginId(2), add(r));
+        let seen = seen.borrow();
+        match &seen[0] {
+            UpdateOut::Announce(_, attrs) => {
+                assert_eq!(attrs.as_path, AsPath::from_sequence([65002]));
+                assert_eq!(attrs.local_pref, Some(150));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ibgp_does_not_reflect_ibgp_routes() {
+        let (mut el, mut po, seen) = rig(false);
+        let mut r = route("10.0.0.0/8", |_| {});
+        Arc::make_mut(&mut r.attrs).ebgp = false; // learned over IBGP
+        po.route_op(&mut el, OriginId(2), add(r));
+        assert!(seen.borrow().is_empty());
+        assert_eq!(po.announced_count(), 0);
+    }
+
+    #[test]
+    fn no_export_honoured_on_ebgp_only() {
+        let with_noexport = |net: &str| route(net, |a| a.communities.push(Community::NO_EXPORT));
+        let (mut el, mut po, seen) = rig(true);
+        po.route_op(&mut el, OriginId(2), add(with_noexport("10.0.0.0/8")));
+        assert!(seen.borrow().is_empty());
+
+        let (mut el2, mut po2, seen2) = rig(false);
+        let mut r = with_noexport("10.0.0.0/8");
+        Arc::make_mut(&mut r.attrs).ebgp = true;
+        po2.route_op(&mut el2, OriginId(2), add(r));
+        assert_eq!(seen2.borrow().len(), 1); // IBGP still gets it
+    }
+
+    #[test]
+    fn withdraw_only_if_announced() {
+        let (mut el, mut po, seen) = rig(true);
+        let r = route("10.0.0.0/8", |a| a.communities.push(Community::NO_EXPORT));
+        po.route_op(&mut el, OriginId(2), add(r.clone()));
+        assert!(seen.borrow().is_empty()); // suppressed
+                                           // The delete for a never-announced route produces nothing.
+        po.route_op(&mut el, OriginId(2), RouteOp::Delete { net: r.net, old: r });
+        assert!(seen.borrow().is_empty());
+    }
+
+    #[test]
+    fn replace_to_suppressed_becomes_withdraw() {
+        let (mut el, mut po, seen) = rig(true);
+        let clean = route("10.0.0.0/8", |_| {});
+        po.route_op(&mut el, OriginId(2), add(clean.clone()));
+        assert_eq!(po.announced_count(), 1);
+        let tagged = route("10.0.0.0/8", |a| a.communities.push(Community::NO_EXPORT));
+        po.route_op(
+            &mut el,
+            OriginId(2),
+            RouteOp::Replace {
+                net: clean.net,
+                old: clean,
+                new: tagged,
+            },
+        );
+        assert_eq!(po.announced_count(), 0);
+        assert!(matches!(seen.borrow()[1], UpdateOut::Withdraw(_)));
+    }
+
+    #[test]
+    fn batching_groups_shared_attributes() {
+        let attrs1 = PathAttributes::new(IpAddr::V4("10.0.0.1".parse().unwrap())).shared();
+        let attrs2 = PathAttributes::new(IpAddr::V4("10.0.0.2".parse().unwrap())).shared();
+        let outs: Vec<UpdateOut<Ipv4Addr>> = vec![
+            UpdateOut::Withdraw("9.0.0.0/8".parse().unwrap()),
+            UpdateOut::Announce("10.0.0.0/8".parse().unwrap(), attrs1.clone()),
+            UpdateOut::Announce("11.0.0.0/8".parse().unwrap(), attrs1.clone()),
+            UpdateOut::Announce("12.0.0.0/8".parse().unwrap(), attrs2.clone()),
+        ];
+        let (withdrawn, announced) = batch_updates(&outs);
+        assert_eq!(withdrawn.len(), 1);
+        assert_eq!(announced.len(), 2);
+        assert_eq!(announced[0].1.len(), 2);
+        assert_eq!(announced[1].1.len(), 1);
+    }
+}

@@ -1,0 +1,590 @@
+//! The BGP session driver: glues the pure [`PeerFsm`] and the wire codec
+//! to a byte transport and the event loop's timers.
+//!
+//! The paper separates "packet formats and state machines" from route
+//! processing (§5); this module is the runtime that makes the separation
+//! usable: it executes [`FsmAction`]s (send OPEN, arm the hold timer,
+//! declare the peering up/down), parses inbound bytes into messages, and
+//! turns [`UpdateOut`]s from the Peer Out stage into wire UPDATEs.
+//!
+//! The transport is abstract ([`SessionTransport`]) so sessions run
+//! identically over real TCP (harness), an in-memory pipe (tests), or the
+//! FEA packet relay.
+
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::{Rc, Weak};
+use std::time::Duration;
+
+use bytes::BytesMut;
+use xorp_event::{EventLoop, TimerHandle};
+use xorp_net::AsNum;
+
+use crate::fsm::{FsmAction, FsmEvent, FsmState, PeerFsm};
+use crate::msg::{BgpMessage, OpenMessage, UpdateMessage};
+use crate::peer_out::UpdateOut;
+
+/// A byte-stream transport for one session.
+pub trait SessionTransport {
+    /// Start connecting; completion is reported via
+    /// [`Session::on_connected`] / [`Session::on_closed`].
+    fn connect(&self, el: &mut EventLoop);
+    /// Send bytes (session is connected).
+    fn send(&self, el: &mut EventLoop, bytes: &[u8]);
+    /// Close the connection.
+    fn close(&self, el: &mut EventLoop);
+}
+
+/// What the application (the BGP process glue) hears from a session.
+pub trait SessionHandler {
+    /// Session reached Established.
+    fn on_peering_up(&self, el: &mut EventLoop);
+    /// Session left Established.
+    fn on_peering_down(&self, el: &mut EventLoop);
+    /// An UPDATE arrived while Established.
+    fn on_update(&self, el: &mut EventLoop, update: UpdateMessage);
+}
+
+/// Static session parameters.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Our AS.
+    pub local_as: AsNum,
+    /// Our router id.
+    pub router_id: Ipv4Addr,
+    /// Proposed hold time, seconds.
+    pub hold_time: u16,
+    /// Connect-retry interval.
+    pub connect_retry: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            local_as: AsNum(65000),
+            router_id: Ipv4Addr::new(10, 0, 0, 1),
+            hold_time: 90,
+            connect_retry: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One BGP session.
+pub struct Session {
+    config: SessionConfig,
+    fsm: PeerFsm,
+    transport: Rc<dyn SessionTransport>,
+    handler: Rc<dyn SessionHandler>,
+    rxbuf: BytesMut,
+    hold_timer: Option<TimerHandle>,
+    keepalive_timer: Option<TimerHandle>,
+    retry_timer: Option<TimerHandle>,
+    me: Option<Weak<RefCell<Session>>>,
+    /// Messages sent (diagnostics).
+    pub messages_sent: u64,
+    /// Recent FSM events with resulting state (diagnostics; bounded).
+    pub history: std::collections::VecDeque<String>,
+}
+
+impl Session {
+    /// Build a session; wrap in `Rc<RefCell<_>>` and call
+    /// [`Session::attach`] then [`Session::start`].
+    pub fn new(
+        config: SessionConfig,
+        transport: Rc<dyn SessionTransport>,
+        handler: Rc<dyn SessionHandler>,
+    ) -> Session {
+        let hold = config.hold_time;
+        Session {
+            config,
+            fsm: PeerFsm::new(hold),
+            transport,
+            handler,
+            rxbuf: BytesMut::new(),
+            hold_timer: None,
+            keepalive_timer: None,
+            retry_timer: None,
+            me: None,
+            messages_sent: 0,
+            history: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Record the shared handle (timer callbacks re-enter through it).
+    pub fn attach(me: &Rc<RefCell<Session>>) {
+        me.borrow_mut().me = Some(Rc::downgrade(me));
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> FsmState {
+        self.fsm.state()
+    }
+
+    /// True when UPDATEs may flow.
+    pub fn is_established(&self) -> bool {
+        self.fsm.is_established()
+    }
+
+    /// The peer's OPEN, once seen.
+    pub fn peer_open(&self) -> Option<&OpenMessage> {
+        self.fsm.peer_open.as_ref()
+    }
+
+    /// Kick the session off (ManualStart).
+    pub fn start(el: &mut EventLoop, me: &Rc<RefCell<Session>>) {
+        Self::feed(el, me, FsmEvent::ManualStart);
+    }
+
+    /// Operator stop.
+    pub fn stop(el: &mut EventLoop, me: &Rc<RefCell<Session>>) {
+        Self::feed(el, me, FsmEvent::ManualStop);
+    }
+
+    /// The transport connected.
+    pub fn on_connected(el: &mut EventLoop, me: &Rc<RefCell<Session>>) {
+        Self::feed(el, me, FsmEvent::TcpConnected);
+    }
+
+    /// The transport closed or failed.
+    pub fn on_closed(el: &mut EventLoop, me: &Rc<RefCell<Session>>) {
+        Self::feed(el, me, FsmEvent::TcpClosed);
+    }
+
+    /// Bytes arrived from the transport.
+    pub fn on_bytes(el: &mut EventLoop, me: &Rc<RefCell<Session>>, bytes: &[u8]) {
+        me.borrow_mut().rxbuf.extend_from_slice(bytes);
+        loop {
+            let decoded = {
+                let mut s = me.borrow_mut();
+                BgpMessage::decode(&mut s.rxbuf)
+            };
+            match decoded {
+                Ok(Some(msg)) => Self::on_message(el, me, msg),
+                Ok(None) => return,
+                Err(_) => {
+                    // Framing is gone; reset the session.
+                    me.borrow_mut().rxbuf.clear();
+                    Self::feed(el, me, FsmEvent::TcpClosed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Send one UPDATE's worth of outbound changes (from Peer Out).
+    pub fn send_updates(
+        el: &mut EventLoop,
+        me: &Rc<RefCell<Session>>,
+        outs: &[UpdateOut<Ipv4Addr>],
+    ) {
+        if !me.borrow().is_established() {
+            return;
+        }
+        let (withdrawn, announced) = crate::peer_out::batch_updates(outs);
+        if !withdrawn.is_empty() {
+            Self::send_message(
+                el,
+                me,
+                BgpMessage::Update(UpdateMessage {
+                    withdrawn,
+                    ..Default::default()
+                }),
+            );
+        }
+        for (attrs, nlri) in announced {
+            let nexthop = match attrs.nexthop {
+                std::net::IpAddr::V4(a) => Some(a),
+                std::net::IpAddr::V6(_) => None,
+            };
+            Self::send_message(
+                el,
+                me,
+                BgpMessage::Update(UpdateMessage {
+                    withdrawn: vec![],
+                    origin: Some(attrs.origin),
+                    as_path: Some(attrs.as_path.clone()),
+                    nexthop,
+                    med: attrs.med,
+                    local_pref: attrs.local_pref,
+                    communities: attrs.communities.clone(),
+                    nlri,
+                }),
+            );
+        }
+    }
+
+    fn on_message(el: &mut EventLoop, me: &Rc<RefCell<Session>>, msg: BgpMessage) {
+        match msg {
+            BgpMessage::Open(open) => Self::feed(el, me, FsmEvent::OpenReceived(open)),
+            BgpMessage::KeepAlive => Self::feed(el, me, FsmEvent::KeepAliveReceived),
+            BgpMessage::Notification { .. } => Self::feed(el, me, FsmEvent::NotificationReceived),
+            BgpMessage::Update(update) => {
+                Self::feed(el, me, FsmEvent::UpdateReceived);
+                if me.borrow().is_established() {
+                    let handler = me.borrow().handler.clone();
+                    handler.on_update(el, update);
+                }
+            }
+        }
+    }
+
+    /// Feed an FSM event and execute the resulting actions.
+    pub fn feed(el: &mut EventLoop, me: &Rc<RefCell<Session>>, event: FsmEvent) {
+        let actions = {
+            let mut s = me.borrow_mut();
+            let label = format!("{event:?}");
+            let actions = s.fsm.handle(event);
+            let entry = format!("{label} -> {:?} {actions:?}", s.fsm.state());
+            if s.history.len() >= 64 {
+                s.history.pop_front();
+            }
+            s.history.push_back(entry);
+            actions
+        };
+        for action in actions {
+            Self::execute(el, me, action);
+        }
+    }
+
+    fn execute(el: &mut EventLoop, me: &Rc<RefCell<Session>>, action: FsmAction) {
+        match action {
+            FsmAction::Connect => {
+                let t = me.borrow().transport.clone();
+                t.connect(el);
+            }
+            FsmAction::Close => {
+                let t = me.borrow().transport.clone();
+                t.close(el);
+            }
+            FsmAction::SendOpen => {
+                let open = {
+                    let s = me.borrow();
+                    BgpMessage::Open(OpenMessage {
+                        version: 4,
+                        asn: s.config.local_as,
+                        hold_time: s.config.hold_time,
+                        router_id: s.config.router_id,
+                    })
+                };
+                Self::send_message(el, me, open);
+            }
+            FsmAction::SendKeepAlive => Self::send_message(el, me, BgpMessage::KeepAlive),
+            FsmAction::SendNotification(code) => {
+                Self::send_message(el, me, BgpMessage::Notification { code, subcode: 0 });
+            }
+            FsmAction::StartConnectRetry => {
+                let weak = me.borrow().me.clone().expect("attach not called");
+                let retry = me.borrow().config.connect_retry;
+                Self::cancel(el, me, |s| s.retry_timer.take());
+                let h = el.after(retry, move |el| {
+                    if let Some(rc) = weak.upgrade() {
+                        Self::feed(el, &rc, FsmEvent::ConnectRetryExpired);
+                    }
+                });
+                me.borrow_mut().retry_timer = Some(h);
+            }
+            FsmAction::StopConnectRetry => {
+                Self::cancel(el, me, |s| s.retry_timer.take());
+            }
+            FsmAction::StartHoldTimer => {
+                let weak = me.borrow().me.clone().expect("attach not called");
+                let hold = Duration::from_secs(me.borrow().fsm.hold_time as u64);
+                Self::cancel(el, me, |s| s.hold_timer.take());
+                if hold.is_zero() {
+                    return; // hold time 0 disables the timer (RFC 4271)
+                }
+                let h = el.after(hold, move |el| {
+                    if let Some(rc) = weak.upgrade() {
+                        Self::feed(el, &rc, FsmEvent::HoldTimerExpired);
+                    }
+                });
+                me.borrow_mut().hold_timer = Some(h);
+            }
+            FsmAction::StartKeepaliveTimer => {
+                let weak = me.borrow().me.clone().expect("attach not called");
+                let interval = Duration::from_secs((me.borrow().fsm.hold_time as u64 / 3).max(1));
+                Self::cancel(el, me, |s| s.keepalive_timer.take());
+                let h = el.after(interval, move |el| {
+                    if let Some(rc) = weak.upgrade() {
+                        Self::feed(el, &rc, FsmEvent::KeepaliveTimerExpired);
+                    }
+                });
+                me.borrow_mut().keepalive_timer = Some(h);
+            }
+            FsmAction::StopTimers => {
+                Self::cancel(el, me, |s| s.hold_timer.take());
+                Self::cancel(el, me, |s| s.keepalive_timer.take());
+                Self::cancel(el, me, |s| s.retry_timer.take());
+            }
+            FsmAction::PeeringUp => {
+                let h = me.borrow().handler.clone();
+                h.on_peering_up(el);
+            }
+            FsmAction::PeeringDown => {
+                let h = me.borrow().handler.clone();
+                h.on_peering_down(el);
+            }
+        }
+    }
+
+    fn cancel(
+        el: &mut EventLoop,
+        me: &Rc<RefCell<Session>>,
+        take: impl FnOnce(&mut Session) -> Option<TimerHandle>,
+    ) {
+        if let Some(h) = take(&mut me.borrow_mut()) {
+            el.cancel(h);
+        }
+    }
+
+    fn send_message(el: &mut EventLoop, me: &Rc<RefCell<Session>>, msg: BgpMessage) {
+        let bytes = msg.encode();
+        let t = me.borrow().transport.clone();
+        me.borrow_mut().messages_sent += 1;
+        t.send(el, &bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// An in-memory duplex pipe: two sessions on one loop, each `send`
+    /// defers delivery of the bytes to the other side (so every message is
+    /// its own event, like real I/O).
+    struct Pipe {
+        peer: RefCell<Option<Weak<RefCell<Session>>>>,
+        connected: std::cell::Cell<bool>,
+        /// Bytes queued before the peer was wired up.
+        backlog: RefCell<VecDeque<Vec<u8>>>,
+    }
+
+    impl Pipe {
+        fn new() -> Rc<Pipe> {
+            Rc::new(Pipe {
+                peer: RefCell::new(None),
+                connected: std::cell::Cell::new(false),
+                backlog: RefCell::new(VecDeque::new()),
+            })
+        }
+
+        fn wire(&self, peer: &Rc<RefCell<Session>>) {
+            *self.peer.borrow_mut() = Some(Rc::downgrade(peer));
+        }
+    }
+
+    impl SessionTransport for Pipe {
+        fn connect(&self, _el: &mut EventLoop) {
+            self.connected.set(true);
+            // Completion is reported by the test rig, which connects both
+            // ends and then fires on_connected on each.
+        }
+
+        fn send(&self, el: &mut EventLoop, bytes: &[u8]) {
+            let peer = self.peer.borrow().clone();
+            let bytes = bytes.to_vec();
+            match peer {
+                Some(weak) => el.defer(move |el| {
+                    if let Some(rc) = weak.upgrade() {
+                        Session::on_bytes(el, &rc, &bytes);
+                    }
+                }),
+                None => self.backlog.borrow_mut().push_back(bytes),
+            }
+        }
+
+        fn close(&self, _el: &mut EventLoop) {
+            self.connected.set(false);
+        }
+    }
+
+    struct Recorder {
+        ups: std::cell::Cell<u32>,
+        downs: std::cell::Cell<u32>,
+        updates: RefCell<Vec<UpdateMessage>>,
+    }
+
+    impl Recorder {
+        fn new() -> Rc<Recorder> {
+            Rc::new(Recorder {
+                ups: std::cell::Cell::new(0),
+                downs: std::cell::Cell::new(0),
+                updates: RefCell::new(Vec::new()),
+            })
+        }
+    }
+
+    impl SessionHandler for Recorder {
+        fn on_peering_up(&self, _el: &mut EventLoop) {
+            self.ups.set(self.ups.get() + 1);
+        }
+        fn on_peering_down(&self, _el: &mut EventLoop) {
+            self.downs.set(self.downs.get() + 1);
+        }
+        fn on_update(&self, _el: &mut EventLoop, update: UpdateMessage) {
+            self.updates.borrow_mut().push(update);
+        }
+    }
+
+    struct Rig {
+        el: EventLoop,
+        a: Rc<RefCell<Session>>,
+        b: Rc<RefCell<Session>>,
+        ha: Rc<Recorder>,
+        hb: Rc<Recorder>,
+    }
+
+    fn rig() -> Rig {
+        let mut el = EventLoop::new_virtual();
+        let pa = Pipe::new();
+        let pb = Pipe::new();
+        let ha = Recorder::new();
+        let hb = Recorder::new();
+        let a = Rc::new(RefCell::new(Session::new(
+            SessionConfig {
+                local_as: AsNum(65001),
+                router_id: "10.0.0.1".parse().unwrap(),
+                ..Default::default()
+            },
+            pa.clone(),
+            ha.clone(),
+        )));
+        let b = Rc::new(RefCell::new(Session::new(
+            SessionConfig {
+                local_as: AsNum(65002),
+                router_id: "10.0.0.2".parse().unwrap(),
+                hold_time: 30, // negotiates down to 30
+                ..Default::default()
+            },
+            pb.clone(),
+            hb.clone(),
+        )));
+        Session::attach(&a);
+        Session::attach(&b);
+        pa.wire(&b);
+        pb.wire(&a);
+        Session::start(&mut el, &a);
+        Session::start(&mut el, &b);
+        // The "TCP" comes up for both ends.
+        Session::on_connected(&mut el, &a);
+        Session::on_connected(&mut el, &b);
+        el.run_until_idle();
+        Rig { el, a, b, ha, hb }
+    }
+
+    #[test]
+    fn sessions_establish_and_negotiate() {
+        let r = rig();
+        assert!(r.a.borrow().is_established());
+        assert!(r.b.borrow().is_established());
+        assert_eq!(r.ha.ups.get(), 1);
+        assert_eq!(r.hb.ups.get(), 1);
+        // Hold time negotiated to min(90, 30).
+        assert_eq!(r.a.borrow().fsm.hold_time, 30);
+        assert_eq!(r.b.borrow().fsm.hold_time, 30);
+        assert_eq!(r.a.borrow().peer_open().unwrap().asn, AsNum(65002));
+    }
+
+    #[test]
+    fn updates_flow_between_sessions() {
+        let mut r = rig();
+        let attrs = {
+            let mut a =
+                xorp_net::PathAttributes::new(std::net::IpAddr::V4("192.0.2.1".parse().unwrap()));
+            a.as_path = xorp_net::AsPath::from_sequence([65001]);
+            std::sync::Arc::new(a)
+        };
+        let outs = vec![
+            UpdateOut::Announce(
+                "10.0.0.0/8".parse::<xorp_net::Prefix<Ipv4Addr>>().unwrap(),
+                attrs,
+            ),
+            UpdateOut::Withdraw("20.0.0.0/8".parse().unwrap()),
+        ];
+        Session::send_updates(&mut r.el, &r.a, &outs);
+        r.el.run_until_idle();
+        let updates = r.hb.updates.borrow();
+        assert_eq!(updates.len(), 2); // one withdraw msg + one announce msg
+        assert_eq!(updates[0].withdrawn.len(), 1);
+        assert_eq!(updates[1].nlri.len(), 1);
+        assert_eq!(
+            updates[1].as_path.as_ref().unwrap(),
+            &xorp_net::AsPath::from_sequence([65001])
+        );
+    }
+
+    #[test]
+    fn keepalives_maintain_the_session() {
+        let mut r = rig();
+        // Run for several negotiated hold periods: keepalive timers (10 s)
+        // must keep both sessions alive.
+        r.el.run_for(Duration::from_secs(120));
+        assert!(r.a.borrow().is_established());
+        assert!(r.b.borrow().is_established());
+        assert_eq!(r.ha.downs.get(), 0);
+        // Keepalives were actually exchanged.
+        assert!(r.a.borrow().messages_sent > 4);
+    }
+
+    #[test]
+    fn hold_timer_expiry_drops_the_session() {
+        let mut r = rig();
+        // Sabotage: cancel B's keepalive timer so it goes silent.
+        {
+            let mut b = r.b.borrow_mut();
+            let h = b.keepalive_timer.take().unwrap();
+            drop(b);
+            r.el.cancel(h);
+        }
+        r.el.run_for(Duration::from_secs(40)); // hold time is 30
+        assert!(!r.a.borrow().is_established());
+        assert_eq!(r.ha.downs.get(), 1);
+    }
+
+    #[test]
+    fn manual_stop_notifies_peer() {
+        let mut r = rig();
+        Session::stop(&mut r.el, &r.a);
+        r.el.run_until_idle();
+        assert!(!r.a.borrow().is_established());
+        assert_eq!(r.ha.downs.get(), 1);
+        // B heard the notification... (A sends Cease? our FSM sends
+        // nothing on ManualStop except Close; B sees silence until hold
+        // timer). Advance past hold.
+        r.el.run_for(Duration::from_secs(35));
+        assert!(!r.b.borrow().is_established());
+    }
+
+    #[test]
+    fn garbage_bytes_reset_session() {
+        let mut r = rig();
+        Session::on_bytes(&mut r.el, &r.a, &[0u8; 64]); // bad marker
+        r.el.run_until_idle();
+        assert!(!r.a.borrow().is_established());
+        assert_eq!(r.ha.downs.get(), 1);
+    }
+
+    #[test]
+    fn updates_before_established_are_ignored() {
+        let mut el = EventLoop::new_virtual();
+        let pipe = Pipe::new();
+        let h = Recorder::new();
+        let s = Rc::new(RefCell::new(Session::new(
+            SessionConfig::default(),
+            pipe,
+            h.clone(),
+        )));
+        Session::attach(&s);
+        // Deliver an UPDATE to an idle session.
+        let update = BgpMessage::Update(UpdateMessage {
+            nlri: vec!["10.0.0.0/8".parse().unwrap()],
+            origin: Some(xorp_net::Origin::Igp),
+            as_path: Some(xorp_net::AsPath::from_sequence([1])),
+            nexthop: Some("192.0.2.1".parse().unwrap()),
+            ..Default::default()
+        });
+        Session::on_bytes(&mut el, &s, &update.encode());
+        assert!(h.updates.borrow().is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the BGP wire format and session byte handling:
+//! round-trips for arbitrary messages, decoder robustness against
+//! arbitrary bytes, and invariance under arbitrary TCP segmentation.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use xorp_bgp::msg::{BgpMessage, OpenMessage, UpdateMessage};
+use xorp_net::{AsNum, AsPath, AsPathSegment, Community, Ipv4Net, Origin, Prefix};
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Net> {
+    (any::<u32>(), 0u8..=32).prop_map(|(b, l)| Prefix::new(std::net::Ipv4Addr::from(b), l).unwrap())
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(any::<u32>().prop_map(AsNum), 1..6)
+                .prop_map(AsPathSegment::Sequence),
+            proptest::collection::vec(any::<u32>().prop_map(AsNum), 1..6)
+                .prop_map(AsPathSegment::Set),
+        ],
+        0..4,
+    )
+    .prop_map(AsPath::from_segments)
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateMessage> {
+    (
+        proptest::collection::vec(arb_prefix(), 0..20),
+        proptest::option::of(0u8..3),
+        proptest::option::of(arb_as_path()),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::collection::vec(any::<u32>().prop_map(Community), 0..8),
+        proptest::collection::vec(arb_prefix(), 0..20),
+    )
+        .prop_map(
+            |(withdrawn, origin, as_path, nexthop, med, local_pref, communities, nlri)| {
+                UpdateMessage {
+                    withdrawn,
+                    origin: origin.and_then(Origin::from_u8),
+                    as_path,
+                    nexthop: nexthop.map(std::net::Ipv4Addr::from),
+                    med,
+                    local_pref,
+                    communities,
+                    nlri,
+                }
+            },
+        )
+}
+
+fn arb_message() -> impl Strategy<Value = BgpMessage> {
+    prop_oneof![
+        Just(BgpMessage::KeepAlive),
+        (any::<u32>(), any::<u16>(), any::<u32>()).prop_map(|(asn, hold, rid)| {
+            BgpMessage::Open(OpenMessage {
+                version: 4,
+                asn: AsNum(asn),
+                hold_time: hold,
+                router_id: std::net::Ipv4Addr::from(rid),
+            })
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(c, s)| BgpMessage::Notification {
+            code: xorp_bgp::NotificationCode::Other(c.max(1)),
+            subcode: s,
+        }),
+        arb_update().prop_map(BgpMessage::Update),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let mut buf = msg.encode();
+        let decoded = BgpMessage::decode(&mut buf).unwrap().unwrap();
+        prop_assert!(buf.is_empty());
+        // Notification codes normalize through known values.
+        match (&decoded, &msg) {
+            (BgpMessage::Notification { subcode: a, .. }, BgpMessage::Notification { subcode: b, .. }) => {
+                prop_assert_eq!(a, b);
+            }
+            _ => prop_assert_eq!(&decoded, &msg),
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        let _ = BgpMessage::decode(&mut buf);
+    }
+
+    /// A message stream split at arbitrary points decodes to the same
+    /// messages — TCP segmentation invariance, which is exactly what the
+    /// session's rx buffer must guarantee.
+    #[test]
+    fn segmentation_invariance(
+        msgs in proptest::collection::vec(arb_message(), 1..6),
+        cuts in proptest::collection::vec(any::<u16>(), 0..10),
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&m.encode());
+        }
+        // Derive cut points inside the stream.
+        let mut points: Vec<usize> = cuts
+            .into_iter()
+            .map(|c| c as usize % wire.len().max(1))
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        let mut prev = 0;
+        for p in points.into_iter().chain(std::iter::once(wire.len())) {
+            buf.extend_from_slice(&wire[prev..p]);
+            prev = p;
+            while let Ok(Some(m)) = BgpMessage::decode(&mut buf) {
+                decoded.push(m);
+            }
+        }
+        prop_assert_eq!(decoded.len(), msgs.len());
+        for (d, m) in decoded.iter().zip(&msgs) {
+            match (d, m) {
+                (BgpMessage::Notification { subcode: a, .. }, BgpMessage::Notification { subcode: b, .. }) => {
+                    prop_assert_eq!(a, b);
+                }
+                _ => prop_assert_eq!(d, m),
+            }
+        }
+    }
+
+    /// RIP packets round-trip too (shared fuzz target for the other wire
+    /// format in the stack).
+    #[test]
+    fn rip_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = xorp_rip::RipPacket::decode(&bytes);
+    }
+}

@@ -1,0 +1,88 @@
+//! # xorp — extensible IP router software in Rust
+//!
+//! A from-scratch Rust reproduction of the system described in
+//! *Designing Extensible IP Router Software* (Handley, Kohler, Ghosh,
+//! Hodson, Radoslavov — NSDI 2005): the XORP routing control plane.
+//!
+//! The crate is an umbrella over the workspace:
+//!
+//! | module | crate | paper § |
+//! |---|---|---|
+//! | [`net`] | `xorp-net` | route/prefix primitives, Patricia trie with safe iterators (§5.3) |
+//! | [`event`] | `xorp-event` | single-threaded event loop, background tasks (§4) |
+//! | [`xrl`] | `xorp-xrl` | XRL IPC: Finder, transports, security keys (§6, §7) |
+//! | [`stages`] | `xorp-stages` | the staged routing-table framework (§5) |
+//! | [`policy`] | `xorp-policy` | the route-policy stack language (§8.3) |
+//! | [`rib`] | `xorp-rib` | staged RIB, interest registration (§5.2) |
+//! | [`bgp`] | `xorp-bgp` | staged BGP-4: Figures 4–6 (§5.1) |
+//! | [`rip`] | `xorp-rip` | RIPv2 |
+//! | [`fea`] | `xorp-fea` | forwarding engine abstraction (§3) |
+//! | [`rtrmgr`] | `xorp-rtrmgr` | configuration and lifecycle (§3) |
+//! | [`profiler`] | `xorp-profiler` | the §8.2 profiling points |
+//!
+//! ## Quickstart: a RIB arbitrating two protocols
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xorp::event::EventLoop;
+//! use xorp::net::{PathAttributes, ProtocolId, RouteEntry};
+//! use xorp::rib::Rib;
+//!
+//! let mut el = EventLoop::new_virtual();
+//! let mut rib: Rib<std::net::Ipv4Addr> = Rib::new(true); // consistency-checked
+//!
+//! let route = |nh: &str, proto| {
+//!     let mut r = RouteEntry::new(
+//!         "10.0.0.0/8".parse().unwrap(),
+//!         Arc::new(PathAttributes::new(nh.parse::<std::net::Ipv4Addr>().unwrap().into())),
+//!         1,
+//!         proto,
+//!     );
+//!     r.ifname = Some("eth0".into());
+//!     r
+//! };
+//!
+//! rib.add_route(&mut el, route("192.0.2.1", ProtocolId::Rip));
+//! rib.add_route(&mut el, route("192.0.2.2", ProtocolId::Static));
+//!
+//! // Administrative distance: static (1) beats RIP (120).
+//! let best = rib.lookup_exact(&"10.0.0.0/8".parse().unwrap()).unwrap();
+//! assert_eq!(best.proto, ProtocolId::Static);
+//! assert!(rib.consistency_violations().is_empty());
+//! ```
+//!
+//! ## Scriptable IPC in one line
+//!
+//! ```
+//! use std::time::Duration;
+//! use xorp::event::EventLoop;
+//! use xorp::xrl::{Finder, XrlArgs, XrlRouter};
+//! use xorp::xrl::script::call_xrl_sync;
+//!
+//! let mut el = EventLoop::new();
+//! let router = XrlRouter::new(&mut el, Finder::new());
+//! router.register_target("demo", "demo-0", true).unwrap();
+//! router.add_fn("demo-0", "demo/1.0/add", |_el, args| {
+//!     Ok(XrlArgs::new().add_u32("sum", args.get_u32("a")? + args.get_u32("b")?))
+//! });
+//!
+//! let reply = call_xrl_sync(
+//!     &mut el,
+//!     &router,
+//!     "finder://demo/demo/1.0/add?a:u32=2&b:u32=40",
+//!     Duration::from_secs(5),
+//! ).unwrap();
+//! assert_eq!(reply.get_u32("sum").unwrap(), 42);
+//! ```
+
+pub use xorp_bgp as bgp;
+pub use xorp_event as event;
+pub use xorp_fea as fea;
+pub use xorp_net as net;
+pub use xorp_policy as policy;
+pub use xorp_profiler as profiler;
+pub use xorp_rib as rib;
+pub use xorp_rip as rip;
+pub use xorp_rtrmgr as rtrmgr;
+pub use xorp_stages as stages;
+pub use xorp_xrl as xrl;

@@ -1,0 +1,24 @@
+//! Cooperative background tasks (§4).
+//!
+//! "XORP supports background tasks ... which run only when no events are
+//! being processed.  These background tasks are essentially cooperative
+//! threads: they divide processing up into small slices, and voluntarily
+//! return execution to the process's main event loop from time to time
+//! until they complete."
+
+use crate::eventloop::EventLoop;
+
+/// What a background-task slice reports back to the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceResult {
+    /// More work remains; reschedule the task for the next idle moment.
+    Continue,
+    /// The task is finished; unplumb it.
+    Done,
+}
+
+/// A background task: a closure run one bounded slice at a time.
+pub(crate) struct BackgroundTask {
+    pub(crate) id: u64,
+    pub(crate) f: Box<dyn FnMut(&mut EventLoop) -> SliceResult>,
+}

@@ -1,0 +1,722 @@
+//! The event loop itself.
+
+use std::any::{Any, TypeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::background::{BackgroundTask, SliceResult};
+use crate::time::{ClockKind, Time};
+
+/// A callback dispatched by the loop.  Callbacks receive the loop itself so
+/// they can schedule timers, post events and plumb background tasks.
+type LocalEvent = Box<dyn FnOnce(&mut EventLoop)>;
+/// A callback posted from another thread (I/O reader threads, other
+/// "processes").
+type RemoteEvent = Box<dyn FnOnce(&mut EventLoop) + Send>;
+
+/// Handle for cancelling a timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle(u64);
+
+/// Handle for cancelling a background task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BackgroundHandle(u64);
+
+struct TimerEntry {
+    deadline: Time,
+    seq: u64,
+    id: u64,
+    cb: LocalEvent,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// Cross-thread handle for posting events into a loop.
+///
+/// This is how I/O reader threads and other router processes inject work:
+/// the closure runs on the loop's thread, to completion, in arrival order.
+#[derive(Clone)]
+pub struct EventSender {
+    tx: Sender<RemoteEvent>,
+}
+
+impl EventSender {
+    /// Post a closure to run on the loop thread.  Returns `false` if the
+    /// loop has been dropped.
+    pub fn post<F: FnOnce(&mut EventLoop) + Send + 'static>(&self, f: F) -> bool {
+        self.tx.send(Box::new(f)).is_ok()
+    }
+
+    /// Ask the loop to stop after the current event.
+    pub fn stop(&self) -> bool {
+        self.post(|el| el.stop())
+    }
+}
+
+/// A single-threaded event loop: timers + posted events + background
+/// slices, driven by a real or virtual clock.
+pub struct EventLoop {
+    kind: ClockKind,
+    start: Instant,
+    vnow: Time,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    cancelled: HashSet<u64>,
+    next_id: u64,
+    seq: u64,
+    rx: Receiver<RemoteEvent>,
+    tx: Sender<RemoteEvent>,
+    local: VecDeque<LocalEvent>,
+    background: VecDeque<BackgroundTask>,
+    cancelled_bg: HashSet<u64>,
+    stopped: bool,
+    slots: HashMap<TypeId, Box<dyn Any>>,
+}
+
+impl Default for EventLoop {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventLoop {
+    /// A loop driven by the wall clock.
+    pub fn new() -> Self {
+        Self::with_clock(ClockKind::Real)
+    }
+
+    /// A loop driven by virtual time: deterministic, and as fast as the CPU
+    /// allows — idle periods are skipped by jumping to the next deadline.
+    pub fn new_virtual() -> Self {
+        Self::with_clock(ClockKind::Virtual)
+    }
+
+    fn with_clock(kind: ClockKind) -> Self {
+        let (tx, rx) = unbounded();
+        EventLoop {
+            kind,
+            start: Instant::now(),
+            vnow: Time::ZERO,
+            timers: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 1,
+            seq: 0,
+            rx,
+            tx,
+            local: VecDeque::new(),
+            background: VecDeque::new(),
+            cancelled_bg: HashSet::new(),
+            stopped: false,
+            slots: HashMap::new(),
+        }
+    }
+
+    /// Which clock drives this loop.
+    pub fn clock_kind(&self) -> ClockKind {
+        self.kind
+    }
+
+    /// Current loop time.
+    pub fn now(&self) -> Time {
+        match self.kind {
+            ClockKind::Real => Time(self.start.elapsed().as_nanos() as u64),
+            ClockKind::Virtual => self.vnow,
+        }
+    }
+
+    /// A cloneable cross-thread sender for this loop.
+    pub fn sender(&self) -> EventSender {
+        EventSender {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Request the loop stop once the current event completes.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// True once [`EventLoop::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    // ----- typed context slots --------------------------------------------
+    //
+    // A loop hosts one value per type: the XRL router, a protocol process,
+    // etc.  Cross-thread closures (which must be `Send`) reach the loop's
+    // single-threaded state through these slots instead of capturing it.
+
+    /// Store `v` in the loop's slot for type `T`, replacing any previous
+    /// value of that type.
+    pub fn set_slot<T: 'static>(&mut self, v: T) {
+        self.slots.insert(TypeId::of::<T>(), Box::new(v));
+    }
+
+    /// Borrow the slot for type `T`.
+    pub fn slot<T: 'static>(&self) -> Option<&T> {
+        self.slots
+            .get(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref())
+    }
+
+    /// Mutably borrow the slot for type `T`.
+    pub fn slot_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.slots
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut())
+    }
+
+    /// Remove and return the slot for type `T`.
+    pub fn remove_slot<T: 'static>(&mut self) -> Option<T> {
+        self.slots
+            .remove(&TypeId::of::<T>())
+            .and_then(|b| b.downcast().ok())
+            .map(|b| *b)
+    }
+
+    // ----- scheduling ----------------------------------------------------
+
+    /// Post an event to run after all currently queued events.
+    pub fn defer<F: FnOnce(&mut EventLoop) + 'static>(&mut self, f: F) {
+        self.local.push_back(Box::new(f));
+    }
+
+    /// Run `f` once at absolute loop time `t` (immediately if `t` is past).
+    pub fn at<F: FnOnce(&mut EventLoop) + 'static>(&mut self, t: Time, f: F) -> TimerHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.schedule(t, id, Box::new(f));
+        TimerHandle(id)
+    }
+
+    /// Run `f` once after `d`.
+    pub fn after<F: FnOnce(&mut EventLoop) + 'static>(&mut self, d: Duration, f: F) -> TimerHandle {
+        let t = self.now() + d;
+        self.at(t, f)
+    }
+
+    /// Run `f` every `d`, starting one period from now, until cancelled.
+    pub fn every<F: FnMut(&mut EventLoop) + 'static>(&mut self, d: Duration, f: F) -> TimerHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline = self.now() + d;
+        self.arm_periodic(deadline, id, d, Box::new(f));
+        TimerHandle(id)
+    }
+
+    fn arm_periodic(
+        &mut self,
+        deadline: Time,
+        id: u64,
+        period: Duration,
+        mut f: Box<dyn FnMut(&mut EventLoop)>,
+    ) {
+        self.schedule(
+            deadline,
+            id,
+            Box::new(move |el| {
+                f(el);
+                // Re-arm under the same id so a held TimerHandle still
+                // cancels the series.  Skip if cancelled inside f.
+                if !el.cancelled.contains(&id) {
+                    let next = deadline + period;
+                    el.arm_periodic(next, id, period, f);
+                }
+            }),
+        );
+    }
+
+    fn schedule(&mut self, deadline: Time, id: u64, cb: LocalEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timers.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            id,
+            cb,
+        }));
+    }
+
+    /// Cancel a pending (or periodic) timer.
+    pub fn cancel(&mut self, h: TimerHandle) {
+        self.cancelled.insert(h.0);
+    }
+
+    /// Plumb a background task: `f` is called with the loop whenever no
+    /// events are pending, until it returns [`SliceResult::Done`].
+    /// Multiple background tasks round-robin.
+    pub fn spawn_background<F: FnMut(&mut EventLoop) -> SliceResult + 'static>(
+        &mut self,
+        f: F,
+    ) -> BackgroundHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.background
+            .push_back(BackgroundTask { id, f: Box::new(f) });
+        BackgroundHandle(id)
+    }
+
+    /// Cancel a background task before it completes.
+    pub fn cancel_background(&mut self, h: BackgroundHandle) {
+        self.cancelled_bg.insert(h.0);
+    }
+
+    /// Number of live background tasks.
+    pub fn background_count(&self) -> usize {
+        self.background
+            .iter()
+            .filter(|t| !self.cancelled_bg.contains(&t.id))
+            .count()
+    }
+
+    // ----- running -------------------------------------------------------
+
+    /// Process at most one pending item (event, due timer, or background
+    /// slice).  Returns `true` if anything ran.  Never blocks and never
+    /// advances virtual time.
+    pub fn run_one(&mut self) -> bool {
+        // Local (deferred) events first: they were queued by callbacks that
+        // ran before anything currently in the remote queue was accepted.
+        if let Some(f) = self.local.pop_front() {
+            f(self);
+            return true;
+        }
+        match self.rx.try_recv() {
+            Ok(f) => {
+                f(self);
+                return true;
+            }
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
+        }
+        if self.fire_due_timer() {
+            return true;
+        }
+        self.run_background_slice()
+    }
+
+    fn fire_due_timer(&mut self) -> bool {
+        let now = self.now();
+        while let Some(Reverse(top)) = self.timers.peek() {
+            if top.deadline > now {
+                return false;
+            }
+            let Reverse(entry) = self.timers.pop().unwrap();
+            if self.cancelled.remove(&entry.id) {
+                continue; // cancelled; swallow and keep looking
+            }
+            (entry.cb)(self);
+            return true;
+        }
+        false
+    }
+
+    fn run_background_slice(&mut self) -> bool {
+        while let Some(mut task) = self.background.pop_front() {
+            if self.cancelled_bg.remove(&task.id) {
+                continue;
+            }
+            let result = (task.f)(self);
+            if result == SliceResult::Continue && !self.cancelled_bg.remove(&task.id) {
+                self.background.push_back(task);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// The earliest pending (non-cancelled) timer deadline.
+    fn next_deadline(&mut self) -> Option<Time> {
+        while let Some(Reverse(top)) = self.timers.peek() {
+            if self.cancelled.contains(&top.id) {
+                let Reverse(entry) = self.timers.pop().unwrap();
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(top.deadline);
+        }
+        None
+    }
+
+    /// Run until there is nothing runnable *right now*: queues empty, no
+    /// due timers, no background tasks.  Future timers are left pending.
+    /// Virtual time does not advance.  Returns the number of items run.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut n = 0;
+        while !self.stopped && self.run_one() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run, advancing time, until loop time reaches `until` or the loop is
+    /// stopped.
+    ///
+    /// * Virtual clock: processes everything runnable, then jumps `vnow`
+    ///   to the next timer deadline; returns when no work remains before
+    ///   `until` (leaving `vnow == until`).
+    /// * Real clock: blocks on the event channel between deadlines.
+    pub fn run_until(&mut self, until: Time) -> usize {
+        let mut n = 0;
+        loop {
+            if self.stopped {
+                return n;
+            }
+            if self.run_one() {
+                n += 1;
+                continue;
+            }
+            // Nothing runnable: wait for or jump to the next deadline.
+            match self.kind {
+                ClockKind::Virtual => {
+                    match self.next_deadline() {
+                        Some(d) if d <= until => {
+                            self.vnow = self.vnow.max(d);
+                            // loop; timer now due
+                        }
+                        _ => {
+                            self.vnow = self.vnow.max(until);
+                            return n;
+                        }
+                    }
+                }
+                ClockKind::Real => {
+                    let now = self.now();
+                    if now >= until {
+                        return n;
+                    }
+                    let wait_until = match self.next_deadline() {
+                        Some(d) => d.min(until),
+                        None => until,
+                    };
+                    let dur = wait_until - now;
+                    match self.rx.recv_timeout(dur) {
+                        Ok(f) => {
+                            f(self);
+                            n += 1;
+                        }
+                        Err(_) => { /* timeout or disconnect: loop re-checks */ }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run for `d` from now; see [`EventLoop::run_until`].
+    pub fn run_for(&mut self, d: Duration) -> usize {
+        let t = self.now() + d;
+        self.run_until(t)
+    }
+
+    /// Run until [`EventLoop::stop`] is called (from a callback or via
+    /// [`EventSender::stop`]).
+    pub fn run(&mut self) {
+        loop {
+            if self.stopped {
+                return;
+            }
+            if self.run_one() {
+                continue;
+            }
+            match self.kind {
+                ClockKind::Virtual => match self.next_deadline() {
+                    Some(d) => self.vnow = self.vnow.max(d),
+                    None => {
+                        // A virtual loop with no timers can only be woken by
+                        // a remote event; block for one.
+                        match self.rx.recv() {
+                            Ok(f) => f(self),
+                            Err(_) => return,
+                        }
+                    }
+                },
+                ClockKind::Real => {
+                    let wait = self
+                        .next_deadline()
+                        .map(|d| d - self.now())
+                        .unwrap_or(Duration::from_millis(100));
+                    if let Ok(f) = self.rx.recv_timeout(wait.max(Duration::from_micros(1))) {
+                        f(self)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn defer_runs_in_order() {
+        let mut el = EventLoop::new_virtual();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let log = log.clone();
+            el.defer(move |_| log.borrow_mut().push(i));
+        }
+        el.run_until_idle();
+        assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn virtual_timers_fire_in_deadline_order() {
+        let mut el = EventLoop::new_virtual();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        let l3 = log.clone();
+        el.after(Duration::from_secs(3), move |_| l1.borrow_mut().push(3));
+        el.after(Duration::from_secs(1), move |_| l2.borrow_mut().push(1));
+        el.after(Duration::from_secs(2), move |_| l3.borrow_mut().push(2));
+        el.run_until(Time::from_secs(10));
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(el.now(), Time::from_secs(10));
+    }
+
+    #[test]
+    fn run_until_stops_before_later_timers() {
+        let mut el = EventLoop::new_virtual();
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        el.after(Duration::from_secs(5), move |_| *f.borrow_mut() = true);
+        el.run_until(Time::from_secs(2));
+        assert!(!*fired.borrow());
+        assert_eq!(el.now(), Time::from_secs(2));
+        el.run_until(Time::from_secs(6));
+        assert!(*fired.borrow());
+    }
+
+    #[test]
+    fn cancel_timer() {
+        let mut el = EventLoop::new_virtual();
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        let h = el.after(Duration::from_secs(1), move |_| *f.borrow_mut() = true);
+        el.cancel(h);
+        el.run_until(Time::from_secs(5));
+        assert!(!*fired.borrow());
+    }
+
+    #[test]
+    fn periodic_timer_and_cancel() {
+        let mut el = EventLoop::new_virtual();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = count.clone();
+        let h = el.every(Duration::from_secs(1), move |_| *c.borrow_mut() += 1);
+        el.run_until(Time::from_millis(3500));
+        assert_eq!(*count.borrow(), 3);
+        el.cancel(h);
+        el.run_until(Time::from_secs(10));
+        assert_eq!(*count.borrow(), 3);
+    }
+
+    #[test]
+    fn periodic_self_cancel() {
+        let mut el = EventLoop::new_virtual();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = count.clone();
+        // Cancels itself from inside after 2 firings.
+        let h = Rc::new(RefCell::new(None));
+        let h2 = h.clone();
+        let handle = el.every(Duration::from_secs(1), move |el| {
+            *c.borrow_mut() += 1;
+            if *c.borrow() == 2 {
+                el.cancel(h2.borrow().unwrap());
+            }
+        });
+        *h.borrow_mut() = Some(handle);
+        el.run_until(Time::from_secs(10));
+        assert_eq!(*count.borrow(), 2);
+    }
+
+    #[test]
+    fn background_runs_only_when_idle() {
+        let mut el = EventLoop::new_virtual();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let mut slices = 0;
+        el.spawn_background(move |_| {
+            slices += 1;
+            l.borrow_mut().push(format!("bg{slices}"));
+            if slices == 3 {
+                SliceResult::Done
+            } else {
+                SliceResult::Continue
+            }
+        });
+        let l2 = log.clone();
+        el.defer(move |_| l2.borrow_mut().push("ev1".into()));
+        let l3 = log.clone();
+        el.defer(move |_| l3.borrow_mut().push("ev2".into()));
+        el.run_until_idle();
+        // Both events run before any background slice.
+        assert_eq!(*log.borrow(), vec!["ev1", "ev2", "bg1", "bg2", "bg3"]);
+        assert_eq!(el.background_count(), 0);
+    }
+
+    #[test]
+    fn background_interleaves_with_arriving_events() {
+        let mut el = EventLoop::new_virtual();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let mut slices = 0;
+        el.spawn_background(move |el| {
+            slices += 1;
+            l.borrow_mut().push(format!("bg{slices}"));
+            if slices == 1 {
+                // An event arrives while the background task is mid-way.
+                let l2 = l.clone();
+                el.defer(move |_| l2.borrow_mut().push("event".into()));
+            }
+            if slices == 2 {
+                SliceResult::Done
+            } else {
+                SliceResult::Continue
+            }
+        });
+        el.run_until_idle();
+        // The event pre-empts the second slice.
+        assert_eq!(*log.borrow(), vec!["bg1", "event", "bg2"]);
+    }
+
+    #[test]
+    fn two_background_tasks_round_robin() {
+        let mut el = EventLoop::new_virtual();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let l = log.clone();
+            let mut n = 0;
+            el.spawn_background(move |_| {
+                n += 1;
+                l.borrow_mut().push(format!("{name}{n}"));
+                if n == 2 {
+                    SliceResult::Done
+                } else {
+                    SliceResult::Continue
+                }
+            });
+        }
+        el.run_until_idle();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn cancel_background() {
+        let mut el = EventLoop::new_virtual();
+        let count = Rc::new(RefCell::new(0));
+        let c = count.clone();
+        let h = el.spawn_background(move |_| {
+            *c.borrow_mut() += 1;
+            SliceResult::Continue
+        });
+        el.run_one();
+        el.cancel_background(h);
+        el.run_until_idle();
+        assert_eq!(*count.borrow(), 1);
+        assert_eq!(el.background_count(), 0);
+    }
+
+    #[test]
+    fn cross_thread_events() {
+        let mut el = EventLoop::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let sender = el.sender();
+        let c = counter.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                let c = c.clone();
+                sender.post(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            sender.stop();
+        });
+        el.run();
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn real_clock_timer_fires() {
+        let mut el = EventLoop::new();
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        el.after(Duration::from_millis(10), move |el| {
+            *f.borrow_mut() = true;
+            el.stop();
+        });
+        el.run();
+        assert!(*fired.borrow());
+        assert!(el.now() >= Time::from_millis(10));
+    }
+
+    #[test]
+    fn typed_slots() {
+        let mut el = EventLoop::new_virtual();
+        el.set_slot::<u32>(7);
+        el.set_slot::<String>("hello".into());
+        assert_eq!(el.slot::<u32>(), Some(&7));
+        assert_eq!(el.slot::<String>().map(|s| s.as_str()), Some("hello"));
+        *el.slot_mut::<u32>().unwrap() = 9;
+        assert_eq!(el.slot::<u32>(), Some(&9));
+        // Replacement and removal.
+        el.set_slot::<u32>(1);
+        assert_eq!(el.remove_slot::<u32>(), Some(1));
+        assert_eq!(el.slot::<u32>(), None);
+        assert_eq!(el.remove_slot::<u32>(), None);
+        assert!(el.slot::<f64>().is_none());
+    }
+
+    #[test]
+    fn slots_reachable_from_posted_closures() {
+        let mut el = EventLoop::new_virtual();
+        el.set_slot::<u32>(41);
+        let sender = el.sender();
+        sender.post(|el| {
+            *el.slot_mut::<u32>().unwrap() += 1;
+        });
+        el.run_until_idle();
+        assert_eq!(el.slot::<u32>(), Some(&42));
+    }
+
+    #[test]
+    fn events_processed_to_completion_in_order() {
+        // An event that posts another event: the chained event runs after
+        // other already-queued events (run-to-completion, FIFO).
+        let mut el = EventLoop::new_virtual();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        el.defer(move |el| {
+            l1.borrow_mut().push("first");
+            let l = l1.clone();
+            el.defer(move |_| l.borrow_mut().push("chained"));
+        });
+        let l2 = log.clone();
+        el.defer(move |_| l2.borrow_mut().push("second"));
+        el.run_until_idle();
+        assert_eq!(*log.borrow(), vec!["first", "second", "chained"]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Monotonic time for the event loop: real or virtual.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A monotonic instant, in nanoseconds since the event loop's epoch.
+///
+/// `Time` is deliberately loop-relative rather than wall-clock so that the
+/// same protocol code runs identically under the real clock and under
+/// virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The epoch (loop start).
+    pub const ZERO: Time = Time(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier` (saturating).
+    pub fn duration_since(&self, earlier: Time) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    fn add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+
+    fn sub(self, other: Time) -> Duration {
+        self.duration_since(other)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Which clock drives an [`crate::EventLoop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Wall-clock time via `std::time::Instant`; idle waits really sleep.
+    Real,
+    /// Virtual time: `now` advances only when the loop jumps to the next
+    /// timer deadline.  Deterministic and as fast as the CPU allows.
+    Virtual,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_millis(1500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t + Duration::from_millis(500), Time::from_secs(2));
+        assert_eq!(
+            Time::from_secs(2) - Time::from_millis(1500),
+            Duration::from_millis(500)
+        );
+        // Saturating subtraction: earlier - later = 0.
+        assert_eq!(Time::ZERO - Time::from_secs(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::from_millis(1500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_millis(1) < Time::from_millis(2));
+        assert_eq!(Time::ZERO, Time::default());
+    }
+}

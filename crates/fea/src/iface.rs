@@ -1,0 +1,88 @@
+//! Interface model for the simulated forwarding plane.
+
+use std::net::IpAddr;
+
+use xorp_net::Mac;
+
+/// Configuration for one interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfaceConfig {
+    /// Interface name (`eth0`, ...).
+    pub name: String,
+    /// Primary address.
+    pub addr: IpAddr,
+    /// Prefix length of the connected subnet.
+    pub prefix_len: u8,
+    /// Hardware address.
+    pub mac: Mac,
+    /// MTU in bytes.
+    pub mtu: u32,
+    /// Administratively enabled.
+    pub enabled: bool,
+}
+
+/// A configured interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name.
+    pub name: String,
+    /// Primary address.
+    pub addr: IpAddr,
+    /// Prefix length of the connected subnet.
+    pub prefix_len: u8,
+    /// Hardware address.
+    pub mac: Mac,
+    /// MTU in bytes.
+    pub mtu: u32,
+    /// Administratively enabled.
+    pub enabled: bool,
+}
+
+impl Interface {
+    /// Build from configuration.
+    pub fn new(cfg: IfaceConfig) -> Interface {
+        Interface {
+            name: cfg.name,
+            addr: cfg.addr,
+            prefix_len: cfg.prefix_len,
+            mac: cfg.mac,
+            mtu: cfg.mtu,
+            enabled: cfg.enabled,
+        }
+    }
+
+    /// The connected subnet this interface sits on, for IPv4 interfaces.
+    pub fn connected_net4(&self) -> Option<xorp_net::Ipv4Net> {
+        match self.addr {
+            IpAddr::V4(a) => xorp_net::Prefix::new(a, self.prefix_len).ok(),
+            IpAddr::V6(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_net() {
+        let i = Interface::new(IfaceConfig {
+            name: "eth0".into(),
+            addr: "10.1.2.3".parse().unwrap(),
+            prefix_len: 24,
+            mac: Mac::default(),
+            mtu: 1500,
+            enabled: true,
+        });
+        assert_eq!(i.connected_net4().unwrap().to_string(), "10.1.2.0/24");
+        let v6 = Interface::new(IfaceConfig {
+            name: "eth0".into(),
+            addr: "2001:db8::1".parse().unwrap(),
+            prefix_len: 64,
+            mac: Mac::default(),
+            mtu: 1500,
+            enabled: true,
+        });
+        assert!(v6.connected_net4().is_none());
+    }
+}

@@ -1,0 +1,456 @@
+//! The Forwarding Engine Abstraction (§3, §7).
+//!
+//! "The FEA provides a stable API for communicating with a forwarding
+//! engine or engines" — and doubles as the security relay: "rather than
+//! sending UDP packets directly, RIP sends and receives packets using XRL
+//! calls to the FEA", so routing processes never need raw-socket
+//! privileges.
+//!
+//! The paper's FEA fronted the FreeBSD kernel or a Click forwarding path;
+//! this one fronts a **simulated forwarding plane**: an in-memory FIB and
+//! interface table, plus a packet relay.  Installing a route into the FIB
+//! is the "entering the kernel" boundary of the §8.2 experiments, stamped
+//! via the shared [`Profiler`].
+//!
+//! The simulation is still a real forwarding plane in the ways the
+//! evaluation needs: the FIB answers longest-prefix-match forwarding
+//! queries, and the packet relay delivers protocol traffic (RIP, BGP
+//! sessions) between routers in a harness topology.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::rc::Rc;
+
+use xorp_event::EventLoop;
+use xorp_net::{Addr, HeapSize, Ipv4Net, Mac, PatriciaTrie, Prefix};
+use xorp_profiler::{points, Profiler};
+
+pub mod iface;
+
+pub use iface::{IfaceConfig, Interface};
+
+/// One installed forwarding entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FibEntry<A: Addr> {
+    /// Destination subnet.
+    pub net: Prefix<A>,
+    /// Nexthop router (unspecified for directly connected).
+    pub nexthop: IpAddr,
+    /// Egress interface.
+    pub ifname: String,
+    /// Metric (diagnostic; the FIB itself forwards on longest match).
+    pub metric: u32,
+}
+
+impl<A: Addr> HeapSize for FibEntry<A> {
+    fn heap_size(&self) -> usize {
+        self.ifname.capacity()
+    }
+}
+
+/// Callback receiving packets a protocol asked the FEA to deliver:
+/// `(ifname, src, dst, payload)`.
+pub type PacketTx = Rc<dyn Fn(&mut EventLoop, &str, IpAddr, IpAddr, &[u8])>;
+/// Callback a protocol registers to receive packets from an interface.
+pub type PacketRx = Rc<dyn Fn(&mut EventLoop, &str, IpAddr, &[u8])>;
+
+/// The simulated forwarding engine.
+pub struct Fea {
+    interfaces: HashMap<String, Interface>,
+    fib4: PatriciaTrie<std::net::Ipv4Addr, FibEntry<std::net::Ipv4Addr>>,
+    fib6: PatriciaTrie<std::net::Ipv6Addr, FibEntry<std::net::Ipv6Addr>>,
+    profiler: Option<Profiler>,
+    /// The harness wire: where sent packets go.
+    wire: Option<PacketTx>,
+    /// Protocol receivers keyed by a registration name ("rip", "bgp"...).
+    receivers: HashMap<String, PacketRx>,
+    /// FIB write counters (diagnostics).
+    pub installs: u64,
+    /// FIB delete counter.
+    pub removals: u64,
+}
+
+impl Default for Fea {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fea {
+    /// An empty forwarding engine with no interfaces.
+    pub fn new() -> Fea {
+        Fea {
+            interfaces: HashMap::new(),
+            fib4: PatriciaTrie::new(),
+            fib6: PatriciaTrie::new(),
+            profiler: None,
+            wire: None,
+            receivers: HashMap::new(),
+            installs: 0,
+            removals: 0,
+        }
+    }
+
+    /// Attach the §8.2 profiler; route installs stamp the `KERNEL` point.
+    pub fn set_profiler(&mut self, p: Profiler) {
+        self.profiler = Some(p);
+    }
+
+    /// Connect the packet relay to the harness topology.
+    pub fn set_wire(&mut self, wire: PacketTx) {
+        self.wire = Some(wire);
+    }
+
+    // ---- interface management (the FEA's iface API) -----------------------
+
+    /// Create or reconfigure an interface.
+    pub fn configure_interface(&mut self, cfg: IfaceConfig) -> &Interface {
+        let name = cfg.name.clone();
+        let iface = Interface::new(cfg);
+        self.interfaces.insert(name.clone(), iface);
+        &self.interfaces[&name]
+    }
+
+    /// Bring an interface up or down.  Downing an interface flushes FIB
+    /// entries through it.
+    pub fn set_interface_enabled(&mut self, name: &str, enabled: bool) -> bool {
+        let Some(iface) = self.interfaces.get_mut(name) else {
+            return false;
+        };
+        iface.enabled = enabled;
+        if !enabled {
+            let dead4: Vec<Ipv4Net> = self
+                .fib4
+                .iter()
+                .filter(|(_, e)| e.ifname == name)
+                .map(|(n, _)| n)
+                .collect();
+            for net in dead4 {
+                self.fib4.remove(&net);
+                self.removals += 1;
+            }
+            let dead6: Vec<Prefix<std::net::Ipv6Addr>> = self
+                .fib6
+                .iter()
+                .filter(|(_, e)| e.ifname == name)
+                .map(|(n, _)| n)
+                .collect();
+            for net in dead6 {
+                self.fib6.remove(&net);
+                self.removals += 1;
+            }
+        }
+        true
+    }
+
+    /// Look up an interface.
+    pub fn interface(&self, name: &str) -> Option<&Interface> {
+        self.interfaces.get(name)
+    }
+
+    /// All interfaces, sorted by name.
+    pub fn interfaces(&self) -> Vec<&Interface> {
+        let mut v: Vec<&Interface> = self.interfaces.values().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    // ---- FIB (the "kernel" boundary) ---------------------------------------
+
+    /// Install (or replace) an IPv4 route — the §8.2 "entering the kernel"
+    /// moment.
+    pub fn add_route4(&mut self, entry: FibEntry<std::net::Ipv4Addr>) -> bool {
+        if !self
+            .interfaces
+            .get(&entry.ifname)
+            .is_some_and(|i| i.enabled)
+        {
+            return false;
+        }
+        if let Some(p) = &self.profiler {
+            p.record(points::KERNEL, || format!("add {}", entry.net));
+        }
+        self.installs += 1;
+        self.fib4.insert(entry.net, entry);
+        true
+    }
+
+    /// Remove an IPv4 route.
+    pub fn delete_route4(&mut self, net: &Ipv4Net) -> bool {
+        if let Some(p) = &self.profiler {
+            p.record(points::KERNEL, || format!("del {net}"));
+        }
+        let removed = self.fib4.remove(net).is_some();
+        if removed {
+            self.removals += 1;
+        }
+        removed
+    }
+
+    /// Install an IPv6 route.
+    pub fn add_route6(&mut self, entry: FibEntry<std::net::Ipv6Addr>) -> bool {
+        if !self
+            .interfaces
+            .get(&entry.ifname)
+            .is_some_and(|i| i.enabled)
+        {
+            return false;
+        }
+        if let Some(p) = &self.profiler {
+            p.record(points::KERNEL, || format!("add {}", entry.net));
+        }
+        self.installs += 1;
+        self.fib6.insert(entry.net, entry);
+        true
+    }
+
+    /// Remove an IPv6 route.
+    pub fn delete_route6(&mut self, net: &Prefix<std::net::Ipv6Addr>) -> bool {
+        let removed = self.fib6.remove(net).is_some();
+        if removed {
+            self.removals += 1;
+        }
+        removed
+    }
+
+    /// Forwarding decision: longest-prefix match.
+    pub fn lookup4(&self, dst: std::net::Ipv4Addr) -> Option<&FibEntry<std::net::Ipv4Addr>> {
+        self.fib4.longest_match(dst).map(|(_, e)| e)
+    }
+
+    /// IPv6 forwarding decision.
+    pub fn lookup6(&self, dst: std::net::Ipv6Addr) -> Option<&FibEntry<std::net::Ipv6Addr>> {
+        self.fib6.longest_match(dst).map(|(_, e)| e)
+    }
+
+    /// Routes installed (v4).
+    pub fn route_count4(&self) -> usize {
+        self.fib4.len()
+    }
+
+    /// Heap bytes of the FIB structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.fib4.heap_size() + self.fib6.heap_size()
+    }
+
+    // ---- packet relay (§7: protocols do I/O through the FEA) ---------------
+
+    /// A protocol registers to receive packets (keyed by protocol name).
+    pub fn register_receiver(&mut self, proto: &str, rx: PacketRx) {
+        self.receivers.insert(proto.to_string(), rx);
+    }
+
+    /// Remove a protocol's receiver.
+    pub fn unregister_receiver(&mut self, proto: &str) {
+        self.receivers.remove(proto);
+    }
+
+    /// A protocol asks the FEA to send a packet.  Fails (returns false) if
+    /// the interface is down or unknown — the sandboxed protocol never
+    /// touches a socket itself.
+    pub fn send_packet(
+        &self,
+        el: &mut EventLoop,
+        ifname: &str,
+        src: IpAddr,
+        dst: IpAddr,
+        payload: &[u8],
+    ) -> bool {
+        if !self.interfaces.get(ifname).is_some_and(|i| i.enabled) {
+            return false;
+        }
+        if let Some(wire) = &self.wire {
+            wire(el, ifname, src, dst, payload);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The harness delivers a packet that arrived on `ifname` for `proto`.
+    pub fn deliver_packet(
+        &self,
+        el: &mut EventLoop,
+        proto: &str,
+        ifname: &str,
+        src: IpAddr,
+        payload: &[u8],
+    ) -> bool {
+        if !self.interfaces.get(ifname).is_some_and(|i| i.enabled) {
+            return false;
+        }
+        if let Some(rx) = self.receivers.get(proto) {
+            let rx = rx.clone();
+            rx(el, ifname, src, payload);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Convenience for tests and examples: an enabled Ethernet-ish interface.
+pub fn test_iface(name: &str, addr: &str, prefix_len: u8) -> IfaceConfig {
+    IfaceConfig {
+        name: name.to_string(),
+        addr: addr.parse().unwrap(),
+        prefix_len,
+        mac: Mac([0, 0, 0, 0, 0, 1]),
+        mtu: 1500,
+        enabled: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::net::Ipv4Addr;
+
+    fn fea() -> Fea {
+        let mut f = Fea::new();
+        f.configure_interface(test_iface("eth0", "10.0.0.1", 24));
+        f.configure_interface(test_iface("eth1", "10.0.1.1", 24));
+        f
+    }
+
+    fn entry(net: &str, ifname: &str) -> FibEntry<Ipv4Addr> {
+        FibEntry {
+            net: net.parse().unwrap(),
+            nexthop: "10.0.0.254".parse().unwrap(),
+            ifname: ifname.to_string(),
+            metric: 1,
+        }
+    }
+
+    #[test]
+    fn fib_install_lookup_delete() {
+        let mut f = fea();
+        assert!(f.add_route4(entry("10.0.0.0/8", "eth0")));
+        assert!(f.add_route4(entry("10.1.0.0/16", "eth1")));
+        assert_eq!(f.route_count4(), 2);
+        assert_eq!(
+            f.lookup4("10.1.2.3".parse().unwrap()).unwrap().ifname,
+            "eth1"
+        );
+        assert_eq!(
+            f.lookup4("10.9.9.9".parse().unwrap()).unwrap().ifname,
+            "eth0"
+        );
+        assert!(f.lookup4("192.168.1.1".parse().unwrap()).is_none());
+        assert!(f.delete_route4(&"10.1.0.0/16".parse().unwrap()));
+        assert!(!f.delete_route4(&"10.1.0.0/16".parse().unwrap()));
+        assert_eq!(
+            f.lookup4("10.1.2.3".parse().unwrap()).unwrap().ifname,
+            "eth0"
+        );
+    }
+
+    #[test]
+    fn routes_through_down_interfaces_rejected_and_flushed() {
+        let mut f = fea();
+        assert!(f.add_route4(entry("10.0.0.0/8", "eth0")));
+        assert!(f.add_route4(entry("10.1.0.0/16", "eth1")));
+        // Unknown interface refused.
+        assert!(!f.add_route4(entry("11.0.0.0/8", "eth9")));
+        // Downing eth1 flushes its routes.
+        f.set_interface_enabled("eth1", false);
+        assert_eq!(f.route_count4(), 1);
+        assert!(!f.add_route4(entry("10.1.0.0/16", "eth1")));
+        f.set_interface_enabled("eth1", true);
+        assert!(f.add_route4(entry("10.1.0.0/16", "eth1")));
+    }
+
+    #[test]
+    fn kernel_profiling_point_stamped() {
+        let mut f = fea();
+        let p = Profiler::new();
+        p.enable(points::KERNEL);
+        f.set_profiler(p.clone());
+        f.add_route4(entry("10.0.0.0/8", "eth0"));
+        f.delete_route4(&"10.0.0.0/8".parse().unwrap());
+        let recs = p.snapshot(points::KERNEL);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].payload, "add 10.0.0.0/8");
+        assert_eq!(recs[1].payload, "del 10.0.0.0/8");
+    }
+
+    #[test]
+    fn packet_relay_roundtrip() {
+        let mut el = EventLoop::new_virtual();
+        let mut f = fea();
+        let sent = Rc::new(RefCell::new(Vec::new()));
+        let s = sent.clone();
+        f.set_wire(Rc::new(
+            move |_el, ifname: &str, src, dst, payload: &[u8]| {
+                s.borrow_mut()
+                    .push((ifname.to_string(), src, dst, payload.to_vec()));
+            },
+        ));
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let r = received.clone();
+        f.register_receiver(
+            "rip",
+            Rc::new(move |_el, ifname: &str, src, payload: &[u8]| {
+                r.borrow_mut()
+                    .push((ifname.to_string(), src, payload.to_vec()));
+            }),
+        );
+
+        let src: IpAddr = "10.0.0.1".parse().unwrap();
+        let dst: IpAddr = "10.0.0.2".parse().unwrap();
+        assert!(f.send_packet(&mut el, "eth0", src, dst, b"hello"));
+        assert_eq!(sent.borrow().len(), 1);
+
+        assert!(f.deliver_packet(&mut el, "rip", "eth0", dst, b"reply"));
+        assert_eq!(received.borrow().len(), 1);
+        // Unknown protocol: not delivered.
+        assert!(!f.deliver_packet(&mut el, "ospf", "eth0", dst, b"x"));
+    }
+
+    #[test]
+    fn down_interface_blocks_io() {
+        let mut el = EventLoop::new_virtual();
+        let mut f = fea();
+        f.set_wire(Rc::new(|_el, _i: &str, _s, _d, _p: &[u8]| {}));
+        f.register_receiver("rip", Rc::new(|_el, _i: &str, _s, _p: &[u8]| {}));
+        f.set_interface_enabled("eth0", false);
+        let a: IpAddr = "10.0.0.1".parse().unwrap();
+        assert!(!f.send_packet(&mut el, "eth0", a, a, b"x"));
+        assert!(!f.deliver_packet(&mut el, "rip", "eth0", a, b"x"));
+    }
+
+    #[test]
+    fn interface_listing() {
+        let f = fea();
+        let names: Vec<&str> = f.interfaces().iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["eth0", "eth1"]);
+        assert!(f.interface("eth0").unwrap().enabled);
+        assert!(f.interface("eth9").is_none());
+    }
+
+    #[test]
+    fn v6_fib() {
+        let mut f = fea();
+        let e = FibEntry::<std::net::Ipv6Addr> {
+            net: "2001:db8::/32".parse().unwrap(),
+            nexthop: "fe80::1".parse().unwrap(),
+            ifname: "eth0".to_string(),
+            metric: 1,
+        };
+        assert!(f.add_route6(e));
+        assert!(f.lookup6("2001:db8::5".parse().unwrap()).is_some());
+        assert!(f.lookup6("2001:db9::5".parse().unwrap()).is_none());
+        assert!(f.delete_route6(&"2001:db8::/32".parse().unwrap()));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut f = fea();
+        let empty = f.memory_bytes();
+        for i in 0..100u8 {
+            f.add_route4(entry(&format!("10.{i}.0.0/16"), "eth0"));
+        }
+        assert!(f.memory_bytes() > empty);
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 10: route-propagation latency with NO initial routes.
+//!
+//! "Introduce 255 routes to a BGP with no routes" — each probe's path from
+//! "Entering BGP" to "Entering kernel" is timestamped at the eight §8.2
+//! profiling points; the table reports Avg/SD/Min/Max per point.
+//!
+//! Usage: `fig10 [--routes N] [--probes N]`
+
+use xorp_harness::figures::latency_experiment;
+
+fn main() {
+    let (probes, _) = xorp_harness::figargs::parse(0);
+    let (report, series) = latency_experiment(
+        "Figure 10: route propagation latency (ms), no initial routes",
+        0,
+        false,
+        probes,
+    );
+    println!("{report}");
+    xorp_harness::figargs::print_series(&series);
+}

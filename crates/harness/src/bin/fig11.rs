@@ -1,0 +1,20 @@
+//! Figure 11: route-propagation latency with a full backbone table,
+//! probes on the SAME peering that supplied the table.
+//!
+//! Usage: `fig11 [--routes N] [--probes N]` (default 146515 routes)
+
+use xorp_harness::figures::latency_experiment;
+
+fn main() {
+    let (probes, routes) = xorp_harness::figargs::parse(xorp_harness::workload::PAPER_TABLE_SIZE);
+    let (report, series) = latency_experiment(
+        &format!(
+            "Figure 11: route propagation latency (ms), {routes} initial routes, same peering"
+        ),
+        routes,
+        false,
+        probes,
+    );
+    println!("{report}");
+    xorp_harness::figargs::print_series(&series);
+}

@@ -1,0 +1,21 @@
+//! Figure 12: route-propagation latency with a full backbone table,
+//! probes on a DIFFERENT peering — "which exercises different code-paths"
+//! (the alternatives comparison in the decision process).
+//!
+//! Usage: `fig12 [--routes N] [--probes N]` (default 146515 routes)
+
+use xorp_harness::figures::latency_experiment;
+
+fn main() {
+    let (probes, routes) = xorp_harness::figargs::parse(xorp_harness::workload::PAPER_TABLE_SIZE);
+    let (report, series) = latency_experiment(
+        &format!(
+            "Figure 12: route propagation latency (ms), {routes} initial routes, different peering"
+        ),
+        routes,
+        true,
+        probes,
+    );
+    println!("{report}");
+    xorp_harness::figargs::print_series(&series);
+}

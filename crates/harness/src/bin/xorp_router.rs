@@ -1,0 +1,196 @@
+//! `xorp-router` — run a configured router.
+//!
+//! The operator-facing entrypoint: parse a XORP-style configuration file,
+//! validate it against the standard template, and bring up the
+//! multi-process router (BGP, RIB, FEA event loops over TCP XRLs) with
+//! interfaces, static routes and BGP peers from the config.
+//!
+//! ```sh
+//! cargo run --release -p xorp-harness --bin xorp-router -- config.boot
+//! cargo run --release -p xorp-harness --bin xorp-router -- --example-config
+//! ```
+//!
+//! The router runs until ^C (or EOF on stdin), printing table sizes
+//! periodically — enough to watch synthetic peers converge, and the
+//! skeleton a real deployment would grow sockets onto.
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use xorp_harness::router::{MultiProcessRouter, PeerPolicy, RouterOptions};
+use xorp_harness::workload::{backbone_table, WorkloadConfig};
+use xorp_rtrmgr::template::standard_template;
+use xorp_rtrmgr::{parse, ConfigNode};
+
+const EXAMPLE: &str = r#"
+# Example xorp-rs configuration.
+interfaces {
+    interface eth0 {
+        address: 192.168.0.1
+        prefix: 192.168.0.0/16
+    }
+}
+protocols {
+    static {
+        route 172.30.0.0/16 {
+            nexthop: 192.168.9.9
+            metric: 1
+        }
+    }
+    bgp {
+        local-as: 65000
+        router-id: 192.168.0.1
+        peer 192.168.1.1 {
+            as: 65001
+        }
+        peer 192.168.1.2 {
+            as: 65002
+        }
+    }
+}
+"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (config_text, demo_feed) = if args.iter().any(|a| a == "--example-config") {
+        println!("--- running the built-in example configuration ---\n{EXAMPLE}");
+        (EXAMPLE.to_string(), true)
+    } else if let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) {
+        (
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }),
+            false,
+        )
+    } else {
+        eprintln!("usage: xorp-router <config-file> | --example-config");
+        std::process::exit(2);
+    };
+
+    // ---- parse + validate (the Router Manager's commit path) -----------
+    let root: ConfigNode = match parse(&config_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let errors = standard_template().validate(&root);
+    if !errors.is_empty() {
+        eprintln!("configuration rejected:");
+        for e in errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let bgp_node = root.child("protocols").and_then(|p| p.child("bgp"));
+    let local_as = bgp_node
+        .and_then(|b| b.attr("local-as"))
+        .and_then(|v| v.as_u32())
+        .unwrap_or(65000);
+    let peers: Vec<(u32, u32)> = bgp_node
+        .map(|b| {
+            b.children_named("peer")
+                .enumerate()
+                .map(|(i, p)| {
+                    (
+                        i as u32 + 1,
+                        p.attr("as")
+                            .and_then(|v| v.as_u32())
+                            .unwrap_or(65000 + i as u32),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let peer_policies: std::collections::HashMap<u32, PeerPolicy> = bgp_node
+        .map(|b| {
+            b.children_named("peer")
+                .enumerate()
+                .map(|(i, p)| {
+                    (
+                        i as u32 + 1,
+                        PeerPolicy {
+                            import: p.attr("import").and_then(|v| v.as_str()).map(String::from),
+                            export: p.attr("export").and_then(|v| v.as_str()).map(String::from),
+                            damping: p
+                                .attr("damping")
+                                .map(|v| v == &xorp_rtrmgr::ConfigValue::Bool(true))
+                                .unwrap_or(false),
+                        },
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    println!(
+        "starting router: AS {local_as}, {} BGP peer(s), 3 processes (bgp, rib, fea)",
+        peers.len()
+    );
+    let router = MultiProcessRouter::new(RouterOptions {
+        local_as,
+        peers: peers.clone(),
+        peer_policies,
+        consistency_check: false,
+    });
+
+    // Static routes from the config go in via the RIB (through BGP's
+    // announce path they'd be EBGP; feed them as supplementary probes).
+    if let Some(static_node) = root.child("protocols").and_then(|p| p.child("static")) {
+        for route in static_node.children_named("route") {
+            if let (Some(key), Some(nh)) = (
+                route.key.as_ref().and_then(|k| k.parse().ok()),
+                route
+                    .attr("nexthop")
+                    .and_then(|v| v.as_addr())
+                    .and_then(|a| match a {
+                        IpAddr::V4(a) => Some(a),
+                        IpAddr::V6(_) => None,
+                    }),
+            ) {
+                let _: xorp_net::Ipv4Net = key;
+                router.announce_one(peers.first().map(|(id, _)| *id).unwrap_or(1), key, nh);
+                println!("installed static route {key} via {nh}");
+            }
+        }
+    }
+
+    // Demo mode: synthesize a routing feed so there's something to watch.
+    if demo_feed && !peers.is_empty() {
+        println!("feeding a 10,000-route synthetic table from peer 1...");
+        let table = backbone_table(&WorkloadConfig {
+            routes: 10_000,
+            ..Default::default()
+        });
+        for batch in table.chunks(64) {
+            router.feed_backbone(peers[0].0, batch);
+        }
+    }
+
+    // ---- run until interrupted, reporting table sizes -------------------
+    println!("router is up; reporting every 2 s (^C to stop)\n");
+    let mut last = (0usize, 0usize, 0usize);
+    for _ in 0..u64::MAX {
+        std::thread::sleep(Duration::from_secs(2));
+        let now = (
+            router.bgp_route_count(),
+            router.rib_route_count(),
+            router.fea_route_count(),
+        );
+        if now != last {
+            println!(
+                "bgp: {:>7} routes   rib: {:>7}   fib: {:>7}",
+                now.0, now.1, now.2
+            );
+            last = now;
+        }
+        if demo_feed && now.2 >= 10_001 {
+            println!("\ndemo feed converged; exiting (run with a config file to keep serving)");
+            break;
+        }
+    }
+    router.stop();
+}

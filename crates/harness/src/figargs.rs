@@ -1,0 +1,35 @@
+//! Tiny shared CLI parsing for the figure binaries.
+
+/// Parse `--probes N` (default 255) and `--routes N` (default
+/// `default_routes`) plus `--quick` (64 probes, 10k routes).
+pub fn parse(default_routes: usize) -> (u32, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let probes = args
+        .iter()
+        .position(|a| a == "--probes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 64 } else { 255 });
+    let routes = args
+        .iter()
+        .position(|a| a == "--routes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick {
+            default_routes.min(10_000)
+        } else {
+            default_routes
+        });
+    (probes, routes)
+}
+
+/// Print the per-probe kernel-latency series (the scatter in the
+/// figures).
+pub fn print_series(series: &[f64]) {
+    println!("\nper-route latency to kernel (ms):");
+    println!("route\tms");
+    for (i, ms) in series.iter().enumerate() {
+        println!("{i}\t{ms:.3}");
+    }
+}

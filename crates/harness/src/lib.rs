@@ -1,0 +1,21 @@
+//! The evaluation harness: multi-"process" router assembly, synthetic
+//! workloads, and the machinery behind the figure-regeneration binaries.
+//!
+//! Substitutions relative to the paper's testbed are listed in DESIGN.md.
+//! The key one: each router function (BGP, RIB, FEA) runs as a
+//! single-threaded event loop on its **own OS thread**, speaking real XRLs
+//! over real TCP sockets — the same isolation and IPC discipline as
+//! separate Unix processes, minus fork/exec.
+
+pub mod bgp_wire;
+pub mod figargs;
+pub mod figures;
+pub mod process;
+pub mod router;
+pub mod stats;
+pub mod workload;
+
+pub use process::Process;
+pub use router::{MultiProcessRouter, RouterOptions};
+pub use stats::{format_latency_table, LatencyRow};
+pub use workload::{backbone_table, test_route, BackboneRoute, WorkloadConfig};

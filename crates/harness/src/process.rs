@@ -1,0 +1,123 @@
+//! A router "process": an event loop on its own thread with an XRL router
+//! attached.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use xorp_event::{EventLoop, EventSender};
+use xorp_xrl::{Finder, XrlRouter};
+
+/// Handle to a running process.
+pub struct Process {
+    /// Name (diagnostics).
+    pub name: String,
+    sender: EventSender,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Process {
+    /// Spawn a process: a real-clock event loop plus an [`XrlRouter`] with
+    /// TCP enabled, initialized by `setup` on the loop thread before the
+    /// loop runs.  `setup` typically registers XRL targets and stores
+    /// protocol state in the loop's slots.
+    pub fn spawn(
+        name: &str,
+        finder: Finder,
+        setup: impl FnOnce(&mut EventLoop, &XrlRouter) + Send + 'static,
+    ) -> Process {
+        let (tx, rx) = mpsc::channel();
+        let name_owned = name.to_string();
+        let thread = std::thread::Builder::new()
+            .name(format!("proc-{name_owned}"))
+            .spawn(move || {
+                let mut el = EventLoop::new();
+                let router = XrlRouter::new(&mut el, finder);
+                router.enable_tcp().expect("enable tcp");
+                setup(&mut el, &router);
+                tx.send(el.sender()).expect("report sender");
+                el.run();
+                router.shutdown(&mut el);
+            })
+            .expect("spawn process thread");
+        let sender = rx.recv().expect("process failed to start");
+        Process {
+            name: name.to_string(),
+            sender,
+            thread: Some(thread),
+        }
+    }
+
+    /// Post work onto the process's loop.
+    pub fn post<F: FnOnce(&mut EventLoop) + Send + 'static>(&self, f: F) -> bool {
+        self.sender.post(f)
+    }
+
+    /// The loop's cross-thread sender.
+    pub fn sender(&self) -> EventSender {
+        self.sender.clone()
+    }
+
+    /// Run a closure on the loop and wait for its result.
+    pub fn call<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&mut EventLoop) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = mpsc::channel();
+        self.post(move |el| {
+            let _ = tx.send(f(el));
+        });
+        rx.recv().expect("process died during call")
+    }
+
+    /// Stop the loop and join the thread.
+    pub fn stop(mut self) {
+        self.sender.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Process {
+    fn drop(&mut self) {
+        self.sender.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use xorp_xrl::script::call_xrl_sync;
+    use xorp_xrl::XrlArgs;
+
+    #[test]
+    fn spawn_call_stop() {
+        let finder = Finder::new();
+        let p = Process::spawn("echo", finder.clone(), |_el, router| {
+            router.register_target("echo", "echo-0", true).unwrap();
+            router.add_fn("echo-0", "echo/1.0/ping", |_el, _args| {
+                Ok(XrlArgs::new().add_bool("pong", true))
+            });
+        });
+        assert!(p.call(|el| el.now().as_nanos() > 0));
+
+        // Reach it over XRLs from a second process-like context.
+        let mut el = EventLoop::new();
+        let router = XrlRouter::new(&mut el, finder);
+        router.enable_tcp().unwrap();
+        router.register_target("tester", "tester-0", true).unwrap();
+        let reply = call_xrl_sync(
+            &mut el,
+            &router,
+            "finder://echo/echo/1.0/ping",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert!(reply.get_bool("pong").unwrap());
+        p.stop();
+    }
+}

@@ -1,0 +1,497 @@
+//! A full multi-process router: BGP, RIB and FEA event loops on separate
+//! threads, speaking XRLs over TCP — the §8.2 measurement configuration.
+//!
+//! Route flow and the eight profiling points:
+//!
+//! ```text
+//! apply_update ──[1 BGP_IN]── BGP pipeline ──[2 QUEUED_FOR_RIB]──
+//!   XRL rib/1.0/add_route ──[3 SENT_TO_RIB]──(tcp)──[4 RIB_IN]──
+//!   RIB stages ──[5 QUEUED_FOR_FEA]── XRL fea/1.0/add_route
+//!   ──[6 SENT_TO_FEA]──(tcp)──[7 FEA_IN]── FIB insert [8 KERNEL]
+//! ```
+
+use std::cell::RefCell;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xorp_bgp::bgp::UpdateIn;
+use xorp_bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
+use xorp_bgp::{BgpConfig, BgpProcess, PeerConfig, PeerId};
+use xorp_event::EventLoop;
+use xorp_fea::{test_iface, Fea, FibEntry};
+use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
+use xorp_profiler::{points, Profiler};
+use xorp_rib::Rib;
+use xorp_stages::RouteOp;
+use xorp_xrl::{Finder, Xrl, XrlArgs, XrlRouter};
+
+use crate::process::Process;
+use crate::workload::BackboneRoute;
+
+/// Loop-slot wrapper for the BGP process state.
+pub struct BgpSlot(pub Rc<RefCell<BgpProcess<Ipv4Addr>>>);
+/// Loop-slot wrapper for the RIB process state.
+pub struct RibSlot(pub Rc<RefCell<Rib<Ipv4Addr>>>);
+/// Loop-slot wrapper for the FEA process state.
+pub struct FeaSlot(pub Rc<RefCell<Fea>>);
+
+/// Per-peer policy knobs (sourced from the rtrmgr config in
+/// `xorp-router`).
+#[derive(Debug, Clone, Default)]
+pub struct PeerPolicy {
+    /// Import policy source text (the §8.3 stack language).
+    pub import: Option<String>,
+    /// Export policy source text.
+    pub export: Option<String>,
+    /// Enable route-flap damping with default parameters.
+    pub damping: bool,
+}
+
+/// Construction options.
+pub struct RouterOptions {
+    /// Our AS.
+    pub local_as: u32,
+    /// (peer id, peer AS) pairs.
+    pub peers: Vec<(u32, u32)>,
+    /// Optional per-peer policies, by peer id.
+    pub peer_policies: std::collections::HashMap<u32, PeerPolicy>,
+    /// Splice consistency-checking cache stages (debug configuration).
+    pub consistency_check: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            local_as: 65000,
+            peers: vec![(1, 65001), (2, 65002)],
+            peer_policies: Default::default(),
+            consistency_check: false,
+        }
+    }
+}
+
+/// The assembled three-process router.
+pub struct MultiProcessRouter {
+    /// Shared profiler (all eight §8.2 points).
+    pub profiler: Profiler,
+    /// The broker.
+    pub finder: Finder,
+    bgp: Process,
+    _rib: Process,
+    _fea: Process,
+}
+
+/// BGP's nexthop service backed by the RIB's interest-registration XRL
+/// (§5.1.1: "The Nexthop Resolver stages talk asynchronously to the RIB").
+struct XrlNexthopService;
+
+impl NexthopService<Ipv4Addr> for XrlNexthopService {
+    fn resolve_nexthop(&self, el: &mut EventLoop, addr: Ipv4Addr, cb: AnswerCb<Ipv4Addr>) {
+        let router = el
+            .slot::<XrlRouter>()
+            .expect("xrl router on bgp loop")
+            .clone();
+        let xrl = Xrl::generic(
+            "rib",
+            "rib",
+            "1.0",
+            "register_interest",
+            XrlArgs::new().add_ipv4("addr", addr),
+        );
+        router.send(
+            el,
+            xrl,
+            Box::new(move |el, result| {
+                let ans = match result {
+                    Ok(args) => {
+                        let valid = args
+                            .get_ipv4net("valid")
+                            .unwrap_or_else(|_| xorp_net::Prefix::host(addr));
+                        let reachable = args.get_bool("reachable").unwrap_or(false);
+                        let metric = args.get_u32("metric").unwrap_or(0);
+                        RibNexthopAnswer {
+                            valid,
+                            metric: reachable.then_some(metric),
+                        }
+                    }
+                    Err(_) => RibNexthopAnswer {
+                        valid: xorp_net::Prefix::host(addr),
+                        metric: None,
+                    },
+                };
+                cb(el, ans);
+            }),
+        );
+    }
+}
+
+/// Serialize a route op into XRL args (shared by BGP→RIB and RIB→FEA).
+fn route_args(net: Ipv4Net, route: &RouteEntry<Ipv4Addr>) -> XrlArgs {
+    XrlArgs::new()
+        .add_ipv4net("net", net)
+        .add_ipv4(
+            "nexthop",
+            match route.nexthop() {
+                IpAddr::V4(a) => a,
+                IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+            },
+        )
+        .add_str("ifname", route.ifname.as_deref().unwrap_or(""))
+        .add_u32("metric", route.metric)
+        .add_str("proto", &route.proto.name())
+}
+
+impl MultiProcessRouter {
+    /// Spawn the three processes and wire them together.  A connected
+    /// route `192.168.0.0/16 dev eth0` is pre-installed so BGP nexthops in
+    /// that range resolve (the paper likewise keeps one route installed to
+    /// stabilize RIB interactions).
+    pub fn new(options: RouterOptions) -> MultiProcessRouter {
+        let finder = Finder::new();
+        let profiler = Profiler::new();
+
+        // ---- FEA process ----------------------------------------------------
+        let fea_profiler = profiler.clone();
+        let fea = Process::spawn("fea", finder.clone(), move |el, router| {
+            let mut fea = Fea::new();
+            fea.configure_interface(test_iface("eth0", "192.168.0.1", 16));
+            fea.set_profiler(fea_profiler.clone());
+            let fea = Rc::new(RefCell::new(fea));
+            el.set_slot(FeaSlot(fea.clone()));
+
+            router.register_target("fea", "fea-0", true).unwrap();
+            let profiler = fea_profiler.clone();
+            let f = fea.clone();
+            router.add_fn("fea-0", "fea/1.0/add_route", move |_el, args| {
+                let net = args.get_ipv4net("net")?;
+                profiler.record(points::FEA_IN, || format!("add {net}"));
+                let entry = FibEntry {
+                    net,
+                    nexthop: IpAddr::V4(args.get_ipv4("nexthop")?),
+                    ifname: {
+                        let i = args.get_text("ifname")?;
+                        if i.is_empty() {
+                            "eth0".to_string()
+                        } else {
+                            i
+                        }
+                    },
+                    metric: args.get_u32("metric")?,
+                };
+                f.borrow_mut().add_route4(entry); // stamps KERNEL
+                Ok(XrlArgs::new())
+            });
+            let profiler = fea_profiler.clone();
+            let f = fea.clone();
+            router.add_fn("fea-0", "fea/1.0/delete_route", move |_el, args| {
+                let net = args.get_ipv4net("net")?;
+                profiler.record(points::FEA_IN, || format!("del {net}"));
+                f.borrow_mut().delete_route4(&net);
+                Ok(XrlArgs::new())
+            });
+            let f = fea.clone();
+            router.add_fn("fea-0", "fea/1.0/route_count", move |_el, _args| {
+                Ok(XrlArgs::new().add_u32("count", f.borrow().route_count4() as u32))
+            });
+        });
+
+        // ---- RIB process ----------------------------------------------------
+        let rib_profiler = profiler.clone();
+        let check = options.consistency_check;
+        let rib = Process::spawn("rib", finder.clone(), move |el, router| {
+            let rib = Rc::new(RefCell::new(Rib::<Ipv4Addr>::new(check)));
+            el.set_slot(RibSlot(rib.clone()));
+
+            // Output: install into the FEA over XRLs (points 5 and 6).
+            let profiler = rib_profiler.clone();
+            let xrl_router = router.clone();
+            rib.borrow_mut().set_output(move |el, _origin, op| {
+                let net = op.net();
+                let (method, args, what) = match &op {
+                    RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                        ("add_route", route_args(net, route), "add")
+                    }
+                    RouteOp::Delete { .. } => (
+                        "delete_route",
+                        XrlArgs::new().add_ipv4net("net", net),
+                        "del",
+                    ),
+                };
+                profiler.record(points::QUEUED_FOR_FEA, || format!("{what} {net}"));
+                let xrl = Xrl::generic("fea", "fea", "1.0", method, args);
+                xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                profiler.record(points::SENT_TO_FEA, || format!("{what} {net}"));
+            });
+
+            // Pre-install the connected route BGP nexthops resolve via.
+            {
+                let mut attrs = PathAttributes::new(IpAddr::V4("192.168.0.1".parse().unwrap()));
+                attrs.ebgp = false;
+                let mut route = RouteEntry::new(
+                    "192.168.0.0/16".parse().unwrap(),
+                    Arc::new(attrs),
+                    1,
+                    ProtocolId::Connected,
+                );
+                route.ifname = Some("eth0".into());
+                rib.borrow_mut().add_route(el, route);
+            }
+
+            // Invalidation: tell BGP its cached answers died (§5.2.1).
+            let xrl_router = router.clone();
+            rib.borrow_mut().set_invalidation_cb(
+                1, // client id for the BGP process
+                Rc::new(move |el, _client, valid| {
+                    let xrl = Xrl::generic(
+                        "bgp",
+                        "bgp",
+                        "1.0",
+                        "invalidate",
+                        XrlArgs::new().add_ipv4net("net", valid),
+                    );
+                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                }),
+            );
+
+            router.register_target("rib", "rib-0", true).unwrap();
+            let profiler = rib_profiler.clone();
+            let r = rib.clone();
+            router.add_handler("rib-0", "rib/1.0/add_route", move |el, args, responder| {
+                let reply = (|| {
+                    let net = args.get_ipv4net("net")?;
+                    profiler.record(points::RIB_IN, || format!("add {net}"));
+                    let proto =
+                        ProtocolId::from_name(&args.get_text("proto")?).unwrap_or(ProtocolId::Ebgp);
+                    let mut attrs = PathAttributes::new(IpAddr::V4(args.get_ipv4("nexthop")?));
+                    attrs.ebgp = proto == ProtocolId::Ebgp;
+                    let mut route =
+                        RouteEntry::new(net, Arc::new(attrs), args.get_u32("metric")?, proto);
+                    let ifname = args.get_text("ifname")?;
+                    if !ifname.is_empty() {
+                        route.ifname = Some(ifname.as_str().into());
+                    }
+                    r.borrow_mut().add_route(el, route);
+                    Ok(XrlArgs::new())
+                })();
+                responder.reply(el, reply);
+            });
+            let profiler = rib_profiler.clone();
+            let r = rib.clone();
+            router.add_handler(
+                "rib-0",
+                "rib/1.0/delete_route",
+                move |el, args, responder| {
+                    let reply = (|| {
+                        let net = args.get_ipv4net("net")?;
+                        profiler.record(points::RIB_IN, || format!("del {net}"));
+                        let proto = ProtocolId::from_name(&args.get_text("proto")?)
+                            .unwrap_or(ProtocolId::Ebgp);
+                        r.borrow_mut().delete_route(el, proto, net);
+                        Ok(XrlArgs::new())
+                    })();
+                    responder.reply(el, reply);
+                },
+            );
+            let r = rib.clone();
+            router.add_fn("rib-0", "rib/1.0/register_interest", move |_el, args| {
+                let addr = args.get_ipv4("addr")?;
+                let ans = r.borrow_mut().register_interest(1, addr);
+                let mut out = XrlArgs::new().add_ipv4net("valid", ans.valid);
+                match ans.route {
+                    Some(route) => {
+                        out = out
+                            .add_bool("reachable", true)
+                            .add_u32("metric", route.metric)
+                    }
+                    None => out = out.add_bool("reachable", false).add_u32("metric", 0),
+                }
+                Ok(out)
+            });
+            let r = rib.clone();
+            router.add_fn("rib-0", "rib/1.0/route_count", move |_el, _args| {
+                Ok(XrlArgs::new().add_u32("count", r.borrow().route_count() as u32))
+            });
+        });
+
+        // ---- BGP process ----------------------------------------------------
+        let bgp_profiler = profiler.clone();
+        let peers = options.peers.clone();
+        let peer_policies = options.peer_policies.clone();
+        let local_as = options.local_as;
+        let bgp = Process::spawn("bgp", finder.clone(), move |el, router| {
+            let config = BgpConfig {
+                local_as: xorp_net::AsNum(local_as),
+                router_id: "10.255.0.1".parse().unwrap(),
+                local_addr: IpAddr::V4("192.168.0.1".parse().unwrap()),
+                hold_time: 90,
+            };
+            let mut bgp = BgpProcess::new(config, Rc::new(XrlNexthopService));
+            bgp.set_profiler(bgp_profiler.clone());
+
+            // Best routes → RIB over XRLs (points 2 and 3).
+            let profiler = bgp_profiler.clone();
+            let xrl_router = router.clone();
+            bgp.set_rib_output(el, move |el, _origin, op| {
+                let net = op.net();
+                let (method, args, what) = match &op {
+                    RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                        ("add_route", route_args(net, route), "add")
+                    }
+                    RouteOp::Delete { old, .. } => (
+                        "delete_route",
+                        XrlArgs::new()
+                            .add_ipv4net("net", net)
+                            .add_str("proto", &old.proto.name()),
+                        "del",
+                    ),
+                };
+                profiler.record(points::QUEUED_FOR_RIB, || format!("{what} {net}"));
+                let xrl = Xrl::generic("rib", "rib", "1.0", method, args);
+                xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                profiler.record(points::SENT_TO_RIB, || format!("{what} {net}"));
+            });
+
+            for (id, asn) in peers {
+                let mut cfg = PeerConfig::simple(PeerId(id), xorp_net::AsNum(asn));
+                cfg.consistency_check = check;
+                if let Some(policy) = peer_policies.get(&id) {
+                    if let Some(src) = &policy.import {
+                        let mut bank = xorp_policy::FilterBank::accept_by_default();
+                        bank.push_source("import", src).expect("bad import policy");
+                        cfg.import = bank;
+                    }
+                    if let Some(src) = &policy.export {
+                        let mut bank = xorp_policy::FilterBank::accept_by_default();
+                        bank.push_source("export", src).expect("bad export policy");
+                        cfg.export = bank;
+                    }
+                    if policy.damping {
+                        cfg.damping = Some(xorp_bgp::DampingConfig::default());
+                    }
+                }
+                bgp.add_peer(el, cfg, Some(Rc::new(|_el, _update| {})));
+                bgp.peering_up(el, PeerId(id));
+            }
+
+            let bgp = Rc::new(RefCell::new(bgp));
+            el.set_slot(BgpSlot(bgp.clone()));
+
+            router.register_target("bgp", "bgp-0", true).unwrap();
+            let b = bgp.clone();
+            router.add_fn("bgp-0", "bgp/1.0/invalidate", move |el, args| {
+                let net = args.get_ipv4net("net")?;
+                b.borrow_mut().invalidate_nexthops(el, net);
+                Ok(XrlArgs::new())
+            });
+        });
+
+        MultiProcessRouter {
+            profiler,
+            finder,
+            bgp,
+            _rib: rib,
+            _fea: fea,
+        }
+    }
+
+    /// Feed an UPDATE to a peer (runs on the BGP loop).
+    pub fn apply_update(&self, peer: u32, update: UpdateIn<Ipv4Addr>) {
+        self.bgp.post(move |el| {
+            let slot = el.slot::<BgpSlot>().expect("bgp slot").0.clone();
+            slot.borrow_mut().apply_update(el, PeerId(peer), update);
+        });
+    }
+
+    /// Feed a pre-generated backbone batch as one UPDATE.
+    pub fn feed_backbone(&self, peer: u32, batch: &[BackboneRoute]) {
+        let attrs = batch[0].attrs.clone();
+        let nets: Vec<Ipv4Net> = batch.iter().map(|r| r.net).collect();
+        self.apply_update(
+            peer,
+            UpdateIn {
+                withdrawn: vec![],
+                announce: Some((attrs, nets)),
+            },
+        );
+    }
+
+    /// Announce one prefix (the §8.2 test route).
+    pub fn announce_one(&self, peer: u32, net: Ipv4Net, nexthop: Ipv4Addr) {
+        let attrs = Arc::new(PathAttributes::new(IpAddr::V4(nexthop)));
+        self.apply_update(
+            peer,
+            UpdateIn {
+                withdrawn: vec![],
+                announce: Some((attrs, vec![net])),
+            },
+        );
+    }
+
+    /// Withdraw one prefix.
+    pub fn withdraw_one(&self, peer: u32, net: Ipv4Net) {
+        self.apply_update(
+            peer,
+            UpdateIn {
+                withdrawn: vec![net],
+                announce: None,
+            },
+        );
+    }
+
+    /// Routes currently in the FEA's FIB (cross-thread query).
+    pub fn fea_route_count(&self) -> usize {
+        self._fea.call(|el| {
+            el.slot::<FeaSlot>()
+                .map(|s| s.0.borrow().route_count4())
+                .unwrap_or(0)
+        })
+    }
+
+    /// Routes currently in the RIB's final table.
+    pub fn rib_route_count(&self) -> usize {
+        self._rib.call(|el| {
+            el.slot::<RibSlot>()
+                .map(|s| s.0.borrow().route_count())
+                .unwrap_or(0)
+        })
+    }
+
+    /// BGP PeerIn route count across peers.
+    pub fn bgp_route_count(&self) -> usize {
+        self.bgp.call(|el| {
+            el.slot::<BgpSlot>()
+                .map(|s| s.0.borrow().route_count())
+                .unwrap_or(0)
+        })
+    }
+
+    /// Consistency violations from the RIB's cache stage, if enabled.
+    pub fn rib_violations(&self) -> Vec<String> {
+        self._rib.call(|el| {
+            el.slot::<RibSlot>()
+                .map(|s| s.0.borrow().consistency_violations())
+                .unwrap_or_default()
+        })
+    }
+
+    /// Spin until `pred()` or timeout; returns success.
+    pub fn wait_for(&self, timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pred()
+    }
+
+    /// Shut the router down.
+    pub fn stop(self) {
+        self.bgp.stop();
+        self._rib.stop();
+        self._fea.stop();
+    }
+}

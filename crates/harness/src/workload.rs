@@ -1,0 +1,210 @@
+//! Synthetic routing workloads.
+//!
+//! The paper's full-table experiments use "a full Internet backbone
+//! routing feed consisting of 146515 routes" (§8.2).  We cannot ship a
+//! 2004 RouteViews dump, so [`backbone_table`] synthesizes a table with
+//! the same scale and a realistic prefix-length mix (dominated by /24s,
+//! with substantial /16–/22 mass), grouped into UPDATE-sized batches that
+//! share attribute blocks the way real feeds do.  Generation is seeded and
+//! deterministic.
+
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xorp_net::{AsPath, Ipv4Net, PathAttributes, Prefix};
+
+/// The paper's table size.
+pub const PAPER_TABLE_SIZE: usize = 146_515;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of routes.
+    pub routes: usize,
+    /// RNG seed (fixed default for reproducibility).
+    pub seed: u64,
+    /// Routes per shared attribute block (≈ routes per UPDATE).
+    pub batch: usize,
+    /// Nexthop pool: routes pick among this many distinct nexthops inside
+    /// 192.168.0.0/16.
+    pub nexthops: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            routes: PAPER_TABLE_SIZE,
+            seed: 0x9e3779b97f4a7c15,
+            batch: 64,
+            nexthops: 16,
+        }
+    }
+}
+
+/// One generated route (an announcement within a batch).
+#[derive(Debug, Clone)]
+pub struct BackboneRoute {
+    /// Destination prefix.
+    pub net: Ipv4Net,
+    /// Shared attribute block (same `Arc` within a batch).
+    pub attrs: Arc<PathAttributes>,
+}
+
+/// Approximate 2004 backbone prefix-length mass (per cent, /8../24).
+const LEN_WEIGHTS: [(u8, u32); 12] = [
+    (8, 1),
+    (13, 2),
+    (14, 3),
+    (15, 3),
+    (16, 12),
+    (17, 4),
+    (18, 5),
+    (19, 9),
+    (20, 8),
+    (21, 7),
+    (22, 9),
+    (24, 37),
+];
+
+fn pick_len(rng: &mut StdRng) -> u8 {
+    let total: u32 = LEN_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0..total);
+    for (len, w) in LEN_WEIGHTS {
+        if x < w {
+            return len;
+        }
+        x -= w;
+    }
+    24
+}
+
+/// Generate a synthetic backbone table.  Prefixes are unique; batches of
+/// `config.batch` consecutive routes share one attribute block (one AS
+/// path, one nexthop), as routes arriving in one UPDATE do.
+pub fn backbone_table(config: &WorkloadConfig) -> Vec<BackboneRoute> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut seen = std::collections::HashSet::with_capacity(config.routes * 2);
+    let mut out = Vec::with_capacity(config.routes);
+    let mut attrs: Option<Arc<PathAttributes>> = None;
+
+    while out.len() < config.routes {
+        if out.len() % config.batch == 0 || attrs.is_none() {
+            attrs = Some(Arc::new(random_attrs(&mut rng, config)));
+        }
+        let len = pick_len(&mut rng);
+        // Public-ish space: avoid 0/8, 10/8 (test probes), 127/8, 192/8
+        // (the experiment's nexthop/connected infrastructure — a generated
+        // prefix colliding with or overlaying 192.168.0.0/16 would change
+        // the expected table sizes), 224+/8.
+        let first = loop {
+            let f = rng.gen_range(1u32..=223);
+            if ![10, 127, 192].contains(&f) {
+                break f;
+            }
+        };
+        let bits = (first << 24) | (rng.gen::<u32>() & 0x00ff_ffff);
+        let net = match Prefix::new(Ipv4Addr::from(bits), len) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        if !seen.insert(net) {
+            continue;
+        }
+        out.push(BackboneRoute {
+            net,
+            attrs: attrs.clone().unwrap(),
+        });
+    }
+    out
+}
+
+fn random_attrs(rng: &mut StdRng, config: &WorkloadConfig) -> PathAttributes {
+    let nh_index = rng.gen_range(0..config.nexthops as u32);
+    let nexthop = Ipv4Addr::from(0xc0a8_0100u32 + nh_index); // 192.168.1.x
+    let mut attrs = PathAttributes::new(IpAddr::V4(nexthop));
+    let len = rng.gen_range(2..=6);
+    attrs.as_path = AsPath::from_sequence((0..len).map(|_| rng.gen_range(1000..65000)));
+    attrs.med = rng.gen_bool(0.3).then(|| rng.gen_range(0..200));
+    attrs
+}
+
+/// The §8.2 test routes: "we introduce a new route every two seconds" —
+/// 255 distinct /24s inside 10.0.0.0/8 (the paper's example records
+/// `10.0.1.0/24`).
+pub fn test_route(i: u32) -> Ipv4Net {
+    Prefix::new(Ipv4Addr::from(0x0a00_0000u32 | ((i + 1) << 8)), 24).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_unique() {
+        let cfg = WorkloadConfig {
+            routes: 5000,
+            ..Default::default()
+        };
+        let a = backbone_table(&cfg);
+        let b = backbone_table(&cfg);
+        assert_eq!(a.len(), 5000);
+        assert_eq!(
+            a.iter().map(|r| r.net).collect::<Vec<_>>(),
+            b.iter().map(|r| r.net).collect::<Vec<_>>()
+        );
+        let set: std::collections::HashSet<_> = a.iter().map(|r| r.net).collect();
+        assert_eq!(set.len(), 5000);
+    }
+
+    #[test]
+    fn length_distribution_is_24_heavy() {
+        let cfg = WorkloadConfig {
+            routes: 20_000,
+            ..Default::default()
+        };
+        let table = backbone_table(&cfg);
+        let n24 = table.iter().filter(|r| r.net.len() == 24).count();
+        let frac = n24 as f64 / table.len() as f64;
+        assert!((0.30..0.45).contains(&frac), "/24 fraction {frac}");
+        assert!(table.iter().all(|r| (8..=24).contains(&r.net.len())));
+    }
+
+    #[test]
+    fn batches_share_attribute_blocks() {
+        let cfg = WorkloadConfig {
+            routes: 256,
+            batch: 64,
+            ..Default::default()
+        };
+        let table = backbone_table(&cfg);
+        assert!(Arc::ptr_eq(&table[0].attrs, &table[63].attrs));
+        assert!(!Arc::ptr_eq(&table[0].attrs, &table[64].attrs));
+    }
+
+    #[test]
+    fn routes_avoid_reserved_space() {
+        let cfg = WorkloadConfig {
+            routes: 5000,
+            ..Default::default()
+        };
+        for r in backbone_table(&cfg) {
+            let first = r.net.addr().octets()[0];
+            assert!(
+                ![0, 10, 127, 192].contains(&first) && first < 224,
+                "{}",
+                r.net
+            );
+        }
+    }
+
+    #[test]
+    fn test_routes_distinct_in_10_slash_8() {
+        let ten: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let set: std::collections::HashSet<_> = (0..255).map(test_route).collect();
+        assert_eq!(set.len(), 255);
+        assert!(set.iter().all(|n| ten.contains(n)));
+        assert_eq!(test_route(0).to_string(), "10.0.1.0/24");
+    }
+}

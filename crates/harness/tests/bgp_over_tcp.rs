@@ -1,0 +1,281 @@
+//! Two complete BGP routers on separate threads, speaking RFC-format BGP
+//! over a genuine TCP connection: FSM establishment, UPDATE exchange,
+//! convergence, and teardown when the peer dies.
+
+use std::cell::RefCell;
+use std::net::{IpAddr, Ipv4Addr, TcpListener};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use xorp_bgp::bgp::UpdateIn;
+use xorp_bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
+use xorp_bgp::peer_out::UpdateOut;
+use xorp_bgp::session::{Session, SessionConfig, SessionHandler};
+use xorp_bgp::{BgpConfig, BgpProcess, PeerConfig, PeerId, UpdateMessage};
+use xorp_event::{EventLoop, EventSender};
+use xorp_harness::bgp_wire::{accept_one, TcpTransport, WireSessions};
+use xorp_net::{AsNum, AsPath, PathAttributes, Prefix};
+
+struct Flat;
+impl NexthopService<Ipv4Addr> for Flat {
+    fn resolve_nexthop(&self, el: &mut EventLoop, addr: Ipv4Addr, cb: AnswerCb<Ipv4Addr>) {
+        let valid: Prefix<Ipv4Addr> = "192.168.0.0/16".parse().unwrap();
+        cb(
+            el,
+            RibNexthopAnswer {
+                valid,
+                metric: valid.contains_addr(addr).then_some(1),
+            },
+        );
+    }
+}
+
+struct Glue {
+    bgp: Rc<RefCell<BgpProcess<Ipv4Addr>>>,
+    peer: PeerId,
+}
+
+impl SessionHandler for Glue {
+    fn on_peering_up(&self, el: &mut EventLoop) {
+        self.bgp.borrow_mut().peering_up(el, self.peer);
+    }
+    fn on_peering_down(&self, el: &mut EventLoop) {
+        self.bgp.borrow_mut().peering_down(el, self.peer);
+    }
+    fn on_update(&self, el: &mut EventLoop, update: UpdateMessage) {
+        let announce = update.nexthop.map(|nh| {
+            let mut attrs = PathAttributes::new(IpAddr::V4(nh));
+            attrs.as_path = update.as_path.clone().unwrap_or_default();
+            attrs.med = update.med;
+            attrs.local_pref = update.local_pref;
+            (Arc::new(attrs), update.nlri.clone())
+        });
+        self.bgp.borrow_mut().apply_update(
+            el,
+            self.peer,
+            UpdateIn {
+                withdrawn: update.withdrawn,
+                announce,
+            },
+        );
+    }
+}
+
+/// Loop slot giving the test thread access to this router's BgpProcess.
+struct BgpHandle(Rc<RefCell<BgpProcess<Ipv4Addr>>>);
+
+#[derive(Default)]
+struct Shared {
+    best: AtomicUsize,
+    established: AtomicUsize,
+    state: AtomicUsize,
+    history: std::sync::Mutex<String>,
+}
+
+enum Wire {
+    Dial(std::net::SocketAddr),
+    Listen(TcpListener),
+}
+
+fn spawn_router(
+    local_as: u32,
+    wire: Wire,
+    shared: Arc<Shared>,
+) -> (EventSender, std::thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let mut el = EventLoop::new();
+        let bgp = Rc::new(RefCell::new(BgpProcess::new(
+            BgpConfig {
+                local_as: AsNum(local_as),
+                router_id: Ipv4Addr::from(local_as),
+                local_addr: IpAddr::V4(Ipv4Addr::new(192, 168, 0, (local_as % 250) as u8)),
+                hold_time: 9, // short so teardown tests run quickly
+            },
+            Rc::new(Flat),
+        )));
+        el.set_slot(BgpHandle(bgp.clone()));
+
+        // A synthetic feed peer on each router.
+        bgp.borrow_mut()
+            .add_peer(&mut el, PeerConfig::simple(PeerId(1), AsNum(64999)), None);
+        bgp.borrow_mut().peering_up(&mut el, PeerId(1));
+
+        // The wire peer (id 7) with a TCP transport.
+        let transport = match &wire {
+            Wire::Dial(addr) => TcpTransport::active(7, el.sender(), *addr),
+            Wire::Listen(_) => TcpTransport::passive(7, el.sender()),
+        };
+        let session = Rc::new(RefCell::new(Session::new(
+            SessionConfig {
+                local_as: AsNum(local_as),
+                router_id: Ipv4Addr::from(local_as),
+                hold_time: 9,
+                connect_retry: Duration::from_secs(1),
+            },
+            transport.clone(),
+            Rc::new(Glue {
+                bgp: bgp.clone(),
+                peer: PeerId(7),
+            }),
+        )));
+        Session::attach(&session);
+        WireSessions::register(&mut el, 7, session.clone());
+
+        let sess_writer = session.clone();
+        bgp.borrow_mut().add_peer(
+            &mut el,
+            PeerConfig::simple(PeerId(7), AsNum(0)), // remote AS learned via OPEN
+            Some(Rc::new(
+                move |el: &mut EventLoop, out: UpdateOut<Ipv4Addr>| {
+                    Session::send_updates(el, &sess_writer, &[out]);
+                },
+            )),
+        );
+
+        if let Wire::Listen(listener) = wire {
+            accept_one(listener, &transport);
+        }
+        Session::start(&mut el, &session);
+
+        // Publish observable state for the test thread.
+        let shared2 = shared.clone();
+        let bgp2 = bgp.clone();
+        let session2 = session.clone();
+        el.every(Duration::from_millis(2), move |_el| {
+            shared2
+                .best
+                .store(bgp2.borrow().best_count(), Ordering::SeqCst);
+            shared2.established.store(
+                session2.borrow().is_established() as usize,
+                Ordering::SeqCst,
+            );
+            shared2
+                .state
+                .store(session2.borrow().state() as usize, Ordering::SeqCst);
+            *shared2.history.lock().unwrap() = session2
+                .borrow()
+                .history
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join("\n  ");
+        });
+
+        tx.send(el.sender()).unwrap();
+        el.run();
+    });
+    let sender = rx.recv().unwrap();
+    (sender, handle)
+}
+
+fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    pred()
+}
+
+#[test]
+fn real_tcp_bgp_end_to_end() {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let shared_a = Arc::new(Shared::default());
+    let shared_b = Arc::new(Shared::default());
+    let (a_sender, a_thread) = spawn_router(65001, Wire::Dial(addr), shared_a.clone());
+    let (b_sender, b_thread) = spawn_router(65002, Wire::Listen(listener), shared_b.clone());
+
+    // OPEN/KEEPALIVE establishment over real TCP.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            shared_a.established.load(Ordering::SeqCst) == 1
+                && shared_b.established.load(Ordering::SeqCst) == 1
+        }),
+        "sessions never established:\nA:\n  {}\nB:\n  {}",
+        shared_a.history.lock().unwrap(),
+        shared_b.history.lock().unwrap()
+    );
+
+    // Feed 40 routes into A via its synthetic peer; they must propagate to
+    // B as real UPDATE messages over the socket.
+    a_sender.post(|el| {
+        let bgp = el.slot::<BgpHandle>().unwrap().0.clone();
+        let mut attrs = PathAttributes::new(IpAddr::V4("192.168.1.1".parse().unwrap()));
+        attrs.as_path = AsPath::from_sequence([64999]);
+        let nets = (0..40u32)
+            .map(|i| Prefix::new(Ipv4Addr::from(0x0b00_0000 + (i << 8)), 24).unwrap())
+            .collect();
+        bgp.borrow_mut().apply_update(
+            el,
+            PeerId(1),
+            UpdateIn {
+                withdrawn: vec![],
+                announce: Some((Arc::new(attrs), nets)),
+            },
+        );
+    });
+
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            shared_b.best.load(Ordering::SeqCst) == 40
+        }),
+        "B never converged: a_best={} b_best={}\nA:\n  {}\nB:\n  {}",
+        shared_a.best.load(Ordering::SeqCst),
+        shared_b.best.load(Ordering::SeqCst),
+        shared_a.history.lock().unwrap(),
+        shared_b.history.lock().unwrap()
+    );
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            shared_a.best.load(Ordering::SeqCst) == 40
+        }),
+        "A's own table never published 40: a_best={}",
+        shared_a.best.load(Ordering::SeqCst)
+    );
+
+    // Withdraw half of them.
+    a_sender.post(|el| {
+        let bgp = el.slot::<BgpHandle>().unwrap().0.clone();
+        let withdrawn = (0..20u32)
+            .map(|i| Prefix::new(Ipv4Addr::from(0x0b00_0000 + (i << 8)), 24).unwrap())
+            .collect();
+        bgp.borrow_mut().apply_update(
+            el,
+            PeerId(1),
+            UpdateIn {
+                withdrawn,
+                announce: None,
+            },
+        );
+    });
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            shared_b.best.load(Ordering::SeqCst) == 20
+        }),
+        "withdrawals never reached B: best={}",
+        shared_b.best.load(Ordering::SeqCst)
+    );
+
+    // Kill B: A's session must die (socket close → TcpClosed) and B's
+    // routes vanish from A... (A learned nothing from B, so just check the
+    // session drop and that A's own table is intact.)
+    b_sender.stop();
+    b_thread.join().unwrap();
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            shared_a.established.load(Ordering::SeqCst) == 0
+        }),
+        "A never noticed B die"
+    );
+    assert_eq!(shared_a.best.load(Ordering::SeqCst), 20);
+
+    a_sender.stop();
+    a_thread.join().unwrap();
+}

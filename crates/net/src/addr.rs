@@ -1,0 +1,195 @@
+//! Address-family abstraction.
+//!
+//! The paper notes (§4) that "extensive use of C++ templates allows common
+//! source code to be used for both IPv4 and IPv6".  [`Addr`] plays the same
+//! role here: routing tables, stages and protocols are generic over it, and
+//! the compiler monomorphizes efficient code for each family.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+use crate::error::NetError;
+
+/// An IP address usable as a routing-table key.
+///
+/// Implementations exist for [`Ipv4Addr`] and [`Ipv6Addr`].  Internally all
+/// trie arithmetic is done on *left-aligned* `u128` bit strings so that a
+/// single trie implementation serves both families: an IPv4 address
+/// `a.b.c.d` occupies the top 32 bits of the `u128`.
+pub trait Addr:
+    Copy + Clone + Eq + Ord + Hash + Debug + Display + FromStr + Send + Sync + 'static
+{
+    /// Number of bits in this address family (32 or 128).
+    const BITS: u8;
+
+    /// The all-zeroes address for this family.
+    const ZERO: Self;
+
+    /// Left-aligned bit representation: the address's bits occupy the most
+    /// significant `Self::BITS` bits of the returned value.
+    fn to_aligned_bits(self) -> u128;
+
+    /// Inverse of [`Addr::to_aligned_bits`]; bits below `Self::BITS` are
+    /// ignored.
+    fn from_aligned_bits(bits: u128) -> Self;
+
+    /// Parse from text, mapping the family's parse error into [`NetError`].
+    fn parse(s: &str) -> Result<Self, NetError> {
+        s.parse().map_err(|_| NetError::BadAddress(s.to_string()))
+    }
+
+    /// Extract an address of this family from a family-erased
+    /// [`std::net::IpAddr`], or `None` on family mismatch.
+    fn from_ipaddr(ip: std::net::IpAddr) -> Option<Self>;
+
+    /// Erase into [`std::net::IpAddr`].
+    fn to_ipaddr(self) -> std::net::IpAddr;
+}
+
+impl Addr for Ipv4Addr {
+    const BITS: u8 = 32;
+    const ZERO: Self = Ipv4Addr::UNSPECIFIED;
+
+    #[inline]
+    fn to_aligned_bits(self) -> u128 {
+        (u32::from(self) as u128) << 96
+    }
+
+    #[inline]
+    fn from_aligned_bits(bits: u128) -> Self {
+        Ipv4Addr::from((bits >> 96) as u32)
+    }
+
+    fn from_ipaddr(ip: std::net::IpAddr) -> Option<Self> {
+        match ip {
+            std::net::IpAddr::V4(a) => Some(a),
+            std::net::IpAddr::V6(_) => None,
+        }
+    }
+
+    fn to_ipaddr(self) -> std::net::IpAddr {
+        std::net::IpAddr::V4(self)
+    }
+}
+
+impl Addr for Ipv6Addr {
+    const BITS: u8 = 128;
+    const ZERO: Self = Ipv6Addr::UNSPECIFIED;
+
+    #[inline]
+    fn to_aligned_bits(self) -> u128 {
+        u128::from(self)
+    }
+
+    #[inline]
+    fn from_aligned_bits(bits: u128) -> Self {
+        Ipv6Addr::from(bits)
+    }
+
+    fn from_ipaddr(ip: std::net::IpAddr) -> Option<Self> {
+        match ip {
+            std::net::IpAddr::V6(a) => Some(a),
+            std::net::IpAddr::V4(_) => None,
+        }
+    }
+
+    fn to_ipaddr(self) -> std::net::IpAddr {
+        std::net::IpAddr::V6(self)
+    }
+}
+
+/// A 48-bit Ethernet MAC address, used by the FEA's interface model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Mac(pub [u8; 6]);
+
+impl Mac {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: Mac = Mac([0xff; 6]);
+
+    /// True if the multicast (group) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl Display for Mac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl FromStr for Mac {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut n = 0;
+        for part in s.split(':') {
+            if n >= 6 || part.len() != 2 {
+                return Err(NetError::BadMac(s.to_string()));
+            }
+            out[n] = u8::from_str_radix(part, 16).map_err(|_| NetError::BadMac(s.to_string()))?;
+            n += 1;
+        }
+        if n != 6 {
+            return Err(NetError::BadMac(s.to_string()));
+        }
+        Ok(Mac(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_bit_roundtrip() {
+        let a: Ipv4Addr = "192.168.1.77".parse().unwrap();
+        assert_eq!(Ipv4Addr::from_aligned_bits(a.to_aligned_bits()), a);
+        // Left alignment: top octet of the address is the top octet of the u128.
+        assert_eq!((a.to_aligned_bits() >> 120) as u8, 192);
+    }
+
+    #[test]
+    fn v6_bit_roundtrip() {
+        let a: Ipv6Addr = "2001:db8::dead:beef".parse().unwrap();
+        assert_eq!(Ipv6Addr::from_aligned_bits(a.to_aligned_bits()), a);
+    }
+
+    #[test]
+    fn v4_zero_is_unspecified() {
+        assert_eq!(Ipv4Addr::ZERO, Ipv4Addr::new(0, 0, 0, 0));
+        assert_eq!(Ipv4Addr::ZERO.to_aligned_bits(), 0);
+    }
+
+    #[test]
+    fn mac_parse_display_roundtrip() {
+        let m: Mac = "00:1a:2b:3c:4d:5e".parse().unwrap();
+        assert_eq!(m.to_string(), "00:1a:2b:3c:4d:5e");
+        assert!(!m.is_multicast());
+        assert!(Mac::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn mac_parse_rejects_garbage() {
+        assert!("00:1a:2b:3c:4d".parse::<Mac>().is_err());
+        assert!("00:1a:2b:3c:4d:5e:6f".parse::<Mac>().is_err());
+        assert!("zz:1a:2b:3c:4d:5e".parse::<Mac>().is_err());
+        assert!("001a:2b:3c:4d:5e".parse::<Mac>().is_err());
+    }
+
+    #[test]
+    fn addr_parse_helper() {
+        assert!(Ipv4Addr::parse("10.0.0.1").is_ok());
+        assert!(Ipv4Addr::parse("10.0.0.256").is_err());
+        assert!(Ipv6Addr::parse("::1").is_ok());
+        assert!(Ipv6Addr::parse(":::").is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Autonomous-system numbers and AS paths.
+//!
+//! The AS path is BGP's loop-prevention and path-length metric.  It is a
+//! sequence of segments, each either an ordered `AsSequence` or an unordered
+//! `AsSet` (produced by route aggregation).  Path length for decision
+//! purposes counts a set as one hop (RFC 4271 §9.1.2.2).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::NetError;
+use crate::heapsize::HeapSize;
+
+/// A 4-byte autonomous system number (RFC 6793).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsNum(pub u32);
+
+impl AsNum {
+    /// `AS_TRANS` (23456), used when a 4-byte AS must be represented in a
+    /// 2-byte field.
+    pub const TRANS: AsNum = AsNum(23456);
+
+    /// True if the number fits in the classic 2-byte AS space.
+    pub fn is_2byte(&self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+}
+
+impl fmt::Display for AsNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl FromStr for AsNum {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<u32>()
+            .map(AsNum)
+            .map_err(|_| NetError::BadAsNumber(s.to_string()))
+    }
+}
+
+impl HeapSize for AsNum {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+/// One segment of an AS path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AsPathSegment {
+    /// An ordered sequence of ASes the route has traversed.
+    Sequence(Vec<AsNum>),
+    /// An unordered set of ASes, produced by aggregation.
+    Set(Vec<AsNum>),
+}
+
+impl AsPathSegment {
+    fn ases(&self) -> &[AsNum] {
+        match self {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v,
+        }
+    }
+
+    /// Decision-process length contribution: a sequence counts each hop, a
+    /// set counts one.
+    fn path_len(&self) -> usize {
+        match self {
+            AsPathSegment::Sequence(v) => v.len(),
+            AsPathSegment::Set(v) => usize::from(!v.is_empty()),
+        }
+    }
+}
+
+impl HeapSize for AsPathSegment {
+    fn heap_size(&self) -> usize {
+        match self {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v.heap_size(),
+        }
+    }
+}
+
+/// A full AS path: a list of segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AsPath {
+    segments: Vec<AsPathSegment>,
+}
+
+impl AsPath {
+    /// The empty path (locally originated route).
+    pub fn empty() -> Self {
+        AsPath::default()
+    }
+
+    /// A path consisting of a single sequence.
+    pub fn from_sequence<I: IntoIterator<Item = u32>>(ases: I) -> Self {
+        AsPath {
+            segments: vec![AsPathSegment::Sequence(
+                ases.into_iter().map(AsNum).collect(),
+            )],
+        }
+    }
+
+    /// The segments in order.
+    pub fn segments(&self) -> &[AsPathSegment] {
+        &self.segments
+    }
+
+    /// Construct from segments.
+    pub fn from_segments(segments: Vec<AsPathSegment>) -> Self {
+        AsPath { segments }
+    }
+
+    /// Decision-process path length (sets count one).
+    pub fn path_len(&self) -> usize {
+        self.segments.iter().map(AsPathSegment::path_len).sum()
+    }
+
+    /// True if `asn` appears anywhere in the path (loop detection).
+    pub fn contains(&self, asn: AsNum) -> bool {
+        self.segments.iter().any(|s| s.ases().contains(&asn))
+    }
+
+    /// The first AS of the path — the neighbor that sent us the route — or
+    /// `None` for an empty path or a path starting with a set.
+    pub fn first_as(&self) -> Option<AsNum> {
+        match self.segments.first() {
+            Some(AsPathSegment::Sequence(v)) => v.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// The last AS of the path — the route's originator — if determinable.
+    pub fn origin_as(&self) -> Option<AsNum> {
+        match self.segments.last() {
+            Some(AsPathSegment::Sequence(v)) => v.last().copied(),
+            _ => None,
+        }
+    }
+
+    /// Return a new path with `asn` prepended, as done when advertising to
+    /// an external peer.  Extends the leading sequence if present, otherwise
+    /// adds one.
+    pub fn prepend(&self, asn: AsNum) -> Self {
+        let mut segments = self.segments.clone();
+        match segments.first_mut() {
+            Some(AsPathSegment::Sequence(v)) => v.insert(0, asn),
+            _ => segments.insert(0, AsPathSegment::Sequence(vec![asn])),
+        }
+        AsPath { segments }
+    }
+
+    /// Total number of ASes mentioned (for wire-format sizing).
+    pub fn as_count(&self) -> usize {
+        self.segments.iter().map(|s| s.ases().len()).sum()
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match seg {
+                AsPathSegment::Sequence(v) => {
+                    let strs: Vec<String> = v.iter().map(|a| a.to_string()).collect();
+                    write!(f, "{}", strs.join(" "))?;
+                }
+                AsPathSegment::Set(v) => {
+                    let strs: Vec<String> = v.iter().map(|a| a.to_string()).collect();
+                    write!(f, "{{{}}}", strs.join(","))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl HeapSize for AsPath {
+    fn heap_size(&self) -> usize {
+        self.segments.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_len_counts_sets_as_one() {
+        let p = AsPath::from_segments(vec![
+            AsPathSegment::Sequence(vec![AsNum(1), AsNum(2)]),
+            AsPathSegment::Set(vec![AsNum(3), AsNum(4), AsNum(5)]),
+        ]);
+        assert_eq!(p.path_len(), 3);
+        assert_eq!(p.as_count(), 5);
+    }
+
+    #[test]
+    fn prepend_extends_leading_sequence() {
+        let p = AsPath::from_sequence([2, 3]);
+        let q = p.prepend(AsNum(1));
+        assert_eq!(q, AsPath::from_sequence([1, 2, 3]));
+        assert_eq!(q.first_as(), Some(AsNum(1)));
+        assert_eq!(q.origin_as(), Some(AsNum(3)));
+    }
+
+    #[test]
+    fn prepend_to_empty_and_to_set() {
+        assert_eq!(
+            AsPath::empty().prepend(AsNum(7)),
+            AsPath::from_sequence([7])
+        );
+        let p = AsPath::from_segments(vec![AsPathSegment::Set(vec![AsNum(2)])]);
+        let q = p.prepend(AsNum(1));
+        assert_eq!(q.segments().len(), 2);
+        assert_eq!(q.first_as(), Some(AsNum(1)));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let p = AsPath::from_segments(vec![
+            AsPathSegment::Sequence(vec![AsNum(1)]),
+            AsPathSegment::Set(vec![AsNum(9)]),
+        ]);
+        assert!(p.contains(AsNum(9)));
+        assert!(p.contains(AsNum(1)));
+        assert!(!p.contains(AsNum(2)));
+    }
+
+    #[test]
+    fn display_format() {
+        let p = AsPath::from_segments(vec![
+            AsPathSegment::Sequence(vec![AsNum(65001), AsNum(65002)]),
+            AsPathSegment::Set(vec![AsNum(3), AsNum(4)]),
+        ]);
+        assert_eq!(p.to_string(), "65001 65002 {3,4}");
+        assert_eq!(AsPath::empty().to_string(), "");
+    }
+
+    #[test]
+    fn as_num_parse() {
+        assert_eq!("65001".parse::<AsNum>().unwrap(), AsNum(65001));
+        assert!("x".parse::<AsNum>().is_err());
+        assert!(AsNum(65001).is_2byte());
+        assert!(!AsNum(70000).is_2byte());
+    }
+}

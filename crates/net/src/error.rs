@@ -1,0 +1,35 @@
+//! Error type for parsing and manipulating network primitives.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating addresses, prefixes and
+/// path attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A textual address failed to parse.
+    BadAddress(String),
+    /// A prefix length was out of range for the address family.
+    BadPrefixLen { len: u8, max: u8 },
+    /// A textual prefix was malformed (missing `/`, bad parts, ...).
+    BadPrefix(String),
+    /// An AS number was out of range or malformed.
+    BadAsNumber(String),
+    /// A MAC address failed to parse.
+    BadMac(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadAddress(s) => write!(f, "bad address: {s}"),
+            NetError::BadPrefixLen { len, max } => {
+                write!(f, "prefix length {len} exceeds maximum {max}")
+            }
+            NetError::BadPrefix(s) => write!(f, "bad prefix: {s}"),
+            NetError::BadAsNumber(s) => write!(f, "bad AS number: {s}"),
+            NetError::BadMac(s) => write!(f, "bad MAC address: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,990 @@
+//! A binary Patricia (radix) trie keyed by network prefixes, with **safe
+//! route iterators** (§5.3 of the paper).
+//!
+//! Routing tables are walked by background tasks — a BGP deletion stage
+//! drains >100,000 routes across many event-loop slices — and the table may
+//! be mutated while the task is paused.  A naive iterator would dangle.  The
+//! paper's solution, reproduced here:
+//!
+//! > "we use some spare bits in each route tree node to hold a reference
+//! > count of the number of iterators currently pointing at this tree node.
+//! > If the route tree receives a request to delete a node, the node's data
+//! > is invalidated, but the node itself is not removed immediately unless
+//! > the reference count is zero.  It is the responsibility of the last
+//! > iterator leaving a previously-deleted node to actually perform the
+//! > deletion."
+//!
+//! [`IterHandle`] is that iterator: a detached cursor that never borrows the
+//! trie, advanced by [`PatriciaTrie::iter_next`].  While a handle rests on a
+//! node, that node is refcounted and survives `remove`; the payload is
+//! invalidated immediately (so lookups stay consistent) and physical unlink
+//! is deferred to the last departing iterator.
+//!
+//! Nodes live in an arena (`Vec` + free list) so handles are stable indices,
+//! not pointers; generation counters catch stale handles in debug builds.
+
+use std::fmt;
+
+use crate::addr::Addr;
+use crate::heapsize::HeapSize;
+use crate::prefix::Prefix;
+
+type NodeIdx = u32;
+const NIL: NodeIdx = u32::MAX;
+
+struct Node<A: Addr, T> {
+    prefix: Prefix<A>,
+    parent: NodeIdx,
+    children: [NodeIdx; 2],
+    payload: Option<T>,
+    /// Number of safe iterators currently resting on this node — the
+    /// paper's "spare bits" reference count.
+    iter_refs: u32,
+    /// Arena generation, bumped on free; detects stale handles.
+    generation: u32,
+}
+
+impl<A: Addr, T> Node<A, T> {
+    fn child_count(&self) -> u8 {
+        (self.children[0] != NIL) as u8 + (self.children[1] != NIL) as u8
+    }
+}
+
+/// A detached, mutation-safe cursor over a [`PatriciaTrie`].
+///
+/// Obtain with [`PatriciaTrie::iter_handle`], advance with
+/// [`PatriciaTrie::iter_next`], and release with
+/// [`PatriciaTrie::iter_release`] (dropping the handle without releasing it
+/// leaks the refcount and pins one node's memory — harmless but untidy; the
+/// trie's `Drop` does not care).
+#[derive(Debug)]
+pub struct IterHandle {
+    cur: NodeIdx,
+    generation: u32,
+    /// False until the first `iter_next`.
+    started: bool,
+}
+
+/// Binary radix trie over [`Prefix`] keys.
+///
+/// Supports exact and longest-prefix lookups, subtree queries, ordinary
+/// borrow-based iteration, and the handle-based safe iteration described in
+/// the module docs.  Iteration order is (address bits, prefix length) —
+/// i.e. a less specific prefix is visited before its more-specifics.
+pub struct PatriciaTrie<A: Addr, T> {
+    nodes: Vec<Node<A, T>>,
+    free: Vec<NodeIdx>,
+    root: NodeIdx,
+    len: usize,
+}
+
+impl<A: Addr, T> Default for PatriciaTrie<A, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Addr, T> PatriciaTrie<A, T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        let root = Node {
+            prefix: Prefix::default_route(),
+            parent: NIL,
+            children: [NIL, NIL],
+            payload: None,
+            iter_refs: 0,
+            generation: 0,
+        };
+        PatriciaTrie {
+            nodes: vec![root],
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of stored routes (zombie nodes awaiting unlink don't count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no routes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of arena slots currently allocated (diagnostics / memory
+    /// accounting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn node(&self, i: NodeIdx) -> &Node<A, T> {
+        &self.nodes[i as usize]
+    }
+
+    fn node_mut(&mut self, i: NodeIdx) -> &mut Node<A, T> {
+        &mut self.nodes[i as usize]
+    }
+
+    fn alloc(&mut self, prefix: Prefix<A>, parent: NodeIdx, payload: Option<T>) -> NodeIdx {
+        if let Some(i) = self.free.pop() {
+            let generation = self.node(i).generation;
+            let n = self.node_mut(i);
+            n.prefix = prefix;
+            n.parent = parent;
+            n.children = [NIL, NIL];
+            n.payload = payload;
+            n.iter_refs = 0;
+            n.generation = generation;
+            i
+        } else {
+            self.nodes.push(Node {
+                prefix,
+                parent,
+                children: [NIL, NIL],
+                payload,
+                iter_refs: 0,
+                generation: 0,
+            });
+            (self.nodes.len() - 1) as NodeIdx
+        }
+    }
+
+    fn dealloc(&mut self, i: NodeIdx) {
+        debug_assert_ne!(i, self.root);
+        let n = self.node_mut(i);
+        debug_assert_eq!(n.iter_refs, 0);
+        n.payload = None;
+        n.generation = n.generation.wrapping_add(1);
+        self.free.push(i);
+    }
+
+    /// Which child slot of `parent_prefix` the prefix `p` falls under.
+    fn slot(parent_prefix: &Prefix<A>, p: &Prefix<A>) -> usize {
+        p.bit(parent_prefix.len()) as usize
+    }
+
+    /// Insert `value` at `net`, returning the previous value if any.
+    pub fn insert(&mut self, net: Prefix<A>, value: T) -> Option<T> {
+        let mut cur = self.root;
+        loop {
+            let cur_prefix = self.node(cur).prefix;
+            debug_assert!(cur_prefix.contains(&net));
+            if cur_prefix == net {
+                let n = self.node_mut(cur);
+                let old = n.payload.replace(value);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                return old;
+            }
+            let slot = Self::slot(&cur_prefix, &net);
+            let child = self.node(cur).children[slot];
+            if child == NIL {
+                let leaf = self.alloc(net, cur, Some(value));
+                self.node_mut(cur).children[slot] = leaf;
+                self.len += 1;
+                return None;
+            }
+            let child_prefix = self.node(child).prefix;
+            if child_prefix.contains(&net) {
+                cur = child;
+                continue;
+            }
+            if net.contains(&child_prefix) {
+                // New node sits between cur and child.
+                let mid = self.alloc(net, cur, Some(value));
+                let child_slot = Self::slot(&net, &child_prefix);
+                self.node_mut(mid).children[child_slot] = child;
+                self.node_mut(child).parent = mid;
+                self.node_mut(cur).children[slot] = mid;
+                self.len += 1;
+                return None;
+            }
+            // Diverge: split with a payload-less junction at the common
+            // subnet, with `net`'s new leaf and `child` beneath it.
+            let common = net.common_subnet(&child_prefix);
+            debug_assert!(common.len() > cur_prefix.len());
+            let junction = self.alloc(common, cur, None);
+            let leaf = self.alloc(net, junction, Some(value));
+            let net_slot = Self::slot(&common, &net);
+            let child_slot = Self::slot(&common, &child_prefix);
+            debug_assert_ne!(net_slot, child_slot);
+            self.node_mut(junction).children[net_slot] = leaf;
+            self.node_mut(junction).children[child_slot] = child;
+            self.node_mut(child).parent = junction;
+            self.node_mut(cur).children[slot] = junction;
+            self.len += 1;
+            return None;
+        }
+    }
+
+    /// Find the arena node exactly matching `net`, payload-bearing or not.
+    fn find_node(&self, net: &Prefix<A>) -> Option<NodeIdx> {
+        let mut cur = self.root;
+        loop {
+            let cur_prefix = self.node(cur).prefix;
+            if cur_prefix == *net {
+                return Some(cur);
+            }
+            if cur_prefix.len() >= net.len() {
+                return None;
+            }
+            let slot = Self::slot(&cur_prefix, net);
+            let child = self.node(cur).children[slot];
+            if child == NIL || !self.node(child).prefix.contains(net) {
+                // Went past; the only remaining possibility is that the
+                // child IS net, handled by contains (equal prefixes contain
+                // each other).
+                return None;
+            }
+            cur = child;
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, net: &Prefix<A>) -> Option<&T> {
+        self.find_node(net)
+            .and_then(|i| self.node(i).payload.as_ref())
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, net: &Prefix<A>) -> Option<&mut T> {
+        match self.find_node(net) {
+            Some(i) => self.nodes[i as usize].payload.as_mut(),
+            None => None,
+        }
+    }
+
+    /// True if a route exists exactly at `net`.
+    pub fn contains_key(&self, net: &Prefix<A>) -> bool {
+        self.get(net).is_some()
+    }
+
+    /// Longest-prefix match for an address: the most specific stored route
+    /// containing `addr`.
+    pub fn longest_match(&self, addr: A) -> Option<(Prefix<A>, &T)> {
+        let host = Prefix::host(addr);
+        let mut best: Option<NodeIdx> = None;
+        let mut cur = self.root;
+        loop {
+            let n = self.node(cur);
+            if !n.prefix.contains(&host) {
+                break;
+            }
+            if n.payload.is_some() {
+                best = Some(cur);
+            }
+            if n.prefix.len() >= A::BITS {
+                break;
+            }
+            let child = n.children[Self::slot(&n.prefix, &host)];
+            if child == NIL {
+                break;
+            }
+            cur = child;
+        }
+        best.map(|i| {
+            let n = self.node(i);
+            (n.prefix, n.payload.as_ref().unwrap())
+        })
+    }
+
+    /// The most specific stored route that *strictly* contains `net`
+    /// (a covering, less-specific route).
+    pub fn best_covering(&self, net: &Prefix<A>) -> Option<(Prefix<A>, &T)> {
+        let mut best: Option<NodeIdx> = None;
+        let mut cur = self.root;
+        loop {
+            let n = self.node(cur);
+            if !(n.prefix.contains(net) && n.prefix.len() < net.len()) {
+                break;
+            }
+            if n.payload.is_some() {
+                best = Some(cur);
+            }
+            let child = n.children[Self::slot(&n.prefix, net)];
+            if child == NIL {
+                break;
+            }
+            cur = child;
+        }
+        best.map(|i| {
+            let n = self.node(i);
+            (n.prefix, n.payload.as_ref().unwrap())
+        })
+    }
+
+    /// Remove the route at `net`, returning its value.
+    ///
+    /// If safe iterators currently rest on the node, the payload is removed
+    /// (so all lookups immediately stop seeing the route) but the node
+    /// skeleton is retained until the last iterator departs.
+    pub fn remove(&mut self, net: &Prefix<A>) -> Option<T> {
+        let idx = self.find_node(net)?;
+        let n = self.node_mut(idx);
+        let old = n.payload.take()?;
+        self.len -= 1;
+        if self.node(idx).iter_refs == 0 {
+            self.cleanup(idx);
+        }
+        Some(old)
+    }
+
+    /// Physically unlink `idx` if it is structurally unnecessary: no
+    /// payload, no iterators, fewer than two children, not the root.
+    /// Cascades upward, since removing a leaf can leave its parent
+    /// spliceable.
+    fn cleanup(&mut self, mut idx: NodeIdx) {
+        loop {
+            if idx == self.root {
+                return;
+            }
+            let n = self.node(idx);
+            if n.payload.is_some() || n.iter_refs > 0 {
+                return;
+            }
+            let parent = n.parent;
+            match n.child_count() {
+                2 => return,
+                1 => {
+                    // Splice the single child up to the parent.
+                    let child = if n.children[0] != NIL {
+                        n.children[0]
+                    } else {
+                        n.children[1]
+                    };
+                    let pslot = self.parent_slot(idx);
+                    self.node_mut(parent).children[pslot] = child;
+                    self.node_mut(child).parent = parent;
+                    self.dealloc(idx);
+                    // Parent's child count is unchanged; no cascade.
+                    return;
+                }
+                _ => {
+                    let pslot = self.parent_slot(idx);
+                    self.node_mut(parent).children[pslot] = NIL;
+                    self.dealloc(idx);
+                    idx = parent;
+                }
+            }
+        }
+    }
+
+    /// Which child slot of its parent `idx` occupies.
+    fn parent_slot(&self, idx: NodeIdx) -> usize {
+        let parent = self.node(idx).parent;
+        debug_assert_ne!(parent, NIL);
+        if self.node(parent).children[0] == idx {
+            0
+        } else {
+            debug_assert_eq!(self.node(parent).children[1], idx);
+            1
+        }
+    }
+
+    /// Preorder successor in the node structure (payload-bearing or not).
+    fn next_structural(&self, n: NodeIdx) -> NodeIdx {
+        let node = self.node(n);
+        if node.children[0] != NIL {
+            return node.children[0];
+        }
+        if node.children[1] != NIL {
+            return node.children[1];
+        }
+        let mut cur = n;
+        loop {
+            let parent = self.node(cur).parent;
+            if parent == NIL {
+                return NIL;
+            }
+            let p = self.node(parent);
+            if p.children[0] == cur && p.children[1] != NIL {
+                return p.children[1];
+            }
+            cur = parent;
+        }
+    }
+
+    /// The first payload node at-or-after `n` in preorder (inclusive when
+    /// `inclusive`).
+    fn next_payload(&self, mut n: NodeIdx, inclusive: bool) -> NodeIdx {
+        if n == NIL {
+            return NIL;
+        }
+        if !inclusive {
+            n = self.next_structural(n);
+        }
+        while n != NIL && self.node(n).payload.is_none() {
+            n = self.next_structural(n);
+        }
+        n
+    }
+
+    // ----- safe (handle-based) iteration -------------------------------
+
+    /// Create a safe iterator positioned before the first route.
+    pub fn iter_handle(&mut self) -> IterHandle {
+        IterHandle {
+            cur: NIL,
+            generation: 0,
+            started: false,
+        }
+    }
+
+    /// Create a safe iterator positioned before the first route at or
+    /// below `net` — used by deletion stages draining a peer's table.
+    /// Iteration still runs to the very end of the trie; callers bound it
+    /// with the subtree check themselves or use ordinary subtree iteration.
+    pub fn iter_handle_from(&mut self, net: &Prefix<A>) -> IterHandle {
+        // Find the topmost node whose prefix falls inside `net` (the node
+        // for `net` itself if it exists).
+        let mut cur = self.root;
+        let top = loop {
+            let n = self.node(cur);
+            if net.contains(&n.prefix) {
+                break cur;
+            }
+            if !n.prefix.contains(net) {
+                break NIL;
+            }
+            let child = n.children[Self::slot(&n.prefix, net)];
+            if child == NIL {
+                break NIL;
+            }
+            cur = child;
+        };
+        let target = if top == NIL {
+            NIL
+        } else {
+            self.next_payload(top, true)
+        };
+        if target == NIL {
+            IterHandle {
+                cur: NIL,
+                generation: 0,
+                started: true, // exhausted, do not restart from the root
+            }
+        } else {
+            self.node_mut(target).iter_refs += 1;
+            IterHandle {
+                cur: target,
+                generation: self.node(target).generation,
+                started: false,
+            }
+        }
+    }
+
+    fn leave(&mut self, idx: NodeIdx) {
+        if idx == NIL {
+            return;
+        }
+        let n = self.node_mut(idx);
+        debug_assert!(n.iter_refs > 0, "iterator refcount underflow");
+        n.iter_refs -= 1;
+        // Last iterator leaving a previously-deleted node performs the
+        // deferred deletion (§5.3).
+        if self.node(idx).iter_refs == 0 && self.node(idx).payload.is_none() {
+            self.cleanup(idx);
+        }
+    }
+
+    /// Advance a safe iterator, returning the next route.
+    ///
+    /// Safe to call with arbitrary inserts/removes between calls; a route
+    /// deleted while the iterator rested on it is skipped, and routes
+    /// inserted behind the cursor are not revisited.
+    pub fn iter_next(&mut self, h: &mut IterHandle) -> Option<(Prefix<A>, &T)> {
+        let next = if h.cur == NIL {
+            if h.started {
+                return None; // exhausted
+            }
+            h.started = true;
+            self.next_payload(self.root, true)
+        } else {
+            debug_assert_eq!(
+                self.node(h.cur).generation,
+                h.generation,
+                "stale iterator handle"
+            );
+            if !h.started {
+                // Handle from iter_handle_from already rests on its first
+                // payload node; yield it without advancing.
+                h.started = true;
+                let cur = h.cur;
+                if self.node(cur).payload.is_some() {
+                    let n = self.node(cur);
+                    return Some((n.prefix, n.payload.as_ref().unwrap()));
+                }
+                self.next_payload(cur, false)
+            } else {
+                self.next_payload(h.cur, false)
+            }
+        };
+
+        let old = h.cur;
+        if next != NIL {
+            self.node_mut(next).iter_refs += 1;
+            h.generation = self.node(next).generation;
+        }
+        h.cur = next;
+        if old != NIL {
+            self.leave(old);
+        }
+        if next == NIL {
+            None
+        } else {
+            let n = self.node(next);
+            Some((n.prefix, n.payload.as_ref().unwrap()))
+        }
+    }
+
+    /// Release a safe iterator, performing any deferred deletion it was
+    /// holding up.
+    pub fn iter_release(&mut self, h: IterHandle) {
+        if h.cur != NIL {
+            self.leave(h.cur);
+        }
+    }
+
+    /// The prefix a safe iterator currently rests on, if any.
+    pub fn iter_position(&self, h: &IterHandle) -> Option<Prefix<A>> {
+        if h.cur == NIL {
+            None
+        } else {
+            Some(self.node(h.cur).prefix)
+        }
+    }
+
+    // ----- borrow-based iteration ---------------------------------------
+
+    /// Iterate all routes in (bits, length) order.  Requires no concurrent
+    /// mutation (ordinary borrow rules); use [`IterHandle`] otherwise.
+    pub fn iter(&self) -> Iter<'_, A, T> {
+        Iter {
+            trie: self,
+            next: self.next_payload(self.root, true),
+        }
+    }
+
+    /// Iterate the routes at or below `net` (i.e. `net` and all of its
+    /// more-specifics).
+    pub fn iter_subtree(&self, net: &Prefix<A>) -> SubtreeIter<'_, A, T> {
+        // Find the topmost node whose prefix is contained in `net`.
+        let mut cur = self.root;
+        let top = loop {
+            let n = self.node(cur);
+            if net.contains(&n.prefix) {
+                break cur;
+            }
+            if !n.prefix.contains(net) {
+                break NIL;
+            }
+            let child = n.children[Self::slot(&n.prefix, net)];
+            if child == NIL {
+                break NIL;
+            }
+            cur = child;
+        };
+        let next = if top == NIL {
+            NIL
+        } else {
+            self.next_payload(top, true)
+        };
+        SubtreeIter {
+            trie: self,
+            net: *net,
+            next,
+        }
+    }
+
+    /// True if any route strictly more specific than `net` exists.
+    pub fn has_more_specific(&self, net: &Prefix<A>) -> bool {
+        self.iter_subtree(net).any(|(p, _)| p != *net)
+    }
+
+    /// Collect every stored prefix (test/diagnostic helper).
+    pub fn keys(&self) -> Vec<Prefix<A>> {
+        self.iter().map(|(p, _)| p).collect()
+    }
+
+    /// Remove all routes.  Safe-iterator handles become exhausted (their
+    /// nodes are retained until released).
+    pub fn clear(&mut self) {
+        let prefixes: Vec<Prefix<A>> = self.keys();
+        for p in prefixes {
+            self.remove(&p);
+        }
+    }
+}
+
+/// Borrow-based full iterator; see [`PatriciaTrie::iter`].
+pub struct Iter<'a, A: Addr, T> {
+    trie: &'a PatriciaTrie<A, T>,
+    next: NodeIdx,
+}
+
+impl<'a, A: Addr, T> Iterator for Iter<'a, A, T> {
+    type Item = (Prefix<A>, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == NIL {
+            return None;
+        }
+        let n = self.trie.node(self.next);
+        let item = (n.prefix, n.payload.as_ref().unwrap());
+        self.next = self.trie.next_payload(self.next, false);
+        Some(item)
+    }
+}
+
+/// Borrow-based subtree iterator; see [`PatriciaTrie::iter_subtree`].
+pub struct SubtreeIter<'a, A: Addr, T> {
+    trie: &'a PatriciaTrie<A, T>,
+    net: Prefix<A>,
+    next: NodeIdx,
+}
+
+impl<'a, A: Addr, T> Iterator for SubtreeIter<'a, A, T> {
+    type Item = (Prefix<A>, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == NIL {
+            return None;
+        }
+        let n = self.trie.node(self.next);
+        if !self.net.contains(&n.prefix) {
+            self.next = NIL;
+            return None;
+        }
+        let item = (n.prefix, n.payload.as_ref().unwrap());
+        self.next = self.trie.next_payload(self.next, false);
+        Some(item)
+    }
+}
+
+impl<'a, A: Addr, T> IntoIterator for &'a PatriciaTrie<A, T> {
+    type Item = (Prefix<A>, &'a T);
+    type IntoIter = Iter<'a, A, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<A: Addr, T: fmt::Debug> fmt::Debug for PatriciaTrie<A, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<A: Addr, T: HeapSize> HeapSize for PatriciaTrie<A, T> {
+    fn heap_size(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node<A, T>>()
+            + self.free.capacity() * std::mem::size_of::<NodeIdx>()
+            + self.iter().map(|(_, t)| t.heap_size()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    type Trie = PatriciaTrie<Ipv4Addr, u32>;
+
+    fn p(s: &str) -> Prefix<Ipv4Addr> {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = Trie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.1.0.0/16"), 2), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 3), Some(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&3));
+        assert_eq!(t.get(&p("10.1.0.0/16")), Some(&2));
+        assert_eq!(t.get(&p("10.2.0.0/16")), None);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(3));
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn default_route_storable() {
+        let mut t = Trie::new();
+        t.insert(p("0.0.0.0/0"), 9);
+        assert_eq!(t.get(&p("0.0.0.0/0")), Some(&9));
+        assert_eq!(t.longest_match(a("1.2.3.4")).unwrap().0, p("0.0.0.0/0"));
+        assert_eq!(t.remove(&p("0.0.0.0/0")), Some(9));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_match_walks_down() {
+        let mut t = Trie::new();
+        t.insert(p("128.16.0.0/16"), 16);
+        t.insert(p("128.16.0.0/18"), 18);
+        t.insert(p("128.16.128.0/17"), 17);
+        t.insert(p("128.16.192.0/18"), 19);
+        // The Figure 8 queries:
+        assert_eq!(
+            t.longest_match(a("128.16.32.1")).unwrap().0,
+            p("128.16.0.0/18")
+        );
+        assert_eq!(
+            t.longest_match(a("128.16.160.1")).unwrap().0,
+            p("128.16.128.0/17")
+        );
+        assert_eq!(
+            t.longest_match(a("128.16.192.1")).unwrap().0,
+            p("128.16.192.0/18")
+        );
+        assert_eq!(
+            t.longest_match(a("128.16.64.1")).unwrap().0,
+            p("128.16.0.0/16")
+        );
+        assert_eq!(t.longest_match(a("1.1.1.1")), None);
+    }
+
+    #[test]
+    fn divergent_insert_creates_junction() {
+        let mut t = Trie::new();
+        t.insert(p("10.64.0.0/16"), 1);
+        t.insert(p("10.128.0.0/16"), 2);
+        // Junction is 10.0.0.0/8-ish payload-less node; both reachable.
+        assert_eq!(t.get(&p("10.64.0.0/16")), Some(&1));
+        assert_eq!(t.get(&p("10.128.0.0/16")), Some(&2));
+        assert_eq!(t.len(), 2);
+        // Junction carries no payload:
+        assert_eq!(t.get(&p("10.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn insert_between_parent_and_child() {
+        let mut t = Trie::new();
+        t.insert(p("10.1.1.0/24"), 24);
+        t.insert(p("10.0.0.0/8"), 8); // goes above the /24
+        t.insert(p("10.1.0.0/16"), 16); // goes between them
+        assert_eq!(t.longest_match(a("10.1.1.5")).unwrap().1, &24);
+        assert_eq!(t.longest_match(a("10.1.2.5")).unwrap().1, &16);
+        assert_eq!(t.longest_match(a("10.9.9.9")).unwrap().1, &8);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut t = Trie::new();
+        let mut prefixes = vec![
+            p("192.168.0.0/16"),
+            p("10.0.0.0/8"),
+            p("10.1.0.0/16"),
+            p("172.16.0.0/12"),
+            p("10.1.128.0/17"),
+            p("0.0.0.0/0"),
+        ];
+        for (i, pre) in prefixes.iter().enumerate() {
+            t.insert(*pre, i as u32);
+        }
+        prefixes.sort();
+        assert_eq!(t.keys(), prefixes);
+    }
+
+    #[test]
+    fn subtree_iteration() {
+        let mut t = Trie::new();
+        for s in [
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "10.2.0.0/16",
+            "11.0.0.0/8",
+        ] {
+            t.insert(p(s), 0);
+        }
+        let subtree: Vec<_> = t.iter_subtree(&p("10.1.0.0/16")).map(|(k, _)| k).collect();
+        assert_eq!(subtree, vec![p("10.1.0.0/16"), p("10.1.2.0/24")]);
+        let all10: Vec<_> = t.iter_subtree(&p("10.0.0.0/8")).map(|(k, _)| k).collect();
+        assert_eq!(all10.len(), 4);
+        assert!(t.iter_subtree(&p("12.0.0.0/8")).next().is_none());
+        assert!(t.has_more_specific(&p("10.1.0.0/16")));
+        assert!(!t.has_more_specific(&p("10.1.2.0/24")));
+        assert!(!t.has_more_specific(&p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn best_covering_strict() {
+        let mut t = Trie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        assert_eq!(
+            t.best_covering(&p("10.1.0.0/16")).unwrap().0,
+            p("10.0.0.0/8")
+        );
+        assert_eq!(
+            t.best_covering(&p("10.1.2.0/24")).unwrap().0,
+            p("10.1.0.0/16")
+        );
+        assert_eq!(t.best_covering(&p("10.0.0.0/8")), None);
+        assert_eq!(t.best_covering(&p("11.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn safe_iter_basic_traversal() {
+        let mut t = Trie::new();
+        for s in ["10.0.0.0/8", "10.1.0.0/16", "20.0.0.0/8"] {
+            t.insert(p(s), 0);
+        }
+        let mut h = t.iter_handle();
+        let mut seen = Vec::new();
+        while let Some((k, _)) = t.iter_next(&mut h) {
+            seen.push(k);
+        }
+        t.iter_release(h);
+        assert_eq!(
+            seen,
+            vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("20.0.0.0/8")]
+        );
+    }
+
+    #[test]
+    fn safe_iter_survives_deletion_of_current_node() {
+        let mut t = Trie::new();
+        for s in ["10.0.0.0/8", "10.1.0.0/16", "20.0.0.0/8"] {
+            t.insert(p(s), 0);
+        }
+        let mut h = t.iter_handle();
+        assert_eq!(t.iter_next(&mut h).unwrap().0, p("10.0.0.0/8"));
+        // Delete the node the iterator rests on: payload vanishes but the
+        // iterator stays valid.
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(0));
+        assert_eq!(t.get(&p("10.0.0.0/8")), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.iter_next(&mut h).unwrap().0, p("10.1.0.0/16"));
+        assert_eq!(t.iter_next(&mut h).unwrap().0, p("20.0.0.0/8"));
+        assert_eq!(t.iter_next(&mut h), None);
+        t.iter_release(h);
+        // Deferred deletion completed: structure fully clean.
+        assert_eq!(t.keys(), vec![p("10.1.0.0/16"), p("20.0.0.0/8")]);
+    }
+
+    #[test]
+    fn deferred_deletion_happens_on_release() {
+        let mut t = Trie::new();
+        t.insert(p("10.0.0.0/8"), 0);
+        t.insert(p("20.0.0.0/8"), 0);
+        let before_nodes = t.node_count();
+        let mut h = t.iter_handle();
+        t.iter_next(&mut h); // rest on 10/8
+        t.remove(&p("10.0.0.0/8"));
+        // Node skeleton retained while the iterator rests on it.
+        assert!(t.node_count() >= before_nodes);
+        t.iter_release(h);
+        // Released without advancing: the zombie is now reclaimed.
+        assert!(t.node_count() < before_nodes);
+        assert_eq!(t.keys(), vec![p("20.0.0.0/8")]);
+    }
+
+    #[test]
+    fn two_iterators_on_same_node() {
+        let mut t = Trie::new();
+        t.insert(p("10.0.0.0/8"), 0);
+        t.insert(p("20.0.0.0/8"), 0);
+        let mut h1 = t.iter_handle();
+        let mut h2 = t.iter_handle();
+        t.iter_next(&mut h1);
+        t.iter_next(&mut h2); // both rest on 10/8
+        t.remove(&p("10.0.0.0/8"));
+        t.iter_release(h1); // first leaves: node must survive for h2
+        assert_eq!(t.iter_next(&mut h2).unwrap().0, p("20.0.0.0/8"));
+        assert_eq!(t.iter_next(&mut h2), None);
+        t.iter_release(h2);
+        assert_eq!(t.keys(), vec![p("20.0.0.0/8")]);
+    }
+
+    #[test]
+    fn reinsert_into_zombie_node() {
+        let mut t = Trie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("20.0.0.0/8"), 1);
+        let mut h = t.iter_handle();
+        t.iter_next(&mut h); // rest on 10/8
+        t.remove(&p("10.0.0.0/8"));
+        // Re-add while the node is a zombie: must resurrect cleanly.
+        t.insert(p("10.0.0.0/8"), 2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        // Iterator continues; it does NOT revisit the resurrected node.
+        assert_eq!(t.iter_next(&mut h).unwrap().0, p("20.0.0.0/8"));
+        t.iter_release(h);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn insertions_ahead_of_cursor_are_seen() {
+        let mut t = Trie::new();
+        t.insert(p("10.0.0.0/8"), 0);
+        t.insert(p("30.0.0.0/8"), 0);
+        let mut h = t.iter_handle();
+        assert_eq!(t.iter_next(&mut h).unwrap().0, p("10.0.0.0/8"));
+        t.insert(p("20.0.0.0/8"), 0); // ahead of cursor
+        t.insert(p("5.0.0.0/8"), 0); // behind cursor
+        let rest: Vec<_> = std::iter::from_fn(|| t.iter_next(&mut h).map(|(k, _)| k)).collect();
+        t.iter_release(h);
+        assert_eq!(rest, vec![p("20.0.0.0/8"), p("30.0.0.0/8")]);
+    }
+
+    #[test]
+    fn iter_handle_from_subtree_start() {
+        let mut t = Trie::new();
+        for s in ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "20.0.0.0/8"] {
+            t.insert(p(s), 0);
+        }
+        let mut h = t.iter_handle_from(&p("10.1.0.0/16"));
+        assert_eq!(t.iter_next(&mut h).unwrap().0, p("10.1.0.0/16"));
+        assert_eq!(t.iter_next(&mut h).unwrap().0, p("10.1.2.0/24"));
+        // Runs past the subtree by design.
+        assert_eq!(t.iter_next(&mut h).unwrap().0, p("20.0.0.0/8"));
+        t.iter_release(h);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = Trie::new();
+        for i in 0..100u32 {
+            t.insert(Prefix::new(Ipv4Addr::from(i << 16), 16).unwrap(), i);
+        }
+        assert_eq!(t.len(), 100);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn node_reuse_via_free_list() {
+        let mut t = Trie::new();
+        for round in 0..3 {
+            for i in 0..50u32 {
+                t.insert(Prefix::new(Ipv4Addr::from(i << 20), 12).unwrap(), round);
+            }
+            for i in 0..50u32 {
+                t.remove(&Prefix::new(Ipv4Addr::from(i << 20), 12).unwrap());
+            }
+        }
+        assert!(t.is_empty());
+        // Arena does not grow unboundedly across rounds.
+        assert!(t.nodes.len() < 200, "arena grew to {}", t.nodes.len());
+    }
+
+    #[test]
+    fn heap_size_nonzero() {
+        let mut t = Trie::new();
+        t.insert(p("10.0.0.0/8"), 7);
+        assert!(t.heap_size() > 0);
+    }
+}

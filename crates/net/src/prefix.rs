@@ -1,0 +1,347 @@
+//! Network prefixes and the subnet arithmetic used throughout the stack.
+//!
+//! Beyond the usual contains/overlaps tests, this module implements the
+//! operation at the heart of the RIB's interest-registration protocol
+//! (§5.2.1, Figure 8): given a covering route and the set of more-specific
+//! routes overlaying it, find the **largest enclosing subnet of an address
+//! that is not overlaid by a more specific route**.  That computation lives
+//! in the RIB crate, but the primitive steps (`child`, `contains`,
+//! `common_subnet`) live here.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::Hash;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+use crate::addr::Addr;
+use crate::error::NetError;
+use crate::heapsize::HeapSize;
+
+/// A network prefix: an address and a mask length.
+///
+/// The address is always stored in *canonical* form, i.e. with all bits
+/// below the mask length cleared, so two `Prefix` values compare equal iff
+/// they denote the same subnet.
+///
+/// Ordering sorts by address bits first and then by mask length (shorter,
+/// i.e. less specific, first) — the order a routing table walk produces.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix<A: Addr> {
+    addr: A,
+    len: u8,
+}
+
+/// An IPv4 prefix such as `10.0.0.0/8`.
+pub type Ipv4Net = Prefix<Ipv4Addr>;
+/// An IPv6 prefix such as `2001:db8::/32`.
+pub type Ipv6Net = Prefix<Ipv6Addr>;
+
+impl<A: Addr> Prefix<A> {
+    /// Create a prefix, canonicalizing the address (host bits cleared).
+    ///
+    /// Returns an error if `len` exceeds the family's bit width.
+    pub fn new(addr: A, len: u8) -> Result<Self, NetError> {
+        if len > A::BITS {
+            return Err(NetError::BadPrefixLen { len, max: A::BITS });
+        }
+        let bits = addr.to_aligned_bits() & mask(len);
+        Ok(Prefix {
+            addr: A::from_aligned_bits(bits),
+            len,
+        })
+    }
+
+    /// The default route (`0.0.0.0/0` or `::/0`).
+    pub fn default_route() -> Self {
+        Prefix {
+            addr: A::ZERO,
+            len: 0,
+        }
+    }
+
+    /// A host route (`/32` or `/128`) for `addr`.
+    pub fn host(addr: A) -> Self {
+        Prefix { addr, len: A::BITS }
+    }
+
+    /// The network address.
+    pub fn addr(&self) -> A {
+        self.addr
+    }
+
+    /// The mask length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length default route.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Left-aligned bit representation of the network address.
+    pub fn bits(&self) -> u128 {
+        self.addr.to_aligned_bits()
+    }
+
+    /// True if `self` contains the address `a` (every prefix contains the
+    /// addresses inside it; the default route contains everything).
+    pub fn contains_addr(&self, a: A) -> bool {
+        (a.to_aligned_bits() & mask(self.len)) == self.bits()
+    }
+
+    /// True if `self` contains `other` (i.e. `other` is the same subnet or a
+    /// more-specific subnet of `self`).
+    pub fn contains(&self, other: &Self) -> bool {
+        self.len <= other.len && (other.bits() & mask(self.len)) == self.bits()
+    }
+
+    /// True if the two prefixes share any address — which for prefixes means
+    /// one contains the other.
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The immediate parent (one bit shorter), or `None` for the default
+    /// route.
+    pub fn parent(&self) -> Option<Self> {
+        if self.len == 0 {
+            return None;
+        }
+        let len = self.len - 1;
+        Some(Prefix {
+            addr: A::from_aligned_bits(self.bits() & mask(len)),
+            len,
+        })
+    }
+
+    /// The two children (one bit longer), or `None` for host routes.
+    ///
+    /// `child(0)` is the low half, `child(1)` the high half.
+    pub fn child(&self, which: u8) -> Option<Self> {
+        if self.len >= A::BITS {
+            return None;
+        }
+        let len = self.len + 1;
+        let mut bits = self.bits();
+        if which != 0 {
+            bits |= 1u128 << (128 - len as u32);
+        }
+        Some(Prefix {
+            addr: A::from_aligned_bits(bits),
+            len,
+        })
+    }
+
+    /// The longest prefix containing both `self` and `other`.
+    pub fn common_subnet(&self, other: &Self) -> Self {
+        let max_len = self.len.min(other.len);
+        let diff = self.bits() ^ other.bits();
+        let common = if diff == 0 {
+            128
+        } else {
+            diff.leading_zeros() as u8
+        };
+        let len = max_len.min(common);
+        Prefix {
+            addr: A::from_aligned_bits(self.bits() & mask(len)),
+            len,
+        }
+    }
+
+    /// The lowest address in the prefix (the network address itself).
+    pub fn first_addr(&self) -> A {
+        self.addr
+    }
+
+    /// The highest address in the prefix (all host bits set).
+    pub fn last_addr(&self) -> A {
+        A::from_aligned_bits(self.bits() | !mask(self.len))
+    }
+
+    /// The value of bit `i` (0 = most significant) of the network address.
+    /// Used by the trie to pick branches.
+    pub fn bit(&self, i: u8) -> u8 {
+        debug_assert!(i < A::BITS);
+        ((self.bits() >> (127 - i as u32)) & 1) as u8
+    }
+}
+
+/// Left-aligned mask with `len` leading one-bits.
+#[inline]
+pub(crate) fn mask(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else if len >= 128 {
+        u128::MAX
+    } else {
+        u128::MAX << (128 - len as u32)
+    }
+}
+
+impl<A: Addr> PartialOrd for Prefix<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<A: Addr> Ord for Prefix<A> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bits()
+            .cmp(&other.bits())
+            .then(self.len.cmp(&other.len))
+    }
+}
+
+impl<A: Addr> fmt::Display for Prefix<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+// Debug renders the same as Display: "10.0.0.0/8" reads better in test
+// failures than a struct dump.
+impl<A: Addr> fmt::Debug for Prefix<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl<A: Addr> FromStr for Prefix<A> {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, l) = s
+            .split_once('/')
+            .ok_or_else(|| NetError::BadPrefix(s.to_string()))?;
+        let addr = A::parse(a)?;
+        let len: u8 = l.parse().map_err(|_| NetError::BadPrefix(s.to_string()))?;
+        Prefix::new(addr, len)
+    }
+}
+
+impl<A: Addr> HeapSize for Prefix<A> {
+    fn heap_size(&self) -> usize {
+        0 // Copy type, no heap storage.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Net {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "128.16.0.0/16", "1.2.3.4/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        assert_eq!(p("10.1.2.3/8"), p("10.0.0.0/8"));
+        assert_eq!(p("10.1.2.3/8").to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!("10.0.0.0".parse::<Ipv4Net>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Net>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Net>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Net>().is_err());
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let outer = p("128.16.0.0/16");
+        let inner = p("128.16.192.0/18");
+        let other = p("128.17.0.0/16");
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.overlaps(&inner) && inner.overlaps(&outer));
+        assert!(!outer.overlaps(&other));
+        assert!(outer.contains(&outer));
+    }
+
+    #[test]
+    fn contains_addr() {
+        let n = p("128.16.128.0/17");
+        assert!(n.contains_addr("128.16.160.1".parse().unwrap()));
+        assert!(!n.contains_addr("128.16.32.1".parse().unwrap()));
+        assert!(Ipv4Net::default_route().contains_addr("255.255.255.255".parse().unwrap()));
+    }
+
+    #[test]
+    fn parent_child() {
+        let n = p("128.16.128.0/18");
+        assert_eq!(n.parent().unwrap(), p("128.16.128.0/17"));
+        assert_eq!(n.child(0).unwrap(), p("128.16.128.0/19"));
+        assert_eq!(n.child(1).unwrap(), p("128.16.160.0/19"));
+        assert_eq!(Ipv4Net::default_route().parent(), None);
+        assert_eq!(p("1.2.3.4/32").child(0), None);
+    }
+
+    #[test]
+    fn paper_figure8_children() {
+        // 128.16.128.0/17 splits into /18 halves: 128.16.128.0/18 and
+        // 128.16.192.0/18 — the latter is the overlaying route in Figure 8.
+        let h = p("128.16.128.0/17");
+        assert_eq!(h.child(0).unwrap(), p("128.16.128.0/18"));
+        assert_eq!(h.child(1).unwrap(), p("128.16.192.0/18"));
+    }
+
+    #[test]
+    fn common_subnet() {
+        assert_eq!(
+            p("128.16.0.0/18").common_subnet(&p("128.16.192.0/18")),
+            p("128.16.0.0/16")
+        );
+        assert_eq!(
+            p("10.0.0.0/8").common_subnet(&p("10.0.0.0/24")),
+            p("10.0.0.0/8")
+        );
+        assert_eq!(
+            p("0.0.0.0/0").common_subnet(&p("1.2.3.4/32")),
+            Ipv4Net::default_route()
+        );
+    }
+
+    #[test]
+    fn first_last_addr() {
+        let n = p("10.1.0.0/16");
+        assert_eq!(n.first_addr(), "10.1.0.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(n.last_addr(), "10.1.255.255".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn ordering_walk_order() {
+        let mut v = vec![p("128.16.128.0/17"), p("128.16.0.0/16"), p("10.0.0.0/8")];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![p("10.0.0.0/8"), p("128.16.0.0/16"), p("128.16.128.0/17")]
+        );
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let n = p("128.0.0.0/1");
+        assert_eq!(n.bit(0), 1);
+        let n = p("64.0.0.0/2");
+        assert_eq!(n.bit(0), 0);
+        assert_eq!(n.bit(1), 1);
+    }
+
+    #[test]
+    fn v6_prefixes() {
+        let n: Ipv6Net = "2001:db8::/32".parse().unwrap();
+        assert!(n.contains(&"2001:db8:1::/48".parse().unwrap()));
+        assert!(!n.contains(&"2001:db9::/32".parse().unwrap()));
+        assert_eq!(n.to_string(), "2001:db8::/32");
+    }
+}

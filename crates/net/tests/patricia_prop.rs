@@ -1,0 +1,207 @@
+//! Property tests: the Patricia trie against a `BTreeMap` reference model,
+//! including safe-iterator validity under interleaved mutation.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use xorp_net::{PatriciaTrie, Prefix};
+
+type Net = Prefix<Ipv4Addr>;
+
+fn arb_prefix() -> impl Strategy<Value = Net> {
+    // Skew toward short masks so prefixes nest and collide often.
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len).unwrap())
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Net, u32),
+    Remove(Net),
+    Lookup(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (arb_prefix(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+        2 => arb_prefix().prop_map(Op::Remove),
+        1 => any::<u32>().prop_map(Op::Lookup),
+    ]
+}
+
+/// Longest-prefix match in the reference model.
+fn model_longest_match(model: &BTreeMap<Net, u32>, addr: Ipv4Addr) -> Option<(Net, u32)> {
+    model
+        .iter()
+        .filter(|(p, _)| p.contains_addr(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*p, *v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Insert/remove/lookup agree with a BTreeMap model, and full iteration
+    /// yields the model's sorted key order.
+    #[test]
+    fn trie_matches_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut trie: PatriciaTrie<Ipv4Addr, u32> = PatriciaTrie::new();
+        let mut model: BTreeMap<Net, u32> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(p, v) => {
+                    prop_assert_eq!(trie.insert(p, v), model.insert(p, v));
+                }
+                Op::Remove(p) => {
+                    prop_assert_eq!(trie.remove(&p), model.remove(&p));
+                }
+                Op::Lookup(addr_bits) => {
+                    let addr = Ipv4Addr::from(addr_bits);
+                    let got = trie.longest_match(addr).map(|(p, v)| (p, *v));
+                    prop_assert_eq!(got, model_longest_match(&model, addr));
+                }
+            }
+            prop_assert_eq!(trie.len(), model.len());
+        }
+
+        let trie_items: Vec<(Net, u32)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        let model_items: Vec<(Net, u32)> = model.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(trie_items, model_items);
+    }
+
+    /// Subtree iteration equals model filtering.
+    #[test]
+    fn subtree_matches_model(
+        entries in proptest::collection::btree_map(arb_prefix(), any::<u32>(), 0..60),
+        root in arb_prefix(),
+    ) {
+        let mut trie: PatriciaTrie<Ipv4Addr, u32> = PatriciaTrie::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+        }
+        let got: Vec<Net> = trie.iter_subtree(&root).map(|(p, _)| p).collect();
+        let want: Vec<Net> = entries.keys().filter(|p| root.contains(p)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// best_covering returns the most specific strict ancestor.
+    #[test]
+    fn covering_matches_model(
+        entries in proptest::collection::btree_map(arb_prefix(), any::<u32>(), 0..60),
+        query in arb_prefix(),
+    ) {
+        let mut trie: PatriciaTrie<Ipv4Addr, u32> = PatriciaTrie::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+        }
+        let got = trie.best_covering(&query).map(|(p, _)| p);
+        let want = entries
+            .keys()
+            .filter(|p| p.contains(&query) && p.len() < query.len())
+            .max_by_key(|p| p.len())
+            .copied();
+        prop_assert_eq!(got, want);
+    }
+
+    /// A safe iterator interleaved with arbitrary mutation:
+    /// - never yields a route that was deleted before being yielded and not
+    ///   re-inserted,
+    /// - yields every route that was present at iterator creation and never
+    ///   touched,
+    /// - yields keys in strictly increasing order,
+    /// - and deferred deletion leaves the trie equal to the model at the end.
+    #[test]
+    fn safe_iter_under_mutation(
+        initial in proptest::collection::btree_map(arb_prefix(), any::<u32>(), 1..40),
+        ops in proptest::collection::vec(arb_op(), 0..80),
+        step in 1usize..5,
+    ) {
+        let mut trie: PatriciaTrie<Ipv4Addr, u32> = PatriciaTrie::new();
+        let mut model: BTreeMap<Net, u32> = BTreeMap::new();
+        for (p, v) in &initial {
+            trie.insert(*p, *v);
+            model.insert(*p, *v);
+        }
+        let untouched: std::collections::BTreeSet<Net> = {
+            let mut s: std::collections::BTreeSet<Net> =
+                initial.keys().copied().collect();
+            for op in &ops {
+                match op {
+                    Op::Insert(p, _) | Op::Remove(p) => { s.remove(p); }
+                    Op::Lookup(_) => {}
+                }
+            }
+            s
+        };
+
+        let mut h = trie.iter_handle();
+        let mut yielded: Vec<Net> = Vec::new();
+        let mut op_iter = ops.into_iter();
+        loop {
+            // Advance `step` positions, then apply one mutation.
+            let mut done = false;
+            for _ in 0..step {
+                match trie.iter_next(&mut h) {
+                    Some((p, _)) => yielded.push(p),
+                    None => { done = true; break; }
+                }
+            }
+            if done {
+                break;
+            }
+            if let Some(op) = op_iter.next() {
+                match op {
+                    Op::Insert(p, v) => { trie.insert(p, v); model.insert(p, v); }
+                    Op::Remove(p) => { trie.remove(&p); model.remove(&p); }
+                    Op::Lookup(_) => {}
+                }
+            }
+        }
+        trie.iter_release(h);
+
+        // Drain remaining mutations so trie == model at the end.
+        for op in op_iter {
+            match op {
+                Op::Insert(p, v) => { trie.insert(p, v); model.insert(p, v); }
+                Op::Remove(p) => { trie.remove(&p); model.remove(&p); }
+                Op::Lookup(_) => {}
+            }
+        }
+
+        // Strictly increasing yield order (never revisits, never goes back).
+        for w in yielded.windows(2) {
+            prop_assert!(w[0] < w[1], "yield order violated: {} then {}", w[0], w[1]);
+        }
+        // Every untouched initial route was yielded.
+        for p in &untouched {
+            prop_assert!(yielded.contains(p), "untouched route {} skipped", p);
+        }
+        // Final state equals model.
+        let trie_items: Vec<(Net, u32)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        let model_items: Vec<(Net, u32)> = model.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(trie_items, model_items);
+    }
+
+    /// Prefix arithmetic invariants used by the trie.
+    #[test]
+    fn prefix_invariants(p1 in arb_prefix(), p2 in arb_prefix()) {
+        let common = p1.common_subnet(&p2);
+        prop_assert!(common.contains(&p1));
+        prop_assert!(common.contains(&p2));
+        // Maximality: extending by one bit must lose one of them.
+        if common.len() < 32 {
+            let c0 = common.child(0).unwrap();
+            let c1 = common.child(1).unwrap();
+            prop_assert!(!(c0.contains(&p1) && c0.contains(&p2)));
+            prop_assert!(!(c1.contains(&p1) && c1.contains(&p2)));
+        }
+        if let Some(parent) = p1.parent() {
+            prop_assert!(parent.contains(&p1));
+            prop_assert_eq!(parent.len() + 1, p1.len());
+        }
+        // Text round-trip.
+        let s = p1.to_string();
+        prop_assert_eq!(s.parse::<Net>().unwrap(), p1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Abstract syntax for the policy language.
+
+use crate::target::Val;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `+` on u32
+    Add,
+    /// `-` (saturating) on u32
+    Sub,
+    /// `contains`: u32list ∋ u32
+    Contains,
+    /// `within`: net ⊆ net (left is inside right)
+    Within,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `!`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Val),
+    /// An attribute read.
+    Attr(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `if <expr> then <stmts> [else <stmts>] endif`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `set <attr> <expr>;`
+    Set(String, Expr),
+    /// `add-tag <expr>;` — append to the route's tag list (§8.3).
+    AddTag(Expr),
+    /// `accept;`
+    Accept,
+    /// `reject;`
+    Reject,
+    /// `pass;` — defer to the next policy in the bank.
+    Pass,
+}

@@ -1,0 +1,236 @@
+//! Compiler: AST → stack program.
+
+use crate::ast::{Expr, Stmt, UnOp};
+use crate::vm::{Op, Program};
+
+/// Compile statements into a [`Program`].
+pub fn compile_ast(stmts: &[Stmt]) -> Program {
+    let mut ops = Vec::new();
+    compile_stmts(stmts, &mut ops);
+    Program { ops }
+}
+
+fn compile_stmts(stmts: &[Stmt], ops: &mut Vec<Op>) {
+    for s in stmts {
+        compile_stmt(s, ops);
+    }
+}
+
+fn compile_stmt(s: &Stmt, ops: &mut Vec<Op>) {
+    match s {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            compile_expr(cond, ops);
+            let jif = ops.len();
+            ops.push(Op::JumpIfFalse(usize::MAX)); // patched below
+            compile_stmts(then_body, ops);
+            if else_body.is_empty() {
+                let end = ops.len();
+                ops[jif] = Op::JumpIfFalse(end);
+            } else {
+                let jmp = ops.len();
+                ops.push(Op::Jump(usize::MAX)); // patched below
+                let else_start = ops.len();
+                ops[jif] = Op::JumpIfFalse(else_start);
+                compile_stmts(else_body, ops);
+                let end = ops.len();
+                ops[jmp] = Op::Jump(end);
+            }
+        }
+        Stmt::Set(attr, e) => {
+            compile_expr(e, ops);
+            ops.push(Op::Store(attr.clone()));
+        }
+        Stmt::AddTag(e) => {
+            compile_expr(e, ops);
+            ops.push(Op::AppendList("tag".into()));
+        }
+        Stmt::Accept => ops.push(Op::Accept),
+        Stmt::Reject => ops.push(Op::Reject),
+        Stmt::Pass => ops.push(Op::Pass),
+    }
+}
+
+fn compile_expr(e: &Expr, ops: &mut Vec<Op>) {
+    match e {
+        Expr::Lit(v) => ops.push(Op::Push(v.clone())),
+        Expr::Attr(name) => ops.push(Op::Load(name.clone())),
+        Expr::Bin(op, lhs, rhs) => {
+            compile_expr(lhs, ops);
+            compile_expr(rhs, ops);
+            ops.push(Op::Bin(*op));
+        }
+        Expr::Un(UnOp::Not, inner) => {
+            compile_expr(inner, ops);
+            ops.push(Op::Not);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{PolicyTarget, Val};
+    use crate::vm::Outcome;
+    use crate::{compile, parse};
+    use std::collections::HashMap;
+
+    #[derive(Default, Clone)]
+    struct Fake(HashMap<String, Val>);
+
+    impl Fake {
+        fn with(pairs: &[(&str, Val)]) -> Fake {
+            Fake(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            )
+        }
+    }
+
+    impl PolicyTarget for Fake {
+        fn get_attr(&self, f: &str) -> Option<Val> {
+            self.0.get(f).cloned()
+        }
+        fn set_attr(&mut self, f: &str, v: Val) -> Result<(), String> {
+            self.0.insert(f.to_string(), v);
+            Ok(())
+        }
+    }
+
+    fn run(src: &str, route: &mut Fake) -> Outcome {
+        compile(src).unwrap().run(route).unwrap()
+    }
+
+    #[test]
+    fn if_without_else() {
+        let src = "if metric > 10 then reject; endif accept;";
+        let mut lo = Fake::with(&[("metric", Val::U32(1))]);
+        assert_eq!(run(src, &mut lo), Outcome::Accept);
+        let mut hi = Fake::with(&[("metric", Val::U32(11))]);
+        assert_eq!(run(src, &mut hi), Outcome::Reject);
+    }
+
+    #[test]
+    fn if_with_else() {
+        let src = "if metric > 10 then set tagval 1; else set tagval 2; endif pass;";
+        let mut lo = Fake::with(&[("metric", Val::U32(1))]);
+        assert_eq!(run(src, &mut lo), Outcome::Pass);
+        assert_eq!(lo.0["tagval"], Val::U32(2));
+        let mut hi = Fake::with(&[("metric", Val::U32(11))]);
+        run(src, &mut hi);
+        assert_eq!(hi.0["tagval"], Val::U32(1));
+    }
+
+    #[test]
+    fn nested_ifs() {
+        let src = r#"
+            if metric > 5 then
+                if metric > 10 then
+                    reject;
+                else
+                    set localpref 50;
+                endif
+            endif
+            accept;
+        "#;
+        let mut mid = Fake::with(&[("metric", Val::U32(7))]);
+        assert_eq!(run(src, &mut mid), Outcome::Accept);
+        assert_eq!(mid.0["localpref"], Val::U32(50));
+        let mut hi = Fake::with(&[("metric", Val::U32(20))]);
+        assert_eq!(run(src, &mut hi), Outcome::Reject);
+        let mut lo = Fake::with(&[("metric", Val::U32(1))]);
+        assert_eq!(run(src, &mut lo), Outcome::Accept);
+        assert!(!lo.0.contains_key("localpref"));
+    }
+
+    #[test]
+    fn boolean_logic_and_not() {
+        let src = "if !(metric == 1) && (metric < 10 || metric > 100) then accept; endif reject;";
+        for (m, want) in [
+            (1u32, Outcome::Reject), // !(m==1) false
+            (5, Outcome::Accept),    // not 1, < 10
+            (50, Outcome::Reject),   // not 1, not <10, not >100
+            (200, Outcome::Accept),  // not 1, > 100
+        ] {
+            let mut r = Fake::with(&[("metric", Val::U32(m))]);
+            assert_eq!(run(src, &mut r), want, "metric={m}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_in_set() {
+        let src = "set localpref metric + 100;";
+        let mut r = Fake::with(&[("metric", Val::U32(20))]);
+        run(src, &mut r);
+        assert_eq!(r.0["localpref"], Val::U32(120));
+    }
+
+    #[test]
+    fn aspath_and_network_predicates() {
+        let src = r#"
+            if aspath contains 65001 then reject; endif
+            if network within 10.0.0.0/8 then
+                add-tag 99;
+                accept;
+            endif
+            pass;
+        "#;
+        let mut bad = Fake::with(&[
+            ("aspath", Val::U32List(vec![65000, 65001])),
+            ("network", Val::Net4("10.1.0.0/16".parse().unwrap())),
+        ]);
+        assert_eq!(run(src, &mut bad), Outcome::Reject);
+
+        let mut good = Fake::with(&[
+            ("aspath", Val::U32List(vec![65000])),
+            ("network", Val::Net4("10.1.0.0/16".parse().unwrap())),
+        ]);
+        assert_eq!(run(src, &mut good), Outcome::Accept);
+        assert_eq!(good.0["tag"], Val::U32List(vec![99]));
+
+        let mut outside = Fake::with(&[
+            ("aspath", Val::U32List(vec![65000])),
+            ("network", Val::Net4("192.168.0.0/16".parse().unwrap())),
+        ]);
+        assert_eq!(run(src, &mut outside), Outcome::Pass);
+    }
+
+    #[test]
+    fn community_match() {
+        let src = "if community contains 65001:100 then accept; endif reject;";
+        let packed = (65001u32 << 16) | 100;
+        let mut with = Fake::with(&[("community", Val::U32List(vec![packed]))]);
+        assert_eq!(run(src, &mut with), Outcome::Accept);
+        let mut without = Fake::with(&[("community", Val::U32List(vec![1]))]);
+        assert_eq!(run(src, &mut without), Outcome::Reject);
+    }
+
+    #[test]
+    fn text_compare() {
+        let src = r#"if protocol == "rip" then accept; endif reject;"#;
+        let mut rip = Fake::with(&[("protocol", Val::Text("rip".into()))]);
+        assert_eq!(run(src, &mut rip), Outcome::Accept);
+        let mut bgp = Fake::with(&[("protocol", Val::Text("ebgp".into()))]);
+        assert_eq!(run(src, &mut bgp), Outcome::Reject);
+    }
+
+    #[test]
+    fn parse_compile_snapshot() {
+        // The compiled form of a small program is stable and sensible.
+        let prog = compile("if a == 1 then accept; endif reject;").unwrap();
+        assert_eq!(prog.ops.len(), 6);
+        assert!(matches!(prog.ops[3], Op::JumpIfFalse(5)));
+    }
+
+    #[test]
+    fn empty_source() {
+        let prog = compile("").unwrap();
+        assert!(prog.ops.is_empty());
+        assert!(parse("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Tokenizer for the policy source language.
+
+use crate::PolicyError;
+
+/// A lexical token with its source line (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/value.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Keyword or attribute name: `if`, `set`, `metric`, `aspath-len`...
+    Ident(String),
+    /// Unsigned integer literal.
+    Num(u32),
+    /// `"..."` string literal (no escapes).
+    Str(String),
+    /// Prefix literal `10.0.0.0/8` or `2001:db8::/32`.
+    Net(String),
+    /// IP address literal.
+    Addr(String),
+    /// Community literal `65001:100` (packed into u32 later).
+    Community(u16, u16),
+    Eq,     // ==
+    Ne,     // !=
+    Lt,     // <
+    Le,     // <=
+    Gt,     // >
+    Ge,     // >=
+    AndAnd, // &&
+    OrOr,   // ||
+    Bang,   // !
+    Plus,   // +
+    Minus,  // -
+    LParen, // (
+    RParen, // )
+    Semi,   // ;
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// True if `s` looks like the start of an IP address or prefix rather than
+/// arithmetic.
+fn looks_numeric_addr(s: &str) -> bool {
+    // e.g. "10.0.0.1", "10.0.0.0/8"
+    let head: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '/' || *c == ':')
+        .collect();
+    head.contains('.')
+}
+
+/// Tokenize policy source.
+pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |msg: String, line: u32| PolicyError { message: msg, line };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                // Comment to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token {
+                    kind: Tok::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    kind: Tok::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token {
+                    kind: Tok::Semi,
+                    line,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token {
+                    kind: Tok::Plus,
+                    line,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token {
+                    kind: Tok::Minus,
+                    line,
+                });
+                i += 1;
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token {
+                        kind: Tok::Eq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(err("single '=' (use '==' or 'set')".into(), line));
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token {
+                        kind: Tok::Ne,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: Tok::Bang,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token {
+                        kind: Tok::Le,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: Tok::Lt,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token {
+                        kind: Tok::Ge,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: Tok::Gt,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    out.push(Token {
+                        kind: Tok::AndAnd,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(err("single '&'".into(), line));
+                }
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    out.push(Token {
+                        kind: Tok::OrOr,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(err("single '|'".into(), line));
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '"' {
+                    if chars[j] == '\n' {
+                        return Err(err("unterminated string".into(), line));
+                    }
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(err("unterminated string".into(), line));
+                }
+                out.push(Token {
+                    kind: Tok::Str(chars[start..j].iter().collect()),
+                    line,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                // Number, address, prefix, or community.
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_ascii_digit()
+                        || chars[j] == '.'
+                        || chars[j] == ':'
+                        || chars[j] == '/'
+                        || chars[j].is_ascii_hexdigit())
+                {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                i = j;
+                if text.contains('/') {
+                    out.push(Token {
+                        kind: Tok::Net(text),
+                        line,
+                    });
+                } else if looks_numeric_addr(&text) {
+                    out.push(Token {
+                        kind: Tok::Addr(text),
+                        line,
+                    });
+                } else if let Some((a, b)) = text.split_once(':') {
+                    let asn: u16 = a
+                        .parse()
+                        .map_err(|_| err(format!("bad community: {text}"), line))?;
+                    let val: u16 = b
+                        .parse()
+                        .map_err(|_| err(format!("bad community: {text}"), line))?;
+                    out.push(Token {
+                        kind: Tok::Community(asn, val),
+                        line,
+                    });
+                } else {
+                    let n: u32 = text
+                        .parse()
+                        .map_err(|_| err(format!("bad number: {text}"), line))?;
+                    out.push(Token {
+                        kind: Tok::Num(n),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: Tok::Ident(chars[start..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            other => {
+                return Err(err(format!("unexpected character '{other}'"), line));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("if metric >= 10 then reject; endif"),
+            vec![
+                Tok::Ident("if".into()),
+                Tok::Ident("metric".into()),
+                Tok::Ge,
+                Tok::Num(10),
+                Tok::Ident("then".into()),
+                Tok::Ident("reject".into()),
+                Tok::Semi,
+                Tok::Ident("endif".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            kinds(r#" "hello" 10.0.0.0/8 192.0.2.1 65001:100 42 "#),
+            vec![
+                Tok::Str("hello".into()),
+                Tok::Net("10.0.0.0/8".into()),
+                Tok::Addr("192.0.2.1".into()),
+                Tok::Community(65001, 100),
+                Tok::Num(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != < <= > >= && || ! + - ( )"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::LParen,
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("metric # a comment\n42").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn hyphenated_idents() {
+        assert_eq!(kinds("aspath-len"), vec![Tok::Ident("aspath-len".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("metric = 5").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! The route-policy engine: "a common simple stack language for operating
+//! on routes" (§8.3).
+//!
+//! The paper's policy framework added three BGP stages and two RIB stages,
+//! *each of which runs programs in this language* — policy filters are just
+//! more pipeline stages, and the only change to pre-existing code was a tag
+//! list on routes crossing the BGP↔RIB boundary.
+//!
+//! Architecture, mirroring XORP's:
+//!
+//! * a small **source language** (conditions over route attributes,
+//!   attribute assignments, accept/reject/pass) — see [`parse`];
+//! * a **compiler** to a stack-machine program ([`Program`]);
+//! * a **stack VM** ([`Program::run`]) executed per route by filter stages.
+//!
+//! Programs operate on anything implementing [`PolicyTarget`] — BGP
+//! routes, RIB routes, or a test double — reading and writing named
+//! attributes.
+//!
+//! ```
+//! use xorp_policy::{compile, Outcome, PolicyTarget, Val};
+//! # use std::collections::HashMap;
+//! # #[derive(Default)] struct R(HashMap<String, Val>);
+//! # impl PolicyTarget for R {
+//! #   fn get_attr(&self, f: &str) -> Option<Val> { self.0.get(f).cloned() }
+//! #   fn set_attr(&mut self, f: &str, v: Val) -> Result<(), String> {
+//! #     self.0.insert(f.to_string(), v); Ok(())
+//! #   }
+//! # }
+//! let prog = compile(r#"
+//!     if metric > 10 then
+//!         reject;
+//!     endif
+//!     set localpref 200;
+//!     accept;
+//! "#).unwrap();
+//! let mut route = R::default();
+//! route.set_attr("metric", Val::U32(5)).unwrap();
+//! assert_eq!(prog.run(&mut route).unwrap(), Outcome::Accept);
+//! assert_eq!(route.get_attr("localpref"), Some(Val::U32(200)));
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod route_adapter;
+pub mod target;
+pub mod vm;
+
+pub use ast::{BinOp, Expr, Stmt, UnOp};
+pub use compile::compile_ast;
+pub use target::{PolicyTarget, Val};
+pub use vm::{Op, Outcome, Program, VmError};
+
+/// Parse policy source text into an AST.
+pub fn parse(src: &str) -> Result<Vec<Stmt>, PolicyError> {
+    let tokens = lexer::lex(src)?;
+    parser::parse_tokens(&tokens)
+}
+
+/// Parse and compile policy source into an executable [`Program`].
+pub fn compile(src: &str) -> Result<Program, PolicyError> {
+    Ok(compile_ast(&parse(src)?))
+}
+
+/// Errors from lexing/parsing policy source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyError {
+    /// Human-readable description.
+    pub message: String,
+    /// Line number (1-based) where the error was noticed.
+    pub line: u32,
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "policy error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// An ordered bank of named policies applied route-by-route.
+///
+/// Policies run in order; the first `accept`/`reject` wins, `pass` falls
+/// through to the next policy, and falling off the end yields the bank's
+/// default outcome.
+#[derive(Clone, Default)]
+pub struct FilterBank {
+    policies: Vec<(String, Program)>,
+    default_accept: bool,
+}
+
+impl FilterBank {
+    /// An empty bank that accepts by default (import-filter convention).
+    pub fn accept_by_default() -> FilterBank {
+        FilterBank {
+            policies: Vec::new(),
+            default_accept: true,
+        }
+    }
+
+    /// An empty bank that rejects by default (strict-export convention).
+    pub fn reject_by_default() -> FilterBank {
+        FilterBank {
+            policies: Vec::new(),
+            default_accept: false,
+        }
+    }
+
+    /// Append a compiled policy.
+    pub fn push(&mut self, name: impl Into<String>, program: Program) {
+        self.policies.push((name.into(), program));
+    }
+
+    /// Append a policy from source text.
+    pub fn push_source(&mut self, name: impl Into<String>, src: &str) -> Result<(), PolicyError> {
+        self.push(name, compile(src)?);
+        Ok(())
+    }
+
+    /// Remove a policy by name; returns true if one was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.policies.len();
+        self.policies.retain(|(n, _)| n != name);
+        self.policies.len() != before
+    }
+
+    /// Number of policies installed.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True if no policies are installed.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Run the bank against a route.  Returns `true` to keep the route
+    /// (possibly modified in place), `false` to drop it.  VM errors on a
+    /// route (e.g. type confusion against an exotic target) fail safe: the
+    /// route is dropped.
+    pub fn filter<T: PolicyTarget>(&self, route: &mut T) -> bool {
+        for (_, program) in &self.policies {
+            match program.run(route) {
+                Ok(Outcome::Accept) => return true,
+                Ok(Outcome::Reject) => return false,
+                Ok(Outcome::Pass) => continue,
+                Err(_) => return false,
+            }
+        }
+        self.default_accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct FakeRoute(HashMap<String, Val>);
+
+    impl FakeRoute {
+        fn with(pairs: &[(&str, Val)]) -> FakeRoute {
+            FakeRoute(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            )
+        }
+    }
+
+    impl PolicyTarget for FakeRoute {
+        fn get_attr(&self, f: &str) -> Option<Val> {
+            self.0.get(f).cloned()
+        }
+        fn set_attr(&mut self, f: &str, v: Val) -> Result<(), String> {
+            self.0.insert(f.to_string(), v);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn bank_order_and_pass() {
+        let mut bank = FilterBank::accept_by_default();
+        bank.push_source("a", "if metric == 1 then reject; endif pass;")
+            .unwrap();
+        bank.push_source("b", "if metric == 2 then reject; endif accept;")
+            .unwrap();
+        let mut r1 = FakeRoute::with(&[("metric", Val::U32(1))]);
+        assert!(!bank.filter(&mut r1)); // rejected by a
+        let mut r2 = FakeRoute::with(&[("metric", Val::U32(2))]);
+        assert!(!bank.filter(&mut r2)); // passed a, rejected by b
+        let mut r3 = FakeRoute::with(&[("metric", Val::U32(3))]);
+        assert!(bank.filter(&mut r3)); // passed a, accepted by b
+    }
+
+    #[test]
+    fn bank_defaults() {
+        let mut r = FakeRoute::default();
+        assert!(FilterBank::accept_by_default().filter(&mut r));
+        assert!(!FilterBank::reject_by_default().filter(&mut r));
+    }
+
+    #[test]
+    fn bank_remove() {
+        let mut bank = FilterBank::accept_by_default();
+        bank.push_source("drop-all", "reject;").unwrap();
+        let mut r = FakeRoute::default();
+        assert!(!bank.filter(&mut r));
+        assert!(bank.remove("drop-all"));
+        assert!(!bank.remove("drop-all"));
+        assert!(bank.filter(&mut r));
+    }
+
+    #[test]
+    fn vm_error_fails_safe() {
+        let mut bank = FilterBank::accept_by_default();
+        // `metric` is missing on the route: Load fails, route dropped.
+        bank.push_source("needs-metric", "if metric > 1 then accept; endif accept;")
+            .unwrap();
+        let mut r = FakeRoute::default();
+        assert!(!bank.filter(&mut r));
+    }
+
+    #[test]
+    fn doc_example() {
+        let prog = compile("if metric > 10 then reject; endif set localpref 200; accept;").unwrap();
+        let mut route = FakeRoute::with(&[("metric", Val::U32(5))]);
+        assert_eq!(prog.run(&mut route).unwrap(), Outcome::Accept);
+        assert_eq!(route.get_attr("localpref"), Some(Val::U32(200)));
+        let mut far = FakeRoute::with(&[("metric", Val::U32(50))]);
+        assert_eq!(prog.run(&mut far).unwrap(), Outcome::Reject);
+    }
+}

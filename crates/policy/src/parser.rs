@@ -1,0 +1,398 @@
+//! Recursive-descent parser for the policy language.
+//!
+//! Grammar:
+//!
+//! ```text
+//! program  := stmt*
+//! stmt     := "if" expr "then" stmt* ("else" stmt*)? "endif"
+//!           | "set" IDENT expr ";"
+//!           | "add-tag" expr ";"
+//!           | "accept" ";" | "reject" ";" | "pass" ";"
+//! expr     := and_expr ("||" and_expr)*
+//! and_expr := cmp_expr ("&&" cmp_expr)*
+//! cmp_expr := add_expr (CMPOP add_expr)?          CMPOP: == != < <= > >= contains within
+//! add_expr := unary (("+"|"-") unary)*
+//! unary    := "!" unary | primary
+//! primary  := NUM | STRING | NET | ADDR | COMMUNITY | "true" | "false"
+//!           | IDENT | "(" expr ")"
+//! ```
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::lexer::{Tok, Token};
+use crate::target::Val;
+use crate::PolicyError;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PolicyError {
+        PolicyError {
+            message: msg.into(),
+            line: self.line(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), PolicyError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), PolicyError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn parse_stmts(&mut self, terminators: &[&str]) -> Result<Vec<Stmt>, PolicyError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    if terminators.is_empty() {
+                        return Ok(out);
+                    }
+                    return Err(self.err(format!("expected one of {terminators:?}, found EOF")));
+                }
+                Some(Tok::Ident(s)) if terminators.contains(&s.as_str()) => return Ok(out),
+                _ => out.push(self.parse_stmt()?),
+            }
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, PolicyError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "if" => {
+                    self.bump();
+                    let cond = self.parse_expr()?;
+                    self.eat_keyword("then")?;
+                    let then_body = self.parse_stmts(&["else", "endif"])?;
+                    let else_body = if self.at_keyword("else") {
+                        self.bump();
+                        self.parse_stmts(&["endif"])?
+                    } else {
+                        Vec::new()
+                    };
+                    self.eat_keyword("endif")?;
+                    Ok(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    })
+                }
+                "set" => {
+                    self.bump();
+                    let attr = match self.bump() {
+                        Some(Tok::Ident(a)) => a,
+                        other => {
+                            return Err(self.err(format!("expected attribute, found {other:?}")))
+                        }
+                    };
+                    let value = self.parse_expr()?;
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt::Set(attr, value))
+                }
+                "add-tag" => {
+                    self.bump();
+                    let value = self.parse_expr()?;
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt::AddTag(value))
+                }
+                "accept" => {
+                    self.bump();
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt::Accept)
+                }
+                "reject" => {
+                    self.bump();
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt::Reject)
+                }
+                "pass" => {
+                    self.bump();
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt::Pass)
+                }
+                other => Err(self.err(format!("unexpected keyword '{other}'"))),
+            },
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, PolicyError> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expr::Bin(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, PolicyError> {
+        let mut left = self.parse_cmp()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.bump();
+            let right = self.parse_cmp()?;
+            left = Expr::Bin(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, PolicyError> {
+        let left = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            Some(Tok::Ident(s)) if s == "contains" => Some(BinOp::Contains),
+            Some(Tok::Ident(s)) if s == "within" => Some(BinOp::Within),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let right = self.parse_add()?;
+                Ok(Expr::Bin(op, Box::new(left), Box::new(right)))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, PolicyError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, PolicyError> {
+        if self.peek() == Some(&Tok::Bang) {
+            self.bump();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, PolicyError> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Lit(Val::U32(n))),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Val::Text(s))),
+            Some(Tok::Community(asn, v)) => {
+                Ok(Expr::Lit(Val::U32(((asn as u32) << 16) | v as u32)))
+            }
+            Some(Tok::Net(s)) => {
+                if s.contains('.') {
+                    s.parse()
+                        .map(Val::Net4)
+                        .map(Expr::Lit)
+                        .map_err(|e| PolicyError {
+                            message: e.to_string(),
+                            line,
+                        })
+                } else {
+                    s.parse()
+                        .map(Val::Net6)
+                        .map(Expr::Lit)
+                        .map_err(|e| PolicyError {
+                            message: e.to_string(),
+                            line,
+                        })
+                }
+            }
+            Some(Tok::Addr(s)) => {
+                if s.contains('.') {
+                    s.parse()
+                        .map(Val::Ipv4)
+                        .map(Expr::Lit)
+                        .map_err(|_| PolicyError {
+                            message: format!("bad address: {s}"),
+                            line,
+                        })
+                } else {
+                    s.parse()
+                        .map(Val::Ipv6)
+                        .map(Expr::Lit)
+                        .map_err(|_| PolicyError {
+                            message: format!("bad address: {s}"),
+                            line,
+                        })
+                }
+            }
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "true" => Ok(Expr::Lit(Val::Bool(true))),
+                "false" => Ok(Expr::Lit(Val::Bool(false))),
+                _ => Ok(Expr::Attr(s)),
+            },
+            Some(Tok::LParen) => {
+                let inner = self.parse_expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(inner)
+            }
+            other => Err(PolicyError {
+                message: format!("expected expression, found {other:?}"),
+                line,
+            }),
+        }
+    }
+}
+
+/// Parse a token stream into statements.
+pub fn parse_tokens(toks: &[Token]) -> Result<Vec<Stmt>, PolicyError> {
+    let mut p = Parser { toks, pos: 0 };
+    let stmts = p.parse_stmts(&[])?;
+    if p.pos != toks.len() {
+        return Err(p.err("trailing tokens"));
+    }
+    Ok(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Stmt> {
+        parse_tokens(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_statements() {
+        assert_eq!(parse("accept;"), vec![Stmt::Accept]);
+        assert_eq!(parse("reject;"), vec![Stmt::Reject]);
+        assert_eq!(parse("pass;"), vec![Stmt::Pass]);
+        assert_eq!(
+            parse("set metric 5;"),
+            vec![Stmt::Set("metric".into(), Expr::Lit(Val::U32(5)))]
+        );
+    }
+
+    #[test]
+    fn if_else() {
+        let stmts = parse("if metric > 5 then reject; else accept; endif");
+        match &stmts[0] {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                assert!(matches!(cond, Expr::Bin(BinOp::Gt, _, _)));
+                assert_eq!(then_body, &vec![Stmt::Reject]);
+                assert_eq!(else_body, &vec![Stmt::Accept]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_if() {
+        let stmts = parse("if metric > 5 then if metric > 10 then reject; endif accept; endif");
+        assert_eq!(stmts.len(), 1);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a == 1 || b == 2 && c == 3  →  Or(a==1, And(b==2, c==3))
+        let stmts = parse("if a == 1 || b == 2 && c == 3 then accept; endif");
+        match &stmts[0] {
+            Stmt::If { cond, .. } => match cond {
+                Expr::Bin(BinOp::Or, _, rhs) => {
+                    assert!(matches!(**rhs, Expr::Bin(BinOp::And, _, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals_and_contains() {
+        let stmts = parse(
+            r#"if aspath contains 65001 && network within 10.0.0.0/8 then
+                 add-tag 7;
+                 set localpref 200 + 10;
+               endif"#,
+        );
+        assert_eq!(stmts.len(), 1);
+    }
+
+    #[test]
+    fn community_literal_packs() {
+        let stmts = parse("if community contains 65001:100 then accept; endif");
+        match &stmts[0] {
+            Stmt::If { cond, .. } => match cond {
+                Expr::Bin(BinOp::Contains, _, rhs) => {
+                    assert_eq!(**rhs, Expr::Lit(Val::U32((65001u32 << 16) | 100)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        let bad = [
+            "if metric > 5 then accept;", // missing endif
+            "set;",
+            "accept", // missing semi
+            "bogus;",
+            "if then accept; endif",
+        ];
+        for src in bad {
+            let toks = lex(src).unwrap();
+            assert!(parse_tokens(&toks).is_err(), "{src} should fail");
+        }
+    }
+
+    #[test]
+    fn error_lines() {
+        let toks = lex("accept;\nset;\n").unwrap();
+        let err = parse_tokens(&toks).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

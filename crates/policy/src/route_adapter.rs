@@ -1,0 +1,249 @@
+//! [`PolicyTarget`] implementation for [`xorp_net::RouteEntry`], letting
+//! policy programs run against real routes in BGP filter banks and RIB
+//! redistribution stages.
+//!
+//! Attribute writes that touch the shared [`xorp_net::PathAttributes`]
+//! block copy-on-write a fresh block, so other stages holding the original
+//! `Arc` are unaffected.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
+
+use xorp_net::{AsNum, AsPathSegment, Origin, RouteEntry};
+
+use crate::target::{PolicyTarget, Val};
+
+fn flatten_aspath(attrs: &xorp_net::PathAttributes) -> Vec<u32> {
+    attrs
+        .as_path
+        .segments()
+        .iter()
+        .flat_map(|seg| match seg {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v.iter().map(|a| a.0),
+        })
+        .collect()
+}
+
+macro_rules! impl_policy_target {
+    ($addr:ty, $net_variant:ident, $ip_variant:ident) => {
+        impl PolicyTarget for RouteEntry<$addr> {
+            fn get_attr(&self, field: &str) -> Option<Val> {
+                match field {
+                    "network" => Some(Val::$net_variant(self.net)),
+                    "nexthop" => {
+                        use xorp_net::Addr;
+                        <$addr>::from_ipaddr(self.attrs.nexthop).map(Val::$ip_variant)
+                    }
+                    "metric" => Some(Val::U32(self.metric)),
+                    "protocol" => Some(Val::Text(self.proto.name())),
+                    "admin-distance" => Some(Val::U32(self.admin_distance.0 as u32)),
+                    "aspath" => Some(Val::U32List(flatten_aspath(&self.attrs))),
+                    "aspath-len" => Some(Val::U32(self.attrs.as_path.path_len() as u32)),
+                    "origin" => Some(Val::U32(self.attrs.origin as u32)),
+                    "med" => Some(Val::U32(self.attrs.effective_med())),
+                    "localpref" => Some(Val::U32(self.attrs.effective_local_pref())),
+                    "community" => Some(Val::U32List(
+                        self.attrs.communities.iter().map(|c| c.0).collect(),
+                    )),
+                    "tag" => Some(Val::U32List(self.attrs.tags.clone())),
+                    _ => None,
+                }
+            }
+
+            fn set_attr(&mut self, field: &str, v: Val) -> Result<(), String> {
+                let type_err = |want: &str, got: &Val| {
+                    format!("{field}: expected {want}, got {}", got.type_name())
+                };
+                match (field, &v) {
+                    ("metric", Val::U32(n)) => {
+                        self.metric = *n;
+                        Ok(())
+                    }
+                    ("metric", other) => Err(type_err("u32", other)),
+                    ("admin-distance", Val::U32(n)) => {
+                        self.admin_distance = xorp_net::AdminDistance(*n as u8);
+                        Ok(())
+                    }
+                    ("admin-distance", other) => Err(type_err("u32", other)),
+                    ("localpref", Val::U32(n)) => {
+                        let mut attrs = (*self.attrs).clone();
+                        attrs.local_pref = Some(*n);
+                        self.attrs = Arc::new(attrs);
+                        Ok(())
+                    }
+                    ("localpref", other) => Err(type_err("u32", other)),
+                    ("med", Val::U32(n)) => {
+                        let mut attrs = (*self.attrs).clone();
+                        attrs.med = Some(*n);
+                        self.attrs = Arc::new(attrs);
+                        Ok(())
+                    }
+                    ("med", other) => Err(type_err("u32", other)),
+                    ("origin", Val::U32(n)) => {
+                        let origin = Origin::from_u8(*n as u8)
+                            .ok_or_else(|| format!("origin: bad value {n}"))?;
+                        let mut attrs = (*self.attrs).clone();
+                        attrs.origin = origin;
+                        self.attrs = Arc::new(attrs);
+                        Ok(())
+                    }
+                    ("origin", other) => Err(type_err("u32", other)),
+                    ("community", Val::U32List(list)) => {
+                        let mut attrs = (*self.attrs).clone();
+                        attrs.communities = list.iter().map(|&c| xorp_net::Community(c)).collect();
+                        self.attrs = Arc::new(attrs);
+                        Ok(())
+                    }
+                    ("community", other) => Err(type_err("u32list", other)),
+                    ("tag", Val::U32List(list)) => {
+                        let mut attrs = (*self.attrs).clone();
+                        attrs.tags = list.clone();
+                        self.attrs = Arc::new(attrs);
+                        Ok(())
+                    }
+                    ("tag", other) => Err(type_err("u32list", other)),
+                    ("aspath-prepend", Val::U32(asn)) => {
+                        let mut attrs = (*self.attrs).clone();
+                        attrs.as_path = attrs.as_path.prepend(AsNum(*asn));
+                        self.attrs = Arc::new(attrs);
+                        Ok(())
+                    }
+                    ("aspath-prepend", other) => Err(type_err("u32", other)),
+                    ("network" | "nexthop" | "protocol" | "aspath" | "aspath-len", _) => {
+                        Err(format!("{field} is read-only"))
+                    }
+                    _ => Err(format!("no such attribute: {field}")),
+                }
+            }
+        }
+    };
+}
+
+impl_policy_target!(Ipv4Addr, Net4, Ipv4);
+impl_policy_target!(Ipv6Addr, Net6, Ipv6);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, Outcome};
+    use std::net::IpAddr;
+    use xorp_net::{AsPath, PathAttributes, ProtocolId};
+
+    fn route() -> RouteEntry<Ipv4Addr> {
+        let mut attrs = PathAttributes::new(IpAddr::V4("192.0.2.1".parse().unwrap()));
+        attrs.as_path = AsPath::from_sequence([65001, 65002]);
+        attrs.med = Some(50);
+        RouteEntry::new(
+            "10.1.0.0/16".parse().unwrap(),
+            attrs.shared(),
+            5,
+            ProtocolId::Ebgp,
+        )
+    }
+
+    #[test]
+    fn reads() {
+        let r = route();
+        assert_eq!(
+            r.get_attr("network"),
+            Some(Val::Net4("10.1.0.0/16".parse().unwrap()))
+        );
+        assert_eq!(
+            r.get_attr("nexthop"),
+            Some(Val::Ipv4("192.0.2.1".parse().unwrap()))
+        );
+        assert_eq!(r.get_attr("metric"), Some(Val::U32(5)));
+        assert_eq!(r.get_attr("protocol"), Some(Val::Text("ebgp".into())));
+        assert_eq!(r.get_attr("aspath"), Some(Val::U32List(vec![65001, 65002])));
+        assert_eq!(r.get_attr("aspath-len"), Some(Val::U32(2)));
+        assert_eq!(r.get_attr("med"), Some(Val::U32(50)));
+        assert_eq!(r.get_attr("localpref"), Some(Val::U32(100))); // default
+        assert_eq!(r.get_attr("nonsense"), None);
+    }
+
+    #[test]
+    fn writes_copy_on_write() {
+        let mut r = route();
+        let original_attrs = r.attrs.clone();
+        r.set_attr("localpref", Val::U32(250)).unwrap();
+        assert_eq!(r.get_attr("localpref"), Some(Val::U32(250)));
+        // The original shared block is untouched.
+        assert_eq!(original_attrs.local_pref, None);
+    }
+
+    #[test]
+    fn write_errors() {
+        let mut r = route();
+        assert!(r.set_attr("network", Val::U32(1)).is_err());
+        assert!(r.set_attr("metric", Val::Text("x".into())).is_err());
+        assert!(r.set_attr("origin", Val::U32(9)).is_err());
+        assert!(r.set_attr("ghost", Val::U32(1)).is_err());
+    }
+
+    #[test]
+    fn aspath_prepend_action() {
+        let mut r = route();
+        r.set_attr("aspath-prepend", Val::U32(65000)).unwrap();
+        assert_eq!(
+            r.get_attr("aspath"),
+            Some(Val::U32List(vec![65000, 65001, 65002]))
+        );
+    }
+
+    #[test]
+    fn full_policy_against_real_route() {
+        let prog = compile(
+            r#"
+            if protocol == "ebgp" && aspath contains 65002 &&
+               network within 10.0.0.0/8 then
+                set localpref 300;
+                add-tag 42;
+                accept;
+            endif
+            reject;
+            "#,
+        )
+        .unwrap();
+        let mut r = route();
+        assert_eq!(prog.run(&mut r).unwrap(), Outcome::Accept);
+        assert_eq!(r.attrs.local_pref, Some(300));
+        assert_eq!(r.attrs.tags, vec![42]);
+
+        // A route outside 10/8 falls through to reject.
+        let mut other = route();
+        other.net = "192.168.0.0/16".parse().unwrap();
+        assert_eq!(prog.run(&mut other).unwrap(), Outcome::Reject);
+    }
+
+    #[test]
+    fn v6_adapter_works() {
+        let attrs = PathAttributes::new(IpAddr::V6("2001:db8::1".parse().unwrap()));
+        let r: RouteEntry<Ipv6Addr> = RouteEntry::new(
+            "2001:db8::/32".parse().unwrap(),
+            attrs.shared(),
+            1,
+            ProtocolId::Static,
+        );
+        assert_eq!(
+            r.get_attr("network"),
+            Some(Val::Net6("2001:db8::/32".parse().unwrap()))
+        );
+        assert_eq!(
+            r.get_attr("nexthop"),
+            Some(Val::Ipv6("2001:db8::1".parse().unwrap()))
+        );
+    }
+
+    #[test]
+    fn family_mismatch_nexthop_is_none() {
+        // An IPv4 route whose nexthop is (bizarrely) IPv6: reads as None.
+        let attrs = PathAttributes::new(IpAddr::V6("::1".parse().unwrap()));
+        let r: RouteEntry<Ipv4Addr> = RouteEntry::new(
+            "10.0.0.0/8".parse().unwrap(),
+            attrs.shared(),
+            1,
+            ProtocolId::Static,
+        );
+        assert_eq!(r.get_attr("nexthop"), None);
+    }
+}

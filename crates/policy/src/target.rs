@@ -1,0 +1,98 @@
+//! The interface between policy programs and the objects they operate on.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use xorp_net::{Ipv4Net, Ipv6Net};
+
+/// A runtime value in the policy VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Val {
+    /// Unsigned number (metrics, preferences, AS numbers, tags).
+    U32(u32),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Text(String),
+    /// IPv4 address.
+    Ipv4(Ipv4Addr),
+    /// IPv6 address.
+    Ipv6(Ipv6Addr),
+    /// IPv4 prefix.
+    Net4(Ipv4Net),
+    /// IPv6 prefix.
+    Net6(Ipv6Net),
+    /// A list of numbers (AS path, communities as packed u32, tags).
+    U32List(Vec<u32>),
+}
+
+impl Val {
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Val::U32(_) => "u32",
+            Val::Bool(_) => "bool",
+            Val::Text(_) => "text",
+            Val::Ipv4(_) => "ipv4",
+            Val::Ipv6(_) => "ipv6",
+            Val::Net4(_) => "net4",
+            Val::Net6(_) => "net6",
+            Val::U32List(_) => "u32list",
+        }
+    }
+
+    /// Truthiness: used where an expression is a condition.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Val::Bool(b) => *b,
+            Val::U32(n) => *n != 0,
+            _ => true,
+        }
+    }
+}
+
+/// Something a policy program can run against: a named-attribute view of a
+/// route.
+///
+/// Conventional attribute names (the BGP/RIB targets implement these):
+///
+/// | name | type | meaning |
+/// |---|---|---|
+/// | `network` | net4/net6 | destination prefix |
+/// | `nexthop` | ipv4/ipv6 | nexthop router |
+/// | `metric` | u32 | protocol metric |
+/// | `protocol` | text | originating protocol name |
+/// | `aspath` | u32list | flattened AS path |
+/// | `aspath-len` | u32 | decision-process path length |
+/// | `origin` | u32 | BGP origin (0=IGP 1=EGP 2=INCOMPLETE) |
+/// | `med` | u32 | multi-exit discriminator |
+/// | `localpref` | u32 | local preference |
+/// | `community` | u32list | packed community values |
+/// | `tag` | u32list | the §8.3 policy tag list |
+pub trait PolicyTarget {
+    /// Read an attribute; `None` if this target has no such attribute.
+    fn get_attr(&self, field: &str) -> Option<Val>;
+
+    /// Write an attribute; `Err` if unknown or read-only.
+    fn set_attr(&mut self, field: &str, v: Val) -> Result<(), String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Val::Bool(true).truthy());
+        assert!(!Val::Bool(false).truthy());
+        assert!(Val::U32(1).truthy());
+        assert!(!Val::U32(0).truthy());
+        assert!(Val::Text("".into()).truthy());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Val::U32(0).type_name(), "u32");
+        assert_eq!(Val::Net4("10.0.0.0/8".parse().unwrap()).type_name(), "net4");
+        assert_eq!(Val::U32List(vec![]).type_name(), "u32list");
+    }
+}

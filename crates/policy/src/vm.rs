@@ -1,0 +1,361 @@
+//! The stack virtual machine that executes compiled policies.
+//!
+//! This is the "simple stack language for operating on routes" of §8.3:
+//! values are pushed, attributes loaded and stored, comparisons leave
+//! booleans, and `Accept`/`Reject`/`Pass` terminate execution.
+
+use crate::ast::BinOp;
+use crate::target::{PolicyTarget, Val};
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Push a literal.
+    Push(Val),
+    /// Push the value of a route attribute.
+    Load(String),
+    /// Pop a value and store it into a route attribute.
+    Store(String),
+    /// Pop a u32 and append it to a u32list attribute (creating it if
+    /// absent) — used by `add-tag`.
+    AppendList(String),
+    /// Pop two values, push the binary result.
+    Bin(BinOp),
+    /// Pop a value, push its boolean negation.
+    Not,
+    /// Unconditional relative jump (target = absolute index).
+    Jump(usize),
+    /// Pop a value; jump to absolute index if falsy.
+    JumpIfFalse(usize),
+    /// Terminate: accept the route.
+    Accept,
+    /// Terminate: reject the route.
+    Reject,
+    /// Terminate: defer to the next policy.
+    Pass,
+}
+
+/// The verdict of a policy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Keep the route (stop the bank).
+    Accept,
+    /// Drop the route (stop the bank).
+    Reject,
+    /// No opinion: next policy decides.
+    Pass,
+}
+
+/// Runtime errors (type confusion, missing attributes, stack underflow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError(pub String);
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "policy vm error: {}", self.0)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// A compiled policy program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The instructions.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Execute against a route.  Falling off the end yields
+    /// [`Outcome::Pass`].
+    pub fn run<T: PolicyTarget>(&self, route: &mut T) -> Result<Outcome, VmError> {
+        let mut stack: Vec<Val> = Vec::with_capacity(8);
+        let mut pc = 0usize;
+        let mut fuel = 10_000usize; // defend against miscompiled loops
+        while pc < self.ops.len() {
+            fuel = fuel
+                .checked_sub(1)
+                .ok_or_else(|| VmError("instruction budget exhausted".into()))?;
+            match &self.ops[pc] {
+                Op::Push(v) => stack.push(v.clone()),
+                Op::Load(attr) => {
+                    let v = route
+                        .get_attr(attr)
+                        .ok_or_else(|| VmError(format!("no such attribute: {attr}")))?;
+                    stack.push(v);
+                }
+                Op::Store(attr) => {
+                    let v = pop(&mut stack)?;
+                    route.set_attr(attr, v).map_err(VmError)?;
+                }
+                Op::AppendList(attr) => {
+                    let v = pop(&mut stack)?;
+                    let n = as_u32(&v)?;
+                    let mut list = match route.get_attr(attr) {
+                        Some(Val::U32List(l)) => l,
+                        Some(other) => {
+                            return Err(VmError(format!(
+                                "{attr} is {}, not u32list",
+                                other.type_name()
+                            )))
+                        }
+                        None => Vec::new(),
+                    };
+                    list.push(n);
+                    route.set_attr(attr, Val::U32List(list)).map_err(VmError)?;
+                }
+                Op::Bin(op) => {
+                    let rhs = pop(&mut stack)?;
+                    let lhs = pop(&mut stack)?;
+                    stack.push(binop(*op, &lhs, &rhs)?);
+                }
+                Op::Not => {
+                    let v = pop(&mut stack)?;
+                    stack.push(Val::Bool(!v.truthy()));
+                }
+                Op::Jump(t) => {
+                    pc = *t;
+                    continue;
+                }
+                Op::JumpIfFalse(t) => {
+                    let v = pop(&mut stack)?;
+                    if !v.truthy() {
+                        pc = *t;
+                        continue;
+                    }
+                }
+                Op::Accept => return Ok(Outcome::Accept),
+                Op::Reject => return Ok(Outcome::Reject),
+                Op::Pass => return Ok(Outcome::Pass),
+            }
+            pc += 1;
+        }
+        Ok(Outcome::Pass)
+    }
+}
+
+fn pop(stack: &mut Vec<Val>) -> Result<Val, VmError> {
+    stack.pop().ok_or_else(|| VmError("stack underflow".into()))
+}
+
+fn as_u32(v: &Val) -> Result<u32, VmError> {
+    match v {
+        Val::U32(n) => Ok(*n),
+        other => Err(VmError(format!("expected u32, got {}", other.type_name()))),
+    }
+}
+
+fn binop(op: BinOp, lhs: &Val, rhs: &Val) -> Result<Val, VmError> {
+    use BinOp::*;
+    Ok(match op {
+        And => Val::Bool(lhs.truthy() && rhs.truthy()),
+        Or => Val::Bool(lhs.truthy() || rhs.truthy()),
+        Add => Val::U32(as_u32(lhs)?.wrapping_add(as_u32(rhs)?)),
+        Sub => Val::U32(as_u32(lhs)?.saturating_sub(as_u32(rhs)?)),
+        Eq => Val::Bool(val_eq(lhs, rhs)?),
+        Ne => Val::Bool(!val_eq(lhs, rhs)?),
+        Lt | Le | Gt | Ge => {
+            let ord = val_cmp(lhs, rhs)?;
+            Val::Bool(match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            })
+        }
+        Contains => match (lhs, rhs) {
+            (Val::U32List(list), Val::U32(n)) => Val::Bool(list.contains(n)),
+            (Val::Text(hay), Val::Text(needle)) => Val::Bool(hay.contains(needle.as_str())),
+            _ => {
+                return Err(VmError(format!(
+                    "contains: {} ∌ {}",
+                    lhs.type_name(),
+                    rhs.type_name()
+                )))
+            }
+        },
+        Within => match (lhs, rhs) {
+            (Val::Net4(a), Val::Net4(b)) => Val::Bool(b.contains(a)),
+            (Val::Net6(a), Val::Net6(b)) => Val::Bool(b.contains(a)),
+            (Val::Ipv4(a), Val::Net4(b)) => Val::Bool(b.contains_addr(*a)),
+            (Val::Ipv6(a), Val::Net6(b)) => Val::Bool(b.contains_addr(*a)),
+            _ => {
+                return Err(VmError(format!(
+                    "within: {} ⊄ {}",
+                    lhs.type_name(),
+                    rhs.type_name()
+                )))
+            }
+        },
+    })
+}
+
+fn val_eq(lhs: &Val, rhs: &Val) -> Result<bool, VmError> {
+    match (lhs, rhs) {
+        (Val::U32(a), Val::U32(b)) => Ok(a == b),
+        (Val::Bool(a), Val::Bool(b)) => Ok(a == b),
+        (Val::Text(a), Val::Text(b)) => Ok(a == b),
+        (Val::Ipv4(a), Val::Ipv4(b)) => Ok(a == b),
+        (Val::Ipv6(a), Val::Ipv6(b)) => Ok(a == b),
+        (Val::Net4(a), Val::Net4(b)) => Ok(a == b),
+        (Val::Net6(a), Val::Net6(b)) => Ok(a == b),
+        (Val::U32List(a), Val::U32List(b)) => Ok(a == b),
+        _ => Err(VmError(format!(
+            "cannot compare {} with {}",
+            lhs.type_name(),
+            rhs.type_name()
+        ))),
+    }
+}
+
+fn val_cmp(lhs: &Val, rhs: &Val) -> Result<std::cmp::Ordering, VmError> {
+    match (lhs, rhs) {
+        (Val::U32(a), Val::U32(b)) => Ok(a.cmp(b)),
+        (Val::Text(a), Val::Text(b)) => Ok(a.cmp(b)),
+        _ => Err(VmError(format!(
+            "cannot order {} against {}",
+            lhs.type_name(),
+            rhs.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct Fake(HashMap<String, Val>);
+
+    impl PolicyTarget for Fake {
+        fn get_attr(&self, f: &str) -> Option<Val> {
+            self.0.get(f).cloned()
+        }
+        fn set_attr(&mut self, f: &str, v: Val) -> Result<(), String> {
+            self.0.insert(f.to_string(), v);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn hand_built_program() {
+        // if metric > 10 { reject } accept
+        let prog = Program {
+            ops: vec![
+                Op::Load("metric".into()),
+                Op::Push(Val::U32(10)),
+                Op::Bin(BinOp::Gt),
+                Op::JumpIfFalse(5),
+                Op::Reject,
+                Op::Accept,
+            ],
+        };
+        let mut low = Fake::default();
+        low.0.insert("metric".into(), Val::U32(5));
+        assert_eq!(prog.run(&mut low).unwrap(), Outcome::Accept);
+        let mut high = Fake::default();
+        high.0.insert("metric".into(), Val::U32(50));
+        assert_eq!(prog.run(&mut high).unwrap(), Outcome::Reject);
+    }
+
+    #[test]
+    fn append_list_creates_and_extends() {
+        let prog = Program {
+            ops: vec![
+                Op::Push(Val::U32(7)),
+                Op::AppendList("tag".into()),
+                Op::Push(Val::U32(8)),
+                Op::AppendList("tag".into()),
+            ],
+        };
+        let mut r = Fake::default();
+        assert_eq!(prog.run(&mut r).unwrap(), Outcome::Pass);
+        assert_eq!(r.0["tag"], Val::U32List(vec![7, 8]));
+    }
+
+    #[test]
+    fn contains_and_within() {
+        assert_eq!(
+            binop(BinOp::Contains, &Val::U32List(vec![1, 2, 3]), &Val::U32(2)).unwrap(),
+            Val::Bool(true)
+        );
+        assert_eq!(
+            binop(
+                BinOp::Within,
+                &Val::Net4("10.1.0.0/16".parse().unwrap()),
+                &Val::Net4("10.0.0.0/8".parse().unwrap())
+            )
+            .unwrap(),
+            Val::Bool(true)
+        );
+        assert_eq!(
+            binop(
+                BinOp::Within,
+                &Val::Net4("11.0.0.0/8".parse().unwrap()),
+                &Val::Net4("10.0.0.0/8".parse().unwrap())
+            )
+            .unwrap(),
+            Val::Bool(false)
+        );
+        assert_eq!(
+            binop(
+                BinOp::Within,
+                &Val::Ipv4("10.5.5.5".parse().unwrap()),
+                &Val::Net4("10.0.0.0/8".parse().unwrap())
+            )
+            .unwrap(),
+            Val::Bool(true)
+        );
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(binop(BinOp::Add, &Val::Text("x".into()), &Val::U32(1)).is_err());
+        assert!(binop(BinOp::Lt, &Val::Bool(true), &Val::U32(1)).is_err());
+        assert!(val_eq(&Val::U32(1), &Val::Text("1".into())).is_err());
+    }
+
+    #[test]
+    fn saturating_sub() {
+        assert_eq!(
+            binop(BinOp::Sub, &Val::U32(3), &Val::U32(10)).unwrap(),
+            Val::U32(0)
+        );
+    }
+
+    #[test]
+    fn missing_attribute_errors() {
+        let prog = Program {
+            ops: vec![Op::Load("ghost".into())],
+        };
+        let mut r = Fake::default();
+        assert!(prog.run(&mut r).is_err());
+    }
+
+    #[test]
+    fn stack_underflow_errors() {
+        let prog = Program {
+            ops: vec![Op::Bin(BinOp::Add)],
+        };
+        let mut r = Fake::default();
+        assert!(prog.run(&mut r).is_err());
+    }
+
+    #[test]
+    fn fuel_bounds_runaway_jumps() {
+        let prog = Program {
+            ops: vec![Op::Jump(0)],
+        };
+        let mut r = Fake::default();
+        assert!(prog.run(&mut r).is_err());
+    }
+
+    #[test]
+    fn empty_program_passes() {
+        let prog = Program::default();
+        let mut r = Fake::default();
+        assert_eq!(prog.run(&mut r).unwrap(), Outcome::Pass);
+    }
+}

@@ -1,0 +1,280 @@
+//! The profiling mechanism of §8.2.
+//!
+//! "XORP contains a simple profiling mechanism which permits the insertion
+//! of profiling points anywhere in the code.  Each profiling point is
+//! associated with a profiling variable ... Enabling a profiling point
+//! causes a time stamped record to be stored, such as:
+//! `route_ribin 1097173928 664085 add 10.0.1.0/24`."
+//!
+//! A [`Profiler`] is shared (cheaply clonable) across the router's
+//! processes so the harness can correlate one route's timestamps across BGP,
+//! the RIB, the FEA and the kernel boundary.  All timestamps come from a
+//! single epoch captured at construction, so cross-thread differences are
+//! meaningful.
+//!
+//! The standard route-flow profiling points of §8.2 are provided as
+//! constants; the figure-regeneration binaries enable exactly those.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The eight §8.2 route-flow profiling points, in pipeline order.
+pub mod points {
+    /// 1. Entering BGP.
+    pub const BGP_IN: &str = "route_bgpin";
+    /// 2. Queued for transmission to the RIB.
+    pub const QUEUED_FOR_RIB: &str = "route_queued_rib";
+    /// 3. Sent to the RIB.
+    pub const SENT_TO_RIB: &str = "route_sent_rib";
+    /// 4. Arriving at the RIB.
+    pub const RIB_IN: &str = "route_ribin";
+    /// 5. Queued for transmission to the FEA.
+    pub const QUEUED_FOR_FEA: &str = "route_queued_fea";
+    /// 6. Sent to the FEA.
+    pub const SENT_TO_FEA: &str = "route_sent_fea";
+    /// 7. Arriving at the FEA.
+    pub const FEA_IN: &str = "route_feain";
+    /// 8. Entering the kernel (forwarding engine).
+    pub const KERNEL: &str = "route_kernel";
+
+    /// All eight, in order.
+    pub const ROUTE_FLOW: [&str; 8] = [
+        BGP_IN,
+        QUEUED_FOR_RIB,
+        SENT_TO_RIB,
+        RIB_IN,
+        QUEUED_FOR_FEA,
+        SENT_TO_FEA,
+        FEA_IN,
+        KERNEL,
+    ];
+}
+
+/// One timestamped record at a profiling point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Nanoseconds since the profiler's epoch.
+    pub nanos: u64,
+    /// Free-form payload, conventionally `"<op> <prefix>"`.
+    pub payload: String,
+}
+
+#[derive(Default)]
+struct PointState {
+    enabled: bool,
+    records: Vec<Record>,
+}
+
+#[derive(Default)]
+struct Inner {
+    points: HashMap<String, PointState>,
+}
+
+/// A set of profiling variables shared across router processes.
+#[derive(Clone)]
+pub struct Profiler {
+    epoch: Instant,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler {
+    /// A fresh profiler with all points disabled.
+    pub fn new() -> Self {
+        Profiler {
+            epoch: Instant::now(),
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    /// Enable a profiling variable (records start being stored).
+    /// This is what the external `xorp_profiler` program does via XRLs.
+    pub fn enable(&self, point: &str) {
+        self.inner
+            .lock()
+            .points
+            .entry(point.to_string())
+            .or_default()
+            .enabled = true;
+    }
+
+    /// Disable a profiling variable; existing records are retained.
+    pub fn disable(&self, point: &str) {
+        if let Some(p) = self.inner.lock().points.get_mut(point) {
+            p.enabled = false;
+        }
+    }
+
+    /// Enable all eight §8.2 route-flow points.
+    pub fn enable_route_flow(&self) {
+        for p in points::ROUTE_FLOW {
+            self.enable(p);
+        }
+    }
+
+    /// True if the point is currently enabled.
+    pub fn is_enabled(&self, point: &str) -> bool {
+        self.inner
+            .lock()
+            .points
+            .get(point)
+            .is_some_and(|p| p.enabled)
+    }
+
+    /// Store a record at `point` if it is enabled.  The payload closure is
+    /// only evaluated when enabled, so dormant points cost one lock and a
+    /// map probe.
+    pub fn record(&self, point: &str, payload: impl FnOnce() -> String) {
+        let nanos = self.epoch.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.lock();
+        if let Some(p) = inner.points.get_mut(point) {
+            if p.enabled {
+                p.records.push(Record {
+                    nanos,
+                    payload: payload(),
+                });
+            }
+        }
+    }
+
+    /// Take (and clear) the records stored at `point`.
+    pub fn take(&self, point: &str) -> Vec<Record> {
+        self.inner
+            .lock()
+            .points
+            .get_mut(point)
+            .map(|p| std::mem::take(&mut p.records))
+            .unwrap_or_default()
+    }
+
+    /// Snapshot the records stored at `point` without clearing.
+    pub fn snapshot(&self, point: &str) -> Vec<Record> {
+        self.inner
+            .lock()
+            .points
+            .get(point)
+            .map(|p| p.records.clone())
+            .unwrap_or_default()
+    }
+
+    /// Clear all records everywhere (points stay enabled).
+    pub fn clear(&self) {
+        for p in self.inner.lock().points.values_mut() {
+            p.records.clear();
+        }
+    }
+}
+
+/// Latency statistics over a set of samples, as reported in the paper's
+/// Figure 10–12 tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub n: usize,
+    /// Mean, milliseconds.
+    pub avg_ms: f64,
+    /// Standard deviation, milliseconds.
+    pub sd_ms: f64,
+    /// Minimum, milliseconds.
+    pub min_ms: f64,
+    /// Maximum, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Compute stats from nanosecond samples.
+    pub fn from_nanos(samples: &[u64]) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let ms: Vec<f64> = samples.iter().map(|&x| x as f64 / 1e6).collect();
+        let avg = ms.iter().sum::<f64>() / n as f64;
+        let var = ms.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / n as f64;
+        let min = ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(LatencyStats {
+            n,
+            avg_ms: avg,
+            sd_ms: var.sqrt(),
+            min_ms: min,
+            max_ms: max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_points_record_nothing() {
+        let p = Profiler::new();
+        p.record("x", || "payload".into());
+        assert!(p.take("x").is_empty());
+    }
+
+    #[test]
+    fn enabled_points_record() {
+        let p = Profiler::new();
+        p.enable("x");
+        p.record("x", || "add 10.0.1.0/24".into());
+        p.record("x", || "del 10.0.1.0/24".into());
+        let recs = p.snapshot("x");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].payload, "add 10.0.1.0/24");
+        assert!(recs[0].nanos <= recs[1].nanos);
+        // take() clears.
+        assert_eq!(p.take("x").len(), 2);
+        assert!(p.take("x").is_empty());
+    }
+
+    #[test]
+    fn disable_stops_recording_keeps_records() {
+        let p = Profiler::new();
+        p.enable("x");
+        p.record("x", || "a".into());
+        p.disable("x");
+        p.record("x", || "b".into());
+        assert_eq!(p.snapshot("x").len(), 1);
+        assert!(!p.is_enabled("x"));
+    }
+
+    #[test]
+    fn route_flow_points_enable() {
+        let p = Profiler::new();
+        p.enable_route_flow();
+        for pt in points::ROUTE_FLOW {
+            assert!(p.is_enabled(pt));
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = Profiler::new();
+        let q = p.clone();
+        p.enable("x");
+        q.record("x", || "via clone".into());
+        assert_eq!(p.snapshot("x").len(), 1);
+    }
+
+    #[test]
+    fn latency_stats() {
+        // 1 ms, 2 ms, 3 ms.
+        let s = LatencyStats::from_nanos(&[1_000_000, 2_000_000, 3_000_000]).unwrap();
+        assert_eq!(s.n, 3);
+        assert!((s.avg_ms - 2.0).abs() < 1e-9);
+        assert!((s.min_ms - 1.0).abs() < 1e-9);
+        assert!((s.max_ms - 3.0).abs() < 1e-9);
+        assert!((s.sd_ms - (2.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert!(LatencyStats::from_nanos(&[]).is_none());
+    }
+}

@@ -1,0 +1,493 @@
+//! The ExtInt stage: composing external (EGP) routes with internal (IGP)
+//! routes (§5.2).
+//!
+//! External routes — BGP's — name a nexthop router that may be many hops
+//! away; they are only usable if the *internal* side of the RIB can route
+//! to that nexthop.  This stage:
+//!
+//! * mirrors the internal route stream (so it can longest-match nexthops —
+//!   exact-match `lookup_route` upstream is not enough for resolution);
+//! * holds unresolvable external routes aside, releasing them downstream
+//!   when an internal route covering their nexthop appears;
+//! * withdraws external routes downstream when they lose resolution;
+//! * arbitrates prefix conflicts between the two sides by administrative
+//!   distance (internal wins ties).
+//!
+//! Resolved external routes are annotated with the egress interface of the
+//! internal route that resolves them.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use xorp_event::EventLoop;
+use xorp_net::{Addr, PatriciaTrie, Prefix};
+use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
+
+use crate::{better, RibRoute};
+
+struct ExtEntry<A: Addr> {
+    /// The route as received from the external side.
+    original: RibRoute<A>,
+    /// The annotated form sent downstream, when resolution succeeded.
+    resolved: Option<RibRoute<A>>,
+}
+
+/// The external/internal composition stage.
+pub struct ExtIntStage<A: Addr> {
+    ext_origins: HashSet<OriginId>,
+    int_origins: HashSet<OriginId>,
+    /// Mirror of the internal side for longest-match nexthop resolution.
+    int_mirror: PatriciaTrie<A, RibRoute<A>>,
+    /// All external routes, resolved or not.
+    ext: BTreeMap<Prefix<A>, ExtEntry<A>>,
+    /// nexthop address → external prefixes using it (re-resolution index).
+    by_nexthop: BTreeMap<A, BTreeSet<Prefix<A>>>,
+    downstream: Option<StageRef<A, RibRoute<A>>>,
+    /// Origin id used for messages this stage originates itself
+    /// (resolution-driven announcements/withdrawals).
+    self_origin: OriginId,
+}
+
+impl<A: Addr> ExtIntStage<A> {
+    /// Build with the origin-id sets of each side.  `self_origin` tags
+    /// resolution-driven messages.
+    pub fn new(
+        ext_origins: impl IntoIterator<Item = OriginId>,
+        int_origins: impl IntoIterator<Item = OriginId>,
+        self_origin: OriginId,
+    ) -> Self {
+        ExtIntStage {
+            ext_origins: ext_origins.into_iter().collect(),
+            int_origins: int_origins.into_iter().collect(),
+            int_mirror: PatriciaTrie::new(),
+            ext: BTreeMap::new(),
+            by_nexthop: BTreeMap::new(),
+            downstream: None,
+            self_origin,
+        }
+    }
+
+    /// Plumb the downstream neighbor.
+    pub fn set_downstream(&mut self, s: StageRef<A, RibRoute<A>>) {
+        self.downstream = Some(s);
+    }
+
+    /// Register a late-added origin id.
+    pub fn add_origin(&mut self, external: bool, origin: OriginId) {
+        if external {
+            self.ext_origins.insert(origin);
+        } else {
+            self.int_origins.insert(origin);
+        }
+    }
+
+    /// Number of external routes currently held back as unresolvable.
+    pub fn unresolved_count(&self) -> usize {
+        self.ext.values().filter(|e| e.resolved.is_none()).count()
+    }
+
+    /// Bytes held by the internal mirror (memory accounting).
+    pub fn mirror_bytes(&self) -> usize {
+        use xorp_net::HeapSize;
+        self.int_mirror.heap_size()
+    }
+
+    fn emit(&self, el: &mut EventLoop, origin: OriginId, op: RouteOp<A, RibRoute<A>>) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().route_op(el, origin, op);
+        }
+    }
+
+    /// Emit whatever delta moves downstream state for `net` from `before`
+    /// to `after`.
+    fn emit_diff(
+        &self,
+        el: &mut EventLoop,
+        origin: OriginId,
+        net: Prefix<A>,
+        before: Option<RibRoute<A>>,
+        after: Option<RibRoute<A>>,
+    ) {
+        match (before, after) {
+            (None, Some(new)) => self.emit(el, origin, RouteOp::Add { net, route: new }),
+            (Some(old), None) => self.emit(el, origin, RouteOp::Delete { net, old }),
+            (Some(old), Some(new)) if old != new => {
+                self.emit(el, origin, RouteOp::Replace { net, old, new })
+            }
+            _ => {}
+        }
+    }
+
+    /// The route downstream should currently see for `net`.
+    fn effective(&self, net: &Prefix<A>) -> Option<RibRoute<A>> {
+        let ext = self.ext.get(net).and_then(|e| e.resolved.clone());
+        let int = self.int_mirror.get(net).cloned();
+        match (int, ext) {
+            (Some(i), Some(e)) => Some(if better(&i, &e) { i } else { e }),
+            (Some(i), None) => Some(i),
+            (None, Some(e)) => Some(e),
+            (None, None) => None,
+        }
+    }
+
+    /// Try to resolve an external route against the internal mirror,
+    /// returning the annotated route on success.
+    fn resolve(&self, route: &RibRoute<A>) -> Option<RibRoute<A>> {
+        let nh = A::from_ipaddr(route.nexthop())?;
+        let (_, via) = self.int_mirror.longest_match(nh)?;
+        let mut r = route.clone();
+        r.ifname = via.ifname.clone();
+        Some(r)
+    }
+
+    fn index_nexthop(&mut self, route: &RibRoute<A>, net: Prefix<A>, insert: bool) {
+        let Some(nh) = A::from_ipaddr(route.nexthop()) else {
+            return;
+        };
+        if insert {
+            self.by_nexthop.entry(nh).or_default().insert(net);
+        } else if let Some(set) = self.by_nexthop.get_mut(&nh) {
+            set.remove(&net);
+            if set.is_empty() {
+                self.by_nexthop.remove(&nh);
+            }
+        }
+    }
+
+    fn handle_ext(&mut self, el: &mut EventLoop, origin: OriginId, op: RouteOp<A, RibRoute<A>>) {
+        let net = op.net();
+        let before = self.effective(&net);
+        match op {
+            RouteOp::Add { route, .. } => {
+                let resolved = self.resolve(&route);
+                self.index_nexthop(&route, net, true);
+                self.ext.insert(
+                    net,
+                    ExtEntry {
+                        original: route,
+                        resolved,
+                    },
+                );
+            }
+            RouteOp::Replace { old, new, .. } => {
+                self.index_nexthop(&old, net, false);
+                let resolved = self.resolve(&new);
+                self.index_nexthop(&new, net, true);
+                self.ext.insert(
+                    net,
+                    ExtEntry {
+                        original: new,
+                        resolved,
+                    },
+                );
+            }
+            RouteOp::Delete { old, .. } => {
+                self.index_nexthop(&old, net, false);
+                self.ext.remove(&net);
+            }
+        }
+        let after = self.effective(&net);
+        self.emit_diff(el, origin, net, before, after);
+    }
+
+    fn handle_int(&mut self, el: &mut EventLoop, origin: OriginId, op: RouteOp<A, RibRoute<A>>) {
+        let net = op.net();
+        let before = self.effective(&net);
+        match &op {
+            RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                self.int_mirror.insert(net, route.clone());
+            }
+            RouteOp::Delete { .. } => {
+                self.int_mirror.remove(&net);
+            }
+        }
+        let after = self.effective(&net);
+        self.emit_diff(el, origin, net, before, after);
+
+        // Re-resolve external routes whose nexthop falls inside the changed
+        // internal prefix — their resolution (or its annotation) may have
+        // changed.
+        let affected: Vec<Prefix<A>> = self
+            .by_nexthop
+            .iter()
+            .filter(|(nh, _)| net.contains_addr(**nh))
+            .flat_map(|(_, nets)| nets.iter().copied())
+            .collect();
+        for ext_net in affected {
+            let before = self.effective(&ext_net);
+            let entry = match self.ext.get(&ext_net) {
+                Some(e) => e.original.clone(),
+                None => continue,
+            };
+            let resolved = self.resolve(&entry);
+            if let Some(e) = self.ext.get_mut(&ext_net) {
+                e.resolved = resolved;
+            }
+            let after = self.effective(&ext_net);
+            self.emit_diff(el, self.self_origin, ext_net, before, after);
+        }
+    }
+}
+
+impl<A: Addr> Stage<A, RibRoute<A>> for ExtIntStage<A> {
+    fn name(&self) -> String {
+        "extint".into()
+    }
+
+    fn route_op(&mut self, el: &mut EventLoop, origin: OriginId, op: RouteOp<A, RibRoute<A>>) {
+        if self.ext_origins.contains(&origin) {
+            self.handle_ext(el, origin, op);
+        } else {
+            debug_assert!(
+                self.int_origins.contains(&origin),
+                "extint: unknown origin {origin:?}"
+            );
+            self.handle_int(el, origin, op);
+        }
+    }
+
+    fn lookup_route(&self, net: &Prefix<A>) -> Option<RibRoute<A>> {
+        self.effective(net)
+    }
+
+    fn push(&mut self, el: &mut EventLoop) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().push(el);
+        }
+    }
+
+    fn set_downstream(&mut self, s: StageRef<A, RibRoute<A>>) {
+        ExtIntStage::set_downstream(self, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::sync::Arc;
+    use xorp_net::{PathAttributes, ProtocolId};
+    use xorp_stages::{stage_ref, CacheStage, SinkStage};
+
+    type Sink = SinkStage<Ipv4Addr, RibRoute<Ipv4Addr>>;
+
+    const EXT: OriginId = OriginId(10);
+    const INT: OriginId = OriginId(20);
+    const SELF: OriginId = OriginId(99);
+
+    fn ext_route(net: &str, nh: &str) -> RibRoute<Ipv4Addr> {
+        RibRoute::new(
+            net.parse().unwrap(),
+            Arc::new(PathAttributes::new(IpAddr::V4(nh.parse().unwrap()))),
+            0,
+            ProtocolId::Ebgp,
+        )
+    }
+
+    fn int_route(net: &str, nh: &str, ifname: &str) -> RibRoute<Ipv4Addr> {
+        let mut r = RibRoute::new(
+            net.parse().unwrap(),
+            Arc::new(PathAttributes::new(IpAddr::V4(nh.parse().unwrap()))),
+            1,
+            ProtocolId::Static,
+        );
+        r.ifname = Some(ifname.into());
+        r
+    }
+
+    struct Rig {
+        el: EventLoop,
+        stage: std::rc::Rc<std::cell::RefCell<ExtIntStage<Ipv4Addr>>>,
+        cache: std::rc::Rc<std::cell::RefCell<CacheStage<Ipv4Addr, RibRoute<Ipv4Addr>>>>,
+        sink: std::rc::Rc<std::cell::RefCell<Sink>>,
+    }
+
+    impl Rig {
+        fn send(&mut self, origin: OriginId, op: RouteOp<Ipv4Addr, RibRoute<Ipv4Addr>>) {
+            self.stage.borrow_mut().route_op(&mut self.el, origin, op);
+        }
+
+        fn assert_consistent(&self) {
+            assert!(
+                self.cache.borrow().violations().is_empty(),
+                "{:?}",
+                self.cache.borrow().violations()
+            );
+        }
+    }
+
+    fn rig() -> Rig {
+        let el = EventLoop::new_virtual();
+        let stage = stage_ref(ExtIntStage::new([EXT], [INT], SELF));
+        let cache = stage_ref(CacheStage::new("extint-out"));
+        let sink = stage_ref(Sink::new());
+        stage.borrow_mut().set_downstream(cache.clone());
+        cache.borrow_mut().set_downstream(sink.clone());
+        cache.borrow_mut().set_upstream(stage.clone());
+        Rig {
+            el,
+            stage,
+            cache,
+            sink,
+        }
+    }
+
+    fn add<A: Into<RibRoute<Ipv4Addr>>>(r: A) -> RouteOp<Ipv4Addr, RibRoute<Ipv4Addr>> {
+        let r = r.into();
+        RouteOp::Add {
+            net: r.net,
+            route: r,
+        }
+    }
+
+    fn del(r: RibRoute<Ipv4Addr>) -> RouteOp<Ipv4Addr, RibRoute<Ipv4Addr>> {
+        RouteOp::Delete { net: r.net, old: r }
+    }
+
+    #[test]
+    fn internal_routes_pass_through() {
+        let mut r = rig();
+        r.send(INT, add(int_route("192.168.0.0/16", "0.0.0.0", "eth0")));
+        assert_eq!(r.sink.borrow().table.len(), 1);
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn unresolvable_external_held_back() {
+        let mut r = rig();
+        r.send(EXT, add(ext_route("10.0.0.0/8", "192.168.1.1")));
+        assert!(r.sink.borrow().table.is_empty());
+        assert_eq!(r.stage.borrow().unresolved_count(), 1);
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn resolution_releases_held_route_with_annotation() {
+        let mut r = rig();
+        r.send(EXT, add(ext_route("10.0.0.0/8", "192.168.1.1")));
+        // IGP route covering the nexthop appears: the BGP route resolves.
+        r.send(INT, add(int_route("192.168.0.0/16", "0.0.0.0", "eth3")));
+        let sink = r.sink.borrow();
+        let bgp = &sink.table[&"10.0.0.0/8".parse().unwrap()];
+        assert_eq!(bgp.proto, ProtocolId::Ebgp);
+        assert_eq!(bgp.ifname.as_deref(), Some("eth3"));
+        drop(sink);
+        assert_eq!(r.stage.borrow().unresolved_count(), 0);
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn pre_resolved_external_flows_immediately() {
+        let mut r = rig();
+        r.send(INT, add(int_route("192.168.0.0/16", "0.0.0.0", "eth0")));
+        r.send(EXT, add(ext_route("10.0.0.0/8", "192.168.1.1")));
+        assert_eq!(r.sink.borrow().table.len(), 2);
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn losing_resolution_withdraws_external() {
+        let mut r = rig();
+        let igp = int_route("192.168.0.0/16", "0.0.0.0", "eth0");
+        r.send(INT, add(igp.clone()));
+        r.send(EXT, add(ext_route("10.0.0.0/8", "192.168.1.1")));
+        assert_eq!(r.sink.borrow().table.len(), 2);
+        // IGP route vanishes: the BGP route must be withdrawn too.
+        r.send(INT, del(igp));
+        assert!(r.sink.borrow().table.is_empty());
+        assert_eq!(r.stage.borrow().unresolved_count(), 1);
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn fallback_to_less_specific_resolution() {
+        let mut r = rig();
+        r.send(INT, add(int_route("192.168.0.0/16", "0.0.0.0", "eth0")));
+        let specific = int_route("192.168.1.0/24", "0.0.0.0", "eth1");
+        r.send(INT, add(specific.clone()));
+        r.send(EXT, add(ext_route("10.0.0.0/8", "192.168.1.1")));
+        // Resolved via the /24 (eth1).
+        assert_eq!(
+            r.sink.borrow().table[&"10.0.0.0/8".parse().unwrap()]
+                .ifname
+                .as_deref(),
+            Some("eth1")
+        );
+        // /24 withdrawn: falls back to the /16 (eth0), not withdrawal.
+        r.send(INT, del(specific));
+        assert_eq!(
+            r.sink.borrow().table[&"10.0.0.0/8".parse().unwrap()]
+                .ifname
+                .as_deref(),
+            Some("eth0")
+        );
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn prefix_conflict_resolved_by_distance() {
+        let mut r = rig();
+        r.send(INT, add(int_route("192.168.0.0/16", "0.0.0.0", "eth0")));
+        // Same prefix from both sides: EBGP (AD 20) vs static (AD 1).
+        r.send(EXT, add(ext_route("10.0.0.0/8", "192.168.1.1")));
+        assert_eq!(
+            r.sink.borrow().table[&"10.0.0.0/8".parse().unwrap()].proto,
+            ProtocolId::Ebgp
+        );
+        let static_ten = int_route("10.0.0.0/8", "0.0.0.0", "eth9");
+        r.send(INT, add(static_ten.clone()));
+        assert_eq!(
+            r.sink.borrow().table[&"10.0.0.0/8".parse().unwrap()].proto,
+            ProtocolId::Static
+        );
+        // Static withdrawn: EBGP takes back over.
+        r.send(INT, del(static_ten));
+        assert_eq!(
+            r.sink.borrow().table[&"10.0.0.0/8".parse().unwrap()].proto,
+            ProtocolId::Ebgp
+        );
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn external_replace_rebinds_nexthop() {
+        let mut r = rig();
+        r.send(INT, add(int_route("192.168.0.0/16", "0.0.0.0", "eth0")));
+        r.send(INT, add(int_route("172.16.0.0/12", "0.0.0.0", "eth1")));
+        let old = ext_route("10.0.0.0/8", "192.168.1.1");
+        r.send(EXT, add(old.clone()));
+        let new = ext_route("10.0.0.0/8", "172.16.0.1");
+        r.send(
+            EXT,
+            RouteOp::Replace {
+                net: "10.0.0.0/8".parse().unwrap(),
+                old,
+                new,
+            },
+        );
+        assert_eq!(
+            r.sink.borrow().table[&"10.0.0.0/8".parse().unwrap()]
+                .ifname
+                .as_deref(),
+            Some("eth1")
+        );
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn lookup_route_is_effective_view() {
+        let mut r = rig();
+        r.send(EXT, add(ext_route("10.0.0.0/8", "192.168.1.1")));
+        // Unresolved: invisible.
+        assert!(r
+            .stage
+            .borrow()
+            .lookup_route(&"10.0.0.0/8".parse().unwrap())
+            .is_none());
+        r.send(INT, add(int_route("192.168.0.0/16", "0.0.0.0", "eth0")));
+        assert!(r
+            .stage
+            .borrow()
+            .lookup_route(&"10.0.0.0/8".parse().unwrap())
+            .is_some());
+    }
+}

@@ -1,0 +1,235 @@
+//! Origin tables: the stages where routes are actually stored (§5.2).
+
+use xorp_event::EventLoop;
+use xorp_net::{Addr, HeapSize, PatriciaTrie, Prefix, ProtocolId};
+use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
+
+use crate::RibRoute;
+
+/// A per-protocol route store at the head of the RIB's stage network.
+///
+/// Protocols feed routes in via [`OriginTable::add_route`] /
+/// [`OriginTable::delete_route`]; deltas flow downstream as consistent
+/// add/replace/delete messages.
+pub struct OriginTable<A: Addr> {
+    proto: ProtocolId,
+    origin: OriginId,
+    routes: PatriciaTrie<A, RibRoute<A>>,
+    downstream: Option<StageRef<A, RibRoute<A>>>,
+}
+
+impl<A: Addr> OriginTable<A> {
+    /// A table for `proto`, identified downstream by `origin`.
+    pub fn new(proto: ProtocolId, origin: OriginId) -> Self {
+        OriginTable {
+            proto,
+            origin,
+            routes: PatriciaTrie::new(),
+            downstream: None,
+        }
+    }
+
+    /// The protocol this table belongs to.
+    pub fn protocol(&self) -> ProtocolId {
+        self.proto
+    }
+
+    /// This table's origin id.
+    pub fn origin(&self) -> OriginId {
+        self.origin
+    }
+
+    /// Plumb the downstream neighbor.
+    pub fn set_downstream(&mut self, s: StageRef<A, RibRoute<A>>) {
+        self.downstream = Some(s);
+    }
+
+    /// Number of stored routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Install (or replace) a route.  Emits `Add` or `Replace` downstream.
+    pub fn add_route(&mut self, el: &mut EventLoop, route: RibRoute<A>) {
+        debug_assert_eq!(route.proto, self.proto, "route fed to wrong origin table");
+        let net = route.net;
+        let old = self.routes.insert(net, route.clone());
+        let op = match old {
+            Some(old) if old == route => return, // no-op update
+            Some(old) => RouteOp::Replace {
+                net,
+                old,
+                new: route,
+            },
+            None => RouteOp::Add { net, route },
+        };
+        self.emit(el, op);
+    }
+
+    /// Withdraw a route.  Emits `Delete` downstream; returns the withdrawn
+    /// route.
+    pub fn delete_route(&mut self, el: &mut EventLoop, net: Prefix<A>) -> Option<RibRoute<A>> {
+        let old = self.routes.remove(&net)?;
+        self.emit(
+            el,
+            RouteOp::Delete {
+                net,
+                old: old.clone(),
+            },
+        );
+        Some(old)
+    }
+
+    /// Withdraw everything (protocol shutdown).  Emits a delete per route.
+    pub fn clear(&mut self, el: &mut EventLoop) {
+        let nets: Vec<Prefix<A>> = self.routes.iter().map(|(n, _)| n).collect();
+        for net in nets {
+            self.delete_route(el, net);
+        }
+    }
+
+    /// Iterate the stored routes.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix<A>, &RibRoute<A>)> {
+        self.routes.iter()
+    }
+
+    /// Heap bytes attributable to this table (memory-accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.routes.heap_size()
+    }
+
+    fn emit(&mut self, el: &mut EventLoop, op: RouteOp<A, RibRoute<A>>) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().route_op(el, self.origin, op);
+        }
+    }
+}
+
+impl<A: Addr> Stage<A, RibRoute<A>> for OriginTable<A> {
+    fn name(&self) -> String {
+        format!("origin[{}]", self.proto)
+    }
+
+    /// Routes arriving as stage messages are treated as protocol input —
+    /// this is how an XRL front-end feeds the table.
+    fn route_op(&mut self, el: &mut EventLoop, _origin: OriginId, op: RouteOp<A, RibRoute<A>>) {
+        match op {
+            RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                self.add_route(el, route)
+            }
+            RouteOp::Delete { net, .. } => {
+                self.delete_route(el, net);
+            }
+        }
+    }
+
+    fn lookup_route(&self, net: &Prefix<A>) -> Option<RibRoute<A>> {
+        self.routes.get(net).cloned()
+    }
+
+    fn push(&mut self, el: &mut EventLoop) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().push(el);
+        }
+    }
+
+    fn set_downstream(&mut self, s: StageRef<A, RibRoute<A>>) {
+        OriginTable::set_downstream(self, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::sync::Arc;
+    use xorp_net::PathAttributes;
+    use xorp_stages::{stage_ref, SinkStage};
+
+    fn route(net: &str, nh: &str) -> RibRoute<Ipv4Addr> {
+        RibRoute::new(
+            net.parse().unwrap(),
+            Arc::new(PathAttributes::new(IpAddr::V4(nh.parse().unwrap()))),
+            1,
+            ProtocolId::Rip,
+        )
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn table() -> (
+        OriginTable<Ipv4Addr>,
+        std::rc::Rc<std::cell::RefCell<SinkStage<Ipv4Addr, RibRoute<Ipv4Addr>>>>,
+    ) {
+        let mut t = OriginTable::new(ProtocolId::Rip, OriginId(1));
+        let sink = stage_ref(SinkStage::new());
+        t.set_downstream(sink.clone());
+        (t, sink)
+    }
+
+    #[test]
+    fn add_replace_delete_stream() {
+        let mut el = EventLoop::new_virtual();
+        let (mut t, sink) = table();
+        t.add_route(&mut el, route("10.0.0.0/8", "192.0.2.1"));
+        t.add_route(&mut el, route("10.0.0.0/8", "192.0.2.2")); // replace
+        t.add_route(&mut el, route("10.0.0.0/8", "192.0.2.2")); // no-op
+        t.delete_route(&mut el, "10.0.0.0/8".parse().unwrap());
+        let log = &sink.borrow().log;
+        assert_eq!(log.len(), 3);
+        assert!(matches!(log[0].1, RouteOp::Add { .. }));
+        assert!(matches!(log[1].1, RouteOp::Replace { .. }));
+        assert!(matches!(log[2].1, RouteOp::Delete { .. }));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_unknown_is_silent() {
+        let mut el = EventLoop::new_virtual();
+        let (mut t, sink) = table();
+        assert!(t
+            .delete_route(&mut el, "10.0.0.0/8".parse().unwrap())
+            .is_none());
+        assert!(sink.borrow().log.is_empty());
+    }
+
+    #[test]
+    fn clear_emits_all_deletes() {
+        let mut el = EventLoop::new_virtual();
+        let (mut t, sink) = table();
+        for i in 0..5u8 {
+            t.add_route(&mut el, route(&format!("10.{i}.0.0/16"), "192.0.2.1"));
+        }
+        t.clear(&mut el);
+        assert!(t.is_empty());
+        let dels = sink
+            .borrow()
+            .log
+            .iter()
+            .filter(|(_, op)| matches!(op, RouteOp::Delete { .. }))
+            .count();
+        assert_eq!(dels, 5);
+        assert!(sink.borrow().table.is_empty());
+    }
+
+    #[test]
+    fn lookup_answers_from_store() {
+        let mut el = EventLoop::new_virtual();
+        let (mut t, _sink) = table();
+        t.add_route(&mut el, route("10.0.0.0/8", "192.0.2.1"));
+        assert!(t.lookup_route(&"10.0.0.0/8".parse().unwrap()).is_some());
+        assert!(t.lookup_route(&"11.0.0.0/8".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        let mut el = EventLoop::new_virtual();
+        let (mut t, _sink) = table();
+        t.add_route(&mut el, route("10.0.0.0/8", "192.0.2.1"));
+        assert!(t.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Route redistribution stages (§3, §5.2, §8.3).
+//!
+//! "A key instrument of routing policy is the process of route
+//! redistribution, where routes from one routing protocol that match
+//! certain policy filters are redistributed into another routing protocol
+//! ... The RIB, as the one part of the system that sees everyone's routes,
+//! is central to this process."
+//!
+//! A [`RedistStage`] is a transparent pass-through; watchers registered on
+//! it receive a policy-filtered copy of the stream.  Watchers are added and
+//! removed at runtime — one of the "dynamic stages inserted as different
+//! watchers register themselves with the RIB".
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+use xorp_event::EventLoop;
+use xorp_net::{Addr, Prefix, ProtocolId};
+use xorp_policy::{FilterBank, PolicyTarget};
+use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
+
+use crate::RibRoute;
+
+/// Callback receiving the filtered stream for one watcher.
+pub type RedistSink<A> = Rc<dyn Fn(&mut EventLoop, RouteOp<A, RibRoute<A>>)>;
+
+/// A redistribution subscription.
+pub struct RedistWatcher<A: Addr> {
+    /// Subscription name (for removal).
+    pub name: String,
+    /// Only routes from these protocols are considered (`None` = all).
+    pub from: Option<HashSet<ProtocolId>>,
+    /// Policy filters; may modify routes (set tags, rewrite metrics).
+    pub policy: FilterBank,
+    /// Where the filtered stream goes.
+    pub sink: RedistSink<A>,
+    /// Prefixes this watcher currently holds (maintains delete/add
+    /// symmetry when the policy verdict changes across a replace).
+    delivered: BTreeSet<Prefix<A>>,
+}
+
+impl<A: Addr> RedistWatcher<A> {
+    /// Build a subscription.
+    pub fn new(
+        name: impl Into<String>,
+        from: Option<HashSet<ProtocolId>>,
+        policy: FilterBank,
+        sink: RedistSink<A>,
+    ) -> Self {
+        RedistWatcher {
+            name: name.into(),
+            from,
+            policy,
+            sink,
+            delivered: BTreeSet::new(),
+        }
+    }
+
+    fn wants_proto(&self, proto: ProtocolId) -> bool {
+        self.from.as_ref().map_or(true, |set| set.contains(&proto))
+    }
+
+    /// Run the policy over a route copy; `Some(modified)` if accepted.
+    fn filter(&self, route: &RibRoute<A>) -> Option<RibRoute<A>>
+    where
+        RibRoute<A>: PolicyTarget,
+    {
+        if !self.wants_proto(route.proto) {
+            return None;
+        }
+        let mut copy = route.clone();
+        if self.policy.filter(&mut copy) {
+            Some(copy)
+        } else {
+            None
+        }
+    }
+}
+
+/// Transparent stage with policy-filtered taps.
+pub struct RedistStage<A: Addr> {
+    watchers: HashMap<String, RedistWatcher<A>>,
+    downstream: Option<StageRef<A, RibRoute<A>>>,
+    upstream: Option<StageRef<A, RibRoute<A>>>,
+}
+
+impl<A: Addr> Default for RedistStage<A>
+where
+    RibRoute<A>: PolicyTarget,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Addr> RedistStage<A>
+where
+    RibRoute<A>: PolicyTarget,
+{
+    /// An empty redistribution stage.
+    pub fn new() -> Self {
+        RedistStage {
+            watchers: HashMap::new(),
+            downstream: None,
+            upstream: None,
+        }
+    }
+
+    /// Plumb the downstream neighbor.
+    pub fn set_downstream(&mut self, s: StageRef<A, RibRoute<A>>) {
+        self.downstream = Some(s);
+    }
+
+    /// Plumb the upstream neighbor (lookup relay).
+    pub fn set_upstream(&mut self, s: StageRef<A, RibRoute<A>>) {
+        self.upstream = Some(s);
+    }
+
+    /// Add a watcher.  Existing routes are not replayed; callers wanting a
+    /// full feed add the watcher before protocols start (XORP's behaviour)
+    /// or request a dump separately.
+    pub fn add_watcher(&mut self, w: RedistWatcher<A>) {
+        self.watchers.insert(w.name.clone(), w);
+    }
+
+    /// Remove a watcher by name.
+    pub fn remove_watcher(&mut self, name: &str) -> bool {
+        self.watchers.remove(name).is_some()
+    }
+
+    /// Number of registered watchers.
+    pub fn watcher_count(&self) -> usize {
+        self.watchers.len()
+    }
+
+    fn tap(&mut self, el: &mut EventLoop, op: &RouteOp<A, RibRoute<A>>) {
+        let net = op.net();
+        for w in self.watchers.values_mut() {
+            let had = w.delivered.contains(&net);
+            let now = op.new_route().and_then(|r| w.filter(r));
+            let old_for_delete = |op: &RouteOp<A, RibRoute<A>>| match op {
+                RouteOp::Replace { old, .. } | RouteOp::Delete { old, .. } => old.clone(),
+                RouteOp::Add { route, .. } => route.clone(),
+            };
+            match (had, now) {
+                (false, Some(new)) => {
+                    w.delivered.insert(net);
+                    (w.sink)(el, RouteOp::Add { net, route: new });
+                }
+                (true, Some(new)) => {
+                    // The watcher saw a (filtered) old version; send a
+                    // replace carrying the *unfiltered* old route as
+                    // identity — watchers key on prefix.
+                    (w.sink)(
+                        el,
+                        RouteOp::Replace {
+                            net,
+                            old: old_for_delete(op),
+                            new,
+                        },
+                    );
+                }
+                (true, None) => {
+                    w.delivered.remove(&net);
+                    (w.sink)(
+                        el,
+                        RouteOp::Delete {
+                            net,
+                            old: old_for_delete(op),
+                        },
+                    );
+                }
+                (false, None) => {}
+            }
+        }
+    }
+}
+
+impl<A: Addr> Stage<A, RibRoute<A>> for RedistStage<A>
+where
+    RibRoute<A>: PolicyTarget,
+{
+    fn name(&self) -> String {
+        "redist".into()
+    }
+
+    fn route_op(&mut self, el: &mut EventLoop, origin: OriginId, op: RouteOp<A, RibRoute<A>>) {
+        self.tap(el, &op);
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().route_op(el, origin, op);
+        }
+    }
+
+    fn lookup_route(&self, net: &Prefix<A>) -> Option<RibRoute<A>> {
+        self.upstream
+            .as_ref()
+            .and_then(|u| u.borrow().lookup_route(net))
+    }
+
+    fn push(&mut self, el: &mut EventLoop) {
+        if let Some(d) = &self.downstream {
+            d.borrow_mut().push(el);
+        }
+    }
+
+    fn set_downstream(&mut self, s: StageRef<A, RibRoute<A>>) {
+        RedistStage::set_downstream(self, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::sync::Arc;
+    use xorp_net::PathAttributes;
+    use xorp_stages::{stage_ref, SinkStage};
+
+    fn route(net: &str, proto: ProtocolId, metric: u32) -> RibRoute<Ipv4Addr> {
+        RibRoute::new(
+            net.parse().unwrap(),
+            Arc::new(PathAttributes::new(IpAddr::V4(
+                "192.0.2.1".parse().unwrap(),
+            ))),
+            metric,
+            proto,
+        )
+    }
+
+    fn add(r: RibRoute<Ipv4Addr>) -> RouteOp<Ipv4Addr, RibRoute<Ipv4Addr>> {
+        RouteOp::Add {
+            net: r.net,
+            route: r,
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn collect_watcher(
+        stage: &mut RedistStage<Ipv4Addr>,
+        name: &str,
+        from: Option<HashSet<ProtocolId>>,
+        policy: FilterBank,
+    ) -> Rc<RefCell<Vec<RouteOp<Ipv4Addr, RibRoute<Ipv4Addr>>>>> {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        stage.add_watcher(RedistWatcher::new(
+            name,
+            from,
+            policy,
+            Rc::new(move |_el, op| sink.borrow_mut().push(op)),
+        ));
+        seen
+    }
+
+    #[test]
+    fn passes_stream_through_unmodified() {
+        let mut el = EventLoop::new_virtual();
+        let mut stage = RedistStage::new();
+        let down = stage_ref(SinkStage::new());
+        stage.set_downstream(down.clone());
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            add(route("10.0.0.0/8", ProtocolId::Rip, 1)),
+        );
+        assert_eq!(down.borrow().table.len(), 1);
+    }
+
+    #[test]
+    fn protocol_filter() {
+        let mut el = EventLoop::new_virtual();
+        let mut stage = RedistStage::new();
+        let seen = collect_watcher(
+            &mut stage,
+            "rip-to-bgp",
+            Some([ProtocolId::Rip].into_iter().collect()),
+            FilterBank::accept_by_default(),
+        );
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            add(route("10.0.0.0/8", ProtocolId::Rip, 1)),
+        );
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            add(route("20.0.0.0/8", ProtocolId::Static, 1)),
+        );
+        assert_eq!(seen.borrow().len(), 1);
+        assert_eq!(seen.borrow()[0].net(), "10.0.0.0/8".parse().unwrap());
+    }
+
+    #[test]
+    fn policy_filter_modifies_and_rejects() {
+        let mut el = EventLoop::new_virtual();
+        let mut stage = RedistStage::new();
+        let mut policy = FilterBank::accept_by_default();
+        policy
+            .push_source(
+                "tagger",
+                "if metric > 5 then reject; endif add-tag 7; accept;",
+            )
+            .unwrap();
+        let seen = collect_watcher(&mut stage, "w", None, policy);
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            add(route("10.0.0.0/8", ProtocolId::Rip, 1)),
+        );
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            add(route("20.0.0.0/8", ProtocolId::Rip, 9)),
+        );
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 1);
+        match &seen[0] {
+            RouteOp::Add { route, .. } => assert_eq!(route.attrs.tags, vec![7]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn replace_crossing_policy_boundary() {
+        // A replace whose old version passed the filter but new fails must
+        // surface as a Delete to the watcher (and vice versa).
+        let mut el = EventLoop::new_virtual();
+        let mut stage = RedistStage::new();
+        let mut policy = FilterBank::accept_by_default();
+        policy
+            .push_source(
+                "low-metric-only",
+                "if metric > 5 then reject; endif accept;",
+            )
+            .unwrap();
+        let seen = collect_watcher(&mut stage, "w", None, policy);
+
+        let old = route("10.0.0.0/8", ProtocolId::Rip, 1);
+        let new_bad = route("10.0.0.0/8", ProtocolId::Rip, 9);
+        stage.route_op(&mut el, OriginId(0), add(old.clone()));
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            RouteOp::Replace {
+                net: old.net,
+                old: old.clone(),
+                new: new_bad.clone(),
+            },
+        );
+        // Back below the threshold: reappears as Add.
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            RouteOp::Replace {
+                net: old.net,
+                old: new_bad,
+                new: route("10.0.0.0/8", ProtocolId::Rip, 2),
+            },
+        );
+        let seen = seen.borrow();
+        assert!(matches!(seen[0], RouteOp::Add { .. }));
+        assert!(matches!(seen[1], RouteOp::Delete { .. }));
+        assert!(matches!(seen[2], RouteOp::Add { .. }));
+    }
+
+    #[test]
+    fn delete_only_for_delivered_routes() {
+        let mut el = EventLoop::new_virtual();
+        let mut stage = RedistStage::new();
+        let mut policy = FilterBank::accept_by_default();
+        policy.push_source("none", "reject;").unwrap();
+        let seen = collect_watcher(&mut stage, "w", None, policy);
+        let r = route("10.0.0.0/8", ProtocolId::Rip, 1);
+        stage.route_op(&mut el, OriginId(0), add(r.clone()));
+        stage.route_op(&mut el, OriginId(0), RouteOp::Delete { net: r.net, old: r });
+        assert!(seen.borrow().is_empty());
+    }
+
+    #[test]
+    fn watcher_add_remove() {
+        let mut stage: RedistStage<Ipv4Addr> = RedistStage::new();
+        let _ = collect_watcher(&mut stage, "w", None, FilterBank::accept_by_default());
+        assert_eq!(stage.watcher_count(), 1);
+        assert!(stage.remove_watcher("w"));
+        assert!(!stage.remove_watcher("w"));
+        assert_eq!(stage.watcher_count(), 0);
+    }
+}

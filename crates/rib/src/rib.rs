@@ -1,0 +1,505 @@
+//! The RIB façade: wires the Figure 7 stage network and exposes the
+//! operations a RIB "process" serves over XRLs.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xorp_event::EventLoop;
+use xorp_net::{Addr, Prefix, ProtocolId, RouteEntry};
+use xorp_policy::PolicyTarget;
+use xorp_stages::{stage_ref, CacheStage, FnStage, OriginId, RouteOp, Stage};
+
+use crate::extint::ExtIntStage;
+use crate::merge::MergeStage;
+use crate::origin::OriginTable;
+use crate::redist::{RedistStage, RedistWatcher};
+use crate::register::{InvalidationCb, RegisterAnswer, RegisterStage};
+use crate::{is_external, RibRoute, RibStageRef};
+
+/// Origin id the ExtInt stage uses for resolution-driven messages.
+const EXTINT_SELF_ORIGIN: OriginId = OriginId(0);
+
+struct Chain<A: Addr> {
+    head: Option<RibStageRef<A>>,
+    origins: Vec<OriginId>,
+}
+
+impl<A: Addr> Default for Chain<A> {
+    fn default() -> Self {
+        Chain {
+            head: None,
+            origins: Vec::new(),
+        }
+    }
+}
+
+/// The assembled RIB (one per address family, as in XORP).
+///
+/// ```text
+/// origins(igp…) ─ merges ─┐(internal)
+///                         ExtInt ─ [Cache] ─ Redist ─ Register ─ output
+/// origins(egp…) ─ merges ─┘(external)
+/// ```
+pub struct Rib<A: Addr>
+where
+    RouteEntry<A>: PolicyTarget,
+{
+    origins: HashMap<ProtocolId, Rc<RefCell<OriginTable<A>>>>,
+    int_chain: Chain<A>,
+    ext_chain: Chain<A>,
+    extint: Rc<RefCell<ExtIntStage<A>>>,
+    #[allow(clippy::type_complexity)]
+    cache: Option<Rc<RefCell<CacheStage<A, RibRoute<A>>>>>,
+    redist: Rc<RefCell<RedistStage<A>>>,
+    register: Rc<RefCell<RegisterStage<A>>>,
+    next_origin: u32,
+}
+
+impl<A: Addr> Rib<A>
+where
+    RouteEntry<A>: PolicyTarget,
+{
+    /// Build an empty RIB.  With `consistency_checking`, a [`CacheStage`]
+    /// is spliced after the ExtInt stage — the paper's debugging
+    /// configuration ("not intended for normal production use").
+    pub fn new(consistency_checking: bool) -> Self {
+        let extint = stage_ref(ExtIntStage::new([], [], EXTINT_SELF_ORIGIN));
+        let redist = stage_ref(RedistStage::new());
+        let register = stage_ref(RegisterStage::new());
+
+        let cache = if consistency_checking {
+            let c = stage_ref(CacheStage::new("rib-extint-out"));
+            c.borrow_mut().set_upstream(extint.clone());
+            c.borrow_mut().set_downstream(redist.clone());
+            extint.borrow_mut().set_downstream(c.clone());
+            Some(c)
+        } else {
+            extint.borrow_mut().set_downstream(redist.clone());
+            None
+        };
+        redist.borrow_mut().set_upstream(extint.clone());
+        redist.borrow_mut().set_downstream(register.clone());
+
+        Rib {
+            origins: HashMap::new(),
+            int_chain: Chain::default(),
+            ext_chain: Chain::default(),
+            extint,
+            cache,
+            redist,
+            register,
+            next_origin: 1,
+        }
+    }
+
+    /// Direct the final route stream (what would go to the FEA) into a
+    /// callback.
+    pub fn set_output(
+        &mut self,
+        f: impl FnMut(&mut EventLoop, OriginId, RouteOp<A, RibRoute<A>>) + 'static,
+    ) {
+        let out = stage_ref(FnStage::new("rib-output", f));
+        self.register.borrow_mut().set_downstream(out);
+    }
+
+    /// Ensure an origin table exists for `proto`, plumbing it into the
+    /// appropriate side of the network.  Idempotent.
+    pub fn add_protocol(&mut self, proto: ProtocolId) {
+        if self.origins.contains_key(&proto) {
+            return;
+        }
+        let oid = OriginId(self.next_origin);
+        self.next_origin += 1;
+        let origin = stage_ref(OriginTable::new(proto, oid));
+        let external = is_external(proto);
+        self.extint.borrow_mut().add_origin(external, oid);
+
+        let chain = if external {
+            &mut self.ext_chain
+        } else {
+            &mut self.int_chain
+        };
+        match chain.head.take() {
+            None => {
+                origin.borrow_mut().set_downstream(self.extint.clone());
+                chain.head = Some(origin.clone());
+            }
+            Some(head) => {
+                // Splice a fresh merge above the ExtInt stage.  Merges are
+                // stateless, so this re-plumb is safe at any time; the new
+                // origin table is empty, so no downstream state changes.
+                let merge = stage_ref(MergeStage::new(
+                    format!("{proto}"),
+                    head.clone(),
+                    chain.origins.iter().copied(),
+                    origin.clone(),
+                    [oid],
+                ));
+                head.borrow_mut().set_downstream(merge.clone());
+                origin.borrow_mut().set_downstream(merge.clone());
+                merge.borrow_mut().set_downstream(self.extint.clone());
+                chain.head = Some(merge);
+            }
+        }
+        chain.origins.push(oid);
+        self.origins.insert(proto, origin);
+    }
+
+    /// Install (or update) a route; the origin table for its protocol is
+    /// created on demand.
+    pub fn add_route(&mut self, el: &mut EventLoop, route: RibRoute<A>) {
+        self.add_protocol(route.proto);
+        self.origins[&route.proto].borrow_mut().add_route(el, route);
+    }
+
+    /// Withdraw a route.
+    pub fn delete_route(
+        &mut self,
+        el: &mut EventLoop,
+        proto: ProtocolId,
+        net: Prefix<A>,
+    ) -> Option<RibRoute<A>> {
+        self.origins
+            .get(&proto)
+            .and_then(|o| o.borrow_mut().delete_route(el, net))
+    }
+
+    /// Withdraw everything a protocol contributed (protocol shutdown).
+    pub fn clear_protocol(&mut self, el: &mut EventLoop, proto: ProtocolId) {
+        if let Some(o) = self.origins.get(&proto) {
+            o.borrow_mut().clear(el);
+        }
+    }
+
+    /// Signal a batch boundary through the network.
+    pub fn push(&mut self, el: &mut EventLoop) {
+        // Push propagates from every origin head; pushing the chains' heads
+        // reaches everything downstream exactly once per chain.
+        if let Some(h) = &self.int_chain.head {
+            h.borrow_mut().push(el);
+        } else if let Some(h) = &self.ext_chain.head {
+            h.borrow_mut().push(el);
+        } else {
+            self.extint.borrow_mut().push(el);
+        }
+    }
+
+    /// Longest-prefix match against the final (post-arbitration) table.
+    pub fn longest_match(&self, addr: A) -> Option<(Prefix<A>, RibRoute<A>)> {
+        self.register.borrow().longest_match(addr)
+    }
+
+    /// Exact-match lookup against the final table.
+    pub fn lookup_exact(&self, net: &Prefix<A>) -> Option<RibRoute<A>> {
+        self.register.borrow().lookup_route(net)
+    }
+
+    /// Number of routes in the final table.
+    pub fn route_count(&self) -> usize {
+        self.register.borrow().route_count()
+    }
+
+    /// Register interest in the routing for `addr` (§5.2.1).
+    pub fn register_interest(&mut self, client: u32, addr: A) -> RegisterAnswer<A> {
+        self.register.borrow_mut().register_interest(client, addr)
+    }
+
+    /// Drop an interest registration.
+    pub fn deregister_interest(&mut self, client: u32, valid: &Prefix<A>) -> bool {
+        self.register
+            .borrow_mut()
+            .deregister_interest(client, valid)
+    }
+
+    /// Install the invalidation callback for an interest client.
+    pub fn set_invalidation_cb(&mut self, client: u32, cb: InvalidationCb<A>) {
+        self.register.borrow_mut().set_invalidation_cb(client, cb);
+    }
+
+    /// Add a redistribution watcher (§5.2).
+    pub fn add_redist_watcher(&mut self, w: RedistWatcher<A>) {
+        self.redist.borrow_mut().add_watcher(w);
+    }
+
+    /// Remove a redistribution watcher.
+    pub fn remove_redist_watcher(&mut self, name: &str) -> bool {
+        self.redist.borrow_mut().remove_watcher(name)
+    }
+
+    /// Consistency violations recorded by the optional cache stage.
+    pub fn consistency_violations(&self) -> Vec<String> {
+        self.cache
+            .as_ref()
+            .map(|c| {
+                c.borrow()
+                    .violations()
+                    .iter()
+                    .map(|v| v.message.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total heap bytes attributable to the RIB's structures: origin
+    /// tables + the ExtInt internal mirror + the register mirror.  This is
+    /// the number compared against the paper's "60 MB for the RIB".
+    pub fn memory_bytes(&self) -> usize {
+        let origins: usize = self
+            .origins
+            .values()
+            .map(|o| o.borrow().memory_bytes())
+            .sum();
+        origins + self.extint.borrow().mirror_bytes() + self.register.borrow().mirror_bytes()
+    }
+
+    /// Routes currently held back by the ExtInt stage as unresolvable.
+    pub fn unresolved_count(&self) -> usize {
+        self.extint.borrow().unresolved_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::sync::Arc;
+    use xorp_net::PathAttributes;
+
+    fn route(net: &str, nh: &str, proto: ProtocolId) -> RibRoute<Ipv4Addr> {
+        let mut r = RibRoute::new(
+            net.parse().unwrap(),
+            Arc::new(PathAttributes::new(IpAddr::V4(nh.parse().unwrap()))),
+            1,
+            proto,
+        );
+        if !is_external(proto) {
+            r.ifname = Some("eth0".into());
+        }
+        r
+    }
+
+    fn p(s: &str) -> Prefix<Ipv4Addr> {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_route_flow() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        let fib = Rc::new(RefCell::new(std::collections::BTreeMap::new()));
+        let f = fib.clone();
+        rib.set_output(move |_el, _o, op| {
+            match &op {
+                RouteOp::Add { net, route }
+                | RouteOp::Replace {
+                    net, new: route, ..
+                } => {
+                    f.borrow_mut().insert(*net, route.clone());
+                }
+                RouteOp::Delete { net, .. } => {
+                    f.borrow_mut().remove(net);
+                }
+            };
+        });
+
+        rib.add_route(
+            &mut el,
+            route("192.168.0.0/16", "0.0.0.0", ProtocolId::Connected),
+        );
+        rib.add_route(
+            &mut el,
+            route("10.0.0.0/8", "192.168.1.1", ProtocolId::Static),
+        );
+        assert_eq!(fib.borrow().len(), 2);
+        assert_eq!(rib.route_count(), 2);
+        assert!(rib.consistency_violations().is_empty());
+    }
+
+    #[test]
+    fn admin_distance_arbitration_across_protocols() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        rib.add_route(&mut el, route("10.0.0.0/8", "192.0.2.1", ProtocolId::Rip));
+        assert_eq!(
+            rib.lookup_exact(&p("10.0.0.0/8")).unwrap().proto,
+            ProtocolId::Rip
+        );
+        rib.add_route(
+            &mut el,
+            route("10.0.0.0/8", "192.0.2.2", ProtocolId::Static),
+        );
+        assert_eq!(
+            rib.lookup_exact(&p("10.0.0.0/8")).unwrap().proto,
+            ProtocolId::Static
+        );
+        rib.delete_route(&mut el, ProtocolId::Static, p("10.0.0.0/8"));
+        assert_eq!(
+            rib.lookup_exact(&p("10.0.0.0/8")).unwrap().proto,
+            ProtocolId::Rip
+        );
+        rib.delete_route(&mut el, ProtocolId::Rip, p("10.0.0.0/8"));
+        assert!(rib.lookup_exact(&p("10.0.0.0/8")).is_none());
+        assert!(rib.consistency_violations().is_empty());
+    }
+
+    #[test]
+    fn three_igp_protocols_chain() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        // Same prefix from three protocols; best (lowest AD) must win at
+        // each step of adding and deleting.
+        rib.add_route(&mut el, route("10.0.0.0/8", "1.1.1.1", ProtocolId::Rip)); // 120
+        rib.add_route(&mut el, route("10.0.0.0/8", "2.2.2.2", ProtocolId::Static)); // 1
+        rib.add_route(
+            &mut el,
+            route("10.0.0.0/8", "3.3.3.3", ProtocolId::Connected),
+        ); // 0
+        assert_eq!(
+            rib.lookup_exact(&p("10.0.0.0/8")).unwrap().proto,
+            ProtocolId::Connected
+        );
+        rib.delete_route(&mut el, ProtocolId::Connected, p("10.0.0.0/8"));
+        assert_eq!(
+            rib.lookup_exact(&p("10.0.0.0/8")).unwrap().proto,
+            ProtocolId::Static
+        );
+        rib.delete_route(&mut el, ProtocolId::Static, p("10.0.0.0/8"));
+        assert_eq!(
+            rib.lookup_exact(&p("10.0.0.0/8")).unwrap().proto,
+            ProtocolId::Rip
+        );
+        assert!(rib.consistency_violations().is_empty());
+    }
+
+    #[test]
+    fn bgp_routes_resolve_via_igp() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        // BGP route arrives before its nexthop is routable: held back.
+        rib.add_route(
+            &mut el,
+            route("203.0.113.0/24", "192.168.5.1", ProtocolId::Ebgp),
+        );
+        assert_eq!(rib.route_count(), 0);
+        assert_eq!(rib.unresolved_count(), 1);
+        // IGP route to the nexthop appears: BGP route becomes usable.
+        rib.add_route(
+            &mut el,
+            route("192.168.0.0/16", "0.0.0.0", ProtocolId::Connected),
+        );
+        assert_eq!(rib.route_count(), 2);
+        assert_eq!(rib.unresolved_count(), 0);
+        assert_eq!(
+            rib.lookup_exact(&p("203.0.113.0/24"))
+                .unwrap()
+                .ifname
+                .as_deref(),
+            Some("eth0")
+        );
+        // IGP route vanishes: BGP route withddrawn from the final table.
+        rib.delete_route(&mut el, ProtocolId::Connected, p("192.168.0.0/16"));
+        assert_eq!(rib.route_count(), 0);
+        assert!(rib.consistency_violations().is_empty());
+    }
+
+    #[test]
+    fn interest_registration_through_facade() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(false);
+        rib.add_route(
+            &mut el,
+            route("128.16.0.0/16", "0.0.0.0", ProtocolId::Static),
+        );
+        rib.add_route(
+            &mut el,
+            route("128.16.192.0/18", "0.0.0.0", ProtocolId::Static),
+        );
+
+        let invalidated = Rc::new(RefCell::new(Vec::new()));
+        let inv = invalidated.clone();
+        rib.set_invalidation_cb(
+            5,
+            Rc::new(move |_el, _c, valid| inv.borrow_mut().push(valid)),
+        );
+        let ans = rib.register_interest(5, a("128.16.128.1"));
+        // /16 matched but overlaid by the /18: valid range narrows.
+        assert_eq!(ans.valid, p("128.16.128.0/18"));
+        // A change inside the valid range invalidates.
+        rib.add_route(
+            &mut el,
+            route("128.16.128.0/24", "0.0.0.0", ProtocolId::Static),
+        );
+        assert_eq!(invalidated.borrow().len(), 1);
+    }
+
+    #[test]
+    fn redistribution_rip_to_bgp_with_tags() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        let mut policy = xorp_policy::FilterBank::accept_by_default();
+        policy
+            .push_source("export-rip", "add-tag 7; accept;")
+            .unwrap();
+        rib.add_redist_watcher(RedistWatcher::new(
+            "rip-to-bgp",
+            Some([ProtocolId::Rip].into_iter().collect()),
+            policy,
+            Rc::new(move |_el, op| s.borrow_mut().push(op)),
+        ));
+        rib.add_route(&mut el, route("10.1.0.0/16", "192.0.2.1", ProtocolId::Rip));
+        rib.add_route(
+            &mut el,
+            route("10.2.0.0/16", "192.0.2.1", ProtocolId::Static),
+        );
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 1);
+        match &seen[0] {
+            RouteOp::Add { route, .. } => {
+                assert_eq!(route.proto, ProtocolId::Rip);
+                assert_eq!(route.attrs.tags, vec![7]); // the §8.3 tag list
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(false);
+        let empty = rib.memory_bytes();
+        for i in 0..100u32 {
+            rib.add_route(
+                &mut el,
+                route(
+                    &format!("10.{}.{}.0/24", i / 256, i % 256),
+                    "0.0.0.0",
+                    ProtocolId::Static,
+                ),
+            );
+        }
+        assert!(rib.memory_bytes() > empty);
+    }
+
+    #[test]
+    fn clear_protocol_withdraws_everything() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        for i in 0..10u8 {
+            rib.add_route(
+                &mut el,
+                route(&format!("10.{i}.0.0/16"), "0.0.0.0", ProtocolId::Rip),
+            );
+        }
+        assert_eq!(rib.route_count(), 10);
+        rib.clear_protocol(&mut el, ProtocolId::Rip);
+        assert_eq!(rib.route_count(), 0);
+        assert!(rib.consistency_violations().is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests over the staged RIB:
+//!
+//! * arbitrary add/delete churn across protocols produces a final table
+//!   identical to a brute-force oracle (best admin distance per prefix),
+//!   with zero consistency violations from the cache stage;
+//! * the §5.2.1 covering-answer invariants hold for arbitrary tables:
+//!   answers never overlap, every address in the range longest-matches the
+//!   reported route, and ranges are maximal.
+
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xorp_event::EventLoop;
+use xorp_net::{PathAttributes, PatriciaTrie, Prefix, ProtocolId, RouteEntry};
+use xorp_rib::{covering_answer, Rib};
+
+type Net = Prefix<Ipv4Addr>;
+
+const PROTOS: [ProtocolId; 4] = [
+    ProtocolId::Connected,
+    ProtocolId::Static,
+    ProtocolId::Rip,
+    ProtocolId::Ebgp,
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { proto: usize, net_ix: u8, nh: u8 },
+    Del { proto: usize, net_ix: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..4, 0u8..16, any::<u8>()).prop_map(|(proto, net_ix, nh)| Op::Add {
+            proto,
+            net_ix,
+            nh,
+        }),
+        2 => (0usize..4, 0u8..16).prop_map(|(proto, net_ix)| Op::Del { proto, net_ix }),
+    ]
+}
+
+fn net(ix: u8) -> Net {
+    // Mix of nesting prefixes so merge paths with conflicts are exercised.
+    match ix % 4 {
+        0 => Prefix::new(Ipv4Addr::new(10, ix, 0, 0), 16).unwrap(),
+        1 => Prefix::new(Ipv4Addr::new(10, ix / 4, 0, 0), 12).unwrap(),
+        2 => Prefix::new(Ipv4Addr::new(10, ix, ix, 0), 24).unwrap(),
+        _ => Prefix::new(Ipv4Addr::new(20, ix, 0, 0), 16).unwrap(),
+    }
+}
+
+fn route(n: Net, proto: ProtocolId, nh: u8) -> RouteEntry<Ipv4Addr> {
+    let mut attrs = PathAttributes::new(IpAddr::V4(Ipv4Addr::new(192, 168, 0, nh)));
+    attrs.ebgp = proto == ProtocolId::Ebgp;
+    let mut r = RouteEntry::new(n, Arc::new(attrs), 1, proto);
+    r.ifname = Some("eth0".into());
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rib_matches_admin_distance_oracle(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        // A connected route that resolves the EBGP nexthops.
+        rib.add_route(&mut el, route("192.168.0.0/16".parse().unwrap(), ProtocolId::Connected, 1));
+
+        // Oracle: per-(proto, net) presence.
+        let mut model: BTreeMap<(usize, Net), RouteEntry<Ipv4Addr>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Add { proto, net_ix, nh } => {
+                    let r = route(net(net_ix), PROTOS[proto], nh);
+                    model.insert((proto, r.net), r.clone());
+                    rib.add_route(&mut el, r);
+                }
+                Op::Del { proto, net_ix } => {
+                    model.remove(&(proto, net(net_ix)));
+                    rib.delete_route(&mut el, PROTOS[proto], net(net_ix));
+                }
+            }
+        }
+        el.run_until_idle();
+
+        prop_assert!(rib.consistency_violations().is_empty(),
+                     "{:?}", rib.consistency_violations());
+
+        // Expected winner per prefix: lowest admin distance (every EBGP
+        // nexthop resolves via the connected /16, so none are held back).
+        let mut expected: BTreeMap<Net, ProtocolId> = BTreeMap::new();
+        for ((_, n), r) in &model {
+            match expected.get(n) {
+                Some(best) if xorp_net::AdminDistance::default_for(*best)
+                    <= r.admin_distance => {}
+                _ => {
+                    expected.insert(*n, r.proto);
+                }
+            }
+        }
+        expected.insert("192.168.0.0/16".parse().unwrap(), ProtocolId::Connected);
+
+        prop_assert_eq!(rib.route_count(), expected.len());
+        for (n, proto) in &expected {
+            let got = rib.lookup_exact(n);
+            prop_assert!(got.is_some(), "missing {}", n);
+            prop_assert_eq!(got.unwrap().proto, *proto, "winner for {}", n);
+        }
+    }
+
+    #[test]
+    fn covering_answer_invariants(
+        entries in proptest::collection::btree_set(
+            (any::<u32>(), 0u8..=28).prop_map(|(b, l)| {
+                Prefix::<Ipv4Addr>::new(Ipv4Addr::from(b), l).unwrap()
+            }),
+            0..24,
+        ),
+        queries in proptest::collection::vec(any::<u32>(), 1..16),
+    ) {
+        let mut trie: PatriciaTrie<Ipv4Addr, u32> = PatriciaTrie::new();
+        for (i, p) in entries.iter().enumerate() {
+            trie.insert(*p, i as u32);
+        }
+
+        let mut answers: Vec<(Ipv4Addr, Option<Net>, Net)> = Vec::new();
+        for q in queries {
+            let addr = Ipv4Addr::from(q);
+            let (matched, valid) = covering_answer(&trie, addr);
+            // 1. The valid range contains the queried address.
+            prop_assert!(valid.contains_addr(addr));
+            // 2. The match is the longest match.
+            let oracle = entries
+                .iter()
+                .filter(|p| p.contains_addr(addr))
+                .max_by_key(|p| p.len())
+                .copied();
+            prop_assert_eq!(matched.as_ref().map(|(p, _)| *p), oracle);
+            // 3. Every stored route inside `valid` IS the matched route
+            //    (no overlay), i.e. all addresses in `valid` share the
+            //    answer.
+            for p in &entries {
+                if valid.contains(p) {
+                    prop_assert_eq!(Some(*p), oracle, "route {} overlays {}", p, valid);
+                }
+            }
+            // 4. Maximality: the parent range (if any) violates one of the
+            //    above.
+            if let Some(parent) = valid.parent() {
+                let parent_ok = entries.iter().filter(|p| parent.contains(p)).all(|p| Some(*p) == oracle)
+                    && oracle.map_or(true, |o| o.contains(&parent));
+                prop_assert!(!parent_ok, "range {} not maximal (parent {} also valid)", valid, parent);
+            }
+            answers.push((addr, oracle, valid));
+        }
+
+        // 5. "No largest enclosing subnet ever overlaps any other": ranges
+        //    from distinct queries either coincide or are disjoint.
+        for (i, (_, _, a)) in answers.iter().enumerate() {
+            for (_, _, b) in answers.iter().skip(i + 1) {
+                prop_assert!(a == b || !a.overlaps(b), "{} overlaps {}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! RIPv2 (RFC 2453) — the second routing protocol of XORP 1.0.
+//!
+//! The process is fully event-driven on the shared [`xorp_event`] loop:
+//! periodic advertisements are protocol-mandated timers (not a route
+//! scanner), and route timeouts are per-route deadline events, re-armed on
+//! refresh — there is no periodic "walk the table" pass.
+//!
+//! I/O is abstracted: packets leave through a send callback and arrive via
+//! [`RipProcess::on_packet`].  In a full router the callback is an XRL to
+//! the FEA — "rather than sending UDP packets directly, RIP sends and
+//! receives packets using XRL calls to the FEA" (§7) — which is how the
+//! process stays sandboxable.
+
+pub mod packet;
+pub mod process;
+
+pub use packet::{RipCommand, RipEntry, RipPacket, RipPacketError, INFINITY};
+pub use process::{RipConfig, RipProcess, RipRouteState};

@@ -1,0 +1,238 @@
+//! RIPv2 wire format (RFC 2453 §4).
+//!
+//! ```text
+//! u8 command | u8 version (2) | u16 zero
+//! entries (20 bytes each, max 25):
+//!   u16 address family (2 = IP) | u16 route tag
+//!   u32 address | u32 subnet mask | u32 nexthop | u32 metric
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use xorp_net::{Ipv4Net, Prefix};
+
+/// The unreachable metric.
+pub const INFINITY: u32 = 16;
+/// Maximum entries per packet (RFC 2453).
+pub const MAX_ENTRIES: usize = 25;
+
+/// Packet command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RipCommand {
+    /// Ask for routes (whole-table request when entries empty/AF 0).
+    Request,
+    /// Advertise routes.
+    Response,
+}
+
+/// One route entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RipEntry {
+    /// Destination.
+    pub net: Ipv4Net,
+    /// Explicit nexthop, or 0.0.0.0 meaning "via the sender".
+    pub nexthop: Ipv4Addr,
+    /// Metric 1..=16.
+    pub metric: u32,
+    /// Route tag (redistribution marker — carries the §8.3 tag idea onto
+    /// the RIP wire).
+    pub tag: u16,
+}
+
+/// A RIPv2 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RipPacket {
+    /// Request or Response.
+    pub command: RipCommand,
+    /// Route entries (empty Request = "send me everything").
+    pub entries: Vec<RipEntry>,
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RipPacketError {
+    /// Too short or entry-misaligned.
+    Truncated,
+    /// Unknown command byte.
+    BadCommand(u8),
+    /// Version other than 2.
+    BadVersion(u8),
+    /// Mask was not a valid prefix mask, or metric out of range.
+    BadEntry(&'static str),
+}
+
+impl std::fmt::Display for RipPacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RipPacketError::Truncated => write!(f, "truncated RIP packet"),
+            RipPacketError::BadCommand(c) => write!(f, "bad RIP command {c}"),
+            RipPacketError::BadVersion(v) => write!(f, "bad RIP version {v}"),
+            RipPacketError::BadEntry(s) => write!(f, "bad RIP entry: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RipPacketError {}
+
+fn mask_to_len(mask: u32) -> Option<u8> {
+    let len = mask.leading_ones() as u8;
+    (mask == prefix_len_mask(len)).then_some(len)
+}
+
+fn prefix_len_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+impl RipPacket {
+    /// A whole-table request.
+    pub fn request_all() -> RipPacket {
+        RipPacket {
+            command: RipCommand::Request,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(4 + 20 * self.entries.len());
+        buf.put_u8(match self.command {
+            RipCommand::Request => 1,
+            RipCommand::Response => 2,
+        });
+        buf.put_u8(2); // version
+        buf.put_u16(0);
+        for e in &self.entries {
+            buf.put_u16(2); // AF_INET
+            buf.put_u16(e.tag);
+            buf.put_u32(e.net.addr().into());
+            buf.put_u32(prefix_len_mask(e.net.len()));
+            buf.put_u32(e.nexthop.into());
+            buf.put_u32(e.metric);
+        }
+        buf
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<RipPacket, RipPacketError> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 4 {
+            return Err(RipPacketError::Truncated);
+        }
+        let command = match buf.get_u8() {
+            1 => RipCommand::Request,
+            2 => RipCommand::Response,
+            other => return Err(RipPacketError::BadCommand(other)),
+        };
+        let version = buf.get_u8();
+        if version != 2 {
+            return Err(RipPacketError::BadVersion(version));
+        }
+        let _ = buf.get_u16();
+        if buf.remaining() % 20 != 0 {
+            return Err(RipPacketError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(buf.remaining() / 20);
+        while buf.has_remaining() {
+            let _af = buf.get_u16();
+            let tag = buf.get_u16();
+            let addr = Ipv4Addr::from(buf.get_u32());
+            let mask = buf.get_u32();
+            let nexthop = Ipv4Addr::from(buf.get_u32());
+            let metric = buf.get_u32();
+            let len = mask_to_len(mask).ok_or(RipPacketError::BadEntry("mask"))?;
+            if !(1..=INFINITY).contains(&metric) {
+                return Err(RipPacketError::BadEntry("metric"));
+            }
+            entries.push(RipEntry {
+                net: Prefix::new(addr, len).map_err(|_| RipPacketError::BadEntry("prefix"))?,
+                nexthop,
+                metric,
+                tag,
+            });
+        }
+        Ok(RipPacket { command, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(net: &str, metric: u32) -> RipEntry {
+        RipEntry {
+            net: net.parse().unwrap(),
+            nexthop: Ipv4Addr::UNSPECIFIED,
+            metric,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_response() {
+        let pkt = RipPacket {
+            command: RipCommand::Response,
+            entries: vec![
+                entry("10.0.0.0/8", 1),
+                entry("192.168.1.0/24", 5),
+                RipEntry {
+                    net: "172.16.0.0/12".parse().unwrap(),
+                    nexthop: "192.0.2.7".parse().unwrap(),
+                    metric: INFINITY,
+                    tag: 42,
+                },
+            ],
+        };
+        let decoded = RipPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let pkt = RipPacket::request_all();
+        assert_eq!(RipPacket::decode(&pkt.encode()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn mask_conversion() {
+        assert_eq!(mask_to_len(0xffffff00), Some(24));
+        assert_eq!(mask_to_len(0), Some(0));
+        assert_eq!(mask_to_len(u32::MAX), Some(32));
+        assert_eq!(mask_to_len(0xff00ff00), None); // non-contiguous
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(RipPacket::decode(&[1, 2]), Err(RipPacketError::Truncated));
+        assert_eq!(
+            RipPacket::decode(&[9, 2, 0, 0]),
+            Err(RipPacketError::BadCommand(9))
+        );
+        assert_eq!(
+            RipPacket::decode(&[2, 1, 0, 0]),
+            Err(RipPacketError::BadVersion(1))
+        );
+        // Misaligned entries.
+        assert_eq!(
+            RipPacket::decode(&[2, 2, 0, 0, 1, 2, 3]),
+            Err(RipPacketError::Truncated)
+        );
+        // Metric 0 invalid.
+        let mut pkt = RipPacket {
+            command: RipCommand::Response,
+            entries: vec![entry("10.0.0.0/8", 1)],
+        }
+        .encode()
+        .to_vec();
+        let n = pkt.len();
+        pkt[n - 1] = 0;
+        assert_eq!(
+            RipPacket::decode(&pkt),
+            Err(RipPacketError::BadEntry("metric"))
+        );
+    }
+}

@@ -1,0 +1,473 @@
+//! The XORP-style configuration language.
+//!
+//! ```text
+//! protocols {
+//!     bgp {
+//!         local-as: 65000
+//!         peer 192.0.2.1 {
+//!             as: 65001
+//!             import: "if metric > 10 then reject; endif accept;"
+//!         }
+//!     }
+//!     rip {
+//!         interface eth0 { }
+//!     }
+//! }
+//! ```
+//!
+//! A node is `name [key] { ... }`; leaves are `name: value`.  Values are
+//! numbers, booleans, strings, addresses and prefixes.  `#` comments to
+//! end of line.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::IpAddr;
+
+use xorp_net::Ipv4Net;
+
+/// A leaf value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigValue {
+    /// Unsigned number.
+    U32(u32),
+    /// Boolean (`true`/`false`).
+    Bool(bool),
+    /// Quoted string.
+    Str(String),
+    /// IP address.
+    Addr(IpAddr),
+    /// IPv4 prefix.
+    Net(Ipv4Net),
+    /// Bare word that parsed as none of the above.
+    Word(String),
+}
+
+impl fmt::Display for ConfigValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigValue::U32(v) => write!(f, "{v}"),
+            ConfigValue::Bool(v) => write!(f, "{v}"),
+            ConfigValue::Str(v) => write!(f, "\"{v}\""),
+            ConfigValue::Addr(v) => write!(f, "{v}"),
+            ConfigValue::Net(v) => write!(f, "{v}"),
+            ConfigValue::Word(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl ConfigValue {
+    fn classify(word: &str) -> ConfigValue {
+        if let Ok(v) = word.parse::<u32>() {
+            return ConfigValue::U32(v);
+        }
+        if let Ok(v) = word.parse::<bool>() {
+            return ConfigValue::Bool(v);
+        }
+        if let Ok(v) = word.parse::<Ipv4Net>() {
+            return ConfigValue::Net(v);
+        }
+        if let Ok(v) = word.parse::<IpAddr>() {
+            return ConfigValue::Addr(v);
+        }
+        ConfigValue::Word(word.to_string())
+    }
+
+    /// Interpret as a u32, if possible.
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            ConfigValue::U32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a string (quoted or bare).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ConfigValue::Str(s) | ConfigValue::Word(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an address.
+    pub fn as_addr(&self) -> Option<IpAddr> {
+        match self {
+            ConfigValue::Addr(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+/// A configuration subtree: `name [key] { attributes; children }`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConfigNode {
+    /// Node type name (`bgp`, `peer`, `interface`...).
+    pub name: String,
+    /// Optional instance key (`peer 192.0.2.1 { ... }`).
+    pub key: Option<String>,
+    /// Leaf attributes, sorted for deterministic diffs.
+    pub attrs: BTreeMap<String, ConfigValue>,
+    /// Child nodes in source order.
+    pub children: Vec<ConfigNode>,
+}
+
+impl ConfigNode {
+    /// Find the first child with this name.
+    pub fn child(&self, name: &str) -> Option<&ConfigNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with this name (keyed instances).
+    pub fn children_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a ConfigNode> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Attribute accessor.
+    pub fn attr(&self, name: &str) -> Option<&ConfigValue> {
+        self.attrs.get(name)
+    }
+
+    /// Render back to config text.
+    pub fn render(&self, indent: usize) -> String {
+        let pad = "    ".repeat(indent);
+        let mut out = String::new();
+        match &self.key {
+            Some(k) => out.push_str(&format!("{pad}{} {} {{\n", self.name, k)),
+            None => out.push_str(&format!("{pad}{} {{\n", self.name)),
+        }
+        for (k, v) in &self.attrs {
+            out.push_str(&format!("{pad}    {k}: {v}\n"));
+        }
+        for c in &self.children {
+            out.push_str(&c.render(indent + 1));
+        }
+        out.push_str(&format!("{pad}}}\n"));
+        out
+    }
+}
+
+/// Parse errors with line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Colon,
+    LBrace,
+    RBrace,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ConfigError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < chars.len() {
+        match chars[i] {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push((Tok::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, line));
+                i += 1;
+            }
+            ':' => {
+                out.push((Tok::Colon, line));
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '"' {
+                    if chars[j] == '\n' {
+                        return Err(ConfigError {
+                            message: "unterminated string".into(),
+                            line,
+                        });
+                    }
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(ConfigError {
+                        message: "unterminated string".into(),
+                        line,
+                    });
+                }
+                out.push((Tok::Str(chars[start..j].iter().collect()), line));
+                i = j + 1;
+            }
+            _ => {
+                let start = i;
+                while i < chars.len()
+                    && !chars[i].is_whitespace()
+                    && !['{', '}', ':', '#', '"'].contains(&chars[i])
+                {
+                    i += 1;
+                }
+                out.push((Tok::Word(chars[start..i].iter().collect()), line));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            message: message.into(),
+            line: self.line(),
+        }
+    }
+
+    fn parse_body(&mut self, node: &mut ConfigNode) -> Result<(), ConfigError> {
+        loop {
+            match self.toks.get(self.pos) {
+                None => return Err(self.err("missing '}'")),
+                Some((Tok::RBrace, _)) => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some((Tok::Word(w), _)) => {
+                    let name = w.clone();
+                    self.pos += 1;
+                    self.parse_item(node, name)?;
+                }
+                Some((t, _)) => return Err(self.err(format!("unexpected {t:?}"))),
+            }
+        }
+    }
+
+    /// After a leading word: `: value`, `{`, or `key {`.
+    fn parse_item(&mut self, parent: &mut ConfigNode, name: String) -> Result<(), ConfigError> {
+        match self.toks.get(self.pos) {
+            Some((Tok::Colon, _)) => {
+                self.pos += 1;
+                let value = match self.toks.get(self.pos) {
+                    Some((Tok::Word(w), _)) => ConfigValue::classify(w),
+                    Some((Tok::Str(s), _)) => ConfigValue::Str(s.clone()),
+                    _ => return Err(self.err(format!("missing value for {name}"))),
+                };
+                self.pos += 1;
+                parent.attrs.insert(name, value);
+                Ok(())
+            }
+            Some((Tok::LBrace, _)) => {
+                self.pos += 1;
+                let mut child = ConfigNode {
+                    name,
+                    ..Default::default()
+                };
+                self.parse_body(&mut child)?;
+                parent.children.push(child);
+                Ok(())
+            }
+            Some((Tok::Word(key), _)) => {
+                let key = key.clone();
+                self.pos += 1;
+                match self.toks.get(self.pos) {
+                    Some((Tok::LBrace, _)) => {
+                        self.pos += 1;
+                        let mut child = ConfigNode {
+                            name,
+                            key: Some(key),
+                            ..Default::default()
+                        };
+                        self.parse_body(&mut child)?;
+                        parent.children.push(child);
+                        Ok(())
+                    }
+                    _ => Err(self.err(format!("expected '{{' after '{name} {key}'"))),
+                }
+            }
+            _ => Err(self.err(format!("expected ':' or '{{' after '{name}'"))),
+        }
+    }
+}
+
+/// Parse configuration text into a root node (name = `root`).
+pub fn parse(src: &str) -> Result<ConfigNode, ConfigError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut root = ConfigNode {
+        name: "root".into(),
+        ..Default::default()
+    };
+    while p.pos < p.toks.len() {
+        match &p.toks[p.pos].0 {
+            Tok::Word(w) => {
+                let name = w.clone();
+                p.pos += 1;
+                p.parse_item(&mut root, name)?;
+            }
+            t => {
+                return Err(ConfigError {
+                    message: format!("unexpected {t:?} at top level"),
+                    line: p.toks[p.pos].1,
+                })
+            }
+        }
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A sample router configuration.
+protocols {
+    bgp {
+        local-as: 65000
+        router-id: 10.0.0.1
+        peer 192.0.2.1 {
+            as: 65001
+            import: "if metric > 10 then reject; endif accept;"
+        }
+        peer 192.0.2.2 {
+            as: 65002
+            enabled: false
+        }
+    }
+    rip {
+        interface eth0 { }
+    }
+}
+interfaces {
+    interface eth0 {
+        address: 10.0.0.1
+        prefix: 10.0.0.0/24
+        mtu: 1500
+    }
+}
+"#;
+
+    #[test]
+    fn parse_sample() {
+        let root = parse(SAMPLE).unwrap();
+        let protocols = root.child("protocols").unwrap();
+        let bgp = protocols.child("bgp").unwrap();
+        assert_eq!(bgp.attr("local-as").unwrap().as_u32(), Some(65000));
+        assert_eq!(
+            bgp.attr("router-id")
+                .unwrap()
+                .as_addr()
+                .unwrap()
+                .to_string(),
+            "10.0.0.1"
+        );
+        let peers: Vec<_> = bgp.children_named("peer").collect();
+        assert_eq!(peers.len(), 2);
+        assert_eq!(peers[0].key.as_deref(), Some("192.0.2.1"));
+        assert_eq!(peers[0].attr("as").unwrap().as_u32(), Some(65001));
+        assert!(peers[0]
+            .attr("import")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("reject"));
+        assert_eq!(peers[1].attr("enabled"), Some(&ConfigValue::Bool(false)));
+        let iface = root
+            .child("interfaces")
+            .unwrap()
+            .children_named("interface")
+            .next()
+            .unwrap();
+        assert_eq!(
+            iface.attr("prefix"),
+            Some(&ConfigValue::Net("10.0.0.0/24".parse().unwrap()))
+        );
+    }
+
+    #[test]
+    fn value_classification() {
+        assert_eq!(ConfigValue::classify("42"), ConfigValue::U32(42));
+        assert_eq!(ConfigValue::classify("true"), ConfigValue::Bool(true));
+        assert_eq!(
+            ConfigValue::classify("10.0.0.0/8"),
+            ConfigValue::Net("10.0.0.0/8".parse().unwrap())
+        );
+        assert_eq!(
+            ConfigValue::classify("10.0.0.1"),
+            ConfigValue::Addr("10.0.0.1".parse().unwrap())
+        );
+        assert_eq!(
+            ConfigValue::classify("eth0"),
+            ConfigValue::Word("eth0".into())
+        );
+    }
+
+    #[test]
+    fn render_roundtrip() {
+        let root = parse(SAMPLE).unwrap();
+        let text: String = root.children.iter().map(|c| c.render(0)).collect();
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, root);
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let err = parse("a {\n  b:\n}").unwrap_err();
+        assert_eq!(err.line, 3); // value missing, noticed at '}'
+        assert!(parse("a {").unwrap_err().message.contains("missing '}'"));
+        assert!(parse("a { \"unterminated }").is_err());
+        assert!(parse("}").is_err());
+        assert!(parse("a b c {}").is_err());
+    }
+
+    #[test]
+    fn empty_config() {
+        let root = parse("").unwrap();
+        assert!(root.children.is_empty());
+        assert!(root.attrs.is_empty());
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let root = parse("# only a comment\nx { y: 1 } # trailing\n").unwrap();
+        assert_eq!(
+            root.child("x").unwrap().attr("y").unwrap().as_u32(),
+            Some(1)
+        );
+    }
+}

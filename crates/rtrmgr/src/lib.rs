@@ -1,0 +1,25 @@
+//! The Router Manager (§3).
+//!
+//! "The 'Router Manager' holds the router configuration and starts,
+//! configures, and stops protocols and other router functionality.  It
+//! hides the router's internal structure from the user, providing
+//! operators with unified management interfaces."
+//!
+//! Three pieces:
+//!
+//! * a hierarchical, curly-brace **configuration language** ([`parse`]) in
+//!   the XORP style;
+//! * **template** validation ([`Template`]) — the mechanism §8.3 says the
+//!   CLI is dynamically extended with (and whose original syntax the
+//!   authors "got wrong"; ours is deliberately minimal);
+//! * a **process registry** ([`RouterManager`]) mapping top-level config
+//!   sections to managed components, computing configuration diffs and
+//!   driving start/reconfigure/stop.
+
+pub mod config;
+pub mod manager;
+pub mod template;
+
+pub use config::{parse, ConfigError, ConfigNode, ConfigValue};
+pub use manager::{ManagedProcess, RouterManager};
+pub use template::{Template, TemplateError, ValueType};

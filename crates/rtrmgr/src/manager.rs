@@ -1,0 +1,317 @@
+//! Component lifecycle: starting, reconfiguring and stopping managed
+//! processes from configuration changes.
+
+use std::collections::BTreeMap;
+
+use crate::config::ConfigNode;
+use crate::template::{Template, TemplateError};
+
+/// A managed router component (a "process" in the paper's architecture).
+///
+/// The Router Manager drives each implementation through its lifecycle as
+/// configuration commits come and go; implementations translate their
+/// config subtree into XRLs/API calls on the real component.
+pub trait ManagedProcess {
+    /// Component name (matches its top-level config section).
+    fn name(&self) -> &str;
+
+    /// Bring the component up with its initial configuration.
+    fn start(&mut self, config: &ConfigNode) -> Result<(), String>;
+
+    /// Apply a configuration change while running.
+    fn reconfigure(&mut self, config: &ConfigNode) -> Result<(), String>;
+
+    /// Shut the component down (its section disappeared).
+    fn stop(&mut self);
+}
+
+/// Lifecycle states the manager tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Not running (no config section).
+    Stopped,
+    /// Running.
+    Running,
+    /// Last transition failed.
+    Failed,
+}
+
+struct Managed {
+    process: Box<dyn ManagedProcess>,
+    state: ProcessState,
+    /// The subtree last applied.
+    applied: Option<ConfigNode>,
+}
+
+/// The Router Manager: owns the running configuration and the component
+/// registry.
+#[derive(Default)]
+pub struct RouterManager {
+    template: Option<Template>,
+    processes: BTreeMap<String, Managed>,
+    running: Option<ConfigNode>,
+}
+
+impl RouterManager {
+    /// A manager with no schema enforcement.
+    pub fn new() -> RouterManager {
+        RouterManager::default()
+    }
+
+    /// Enforce a template on every commit.
+    pub fn set_template(&mut self, t: Template) {
+        self.template = Some(t);
+    }
+
+    /// Register a component under the config section `protocols.<name>` or
+    /// the top-level section `<name>`.
+    pub fn register(&mut self, process: Box<dyn ManagedProcess>) {
+        let name = process.name().to_string();
+        self.processes.insert(
+            name,
+            Managed {
+                process,
+                state: ProcessState::Stopped,
+                applied: None,
+            },
+        );
+    }
+
+    /// Current state of a component.
+    pub fn state(&self, name: &str) -> Option<ProcessState> {
+        self.processes.get(name).map(|m| m.state)
+    }
+
+    /// The currently committed configuration.
+    pub fn running_config(&self) -> Option<&ConfigNode> {
+        self.running.as_ref()
+    }
+
+    /// Find the subtree a component consumes: `protocols.<name>`, falling
+    /// back to a top-level `<name>` section.
+    fn section_for<'a>(root: &'a ConfigNode, name: &str) -> Option<&'a ConfigNode> {
+        root.child("protocols")
+            .and_then(|p| p.child(name))
+            .or_else(|| root.child(name))
+    }
+
+    /// Commit a new configuration: validate, then start / reconfigure /
+    /// stop components whose sections appeared / changed / vanished.
+    ///
+    /// Returns the names of components touched, in order.
+    pub fn commit(&mut self, root: ConfigNode) -> Result<Vec<String>, Vec<TemplateError>> {
+        if let Some(t) = &self.template {
+            let errors = t.validate(&root);
+            if !errors.is_empty() {
+                return Err(errors);
+            }
+        }
+        let mut touched = Vec::new();
+        for (name, managed) in self.processes.iter_mut() {
+            let section = Self::section_for(&root, name).cloned();
+            match (&managed.applied, section) {
+                (None, Some(section)) => {
+                    managed.state = match managed.process.start(&section) {
+                        Ok(()) => ProcessState::Running,
+                        Err(_) => ProcessState::Failed,
+                    };
+                    managed.applied = Some(section);
+                    touched.push(name.clone());
+                }
+                (Some(prev), Some(section)) => {
+                    if *prev != section {
+                        managed.state = match managed.process.reconfigure(&section) {
+                            Ok(()) => ProcessState::Running,
+                            Err(_) => ProcessState::Failed,
+                        };
+                        managed.applied = Some(section);
+                        touched.push(name.clone());
+                    }
+                }
+                (Some(_), None) => {
+                    managed.process.stop();
+                    managed.state = ProcessState::Stopped;
+                    managed.applied = None;
+                    touched.push(name.clone());
+                }
+                (None, None) => {}
+            }
+        }
+        self.running = Some(root);
+        Ok(touched)
+    }
+
+    /// Stop everything (router shutdown).
+    pub fn shutdown(&mut self) {
+        for managed in self.processes.values_mut() {
+            if managed.state == ProcessState::Running {
+                managed.process.stop();
+                managed.state = ProcessState::Stopped;
+                managed.applied = None;
+            }
+        }
+        self.running = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::parse;
+    use crate::template::standard_template;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct LogState {
+        events: Vec<String>,
+    }
+
+    struct FakeProcess {
+        name: &'static str,
+        log: Rc<RefCell<LogState>>,
+        fail_start: bool,
+    }
+
+    impl ManagedProcess for FakeProcess {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn start(&mut self, config: &ConfigNode) -> Result<(), String> {
+            self.log.borrow_mut().events.push(format!(
+                "start {} ({} attrs)",
+                self.name,
+                config.attrs.len()
+            ));
+            if self.fail_start {
+                Err("boom".into())
+            } else {
+                Ok(())
+            }
+        }
+        fn reconfigure(&mut self, _config: &ConfigNode) -> Result<(), String> {
+            self.log
+                .borrow_mut()
+                .events
+                .push(format!("reconfigure {}", self.name));
+            Ok(())
+        }
+        fn stop(&mut self) {
+            self.log
+                .borrow_mut()
+                .events
+                .push(format!("stop {}", self.name));
+        }
+    }
+
+    fn manager_with(names: &[&'static str]) -> (RouterManager, Rc<RefCell<LogState>>) {
+        let log = Rc::new(RefCell::new(LogState::default()));
+        let mut mgr = RouterManager::new();
+        for name in names {
+            mgr.register(Box::new(FakeProcess {
+                name,
+                log: log.clone(),
+                fail_start: false,
+            }));
+        }
+        (mgr, log)
+    }
+
+    const BGP_RIP: &str = r#"
+protocols {
+    bgp { local-as: 65000
+          router-id: 10.0.0.1 }
+    rip { }
+}
+"#;
+
+    #[test]
+    fn start_reconfigure_stop_cycle() {
+        let (mut mgr, log) = manager_with(&["bgp", "rip"]);
+        // Commit 1: both start.
+        let touched = mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        assert_eq!(touched, vec!["bgp", "rip"]);
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Running));
+
+        // Commit 2: bgp changes, rip unchanged.
+        let changed = BGP_RIP.replace("65000", "65001");
+        let touched = mgr.commit(parse(&changed).unwrap()).unwrap();
+        assert_eq!(touched, vec!["bgp"]);
+
+        // Commit 3: rip section removed.
+        let no_rip = r#"protocols { bgp { local-as: 65001
+                                          router-id: 10.0.0.1 } }"#;
+        let touched = mgr.commit(parse(no_rip).unwrap()).unwrap();
+        assert_eq!(touched, vec!["rip"]);
+        assert_eq!(mgr.state("rip"), Some(ProcessState::Stopped));
+
+        let events = &log.borrow().events;
+        assert_eq!(
+            events,
+            &vec![
+                "start bgp (2 attrs)".to_string(),
+                "start rip (0 attrs)".to_string(),
+                "reconfigure bgp".to_string(),
+                "stop rip".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_commit_touches_nothing() {
+        let (mut mgr, _log) = manager_with(&["bgp", "rip"]);
+        mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        let touched = mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        assert!(touched.is_empty());
+    }
+
+    #[test]
+    fn template_rejects_bad_commit_without_side_effects() {
+        let (mut mgr, log) = manager_with(&["bgp"]);
+        mgr.set_template(standard_template());
+        // Missing required router-id.
+        let err = mgr
+            .commit(parse("protocols { bgp { local-as: 1 } }").unwrap())
+            .unwrap_err();
+        assert!(!err.is_empty());
+        assert!(log.borrow().events.is_empty());
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Stopped));
+        assert!(mgr.running_config().is_none());
+    }
+
+    #[test]
+    fn failed_start_recorded() {
+        let log = Rc::new(RefCell::new(LogState::default()));
+        let mut mgr = RouterManager::new();
+        mgr.register(Box::new(FakeProcess {
+            name: "bgp",
+            log: log.clone(),
+            fail_start: true,
+        }));
+        mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Failed));
+    }
+
+    #[test]
+    fn shutdown_stops_running() {
+        let (mut mgr, log) = manager_with(&["bgp", "rip"]);
+        mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        mgr.shutdown();
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Stopped));
+        let events = &log.borrow().events;
+        assert!(events.contains(&"stop bgp".to_string()));
+        assert!(events.contains(&"stop rip".to_string()));
+    }
+
+    #[test]
+    fn top_level_sections_also_matched() {
+        let (mut mgr, log) = manager_with(&["interfaces"]);
+        mgr.commit(
+            parse("interfaces { interface eth0 { address: 10.0.0.1\n prefix: 10.0.0.0/24 } }")
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(mgr.state("interfaces"), Some(ProcessState::Running));
+        assert!(log.borrow().events[0].starts_with("start interfaces"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Configuration templates: the schema a config tree must satisfy.
+//!
+//! XORP dynamically extends the CLI configuration language with
+//! template files (§8.3 — where the authors note their original syntax
+//! wasn't flexible enough).  Our templates are declared in code: node
+//! names, whether a node is keyed, required/optional attributes with
+//! types, and allowed children.
+
+use std::collections::BTreeMap;
+
+use crate::config::{ConfigNode, ConfigValue};
+
+/// Expected attribute type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// Unsigned number.
+    U32,
+    /// Boolean.
+    Bool,
+    /// Any string (quoted or bare word).
+    Str,
+    /// IP address.
+    Addr,
+    /// IPv4 prefix.
+    Net,
+}
+
+impl ValueType {
+    fn matches(&self, v: &ConfigValue) -> bool {
+        matches!(
+            (self, v),
+            (ValueType::U32, ConfigValue::U32(_))
+                | (ValueType::Bool, ConfigValue::Bool(_))
+                | (ValueType::Str, ConfigValue::Str(_))
+                | (ValueType::Str, ConfigValue::Word(_))
+                | (ValueType::Addr, ConfigValue::Addr(_))
+                | (ValueType::Net, ConfigValue::Net(_))
+        )
+    }
+}
+
+/// A template node: schema for one config node type.
+#[derive(Debug, Clone, Default)]
+pub struct Template {
+    /// Node name this template validates.
+    pub name: String,
+    /// Whether instances carry a key (`peer <key> { }`).
+    pub keyed: bool,
+    /// Required attributes.
+    pub required: BTreeMap<String, ValueType>,
+    /// Optional attributes.
+    pub optional: BTreeMap<String, ValueType>,
+    /// Allowed children, by name.
+    pub children: BTreeMap<String, Template>,
+}
+
+/// A validation failure, with the offending config path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateError {
+    /// Dotted path (`protocols.bgp.peer[192.0.2.1]`).
+    pub path: String,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl Template {
+    /// Start a template for nodes named `name`.
+    pub fn new(name: impl Into<String>) -> Template {
+        Template {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Instances carry a key.
+    pub fn keyed(mut self) -> Template {
+        self.keyed = true;
+        self
+    }
+
+    /// Add a required attribute.
+    pub fn require(mut self, attr: &str, ty: ValueType) -> Template {
+        self.required.insert(attr.to_string(), ty);
+        self
+    }
+
+    /// Add an optional attribute.
+    pub fn allow(mut self, attr: &str, ty: ValueType) -> Template {
+        self.optional.insert(attr.to_string(), ty);
+        self
+    }
+
+    /// Add an allowed child template.
+    pub fn child(mut self, t: Template) -> Template {
+        self.children.insert(t.name.clone(), t);
+        self
+    }
+
+    /// Validate a config node against this template, collecting every
+    /// violation (not just the first).
+    pub fn validate(&self, node: &ConfigNode) -> Vec<TemplateError> {
+        let mut errors = Vec::new();
+        self.validate_into(node, &path_of(node), &mut errors);
+        errors
+    }
+
+    fn validate_into(&self, node: &ConfigNode, path: &str, errors: &mut Vec<TemplateError>) {
+        if self.keyed && node.key.is_none() {
+            errors.push(TemplateError {
+                path: path.to_string(),
+                message: format!("{} requires a key", self.name),
+            });
+        }
+        if !self.keyed && node.key.is_some() {
+            errors.push(TemplateError {
+                path: path.to_string(),
+                message: format!("{} does not take a key", self.name),
+            });
+        }
+        for (attr, ty) in &self.required {
+            match node.attrs.get(attr) {
+                None => errors.push(TemplateError {
+                    path: path.to_string(),
+                    message: format!("missing required attribute '{attr}'"),
+                }),
+                Some(v) if !ty.matches(v) => errors.push(TemplateError {
+                    path: path.to_string(),
+                    message: format!("attribute '{attr}' should be {ty:?}, got {v}"),
+                }),
+                Some(_) => {}
+            }
+        }
+        for (attr, v) in &node.attrs {
+            if self.required.contains_key(attr) {
+                continue;
+            }
+            match self.optional.get(attr) {
+                None => errors.push(TemplateError {
+                    path: path.to_string(),
+                    message: format!("unknown attribute '{attr}'"),
+                }),
+                Some(ty) if !ty.matches(v) => errors.push(TemplateError {
+                    path: path.to_string(),
+                    message: format!("attribute '{attr}' should be {ty:?}, got {v}"),
+                }),
+                Some(_) => {}
+            }
+        }
+        for child in &node.children {
+            let child_path = format!("{path}.{}", path_of(child));
+            match self.children.get(&child.name) {
+                None => errors.push(TemplateError {
+                    path: child_path,
+                    message: format!("unknown section '{}'", child.name),
+                }),
+                Some(t) => t.validate_into(child, &child_path, errors),
+            }
+        }
+    }
+}
+
+fn path_of(node: &ConfigNode) -> String {
+    match &node.key {
+        Some(k) => format!("{}[{k}]", node.name),
+        None => node.name.clone(),
+    }
+}
+
+/// The standard template for this stack's configuration surface.
+pub fn standard_template() -> Template {
+    Template::new("root")
+        .child(
+            Template::new("protocols")
+                .child(
+                    Template::new("bgp")
+                        .require("local-as", ValueType::U32)
+                        .require("router-id", ValueType::Addr)
+                        .allow("hold-time", ValueType::U32)
+                        .child(
+                            Template::new("peer")
+                                .keyed()
+                                .require("as", ValueType::U32)
+                                .allow("enabled", ValueType::Bool)
+                                .allow("import", ValueType::Str)
+                                .allow("export", ValueType::Str)
+                                .allow("damping", ValueType::Bool),
+                        ),
+                )
+                .child(
+                    Template::new("rip")
+                        .allow("update-interval", ValueType::U32)
+                        .child(Template::new("interface").keyed())
+                        .child(
+                            Template::new("network")
+                                .keyed()
+                                .allow("metric", ValueType::U32),
+                        ),
+                )
+                .child(
+                    Template::new("static").child(
+                        Template::new("route")
+                            .keyed()
+                            .require("nexthop", ValueType::Addr)
+                            .allow("metric", ValueType::U32),
+                    ),
+                ),
+        )
+        .child(
+            Template::new("interfaces").child(
+                Template::new("interface")
+                    .keyed()
+                    .require("address", ValueType::Addr)
+                    .require("prefix", ValueType::Net)
+                    .allow("mtu", ValueType::U32)
+                    .allow("enabled", ValueType::Bool),
+            ),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::parse;
+
+    const GOOD: &str = r#"
+protocols {
+    bgp {
+        local-as: 65000
+        router-id: 10.0.0.1
+        peer 192.0.2.1 { as: 65001 }
+    }
+}
+interfaces {
+    interface eth0 {
+        address: 10.0.0.1
+        prefix: 10.0.0.0/24
+    }
+}
+"#;
+
+    #[test]
+    fn valid_config_passes() {
+        let root = parse(GOOD).unwrap();
+        let errors = standard_template().validate(&root);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn missing_required_attribute() {
+        let root = parse("protocols { bgp { router-id: 10.0.0.1 } }").unwrap();
+        let errors = standard_template().validate(&root);
+        assert!(errors.iter().any(|e| e.message.contains("local-as")));
+    }
+
+    #[test]
+    fn wrong_type_flagged() {
+        let root = parse("protocols { bgp { local-as: hello\n router-id: 10.0.0.1 } }").unwrap();
+        let errors = standard_template().validate(&root);
+        assert!(
+            errors.iter().any(|e| e.message.contains("local-as")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_attribute_and_section() {
+        let root = parse(
+            "protocols { bgp { local-as: 1\n router-id: 10.0.0.1\n bogus: 5 } }\nmystery { }",
+        )
+        .unwrap();
+        let errors = standard_template().validate(&root);
+        assert!(errors.iter().any(|e| e.message.contains("bogus")));
+        assert!(errors.iter().any(|e| e.message.contains("mystery")));
+    }
+
+    #[test]
+    fn key_requirements() {
+        let root =
+            parse("protocols { bgp { local-as: 1\n router-id: 10.0.0.1\n peer { as: 2 } } }")
+                .unwrap();
+        let errors = standard_template().validate(&root);
+        assert!(errors.iter().any(|e| e.message.contains("requires a key")));
+
+        let root = parse("protocols { bgp x { local-as: 1\n router-id: 10.0.0.1 } }").unwrap();
+        let errors = standard_template().validate(&root);
+        assert!(errors
+            .iter()
+            .any(|e| e.message.contains("does not take a key")));
+    }
+
+    #[test]
+    fn error_paths_are_useful() {
+        let root =
+            parse("protocols { bgp { local-as: 1\n router-id: 10.0.0.1\n peer 192.0.2.9 { } } }")
+                .unwrap();
+        let errors = standard_template().validate(&root);
+        assert_eq!(errors.len(), 1);
+        assert!(
+            errors[0].path.contains("peer[192.0.2.9]"),
+            "{}",
+            errors[0].path
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! A lightweight interface-definition layer.
+//!
+//! "As with many other IPC mechanisms, we have an interface definition
+//! language (IDL) that supports interface specification, automatic stub
+//! code generation, and basic error checking." (§6.1)
+//!
+//! Rather than an external compiler, interfaces are declared in code with
+//! [`Interface`]; the declaration drives argument checking on both the
+//! client side (composing calls) and the server side (wrapping handlers),
+//! which is the error-checking role XORP's IDL plays.
+
+use crate::atom::{AtomType, XrlArgs};
+use crate::error::XrlError;
+use crate::router::{Responder, XrlRouter};
+use crate::xrl::Xrl;
+use xorp_event::EventLoop;
+
+/// A method signature: named, typed arguments and return atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSig {
+    /// Method name.
+    pub name: String,
+    /// Required arguments, in order.
+    pub args: Vec<(String, AtomType)>,
+    /// Return atoms (documentation + response checking).
+    pub rets: Vec<(String, AtomType)>,
+}
+
+/// An XRL interface: a named, versioned group of related methods (§6.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Interface {
+    /// Interface name, e.g. `bgp`.
+    pub name: String,
+    /// Version, e.g. `1.0`.
+    pub version: String,
+    /// The methods.
+    pub methods: Vec<MethodSig>,
+}
+
+impl Interface {
+    /// Start an interface declaration.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Interface {
+        Interface {
+            name: name.into(),
+            version: version.into(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Declare a method (builder style).
+    pub fn method(
+        mut self,
+        name: &str,
+        args: &[(&str, AtomType)],
+        rets: &[(&str, AtomType)],
+    ) -> Interface {
+        self.methods.push(MethodSig {
+            name: name.to_string(),
+            args: args.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+            rets: rets.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+        });
+        self
+    }
+
+    /// Find a method signature.
+    pub fn find(&self, method: &str) -> Option<&MethodSig> {
+        self.methods.iter().find(|m| m.name == method)
+    }
+
+    /// The `iface/version/method` dispatch path for a method.
+    pub fn path(&self, method: &str) -> String {
+        format!("{}/{}/{}", self.name, self.version, method)
+    }
+
+    /// Check an argument list against a method signature: every declared
+    /// argument present with the right type.  Extra arguments are allowed
+    /// (forward compatibility), missing or mistyped ones are not.
+    pub fn check_args(&self, method: &str, args: &XrlArgs) -> Result<(), XrlError> {
+        let sig = self
+            .find(method)
+            .ok_or_else(|| XrlError::NoSuchMethod(format!("{}: {method}", self.name)))?;
+        for (name, ty) in &sig.args {
+            match args.find(name) {
+                Some(v) if v.atom_type() == *ty => {}
+                Some(v) => {
+                    return Err(XrlError::BadArgs(format!(
+                        "{method}: argument {name} should be {} but is {}",
+                        ty.tag(),
+                        v.atom_type().tag()
+                    )))
+                }
+                None => {
+                    return Err(XrlError::BadArgs(format!(
+                        "{method}: missing argument {name}:{}",
+                        ty.tag()
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compose a validated generic XRL for `method` aimed at `target`.
+    pub fn xrl(&self, target: &str, method: &str, args: XrlArgs) -> Result<Xrl, XrlError> {
+        self.check_args(method, &args)?;
+        Ok(Xrl::generic(
+            target,
+            self.name.clone(),
+            self.version.clone(),
+            method,
+            args,
+        ))
+    }
+
+    /// Register a handler wrapped with server-side argument checking:
+    /// calls with missing or mistyped arguments are rejected before the
+    /// handler runs.
+    pub fn serve<F>(&self, router: &XrlRouter, instance: &str, method: &str, f: F)
+    where
+        F: Fn(&mut EventLoop, &XrlArgs, Responder) + 'static,
+    {
+        let iface = self.clone();
+        let method_name = method.to_string();
+        router.add_handler(instance, &self.path(method), move |el, args, responder| {
+            if let Err(e) = iface.check_args(&method_name, args) {
+                responder.reply(el, Err(e));
+                return;
+            }
+            f(el, args, responder);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bgp_iface() -> Interface {
+        Interface::new("bgp", "1.0")
+            .method("set_local_as", &[("as", AtomType::U32)], &[])
+            .method(
+                "add_peer",
+                &[("addr", AtomType::Ipv4), ("as", AtomType::U32)],
+                &[("ok", AtomType::Bool)],
+            )
+    }
+
+    #[test]
+    fn check_args_accepts_valid() {
+        let i = bgp_iface();
+        let args = XrlArgs::new().add_u32("as", 1777);
+        assert!(i.check_args("set_local_as", &args).is_ok());
+    }
+
+    #[test]
+    fn check_args_rejects_missing_and_mistyped() {
+        let i = bgp_iface();
+        assert!(matches!(
+            i.check_args("set_local_as", &XrlArgs::new()),
+            Err(XrlError::BadArgs(_))
+        ));
+        let wrong = XrlArgs::new().add_str("as", "1777");
+        assert!(matches!(
+            i.check_args("set_local_as", &wrong),
+            Err(XrlError::BadArgs(_))
+        ));
+        assert!(matches!(
+            i.check_args("no_such", &XrlArgs::new()),
+            Err(XrlError::NoSuchMethod(_))
+        ));
+    }
+
+    #[test]
+    fn extra_args_allowed() {
+        let i = bgp_iface();
+        let args = XrlArgs::new().add_u32("as", 1).add_str("note", "x");
+        assert!(i.check_args("set_local_as", &args).is_ok());
+    }
+
+    #[test]
+    fn xrl_composition() {
+        let i = bgp_iface();
+        let x = i
+            .xrl("bgp", "set_local_as", XrlArgs::new().add_u32("as", 1777))
+            .unwrap();
+        assert_eq!(
+            x.to_string(),
+            "finder://bgp/bgp/1.0/set_local_as?as:u32=1777"
+        );
+        assert!(i.xrl("bgp", "set_local_as", XrlArgs::new()).is_err());
+    }
+
+    #[test]
+    fn path_format() {
+        assert_eq!(bgp_iface().path("add_peer"), "bgp/1.0/add_peer");
+    }
+}

@@ -1,0 +1,484 @@
+//! Binary wire format for XRL requests and responses.
+//!
+//! "Internally XRLs are encoded more efficiently" than the textual form
+//! (§6.1).  Each protocol family is responsible for marshaling; this module
+//! is the shared encoder/decoder used by the TCP and UDP families.
+//!
+//! Frame layout (all integers big-endian):
+//!
+//! ```text
+//! u32  length of remainder
+//! u8   kind (0 = request, 1 = response, 2 = kill)
+//! request:  u64 seq | str target | [u8;16] key | str path | args
+//! response: u64 seq | u8 code (0 = ok) | str errmsg | args
+//! kill:     u32 signal
+//! str:      u16 len | bytes
+//! args:     u16 count | (str name | u8 type | value)*
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::atom::{AtomType, AtomValue, XrlArgs, XrlAtom};
+use crate::error::XrlError;
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A method invocation.
+    Request {
+        /// Correlation id, chosen by the sender.
+        seq: u64,
+        /// Target instance name on the receiving router.
+        target: String,
+        /// The 16-byte method key issued at registration (§7).
+        key: [u8; 16],
+        /// `iface/version/method`.
+        path: String,
+        /// Arguments.
+        args: XrlArgs,
+    },
+    /// The reply to a request.
+    Response {
+        /// Correlation id copied from the request.
+        seq: u64,
+        /// `Ok(args)` or the error the dispatch produced.
+        result: Result<XrlArgs, XrlError>,
+    },
+    /// The kill protocol family's single message: a UNIX-style signal.
+    Kill {
+        /// Signal number (15 = TERM by convention).
+        signal: u32,
+    },
+}
+
+const KIND_REQUEST: u8 = 0;
+const KIND_RESPONSE: u8 = 1;
+const KIND_KILL: u8 = 2;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, XrlError> {
+    if buf.remaining() < 2 {
+        return Err(XrlError::BadFrame("truncated string length".into()));
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(XrlError::BadFrame("truncated string".into()));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| XrlError::BadFrame("non-UTF8 string".into()))
+}
+
+fn put_value(buf: &mut BytesMut, v: &AtomValue) {
+    buf.put_u8(type_code(v.atom_type()));
+    match v {
+        AtomValue::I32(x) => buf.put_i32(*x),
+        AtomValue::U32(x) => buf.put_u32(*x),
+        AtomValue::I64(x) => buf.put_i64(*x),
+        AtomValue::U64(x) => buf.put_u64(*x),
+        AtomValue::Bool(x) => buf.put_u8(*x as u8),
+        AtomValue::Text(x) => {
+            buf.put_u32(x.len() as u32);
+            buf.put_slice(x.as_bytes());
+        }
+        AtomValue::Ipv4(x) => buf.put_slice(&x.octets()),
+        AtomValue::Ipv6(x) => buf.put_slice(&x.octets()),
+        AtomValue::Ipv4Net(x) => {
+            buf.put_slice(&x.addr().octets());
+            buf.put_u8(x.len());
+        }
+        AtomValue::Ipv6Net(x) => {
+            buf.put_slice(&x.addr().octets());
+            buf.put_u8(x.len());
+        }
+        AtomValue::Mac(x) => buf.put_slice(&x.0),
+        AtomValue::Binary(x) => {
+            buf.put_u32(x.len() as u32);
+            buf.put_slice(x);
+        }
+        AtomValue::List(items) => {
+            buf.put_u16(items.len() as u16);
+            for item in items {
+                put_value(buf, item);
+            }
+        }
+    }
+}
+
+fn type_code(t: AtomType) -> u8 {
+    match t {
+        AtomType::I32 => 1,
+        AtomType::U32 => 2,
+        AtomType::I64 => 3,
+        AtomType::U64 => 4,
+        AtomType::Bool => 5,
+        AtomType::Text => 6,
+        AtomType::Ipv4 => 7,
+        AtomType::Ipv6 => 8,
+        AtomType::Ipv4Net => 9,
+        AtomType::Ipv6Net => 10,
+        AtomType::Mac => 11,
+        AtomType::Binary => 12,
+        AtomType::List => 13,
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<AtomValue, XrlError> {
+    let short = || XrlError::BadFrame("truncated value".into());
+    if buf.remaining() < 1 {
+        return Err(short());
+    }
+    let code = buf.get_u8();
+    macro_rules! need {
+        ($n:expr) => {
+            if buf.remaining() < $n {
+                return Err(short());
+            }
+        };
+    }
+    Ok(match code {
+        1 => {
+            need!(4);
+            AtomValue::I32(buf.get_i32())
+        }
+        2 => {
+            need!(4);
+            AtomValue::U32(buf.get_u32())
+        }
+        3 => {
+            need!(8);
+            AtomValue::I64(buf.get_i64())
+        }
+        4 => {
+            need!(8);
+            AtomValue::U64(buf.get_u64())
+        }
+        5 => {
+            need!(1);
+            AtomValue::Bool(buf.get_u8() != 0)
+        }
+        6 => {
+            need!(4);
+            let len = buf.get_u32() as usize;
+            need!(len);
+            let bytes = buf.copy_to_bytes(len);
+            AtomValue::Text(
+                String::from_utf8(bytes.to_vec())
+                    .map_err(|_| XrlError::BadFrame("non-UTF8 text".into()))?,
+            )
+        }
+        7 => {
+            need!(4);
+            let mut o = [0u8; 4];
+            buf.copy_to_slice(&mut o);
+            AtomValue::Ipv4(o.into())
+        }
+        8 => {
+            need!(16);
+            let mut o = [0u8; 16];
+            buf.copy_to_slice(&mut o);
+            AtomValue::Ipv6(o.into())
+        }
+        9 => {
+            need!(5);
+            let mut o = [0u8; 4];
+            buf.copy_to_slice(&mut o);
+            let len = buf.get_u8();
+            AtomValue::Ipv4Net(
+                xorp_net::Prefix::new(o.into(), len)
+                    .map_err(|e| XrlError::BadFrame(e.to_string()))?,
+            )
+        }
+        10 => {
+            need!(17);
+            let mut o = [0u8; 16];
+            buf.copy_to_slice(&mut o);
+            let len = buf.get_u8();
+            AtomValue::Ipv6Net(
+                xorp_net::Prefix::new(o.into(), len)
+                    .map_err(|e| XrlError::BadFrame(e.to_string()))?,
+            )
+        }
+        11 => {
+            need!(6);
+            let mut o = [0u8; 6];
+            buf.copy_to_slice(&mut o);
+            AtomValue::Mac(xorp_net::Mac(o))
+        }
+        12 => {
+            need!(4);
+            let len = buf.get_u32() as usize;
+            need!(len);
+            AtomValue::Binary(buf.copy_to_bytes(len).to_vec())
+        }
+        13 => {
+            need!(2);
+            let count = buf.get_u16() as usize;
+            let mut items = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                items.push(get_value(buf)?);
+            }
+            AtomValue::List(items)
+        }
+        other => return Err(XrlError::BadFrame(format!("unknown type code {other}"))),
+    })
+}
+
+fn put_args(buf: &mut BytesMut, args: &XrlArgs) {
+    buf.put_u16(args.len() as u16);
+    for atom in args.atoms() {
+        put_str(buf, &atom.name);
+        put_value(buf, &atom.value);
+    }
+}
+
+fn get_args(buf: &mut Bytes) -> Result<XrlArgs, XrlError> {
+    if buf.remaining() < 2 {
+        return Err(XrlError::BadFrame("truncated arg count".into()));
+    }
+    let count = buf.get_u16() as usize;
+    let mut args = XrlArgs::new();
+    for _ in 0..count {
+        let name = get_str(buf)?;
+        let value = get_value(buf)?;
+        args.push(XrlAtom::new(name, value));
+    }
+    Ok(args)
+}
+
+impl Frame {
+    /// Encode this frame, including the length header.
+    pub fn encode(&self) -> BytesMut {
+        let mut body = BytesMut::with_capacity(128);
+        match self {
+            Frame::Request {
+                seq,
+                target,
+                key,
+                path,
+                args,
+            } => {
+                body.put_u8(KIND_REQUEST);
+                body.put_u64(*seq);
+                put_str(&mut body, target);
+                body.put_slice(key);
+                put_str(&mut body, path);
+                put_args(&mut body, args);
+            }
+            Frame::Response { seq, result } => {
+                body.put_u8(KIND_RESPONSE);
+                body.put_u64(*seq);
+                match result {
+                    Ok(args) => {
+                        body.put_u8(0);
+                        put_str(&mut body, "");
+                        put_args(&mut body, args);
+                    }
+                    Err(e) => {
+                        body.put_u8(e.code());
+                        put_str(&mut body, &e.to_string());
+                        put_args(&mut body, &XrlArgs::new());
+                    }
+                }
+            }
+            Frame::Kill { signal } => {
+                body.put_u8(KIND_KILL);
+                body.put_u32(*signal);
+            }
+        }
+        let mut out = BytesMut::with_capacity(body.len() + 4);
+        out.put_u32(body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a frame body (the bytes after the u32 length header).
+    pub fn decode(body: Bytes) -> Result<Frame, XrlError> {
+        let mut buf = body;
+        if buf.remaining() < 1 {
+            return Err(XrlError::BadFrame("empty frame".into()));
+        }
+        match buf.get_u8() {
+            KIND_REQUEST => {
+                if buf.remaining() < 8 {
+                    return Err(XrlError::BadFrame("truncated request".into()));
+                }
+                let seq = buf.get_u64();
+                let target = get_str(&mut buf)?;
+                if buf.remaining() < 16 {
+                    return Err(XrlError::BadFrame("truncated key".into()));
+                }
+                let mut key = [0u8; 16];
+                buf.copy_to_slice(&mut key);
+                let path = get_str(&mut buf)?;
+                let args = get_args(&mut buf)?;
+                Ok(Frame::Request {
+                    seq,
+                    target,
+                    key,
+                    path,
+                    args,
+                })
+            }
+            KIND_RESPONSE => {
+                if buf.remaining() < 9 {
+                    return Err(XrlError::BadFrame("truncated response".into()));
+                }
+                let seq = buf.get_u64();
+                let code = buf.get_u8();
+                let msg = get_str(&mut buf)?;
+                let args = get_args(&mut buf)?;
+                let result = if code == 0 {
+                    Ok(args)
+                } else {
+                    Err(XrlError::from_code(code, msg))
+                };
+                Ok(Frame::Response { seq, result })
+            }
+            KIND_KILL => {
+                if buf.remaining() < 4 {
+                    return Err(XrlError::BadFrame("truncated kill".into()));
+                }
+                Ok(Frame::Kill {
+                    signal: buf.get_u32(),
+                })
+            }
+            k => Err(XrlError::BadFrame(format!("unknown frame kind {k}"))),
+        }
+    }
+}
+
+/// Read one length-prefixed frame from a blocking reader.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Bytes> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 64 * 1024 * 1024 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Bytes::from(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let encoded = f.encode();
+        // Strip the length header the way a reader would.
+        let mut bytes = Bytes::from(encoded.to_vec());
+        let len = bytes.get_u32() as usize;
+        assert_eq!(len, bytes.remaining());
+        let decoded = Frame::decode(bytes).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        roundtrip(Frame::Request {
+            seq: 42,
+            target: "bgp".into(),
+            key: [7u8; 16],
+            path: "bgp/1.0/set_local_as".into(),
+            args: XrlArgs::new().add_u32("as", 1777),
+        });
+    }
+
+    #[test]
+    fn response_ok_roundtrip() {
+        roundtrip(Frame::Response {
+            seq: 43,
+            result: Ok(XrlArgs::new()
+                .add_str("status", "fine")
+                .add_ipv6("addr", "2001:db8::1".parse().unwrap())),
+        });
+    }
+
+    #[test]
+    fn response_err_roundtrip() {
+        let f = Frame::Response {
+            seq: 44,
+            result: Err(XrlError::NoSuchMethod("no such method: x".into())),
+        };
+        let encoded = f.encode();
+        let mut bytes = Bytes::from(encoded.to_vec());
+        let _ = bytes.get_u32();
+        match Frame::decode(bytes).unwrap() {
+            Frame::Response {
+                seq: 44,
+                result: Err(XrlError::NoSuchMethod(_)),
+            } => {}
+            other => panic!("bad decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_roundtrip() {
+        roundtrip(Frame::Kill { signal: 15 });
+    }
+
+    #[test]
+    fn all_atom_types_roundtrip() {
+        roundtrip(Frame::Request {
+            seq: 1,
+            target: "t".into(),
+            key: [0u8; 16],
+            path: "i/1.0/m".into(),
+            args: XrlArgs::new()
+                .add_i32("a", -5)
+                .add_u32("b", 5)
+                .add_i64("c", -1 << 40)
+                .add_u64("d", 1 << 40)
+                .add_bool("e", true)
+                .add_str("f", "text with spaces")
+                .add_ipv4("g", "10.0.0.1".parse().unwrap())
+                .add_ipv6("h", "::1".parse().unwrap())
+                .add_ipv4net("i", "10.0.0.0/8".parse().unwrap())
+                .add_ipv6net("j", "2001:db8::/32".parse().unwrap())
+                .add_mac("k", "00:11:22:33:44:55".parse().unwrap())
+                .add_binary("l", vec![1, 2, 3])
+                .add_list("m", vec![AtomValue::U32(1), AtomValue::Text("x".into())]),
+        });
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let f = Frame::Request {
+            seq: 1,
+            target: "t".into(),
+            key: [0u8; 16],
+            path: "i/1.0/m".into(),
+            args: XrlArgs::new().add_u32("a", 1),
+        };
+        let encoded = f.encode().to_vec();
+        // Every strict prefix of the body must fail to decode, not panic.
+        for cut in 1..encoded.len() - 4 {
+            let body = Bytes::from(encoded[4..4 + cut].to_vec());
+            assert!(Frame::decode(body).is_err(), "prefix len {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert!(Frame::decode(Bytes::from_static(&[99])).is_err());
+        assert!(Frame::decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn read_frame_from_stream() {
+        let f = Frame::Kill { signal: 9 };
+        let encoded = f.encode().to_vec();
+        let mut cursor = std::io::Cursor::new(encoded);
+        let body = read_frame(&mut cursor).unwrap();
+        assert_eq!(Frame::decode(body).unwrap(), f);
+    }
+}

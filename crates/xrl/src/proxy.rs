@@ -1,0 +1,294 @@
+//! The XRL proxy sketched as future work in §7:
+//!
+//! > "We can envisage taking this approach even further, and restricting
+//! > the range of arguments that a process can use for a particular XRL
+//! > method.  This would require an XRL intermediary, but the flexibility
+//! > of our XRL resolution mechanism makes installing such an XRL proxy
+//! > rather simple."
+//!
+//! [`XrlProxy`] registers as an ordinary component (so callers resolve
+//! *it* through the Finder) and forwards permitted calls to a protected
+//! target, enforcing per-method [`ArgConstraint`]s on the way through.
+//! Combined with the Finder ACL (point the restricted caller's permissions
+//! at the proxy's class, not the real target's), an untrusted process can
+//! be limited not just to a method set but to an argument envelope —
+//! e.g. "this experimental protocol may only install routes inside
+//! 10.64.0.0/10".
+
+use std::collections::HashMap;
+
+use xorp_event::EventLoop;
+
+use crate::atom::{AtomValue, XrlArgs};
+use crate::error::XrlError;
+use crate::router::XrlRouter;
+use crate::xrl::Xrl;
+
+/// A restriction on one named argument.
+#[derive(Debug, Clone)]
+pub enum ArgConstraint {
+    /// A u32 argument must fall within `[min, max]`.
+    U32Range {
+        /// Inclusive minimum.
+        min: u32,
+        /// Inclusive maximum.
+        max: u32,
+    },
+    /// A prefix argument must be contained in this prefix.
+    WithinIpv4Net(xorp_net::Ipv4Net),
+    /// A text argument must be one of these values.
+    OneOf(Vec<String>),
+}
+
+impl ArgConstraint {
+    fn check(&self, name: &str, value: &AtomValue) -> Result<(), XrlError> {
+        let deny = |why: String| {
+            Err(XrlError::AccessDenied(format!(
+                "proxy rejected argument {name}: {why}"
+            )))
+        };
+        match (self, value) {
+            (ArgConstraint::U32Range { min, max }, AtomValue::U32(v)) => {
+                if v < min || v > max {
+                    return deny(format!("{v} outside [{min}, {max}]"));
+                }
+                Ok(())
+            }
+            (ArgConstraint::WithinIpv4Net(bound), AtomValue::Ipv4Net(net)) => {
+                if !bound.contains(net) {
+                    return deny(format!("{net} outside {bound}"));
+                }
+                Ok(())
+            }
+            (ArgConstraint::WithinIpv4Net(bound), AtomValue::Ipv4(addr)) => {
+                if !bound.contains_addr(*addr) {
+                    return deny(format!("{addr} outside {bound}"));
+                }
+                Ok(())
+            }
+            (ArgConstraint::OneOf(allowed), AtomValue::Text(s)) => {
+                if !allowed.iter().any(|a| a == s) {
+                    return deny(format!("\"{s}\" not in the allowed set"));
+                }
+                Ok(())
+            }
+            _ => deny("argument type does not match its constraint".into()),
+        }
+    }
+}
+
+/// Per-method forwarding rule.
+#[derive(Debug, Clone, Default)]
+pub struct MethodPolicy {
+    /// Constraints by argument name; unconstrained arguments pass through.
+    pub constraints: HashMap<String, ArgConstraint>,
+}
+
+impl MethodPolicy {
+    /// No constraints: forward verbatim.
+    pub fn open() -> MethodPolicy {
+        MethodPolicy::default()
+    }
+
+    /// Add a constraint (builder style).
+    pub fn constrain(mut self, arg: &str, c: ArgConstraint) -> MethodPolicy {
+        self.constraints.insert(arg.to_string(), c);
+        self
+    }
+
+    fn check(&self, args: &XrlArgs) -> Result<(), XrlError> {
+        for (name, constraint) in &self.constraints {
+            let value = args
+                .find(name)
+                .ok_or_else(|| XrlError::AccessDenied(format!("proxy requires argument {name}")))?;
+            constraint.check(name, value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Install a proxy target on `router`.
+///
+/// The proxy registers `proxy_class`/`proxy_instance` with the Finder and
+/// forwards each configured `iface/ver/method` to the same path on
+/// `target_class`, after checking the method's [`MethodPolicy`].  Methods
+/// without a policy are not exposed at all.
+pub struct XrlProxy;
+
+impl XrlProxy {
+    /// Register the proxy and its forwarding handlers.
+    pub fn install(
+        router: &XrlRouter,
+        proxy_class: &str,
+        proxy_instance: &str,
+        target_class: &str,
+        methods: HashMap<String, MethodPolicy>,
+    ) -> Result<(), XrlError> {
+        router.register_target(proxy_class, proxy_instance, false)?;
+        for (path, policy) in methods {
+            let target_class = target_class.to_string();
+            let forward_path = path.clone();
+            let router2 = router.clone();
+            router.add_handler(
+                proxy_instance,
+                &path,
+                move |el: &mut EventLoop, args: &XrlArgs, responder| {
+                    if let Err(e) = policy.check(args) {
+                        responder.reply(el, Err(e));
+                        return;
+                    }
+                    // Forward under the proxy's own (trusted) identity.
+                    let mut parts = forward_path.splitn(3, '/');
+                    let (iface, ver, method) = (
+                        parts.next().unwrap_or_default(),
+                        parts.next().unwrap_or_default(),
+                        parts.next().unwrap_or_default(),
+                    );
+                    let xrl = Xrl::generic(&target_class, iface, ver, method, args.clone());
+                    router2.send(
+                        el,
+                        xrl,
+                        Box::new(move |el, result| {
+                            responder.reply(el, result);
+                        }),
+                    );
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::call_xrl_sync;
+    use crate::Finder;
+    use std::time::Duration;
+
+    /// One loop hosting: the real "rib" target, the proxy in front of it,
+    /// and a restricted caller going through the proxy.
+    fn rig() -> (EventLoop, XrlRouter) {
+        let mut el = EventLoop::new();
+        let router = XrlRouter::new(&mut el, Finder::new());
+        router.register_target("rib", "rib-0", true).unwrap();
+        router.add_fn("rib-0", "rib/1.0/add_route", |_el, args| {
+            Ok(XrlArgs::new().add_text("installed", args.get_ipv4net("net")?.to_string()))
+        });
+        router.add_fn("rib-0", "rib/1.0/set_metric", |_el, args| {
+            Ok(XrlArgs::new().add_u32("metric", args.get_u32("metric")?))
+        });
+
+        let methods: HashMap<String, MethodPolicy> = [
+            (
+                "rib/1.0/add_route".to_string(),
+                MethodPolicy::open().constrain(
+                    "net",
+                    ArgConstraint::WithinIpv4Net("10.64.0.0/10".parse().unwrap()),
+                ),
+            ),
+            (
+                "rib/1.0/set_metric".to_string(),
+                MethodPolicy::open()
+                    .constrain("metric", ArgConstraint::U32Range { min: 1, max: 16 }),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        XrlProxy::install(&router, "rib-proxy", "rib-proxy-0", "rib", methods).unwrap();
+        (el, router)
+    }
+
+    #[test]
+    fn in_range_calls_forward() {
+        let (mut el, router) = rig();
+        let reply = call_xrl_sync(
+            &mut el,
+            &router,
+            "finder://rib-proxy/rib/1.0/add_route?net:ipv4net=10.65.0.0%2F16",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(reply.get_text("installed").unwrap(), "10.65.0.0/16");
+        let reply = call_xrl_sync(
+            &mut el,
+            &router,
+            "finder://rib-proxy/rib/1.0/set_metric?metric:u32=5",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(reply.get_u32("metric").unwrap(), 5);
+    }
+
+    #[test]
+    fn out_of_range_arguments_denied() {
+        let (mut el, router) = rig();
+        // Prefix outside the sandboxed range.
+        let err = call_xrl_sync(
+            &mut el,
+            &router,
+            "finder://rib-proxy/rib/1.0/add_route?net:ipv4net=192.168.0.0%2F16",
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(matches!(err, XrlError::AccessDenied(_)), "{err}");
+        // Metric above the envelope.
+        let err = call_xrl_sync(
+            &mut el,
+            &router,
+            "finder://rib-proxy/rib/1.0/set_metric?metric:u32=999",
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(matches!(err, XrlError::AccessDenied(_)));
+    }
+
+    #[test]
+    fn missing_constrained_argument_denied() {
+        let (mut el, router) = rig();
+        let err = call_xrl_sync(
+            &mut el,
+            &router,
+            "finder://rib-proxy/rib/1.0/add_route",
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(matches!(err, XrlError::AccessDenied(_)));
+    }
+
+    #[test]
+    fn unexposed_methods_do_not_exist_on_the_proxy() {
+        let (mut el, router) = rig();
+        // delete_route was never given a policy: the proxy has no such
+        // method, even though the real target might.
+        let err = call_xrl_sync(
+            &mut el,
+            &router,
+            "finder://rib-proxy/rib/1.0/delete_route?net:ipv4net=10.65.0.0%2F16",
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(matches!(err, XrlError::NoSuchMethod(_)));
+    }
+
+    #[test]
+    fn wrong_type_for_constraint_denied() {
+        let (mut el, router) = rig();
+        let err = call_xrl_sync(
+            &mut el,
+            &router,
+            "finder://rib-proxy/rib/1.0/set_metric?metric:txt=five",
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(matches!(err, XrlError::AccessDenied(_)));
+    }
+
+    #[test]
+    fn one_of_constraint() {
+        let c = ArgConstraint::OneOf(vec!["rip".into(), "static".into()]);
+        assert!(c.check("proto", &AtomValue::Text("rip".into())).is_ok());
+        assert!(c.check("proto", &AtomValue::Text("bgp".into())).is_err());
+        assert!(c.check("proto", &AtomValue::U32(1)).is_err());
+    }
+}

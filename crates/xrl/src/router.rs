@@ -1,0 +1,806 @@
+//! The XRL router: per-loop dispatcher for outgoing and incoming XRLs.
+//!
+//! One [`XrlRouter`] serves each event loop ("process").  It hosts one or
+//! more *targets* (component instances — "most processes contain more than
+//! one component", §6.1), registers them with the [`Finder`], resolves and
+//! caches outgoing XRLs, moves frames over the enabled protocol families,
+//! and correlates responses back to caller callbacks.
+//!
+//! All dispatch happens on the loop thread; reader threads only post
+//! decoded frames.  The router is a cheap `Rc` handle, stored in the loop's
+//! type slot so cross-thread closures can find it.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use xorp_event::{EventLoop, EventSender};
+
+use crate::atom::XrlArgs;
+use crate::error::XrlError;
+use crate::finder::{Endpoint, Finder, LifetimeEvent, ResolveEntry};
+use crate::marshal::Frame;
+use crate::transport::{
+    spawn_tcp_listener, spawn_tcp_reader, spawn_udp, tcp_write, udp_write, wake_listener,
+    SharedStream,
+};
+use crate::xrl::Xrl;
+use crate::XrlResult;
+
+/// Callback invoked on the sender's loop when a response (or failure)
+/// arrives.
+pub type ResponseCb = Box<dyn FnOnce(&mut EventLoop, XrlResult)>;
+
+/// Handler for an incoming XRL method.
+pub type Handler = Rc<dyn Fn(&mut EventLoop, &XrlArgs, Responder)>;
+
+/// Transport preference for an outgoing XRL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportPref {
+    /// Intra-process when co-located, else TCP, else UDP.
+    #[default]
+    Auto,
+    /// Force intra-process direct dispatch (error if not co-located).
+    Intra,
+    /// Force TCP.
+    Tcp,
+    /// Force UDP (unpipelined, §8.1).
+    Udp,
+}
+
+/// How a reply travels back to the caller.
+pub enum ReplyPath {
+    /// Caller is on this same loop; complete through the local router.
+    Local,
+    /// Write a response frame on this TCP connection.
+    Tcp(SharedStream),
+    /// Send a response datagram to `peer`.
+    Udp {
+        /// The receiver's bound socket.
+        socket: Arc<UdpSocket>,
+        /// Where the request came from.
+        peer: SocketAddr,
+    },
+}
+
+/// Capability to answer one in-flight XRL.  Handlers may reply immediately
+/// or stash the responder and reply later — the asynchronous messaging the
+/// paper's event-driven design requires (§6).
+pub struct Responder {
+    router: XrlRouter,
+    seq: u64,
+    path: ReplyPath,
+}
+
+impl Responder {
+    /// Send the result back to the caller.
+    pub fn reply(self, el: &mut EventLoop, result: XrlResult) {
+        match self.path {
+            ReplyPath::Local => {
+                self.router.complete(el, self.seq, result);
+            }
+            ReplyPath::Tcp(stream) => {
+                let _ = tcp_write(
+                    &stream,
+                    &Frame::Response {
+                        seq: self.seq,
+                        result,
+                    },
+                );
+            }
+            ReplyPath::Udp { socket, peer } => {
+                let _ = udp_write(
+                    &socket,
+                    peer,
+                    &Frame::Response {
+                        seq: self.seq,
+                        result,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Shorthand for an empty-args success.
+    pub fn ok(self, el: &mut EventLoop) {
+        self.reply(el, Ok(XrlArgs::new()));
+    }
+}
+
+/// Which transport an outgoing request used (for failure handling and UDP
+/// flow control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Via {
+    Intra,
+    Tcp(SocketAddr),
+    Udp(SocketAddr),
+}
+
+struct Target {
+    #[allow(dead_code)] // kept for diagnostics and future per-class dispatch
+    class: String,
+    key: [u8; 16],
+    handlers: HashMap<String, Handler>,
+}
+
+#[derive(Default)]
+struct UdpPeerQueue {
+    in_flight: bool,
+    queue: VecDeque<Frame>,
+}
+
+struct TcpState {
+    listen_addr: Option<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    conns: HashMap<SocketAddr, SharedStream>,
+}
+
+struct UdpState {
+    socket: Arc<UdpSocket>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queues: HashMap<SocketAddr, UdpPeerQueue>,
+}
+
+struct RouterInner {
+    router_id: u64,
+    finder: Finder,
+    sender: EventSender,
+    targets: HashMap<String, Target>,
+    primary_class: Option<String>,
+    next_seq: u64,
+    pending: HashMap<u64, (ResponseCb, Via)>,
+    resolve_cache: HashMap<String, ResolveEntry>,
+    tcp: Option<TcpState>,
+    udp: Option<UdpState>,
+    #[allow(clippy::type_complexity)]
+    lifetime_cbs: Vec<(u64, String, Rc<dyn Fn(&mut EventLoop, &LifetimeEvent)>)>,
+    #[allow(clippy::type_complexity)]
+    kill_handler: Option<Rc<dyn Fn(&mut EventLoop, u32)>>,
+    shut_down: bool,
+}
+
+static NEXT_ROUTER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The per-loop XRL dispatcher.  Clone-cheap handle.
+#[derive(Clone)]
+pub struct XrlRouter {
+    inner: Rc<RefCell<RouterInner>>,
+}
+
+impl XrlRouter {
+    /// Create a router on `el`'s loop, wired to `finder`, and store it in
+    /// the loop's type slot.  Enable transports *before* registering
+    /// targets so registrations advertise the right endpoints.
+    pub fn new(el: &mut EventLoop, finder: Finder) -> XrlRouter {
+        let router_id = NEXT_ROUTER_ID.fetch_add(1, Ordering::SeqCst);
+        let sender = el.sender();
+        finder.add_cache_holder(router_id, sender.clone());
+        let router = XrlRouter {
+            inner: Rc::new(RefCell::new(RouterInner {
+                router_id,
+                finder,
+                sender,
+                targets: HashMap::new(),
+                primary_class: None,
+                next_seq: 1,
+                pending: HashMap::new(),
+                resolve_cache: HashMap::new(),
+                tcp: None,
+                udp: None,
+                lifetime_cbs: Vec::new(),
+                kill_handler: None,
+                shut_down: false,
+            })),
+        };
+        el.set_slot::<XrlRouter>(router.clone());
+        router
+    }
+
+    /// This router's unique id (used for intra-process endpoint matching).
+    pub fn router_id(&self) -> u64 {
+        self.inner.borrow().router_id
+    }
+
+    /// The Finder this router talks to.
+    pub fn finder(&self) -> Finder {
+        self.inner.borrow().finder.clone()
+    }
+
+    // ----- transports ------------------------------------------------------
+
+    /// Enable the TCP protocol family; returns the listening address.
+    pub fn enable_tcp(&self) -> Result<SocketAddr, XrlError> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(t) = &inner.tcp {
+            return Ok(t.listen_addr.expect("listener up"));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = spawn_tcp_listener(inner.sender.clone(), stop.clone())
+            .map_err(|e| XrlError::Transport(format!("tcp listen: {e}")))?;
+        inner.tcp = Some(TcpState {
+            listen_addr: Some(addr),
+            stop,
+            conns: HashMap::new(),
+        });
+        Ok(addr)
+    }
+
+    /// Enable the UDP protocol family; returns the bound address.
+    pub fn enable_udp(&self) -> Result<SocketAddr, XrlError> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(u) = &inner.udp {
+            return Ok(u.local_addr);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let (socket, addr) = spawn_udp(inner.sender.clone(), stop.clone())
+            .map_err(|e| XrlError::Transport(format!("udp bind: {e}")))?;
+        inner.udp = Some(UdpState {
+            socket,
+            local_addr: addr,
+            stop,
+            queues: HashMap::new(),
+        });
+        Ok(addr)
+    }
+
+    // ----- targets and handlers ---------------------------------------------
+
+    /// Register a component instance of `class` with the Finder,
+    /// advertising every enabled transport plus intra-process dispatch.
+    pub fn register_target(&self, class: &str, instance: &str, sole: bool) -> Result<(), XrlError> {
+        let (endpoints, finder) = {
+            let inner = self.inner.borrow();
+            let mut eps = vec![Endpoint::Intra {
+                router_id: inner.router_id,
+            }];
+            if let Some(t) = &inner.tcp {
+                eps.push(Endpoint::Tcp(t.listen_addr.expect("listener up")));
+            }
+            if let Some(u) = &inner.udp {
+                eps.push(Endpoint::Udp(u.local_addr));
+            }
+            (eps, inner.finder.clone())
+        };
+        let key = finder.register(class, instance, endpoints, sole)?;
+        let mut inner = self.inner.borrow_mut();
+        if inner.primary_class.is_none() {
+            inner.primary_class = Some(class.to_string());
+        }
+        inner.targets.insert(
+            instance.to_string(),
+            Target {
+                class: class.to_string(),
+                key,
+                handlers: HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Attach a handler for `iface/version/method` on a registered target.
+    pub fn add_handler<F>(&self, instance: &str, path: &str, f: F)
+    where
+        F: Fn(&mut EventLoop, &XrlArgs, Responder) + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        let target = inner
+            .targets
+            .get_mut(instance)
+            .unwrap_or_else(|| panic!("no such target: {instance}"));
+        target.handlers.insert(path.to_string(), Rc::new(f));
+    }
+
+    /// Attach a synchronous handler: the closure's return value is the
+    /// reply.
+    pub fn add_fn<F>(&self, instance: &str, path: &str, f: F)
+    where
+        F: Fn(&mut EventLoop, &XrlArgs) -> XrlResult + 'static,
+    {
+        self.add_handler(instance, path, move |el, args, responder| {
+            let result = f(el, args);
+            responder.reply(el, result);
+        });
+    }
+
+    /// Handler for kill-family signals (default: stop the loop).
+    pub fn set_kill_handler<F>(&self, f: F)
+    where
+        F: Fn(&mut EventLoop, u32) + 'static,
+    {
+        self.inner.borrow_mut().kill_handler = Some(Rc::new(f));
+    }
+
+    // ----- sending ----------------------------------------------------------
+
+    /// Dispatch an XRL; `cb` fires on this loop with the response.
+    pub fn send(&self, el: &mut EventLoop, xrl: Xrl, cb: ResponseCb) {
+        self.send_pref(el, xrl, TransportPref::Auto, cb);
+    }
+
+    /// Dispatch an XRL over a specific protocol family.
+    pub fn send_pref(&self, el: &mut EventLoop, xrl: Xrl, pref: TransportPref, cb: ResponseCb) {
+        let path = xrl.path.dotted();
+        let entry = match self.resolve_cached(xrl.target(), &path) {
+            Ok(e) => e,
+            Err(e) => {
+                cb(el, Err(e));
+                return;
+            }
+        };
+
+        // Pick an endpoint under the preference.
+        let my_id = self.inner.borrow().router_id;
+        let mut intra = None;
+        let mut tcp = None;
+        let mut udp = None;
+        for ep in &entry.endpoints {
+            match ep {
+                Endpoint::Intra { router_id } if *router_id == my_id => intra = Some(()),
+                Endpoint::Tcp(a) => tcp = Some(*a),
+                Endpoint::Udp(a) => udp = Some(*a),
+                Endpoint::Intra { .. } => {}
+            }
+        }
+        let chosen = match pref {
+            TransportPref::Auto => {
+                if intra.is_some() {
+                    Some(Via::Intra)
+                } else if let Some(a) = tcp {
+                    Some(Via::Tcp(a))
+                } else {
+                    udp.map(Via::Udp)
+                }
+            }
+            TransportPref::Intra => intra.map(|_| Via::Intra),
+            TransportPref::Tcp => tcp.map(Via::Tcp),
+            TransportPref::Udp => udp.map(Via::Udp),
+        };
+        let via = match chosen {
+            Some(v) => v,
+            None => {
+                cb(
+                    el,
+                    Err(XrlError::Transport(format!(
+                        "no usable endpoint for {} via {:?}",
+                        entry.instance, pref
+                    ))),
+                );
+                return;
+            }
+        };
+
+        let seq = {
+            let mut inner = self.inner.borrow_mut();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.pending.insert(seq, (cb, via));
+            seq
+        };
+
+        match via {
+            Via::Intra => {
+                // Same loop: defer so the dispatch is its own event, exactly
+                // like a frame arriving from a transport.
+                let router = self.clone();
+                let instance = entry.instance.clone();
+                let key = entry.key;
+                let args = xrl.args;
+                el.defer(move |el| {
+                    router.dispatch(el, seq, &instance, key, &path, &args, ReplyPath::Local);
+                });
+            }
+            Via::Tcp(addr) => {
+                let frame = Frame::Request {
+                    seq,
+                    target: entry.instance.clone(),
+                    key: entry.key,
+                    path,
+                    args: xrl.args,
+                };
+                if let Err(e) = self.tcp_send(addr, &frame) {
+                    self.fail_pending(el, seq, e);
+                }
+            }
+            Via::Udp(addr) => {
+                let frame = Frame::Request {
+                    seq,
+                    target: entry.instance.clone(),
+                    key: entry.key,
+                    path,
+                    args: xrl.args,
+                };
+                if let Err(e) = self.udp_send_or_queue(addr, frame) {
+                    self.fail_pending(el, seq, e);
+                }
+            }
+        }
+    }
+
+    /// Resolve with caching.  Cache key includes the method path because
+    /// the Finder's ACL is per-method (§7).
+    fn resolve_cached(&self, target: &str, path: &str) -> Result<ResolveEntry, XrlError> {
+        let cache_key = format!("{target}|{path}");
+        if let Some(e) = self.inner.borrow().resolve_cache.get(&cache_key) {
+            return Ok(e.clone());
+        }
+        let (finder, requester) = {
+            let inner = self.inner.borrow();
+            (
+                inner.finder.clone(),
+                inner
+                    .primary_class
+                    .clone()
+                    .unwrap_or_else(|| "anonymous".into()),
+            )
+        };
+        let entry = finder.resolve(&requester, target, path)?;
+        self.inner
+            .borrow_mut()
+            .resolve_cache
+            .insert(cache_key, entry.clone());
+        Ok(entry)
+    }
+
+    fn tcp_send(&self, addr: SocketAddr, frame: &Frame) -> Result<(), XrlError> {
+        // Reuse or establish the connection.
+        let stream = {
+            let inner = self.inner.borrow();
+            let tcp = inner
+                .tcp
+                .as_ref()
+                .ok_or_else(|| XrlError::Transport("tcp family not enabled".into()))?;
+            tcp.conns.get(&addr).cloned()
+        };
+        let stream = match stream {
+            Some(s) => s,
+            None => {
+                let raw = TcpStream::connect(addr)
+                    .map_err(|e| XrlError::Transport(format!("connect {addr}: {e}")))?;
+                let _ = raw.set_nodelay(true);
+                let sender = self.inner.borrow().sender.clone();
+                let shared = spawn_tcp_reader(raw, sender);
+                let mut inner = self.inner.borrow_mut();
+                inner
+                    .tcp
+                    .as_mut()
+                    .expect("tcp enabled")
+                    .conns
+                    .insert(addr, shared.clone());
+                shared
+            }
+        };
+        tcp_write(&stream, frame)
+    }
+
+    /// UDP is deliberately unpipelined (§8.1): at most one outstanding
+    /// request per peer; later requests queue until the response arrives.
+    fn udp_send_or_queue(&self, addr: SocketAddr, frame: Frame) -> Result<(), XrlError> {
+        let mut inner = self.inner.borrow_mut();
+        let udp = inner
+            .udp
+            .as_mut()
+            .ok_or_else(|| XrlError::Transport("udp family not enabled".into()))?;
+        let socket = udp.socket.clone();
+        let q = udp.queues.entry(addr).or_default();
+        if q.in_flight {
+            q.queue.push_back(frame);
+            Ok(())
+        } else {
+            q.in_flight = true;
+            drop(inner);
+            udp_write(&socket, addr, &frame)
+        }
+    }
+
+    fn fail_pending(&self, el: &mut EventLoop, seq: u64, err: XrlError) {
+        if let Some((cb, _)) = self.inner.borrow_mut().pending.remove(&seq) {
+            cb(el, Err(err));
+        }
+    }
+
+    // ----- incoming ----------------------------------------------------------
+
+    /// Entry point for frames posted by transport reader threads.
+    pub(crate) fn incoming_frame(el: &mut EventLoop, frame: Frame, reply: ReplyPath) {
+        let router = match el.slot::<XrlRouter>() {
+            Some(r) => r.clone(),
+            None => return,
+        };
+        match frame {
+            Frame::Request {
+                seq,
+                target,
+                key,
+                path,
+                args,
+            } => router.dispatch(el, seq, &target, key, &path, &args, reply),
+            Frame::Response { seq, result } => router.complete(el, seq, result),
+            Frame::Kill { signal } => router.handle_kill(el, signal),
+        }
+    }
+
+    /// Dispatch an incoming request to the matching handler.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &self,
+        el: &mut EventLoop,
+        seq: u64,
+        instance: &str,
+        key: [u8; 16],
+        path: &str,
+        args: &XrlArgs,
+        reply: ReplyPath,
+    ) {
+        let responder = Responder {
+            router: self.clone(),
+            seq,
+            path: reply,
+        };
+        let handler = {
+            let inner = self.inner.borrow();
+            match inner.targets.get(instance) {
+                None => Err(XrlError::NoSuchMethod(format!(
+                    "no such target: {instance}"
+                ))),
+                Some(t) if t.key != key => {
+                    // "the receiving process will reject XRLs that don't
+                    // match the registered method name" (§7).
+                    Err(XrlError::BadMethodKey)
+                }
+                Some(t) => match t.handlers.get(path) {
+                    Some(h) => Ok(h.clone()),
+                    None => Err(XrlError::NoSuchMethod(format!(
+                        "{instance} has no method {path}"
+                    ))),
+                },
+            }
+        };
+        match handler {
+            Ok(h) => h(el, args, responder),
+            Err(e) => responder.reply(el, Err(e)),
+        }
+    }
+
+    /// Complete an in-flight request with its response.
+    pub(crate) fn complete(&self, el: &mut EventLoop, seq: u64, result: XrlResult) {
+        let entry = self.inner.borrow_mut().pending.remove(&seq);
+        let Some((cb, via)) = entry else {
+            return; // response for a request we gave up on
+        };
+        // UDP flow control: the response frees the peer's slot.
+        if let Via::Udp(peer) = via {
+            self.udp_pump(peer);
+        }
+        cb(el, result);
+    }
+
+    /// Send the next queued UDP request to `peer`, if any.
+    fn udp_pump(&self, peer: SocketAddr) {
+        let (socket, frame) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(udp) = inner.udp.as_mut() else {
+                return;
+            };
+            let socket = udp.socket.clone();
+            let Some(q) = udp.queues.get_mut(&peer) else {
+                return;
+            };
+            match q.queue.pop_front() {
+                Some(f) => {
+                    q.in_flight = true;
+                    (socket, f)
+                }
+                None => {
+                    q.in_flight = false;
+                    return;
+                }
+            }
+        };
+        let _ = udp_write(&socket, peer, &frame);
+    }
+
+    fn handle_kill(&self, el: &mut EventLoop, signal: u32) {
+        let handler = self.inner.borrow().kill_handler.clone();
+        match handler {
+            Some(h) => h(el, signal),
+            None => el.stop(),
+        }
+    }
+
+    /// Deliver a kill-family signal to `target` (§6.3's "kill protocol
+    /// family, which is capable of sending just one message type — a UNIX
+    /// signal — to components within a host").
+    pub fn send_kill(&self, el: &mut EventLoop, target: &str, signal: u32) -> Result<(), XrlError> {
+        let entry = self.resolve_cached(target, "!kill")?;
+        let my_id = self.inner.borrow().router_id;
+        for ep in &entry.endpoints {
+            match ep {
+                Endpoint::Intra { router_id } if *router_id == my_id => {
+                    let router = self.clone();
+                    el.defer(move |el| router.handle_kill(el, signal));
+                    return Ok(());
+                }
+                Endpoint::Tcp(addr) => {
+                    return self.tcp_send(*addr, &Frame::Kill { signal });
+                }
+                Endpoint::Udp(addr) => {
+                    let inner = self.inner.borrow();
+                    let udp = inner
+                        .udp
+                        .as_ref()
+                        .ok_or_else(|| XrlError::Transport("udp family not enabled".into()))?;
+                    return udp_write(&udp.socket, *addr, &Frame::Kill { signal });
+                }
+                Endpoint::Intra { .. } => {}
+            }
+        }
+        Err(XrlError::Transport(format!(
+            "no path to deliver kill to {target}"
+        )))
+    }
+
+    /// A TCP connection died: fail every request in flight on it.
+    pub(crate) fn connection_closed(el: &mut EventLoop, stream: &SharedStream) {
+        let router = match el.slot::<XrlRouter>() {
+            Some(r) => r.clone(),
+            None => return,
+        };
+        let failed: Vec<u64> = {
+            let mut inner = router.inner.borrow_mut();
+            let Some(tcp) = inner.tcp.as_mut() else {
+                return;
+            };
+            let dead: Vec<SocketAddr> = tcp
+                .conns
+                .iter()
+                .filter(|(_, s)| Arc::ptr_eq(s, stream))
+                .map(|(a, _)| *a)
+                .collect();
+            for a in &dead {
+                tcp.conns.remove(a);
+            }
+            inner
+                .pending
+                .iter()
+                .filter(|(_, (_, via))| matches!(via, Via::Tcp(a) if dead.contains(a)))
+                .map(|(seq, _)| *seq)
+                .collect()
+        };
+        for seq in failed {
+            router.fail_pending(el, seq, XrlError::TargetDied);
+        }
+    }
+
+    // ----- lifetime notification ---------------------------------------------
+
+    /// Watch a component class for starts/stops (§6.2).  The callback runs
+    /// on this loop.  Returns a watch id for [`XrlRouter::unwatch`].
+    pub fn watch_class<F>(&self, class: &str, cb: F) -> u64
+    where
+        F: Fn(&mut EventLoop, &LifetimeEvent) + 'static,
+    {
+        let (finder, router_id, sender) = {
+            let inner = self.inner.borrow();
+            (inner.finder.clone(), inner.router_id, inner.sender.clone())
+        };
+        let id = finder.watch_class(class, router_id, sender);
+        self.inner
+            .borrow_mut()
+            .lifetime_cbs
+            .push((id, class.to_string(), Rc::new(cb)));
+        id
+    }
+
+    /// Remove a lifetime watch.
+    pub fn unwatch(&self, watch_id: u64) {
+        let finder = self.inner.borrow().finder.clone();
+        finder.unwatch(watch_id);
+        self.inner
+            .borrow_mut()
+            .lifetime_cbs
+            .retain(|(id, _, _)| *id != watch_id);
+    }
+
+    /// Fan a lifetime event out to this loop's matching callbacks.
+    pub(crate) fn deliver_lifetime_event(el: &mut EventLoop, ev: &LifetimeEvent) {
+        let router = match el.slot::<XrlRouter>() {
+            Some(r) => r.clone(),
+            None => return,
+        };
+        #[allow(clippy::type_complexity)]
+        let cbs: Vec<Rc<dyn Fn(&mut EventLoop, &LifetimeEvent)>> = router
+            .inner
+            .borrow()
+            .lifetime_cbs
+            .iter()
+            .filter(|(_, class, _)| class == &ev.class)
+            .map(|(_, _, cb)| cb.clone())
+            .collect();
+        for cb in cbs {
+            cb(el, ev);
+        }
+    }
+
+    /// Drop every cache entry (posted by the Finder on ACL change).
+    pub(crate) fn flush_cache_on(el: &mut EventLoop) {
+        if let Some(r) = el.slot::<XrlRouter>() {
+            let r = r.clone();
+            r.inner.borrow_mut().resolve_cache.clear();
+        }
+    }
+
+    /// Drop cache entries for a class (posted by the Finder on change).
+    pub(crate) fn invalidate_cache_on(el: &mut EventLoop, class: &str) {
+        if let Some(r) = el.slot::<XrlRouter>() {
+            let r = r.clone();
+            r.inner
+                .borrow_mut()
+                .resolve_cache
+                .retain(|_, e| e.class != class);
+        }
+    }
+
+    /// Number of resolve-cache entries (test/diagnostic).
+    pub fn cache_len(&self) -> usize {
+        self.inner.borrow().resolve_cache.len()
+    }
+
+    /// Deregister everything, stop transports, and fail outstanding
+    /// requests.  The router is unusable afterwards.
+    pub fn shutdown(&self, el: &mut EventLoop) {
+        let already = {
+            let mut inner = self.inner.borrow_mut();
+            std::mem::replace(&mut inner.shut_down, true)
+        };
+        if already {
+            return;
+        }
+        let (finder, router_id, instances, watches) = {
+            let inner = self.inner.borrow();
+            (
+                inner.finder.clone(),
+                inner.router_id,
+                inner.targets.keys().cloned().collect::<Vec<_>>(),
+                inner
+                    .lifetime_cbs
+                    .iter()
+                    .map(|(id, _, _)| *id)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for i in &instances {
+            finder.deregister(i);
+        }
+        for w in watches {
+            finder.unwatch(w);
+        }
+        finder.remove_cache_holder(router_id);
+
+        // Fail callers waiting on us.
+        let pending: Vec<u64> = self.inner.borrow().pending.keys().copied().collect();
+        for seq in pending {
+            self.fail_pending(el, seq, XrlError::TargetDied);
+        }
+
+        // Stop transports.
+        let mut inner = self.inner.borrow_mut();
+        if let Some(tcp) = inner.tcp.take() {
+            tcp.stop.store(true, Ordering::SeqCst);
+            if let Some(addr) = tcp.listen_addr {
+                wake_listener(addr);
+            }
+            for (_, conn) in tcp.conns {
+                let _ = conn.lock().shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(udp) = inner.udp.take() {
+            udp.stop.store(true, Ordering::SeqCst);
+            // Wake the reader with a runt datagram so it sees the flag.
+            let _ = udp.socket.send_to(&[0u8; 1], udp.local_addr);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Scriptable XRL invocation — the `call_xrl` facility.
+//!
+//! "the textual form permits XRLs to be called from any scripting language
+//! via a simple call_xrl program.  This is put to frequent use in all our
+//! scripts for automated testing." (§6.1)
+//!
+//! [`call_xrl`] parses a textual XRL and dispatches it asynchronously;
+//! [`call_xrl_sync`] additionally drives the loop until the reply arrives,
+//! which is what test scripts want.  [`serve_finder`] exposes the Finder
+//! itself as an ordinary XRL target, as in XORP where the Finder is
+//! "addressable through XRLs, just as any other XORP component".
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use xorp_event::{ClockKind, EventLoop};
+
+use crate::atom::{AtomValue, XrlArgs};
+use crate::error::XrlError;
+use crate::router::{ResponseCb, XrlRouter};
+use crate::xrl::Xrl;
+use crate::XrlResult;
+
+/// Parse and dispatch a textual XRL; `cb` fires with the response.
+pub fn call_xrl(
+    el: &mut EventLoop,
+    router: &XrlRouter,
+    text: &str,
+    cb: ResponseCb,
+) -> Result<(), XrlError> {
+    let xrl: Xrl = text.parse()?;
+    router.send(el, xrl, cb);
+    Ok(())
+}
+
+/// Parse, dispatch, and drive the loop until the response arrives (or the
+/// timeout elapses).  For scripts and tests.
+pub fn call_xrl_sync(
+    el: &mut EventLoop,
+    router: &XrlRouter,
+    text: &str,
+    timeout: Duration,
+) -> XrlResult {
+    let slot: Rc<RefCell<Option<XrlResult>>> = Rc::new(RefCell::new(None));
+    let slot2 = slot.clone();
+    call_xrl(
+        el,
+        router,
+        text,
+        Box::new(move |_el, result| {
+            *slot2.borrow_mut() = Some(result);
+        }),
+    )?;
+    let deadline = el.now() + timeout;
+    loop {
+        if let Some(result) = slot.borrow_mut().take() {
+            return result;
+        }
+        if el.now() >= deadline {
+            return Err(XrlError::Transport("call_xrl timeout".into()));
+        }
+        if !el.run_one() {
+            match el.clock_kind() {
+                // Real clock: block briefly for transport events.
+                ClockKind::Real => {
+                    el.run_for(Duration::from_millis(1));
+                }
+                // Virtual clock: advance toward the deadline.
+                ClockKind::Virtual => {
+                    el.run_for(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+}
+
+/// Register a `finder` XRL target on `router` exposing broker queries:
+///
+/// * `finder/1.0/resolve?target:txt` → `instance:txt, class:txt`
+/// * `finder/1.0/instances?class:txt` → `instances:list`
+pub fn serve_finder(router: &XrlRouter) -> Result<(), XrlError> {
+    router.register_target("finder", "finder", true)?;
+    let finder = router.finder();
+    router.add_fn("finder", "finder/1.0/resolve", move |_el, args| {
+        let target = args.get_text("target")?;
+        let entry = finder.resolve("script", &target, "finder/1.0/resolve")?;
+        Ok(XrlArgs::new()
+            .add_text("instance", entry.instance)
+            .add_text("class", entry.class))
+    });
+    let finder = router.finder();
+    router.add_fn("finder", "finder/1.0/instances", move |_el, args| {
+        let class = args.get_text("class")?;
+        let list = finder
+            .instances_of(&class)
+            .into_iter()
+            .map(AtomValue::Text)
+            .collect();
+        Ok(XrlArgs::new().add_list("instances", list))
+    });
+    Ok(())
+}

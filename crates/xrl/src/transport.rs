@@ -1,0 +1,175 @@
+//! Protocol-family plumbing: the threads that move XRL frames.
+//!
+//! "Protocol families are the mechanisms by which XRLs are transported from
+//! one component to another." (§6.3)  Each family here provides framing and
+//! the IPC mechanism itself; dispatch and correlation live in
+//! [`crate::router`].
+//!
+//! The paper's loop multiplexes sockets with `select(2)`.  We keep the
+//! router loop single-threaded and give each socket a dedicated reader
+//! thread that posts decoded frames into the loop — same run-to-completion
+//! semantics, no poll dependency.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use xorp_event::EventSender;
+
+use crate::error::XrlError;
+use crate::marshal::{read_frame, Frame};
+use crate::router::{ReplyPath, XrlRouter};
+
+/// A writable TCP connection shared between the loop thread (writes) and
+/// its reader thread.
+pub(crate) type SharedStream = Arc<Mutex<TcpStream>>;
+
+/// Largest UDP frame we will send; keeps datagrams under the loopback MTU.
+pub(crate) const MAX_UDP_FRAME: usize = 60_000;
+
+/// Start a TCP listener on an ephemeral localhost port.  Each accepted
+/// connection gets a reader thread that posts its frames to `sender`'s
+/// loop.  Returns the bound address.
+pub(crate) fn spawn_tcp_listener(
+    sender: EventSender,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name(format!("xrl-tcp-accept-{}", addr.port()))
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        spawn_tcp_reader(stream, sender.clone());
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn accept thread");
+    Ok(addr)
+}
+
+/// Wake a listener blocked in `accept` so its stop flag is observed.
+pub(crate) fn wake_listener(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+/// Spawn the per-connection reader: decodes frames and posts them to the
+/// loop.  The connection is readable by this thread and writable (via the
+/// returned [`SharedStream`]) by the loop thread.
+pub(crate) fn spawn_tcp_reader(stream: TcpStream, sender: EventSender) -> SharedStream {
+    let shared: SharedStream = Arc::new(Mutex::new(stream.try_clone().expect("clone tcp stream")));
+    let write_half = shared.clone();
+    let mut read_half = stream;
+    std::thread::Builder::new()
+        .name("xrl-tcp-read".into())
+        .spawn(move || loop {
+            let body = match read_frame(&mut read_half) {
+                Ok(b) => b,
+                Err(_) => {
+                    // Connection closed or reset: tell the loop so pending
+                    // callbacks can fail over.
+                    let w = write_half.clone();
+                    sender.post(move |el| XrlRouter::connection_closed(el, &w));
+                    return;
+                }
+            };
+            match Frame::decode(body) {
+                Ok(frame) => {
+                    let reply = ReplyPath::Tcp(write_half.clone());
+                    if !sender.post(move |el| XrlRouter::incoming_frame(el, frame, reply)) {
+                        return; // loop gone
+                    }
+                }
+                Err(_) => { /* skip malformed frame, keep the connection */ }
+            }
+        })
+        .expect("spawn tcp reader");
+    shared
+}
+
+/// Write one encoded frame to a TCP connection.
+pub(crate) fn tcp_write(stream: &SharedStream, frame: &Frame) -> Result<(), XrlError> {
+    let bytes = frame.encode();
+    stream
+        .lock()
+        .write_all(&bytes)
+        .map_err(|e| XrlError::Transport(format!("tcp write: {e}")))
+}
+
+/// Bind a UDP socket on an ephemeral localhost port and spawn its reader
+/// thread.  Returns (socket, bound address).
+pub(crate) fn spawn_udp(
+    sender: EventSender,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<(Arc<UdpSocket>, SocketAddr)> {
+    let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0))?);
+    let addr = socket.local_addr()?;
+    let reader = socket.clone();
+    std::thread::Builder::new()
+        .name(format!("xrl-udp-read-{}", addr.port()))
+        .spawn(move || {
+            let mut buf = vec![0u8; MAX_UDP_FRAME + 4];
+            loop {
+                let (n, peer) = match reader.recv_from(&mut buf) {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Datagram = length header + body, same as the stream form.
+                if n < 4 {
+                    continue;
+                }
+                let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+                if len + 4 != n {
+                    continue;
+                }
+                let body = Bytes::from(buf[4..n].to_vec());
+                match Frame::decode(body) {
+                    Ok(frame) => {
+                        let reply = ReplyPath::Udp {
+                            socket: reader.clone(),
+                            peer,
+                        };
+                        if !sender.post(move |el| XrlRouter::incoming_frame(el, frame, reply)) {
+                            return;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        })
+        .expect("spawn udp reader");
+    Ok((socket, addr))
+}
+
+/// Send one encoded frame as a datagram.
+pub(crate) fn udp_write(
+    socket: &UdpSocket,
+    peer: SocketAddr,
+    frame: &Frame,
+) -> Result<(), XrlError> {
+    let bytes = frame.encode();
+    if bytes.len() > MAX_UDP_FRAME {
+        return Err(XrlError::Transport(format!(
+            "frame too large for UDP: {} bytes",
+            bytes.len()
+        )));
+    }
+    socket
+        .send_to(&bytes, peer)
+        .map_err(|e| XrlError::Transport(format!("udp send: {e}")))?;
+    Ok(())
+}

@@ -1,0 +1,243 @@
+//! The XRL itself: textual form, parsing, and the generic/resolved split.
+//!
+//! Canonical textual forms (§6.1):
+//!
+//! ```text
+//! finder://bgp/bgp/1.0/set_local_as?as:u32=1777          (generic)
+//! stcp://192.1.2.3:16878/bgp/1.0/set_local_as?as:u32=1777 (resolved)
+//! ```
+//!
+//! A generic XRL names a component *class* in its authority position; a
+//! resolved XRL names a transport endpoint.  Both carry an
+//! interface/version/method path and a typed argument list.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::atom::{escape, unescape, XrlArgs};
+use crate::error::XrlError;
+
+/// The interface/version/method triple addressed by an XRL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XrlPath {
+    /// Interface name, e.g. `bgp`.
+    pub interface: String,
+    /// Interface version, e.g. `1.0`.
+    pub version: String,
+    /// Method name, e.g. `set_local_as`.
+    pub method: String,
+}
+
+impl XrlPath {
+    /// Construct a path.
+    pub fn new(
+        interface: impl Into<String>,
+        version: impl Into<String>,
+        method: impl Into<String>,
+    ) -> XrlPath {
+        XrlPath {
+            interface: interface.into(),
+            version: version.into(),
+            method: method.into(),
+        }
+    }
+
+    /// `iface/version/method` form, used as the dispatch key.
+    pub fn dotted(&self) -> String {
+        format!("{}/{}/{}", self.interface, self.version, self.method)
+    }
+}
+
+impl fmt::Display for XrlPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.dotted())
+    }
+}
+
+/// An XRL: protocol family, authority (component class or endpoint), path
+/// and arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xrl {
+    /// `finder`, `stcp`, `sudp`, `intra` or `kill`.
+    pub family: String,
+    /// For generic XRLs, the component class (e.g. `bgp`); for resolved
+    /// XRLs, the endpoint (e.g. `127.0.0.1:16878` or a loop id).
+    pub authority: String,
+    /// Interface/version/method.
+    pub path: XrlPath,
+    /// Arguments.
+    pub args: XrlArgs,
+}
+
+impl Xrl {
+    /// Compose a generic (Finder-routed) XRL.
+    pub fn generic(
+        target: impl Into<String>,
+        interface: impl Into<String>,
+        version: impl Into<String>,
+        method: impl Into<String>,
+        args: XrlArgs,
+    ) -> Xrl {
+        Xrl {
+            family: "finder".into(),
+            authority: target.into(),
+            path: XrlPath::new(interface, version, method),
+            args,
+        }
+    }
+
+    /// True if this XRL still needs Finder resolution.
+    pub fn is_generic(&self) -> bool {
+        self.family == "finder"
+    }
+
+    /// The target component class of a generic XRL.
+    pub fn target(&self) -> &str {
+        &self.authority
+    }
+}
+
+impl fmt::Display for Xrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}://{}/{}/{}/{}",
+            self.family,
+            self.authority, // endpoint chars (:/.) are legal here unescaped
+            escape(&self.path.interface),
+            escape(&self.path.version),
+            escape(&self.path.method)
+        )?;
+        if !self.args.is_empty() {
+            write!(f, "?{}", self.args.render())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Xrl {
+    type Err = XrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (family, rest) = s
+            .split_once("://")
+            .ok_or_else(|| XrlError::Parse(format!("missing family: {s}")))?;
+        if family.is_empty() {
+            return Err(XrlError::Parse(format!("empty family: {s}")));
+        }
+        let (addr_path, query) = match rest.split_once('?') {
+            Some((a, q)) => (a, Some(q)),
+            None => (rest, None),
+        };
+        let mut parts = addr_path.split('/');
+        let authority = parts
+            .next()
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| XrlError::Parse(format!("missing authority: {s}")))?;
+        let interface = parts
+            .next()
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| XrlError::Parse(format!("missing interface: {s}")))?;
+        let version = parts
+            .next()
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| XrlError::Parse(format!("missing version: {s}")))?;
+        let method = parts
+            .next()
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| XrlError::Parse(format!("missing method: {s}")))?;
+        if parts.next().is_some() {
+            return Err(XrlError::Parse(format!("trailing path segments: {s}")));
+        }
+        let args = match query {
+            Some(q) => XrlArgs::parse(q)?,
+            None => XrlArgs::new(),
+        };
+        Ok(Xrl {
+            family: family.to_string(),
+            authority: authority.to_string(),
+            path: XrlPath::new(unescape(interface)?, unescape(version)?, unescape(method)?),
+            args,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_example() {
+        let x: Xrl = "finder://bgp/bgp/1.0/set_local_as?as:u32=1777"
+            .parse()
+            .unwrap();
+        assert!(x.is_generic());
+        assert_eq!(x.target(), "bgp");
+        assert_eq!(x.path.interface, "bgp");
+        assert_eq!(x.path.version, "1.0");
+        assert_eq!(x.path.method, "set_local_as");
+        assert_eq!(x.args.get_u32("as").unwrap(), 1777);
+    }
+
+    #[test]
+    fn parse_resolved_form() {
+        let x: Xrl = "stcp://192.1.2.3:16878/bgp/1.0/set_local_as?as:u32=1777"
+            .parse()
+            .unwrap();
+        assert!(!x.is_generic());
+        assert_eq!(x.authority, "192.1.2.3:16878");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let x = Xrl::generic(
+            "rib",
+            "rib",
+            "1.0",
+            "add_route",
+            XrlArgs::new()
+                .add_ipv4net("net", "10.0.0.0/8".parse().unwrap())
+                .add_ipv4("nexthop", "192.0.2.1".parse().unwrap())
+                .add_u32("metric", 5),
+        );
+        let text = x.to_string();
+        let parsed: Xrl = text.parse().unwrap();
+        assert_eq!(parsed, x);
+    }
+
+    #[test]
+    fn no_args_roundtrip() {
+        let x = Xrl::generic("fea", "fea", "1.0", "get_interfaces", XrlArgs::new());
+        assert_eq!(x.to_string(), "finder://fea/fea/1.0/get_interfaces");
+        assert_eq!(x.to_string().parse::<Xrl>().unwrap(), x);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "no-scheme",
+            "finder://",
+            "finder://bgp",
+            "finder://bgp/bgp",
+            "finder://bgp/bgp/1.0",
+            "finder://bgp/bgp/1.0/m/extra",
+            "://bgp/bgp/1.0/m",
+        ] {
+            assert!(bad.parse::<Xrl>().is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn method_names_with_reserved_chars() {
+        // A method key suffix uses ';' and hex; ensure escaping handles
+        // unusual method names.
+        let x = Xrl::generic("t", "i", "1.0", "weird method/name", XrlArgs::new());
+        let parsed: Xrl = x.to_string().parse().unwrap();
+        assert_eq!(parsed.path.method, "weird method/name");
+    }
+
+    #[test]
+    fn dotted_path() {
+        assert_eq!(XrlPath::new("bgp", "1.0", "m").dotted(), "bgp/1.0/m");
+    }
+}

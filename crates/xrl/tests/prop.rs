@@ -1,0 +1,119 @@
+//! Property tests: XRL textual and binary encodings round-trip for
+//! arbitrary atoms, and malformed frames never panic.
+
+use proptest::prelude::*;
+use xorp_xrl::marshal::Frame;
+use xorp_xrl::{AtomValue, Xrl, XrlArgs, XrlAtom};
+
+fn arb_value() -> impl Strategy<Value = AtomValue> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(AtomValue::I32),
+        any::<u32>().prop_map(AtomValue::U32),
+        any::<i64>().prop_map(AtomValue::I64),
+        any::<u64>().prop_map(AtomValue::U64),
+        any::<bool>().prop_map(AtomValue::Bool),
+        "[ -~]{0,40}".prop_map(AtomValue::Text), // printable ASCII incl. reserved chars
+        any::<u32>().prop_map(|b| AtomValue::Ipv4(std::net::Ipv4Addr::from(b))),
+        any::<u128>().prop_map(|b| AtomValue::Ipv6(std::net::Ipv6Addr::from(b))),
+        (any::<u32>(), 0u8..=32).prop_map(|(b, l)| {
+            AtomValue::Ipv4Net(xorp_net::Prefix::new(std::net::Ipv4Addr::from(b), l).unwrap())
+        }),
+        (any::<u128>(), 0u8..=128).prop_map(|(b, l)| {
+            AtomValue::Ipv6Net(xorp_net::Prefix::new(std::net::Ipv6Addr::from(b), l).unwrap())
+        }),
+        proptest::array::uniform6(any::<u8>()).prop_map(|b| AtomValue::Mac(xorp_net::Mac(b))),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(AtomValue::Binary),
+    ];
+    // Lists contain leaves only (the paper: "lists of these primitives").
+    prop_oneof![
+        9 => leaf.clone(),
+        1 => proptest::collection::vec(leaf, 0..5).prop_map(AtomValue::List),
+    ]
+}
+
+fn arb_args() -> impl Strategy<Value = XrlArgs> {
+    proptest::collection::vec(("[a-z][a-z0-9_]{0,12}", arb_value()), 0..8).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            // Ensure unique names: prefix with index.
+            .map(|(i, (name, value))| XrlAtom::new(format!("a{i}_{name}"), value))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn args_text_roundtrip(args in arb_args()) {
+        let text = args.render();
+        let parsed = XrlArgs::parse(&text).unwrap();
+        prop_assert_eq!(parsed, args);
+    }
+
+    #[test]
+    fn xrl_text_roundtrip(
+        args in arb_args(),
+        target in "[a-z][a-z0-9-]{0,10}",
+        method in "[a-z_][a-z0-9_]{0,15}",
+    ) {
+        let xrl = Xrl::generic(target, "iface", "1.0", method, args);
+        let text = xrl.to_string();
+        let parsed: Xrl = text.parse().unwrap();
+        prop_assert_eq!(parsed, xrl);
+    }
+
+    #[test]
+    fn frame_binary_roundtrip(args in arb_args(), seq in any::<u64>(), key in any::<[u8; 16]>()) {
+        let frame = Frame::Request {
+            seq,
+            target: "t".into(),
+            key,
+            path: "i/1.0/m".into(),
+            args,
+        };
+        let mut encoded = frame.encode();
+        use bytes::Buf;
+        let mut bytes = bytes::Bytes::from(encoded.split().to_vec());
+        let len = bytes.get_u32() as usize;
+        prop_assert_eq!(len, bytes.remaining());
+        let decoded = Frame::decode(bytes).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn response_binary_roundtrip(args in arb_args(), seq in any::<u64>()) {
+        let frame = Frame::Response { seq, result: Ok(args) };
+        let encoded = frame.encode();
+        use bytes::Buf;
+        let mut bytes = bytes::Bytes::from(encoded.to_vec());
+        let _ = bytes.get_u32();
+        prop_assert_eq!(Frame::decode(bytes).unwrap(), frame);
+    }
+
+    /// Arbitrary garbage never panics the decoder; it errors or yields a
+    /// frame.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Frame::decode(bytes::Bytes::from(bytes));
+    }
+
+    /// Every strict prefix of a valid frame body fails to decode (no
+    /// partial-read confusion).
+    #[test]
+    fn truncated_frames_error(args in arb_args()) {
+        let frame = Frame::Request {
+            seq: 7,
+            target: "t".into(),
+            key: [9u8; 16],
+            path: "i/1.0/m".into(),
+            args,
+        };
+        let encoded = frame.encode().to_vec();
+        let body = &encoded[4..];
+        for cut in 0..body.len() {
+            prop_assert!(Frame::decode(bytes::Bytes::copy_from_slice(&body[..cut])).is_err());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Adding a new routing protocol (§8.3): "One university unrelated to our
+//! group used XORP to implement an ad-hoc wireless routing protocol ...
+//! Their implementation required a single change to our internal APIs to
+//! allow a route to be specified by interface rather than by nexthop
+//! router, as there is no IP subnetting in an ad-hoc network."
+//!
+//! This example plays that university: a toy ad-hoc protocol, written
+//! entirely against the public API, that discovers "wireless neighbors"
+//! and injects host routes **specified by interface** into the RIB — the
+//! exact extension hook the paper describes (`RouteEntry::ifname`).
+//!
+//! ```sh
+//! cargo run --example adhoc_protocol
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use xorp::event::{EventLoop, Time};
+use xorp::net::{PathAttributes, Prefix, ProtocolId, RouteEntry};
+use xorp::rib::Rib;
+use xorp::stages::RouteOp;
+
+/// Our experimental protocol gets its own protocol id — no changes to the
+/// RIB needed; `ProtocolId::Other` is the extension point.
+const ADHOC: ProtocolId = ProtocolId::Other(42);
+
+/// A deliberately tiny ad-hoc protocol: neighbors are "heard" on a radio
+/// interface and expire if not re-heard within `lifetime`.
+struct AdhocProtocol {
+    iface: &'static str,
+    lifetime: Duration,
+    /// neighbor → last-heard deadline.
+    neighbors: BTreeMap<Ipv4Addr, Time>,
+}
+
+impl AdhocProtocol {
+    fn new(iface: &'static str, lifetime: Duration) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(AdhocProtocol {
+            iface,
+            lifetime,
+            neighbors: BTreeMap::new(),
+        }))
+    }
+
+    /// A hello was heard from `neighbor`: install/refresh a host route
+    /// specified *by interface* — there is no nexthop in an ad-hoc net.
+    fn heard(
+        me: &Rc<RefCell<Self>>,
+        el: &mut EventLoop,
+        rib: &Rc<RefCell<Rib<Ipv4Addr>>>,
+        neighbor: Ipv4Addr,
+    ) {
+        let (iface, deadline) = {
+            let mut s = me.borrow_mut();
+            let deadline = el.now() + s.lifetime;
+            s.neighbors.insert(neighbor, deadline);
+            (s.iface, deadline)
+        };
+        let mut route = RouteEntry::new(
+            Prefix::host(neighbor),
+            Arc::new(PathAttributes::new(IpAddr::V4(neighbor))),
+            1,
+            ADHOC,
+        );
+        route.ifname = Some(iface.into()); // ← the §8.3 API change
+        rib.borrow_mut().add_route(el, route);
+
+        // Event-driven expiry: no scanner.
+        let me2 = me.clone();
+        let rib2 = rib.clone();
+        el.at(deadline, move |el| {
+            let expired = {
+                let mut s = me2.borrow_mut();
+                match s.neighbors.get(&neighbor) {
+                    Some(d) if *d == deadline => {
+                        s.neighbors.remove(&neighbor);
+                        true
+                    }
+                    _ => false, // refreshed meanwhile
+                }
+            };
+            if expired {
+                rib2.borrow_mut()
+                    .delete_route(el, ADHOC, Prefix::host(neighbor));
+            }
+        });
+    }
+}
+
+fn main() {
+    let mut el = EventLoop::new_virtual();
+    let rib = Rc::new(RefCell::new(Rib::<Ipv4Addr>::new(true)));
+
+    // Watch what the RIB sends toward the forwarding plane.
+    rib.borrow_mut().set_output(|_el, _o, op| match &op {
+        RouteOp::Add { net, route } => println!(
+            "  fib: + {net} dev {} (proto {})",
+            route.ifname.as_deref().unwrap_or("?"),
+            route.proto
+        ),
+        RouteOp::Delete { net, .. } => println!("  fib: - {net}"),
+        RouteOp::Replace { net, .. } => println!("  fib: ~ {net}"),
+    });
+
+    let adhoc = AdhocProtocol::new("wlan0", Duration::from_secs(30));
+
+    println!("hellos heard from three neighbors:");
+    for n in ["10.9.0.1", "10.9.0.2", "10.9.0.3"] {
+        AdhocProtocol::heard(&adhoc, &mut el, &rib, n.parse().unwrap());
+    }
+    assert_eq!(rib.borrow().route_count(), 3);
+
+    // Only one neighbor keeps talking.
+    println!("\nt=20s: neighbor 10.9.0.1 heard again, others silent...");
+    el.run_until(Time::from_secs(20));
+    AdhocProtocol::heard(&adhoc, &mut el, &rib, "10.9.0.1".parse().unwrap());
+
+    println!("\nt=35s: the silent neighbors have expired:");
+    el.run_until(Time::from_secs(35));
+    assert_eq!(rib.borrow().route_count(), 1);
+
+    println!("\nt=60s: the last neighbor expires too:");
+    el.run_until(Time::from_secs(60));
+    assert_eq!(rib.borrow().route_count(), 0);
+    assert!(rib.borrow().consistency_violations().is_empty());
+
+    println!("\nan entire experimental protocol, zero changes to the RIB's code —");
+    println!("the interface-route hook (§8.3) was the only API it needed.");
+}

@@ -1,0 +1,155 @@
+//! Two BGP routers exchanging a route feed — the event-driven convergence
+//! story of §8.2, including a peering flap drained by a dynamic deletion
+//! stage (§5.1.2, Figure 6).
+//!
+//! Router A learns routes from a synthetic peer, picks best paths, and
+//! advertises them to router B over the BGP wire format; both run on one
+//! virtual-time event loop so the demo is deterministic.
+//!
+//! ```sh
+//! cargo run --example bgp_convergence
+//! ```
+
+use std::cell::RefCell;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use xorp::bgp::bgp::UpdateIn;
+use xorp::bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
+use xorp::bgp::peer_out::UpdateOut;
+use xorp::bgp::{BgpConfig, BgpProcess, PeerConfig, PeerId};
+use xorp::event::EventLoop;
+use xorp::net::{AsNum, AsPath, PathAttributes, Prefix};
+
+/// Everything in 192.168/16 resolves with metric 1.
+struct Flat;
+impl NexthopService<Ipv4Addr> for Flat {
+    fn resolve_nexthop(&self, el: &mut EventLoop, addr: Ipv4Addr, cb: AnswerCb<Ipv4Addr>) {
+        let valid: Prefix<Ipv4Addr> = "192.168.0.0/16".parse().unwrap();
+        cb(
+            el,
+            RibNexthopAnswer {
+                valid,
+                metric: valid.contains_addr(addr).then_some(1),
+            },
+        );
+    }
+}
+
+fn bgp(asn: u32, addr: &str) -> BgpProcess<Ipv4Addr> {
+    BgpProcess::new(
+        BgpConfig {
+            local_as: AsNum(asn),
+            router_id: addr.parse().unwrap(),
+            local_addr: IpAddr::V4(addr.parse().unwrap()),
+            hold_time: 90,
+        },
+        Rc::new(Flat),
+    )
+}
+
+fn main() {
+    let mut el = EventLoop::new_virtual();
+
+    // Router A (AS 65000) peers with a synthetic feed (peer 1, AS 65001)
+    // and with router B (peer 2, AS 65100).
+    let mut a = bgp(65000, "192.168.0.1");
+    a.add_peer(&mut el, PeerConfig::simple(PeerId(1), AsNum(65001)), None);
+    a.peering_up(&mut el, PeerId(1));
+
+    // Router B (AS 65100) peers with router A (its peer 9).
+    let b = Rc::new(RefCell::new(bgp(65100, "192.168.0.2")));
+    {
+        let mut b = b.borrow_mut();
+        b.add_peer(&mut el, PeerConfig::simple(PeerId(9), AsNum(65000)), None);
+        b.peering_up(&mut el, PeerId(9));
+    }
+
+    // Wire A's peer-2 output into B's peer-9 input: each UpdateOut becomes
+    // an UpdateIn on B, i.e. A "transmits" and B "receives".
+    let b2 = b.clone();
+    let writer = Rc::new(move |el: &mut EventLoop, out: UpdateOut<Ipv4Addr>| {
+        let update = match out {
+            UpdateOut::Announce(net, attrs) => UpdateIn {
+                withdrawn: vec![],
+                announce: Some((attrs, vec![net])),
+            },
+            UpdateOut::Withdraw(net) => UpdateIn {
+                withdrawn: vec![net],
+                announce: None,
+            },
+        };
+        b2.borrow_mut().apply_update(el, PeerId(9), update);
+    });
+    a.add_peer(
+        &mut el,
+        PeerConfig::simple(PeerId(2), AsNum(65100)),
+        Some(writer),
+    );
+    a.peering_up(&mut el, PeerId(2));
+
+    // The feed announces 500 routes in UPDATE-sized batches.
+    println!("feeding 500 routes into router A from AS 65001...");
+    let mut attrs = PathAttributes::new(IpAddr::V4("192.168.1.1".parse().unwrap()));
+    attrs.as_path = AsPath::from_sequence([65001, 64512]);
+    let attrs = Arc::new(attrs);
+    for chunk in (0..500u32).collect::<Vec<_>>().chunks(50) {
+        let nets = chunk
+            .iter()
+            .map(|i| Prefix::new(Ipv4Addr::from(0x0b00_0000 + (i << 8)), 24).unwrap())
+            .collect();
+        a.apply_update(
+            &mut el,
+            PeerId(1),
+            UpdateIn {
+                withdrawn: vec![],
+                announce: Some((attrs.clone(), nets)),
+            },
+        );
+    }
+    el.run_until_idle();
+    println!("  router A best routes: {}", a.best_count());
+    println!("  router B best routes: {}", b.borrow().best_count());
+    {
+        let b = b.borrow();
+        let via_a = b.best_route(&"11.0.1.0/24".parse().unwrap()).unwrap();
+        println!(
+            "  B sees 11.0.1.0/24 with AS path [{}] (A prepended 65000)",
+            via_a.attrs.as_path
+        );
+    }
+
+    // ---- the Figure 6 moment: the feed peering flaps --------------------
+    println!("\npeering to AS 65001 goes down: deletion stage spliced in...");
+    a.peering_down(&mut el, PeerId(1));
+    println!(
+        "  PeerIn immediately empty: {} routes (deletion stages active: {})",
+        a.peer_route_count(PeerId(1)),
+        a.deletion_stage_count(PeerId(1))
+    );
+    // The peering comes right back and re-announces a subset while the
+    // background drain is still running.
+    a.peering_up(&mut el, PeerId(1));
+    let nets = (0..100u32)
+        .map(|i| Prefix::new(Ipv4Addr::from(0x0b00_0000 + (i << 8)), 24).unwrap())
+        .collect();
+    a.apply_update(
+        &mut el,
+        PeerId(1),
+        UpdateIn {
+            withdrawn: vec![],
+            announce: Some((attrs.clone(), nets)),
+        },
+    );
+    el.run_until_idle(); // background slices drain here
+    println!(
+        "  after drain: A best={}  B best={}",
+        a.best_count(),
+        b.borrow().best_count()
+    );
+    assert_eq!(a.best_count(), 100);
+    assert_eq!(b.borrow().best_count(), 100);
+    assert_eq!(a.deletion_stage_count(PeerId(1)), 0);
+    println!("\nevent-driven: B converged with no route scanner in sight");
+}

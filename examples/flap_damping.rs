@@ -1,0 +1,123 @@
+//! Route-flap damping (§8.3): "We are currently adding this functionality
+//! (ISPs demand it, even though it's a flawed mechanism), and can do so
+//! efficiently and simply by adding another stage to the BGP pipeline."
+//!
+//! A peer flaps one prefix repeatedly; the damping stage suppresses it,
+//! the penalty decays with a 60 s half-life (virtual time), and the route
+//! is released once it crosses the reuse threshold.
+//!
+//! ```sh
+//! cargo run --example flap_damping
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use xorp::bgp::bgp::UpdateIn;
+use xorp::bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
+use xorp::bgp::{BgpConfig, BgpProcess, DampingConfig, PeerConfig, PeerId};
+use xorp::event::{EventLoop, Time};
+use xorp::net::{AsNum, AsPath, PathAttributes, Prefix};
+use xorp::stages::RouteOp;
+
+struct Flat;
+impl NexthopService<Ipv4Addr> for Flat {
+    fn resolve_nexthop(&self, el: &mut EventLoop, addr: Ipv4Addr, cb: AnswerCb<Ipv4Addr>) {
+        let valid: Prefix<Ipv4Addr> = "192.168.0.0/16".parse().unwrap();
+        cb(
+            el,
+            RibNexthopAnswer {
+                valid,
+                metric: valid.contains_addr(addr).then_some(1),
+            },
+        );
+    }
+}
+
+fn main() {
+    let mut el = EventLoop::new_virtual();
+    let mut bgp = BgpProcess::new(
+        BgpConfig {
+            local_as: AsNum(65000),
+            router_id: "10.0.0.1".parse().unwrap(),
+            local_addr: IpAddr::V4("10.0.0.1".parse().unwrap()),
+            hold_time: 90,
+        },
+        Rc::new(Flat),
+    );
+
+    // One stage in the pipeline turns damping on for this peer.
+    let mut cfg = PeerConfig::simple(PeerId(1), AsNum(65001));
+    cfg.damping = Some(DampingConfig {
+        flap_penalty: 1000.0,
+        suppress_threshold: 2000.0,
+        reuse_threshold: 750.0,
+        half_life: Duration::from_secs(60),
+        max_penalty: 16000.0,
+    });
+    bgp.add_peer(&mut el, cfg, None);
+    bgp.peering_up(&mut el, PeerId(1));
+
+    let visible: Rc<RefCell<BTreeSet<Prefix<Ipv4Addr>>>> = Rc::new(RefCell::new(BTreeSet::new()));
+    let v = visible.clone();
+    bgp.set_rib_output(&mut el, move |_el, _o, op| match op {
+        RouteOp::Add { net, .. } | RouteOp::Replace { net, .. } => {
+            v.borrow_mut().insert(net);
+        }
+        RouteOp::Delete { net, .. } => {
+            v.borrow_mut().remove(&net);
+        }
+    });
+
+    let net: Prefix<Ipv4Addr> = "20.0.0.0/8".parse().unwrap();
+    let announce = || {
+        let mut attrs = PathAttributes::new(IpAddr::V4("192.168.1.1".parse().unwrap()));
+        attrs.as_path = AsPath::from_sequence([65001]);
+        UpdateIn {
+            withdrawn: vec![],
+            announce: Some((Arc::new(attrs), vec![net])),
+        }
+    };
+    let withdraw = || UpdateIn {
+        withdrawn: vec![net],
+        announce: None,
+    };
+
+    let show = |el: &EventLoop, visible: &Rc<RefCell<BTreeSet<Prefix<Ipv4Addr>>>>, what: &str| {
+        println!(
+            "t={:>5.0}s  {:<28} route visible: {}",
+            el.now().as_secs_f64(),
+            what,
+            visible.borrow().contains(&net)
+        );
+    };
+
+    // Two flaps: penalty 2000 → suppressed.
+    for i in 1..=2 {
+        bgp.apply_update(&mut el, PeerId(1), announce());
+        el.run_until_idle();
+        show(&el, &visible, &format!("announce #{i}"));
+        bgp.apply_update(&mut el, PeerId(1), withdraw());
+        el.run_until_idle();
+        show(&el, &visible, &format!("withdraw #{i} (flap)"));
+    }
+
+    // The third announcement is suppressed.
+    bgp.apply_update(&mut el, PeerId(1), announce());
+    el.run_until_idle();
+    show(&el, &visible, "announce #3 (suppressed)");
+    assert!(!visible.borrow().contains(&net));
+
+    // Let the penalty decay: 2000 × 0.5^(t/60s) < 750 after ~85 s; the
+    // periodic sweep releases the held route.
+    el.run_until(Time::from_secs(200));
+    show(&el, &visible, "after ~200s of decay");
+    assert!(visible.borrow().contains(&net));
+
+    println!("\nthe damping stage suppressed the flapping prefix and released it after decay;");
+    println!("no other stage knew damping was happening (§8.3).");
+}

@@ -1,0 +1,105 @@
+//! Quickstart: assemble a single-process router — RIB + static routes +
+//! a RIP feed + a forwarding plane — and watch routes arbitrate.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::cell::RefCell;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use xorp::event::EventLoop;
+use xorp::fea::{test_iface, Fea, FibEntry};
+use xorp::net::{PathAttributes, ProtocolId, RouteEntry};
+use xorp::rib::Rib;
+use xorp::stages::RouteOp;
+
+fn route(net: &str, nexthop: &str, metric: u32, proto: ProtocolId) -> RouteEntry<Ipv4Addr> {
+    let mut r = RouteEntry::new(
+        net.parse().unwrap(),
+        Arc::new(PathAttributes::new(IpAddr::V4(nexthop.parse().unwrap()))),
+        metric,
+        proto,
+    );
+    r.ifname = Some("eth0".into());
+    r
+}
+
+fn main() {
+    // Every XORP process is a single-threaded event loop (§4).
+    let mut el = EventLoop::new_virtual();
+
+    // A forwarding plane with one interface...
+    let fea = Rc::new(RefCell::new(Fea::new()));
+    fea.borrow_mut()
+        .configure_interface(test_iface("eth0", "192.168.0.1", 16));
+
+    // ...and a RIB (with the paper's consistency-checking stage spliced
+    // in) whose output installs into that forwarding plane.
+    let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+    let fib = fea.clone();
+    rib.set_output(move |_el, _origin, op| match op {
+        RouteOp::Add { net, route }
+        | RouteOp::Replace {
+            net, new: route, ..
+        } => {
+            fib.borrow_mut().add_route4(FibEntry {
+                net,
+                nexthop: route.nexthop(),
+                ifname: route.ifname.as_deref().unwrap_or("eth0").to_string(),
+                metric: route.metric,
+            });
+        }
+        RouteOp::Delete { net, .. } => {
+            fib.borrow_mut().delete_route4(&net);
+        }
+    });
+
+    // Feed routes from three "protocols".
+    rib.add_route(
+        &mut el,
+        route("192.168.0.0/16", "0.0.0.0", 0, ProtocolId::Connected),
+    );
+    rib.add_route(
+        &mut el,
+        route("10.0.0.0/8", "192.168.0.254", 5, ProtocolId::Rip),
+    );
+    println!("RIP offers 10.0.0.0/8 via 192.168.0.254:");
+    show(&fea, "10.1.2.3");
+
+    // A static route to the same prefix wins on administrative distance.
+    rib.add_route(
+        &mut el,
+        route("10.0.0.0/8", "192.168.0.1", 1, ProtocolId::Static),
+    );
+    println!("\nStatic route (admin distance 1 < RIP's 120) takes over:");
+    show(&fea, "10.1.2.3");
+
+    // A BGP route arrives whose nexthop needs resolving via the IGP — the
+    // ExtInt stage holds it until resolution succeeds (§5.2).
+    rib.add_route(
+        &mut el,
+        route("203.0.113.0/24", "192.168.77.1", 0, ProtocolId::Ebgp),
+    );
+    println!("\nEBGP route to 203.0.113.0/24 resolved via the connected /16:");
+    show(&fea, "203.0.113.9");
+
+    // Withdraw the static route: RIP's takes back over.
+    rib.delete_route(&mut el, ProtocolId::Static, "10.0.0.0/8".parse().unwrap());
+    println!("\nStatic route withdrawn — RIP's route returns:");
+    show(&fea, "10.1.2.3");
+
+    assert!(rib.consistency_violations().is_empty());
+    println!("\nconsistency checker: no violations");
+    println!("final FIB: {} routes", fea.borrow().route_count4());
+}
+
+fn show(fea: &Rc<RefCell<Fea>>, dst: &str) {
+    let fea = fea.borrow();
+    match fea.lookup4(dst.parse().unwrap()) {
+        Some(e) => println!("  {dst} -> via {} dev {} ({})", e.nexthop, e.ifname, e.net),
+        None => println!("  {dst} -> unreachable"),
+    }
+}

@@ -1,0 +1,129 @@
+//! XRL IPC tour (§6, §7): two "processes" (threads with their own event
+//! loops) discover each other through the Finder, call each other over
+//! TCP, watch lifetime events, hit the method-key security check, and die
+//! by the kill protocol family.
+//!
+//! ```sh
+//! cargo run --example xrl_ipc
+//! ```
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use xorp::event::EventLoop;
+use xorp::xrl::script::{call_xrl_sync, serve_finder};
+use xorp::xrl::{Finder, XrlArgs, XrlRouter};
+
+fn main() {
+    let finder = Finder::new();
+
+    // ---- a "bgp" process on its own thread -------------------------------
+    let (tx, rx) = mpsc::channel();
+    let bgp_thread = std::thread::spawn({
+        let finder = finder.clone();
+        move || {
+            let mut el = EventLoop::new();
+            let router = XrlRouter::new(&mut el, finder);
+            router.enable_tcp().unwrap();
+            router.register_target("bgp", "bgp-0", true).unwrap();
+            // The paper's canonical example XRL.
+            router.add_fn("bgp-0", "bgp/1.0/set_local_as", |_el, args| {
+                let asn = args.get_u32("as")?;
+                println!("  [bgp process] local AS set to {asn}");
+                Ok(XrlArgs::new().add_bool("ok", true))
+            });
+            tx.send(()).unwrap();
+            el.run(); // until the kill signal arrives
+            println!("  [bgp process] stopped by kill protocol family");
+        }
+    });
+    rx.recv().unwrap();
+
+    // ---- our process ------------------------------------------------------
+    let mut el = EventLoop::new();
+    let router = XrlRouter::new(&mut el, finder.clone());
+    router.enable_tcp().unwrap();
+    router.register_target("cli", "cli-0", true).unwrap();
+    serve_finder(&router).unwrap(); // make the Finder scriptable too
+
+    // Lifetime notification (§6.2): watch the bgp class.
+    router.watch_class("bgp", |_el, ev| {
+        println!(
+            "  [lifetime] {} is {}",
+            ev.instance,
+            if ev.up { "up" } else { "down" }
+        );
+    });
+
+    // The textual form from §6.1, dispatched like the call_xrl program.
+    println!("calling finder://bgp/bgp/1.0/set_local_as?as:u32=1777");
+    let reply = call_xrl_sync(
+        &mut el,
+        &router,
+        "finder://bgp/bgp/1.0/set_local_as?as:u32=1777",
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    println!("  reply: ok={}", reply.get_bool("ok").unwrap());
+
+    // Ask the Finder (itself an XRL target) who serves "bgp".
+    let who = call_xrl_sync(
+        &mut el,
+        &router,
+        "finder://finder/finder/1.0/resolve?target:txt=bgp",
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    println!(
+        "  finder says: instance={} class={}",
+        who.get_text("instance").unwrap(),
+        who.get_text("class").unwrap()
+    );
+
+    // Security (§7): a bogus method never resolves to a valid key, so the
+    // receiver rejects it.
+    let err = call_xrl_sync(
+        &mut el,
+        &router,
+        "finder://bgp/bgp/1.0/no_such_method",
+        Duration::from_secs(5),
+    )
+    .unwrap_err();
+    println!("  bogus method rejected: {err}");
+
+    // ACL (§7): deny everything, then allow just the one method.  Cache
+    // flushes arrive as loop events; drain them before the next call.
+    finder.set_acl_enabled(true);
+    el.run_until_idle();
+    let err = call_xrl_sync(
+        &mut el,
+        &router,
+        "finder://bgp/bgp/1.0/set_local_as?as:u32=1",
+        Duration::from_secs(5),
+    )
+    .unwrap_err();
+    println!("  with ACL on and no rule: {err}");
+    finder.allow("cli", "bgp", "bgp/1.0/*");
+    el.run_until_idle();
+    call_xrl_sync(
+        &mut el,
+        &router,
+        "finder://bgp/bgp/1.0/set_local_as?as:u32=64512",
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    println!("  with an allow rule: call succeeds again");
+
+    // Kill protocol family (§6.3): one message type — a signal.  Even
+    // kill delivery goes through Finder resolution, so the ACL guards it
+    // too — grant it explicitly.
+    finder.allow("cli", "bgp", "!kill");
+    el.run_until_idle();
+    println!("sending kill(15) to the bgp process...");
+    router.send_kill(&mut el, "bgp", 15).unwrap();
+    bgp_thread.join().unwrap();
+
+    // Drain the death notification.
+    el.run_for(Duration::from_millis(100));
+    println!("done");
+}

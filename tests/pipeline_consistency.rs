@@ -1,0 +1,186 @@
+//! Property test over the full BGP pipeline: arbitrary interleaved
+//! announce/withdraw/flap sequences from multiple peers, with the paper's
+//! consistency-checking cache stages in every output pipeline, must
+//! produce (a) zero consistency violations and (b) a final best table
+//! equal to an oracle computed from first principles.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xorp::bgp::bgp::UpdateIn;
+use xorp::bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
+use xorp::bgp::{route_better, BgpConfig, BgpProcess, PeerConfig, PeerId};
+use xorp::event::EventLoop;
+use xorp::net::{AsNum, AsPath, PathAttributes, Prefix, RouteEntry};
+use xorp::stages::RouteOp;
+
+type Net = Prefix<Ipv4Addr>;
+
+struct Flat;
+impl NexthopService<Ipv4Addr> for Flat {
+    fn resolve_nexthop(&self, el: &mut EventLoop, addr: Ipv4Addr, cb: AnswerCb<Ipv4Addr>) {
+        let valid: Net = "192.168.0.0/16".parse().unwrap();
+        cb(
+            el,
+            RibNexthopAnswer {
+                valid,
+                metric: valid.contains_addr(addr).then_some(1),
+            },
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Announce { peer: u32, net_ix: u8, path_len: u8 },
+    Withdraw { peer: u32, net_ix: u8 },
+    Flap { peer: u32 },
+}
+
+const PEERS: [u32; 3] = [1, 2, 3];
+const NETS: u8 = 12;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u32..3, 0u8..NETS, 1u8..6).prop_map(|(p, n, l)| Op::Announce {
+            peer: PEERS[p as usize],
+            net_ix: n,
+            path_len: l,
+        }),
+        3 => (0u32..3, 0u8..NETS).prop_map(|(p, n)| Op::Withdraw {
+            peer: PEERS[p as usize],
+            net_ix: n,
+        }),
+        1 => (0u32..3).prop_map(|p| Op::Flap { peer: PEERS[p as usize] }),
+    ]
+}
+
+fn net(ix: u8) -> Net {
+    Prefix::new(Ipv4Addr::from(0x0a00_0000u32 | ((ix as u32 + 1) << 8)), 24).unwrap()
+}
+
+fn attrs(peer: u32, path_len: u8) -> Arc<PathAttributes> {
+    let mut a = PathAttributes::new(IpAddr::V4(Ipv4Addr::from(0xc0a8_0100 + peer)));
+    a.as_path = AsPath::from_sequence((0..path_len as u32).map(|i| 64512 + peer * 100 + i));
+    a.ebgp = true;
+    Arc::new(a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipeline_consistent_under_arbitrary_churn(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut el = EventLoop::new_virtual();
+        let mut bgp = BgpProcess::new(
+            BgpConfig {
+                local_as: AsNum(65000),
+                router_id: "10.0.0.1".parse().unwrap(),
+                local_addr: IpAddr::V4("10.0.0.1".parse().unwrap()),
+                hold_time: 90,
+            },
+            Rc::new(Flat),
+        );
+        for p in PEERS {
+            let mut cfg = PeerConfig::simple(PeerId(p), AsNum(65000 + p));
+            cfg.consistency_check = true; // cache stage in every out pipeline
+            bgp.add_peer(&mut el, cfg, Some(Rc::new(|_el, _u| {})));
+            bgp.peering_up(&mut el, PeerId(p));
+        }
+
+        // Sink cache: mirror of what the RIB would hold.
+        let rib: Rc<RefCell<BTreeMap<Net, RouteEntry<Ipv4Addr>>>> =
+            Rc::new(RefCell::new(BTreeMap::new()));
+        let r = rib.clone();
+        bgp.set_rib_output(&mut el, move |_el, _o, op| match op {
+            RouteOp::Add { net, route } | RouteOp::Replace { net, new: route, .. } => {
+                r.borrow_mut().insert(net, route);
+            }
+            RouteOp::Delete { net, .. } => {
+                r.borrow_mut().remove(&net);
+            }
+        });
+
+        // Oracle: per-peer tables maintained by the rules directly.
+        let mut oracle: HashMap<u32, BTreeMap<Net, RouteEntry<Ipv4Addr>>> =
+            PEERS.iter().map(|p| (*p, BTreeMap::new())).collect();
+
+        for op in ops {
+            match op {
+                Op::Announce { peer, net_ix, path_len } => {
+                    let a = attrs(peer, path_len);
+                    bgp.apply_update(
+                        &mut el,
+                        PeerId(peer),
+                        UpdateIn { withdrawn: vec![], announce: Some((a.clone(), vec![net(net_ix)])) },
+                    );
+                    let mut route = RouteEntry::new(
+                        net(net_ix),
+                        a,
+                        1, // resolver annotates metric 1
+                        xorp::net::ProtocolId::Ebgp,
+                    );
+                    route.source = Some(peer);
+                    oracle.get_mut(&peer).unwrap().insert(net(net_ix), route);
+                }
+                Op::Withdraw { peer, net_ix } => {
+                    bgp.apply_update(
+                        &mut el,
+                        PeerId(peer),
+                        UpdateIn { withdrawn: vec![net(net_ix)], announce: None },
+                    );
+                    oracle.get_mut(&peer).unwrap().remove(&net(net_ix));
+                }
+                Op::Flap { peer } => {
+                    bgp.peering_down(&mut el, PeerId(peer));
+                    bgp.peering_up(&mut el, PeerId(peer));
+                    oracle.get_mut(&peer).unwrap().clear();
+                }
+            }
+            el.run_until_idle();
+        }
+        el.run_until_idle();
+
+        // (a) No consistency violations anywhere.
+        let violations = bgp.consistency_violations();
+        prop_assert!(violations.is_empty(), "{violations:?}");
+
+        // (b) The RIB mirror equals the oracle's best-per-prefix.
+        let mut expected: BTreeMap<Net, RouteEntry<Ipv4Addr>> = BTreeMap::new();
+        for (peer, table) in &oracle {
+            for (n, route) in table {
+                match expected.get(n) {
+                    Some(cur)
+                        if !route_better(
+                            route,
+                            PeerId(*peer),
+                            cur,
+                            PeerId(cur.source.unwrap()),
+                        ) => {}
+                    _ => {
+                        expected.insert(*n, route.clone());
+                    }
+                }
+            }
+        }
+        let got = rib.borrow();
+        prop_assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            expected.keys().collect::<Vec<_>>()
+        );
+        for (n, want) in &expected {
+            let have = &got[n];
+            prop_assert_eq!(have.source, want.source, "winner for {}", n);
+            prop_assert_eq!(&have.attrs.as_path, &want.attrs.as_path, "path for {}", n);
+        }
+
+        // (c) Announced-to-peer bookkeeping is in range.
+        for p in PEERS {
+            prop_assert!(bgp.announced_count(PeerId(p)) <= expected.len());
+        }
+    }
+}
