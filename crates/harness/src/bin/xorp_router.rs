@@ -13,6 +13,17 @@
 //! The router runs until ^C (or EOF on stdin), printing table sizes
 //! periodically — enough to watch synthetic peers converge, and the
 //! skeleton a real deployment would grow sockets onto.
+//!
+//! ## Fault injection
+//!
+//! The XRL plane can be made deliberately lossy, to exercise the
+//! timeout/retransmit/dedup machinery end to end (see EXPERIMENTS.md):
+//!
+//! ```sh
+//! xorp-router --example-config --fault 0.05 --fault-seed 42
+//! xorp-router config.boot --fault-drop 0.1 --fault-delay 0.2 \
+//!     --fault-delay-ms 1:20 --fault-disconnect 0.01 --fault-seed 7
+//! ```
 
 use std::net::IpAddr;
 use std::time::Duration;
@@ -21,6 +32,7 @@ use xorp_harness::router::{MultiProcessRouter, PeerPolicy, RouterOptions};
 use xorp_harness::workload::{backbone_table, WorkloadConfig};
 use xorp_rtrmgr::template::standard_template;
 use xorp_rtrmgr::{parse, ConfigNode};
+use xorp_xrl::FaultConfig;
 
 const EXAMPLE: &str = r#"
 # Example xorp-rs configuration.
@@ -49,6 +61,73 @@ protocols {
     }
 }
 "#;
+
+/// Parse `--flag value` pairs of the fault knobs into a [`FaultConfig`].
+/// Returns `None` when no fault flag is present.
+fn parse_fault_flags(args: &[String]) -> Option<FaultConfig> {
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let rate = |flag: &str| -> Option<f64> {
+        value_of(flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a probability, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let seed: u64 = value_of("--fault-seed")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--fault-seed expects an integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
+    // `--fault R` is shorthand for R drop + R duplicate + R delay of 1-10ms.
+    let mut config = match rate("--fault") {
+        Some(r) => FaultConfig::lossy(seed, r),
+        None => FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        },
+    };
+    let mut any = rate("--fault").is_some();
+    if let Some(p) = rate("--fault-drop") {
+        config.drop = p;
+        any = true;
+    }
+    if let Some(p) = rate("--fault-duplicate") {
+        config.duplicate = p;
+        any = true;
+    }
+    if let Some(p) = rate("--fault-delay") {
+        config.delay = p;
+        if config.delay_ms == (0, 0) {
+            config.delay_ms = (1, 10);
+        }
+        any = true;
+    }
+    if let Some(v) = value_of("--fault-delay-ms") {
+        let (lo, hi) = v
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .unwrap_or_else(|| {
+                eprintln!("--fault-delay-ms expects LO:HI milliseconds, got {v:?}");
+                std::process::exit(2);
+            });
+        config.delay_ms = (lo, hi);
+        any = true;
+    }
+    if let Some(p) = rate("--fault-disconnect") {
+        config.disconnect = p;
+        any = true;
+    }
+    any.then_some(config)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -126,15 +205,30 @@ fn main() {
         })
         .unwrap_or_default();
 
+    let fault = parse_fault_flags(&args);
     println!(
         "starting router: AS {local_as}, {} BGP peer(s), 3 processes (bgp, rib, fea)",
         peers.len()
     );
+    if let Some(cfg) = &fault {
+        println!(
+            "fault injection on: seed={} drop={} dup={} delay={} ({}..{} ms) disconnect={}",
+            cfg.seed,
+            cfg.drop,
+            cfg.duplicate,
+            cfg.delay,
+            cfg.delay_ms.0,
+            cfg.delay_ms.1,
+            cfg.disconnect
+        );
+    }
     let router = MultiProcessRouter::new(RouterOptions {
         local_as,
         peers: peers.clone(),
         peer_policies,
         consistency_check: false,
+        fault,
+        retry: None, // defaults to RetryPolicy::default() when fault is set
     });
 
     // Static routes from the config go in via the RIB (through BGP's

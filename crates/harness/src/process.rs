@@ -3,9 +3,14 @@
 
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use xorp_event::{EventLoop, EventSender};
 use xorp_xrl::{Finder, XrlRouter};
+
+/// How often each process verifies its Finder registrations (and repairs
+/// them after a Finder restart).
+const WATCHDOG_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Handle to a running process.
 pub struct Process {
@@ -34,6 +39,9 @@ impl Process {
                 let router = XrlRouter::new(&mut el, finder);
                 router.enable_tcp().expect("enable tcp");
                 setup(&mut el, &router);
+                // Survive a Finder restart: re-register targets and watches
+                // the Finder forgot (§6.2 recovery).
+                router.start_watchdog(&mut el, WATCHDOG_INTERVAL);
                 tx.send(el.sender()).expect("report sender");
                 el.run();
                 router.shutdown(&mut el);

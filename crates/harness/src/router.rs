@@ -25,7 +25,7 @@ use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
 use xorp_profiler::{points, Profiler};
 use xorp_rib::Rib;
 use xorp_stages::RouteOp;
-use xorp_xrl::{Finder, Xrl, XrlArgs, XrlRouter};
+use xorp_xrl::{FaultConfig, Finder, RetryPolicy, Xrl, XrlArgs, XrlRouter};
 
 use crate::process::Process;
 use crate::workload::BackboneRoute;
@@ -59,6 +59,11 @@ pub struct RouterOptions {
     pub peer_policies: std::collections::HashMap<u32, PeerPolicy>,
     /// Splice consistency-checking cache stages (debug configuration).
     pub consistency_check: bool,
+    /// Deterministic fault plan for every process's outgoing XRL frames.
+    pub fault: Option<FaultConfig>,
+    /// Request timeout/retransmission policy.  Defaults on whenever `fault`
+    /// is set (a lossy plan without retries just hangs callers).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for RouterOptions {
@@ -68,6 +73,8 @@ impl Default for RouterOptions {
             peers: vec![(1, 65001), (2, 65002)],
             peer_policies: Default::default(),
             consistency_check: false,
+            fault: None,
+            retry: None,
         }
     }
 }
@@ -78,7 +85,7 @@ pub struct MultiProcessRouter {
     pub profiler: Profiler,
     /// The broker.
     pub finder: Finder,
-    bgp: Process,
+    bgp: Option<Process>,
     _rib: Process,
     _fea: Process,
 }
@@ -152,9 +159,24 @@ impl MultiProcessRouter {
         let finder = Finder::new();
         let profiler = Profiler::new();
 
+        // Every process gets the same fault plan and retry policy; fault
+        // decision streams still diverge per lane (peer address).
+        let fault = options.fault.clone();
+        let retry = options
+            .retry
+            .or_else(|| fault.as_ref().map(|_| RetryPolicy::default()));
+        let apply_knobs = move |router: &XrlRouter| {
+            if let Some(cfg) = &fault {
+                router.set_fault_plan(cfg.clone());
+            }
+            router.set_retry_policy(retry);
+        };
+
         // ---- FEA process ----------------------------------------------------
         let fea_profiler = profiler.clone();
+        let knobs = apply_knobs.clone();
         let fea = Process::spawn("fea", finder.clone(), move |el, router| {
+            knobs(router);
             let mut fea = Fea::new();
             fea.configure_interface(test_iface("eth0", "192.168.0.1", 16));
             fea.set_profiler(fea_profiler.clone());
@@ -200,9 +222,21 @@ impl MultiProcessRouter {
         // ---- RIB process ----------------------------------------------------
         let rib_profiler = profiler.clone();
         let check = options.consistency_check;
+        let knobs = apply_knobs.clone();
         let rib = Process::spawn("rib", finder.clone(), move |el, router| {
+            knobs(router);
             let rib = Rc::new(RefCell::new(Rib::<Ipv4Addr>::new(check)));
             el.set_slot(RibSlot(rib.clone()));
+
+            // §4.1: "if a routing protocol dies, the RIB will deregister all
+            // the routes that protocol had registered" — driven by the
+            // Finder's lifetime events for the bgp class.
+            let r = rib.clone();
+            router.watch_class("bgp", move |el, ev| {
+                if !ev.up {
+                    r.borrow_mut().clear_protocol(el, ProtocolId::Ebgp);
+                }
+            });
 
             // Output: install into the FEA over XRLs (points 5 and 6).
             let profiler = rib_profiler.clone();
@@ -320,7 +354,9 @@ impl MultiProcessRouter {
         let peers = options.peers.clone();
         let peer_policies = options.peer_policies.clone();
         let local_as = options.local_as;
+        let knobs = apply_knobs.clone();
         let bgp = Process::spawn("bgp", finder.clone(), move |el, router| {
+            knobs(router);
             let config = BgpConfig {
                 local_as: xorp_net::AsNum(local_as),
                 router_id: "10.255.0.1".parse().unwrap(),
@@ -390,15 +426,36 @@ impl MultiProcessRouter {
         MultiProcessRouter {
             profiler,
             finder,
-            bgp,
+            bgp: Some(bgp),
             _rib: rib,
             _fea: fea,
         }
     }
 
+    /// Kill the BGP process, as a fault test would: its router deregisters
+    /// from the Finder, whose death notification drives the RIB's §4.1
+    /// route flush.  No-op if already dead.
+    pub fn kill_bgp(&mut self) {
+        if let Some(bgp) = self.bgp.take() {
+            bgp.stop();
+        }
+    }
+
+    /// Whether the BGP process is still running.
+    pub fn bgp_alive(&self) -> bool {
+        self.bgp.is_some()
+    }
+
+    /// Simulate the Finder dying and restarting empty.  Each process's
+    /// watchdog re-registers its targets and watches within its next tick.
+    pub fn kill_finder(&self) {
+        self.finder.clear();
+    }
+
     /// Feed an UPDATE to a peer (runs on the BGP loop).
     pub fn apply_update(&self, peer: u32, update: UpdateIn<Ipv4Addr>) {
-        self.bgp.post(move |el| {
+        let bgp = self.bgp.as_ref().expect("bgp process running");
+        bgp.post(move |el| {
             let slot = el.slot::<BgpSlot>().expect("bgp slot").0.clone();
             slot.borrow_mut().apply_update(el, PeerId(peer), update);
         });
@@ -460,11 +517,14 @@ impl MultiProcessRouter {
 
     /// BGP PeerIn route count across peers.
     pub fn bgp_route_count(&self) -> usize {
-        self.bgp.call(|el| {
-            el.slot::<BgpSlot>()
-                .map(|s| s.0.borrow().route_count())
-                .unwrap_or(0)
-        })
+        match &self.bgp {
+            Some(bgp) => bgp.call(|el| {
+                el.slot::<BgpSlot>()
+                    .map(|s| s.0.borrow().route_count())
+                    .unwrap_or(0)
+            }),
+            None => 0,
+        }
     }
 
     /// Consistency violations from the RIB's cache stage, if enabled.
@@ -490,7 +550,9 @@ impl MultiProcessRouter {
 
     /// Shut the router down.
     pub fn stop(self) {
-        self.bgp.stop();
+        if let Some(bgp) = self.bgp {
+            bgp.stop();
+        }
         self._rib.stop();
         self._fea.stop();
     }

@@ -27,6 +27,8 @@ pub enum XrlError {
     BadFrame(String),
     /// The target process went away before replying.
     TargetDied,
+    /// The request exhausted its retry budget without a response.
+    Timeout,
 }
 
 impl fmt::Display for XrlError {
@@ -42,6 +44,7 @@ impl fmt::Display for XrlError {
             XrlError::CommandFailed(s) => write!(f, "command failed: {s}"),
             XrlError::BadFrame(s) => write!(f, "bad frame: {s}"),
             XrlError::TargetDied => write!(f, "target died"),
+            XrlError::Timeout => write!(f, "request timed out"),
         }
     }
 }
@@ -62,6 +65,7 @@ impl XrlError {
             XrlError::CommandFailed(_) => 8,
             XrlError::BadFrame(_) => 9,
             XrlError::TargetDied => 10,
+            XrlError::Timeout => 11,
         }
     }
 
@@ -76,6 +80,7 @@ impl XrlError {
             7 => XrlError::Transport(msg),
             8 => XrlError::CommandFailed(msg),
             10 => XrlError::TargetDied,
+            11 => XrlError::Timeout,
             _ => XrlError::BadFrame(msg),
         }
     }
@@ -97,6 +102,7 @@ mod tests {
             XrlError::Transport("t".into()),
             XrlError::CommandFailed("c".into()),
             XrlError::TargetDied,
+            XrlError::Timeout,
         ];
         for e in errors {
             let msg = match &e {

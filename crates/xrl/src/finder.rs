@@ -257,12 +257,29 @@ impl Finder {
 
     /// Verify an (instance, key) pair — receivers call this on first
     /// contact if they want Finder confirmation rather than local key state.
+    /// Routers also use it from their watchdog to detect that the Finder
+    /// forgot them (a restart) and must be re-registered.
     pub fn check_key(&self, instance: &str, key: &[u8; 16]) -> bool {
         self.inner
             .lock()
             .instances
             .get(instance)
             .is_some_and(|r| &r.key == key)
+    }
+
+    /// Simulate the Finder process dying and restarting with empty state:
+    /// every registration and lifetime watch is forgotten, and all resolve
+    /// caches are flushed (a restarted Finder knows nothing, so clients
+    /// must not act on stale resolutions).  Cache-holder hooks survive —
+    /// they model the clients' connections to the *new* Finder, which each
+    /// router's watchdog uses to re-register (see
+    /// [`crate::router::XrlRouter::start_watchdog`]).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.instances.clear();
+        inner.classes.clear();
+        inner.watchers.clear();
+        Self::flush_all_caches(&mut inner);
     }
 
     // ----- loop hooks ------------------------------------------------------
@@ -299,6 +316,16 @@ impl Finder {
             .lock()
             .watchers
             .retain(|(id, _, _)| *id != watch_id);
+    }
+
+    /// Whether a watch id is still known — false after [`Finder::clear`],
+    /// which is the watchdog's cue to re-establish it.
+    pub(crate) fn has_watch(&self, watch_id: u64) -> bool {
+        self.inner
+            .lock()
+            .watchers
+            .iter()
+            .any(|(id, _, _)| *id == watch_id)
     }
 
     fn notify(inner: &mut FinderInner, class: &str, instance: &str, up: bool) {

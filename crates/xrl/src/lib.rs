@@ -28,6 +28,7 @@
 
 pub mod atom;
 pub mod error;
+pub mod fault;
 pub mod finder;
 pub mod idl;
 pub mod marshal;
@@ -39,10 +40,11 @@ pub mod xrl;
 
 pub use atom::{AtomType, AtomValue, XrlArgs, XrlAtom};
 pub use error::XrlError;
+pub use fault::{FaultAction, FaultConfig, FaultEvent, FaultPlan};
 pub use finder::{Finder, LifetimeEvent, ResolveEntry};
 pub use idl::{Interface, MethodSig};
 pub use proxy::{ArgConstraint, MethodPolicy, XrlProxy};
-pub use router::{Responder, ResponseCb, XrlRouter};
+pub use router::{Responder, ResponseCb, RetryPolicy, TransportPref, XrlRouter};
 pub use xrl::{Xrl, XrlPath};
 
 /// Result of an XRL dispatch: the response atoms or a transport/dispatch

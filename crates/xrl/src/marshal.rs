@@ -9,7 +9,7 @@
 //! ```text
 //! u32  length of remainder
 //! u8   kind (0 = request, 1 = response, 2 = kill)
-//! request:  u64 seq | str target | [u8;16] key | str path | args
+//! request:  u64 seq | u64 sender | str target | [u8;16] key | str path | args
 //! response: u64 seq | u8 code (0 = ok) | str errmsg | args
 //! kill:     u32 signal
 //! str:      u16 len | bytes
@@ -28,6 +28,10 @@ pub enum Frame {
     Request {
         /// Correlation id, chosen by the sender.
         seq: u64,
+        /// The sending router's id.  Together with `seq` this identifies a
+        /// request end-to-end, so receivers can deduplicate retransmissions
+        /// and replay the cached response instead of re-dispatching.
+        sender: u64,
         /// Target instance name on the receiving router.
         target: String,
         /// The 16-byte method key issued at registration (§7).
@@ -257,6 +261,7 @@ impl Frame {
         match self {
             Frame::Request {
                 seq,
+                sender,
                 target,
                 key,
                 path,
@@ -264,6 +269,7 @@ impl Frame {
             } => {
                 body.put_u8(KIND_REQUEST);
                 body.put_u64(*seq);
+                body.put_u64(*sender);
                 put_str(&mut body, target);
                 body.put_slice(key);
                 put_str(&mut body, path);
@@ -304,10 +310,11 @@ impl Frame {
         }
         match buf.get_u8() {
             KIND_REQUEST => {
-                if buf.remaining() < 8 {
+                if buf.remaining() < 16 {
                     return Err(XrlError::BadFrame("truncated request".into()));
                 }
                 let seq = buf.get_u64();
+                let sender = buf.get_u64();
                 let target = get_str(&mut buf)?;
                 if buf.remaining() < 16 {
                     return Err(XrlError::BadFrame("truncated key".into()));
@@ -318,6 +325,7 @@ impl Frame {
                 let args = get_args(&mut buf)?;
                 Ok(Frame::Request {
                     seq,
+                    sender,
                     target,
                     key,
                     path,
@@ -386,6 +394,7 @@ mod tests {
     fn request_roundtrip() {
         roundtrip(Frame::Request {
             seq: 42,
+            sender: 7,
             target: "bgp".into(),
             key: [7u8; 16],
             path: "bgp/1.0/set_local_as".into(),
@@ -430,6 +439,7 @@ mod tests {
     fn all_atom_types_roundtrip() {
         roundtrip(Frame::Request {
             seq: 1,
+            sender: 2,
             target: "t".into(),
             key: [0u8; 16],
             path: "i/1.0/m".into(),
@@ -454,6 +464,7 @@ mod tests {
     fn truncated_frames_rejected() {
         let f = Frame::Request {
             seq: 1,
+            sender: 2,
             target: "t".into(),
             key: [0u8; 16],
             path: "i/1.0/m".into(),

@@ -9,6 +9,25 @@
 //! All dispatch happens on the loop thread; reader threads only post
 //! decoded frames.  The router is a cheap `Rc` handle, stored in the loop's
 //! type slot so cross-thread closures can find it.
+//!
+//! # Failure handling
+//!
+//! Remote transports can lose, duplicate, delay, or reorder frames — in
+//! production because processes crash and sockets reset, in tests because a
+//! [`FaultPlan`] injects those faults deterministically.  The router makes
+//! request dispatch *exactly-once* in the face of all of that:
+//!
+//! * every outgoing frame funnels through one chokepoint
+//!   ([`XrlRouter::transport_write`]) where the optional fault plan taps it;
+//! * a configured [`RetryPolicy`] arms a timeout per remote request and
+//!   retransmits it — same sequence number — with exponential backoff until
+//!   a response arrives or the attempt budget is spent
+//!   ([`XrlError::Timeout`]);
+//! * receivers deduplicate requests on `(sender, seq)`: a retransmission of
+//!   a request whose handler already ran gets the *cached* response
+//!   replayed instead of a second dispatch;
+//! * duplicate responses are dropped by the existing correlation map (the
+//!   pending entry is gone after the first).
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -16,16 +35,18 @@ use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use xorp_event::{EventLoop, EventSender};
+use xorp_event::{EventLoop, EventSender, TimerHandle};
 
 use crate::atom::XrlArgs;
 use crate::error::XrlError;
+use crate::fault::{FaultAction, FaultConfig, FaultPlan};
 use crate::finder::{Endpoint, Finder, LifetimeEvent, ResolveEntry};
 use crate::marshal::Frame;
 use crate::transport::{
-    spawn_tcp_listener, spawn_tcp_reader, spawn_udp, tcp_write, udp_write, wake_listener,
-    SharedStream,
+    spawn_tcp_listener, spawn_tcp_reader, spawn_udp, SharedStream, TcpReplyTransport, TcpTransport,
+    Transport, UdpTransport,
 };
 use crate::xrl::Xrl;
 use crate::XrlResult;
@@ -51,6 +72,40 @@ pub enum TransportPref {
     Udp,
 }
 
+/// Timeout-and-retransmit policy for remote requests.  `None` (the router
+/// default) preserves the original fire-and-wait behaviour: a request with
+/// no response waits until its connection dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total transmission attempts, including the first.
+    pub max_attempts: u32,
+    /// Timeout for the first attempt; doubles per retry.
+    pub base_timeout: Duration,
+    /// Backoff cap.
+    pub max_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_timeout: Duration::from_millis(100),
+            max_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout armed for transmission attempt `attempt` (1-based):
+    /// `base * 2^(attempt-1)`, capped at `max_timeout`.
+    fn timeout_for(&self, attempt: u32) -> Duration {
+        let factor = 2u32.saturating_pow(attempt.saturating_sub(1));
+        self.base_timeout
+            .saturating_mul(factor)
+            .min(self.max_timeout)
+    }
+}
+
 /// How a reply travels back to the caller.
 pub enum ReplyPath {
     /// Caller is on this same loop; complete through the local router.
@@ -66,40 +121,54 @@ pub enum ReplyPath {
     },
 }
 
+/// The transport a reply (or cached-response replay) should travel on.
+fn reply_transport(path: &ReplyPath) -> Option<Rc<dyn Transport>> {
+    match path {
+        ReplyPath::Local => None,
+        ReplyPath::Tcp(stream) => Some(Rc::new(TcpReplyTransport {
+            stream: stream.clone(),
+        })),
+        ReplyPath::Udp { socket, peer } => Some(Rc::new(UdpTransport {
+            socket: socket.clone(),
+            peer: *peer,
+        })),
+    }
+}
+
 /// Capability to answer one in-flight XRL.  Handlers may reply immediately
 /// or stash the responder and reply later — the asynchronous messaging the
 /// paper's event-driven design requires (§6).
 pub struct Responder {
     router: XrlRouter,
     seq: u64,
+    /// `(sender, seq)` of the remote request this answers, for the
+    /// receiver-side dedup cache.  `None` for local dispatch.
+    origin: Option<(u64, u64)>,
     path: ReplyPath,
 }
 
 impl Responder {
     /// Send the result back to the caller.
     pub fn reply(self, el: &mut EventLoop, result: XrlResult) {
-        match self.path {
-            ReplyPath::Local => {
-                self.router.complete(el, self.seq, result);
+        let Responder {
+            router,
+            seq,
+            origin,
+            path,
+        } = self;
+        if let Some(key) = origin {
+            // Cache the outcome so a retransmission of this request replays
+            // the response instead of re-running the handler.
+            let mut inner = router.inner.borrow_mut();
+            if let Some(state) = inner.dedup.get_mut(&key) {
+                *state = DedupState::Done(result.clone());
             }
-            ReplyPath::Tcp(stream) => {
-                let _ = tcp_write(
-                    &stream,
-                    &Frame::Response {
-                        seq: self.seq,
-                        result,
-                    },
-                );
-            }
-            ReplyPath::Udp { socket, peer } => {
-                let _ = udp_write(
-                    &socket,
-                    peer,
-                    &Frame::Response {
-                        seq: self.seq,
-                        result,
-                    },
-                );
+        }
+        match path {
+            ReplyPath::Local => router.complete(el, seq, result),
+            remote => {
+                let transport = reply_transport(&remote).expect("remote reply path");
+                let _ = router.transport_write(el, transport, &Frame::Response { seq, result });
             }
         }
     }
@@ -119,10 +188,34 @@ enum Via {
     Udp(SocketAddr),
 }
 
+/// One request awaiting its response.
+struct Pending {
+    cb: ResponseCb,
+    via: Via,
+    /// Transmission attempts made so far (1 after the initial send).
+    attempt: u32,
+    /// The armed timeout, when a [`RetryPolicy`] is configured.
+    timer: Option<TimerHandle>,
+    /// Retransmission copy of the request frame (remote vias only).
+    frame: Option<Frame>,
+}
+
+/// Receiver-side state for one `(sender, seq)` request identity.
+enum DedupState {
+    /// Handler dispatched, no reply yet: drop retransmissions, the reply
+    /// will answer the first copy.
+    InFlight,
+    /// Handler replied: replay this to any retransmission.
+    Done(XrlResult),
+}
+
+/// Bound on remembered request identities (FIFO eviction).
+const DEDUP_CAP: usize = 8192;
+
 struct Target {
-    #[allow(dead_code)] // kept for diagnostics and future per-class dispatch
     class: String,
     key: [u8; 16],
+    sole: bool,
     handlers: HashMap<String, Handler>,
 }
 
@@ -152,10 +245,15 @@ struct RouterInner {
     targets: HashMap<String, Target>,
     primary_class: Option<String>,
     next_seq: u64,
-    pending: HashMap<u64, (ResponseCb, Via)>,
+    pending: HashMap<u64, Pending>,
     resolve_cache: HashMap<String, ResolveEntry>,
     tcp: Option<TcpState>,
     udp: Option<UdpState>,
+    fault: Option<FaultPlan>,
+    retry: Option<RetryPolicy>,
+    dedup: HashMap<(u64, u64), DedupState>,
+    dedup_order: VecDeque<(u64, u64)>,
+    watchdog: Option<TimerHandle>,
     #[allow(clippy::type_complexity)]
     lifetime_cbs: Vec<(u64, String, Rc<dyn Fn(&mut EventLoop, &LifetimeEvent)>)>,
     #[allow(clippy::type_complexity)]
@@ -191,6 +289,11 @@ impl XrlRouter {
                 resolve_cache: HashMap::new(),
                 tcp: None,
                 udp: None,
+                fault: None,
+                retry: None,
+                dedup: HashMap::new(),
+                dedup_order: VecDeque::new(),
+                watchdog: None,
                 lifetime_cbs: Vec::new(),
                 kill_handler: None,
                 shut_down: false,
@@ -200,7 +303,8 @@ impl XrlRouter {
         router
     }
 
-    /// This router's unique id (used for intra-process endpoint matching).
+    /// This router's unique id (used for intra-process endpoint matching
+    /// and as the sender id on request frames).
     pub fn router_id(&self) -> u64 {
         self.inner.borrow().router_id
     }
@@ -208,6 +312,38 @@ impl XrlRouter {
     /// The Finder this router talks to.
     pub fn finder(&self) -> Finder {
         self.inner.borrow().finder.clone()
+    }
+
+    // ----- failure-handling knobs -------------------------------------------
+
+    /// Install a deterministic fault plan on this router's *outgoing*
+    /// frames (requests and responses alike).  Replaces any existing plan.
+    pub fn set_fault_plan(&self, config: FaultConfig) {
+        self.inner.borrow_mut().fault = Some(FaultPlan::new(config));
+    }
+
+    /// Remove and return the fault plan (with its accumulated trace).
+    pub fn take_fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.borrow_mut().fault.take()
+    }
+
+    /// Render the fault plan's decision trace, if a plan is installed.
+    /// This is what tests dump on failure so a run is reproducible from the
+    /// log alone.
+    pub fn fault_report(&self) -> Option<String> {
+        self.inner.borrow().fault.as_ref().map(|p| p.render_trace())
+    }
+
+    /// Counts of fault decisions so far: (delivered, dropped, duplicated,
+    /// delayed, disconnected).
+    pub fn fault_summary(&self) -> Option<(usize, usize, usize, usize, usize)> {
+        self.inner.borrow().fault.as_ref().map(|p| p.summary())
+    }
+
+    /// Configure request timeouts and retransmission.  `None` (the
+    /// default) keeps requests pending until their transport dies.
+    pub fn set_retry_policy(&self, policy: Option<RetryPolicy>) {
+        self.inner.borrow_mut().retry = policy;
     }
 
     // ----- transports ------------------------------------------------------
@@ -249,22 +385,26 @@ impl XrlRouter {
 
     // ----- targets and handlers ---------------------------------------------
 
+    /// The endpoints a registration should advertise right now.
+    fn current_endpoints(&self) -> Vec<Endpoint> {
+        let inner = self.inner.borrow();
+        let mut eps = vec![Endpoint::Intra {
+            router_id: inner.router_id,
+        }];
+        if let Some(t) = &inner.tcp {
+            eps.push(Endpoint::Tcp(t.listen_addr.expect("listener up")));
+        }
+        if let Some(u) = &inner.udp {
+            eps.push(Endpoint::Udp(u.local_addr));
+        }
+        eps
+    }
+
     /// Register a component instance of `class` with the Finder,
     /// advertising every enabled transport plus intra-process dispatch.
     pub fn register_target(&self, class: &str, instance: &str, sole: bool) -> Result<(), XrlError> {
-        let (endpoints, finder) = {
-            let inner = self.inner.borrow();
-            let mut eps = vec![Endpoint::Intra {
-                router_id: inner.router_id,
-            }];
-            if let Some(t) = &inner.tcp {
-                eps.push(Endpoint::Tcp(t.listen_addr.expect("listener up")));
-            }
-            if let Some(u) = &inner.udp {
-                eps.push(Endpoint::Udp(u.local_addr));
-            }
-            (eps, inner.finder.clone())
-        };
+        let endpoints = self.current_endpoints();
+        let finder = self.inner.borrow().finder.clone();
         let key = finder.register(class, instance, endpoints, sole)?;
         let mut inner = self.inner.borrow_mut();
         if inner.primary_class.is_none() {
@@ -275,6 +415,7 @@ impl XrlRouter {
             Target {
                 class: class.to_string(),
                 key,
+                sole,
                 handlers: HashMap::new(),
             },
         );
@@ -312,6 +453,83 @@ impl XrlRouter {
         F: Fn(&mut EventLoop, u32) + 'static,
     {
         self.inner.borrow_mut().kill_handler = Some(Rc::new(f));
+    }
+
+    // ----- finder liveness --------------------------------------------------
+
+    /// Start a watchdog that re-registers this router's targets and
+    /// lifetime watches if the Finder loses them — the paper's recovery
+    /// story when the Finder process restarts (§6.2: components must
+    /// re-register so the system converges back).  Returns the timer
+    /// handle; [`XrlRouter::shutdown`] cancels it.
+    pub fn start_watchdog(&self, el: &mut EventLoop, interval: Duration) -> TimerHandle {
+        if let Some(old) = self.inner.borrow_mut().watchdog.take() {
+            el.cancel(old);
+        }
+        let router = self.clone();
+        let handle = el.every(interval, move |el| router.watchdog_tick(el));
+        self.inner.borrow_mut().watchdog = Some(handle);
+        handle
+    }
+
+    /// One watchdog pass: verify every registration and watch, repairing
+    /// what the Finder no longer knows.
+    fn watchdog_tick(&self, _el: &mut EventLoop) {
+        let (finder, router_id, targets) = {
+            let inner = self.inner.borrow();
+            if inner.shut_down {
+                return;
+            }
+            (
+                inner.finder.clone(),
+                inner.router_id,
+                inner
+                    .targets
+                    .iter()
+                    .map(|(i, t)| (i.clone(), t.class.clone(), t.key, t.sole))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut repaired = false;
+        for (instance, class, key, sole) in targets {
+            if finder.check_key(&instance, &key) {
+                continue;
+            }
+            // Registration gone (or key superseded): re-register with fresh
+            // endpoints and adopt the new key.
+            let endpoints = self.current_endpoints();
+            if let Ok(new_key) = finder.register(&class, &instance, endpoints, sole) {
+                if let Some(t) = self.inner.borrow_mut().targets.get_mut(&instance) {
+                    t.key = new_key;
+                }
+                repaired = true;
+            }
+        }
+        // Lifetime watches are state in the Finder too; restore any it lost.
+        let watches: Vec<(u64, String)> = self
+            .inner
+            .borrow()
+            .lifetime_cbs
+            .iter()
+            .map(|(id, class, _)| (*id, class.clone()))
+            .collect();
+        for (id, class) in watches {
+            if finder.has_watch(id) {
+                continue;
+            }
+            let sender = self.inner.borrow().sender.clone();
+            let new_id = finder.watch_class(&class, router_id, sender);
+            for entry in self.inner.borrow_mut().lifetime_cbs.iter_mut() {
+                if entry.0 == id {
+                    entry.0 = new_id;
+                }
+            }
+            repaired = true;
+        }
+        if repaired {
+            // Everyone's endpoints may have changed across the restart.
+            self.inner.borrow_mut().resolve_cache.clear();
+        }
     }
 
     // ----- sending ----------------------------------------------------------
@@ -377,7 +595,16 @@ impl XrlRouter {
             let mut inner = self.inner.borrow_mut();
             let seq = inner.next_seq;
             inner.next_seq += 1;
-            inner.pending.insert(seq, (cb, via));
+            inner.pending.insert(
+                seq,
+                Pending {
+                    cb,
+                    via,
+                    attempt: 1,
+                    timer: None,
+                    frame: None,
+                },
+            );
             seq
         };
 
@@ -390,31 +617,51 @@ impl XrlRouter {
                 let key = entry.key;
                 let args = xrl.args;
                 el.defer(move |el| {
-                    router.dispatch(el, seq, &instance, key, &path, &args, ReplyPath::Local);
+                    router.dispatch(
+                        el,
+                        seq,
+                        my_id,
+                        &instance,
+                        key,
+                        &path,
+                        &args,
+                        ReplyPath::Local,
+                    );
                 });
             }
             Via::Tcp(addr) => {
                 let frame = Frame::Request {
                     seq,
+                    sender: my_id,
                     target: entry.instance.clone(),
                     key: entry.key,
                     path,
                     args: xrl.args,
                 };
-                if let Err(e) = self.tcp_send(addr, &frame) {
-                    self.fail_pending(el, seq, e);
+                match self.tcp_stream(addr) {
+                    Ok(stream) => {
+                        let transport: Rc<dyn Transport> =
+                            Rc::new(TcpTransport { stream, peer: addr });
+                        match self.transport_write(el, transport, &frame) {
+                            Ok(()) => self.arm_retry(el, seq, frame),
+                            Err(e) => self.write_failed(el, seq, Some(addr), frame, e),
+                        }
+                    }
+                    Err(e) => self.write_failed(el, seq, Some(addr), frame, e),
                 }
             }
             Via::Udp(addr) => {
                 let frame = Frame::Request {
                     seq,
+                    sender: my_id,
                     target: entry.instance.clone(),
                     key: entry.key,
                     path,
                     args: xrl.args,
                 };
-                if let Err(e) = self.udp_send_or_queue(addr, frame) {
-                    self.fail_pending(el, seq, e);
+                match self.udp_send_or_queue(el, addr, frame.clone()) {
+                    Ok(()) => self.arm_retry(el, seq, frame),
+                    Err(e) => self.write_failed(el, seq, None, frame, e),
                 }
             }
         }
@@ -445,9 +692,69 @@ impl XrlRouter {
         Ok(entry)
     }
 
-    fn tcp_send(&self, addr: SocketAddr, frame: &Frame) -> Result<(), XrlError> {
-        // Reuse or establish the connection.
-        let stream = {
+    // ----- the write chokepoint ---------------------------------------------
+
+    /// Write one frame through the (optional) fault plan.  *Every* remote
+    /// frame this router emits — request, retransmission, response, kill —
+    /// passes through here, so injected faults apply uniformly.
+    ///
+    /// A dropped frame reports `Ok`: silent loss is precisely the failure
+    /// mode being modelled, and the retry machinery (not the caller) is
+    /// responsible for noticing.
+    fn transport_write(
+        &self,
+        el: &mut EventLoop,
+        transport: Rc<dyn Transport>,
+        frame: &Frame,
+    ) -> Result<(), XrlError> {
+        let actions = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.fault.as_mut() {
+                None => return transport.send_frame(frame),
+                Some(plan) => plan.decide(&transport.lane()),
+            }
+        };
+        let dropped = actions.contains(&FaultAction::Drop);
+        let duplicate = actions.contains(&FaultAction::Duplicate);
+        let delay = actions.iter().find_map(|a| match a {
+            FaultAction::Delay(d) => Some(*d),
+            _ => None,
+        });
+        let disconnect = actions.contains(&FaultAction::Disconnect);
+
+        let mut result = Ok(());
+        if !dropped {
+            match delay {
+                None => {
+                    result = transport.send_frame(frame);
+                    if duplicate {
+                        let _ = transport.send_frame(frame);
+                    }
+                }
+                Some(d) => {
+                    // The frame itself is held back (reordering past
+                    // anything sent meanwhile); a duplicate, if any, still
+                    // goes now.
+                    if duplicate {
+                        result = transport.send_frame(frame);
+                    }
+                    let t = transport.clone();
+                    let f = frame.clone();
+                    el.after(d, move |_el| {
+                        let _ = t.send_frame(&f);
+                    });
+                }
+            }
+        }
+        if disconnect {
+            transport.sever();
+        }
+        result
+    }
+
+    /// Reuse or establish the TCP connection to `addr`.
+    fn tcp_stream(&self, addr: SocketAddr) -> Result<SharedStream, XrlError> {
+        let existing = {
             let inner = self.inner.borrow();
             let tcp = inner
                 .tcp
@@ -455,8 +762,8 @@ impl XrlRouter {
                 .ok_or_else(|| XrlError::Transport("tcp family not enabled".into()))?;
             tcp.conns.get(&addr).cloned()
         };
-        let stream = match stream {
-            Some(s) => s,
+        match existing {
+            Some(s) => Ok(s),
             None => {
                 let raw = TcpStream::connect(addr)
                     .map_err(|e| XrlError::Transport(format!("connect {addr}: {e}")))?;
@@ -470,36 +777,171 @@ impl XrlRouter {
                     .expect("tcp enabled")
                     .conns
                     .insert(addr, shared.clone());
-                shared
+                Ok(shared)
             }
-        };
-        tcp_write(&stream, frame)
+        }
     }
 
     /// UDP is deliberately unpipelined (§8.1): at most one outstanding
     /// request per peer; later requests queue until the response arrives.
-    fn udp_send_or_queue(&self, addr: SocketAddr, frame: Frame) -> Result<(), XrlError> {
-        let mut inner = self.inner.borrow_mut();
-        let udp = inner
-            .udp
-            .as_mut()
-            .ok_or_else(|| XrlError::Transport("udp family not enabled".into()))?;
-        let socket = udp.socket.clone();
-        let q = udp.queues.entry(addr).or_default();
-        if q.in_flight {
-            q.queue.push_back(frame);
-            Ok(())
-        } else {
+    fn udp_send_or_queue(
+        &self,
+        el: &mut EventLoop,
+        addr: SocketAddr,
+        frame: Frame,
+    ) -> Result<(), XrlError> {
+        let socket = {
+            let mut inner = self.inner.borrow_mut();
+            let udp = inner
+                .udp
+                .as_mut()
+                .ok_or_else(|| XrlError::Transport("udp family not enabled".into()))?;
+            let q = udp.queues.entry(addr).or_default();
+            if q.in_flight {
+                q.queue.push_back(frame);
+                return Ok(());
+            }
             q.in_flight = true;
-            drop(inner);
-            udp_write(&socket, addr, &frame)
+            udp.socket.clone()
+        };
+        let transport: Rc<dyn Transport> = Rc::new(UdpTransport { socket, peer: addr });
+        self.transport_write(el, transport, &frame)
+    }
+
+    /// Arm the timeout for a just-sent (or just-queued) remote request,
+    /// remembering the frame for retransmission.  No-op without a policy.
+    fn arm_retry(&self, el: &mut EventLoop, seq: u64, frame: Frame) {
+        let Some(policy) = self.inner.borrow().retry else {
+            return;
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            let Some(p) = inner.pending.get_mut(&seq) else {
+                return; // already failed or completed
+            };
+            p.frame = Some(frame);
+        }
+        self.arm_timeout(el, seq, policy);
+    }
+
+    /// (Re-)arm the backoff timeout for `seq`'s current attempt number.
+    fn arm_timeout(&self, el: &mut EventLoop, seq: u64, policy: RetryPolicy) {
+        let attempt = match self.inner.borrow().pending.get(&seq) {
+            Some(p) => p.attempt,
+            None => return,
+        };
+        let router = self.clone();
+        let handle = el.after(policy.timeout_for(attempt), move |el| {
+            router.on_timeout(el, seq)
+        });
+        if let Some(p) = self.inner.borrow_mut().pending.get_mut(&seq) {
+            if let Some(old) = p.timer.replace(handle) {
+                el.cancel(old);
+            }
         }
     }
 
-    fn fail_pending(&self, el: &mut EventLoop, seq: u64, err: XrlError) {
-        if let Some((cb, _)) = self.inner.borrow_mut().pending.remove(&seq) {
-            cb(el, Err(err));
+    /// A request's timeout fired: retransmit with the *same* sequence
+    /// number (so a late response to any copy still correlates, and the
+    /// receiver can dedup), or give up with [`XrlError::Timeout`].
+    fn on_timeout(&self, el: &mut EventLoop, seq: u64) {
+        let Some(policy) = self.inner.borrow().retry else {
+            return;
+        };
+        let retry = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(p) = inner.pending.get_mut(&seq) else {
+                return; // answered in the meantime
+            };
+            p.timer = None;
+            if p.attempt >= policy.max_attempts {
+                None
+            } else {
+                p.attempt += 1;
+                Some((p.via, p.frame.clone()))
+            }
+        };
+        match retry {
+            None => self.fail_pending(el, seq, XrlError::Timeout),
+            Some((via, Some(frame))) => {
+                let written = match via {
+                    Via::Intra => Ok(()),
+                    Via::Tcp(addr) => self.tcp_stream(addr).and_then(|stream| {
+                        let t: Rc<dyn Transport> = Rc::new(TcpTransport { stream, peer: addr });
+                        self.transport_write(el, t, &frame)
+                    }),
+                    Via::Udp(addr) => {
+                        // Retransmit directly: the in-flight slot for this
+                        // peer is already ours.
+                        let socket = self.inner.borrow().udp.as_ref().map(|u| u.socket.clone());
+                        match socket {
+                            Some(socket) => {
+                                let t: Rc<dyn Transport> =
+                                    Rc::new(UdpTransport { socket, peer: addr });
+                                self.transport_write(el, t, &frame)
+                            }
+                            None => Err(XrlError::Transport("udp family not enabled".into())),
+                        }
+                    }
+                };
+                match written {
+                    Ok(()) => self.arm_timeout(el, seq, policy),
+                    Err(_) => {
+                        // The write itself failed (dead socket, refused
+                        // connect): treat it like a lost frame — evict any
+                        // dead cached connection and keep backing off until
+                        // the attempt budget is spent.
+                        if let Via::Tcp(addr) = via {
+                            if let Some(tcp) = self.inner.borrow_mut().tcp.as_mut() {
+                                tcp.conns.remove(&addr);
+                            }
+                        }
+                        self.arm_timeout(el, seq, policy);
+                    }
+                }
+            }
+            Some((_, None)) => self.fail_pending(el, seq, XrlError::Timeout),
         }
+    }
+
+    /// A send for `seq` failed at the transport layer (dead socket,
+    /// refused connect).  With a retry policy the failure is just another
+    /// form of frame loss: evict the dead cached connection and let the
+    /// armed timeout retransmit over a fresh one.  Without a policy the
+    /// caller sees the transport error directly.
+    fn write_failed(
+        &self,
+        el: &mut EventLoop,
+        seq: u64,
+        addr: Option<SocketAddr>,
+        frame: Frame,
+        err: XrlError,
+    ) {
+        if let Some(addr) = addr {
+            if let Some(tcp) = self.inner.borrow_mut().tcp.as_mut() {
+                tcp.conns.remove(&addr);
+            }
+        }
+        if self.inner.borrow().retry.is_some() {
+            self.arm_retry(el, seq, frame);
+        } else {
+            self.fail_pending(el, seq, err);
+        }
+    }
+
+    /// Fail one pending request, releasing its timer and UDP slot.
+    fn fail_pending(&self, el: &mut EventLoop, seq: u64, err: XrlError) {
+        let entry = self.inner.borrow_mut().pending.remove(&seq);
+        let Some(p) = entry else {
+            return;
+        };
+        if let Some(t) = p.timer {
+            el.cancel(t);
+        }
+        if let Via::Udp(peer) = p.via {
+            self.udp_pump(el, peer);
+        }
+        (p.cb)(el, Err(err));
     }
 
     // ----- incoming ----------------------------------------------------------
@@ -513,31 +955,68 @@ impl XrlRouter {
         match frame {
             Frame::Request {
                 seq,
+                sender,
                 target,
                 key,
                 path,
                 args,
-            } => router.dispatch(el, seq, &target, key, &path, &args, reply),
+            } => router.dispatch(el, seq, sender, &target, key, &path, &args, reply),
             Frame::Response { seq, result } => router.complete(el, seq, result),
             Frame::Kill { signal } => router.handle_kill(el, signal),
         }
     }
 
-    /// Dispatch an incoming request to the matching handler.
+    /// Dispatch an incoming request to the matching handler, deduplicating
+    /// retransmissions so every request runs its handler exactly once.
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         el: &mut EventLoop,
         seq: u64,
+        sender_id: u64,
         instance: &str,
         key: [u8; 16],
         path: &str,
         args: &XrlArgs,
         reply: ReplyPath,
     ) {
+        // Local dispatch can't be retransmitted; only remote requests carry
+        // a meaningful (sender, seq) identity.
+        let origin = match reply {
+            ReplyPath::Local => None,
+            _ => Some((sender_id, seq)),
+        };
+        if let Some(dedup_key) = origin {
+            let cached = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.dedup.get(&dedup_key) {
+                    Some(DedupState::InFlight) => return, // duplicate; first copy will answer
+                    Some(DedupState::Done(result)) => Some(result.clone()),
+                    None => {
+                        inner.dedup.insert(dedup_key, DedupState::InFlight);
+                        inner.dedup_order.push_back(dedup_key);
+                        while inner.dedup_order.len() > DEDUP_CAP {
+                            if let Some(old) = inner.dedup_order.pop_front() {
+                                inner.dedup.remove(&old);
+                            }
+                        }
+                        None
+                    }
+                }
+            };
+            if let Some(result) = cached {
+                // Retransmission of an already-answered request: replay the
+                // cached response, don't re-run the handler.
+                if let Some(transport) = reply_transport(&reply) {
+                    let _ = self.transport_write(el, transport, &Frame::Response { seq, result });
+                }
+                return;
+            }
+        }
         let responder = Responder {
             router: self.clone(),
             seq,
+            origin,
             path: reply,
         };
         let handler = {
@@ -565,21 +1044,26 @@ impl XrlRouter {
         }
     }
 
-    /// Complete an in-flight request with its response.
+    /// Complete an in-flight request with its response.  Duplicate
+    /// responses find no pending entry and are dropped, never
+    /// double-dispatched.
     pub(crate) fn complete(&self, el: &mut EventLoop, seq: u64, result: XrlResult) {
         let entry = self.inner.borrow_mut().pending.remove(&seq);
-        let Some((cb, via)) = entry else {
-            return; // response for a request we gave up on
+        let Some(p) = entry else {
+            return; // response for a request we gave up on, or a duplicate
         };
-        // UDP flow control: the response frees the peer's slot.
-        if let Via::Udp(peer) = via {
-            self.udp_pump(peer);
+        if let Some(t) = p.timer {
+            el.cancel(t);
         }
-        cb(el, result);
+        // UDP flow control: the response frees the peer's slot.
+        if let Via::Udp(peer) = p.via {
+            self.udp_pump(el, peer);
+        }
+        (p.cb)(el, result);
     }
 
     /// Send the next queued UDP request to `peer`, if any.
-    fn udp_pump(&self, peer: SocketAddr) {
+    fn udp_pump(&self, el: &mut EventLoop, peer: SocketAddr) {
         let (socket, frame) = {
             let mut inner = self.inner.borrow_mut();
             let Some(udp) = inner.udp.as_mut() else {
@@ -600,7 +1084,8 @@ impl XrlRouter {
                 }
             }
         };
-        let _ = udp_write(&socket, peer, &frame);
+        let transport: Rc<dyn Transport> = Rc::new(UdpTransport { socket, peer });
+        let _ = self.transport_write(el, transport, &frame);
     }
 
     fn handle_kill(&self, el: &mut EventLoop, signal: u32) {
@@ -625,15 +1110,28 @@ impl XrlRouter {
                     return Ok(());
                 }
                 Endpoint::Tcp(addr) => {
-                    return self.tcp_send(*addr, &Frame::Kill { signal });
+                    let stream = self.tcp_stream(*addr)?;
+                    let t: Rc<dyn Transport> = Rc::new(TcpTransport {
+                        stream,
+                        peer: *addr,
+                    });
+                    return self.transport_write(el, t, &Frame::Kill { signal });
                 }
                 Endpoint::Udp(addr) => {
-                    let inner = self.inner.borrow();
-                    let udp = inner
-                        .udp
-                        .as_ref()
-                        .ok_or_else(|| XrlError::Transport("udp family not enabled".into()))?;
-                    return udp_write(&udp.socket, *addr, &Frame::Kill { signal });
+                    let socket = {
+                        let inner = self.inner.borrow();
+                        inner
+                            .udp
+                            .as_ref()
+                            .ok_or_else(|| XrlError::Transport("udp family not enabled".into()))?
+                            .socket
+                            .clone()
+                    };
+                    let t: Rc<dyn Transport> = Rc::new(UdpTransport {
+                        socket,
+                        peer: *addr,
+                    });
+                    return self.transport_write(el, t, &Frame::Kill { signal });
                 }
                 Endpoint::Intra { .. } => {}
             }
@@ -643,14 +1141,17 @@ impl XrlRouter {
         )))
     }
 
-    /// A TCP connection died: fail every request in flight on it.
+    /// A TCP connection died: retry requests in flight on it (when a
+    /// [`RetryPolicy`] allows — reconnecting transparently), else fail
+    /// them.
     pub(crate) fn connection_closed(el: &mut EventLoop, stream: &SharedStream) {
         let router = match el.slot::<XrlRouter>() {
             Some(r) => r.clone(),
             None => return,
         };
-        let failed: Vec<u64> = {
+        let (affected, retry_enabled) = {
             let mut inner = router.inner.borrow_mut();
+            let retry_enabled = inner.retry.is_some();
             let Some(tcp) = inner.tcp.as_mut() else {
                 return;
             };
@@ -663,15 +1164,35 @@ impl XrlRouter {
             for a in &dead {
                 tcp.conns.remove(a);
             }
-            inner
+            let affected: Vec<(u64, bool)> = inner
                 .pending
                 .iter()
-                .filter(|(_, (_, via))| matches!(via, Via::Tcp(a) if dead.contains(a)))
-                .map(|(seq, _)| *seq)
-                .collect()
+                .filter(|(_, p)| matches!(p.via, Via::Tcp(a) if dead.contains(&a)))
+                .map(|(seq, p)| (*seq, p.frame.is_some()))
+                .collect();
+            (affected, retry_enabled)
         };
-        for seq in failed {
-            router.fail_pending(el, seq, XrlError::TargetDied);
+        for (seq, has_frame) in affected {
+            if retry_enabled && has_frame {
+                // The dead connection is already evicted; each request's
+                // armed backoff timer will retransmit over a fresh one
+                // (tcp_stream reconnects on demand).  Retransmitting the
+                // whole herd *here* would roll the fault dice for every
+                // pending request at once and cascade.
+                let unarmed = router
+                    .inner
+                    .borrow()
+                    .pending
+                    .get(&seq)
+                    .is_some_and(|p| p.timer.is_none());
+                if unarmed {
+                    if let Some(policy) = router.inner.borrow().retry {
+                        router.arm_timeout(el, seq, policy);
+                    }
+                }
+            } else {
+                router.fail_pending(el, seq, XrlError::TargetDied);
+            }
         }
     }
 
@@ -759,6 +1280,9 @@ impl XrlRouter {
         if already {
             return;
         }
+        if let Some(h) = self.inner.borrow_mut().watchdog.take() {
+            el.cancel(h);
+        }
         let (finder, router_id, instances, watches) = {
             let inner = self.inner.borrow();
             (
@@ -786,13 +1310,11 @@ impl XrlRouter {
             self.fail_pending(el, seq, XrlError::TargetDied);
         }
 
-        // Stop transports.
+        // Stop transports.  The accept thread polls its stop flag, so no
+        // wake-up connection is needed.
         let mut inner = self.inner.borrow_mut();
         if let Some(tcp) = inner.tcp.take() {
             tcp.stop.store(true, Ordering::SeqCst);
-            if let Some(addr) = tcp.listen_addr {
-                wake_listener(addr);
-            }
             for (_, conn) in tcp.conns {
                 let _ = conn.lock().shutdown(std::net::Shutdown::Both);
             }

@@ -30,38 +30,54 @@ pub(crate) type SharedStream = Arc<Mutex<TcpStream>>;
 /// Largest UDP frame we will send; keeps datagrams under the loopback MTU.
 pub(crate) const MAX_UDP_FRAME: usize = 60_000;
 
+/// How often a listener checks its stop flag while no connection is
+/// pending.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(2);
+
 /// Start a TCP listener on an ephemeral localhost port.  Each accepted
 /// connection gets a reader thread that posts its frames to `sender`'s
 /// loop.  Returns the bound address.
+///
+/// The listener runs nonblocking and polls `stop` between accepts, so
+/// shutdown never depends on one more connection arriving to unblock the
+/// thread (the old blocking accept only observed `stop` *after*
+/// `incoming()` yielded).  Transient accept errors — e.g. `ECONNABORTED`
+/// when a peer resets between arrival and accept — no longer kill the
+/// accept loop.
 pub(crate) fn spawn_tcp_listener(
     sender: EventSender,
     stop: Arc<AtomicBool>,
 ) -> std::io::Result<SocketAddr> {
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     std::thread::Builder::new()
         .name(format!("xrl-tcp-accept-{}", addr.port()))
-        .spawn(move || {
-            for conn in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => {
-                        let _ = stream.set_nodelay(true);
-                        spawn_tcp_reader(stream, sender.clone());
+        .spawn(move || loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
                     }
-                    Err(_) => break,
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    spawn_tcp_reader(stream, sender.clone());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => {
+                    // Transient (aborted handshake) or fatal; either way
+                    // check the flag and keep serving.
+                    std::thread::sleep(ACCEPT_POLL);
                 }
             }
         })
         .expect("spawn accept thread");
     Ok(addr)
-}
-
-/// Wake a listener blocked in `accept` so its stop flag is observed.
-pub(crate) fn wake_listener(addr: SocketAddr) {
-    let _ = TcpStream::connect(addr);
 }
 
 /// Spawn the per-connection reader: decodes frames and posts them to the
@@ -172,4 +188,84 @@ pub(crate) fn udp_write(
         .send_to(&bytes, peer)
         .map_err(|e| XrlError::Transport(format!("udp send: {e}")))?;
     Ok(())
+}
+
+// ----- the common transport abstraction ------------------------------------
+
+/// A frame-writing endpoint: one TCP connection or one UDP peer.  The
+/// router writes every outgoing frame through this trait, which is where
+/// the fault-injection layer (see [`crate::fault`]) taps the stream —
+/// faults apply uniformly to every protocol family.
+pub(crate) trait Transport {
+    /// Write one frame toward the peer.
+    fn send_frame(&self, frame: &Frame) -> Result<(), XrlError>;
+
+    /// Label for fault-lane selection and tracing (`tcp:127.0.0.1:5000`).
+    fn lane(&self) -> String;
+
+    /// Forcibly sever the underlying connection, if the family has one.
+    /// Used by the `Disconnect` fault action; UDP has no connection state,
+    /// so it is a no-op there.
+    fn sever(&self) {}
+}
+
+/// One established TCP connection (writable half).
+pub(crate) struct TcpTransport {
+    pub stream: SharedStream,
+    pub peer: SocketAddr,
+}
+
+impl Transport for TcpTransport {
+    fn send_frame(&self, frame: &Frame) -> Result<(), XrlError> {
+        tcp_write(&self.stream, frame)
+    }
+
+    fn lane(&self) -> String {
+        format!("tcp:{}", self.peer)
+    }
+
+    fn sever(&self) {
+        let _ = self.stream.lock().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// One TCP reply path where only the stream is known (server side).
+pub(crate) struct TcpReplyTransport {
+    pub stream: SharedStream,
+}
+
+impl Transport for TcpReplyTransport {
+    fn send_frame(&self, frame: &Frame) -> Result<(), XrlError> {
+        tcp_write(&self.stream, frame)
+    }
+
+    fn lane(&self) -> String {
+        let peer = self
+            .stream
+            .lock()
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "?".into());
+        format!("tcp:{peer}")
+    }
+
+    fn sever(&self) {
+        let _ = self.stream.lock().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// One UDP peer reached through a shared socket.
+pub(crate) struct UdpTransport {
+    pub socket: Arc<UdpSocket>,
+    pub peer: SocketAddr,
+}
+
+impl Transport for UdpTransport {
+    fn send_frame(&self, frame: &Frame) -> Result<(), XrlError> {
+        udp_write(&self.socket, self.peer, frame)
+    }
+
+    fn lane(&self) -> String {
+        format!("udp:{}", self.peer)
+    }
 }

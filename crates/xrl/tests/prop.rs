@@ -68,6 +68,7 @@ proptest! {
     fn frame_binary_roundtrip(args in arb_args(), seq in any::<u64>(), key in any::<[u8; 16]>()) {
         let frame = Frame::Request {
             seq,
+            sender: seq ^ 0x5a5a,
             target: "t".into(),
             key,
             path: "i/1.0/m".into(),
@@ -105,6 +106,7 @@ proptest! {
     fn truncated_frames_error(args in arb_args()) {
         let frame = Frame::Request {
             seq: 7,
+            sender: 3,
             target: "t".into(),
             key: [9u8; 16],
             path: "i/1.0/m".into(),

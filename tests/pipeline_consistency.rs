@@ -70,117 +70,182 @@ fn attrs(peer: u32, path_len: u8) -> Arc<PathAttributes> {
     Arc::new(a)
 }
 
+/// The checked-in proptest regression seed, replayed deterministically:
+/// peer 3 announces a net, then peer 1 (which holds no routes) flaps.
+/// The flap must not disturb peer 3's contribution to the best table.
+#[test]
+fn regression_flap_of_empty_peer_after_foreign_announce() {
+    run_ops(vec![
+        Op::Announce {
+            peer: 3,
+            net_ix: 0,
+            path_len: 1,
+        },
+        Op::Flap { peer: 1 },
+    ]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn pipeline_consistent_under_arbitrary_churn(ops in proptest::collection::vec(arb_op(), 1..120)) {
-        let mut el = EventLoop::new_virtual();
-        let mut bgp = BgpProcess::new(
-            BgpConfig {
-                local_as: AsNum(65000),
-                router_id: "10.0.0.1".parse().unwrap(),
-                local_addr: IpAddr::V4("10.0.0.1".parse().unwrap()),
-                hold_time: 90,
-            },
-            Rc::new(Flat),
-        );
-        for p in PEERS {
-            let mut cfg = PeerConfig::simple(PeerId(p), AsNum(65000 + p));
-            cfg.consistency_check = true; // cache stage in every out pipeline
-            bgp.add_peer(&mut el, cfg, Some(Rc::new(|_el, _u| {})));
-            bgp.peering_up(&mut el, PeerId(p));
+        run_ops(ops);
+    }
+}
+
+fn run_ops(ops: Vec<Op>) {
+    let mut el = EventLoop::new_virtual();
+    let mut bgp = BgpProcess::new(
+        BgpConfig {
+            local_as: AsNum(65000),
+            router_id: "10.0.0.1".parse().unwrap(),
+            local_addr: IpAddr::V4("10.0.0.1".parse().unwrap()),
+            hold_time: 90,
+        },
+        Rc::new(Flat),
+    );
+    for p in PEERS {
+        let mut cfg = PeerConfig::simple(PeerId(p), AsNum(65000 + p));
+        cfg.consistency_check = true; // cache stage in every out pipeline
+        bgp.add_peer(&mut el, cfg, Some(Rc::new(|_el, _u| {})));
+        bgp.peering_up(&mut el, PeerId(p));
+    }
+
+    // Sink cache: mirror of what the RIB would hold.
+    let rib: Rc<RefCell<BTreeMap<Net, RouteEntry<Ipv4Addr>>>> =
+        Rc::new(RefCell::new(BTreeMap::new()));
+    let r = rib.clone();
+    bgp.set_rib_output(&mut el, move |_el, _o, op| match op {
+        RouteOp::Add { net, route }
+        | RouteOp::Replace {
+            net, new: route, ..
+        } => {
+            r.borrow_mut().insert(net, route);
         }
+        RouteOp::Delete { net, .. } => {
+            r.borrow_mut().remove(&net);
+        }
+    });
 
-        // Sink cache: mirror of what the RIB would hold.
-        let rib: Rc<RefCell<BTreeMap<Net, RouteEntry<Ipv4Addr>>>> =
-            Rc::new(RefCell::new(BTreeMap::new()));
-        let r = rib.clone();
-        bgp.set_rib_output(&mut el, move |_el, _o, op| match op {
-            RouteOp::Add { net, route } | RouteOp::Replace { net, new: route, .. } => {
-                r.borrow_mut().insert(net, route);
-            }
-            RouteOp::Delete { net, .. } => {
-                r.borrow_mut().remove(&net);
-            }
-        });
+    // Oracle: per-peer tables maintained by the rules directly.
+    let mut oracle: HashMap<u32, BTreeMap<Net, RouteEntry<Ipv4Addr>>> =
+        PEERS.iter().map(|p| (*p, BTreeMap::new())).collect();
 
-        // Oracle: per-peer tables maintained by the rules directly.
-        let mut oracle: HashMap<u32, BTreeMap<Net, RouteEntry<Ipv4Addr>>> =
-            PEERS.iter().map(|p| (*p, BTreeMap::new())).collect();
-
-        for op in ops {
-            match op {
-                Op::Announce { peer, net_ix, path_len } => {
-                    let a = attrs(peer, path_len);
-                    bgp.apply_update(
-                        &mut el,
-                        PeerId(peer),
-                        UpdateIn { withdrawn: vec![], announce: Some((a.clone(), vec![net(net_ix)])) },
-                    );
-                    let mut route = RouteEntry::new(
-                        net(net_ix),
-                        a,
-                        1, // resolver annotates metric 1
-                        xorp::net::ProtocolId::Ebgp,
-                    );
-                    route.source = Some(peer);
-                    oracle.get_mut(&peer).unwrap().insert(net(net_ix), route);
-                }
-                Op::Withdraw { peer, net_ix } => {
-                    bgp.apply_update(
-                        &mut el,
-                        PeerId(peer),
-                        UpdateIn { withdrawn: vec![net(net_ix)], announce: None },
-                    );
-                    oracle.get_mut(&peer).unwrap().remove(&net(net_ix));
-                }
-                Op::Flap { peer } => {
-                    bgp.peering_down(&mut el, PeerId(peer));
-                    bgp.peering_up(&mut el, PeerId(peer));
-                    oracle.get_mut(&peer).unwrap().clear();
-                }
+    for op in ops {
+        match op {
+            Op::Announce {
+                peer,
+                net_ix,
+                path_len,
+            } => {
+                let a = attrs(peer, path_len);
+                bgp.apply_update(
+                    &mut el,
+                    PeerId(peer),
+                    UpdateIn {
+                        withdrawn: vec![],
+                        announce: Some((a.clone(), vec![net(net_ix)])),
+                    },
+                );
+                let mut route = RouteEntry::new(
+                    net(net_ix),
+                    a,
+                    1, // resolver annotates metric 1
+                    xorp::net::ProtocolId::Ebgp,
+                );
+                route.source = Some(peer);
+                oracle.get_mut(&peer).unwrap().insert(net(net_ix), route);
             }
-            el.run_until_idle();
+            Op::Withdraw { peer, net_ix } => {
+                bgp.apply_update(
+                    &mut el,
+                    PeerId(peer),
+                    UpdateIn {
+                        withdrawn: vec![net(net_ix)],
+                        announce: None,
+                    },
+                );
+                oracle.get_mut(&peer).unwrap().remove(&net(net_ix));
+            }
+            Op::Flap { peer } => {
+                bgp.peering_down(&mut el, PeerId(peer));
+                bgp.peering_up(&mut el, PeerId(peer));
+                oracle.get_mut(&peer).unwrap().clear();
+            }
         }
         el.run_until_idle();
+    }
+    el.run_until_idle();
 
-        // (a) No consistency violations anywhere.
-        let violations = bgp.consistency_violations();
-        prop_assert!(violations.is_empty(), "{violations:?}");
+    // (a) No consistency violations anywhere.
+    let violations = bgp.consistency_violations();
+    assert!(violations.is_empty(), "{violations:?}");
 
-        // (b) The RIB mirror equals the oracle's best-per-prefix.
-        let mut expected: BTreeMap<Net, RouteEntry<Ipv4Addr>> = BTreeMap::new();
-        for (peer, table) in &oracle {
-            for (n, route) in table {
-                match expected.get(n) {
-                    Some(cur)
-                        if !route_better(
-                            route,
-                            PeerId(*peer),
-                            cur,
-                            PeerId(cur.source.unwrap()),
-                        ) => {}
-                    _ => {
-                        expected.insert(*n, route.clone());
-                    }
+    // (b) The RIB mirror equals the oracle's best-per-prefix.
+    let mut expected: BTreeMap<Net, RouteEntry<Ipv4Addr>> = BTreeMap::new();
+    for (peer, table) in &oracle {
+        for (n, route) in table {
+            match expected.get(n) {
+                Some(cur)
+                    if !route_better(route, PeerId(*peer), cur, PeerId(cur.source.unwrap())) => {}
+                _ => {
+                    expected.insert(*n, route.clone());
                 }
             }
         }
-        let got = rib.borrow();
-        prop_assert_eq!(
-            got.keys().collect::<Vec<_>>(),
-            expected.keys().collect::<Vec<_>>()
-        );
-        for (n, want) in &expected {
-            let have = &got[n];
-            prop_assert_eq!(have.source, want.source, "winner for {}", n);
-            prop_assert_eq!(&have.attrs.as_path, &want.attrs.as_path, "path for {}", n);
-        }
+    }
+    let got = rib.borrow();
+    assert_eq!(
+        got.keys().collect::<Vec<_>>(),
+        expected.keys().collect::<Vec<_>>()
+    );
+    for (n, want) in &expected {
+        let have = &got[n];
+        assert_eq!(have.source, want.source, "winner for {}", n);
+        assert_eq!(&have.attrs.as_path, &want.attrs.as_path, "path for {}", n);
+    }
 
-        // (c) Announced-to-peer bookkeeping is in range.
-        for p in PEERS {
-            prop_assert!(bgp.announced_count(PeerId(p)) <= expected.len());
+    // (c) Announced-to-peer bookkeeping is in range.
+    for p in PEERS {
+        assert!(bgp.announced_count(PeerId(p)) <= expected.len());
+    }
+}
+
+/// Manual stress search used to hunt for failing sequences offline;
+/// kept `#[ignore]`d — run with `-- --ignored stress_search`.
+#[test]
+#[ignore]
+fn stress_search() {
+    let mut state: u64 = 0x1234_5678_9abc_def0;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for trial in 0..3000 {
+        let len = 1 + (next() % 120) as usize;
+        let ops: Vec<Op> = (0..len)
+            .map(|_| match next() % 9 {
+                0..=4 => Op::Announce {
+                    peer: PEERS[(next() % 3) as usize],
+                    net_ix: (next() % NETS as u64) as u8,
+                    path_len: 1 + (next() % 5) as u8,
+                },
+                5..=7 => Op::Withdraw {
+                    peer: PEERS[(next() % 3) as usize],
+                    net_ix: (next() % NETS as u64) as u8,
+                },
+                _ => Op::Flap {
+                    peer: PEERS[(next() % 3) as usize],
+                },
+            })
+            .collect();
+        let ops2 = ops.clone();
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_ops(ops2))).is_err() {
+            panic!("trial {trial} failed with ops: {ops:?}");
         }
     }
 }
