@@ -1,0 +1,154 @@
+//! Offline verification shim: compile-compatible subset of Criterion.
+//!
+//! Each benchmark routine is executed once (smoke-run) so `cargo bench`
+//! still exercises the code paths; no statistics are collected.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_one(&id.to_string(), &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+    pub fn warm_up_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let start = Instant::now();
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        eprintln!("bench(shim) {label}: {:?}", start.elapsed());
+        self
+    }
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let start = Instant::now();
+    let mut b = Bencher::default();
+    f(&mut b);
+    eprintln!("bench(shim) {label}: {:?}", start.elapsed());
+}
+
+#[derive(Default)]
+pub struct Bencher {}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+    pub fn iter_batched<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+    }
+    pub fn iter_batched_ref<S, O, SF: FnMut() -> S, F: FnMut(&mut S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let mut s = setup();
+        black_box(routine(&mut s));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
