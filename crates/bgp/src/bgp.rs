@@ -71,6 +71,7 @@ impl PeerConfig {
 
 /// One announcement/withdrawal batch from a peer, family-generic (wire
 /// UPDATE parsing produces this).
+#[derive(Clone)]
 pub struct UpdateIn<A: Addr> {
     /// Withdrawn prefixes.
     pub withdrawn: Vec<Prefix<A>>,
@@ -470,6 +471,13 @@ where
     /// Current best route for a prefix.
     pub fn best_route(&self, net: &Prefix<A>) -> Option<BgpRoute<A>> {
         self.fanout.borrow().lookup_route(net)
+    }
+
+    /// Graceful-restart refresh: re-emit the whole best table to the RIB
+    /// reader (after a RIB restart, its BGP routes are stale until we
+    /// re-advertise them).  Returns how many routes were replayed.
+    pub fn readvertise_rib(&mut self, el: &mut EventLoop) -> usize {
+        self.fanout.borrow_mut().replay_to(el, ReaderId::Rib)
     }
 
     /// Number of prefixes with a best route.

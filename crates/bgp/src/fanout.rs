@@ -100,6 +100,31 @@ impl<A: Addr> FanoutQueue<A> {
         );
     }
 
+    /// Re-emit the current best table to one *existing* reader as adds —
+    /// the graceful-restart refresh: a restarted RIB (or peer) re-learns
+    /// our contribution without bouncing the session.  Split horizon
+    /// applies as usual.  Returns how many routes were replayed.
+    pub fn replay_to(&mut self, el: &mut EventLoop, id: ReaderId) -> usize {
+        let Some(reader) = self.readers.get(&id) else {
+            return 0;
+        };
+        let branch = reader.branch.clone();
+        let mut replayed = 0;
+        for (net, route) in &self.best {
+            if let Some(op) = translate(
+                id,
+                &RouteOp::Add {
+                    net: *net,
+                    route: route.clone(),
+                },
+            ) {
+                branch.borrow_mut().route_op(el, origin_of(route), op);
+                replayed += 1;
+            }
+        }
+        replayed
+    }
+
     /// Detach a reader.  The caller withdraws its routes separately.
     pub fn remove_reader(&mut self, id: ReaderId) {
         self.readers.remove(&id);
@@ -431,6 +456,32 @@ mod tests {
             .borrow()
             .table
             .contains_key(&"20.0.0.0/8".parse().unwrap()));
+    }
+
+    /// Graceful-restart refresh: an existing reader (here the RIB) can be
+    /// replayed the whole best table, with split horizon still applied.
+    #[test]
+    fn replay_to_existing_reader_refreshes_table() {
+        let mut rig = rig(&[1]);
+        rig.send(add(route("10.0.0.0/8", 1)));
+        rig.send(add(route("20.0.0.0/8", 2)));
+        // Simulate the RIB forgetting what it learned (it restarted).
+        rig.outs[&ReaderId::Rib].borrow_mut().table.clear();
+        let f = rig.fanout.clone();
+        let n = f.borrow_mut().replay_to(&mut rig.el, ReaderId::Rib);
+        assert_eq!(n, 2);
+        assert_eq!(rig.table_len(ReaderId::Rib), 2);
+        // Split horizon: replaying to peer 1 skips its own route.
+        let n = f
+            .borrow_mut()
+            .replay_to(&mut rig.el, ReaderId::Peer(PeerId(1)));
+        assert_eq!(n, 1);
+        // Unknown readers are a no-op.
+        assert_eq!(
+            f.borrow_mut()
+                .replay_to(&mut rig.el, ReaderId::Peer(PeerId(9))),
+            0
+        );
     }
 
     #[test]

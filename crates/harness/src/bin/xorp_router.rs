@@ -24,6 +24,21 @@
 //! xorp-router config.boot --fault-drop 0.1 --fault-delay 0.2 \
 //!     --fault-delay-ms 1:20 --fault-disconnect 0.01 --fault-seed 7
 //! ```
+//!
+//! ## Supervision
+//!
+//! `--supervise` runs the rtrmgr keepalive prober against the BGP
+//! process: crashes are detected by missed-probe streaks, restarted with
+//! exponential backoff under a restart budget, and the RIB holds the dead
+//! process's routes *stale* for a grace period instead of flushing them
+//! (see EXPERIMENTS.md §supervision):
+//!
+//! ```sh
+//! xorp-router --example-config --supervise
+//! xorp-router config.boot --supervise --keepalive-ms 250 \
+//!     --miss-threshold 3 --backoff-ms 200:5000 --restart-budget 5 \
+//!     --grace-ms 10000
+//! ```
 
 use std::net::IpAddr;
 use std::time::Duration;
@@ -31,7 +46,7 @@ use std::time::Duration;
 use xorp_harness::router::{MultiProcessRouter, PeerPolicy, RouterOptions};
 use xorp_harness::workload::{backbone_table, WorkloadConfig};
 use xorp_rtrmgr::template::standard_template;
-use xorp_rtrmgr::{parse, ConfigNode};
+use xorp_rtrmgr::{parse, ConfigNode, SupervisorConfig};
 use xorp_xrl::FaultConfig;
 
 const EXAMPLE: &str = r#"
@@ -124,6 +139,64 @@ fn parse_fault_flags(args: &[String]) -> Option<FaultConfig> {
     }
     if let Some(p) = rate("--fault-disconnect") {
         config.disconnect = p;
+        any = true;
+    }
+    any.then_some(config)
+}
+
+/// Parse the supervision knobs into a [`SupervisorConfig`].  `--supervise`
+/// alone enables the defaults; any tuning flag also implies supervision.
+fn parse_supervision_flags(args: &[String]) -> Option<SupervisorConfig> {
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let millis = |flag: &str| -> Option<Duration> {
+        value_of(flag).map(|v| {
+            Duration::from_millis(v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects milliseconds, got {v:?}");
+                std::process::exit(2);
+            }))
+        })
+    };
+    let count = |flag: &str| -> Option<u32> {
+        value_of(flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects an integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let mut config = SupervisorConfig::default();
+    let mut any = args.iter().any(|a| a == "--supervise");
+    if let Some(d) = millis("--keepalive-ms") {
+        config.keepalive_interval = d;
+        any = true;
+    }
+    if let Some(n) = count("--miss-threshold") {
+        config.miss_threshold = n;
+        any = true;
+    }
+    if let Some(v) = value_of("--backoff-ms") {
+        let (lo, hi): (u64, u64) = v
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .unwrap_or_else(|| {
+                eprintln!("--backoff-ms expects LO:HI milliseconds, got {v:?}");
+                std::process::exit(2);
+            });
+        config.backoff_base = Duration::from_millis(lo);
+        config.backoff_max = Duration::from_millis(hi);
+        any = true;
+    }
+    if let Some(n) = count("--restart-budget") {
+        config.restart_budget = n;
+        any = true;
+    }
+    if let Some(d) = millis("--grace-ms") {
+        config.grace_period = d;
         any = true;
     }
     any.then_some(config)
@@ -222,6 +295,18 @@ fn main() {
             cfg.disconnect
         );
     }
+    let supervision = parse_supervision_flags(&args);
+    if let Some(cfg) = &supervision {
+        println!(
+            "supervision on: keepalive={}ms misses={} backoff={}..{}ms budget={} grace={}ms",
+            cfg.keepalive_interval.as_millis(),
+            cfg.miss_threshold,
+            cfg.backoff_base.as_millis(),
+            cfg.backoff_max.as_millis(),
+            cfg.restart_budget,
+            cfg.grace_period.as_millis()
+        );
+    }
     let router = MultiProcessRouter::new(RouterOptions {
         local_as,
         peers: peers.clone(),
@@ -229,6 +314,7 @@ fn main() {
         consistency_check: false,
         fault,
         retry: None, // defaults to RetryPolicy::default() when fault is set
+        supervision,
     });
 
     // Static routes from the config go in via the RIB (through BGP's

@@ -1,6 +1,7 @@
 //! A router "process": an event loop on its own thread with an XRL router
 //! attached.
 
+use std::fmt;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -11,6 +12,19 @@ use xorp_xrl::{Finder, XrlRouter};
 /// How often each process verifies its Finder registrations (and repairs
 /// them after a Finder restart).
 const WATCHDOG_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A [`Process::call`] could not complete because the process's loop died
+/// (stopped, crashed, or shut down before answering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessDied(pub String);
+
+impl fmt::Display for ProcessDied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "process {} died during call", self.0)
+    }
+}
+
+impl std::error::Error for ProcessDied {}
 
 /// Handle to a running process.
 pub struct Process {
@@ -65,16 +79,27 @@ impl Process {
         self.sender.clone()
     }
 
-    /// Run a closure on the loop and wait for its result.
+    /// Whether the loop thread is still running.  This is the supervisor's
+    /// process-exit observation: a crashed or stopped loop joins its
+    /// thread, flipping this to false.
+    pub fn is_alive(&self) -> bool {
+        self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    }
+
+    /// Run a closure on the loop and wait for its result.  Errs when the
+    /// loop died before answering (instead of panicking — the supervisor
+    /// probes dead processes as a matter of course).
     pub fn call<R: Send + 'static>(
         &self,
         f: impl FnOnce(&mut EventLoop) -> R + Send + 'static,
-    ) -> R {
+    ) -> Result<R, ProcessDied> {
         let (tx, rx) = mpsc::channel();
-        self.post(move |el| {
+        if !self.post(move |el| {
             let _ = tx.send(f(el));
-        });
-        rx.recv().expect("process died during call")
+        }) {
+            return Err(ProcessDied(self.name.clone()));
+        }
+        rx.recv().map_err(|_| ProcessDied(self.name.clone()))
     }
 
     /// Stop the loop and join the thread.
@@ -111,7 +136,7 @@ mod tests {
                 Ok(XrlArgs::new().add_bool("pong", true))
             });
         });
-        assert!(p.call(|el| el.now().as_nanos() > 0));
+        assert!(p.call(|el| el.now().as_nanos() > 0).unwrap());
 
         // Reach it over XRLs from a second process-like context.
         let mut el = EventLoop::new();
@@ -127,5 +152,23 @@ mod tests {
         .unwrap();
         assert!(reply.get_bool("pong").unwrap());
         p.stop();
+    }
+
+    /// A call into a dead loop reports the death instead of panicking —
+    /// how the supervisor (and shutdown paths) observe a crashed process.
+    #[test]
+    fn call_into_dead_loop_is_an_error_not_a_panic() {
+        let finder = Finder::new();
+        let p = Process::spawn("doomed", finder, |_el, _router| {});
+        assert!(p.is_alive());
+        // The process "crashes": its loop stops on its own.
+        p.post(|el| el.stop());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while p.is_alive() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!p.is_alive(), "loop never exited");
+        let err = p.call(|_el| 42).unwrap_err();
+        assert_eq!(err, ProcessDied("doomed".into()));
     }
 }

@@ -9,13 +9,30 @@
 //!   RIB stages ──[5 QUEUED_FOR_FEA]── XRL fea/1.0/add_route
 //!   ──[6 SENT_TO_FEA]──(tcp)──[7 FEA_IN]── FIB insert [8 KERNEL]
 //! ```
+//!
+//! ## Supervision
+//!
+//! With [`RouterOptions::supervision`] set, a fourth process — `rtrmgr` —
+//! probes the BGP process over XRL keepalives and restarts it when a
+//! streak of misses classifies a crash (§3.1 brought to production
+//! practice).  While BGP is down, the RIB holds its routes *stale* under
+//! the configured grace timer instead of flushing them; the respawned
+//! process re-learns its table (peers re-announce on session
+//! re-establishment, modeled by a replay log) and re-advertises, clearing
+//! the stale marks; the sweep then withdraws only what was never
+//! re-learned.  When the restart budget is spent, the component degrades
+//! and its routes are flushed immediately — permanent death gets the old
+//! §4.1 policy, as does every death when supervision is off.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use xorp_bgp::bgp::UpdateIn;
 use xorp_bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
 use xorp_bgp::{BgpConfig, BgpProcess, PeerConfig, PeerId};
@@ -24,7 +41,9 @@ use xorp_fea::{test_iface, Fea, FibEntry};
 use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
 use xorp_profiler::{points, Profiler};
 use xorp_rib::Rib;
+use xorp_rtrmgr::{SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
 use xorp_stages::RouteOp;
+use xorp_xrl::keepalive;
 use xorp_xrl::{FaultConfig, Finder, RetryPolicy, Xrl, XrlArgs, XrlRouter};
 
 use crate::process::Process;
@@ -36,6 +55,18 @@ pub struct BgpSlot(pub Rc<RefCell<BgpProcess<Ipv4Addr>>>);
 pub struct RibSlot(pub Rc<RefCell<Rib<Ipv4Addr>>>);
 /// Loop-slot wrapper for the FEA process state.
 pub struct FeaSlot(pub Rc<RefCell<Fea>>);
+
+/// How long an injected-crash BGP process lives after registering: long
+/// enough to come all the way up (deterministic), short enough that every
+/// supervision cycle in the tests sees a real crash.
+const CRASH_DELAY: Duration = Duration::from_millis(5);
+
+/// The BGP process handle, shared between the router facade and the
+/// supervisor (which replaces it on restart).
+type SharedBgp = Arc<Mutex<Option<Process>>>;
+
+/// Peer announcements recorded for replay into a restarted BGP process.
+type ReplayLog = Arc<Mutex<Vec<(u32, UpdateIn<Ipv4Addr>)>>>;
 
 /// Per-peer policy knobs (sourced from the rtrmgr config in
 /// `xorp-router`).
@@ -64,6 +95,10 @@ pub struct RouterOptions {
     /// Request timeout/retransmission policy.  Defaults on whenever `fault`
     /// is set (a lossy plan without retries just hangs callers).
     pub retry: Option<RetryPolicy>,
+    /// Supervise the BGP process: keepalive liveness, backoff restart,
+    /// restart budget, and graceful-restart stale handling in the RIB.
+    /// `None` keeps the PR-1 behaviour (death flushes immediately).
+    pub supervision: Option<SupervisorConfig>,
 }
 
 impl Default for RouterOptions {
@@ -75,19 +110,28 @@ impl Default for RouterOptions {
             consistency_check: false,
             fault: None,
             retry: None,
+            supervision: None,
         }
     }
 }
 
-/// The assembled three-process router.
+/// The assembled router: three supervised-able processes plus, when
+/// supervision is on, the `rtrmgr` prober.
 pub struct MultiProcessRouter {
     /// Shared profiler (all eight §8.2 points).
     pub profiler: Profiler,
     /// The broker.
     pub finder: Finder,
-    bgp: Option<Process>,
+    bgp: SharedBgp,
     _rib: Process,
     _fea: Process,
+    /// The supervising rtrmgr process, when supervision is enabled.
+    supervisor: Option<Process>,
+    /// Supervision state shared with the rtrmgr process.
+    sup_state: Option<Arc<Mutex<Supervisor>>>,
+    replay: ReplayLog,
+    crash_on_spawn: Arc<AtomicU32>,
+    restarts: Arc<AtomicU32>,
 }
 
 /// BGP's nexthop service backed by the RIB's interest-registration XRL
@@ -150,6 +194,124 @@ fn route_args(net: Ipv4Net, route: &RouteEntry<Ipv4Addr>) -> XrlArgs {
         .add_str("proto", &route.proto.name())
 }
 
+/// Everything needed to (re)spawn the BGP process — the supervisor's
+/// respawn action runs on the rtrmgr loop thread, so this is `Send + Sync`.
+struct BgpFactory {
+    finder: Finder,
+    profiler: Profiler,
+    local_as: u32,
+    peers: Vec<(u32, u32)>,
+    peer_policies: HashMap<u32, PeerPolicy>,
+    consistency_check: bool,
+    knobs: Arc<dyn Fn(&XrlRouter) + Send + Sync>,
+    replay: ReplayLog,
+    crash_on_spawn: Arc<AtomicU32>,
+}
+
+impl BgpFactory {
+    fn spawn(&self) -> Process {
+        let profiler = self.profiler.clone();
+        let peers = self.peers.clone();
+        let peer_policies = self.peer_policies.clone();
+        let local_as = self.local_as;
+        let check = self.consistency_check;
+        let knobs = self.knobs.clone();
+        let replay = self.replay.clone();
+        let crash_on_spawn = self.crash_on_spawn.clone();
+        Process::spawn("bgp", self.finder.clone(), move |el, router| {
+            knobs(router);
+            let config = BgpConfig {
+                local_as: xorp_net::AsNum(local_as),
+                router_id: "10.255.0.1".parse().unwrap(),
+                local_addr: IpAddr::V4("192.168.0.1".parse().unwrap()),
+                hold_time: 90,
+            };
+            let mut bgp = BgpProcess::new(config, Rc::new(XrlNexthopService));
+            bgp.set_profiler(profiler.clone());
+
+            // Best routes → RIB over XRLs (points 2 and 3).
+            let out_profiler = profiler.clone();
+            let xrl_router = router.clone();
+            bgp.set_rib_output(el, move |el, _origin, op| {
+                let net = op.net();
+                let (method, args, what) = match &op {
+                    RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                        ("add_route", route_args(net, route), "add")
+                    }
+                    RouteOp::Delete { old, .. } => (
+                        "delete_route",
+                        XrlArgs::new()
+                            .add_ipv4net("net", net)
+                            .add_str("proto", &old.proto.name()),
+                        "del",
+                    ),
+                };
+                out_profiler.record(points::QUEUED_FOR_RIB, || format!("{what} {net}"));
+                let xrl = Xrl::generic("rib", "rib", "1.0", method, args);
+                xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                out_profiler.record(points::SENT_TO_RIB, || format!("{what} {net}"));
+            });
+
+            for (id, asn) in peers {
+                let mut cfg = PeerConfig::simple(PeerId(id), xorp_net::AsNum(asn));
+                cfg.consistency_check = check;
+                if let Some(policy) = peer_policies.get(&id) {
+                    if let Some(src) = &policy.import {
+                        let mut bank = xorp_policy::FilterBank::accept_by_default();
+                        bank.push_source("import", src).expect("bad import policy");
+                        cfg.import = bank;
+                    }
+                    if let Some(src) = &policy.export {
+                        let mut bank = xorp_policy::FilterBank::accept_by_default();
+                        bank.push_source("export", src).expect("bad export policy");
+                        cfg.export = bank;
+                    }
+                    if policy.damping {
+                        cfg.damping = Some(xorp_bgp::DampingConfig::default());
+                    }
+                }
+                bgp.add_peer(el, cfg, Some(Rc::new(|_el, _update| {})));
+                bgp.peering_up(el, PeerId(id));
+            }
+
+            let bgp = Rc::new(RefCell::new(bgp));
+            el.set_slot(BgpSlot(bgp.clone()));
+
+            router.register_target("bgp", "bgp-0", true).unwrap();
+            keepalive::add_keepalive_responder(router, "bgp-0");
+            let b = bgp.clone();
+            router.add_fn("bgp-0", "bgp/1.0/invalidate", move |el, args| {
+                let net = args.get_ipv4net("net")?;
+                b.borrow_mut().invalidate_nexthops(el, net);
+                Ok(XrlArgs::new())
+            });
+            // Graceful-restart refresh on demand (e.g. after a RIB
+            // restart): re-emit the best table to the RIB reader.
+            let b = bgp.clone();
+            router.add_fn("bgp-0", "bgp/1.0/readvertise", move |el, _args| {
+                let n = b.borrow_mut().readvertise_rib(el);
+                Ok(XrlArgs::new().add_u32("count", n as u32))
+            });
+
+            // A restarted BGP re-learns its table from its peers, which
+            // re-announce when the sessions re-establish; the harness
+            // models that with the recorded update log.  Replayed routes
+            // travel the normal pipeline to the RIB, clearing stale marks.
+            let log: Vec<(u32, UpdateIn<Ipv4Addr>)> = replay.lock().clone();
+            for (peer, update) in log {
+                bgp.borrow_mut().apply_update(el, PeerId(peer), update);
+            }
+
+            // Deterministic crash injection for the supervision tests: die
+            // shortly after coming all the way up.
+            if crash_on_spawn.load(Ordering::SeqCst) > 0 {
+                crash_on_spawn.fetch_sub(1, Ordering::SeqCst);
+                el.after(CRASH_DELAY, |el| el.stop());
+            }
+        })
+    }
+}
+
 impl MultiProcessRouter {
     /// Spawn the three processes and wire them together.  A connected
     /// route `192.168.0.0/16 dev eth0` is pre-installed so BGP nexthops in
@@ -165,12 +327,14 @@ impl MultiProcessRouter {
         let retry = options
             .retry
             .or_else(|| fault.as_ref().map(|_| RetryPolicy::default()));
-        let apply_knobs = move |router: &XrlRouter| {
-            if let Some(cfg) = &fault {
-                router.set_fault_plan(cfg.clone());
-            }
-            router.set_retry_policy(retry);
-        };
+        let apply_knobs: Arc<dyn Fn(&XrlRouter) + Send + Sync> =
+            Arc::new(move |router: &XrlRouter| {
+                if let Some(cfg) = &fault {
+                    router.set_fault_plan(cfg.clone());
+                }
+                router.set_retry_policy(retry);
+            });
+        let supervision = options.supervision;
 
         // ---- FEA process ----------------------------------------------------
         let fea_profiler = profiler.clone();
@@ -184,6 +348,7 @@ impl MultiProcessRouter {
             el.set_slot(FeaSlot(fea.clone()));
 
             router.register_target("fea", "fea-0", true).unwrap();
+            keepalive::add_keepalive_responder(router, "fea-0");
             let profiler = fea_profiler.clone();
             let f = fea.clone();
             router.add_fn("fea-0", "fea/1.0/add_route", move |_el, args| {
@@ -223,6 +388,7 @@ impl MultiProcessRouter {
         let rib_profiler = profiler.clone();
         let check = options.consistency_check;
         let knobs = apply_knobs.clone();
+        let grace = supervision.map(|cfg| cfg.grace_period);
         let rib = Process::spawn("rib", finder.clone(), move |el, router| {
             knobs(router);
             let rib = Rc::new(RefCell::new(Rib::<Ipv4Addr>::new(check)));
@@ -230,13 +396,33 @@ impl MultiProcessRouter {
 
             // §4.1: "if a routing protocol dies, the RIB will deregister all
             // the routes that protocol had registered" — driven by the
-            // Finder's lifetime events for the bgp class.
+            // Finder's lifetime events for the bgp class.  Under
+            // supervision the policy relaxes to graceful restart: mark the
+            // routes stale and give the restarted process `grace` to
+            // re-advertise before sweeping the remainder.
             let r = rib.clone();
-            router.watch_class("bgp", move |el, ev| {
-                if !ev.up {
-                    r.borrow_mut().clear_protocol(el, ProtocolId::Ebgp);
+            match grace {
+                None => {
+                    router.watch_class("bgp", move |el, ev| {
+                        if !ev.up {
+                            r.borrow_mut().clear_protocol(el, ProtocolId::Ebgp);
+                        }
+                    });
                 }
-            });
+                Some(grace) => {
+                    router.watch_class("bgp", move |el, ev| {
+                        if !ev.up {
+                            let marked = r.borrow_mut().mark_protocol_stale(ProtocolId::Ebgp);
+                            if marked > 0 {
+                                let r2 = r.clone();
+                                el.after(grace, move |el| {
+                                    r2.borrow_mut().sweep_stale(el, ProtocolId::Ebgp);
+                                });
+                            }
+                        }
+                    });
+                }
+            }
 
             // Output: install into the FEA over XRLs (points 5 and 6).
             let profiler = rib_profiler.clone();
@@ -290,6 +476,7 @@ impl MultiProcessRouter {
             );
 
             router.register_target("rib", "rib-0", true).unwrap();
+            keepalive::add_keepalive_responder(router, "rib-0");
             let profiler = rib_profiler.clone();
             let r = rib.clone();
             router.add_handler("rib-0", "rib/1.0/add_route", move |el, args, responder| {
@@ -347,103 +534,155 @@ impl MultiProcessRouter {
             router.add_fn("rib-0", "rib/1.0/route_count", move |_el, _args| {
                 Ok(XrlArgs::new().add_u32("count", r.borrow().route_count() as u32))
             });
+            // Immediate flush of a protocol's routes — the supervisor's
+            // permanent-death action when a restart budget is spent.
+            let r = rib.clone();
+            router.add_fn("rib-0", "rib/1.0/flush_protocol", move |el, args| {
+                let proto =
+                    ProtocolId::from_name(&args.get_text("proto")?).unwrap_or(ProtocolId::Ebgp);
+                r.borrow_mut().clear_protocol(el, proto);
+                Ok(XrlArgs::new())
+            });
+            let r = rib.clone();
+            router.add_fn("rib-0", "rib/1.0/stale_count", move |_el, args| {
+                let proto =
+                    ProtocolId::from_name(&args.get_text("proto")?).unwrap_or(ProtocolId::Ebgp);
+                Ok(XrlArgs::new().add_u32("count", r.borrow().stale_count(proto) as u32))
+            });
         });
 
         // ---- BGP process ----------------------------------------------------
-        let bgp_profiler = profiler.clone();
-        let peers = options.peers.clone();
-        let peer_policies = options.peer_policies.clone();
-        let local_as = options.local_as;
-        let knobs = apply_knobs.clone();
-        let bgp = Process::spawn("bgp", finder.clone(), move |el, router| {
-            knobs(router);
-            let config = BgpConfig {
-                local_as: xorp_net::AsNum(local_as),
-                router_id: "10.255.0.1".parse().unwrap(),
-                local_addr: IpAddr::V4("192.168.0.1".parse().unwrap()),
-                hold_time: 90,
-            };
-            let mut bgp = BgpProcess::new(config, Rc::new(XrlNexthopService));
-            bgp.set_profiler(bgp_profiler.clone());
+        let replay: ReplayLog = Arc::new(Mutex::new(Vec::new()));
+        let crash_on_spawn = Arc::new(AtomicU32::new(0));
+        let factory = Arc::new(BgpFactory {
+            finder: finder.clone(),
+            profiler: profiler.clone(),
+            local_as: options.local_as,
+            peers: options.peers.clone(),
+            peer_policies: options.peer_policies.clone(),
+            consistency_check: options.consistency_check,
+            knobs: apply_knobs.clone(),
+            replay: replay.clone(),
+            crash_on_spawn: crash_on_spawn.clone(),
+        });
+        let bgp: SharedBgp = Arc::new(Mutex::new(Some(factory.spawn())));
 
-            // Best routes → RIB over XRLs (points 2 and 3).
-            let profiler = bgp_profiler.clone();
-            let xrl_router = router.clone();
-            bgp.set_rib_output(el, move |el, _origin, op| {
-                let net = op.net();
-                let (method, args, what) = match &op {
-                    RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
-                        ("add_route", route_args(net, route), "add")
-                    }
-                    RouteOp::Delete { old, .. } => (
-                        "delete_route",
-                        XrlArgs::new()
-                            .add_ipv4net("net", net)
-                            .add_str("proto", &old.proto.name()),
-                        "del",
-                    ),
-                };
-                profiler.record(points::QUEUED_FOR_RIB, || format!("{what} {net}"));
-                let xrl = Xrl::generic("rib", "rib", "1.0", method, args);
-                xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
-                profiler.record(points::SENT_TO_RIB, || format!("{what} {net}"));
-            });
+        // ---- supervisor (rtrmgr) process ------------------------------------
+        let restarts = Arc::new(AtomicU32::new(0));
+        let sup_state = supervision.map(|cfg| {
+            let mut sup = Supervisor::new(cfg);
+            sup.manage("bgp");
+            Arc::new(Mutex::new(sup))
+        });
+        let supervisor = sup_state.as_ref().map(|sup| {
+            let cfg = *sup.lock().config();
+            let sup = sup.clone();
+            let knobs = apply_knobs.clone();
+            let factory = factory.clone();
+            let shared = bgp.clone();
+            let restarts = restarts.clone();
+            Process::spawn("rtrmgr", finder.clone(), move |el, router| {
+                knobs(router);
+                // Probes run on a short leash: a hung component must
+                // classify as a miss within roughly one keepalive
+                // interval, not wait out the data-plane retry policy.
+                router.set_retry_policy(Some(RetryPolicy {
+                    max_attempts: 2,
+                    base_timeout: (cfg.keepalive_interval / 4).max(Duration::from_millis(5)),
+                    max_timeout: (cfg.keepalive_interval / 2).max(Duration::from_millis(10)),
+                }));
+                router.register_target("rtrmgr", "rtrmgr-0", true).unwrap();
+                keepalive::add_keepalive_responder(router, "rtrmgr-0");
 
-            for (id, asn) in peers {
-                let mut cfg = PeerConfig::simple(PeerId(id), xorp_net::AsNum(asn));
-                cfg.consistency_check = check;
-                if let Some(policy) = peer_policies.get(&id) {
-                    if let Some(src) = &policy.import {
-                        let mut bank = xorp_policy::FilterBank::accept_by_default();
-                        bank.push_source("import", src).expect("bad import policy");
-                        cfg.import = bank;
+                let probe_router = router.clone();
+                el.every(cfg.keepalive_interval, move |el| {
+                    let now = Duration::from_nanos(el.now().as_nanos());
+                    // Respawns due now, in dependency order.  Only the BGP
+                    // process is supervised in this configuration.  (Bind
+                    // the list first: iterating `sup.lock().…` directly
+                    // would hold the guard across the body.)
+                    let due = sup.lock().due_restarts(now);
+                    for name in due {
+                        if name == "bgp" {
+                            // Drop the dead handle (joining its thread)
+                            // before the fresh instance re-registers.
+                            let dead = shared.lock().take();
+                            drop(dead);
+                            *shared.lock() = Some(factory.spawn());
+                            restarts.fetch_add(1, Ordering::SeqCst);
+                            sup.lock().restarted(&name);
+                        }
                     }
-                    if let Some(src) = &policy.export {
-                        let mut bank = xorp_policy::FilterBank::accept_by_default();
-                        bank.push_source("export", src).expect("bad export policy");
-                        cfg.export = bank;
+                    if sup.lock().should_probe("bgp") {
+                        let sup = sup.clone();
+                        let flush_router = probe_router.clone();
+                        keepalive::probe_liveness(&probe_router, el, "bgp", move |el, alive| {
+                            let now = Duration::from_nanos(el.now().as_nanos());
+                            let verdict = sup.lock().record_probe("bgp", alive, now);
+                            if verdict == SupervisorVerdict::Degraded {
+                                // Budget spent: permanent death.  Flush the
+                                // protocol's routes now — the grace window
+                                // no longer applies.
+                                let xrl = Xrl::generic(
+                                    "rib",
+                                    "rib",
+                                    "1.0",
+                                    "flush_protocol",
+                                    XrlArgs::new().add_str("proto", &ProtocolId::Ebgp.name()),
+                                );
+                                flush_router.send(el, xrl, Box::new(|_el, _res| {}));
+                            }
+                        });
                     }
-                    if policy.damping {
-                        cfg.damping = Some(xorp_bgp::DampingConfig::default());
-                    }
-                }
-                bgp.add_peer(el, cfg, Some(Rc::new(|_el, _update| {})));
-                bgp.peering_up(el, PeerId(id));
-            }
-
-            let bgp = Rc::new(RefCell::new(bgp));
-            el.set_slot(BgpSlot(bgp.clone()));
-
-            router.register_target("bgp", "bgp-0", true).unwrap();
-            let b = bgp.clone();
-            router.add_fn("bgp-0", "bgp/1.0/invalidate", move |el, args| {
-                let net = args.get_ipv4net("net")?;
-                b.borrow_mut().invalidate_nexthops(el, net);
-                Ok(XrlArgs::new())
-            });
+                });
+            })
         });
 
         MultiProcessRouter {
             profiler,
             finder,
-            bgp: Some(bgp),
+            bgp,
             _rib: rib,
             _fea: fea,
+            supervisor,
+            sup_state,
+            replay,
+            crash_on_spawn,
+            restarts,
         }
     }
 
     /// Kill the BGP process, as a fault test would: its router deregisters
     /// from the Finder, whose death notification drives the RIB's §4.1
-    /// route flush.  No-op if already dead.
+    /// policy (flush, or mark-stale under supervision).  No-op if already
+    /// dead.
     pub fn kill_bgp(&mut self) {
-        if let Some(bgp) = self.bgp.take() {
+        let dead = self.bgp.lock().take();
+        if let Some(bgp) = dead {
             bgp.stop();
         }
     }
 
-    /// Whether the BGP process is still running.
+    /// Whether the BGP process is currently running (a supervised restart
+    /// may have replaced the original — this reflects the live instance).
     pub fn bgp_alive(&self) -> bool {
-        self.bgp.is_some()
+        self.bgp.lock().as_ref().is_some_and(|p| p.is_alive())
+    }
+
+    /// Supervised restarts performed so far.
+    pub fn supervised_restarts(&self) -> u32 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// The supervisor's view of a component, when supervision is on.
+    pub fn supervisor_state(&self, name: &str) -> Option<SupervisedState> {
+        self.sup_state.as_ref().and_then(|s| s.lock().state(name))
+    }
+
+    /// Make the next `n` BGP spawns crash shortly after coming up
+    /// (deterministic crash-loop injection for supervision tests).
+    pub fn set_bgp_crash_on_spawn(&self, n: u32) {
+        self.crash_on_spawn.store(n, Ordering::SeqCst);
     }
 
     /// Simulate the Finder dying and restarting empty.  Each process's
@@ -452,13 +691,20 @@ impl MultiProcessRouter {
         self.finder.clear();
     }
 
-    /// Feed an UPDATE to a peer (runs on the BGP loop).
+    /// Feed an UPDATE to a peer (runs on the BGP loop).  Under supervision
+    /// the update is also recorded for replay into a restarted process
+    /// (real peers re-announce when the session re-establishes).  Silently
+    /// dropped while the process is down.
     pub fn apply_update(&self, peer: u32, update: UpdateIn<Ipv4Addr>) {
-        let bgp = self.bgp.as_ref().expect("bgp process running");
-        bgp.post(move |el| {
-            let slot = el.slot::<BgpSlot>().expect("bgp slot").0.clone();
-            slot.borrow_mut().apply_update(el, PeerId(peer), update);
-        });
+        if self.sup_state.is_some() {
+            self.replay.lock().push((peer, update.clone()));
+        }
+        if let Some(bgp) = self.bgp.lock().as_ref() {
+            bgp.post(move |el| {
+                let slot = el.slot::<BgpSlot>().expect("bgp slot").0.clone();
+                slot.borrow_mut().apply_update(el, PeerId(peer), update);
+            });
+        }
     }
 
     /// Feed a pre-generated backbone batch as one UPDATE.
@@ -499,41 +745,62 @@ impl MultiProcessRouter {
 
     /// Routes currently in the FEA's FIB (cross-thread query).
     pub fn fea_route_count(&self) -> usize {
-        self._fea.call(|el| {
-            el.slot::<FeaSlot>()
-                .map(|s| s.0.borrow().route_count4())
-                .unwrap_or(0)
-        })
+        self._fea
+            .call(|el| {
+                el.slot::<FeaSlot>()
+                    .map(|s| s.0.borrow().route_count4())
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
     }
 
     /// Routes currently in the RIB's final table.
     pub fn rib_route_count(&self) -> usize {
-        self._rib.call(|el| {
-            el.slot::<RibSlot>()
-                .map(|s| s.0.borrow().route_count())
-                .unwrap_or(0)
-        })
+        self._rib
+            .call(|el| {
+                el.slot::<RibSlot>()
+                    .map(|s| s.0.borrow().route_count())
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+
+    /// EBGP routes in the RIB still marked stale (graceful-restart
+    /// observability).
+    pub fn rib_stale_count(&self) -> usize {
+        self._rib
+            .call(|el| {
+                el.slot::<RibSlot>()
+                    .map(|s| s.0.borrow().stale_count(ProtocolId::Ebgp))
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
     }
 
     /// BGP PeerIn route count across peers.
     pub fn bgp_route_count(&self) -> usize {
-        match &self.bgp {
-            Some(bgp) => bgp.call(|el| {
-                el.slot::<BgpSlot>()
-                    .map(|s| s.0.borrow().route_count())
-                    .unwrap_or(0)
-            }),
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(|el| {
+                    el.slot::<BgpSlot>()
+                        .map(|s| s.0.borrow().route_count())
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0),
             None => 0,
         }
     }
 
     /// Consistency violations from the RIB's cache stage, if enabled.
     pub fn rib_violations(&self) -> Vec<String> {
-        self._rib.call(|el| {
-            el.slot::<RibSlot>()
-                .map(|s| s.0.borrow().consistency_violations())
-                .unwrap_or_default()
-        })
+        self._rib
+            .call(|el| {
+                el.slot::<RibSlot>()
+                    .map(|s| s.0.borrow().consistency_violations())
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default()
     }
 
     /// Spin until `pred()` or timeout; returns success.
@@ -548,9 +815,16 @@ impl MultiProcessRouter {
         pred()
     }
 
-    /// Shut the router down.
+    /// Shut the router down: the supervisor first (so it cannot restart
+    /// what we are stopping), then the protocols, then the
+    /// infrastructure — reverse dependency order, like
+    /// `RouterManager::shutdown`.
     pub fn stop(self) {
-        if let Some(bgp) = self.bgp {
+        if let Some(sup) = self.supervisor {
+            sup.stop();
+        }
+        let bgp = self.bgp.lock().take();
+        if let Some(bgp) = bgp {
             bgp.stop();
         }
         self._rib.stop();

@@ -1,0 +1,233 @@
+//! End-to-end supervision tests: kill the BGP process out from under a
+//! running router and watch the rtrmgr prober classify the crash, restart
+//! it with backoff, and — the tentpole — keep its routes installed as
+//! *stale* through the grace window instead of flushing them (§4.1
+//! relaxed to graceful restart).  A control run without supervision keeps
+//! the original flush-on-death behaviour, and exhausting the restart
+//! budget degrades the component and flushes immediately.
+//!
+//! Timings are generous multiples of the configured intervals so the
+//! tests stay deterministic on loaded CI machines.
+
+use std::time::Duration;
+
+use xorp_harness::router::{MultiProcessRouter, RouterOptions};
+use xorp_rtrmgr::{SupervisedState, SupervisorConfig};
+
+/// A supervision config tuned for test speed: probes every 40 ms, three
+/// misses classify a crash, restarts come after `backoff_base * 2^(n-1)`.
+fn test_supervision(backoff_base_ms: u64, budget: u32, grace: Duration) -> SupervisorConfig {
+    SupervisorConfig {
+        keepalive_interval: Duration::from_millis(40),
+        miss_threshold: 3,
+        backoff_base: Duration::from_millis(backoff_base_ms),
+        backoff_max: Duration::from_millis(800),
+        restart_budget: budget,
+        grace_period: grace,
+    }
+}
+
+fn supervised_router(cfg: SupervisorConfig) -> MultiProcessRouter {
+    MultiProcessRouter::new(RouterOptions {
+        supervision: Some(cfg),
+        ..Default::default()
+    })
+}
+
+/// Announce three routes from peer 1 and wait for full convergence
+/// (3 EBGP + the pre-installed connected route = 4 everywhere).
+fn converge_three_routes(router: &MultiProcessRouter) {
+    router.announce_one(
+        1,
+        "10.1.0.0/16".parse().unwrap(),
+        "192.168.1.1".parse().unwrap(),
+    );
+    router.announce_one(
+        1,
+        "10.2.0.0/16".parse().unwrap(),
+        "192.168.1.1".parse().unwrap(),
+    );
+    router.announce_one(
+        1,
+        "10.3.0.0/16".parse().unwrap(),
+        "192.168.1.1".parse().unwrap(),
+    );
+    assert!(
+        router.wait_for(Duration::from_secs(10), || router.rib_route_count() == 4
+            && router.fea_route_count() == 4),
+        "initial convergence failed: rib={} fea={}",
+        router.rib_route_count(),
+        router.fea_route_count()
+    );
+}
+
+/// The tentpole scenario: kill BGP mid-session.  Routes must stay
+/// installed (stale) through the grace window, the supervisor must
+/// restart the process with backoff, and the replayed session must
+/// re-advertise and un-stale every route — no withdrawal ever reaches
+/// the FEA.
+#[test]
+fn supervised_bgp_death_preserves_routes_through_graceful_restart() {
+    // Backoff long enough (300 ms) that the stale window is reliably
+    // observable before the respawned process re-advertises; grace long
+    // enough (3 s) that the sweep cannot fire before re-learning.
+    let mut router = supervised_router(test_supervision(300, 5, Duration::from_secs(3)));
+    converge_three_routes(&router);
+    assert_eq!(
+        router.supervisor_state("bgp"),
+        Some(SupervisedState::Healthy)
+    );
+
+    router.kill_bgp();
+    assert!(!router.bgp_alive());
+
+    // Death marks the EBGP routes stale — but nothing is withdrawn.
+    assert!(
+        router.wait_for(Duration::from_secs(5), || router.rib_stale_count() == 3),
+        "routes were not marked stale: stale={} rib={}",
+        router.rib_stale_count(),
+        router.rib_route_count()
+    );
+    assert_eq!(
+        router.rib_route_count(),
+        4,
+        "stale routes must stay installed"
+    );
+    assert_eq!(
+        router.fea_route_count(),
+        4,
+        "no withdrawal may reach the FEA"
+    );
+
+    // The prober classifies the crash and respawns with backoff; the
+    // restarted process replays its session and re-advertises, clearing
+    // every stale mark.
+    assert!(
+        router.wait_for(Duration::from_secs(10), || router.supervised_restarts()
+            >= 1
+            && router.bgp_alive()
+            && router.rib_stale_count() == 0),
+        "supervised restart did not recover: restarts={} alive={} stale={}",
+        router.supervised_restarts(),
+        router.bgp_alive(),
+        router.rib_stale_count()
+    );
+    assert_eq!(
+        router.supervisor_state("bgp"),
+        Some(SupervisedState::Healthy)
+    );
+
+    // Outlive the grace window: the sweep must find nothing left to
+    // withdraw, because everything was re-learned.
+    std::thread::sleep(Duration::from_millis(3500));
+    assert_eq!(
+        router.rib_route_count(),
+        4,
+        "sweep withdrew re-learned routes"
+    );
+    assert_eq!(router.fea_route_count(), 4);
+    assert_eq!(router.rib_stale_count(), 0);
+
+    router.stop();
+}
+
+/// Control run: the identical kill without supervision flushes the dead
+/// protocol's routes immediately — the PR-1 behaviour is unchanged.
+#[test]
+fn unsupervised_bgp_death_still_flushes_immediately() {
+    let mut router = MultiProcessRouter::new(RouterOptions::default());
+    converge_three_routes(&router);
+    assert_eq!(router.supervisor_state("bgp"), None);
+
+    router.kill_bgp();
+    assert!(
+        router.wait_for(Duration::from_secs(10), || router.rib_route_count() == 1
+            && router.fea_route_count() == 1),
+        "unsupervised death did not flush: rib={} fea={}",
+        router.rib_route_count(),
+        router.fea_route_count()
+    );
+    assert_eq!(router.supervised_restarts(), 0);
+    router.stop();
+}
+
+/// Exhausting the restart budget trips the circuit breaker: the component
+/// degrades (no more respawns) and its routes are flushed — permanent
+/// death gets the immediate-flush policy, grace notwithstanding.
+#[test]
+fn restart_budget_exhaustion_degrades_and_flushes() {
+    // Budget of 2, and every respawn crashes right after coming up.  The
+    // long grace period proves the flush comes from the Degraded verdict,
+    // not from a sweep timer.
+    let mut router = supervised_router(test_supervision(50, 2, Duration::from_secs(60)));
+    converge_three_routes(&router);
+
+    router.set_bgp_crash_on_spawn(100);
+    router.kill_bgp();
+
+    assert!(
+        router.wait_for(Duration::from_secs(20), || {
+            router.supervisor_state("bgp") == Some(SupervisedState::Degraded)
+        }),
+        "budget exhaustion never degraded: state={:?} restarts={}",
+        router.supervisor_state("bgp"),
+        router.supervised_restarts()
+    );
+    assert_eq!(
+        router.supervised_restarts(),
+        2,
+        "degraded component must stop being restarted at its budget"
+    );
+
+    // The Degraded verdict flushes over XRL; only the connected route
+    // survives.
+    assert!(
+        router.wait_for(Duration::from_secs(10), || router.rib_route_count() == 1
+            && router.fea_route_count() == 1),
+        "degraded flush never happened: rib={} fea={}",
+        router.rib_route_count(),
+        router.fea_route_count()
+    );
+
+    // The breaker is sticky: no further restarts happen.
+    std::thread::sleep(Duration::from_millis(500));
+    assert_eq!(router.supervised_restarts(), 2);
+    assert_eq!(
+        router.supervisor_state("bgp"),
+        Some(SupervisedState::Degraded)
+    );
+    router.stop();
+}
+
+/// Soak: repeated kill/restart cycles, each of which must fully recover
+/// (alive, no stale routes, full table) without eating into correctness.
+/// Exercises cumulative backoff growth and replay across generations.
+#[test]
+fn repeated_kill_restart_cycles_recover_every_time() {
+    let mut router = supervised_router(test_supervision(50, 10, Duration::from_secs(30)));
+    converge_three_routes(&router);
+
+    for cycle in 1..=3u32 {
+        router.kill_bgp();
+        assert!(
+            router.wait_for(Duration::from_secs(20), || router.supervised_restarts()
+                >= cycle
+                && router.bgp_alive()
+                && router.rib_stale_count() == 0
+                && router.rib_route_count() == 4),
+            "cycle {cycle} did not recover: restarts={} alive={} stale={} rib={}",
+            router.supervised_restarts(),
+            router.bgp_alive(),
+            router.rib_stale_count(),
+            router.rib_route_count()
+        );
+        assert_eq!(
+            router.supervisor_state("bgp"),
+            Some(SupervisedState::Healthy)
+        );
+        // Let the supervisor observe a healthy probe or two between kills.
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(router.fea_route_count(), 4);
+    router.stop();
+}

@@ -1,5 +1,7 @@
 //! Origin tables: the stages where routes are actually stored (§5.2).
 
+use std::collections::BTreeSet;
+
 use xorp_event::EventLoop;
 use xorp_net::{Addr, HeapSize, PatriciaTrie, Prefix, ProtocolId};
 use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
@@ -15,6 +17,11 @@ pub struct OriginTable<A: Addr> {
     proto: ProtocolId,
     origin: OriginId,
     routes: PatriciaTrie<A, RibRoute<A>>,
+    /// Graceful-restart bookkeeping: prefixes whose contributing process
+    /// died under supervision.  They stay installed downstream; any
+    /// re-learned route clears its mark, and [`OriginTable::sweep_stale`]
+    /// withdraws whatever is still marked when the grace timer fires.
+    stale: BTreeSet<Prefix<A>>,
     downstream: Option<StageRef<A, RibRoute<A>>>,
 }
 
@@ -25,6 +32,7 @@ impl<A: Addr> OriginTable<A> {
             proto,
             origin,
             routes: PatriciaTrie::new(),
+            stale: BTreeSet::new(),
             downstream: None,
         }
     }
@@ -58,6 +66,9 @@ impl<A: Addr> OriginTable<A> {
     pub fn add_route(&mut self, el: &mut EventLoop, route: RibRoute<A>) {
         debug_assert_eq!(route.proto, self.proto, "route fed to wrong origin table");
         let net = route.net;
+        // A re-learned route refreshes its grace mark even when the route
+        // itself is byte-identical (the common graceful-restart case).
+        self.stale.remove(&net);
         let old = self.routes.insert(net, route.clone());
         let op = match old {
             Some(old) if old == route => return, // no-op update
@@ -74,6 +85,7 @@ impl<A: Addr> OriginTable<A> {
     /// Withdraw a route.  Emits `Delete` downstream; returns the withdrawn
     /// route.
     pub fn delete_route(&mut self, el: &mut EventLoop, net: Prefix<A>) -> Option<RibRoute<A>> {
+        self.stale.remove(&net);
         let old = self.routes.remove(&net)?;
         self.emit(
             el,
@@ -96,6 +108,30 @@ impl<A: Addr> OriginTable<A> {
     /// Iterate the stored routes.
     pub fn iter(&self) -> impl Iterator<Item = (Prefix<A>, &RibRoute<A>)> {
         self.routes.iter()
+    }
+
+    /// Graceful restart, phase 1: mark every stored route stale.  Nothing
+    /// is emitted downstream — forwarding continues on the dead process's
+    /// last-known routes.  Returns how many routes were marked.
+    pub fn mark_all_stale(&mut self) -> usize {
+        self.stale = self.routes.iter().map(|(n, _)| n).collect();
+        self.stale.len()
+    }
+
+    /// Routes still marked stale.
+    pub fn stale_count(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// Graceful restart, phase 2 (the grace timer fired): withdraw every
+    /// route that was not re-learned, emitting a `Delete` per route.
+    /// Returns how many were swept.
+    pub fn sweep_stale(&mut self, el: &mut EventLoop) -> usize {
+        let nets: Vec<Prefix<A>> = std::mem::take(&mut self.stale).into_iter().collect();
+        for net in &nets {
+            self.delete_route(el, *net);
+        }
+        nets.len()
     }
 
     /// Heap bytes attributable to this table (memory-accounting).
@@ -223,6 +259,58 @@ mod tests {
         t.add_route(&mut el, route("10.0.0.0/8", "192.0.2.1"));
         assert!(t.lookup_route(&"10.0.0.0/8".parse().unwrap()).is_some());
         assert!(t.lookup_route(&"11.0.0.0/8".parse().unwrap()).is_none());
+    }
+
+    /// The graceful-restart cycle: mark everything stale (silently),
+    /// re-learn a subset (even byte-identical replays clear the mark),
+    /// sweep the rest.
+    #[test]
+    fn stale_mark_refresh_sweep() {
+        let mut el = EventLoop::new_virtual();
+        let (mut t, sink) = table();
+        for i in 0..5u8 {
+            t.add_route(&mut el, route(&format!("10.{i}.0.0/16"), "192.0.2.1"));
+        }
+        sink.borrow_mut().log.clear();
+
+        assert_eq!(t.mark_all_stale(), 5);
+        assert_eq!(t.stale_count(), 5);
+        // Marking emits nothing: downstream keeps forwarding.
+        assert!(sink.borrow().log.is_empty());
+
+        // Re-learn two routes: one identical (the usual replay), one
+        // changed.  Both clear their stale mark.
+        t.add_route(&mut el, route("10.0.0.0/16", "192.0.2.1")); // identical
+        t.add_route(&mut el, route("10.1.0.0/16", "192.0.2.9")); // changed
+        assert_eq!(t.stale_count(), 3);
+        // The identical replay is still a downstream no-op.
+        assert_eq!(sink.borrow().log.len(), 1);
+        assert!(matches!(sink.borrow().log[0].1, RouteOp::Replace { .. }));
+
+        // Grace timer fires: only the three never-refreshed routes go.
+        assert_eq!(t.sweep_stale(&mut el), 3);
+        assert_eq!(t.stale_count(), 0);
+        assert_eq!(t.len(), 2);
+        let dels = sink
+            .borrow()
+            .log
+            .iter()
+            .filter(|(_, op)| matches!(op, RouteOp::Delete { .. }))
+            .count();
+        assert_eq!(dels, 3);
+        // Sweeping again is a no-op.
+        assert_eq!(t.sweep_stale(&mut el), 0);
+    }
+
+    #[test]
+    fn explicit_delete_clears_stale_mark() {
+        let mut el = EventLoop::new_virtual();
+        let (mut t, _sink) = table();
+        t.add_route(&mut el, route("10.0.0.0/16", "192.0.2.1"));
+        t.mark_all_stale();
+        t.delete_route(&mut el, "10.0.0.0/16".parse().unwrap());
+        assert_eq!(t.stale_count(), 0);
+        assert_eq!(t.sweep_stale(&mut el), 0);
     }
 
     #[test]

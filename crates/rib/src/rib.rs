@@ -166,10 +166,41 @@ where
     }
 
     /// Withdraw everything a protocol contributed (protocol shutdown).
+    /// This is the *immediate flush* policy — the right answer for
+    /// unsupervised or permanent death.  A supervised death should use
+    /// [`Rib::mark_protocol_stale`] + [`Rib::sweep_stale`] instead.
     pub fn clear_protocol(&mut self, el: &mut EventLoop, proto: ProtocolId) {
         if let Some(o) = self.origins.get(&proto) {
             o.borrow_mut().clear(el);
         }
+    }
+
+    /// Graceful restart, phase 1: a supervised process died — keep its
+    /// routes installed but mark them stale.  Returns how many were
+    /// marked.
+    pub fn mark_protocol_stale(&mut self, proto: ProtocolId) -> usize {
+        self.origins
+            .get(&proto)
+            .map(|o| o.borrow_mut().mark_all_stale())
+            .unwrap_or(0)
+    }
+
+    /// Graceful restart, phase 2: the grace timer fired — withdraw every
+    /// route the restarted process did not re-advertise.  Returns how
+    /// many were swept.
+    pub fn sweep_stale(&mut self, el: &mut EventLoop, proto: ProtocolId) -> usize {
+        self.origins
+            .get(&proto)
+            .map(|o| o.borrow_mut().sweep_stale(el))
+            .unwrap_or(0)
+    }
+
+    /// Routes of `proto` still marked stale.
+    pub fn stale_count(&self, proto: ProtocolId) -> usize {
+        self.origins
+            .get(&proto)
+            .map(|o| o.borrow().stale_count())
+            .unwrap_or(0)
     }
 
     /// Signal a batch boundary through the network.
@@ -485,6 +516,50 @@ mod tests {
             );
         }
         assert!(rib.memory_bytes() > empty);
+    }
+
+    /// Supervised death (§4.1 relaxed): mark-stale keeps the final table
+    /// intact, re-advertisement un-stales, the sweep withdraws only what
+    /// was never re-learned.
+    #[test]
+    fn graceful_restart_stale_then_sweep() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        rib.add_route(
+            &mut el,
+            route("192.168.0.0/16", "0.0.0.0", ProtocolId::Connected),
+        );
+        for i in 0..4u8 {
+            rib.add_route(
+                &mut el,
+                route(&format!("10.{i}.0.0/16"), "192.168.0.9", ProtocolId::Ebgp),
+            );
+        }
+        assert_eq!(rib.route_count(), 5);
+
+        // The BGP process dies under supervision: nothing is withdrawn.
+        assert_eq!(rib.mark_protocol_stale(ProtocolId::Ebgp), 4);
+        assert_eq!(rib.route_count(), 5);
+        assert_eq!(rib.stale_count(ProtocolId::Ebgp), 4);
+
+        // The restarted process re-advertises three of the four.
+        for i in 0..3u8 {
+            rib.add_route(
+                &mut el,
+                route(&format!("10.{i}.0.0/16"), "192.168.0.9", ProtocolId::Ebgp),
+            );
+        }
+        assert_eq!(rib.stale_count(ProtocolId::Ebgp), 1);
+
+        // Grace timer: only the unrefreshed route goes.
+        assert_eq!(rib.sweep_stale(&mut el, ProtocolId::Ebgp), 1);
+        assert_eq!(rib.route_count(), 4);
+        assert_eq!(rib.stale_count(ProtocolId::Ebgp), 0);
+        assert!(rib.consistency_violations().is_empty());
+
+        // Unknown protocols are harmless no-ops.
+        assert_eq!(rib.mark_protocol_stale(ProtocolId::Rip), 0);
+        assert_eq!(rib.sweep_stale(&mut el, ProtocolId::Rip), 0);
     }
 
     #[test]

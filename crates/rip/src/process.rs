@@ -479,6 +479,25 @@ impl RipProcess {
         Self::emit_rib(el, me, net, true);
     }
 
+    /// Graceful-restart refresh: re-emit every valid route to the RIB sink
+    /// (after a RIB restart, our routes are stale until re-advertised) and
+    /// follow with a full-table advertisement to the neighbors.  Returns
+    /// how many routes were re-emitted.
+    pub fn readvertise(el: &mut EventLoop, me: &Rc<RefCell<RipProcess>>) -> usize {
+        let nets: Vec<Ipv4Net> = me
+            .borrow()
+            .routes
+            .iter()
+            .filter(|(_, r)| r.state == RipRouteState::Valid)
+            .map(|(net, _)| *net)
+            .collect();
+        for net in &nets {
+            Self::emit_rib_replace(el, me, *net);
+        }
+        Self::send_full_table(el, me);
+        nets.len()
+    }
+
     // ---- introspection ----------------------------------------------------
 
     /// Number of routes (valid + garbage-collecting).
@@ -814,5 +833,45 @@ mod tests {
         assert_eq!(r.rib.borrow().len(), 1);
         RipProcess::withdraw(&mut r.el, &r.rip, "10.5.0.0/16".parse().unwrap());
         assert!(r.rib.borrow().is_empty());
+    }
+
+    /// The graceful-restart refresh path: a restarted RIB forgot our
+    /// routes; readvertise() re-emits every valid one (and only valid
+    /// ones) to the RIB sink plus a full-table advertisement on the wire.
+    #[test]
+    fn readvertise_refreshes_rib_and_neighbors() {
+        let mut r = rig(RipConfig::default());
+        RipProcess::originate(&mut r.el, &r.rip, "10.5.0.0/16".parse().unwrap(), 1);
+        RipProcess::on_packet(
+            &mut r.el,
+            &r.rip,
+            "eth0",
+            neighbor(),
+            response(&[("192.168.0.0/16", 3)]),
+        );
+        // A garbage-collecting route must not be re-advertised.
+        RipProcess::on_packet(
+            &mut r.el,
+            &r.rip,
+            "eth0",
+            neighbor(),
+            response(&[("172.16.0.0/16", 2)]),
+        );
+        RipProcess::on_packet(
+            &mut r.el,
+            &r.rip,
+            "eth0",
+            neighbor(),
+            response(&[("172.16.0.0/16", INFINITY)]),
+        );
+
+        // The RIB restarts with empty state.
+        r.rib.borrow_mut().clear();
+        r.sent.borrow_mut().clear();
+        let n = RipProcess::readvertise(&mut r.el, &r.rip);
+        assert_eq!(n, 2);
+        assert_eq!(r.rib.borrow().len(), 2);
+        assert!(r.rib.borrow().contains_key(&"10.5.0.0/16".parse().unwrap()));
+        assert!(!r.sent.borrow().is_empty(), "no wire advertisement sent");
     }
 }

@@ -14,12 +14,17 @@
 //!   authors "got wrong"; ours is deliberately minimal);
 //! * a **process registry** ([`RouterManager`]) mapping top-level config
 //!   sections to managed components, computing configuration diffs and
-//!   driving start/reconfigure/stop.
+//!   driving start/reconfigure/stop in dependency order, transactionally;
+//! * a **supervisor** ([`Supervisor`]) — liveness probing, crash
+//!   classification, dependency-ordered restart with exponential backoff,
+//!   a restart budget and a circuit-breaker `Degraded` state.
 
 pub mod config;
 pub mod manager;
+pub mod supervisor;
 pub mod template;
 
 pub use config::{parse, ConfigError, ConfigNode, ConfigValue};
-pub use manager::{ManagedProcess, RouterManager};
+pub use manager::{dependency_rank, CommitError, ManagedProcess, ProcessState, RouterManager};
+pub use supervisor::{SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
 pub use template::{Template, TemplateError, ValueType};

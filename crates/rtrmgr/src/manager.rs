@@ -1,10 +1,27 @@
 //! Component lifecycle: starting, reconfiguring and stopping managed
 //! processes from configuration changes.
+//!
+//! Commits are **dependency-ordered** (infrastructure before the RIB
+//! before routing protocols, §3.1) and **transactional**: if a section
+//! fails to apply, every change this commit already made is rolled back
+//! in reverse order, so the running configuration is never half-applied.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::config::ConfigNode;
 use crate::template::{Template, TemplateError};
+
+/// Start-order rank (§3.1): the FEA and interface configuration come up
+/// first, then the RIB that plugs into them, then the routing protocols
+/// that register with the RIB.  Shutdown and rollback run in reverse.
+pub fn dependency_rank(name: &str) -> u32 {
+    match name {
+        "interfaces" | "fea" | "firewall" => 0,
+        "rib" => 1,
+        _ => 2,
+    }
+}
 
 /// A managed router component (a "process" in the paper's architecture).
 ///
@@ -34,6 +51,54 @@ pub enum ProcessState {
     Running,
     /// Last transition failed.
     Failed,
+    /// The supervisor's restart budget for this component is spent; it is
+    /// left down until an operator intervenes.
+    Degraded,
+}
+
+/// Why a commit failed.
+#[derive(Debug)]
+pub enum CommitError {
+    /// Template validation rejected the configuration; nothing was
+    /// touched.
+    Validation(Vec<TemplateError>),
+    /// A section failed to apply.  Changes this commit had already made
+    /// were rolled back (in reverse order); `rolled_back` lists them.
+    /// The failed component is left [`ProcessState::Failed`] with its
+    /// previous `applied` config intact, so re-committing the same
+    /// configuration retries it.
+    Apply {
+        failed: String,
+        error: String,
+        rolled_back: Vec<String>,
+    },
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Validation(errors) => {
+                write!(f, "configuration rejected ({} error(s))", errors.len())
+            }
+            CommitError::Apply {
+                failed,
+                error,
+                rolled_back,
+            } => write!(
+                f,
+                "{failed} failed to apply: {error} (rolled back: {rolled_back:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// One planned (and possibly applied) change, kept so it can be undone.
+enum Change {
+    Start(ConfigNode),
+    Reconfigure { new: ConfigNode, prev: ConfigNode },
+    Stop(ConfigNode),
 }
 
 struct Managed {
@@ -87,6 +152,13 @@ impl RouterManager {
         self.running.as_ref()
     }
 
+    /// Registered component names in dependency order.
+    fn dependency_order(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.processes.keys().cloned().collect();
+        names.sort_by_key(|n| (dependency_rank(n), n.clone()));
+        names
+    }
+
     /// Find the subtree a component consumes: `protocols.<name>`, falling
     /// back to a top-level `<name>` section.
     fn section_for<'a>(root: &'a ConfigNode, name: &str) -> Option<&'a ConfigNode> {
@@ -96,55 +168,158 @@ impl RouterManager {
     }
 
     /// Commit a new configuration: validate, then start / reconfigure /
-    /// stop components whose sections appeared / changed / vanished.
+    /// stop components whose sections appeared / changed / vanished, in
+    /// dependency order.  On failure, already-applied changes are rolled
+    /// back in reverse and the running config is unchanged.
     ///
     /// Returns the names of components touched, in order.
-    pub fn commit(&mut self, root: ConfigNode) -> Result<Vec<String>, Vec<TemplateError>> {
+    pub fn commit(&mut self, root: ConfigNode) -> Result<Vec<String>, CommitError> {
         if let Some(t) = &self.template {
             let errors = t.validate(&root);
             if !errors.is_empty() {
-                return Err(errors);
+                return Err(CommitError::Validation(errors));
             }
         }
-        let mut touched = Vec::new();
-        for (name, managed) in self.processes.iter_mut() {
-            let section = Self::section_for(&root, name).cloned();
+
+        // Plan first (no side effects), in dependency order.
+        let mut plan: Vec<(String, Change)> = Vec::new();
+        for name in self.dependency_order() {
+            let managed = &self.processes[&name];
+            let section = Self::section_for(&root, &name).cloned();
             match (&managed.applied, section) {
-                (None, Some(section)) => {
-                    managed.state = match managed.process.start(&section) {
-                        Ok(()) => ProcessState::Running,
-                        Err(_) => ProcessState::Failed,
-                    };
-                    managed.applied = Some(section);
-                    touched.push(name.clone());
-                }
-                (Some(prev), Some(section)) => {
-                    if *prev != section {
-                        managed.state = match managed.process.reconfigure(&section) {
-                            Ok(()) => ProcessState::Running,
-                            Err(_) => ProcessState::Failed,
-                        };
-                        managed.applied = Some(section);
-                        touched.push(name.clone());
-                    }
-                }
-                (Some(_), None) => {
+                (None, Some(section)) => plan.push((name, Change::Start(section))),
+                (Some(prev), Some(section)) if *prev != section => plan.push((
+                    name,
+                    Change::Reconfigure {
+                        new: section,
+                        prev: prev.clone(),
+                    },
+                )),
+                (Some(prev), None) => plan.push((name, Change::Stop(prev.clone()))),
+                _ => {}
+            }
+        }
+
+        // Apply; on the first failure, undo what this commit did.
+        let mut done: Vec<(String, Change)> = Vec::new();
+        for (name, change) in plan {
+            let managed = self.processes.get_mut(&name).expect("planned component");
+            let result = match &change {
+                Change::Start(section) => managed.process.start(section).map(|()| {
+                    managed.state = ProcessState::Running;
+                    managed.applied = Some(section.clone());
+                }),
+                Change::Reconfigure { new, .. } => managed.process.reconfigure(new).map(|()| {
+                    managed.state = ProcessState::Running;
+                    managed.applied = Some(new.clone());
+                }),
+                Change::Stop(_) => {
                     managed.process.stop();
                     managed.state = ProcessState::Stopped;
                     managed.applied = None;
-                    touched.push(name.clone());
+                    Ok(())
                 }
-                (None, None) => {}
+            };
+            match result {
+                Ok(()) => done.push((name, change)),
+                Err(error) => {
+                    // The failed component keeps its previous `applied`
+                    // (never record a config that did not take), so an
+                    // identical re-commit retries it.
+                    managed.state = ProcessState::Failed;
+                    let rolled_back = self.rollback(done);
+                    return Err(CommitError::Apply {
+                        failed: name,
+                        error,
+                        rolled_back,
+                    });
+                }
             }
         }
+
         self.running = Some(root);
-        Ok(touched)
+        Ok(done.into_iter().map(|(name, _)| name).collect())
     }
 
-    /// Stop everything (router shutdown).
+    /// Undo this commit's applied changes, newest first.
+    fn rollback(&mut self, done: Vec<(String, Change)>) -> Vec<String> {
+        let mut names = Vec::new();
+        for (name, change) in done.into_iter().rev() {
+            let managed = self.processes.get_mut(&name).expect("applied component");
+            match change {
+                Change::Start(_) => {
+                    managed.process.stop();
+                    managed.state = ProcessState::Stopped;
+                    managed.applied = None;
+                }
+                Change::Reconfigure { prev, .. } => {
+                    managed.state = match managed.process.reconfigure(&prev) {
+                        Ok(()) => ProcessState::Running,
+                        Err(_) => ProcessState::Failed,
+                    };
+                    managed.applied = Some(prev);
+                }
+                Change::Stop(prev) => match managed.process.start(&prev) {
+                    Ok(()) => {
+                        managed.state = ProcessState::Running;
+                        managed.applied = Some(prev);
+                    }
+                    Err(_) => {
+                        managed.state = ProcessState::Failed;
+                        managed.applied = None;
+                    }
+                },
+            }
+            names.push(name);
+        }
+        names
+    }
+
+    /// Supervised restart: bounce a component back up with its applied
+    /// configuration (the [`crate::supervisor::Supervisor`]'s respawn
+    /// action for manager-registered components).
+    pub fn restart(&mut self, name: &str) -> Result<(), String> {
+        let managed = self
+            .processes
+            .get_mut(name)
+            .ok_or_else(|| format!("no such component: {name}"))?;
+        let section = managed
+            .applied
+            .clone()
+            .ok_or_else(|| format!("{name} has no applied configuration"))?;
+        managed.process.stop();
+        match managed.process.start(&section) {
+            Ok(()) => {
+                managed.state = ProcessState::Running;
+                Ok(())
+            }
+            Err(e) => {
+                managed.state = ProcessState::Failed;
+                Err(e)
+            }
+        }
+    }
+
+    /// Circuit-breaker: mark a component permanently down (restart budget
+    /// spent).  Returns false if the name is unknown.
+    pub fn mark_degraded(&mut self, name: &str) -> bool {
+        match self.processes.get_mut(name) {
+            Some(managed) => {
+                managed.state = ProcessState::Degraded;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stop everything (router shutdown), protocols first and
+    /// infrastructure last — the reverse of start order.  Anything not
+    /// already `Stopped` is stopped, including `Failed`/`Degraded`
+    /// components that may hold half-running state.
     pub fn shutdown(&mut self) {
-        for managed in self.processes.values_mut() {
-            if managed.state == ProcessState::Running {
+        for name in self.dependency_order().into_iter().rev() {
+            let managed = self.processes.get_mut(&name).expect("registered component");
+            if managed.state != ProcessState::Stopped {
                 managed.process.stop();
                 managed.state = ProcessState::Stopped;
                 managed.applied = None;
@@ -159,7 +334,7 @@ mod tests {
     use super::*;
     use crate::config::parse;
     use crate::template::standard_template;
-    use std::cell::RefCell;
+    use std::cell::{Cell, RefCell};
     use std::rc::Rc;
 
     #[derive(Default)]
@@ -170,7 +345,21 @@ mod tests {
     struct FakeProcess {
         name: &'static str,
         log: Rc<RefCell<LogState>>,
-        fail_start: bool,
+        /// How many of the next `start` calls fail.
+        fail_starts: Cell<u32>,
+        /// How many of the next `reconfigure` calls fail.
+        fail_reconfigures: Cell<u32>,
+    }
+
+    impl FakeProcess {
+        fn new(name: &'static str, log: Rc<RefCell<LogState>>) -> FakeProcess {
+            FakeProcess {
+                name,
+                log,
+                fail_starts: Cell::new(0),
+                fail_reconfigures: Cell::new(0),
+            }
+        }
     }
 
     impl ManagedProcess for FakeProcess {
@@ -183,7 +372,8 @@ mod tests {
                 self.name,
                 config.attrs.len()
             ));
-            if self.fail_start {
+            if self.fail_starts.get() > 0 {
+                self.fail_starts.set(self.fail_starts.get() - 1);
                 Err("boom".into())
             } else {
                 Ok(())
@@ -194,7 +384,12 @@ mod tests {
                 .borrow_mut()
                 .events
                 .push(format!("reconfigure {}", self.name));
-            Ok(())
+            if self.fail_reconfigures.get() > 0 {
+                self.fail_reconfigures.set(self.fail_reconfigures.get() - 1);
+                Err("boom".into())
+            } else {
+                Ok(())
+            }
         }
         fn stop(&mut self) {
             self.log
@@ -208,11 +403,7 @@ mod tests {
         let log = Rc::new(RefCell::new(LogState::default()));
         let mut mgr = RouterManager::new();
         for name in names {
-            mgr.register(Box::new(FakeProcess {
-                name,
-                log: log.clone(),
-                fail_start: false,
-            }));
+            mgr.register(Box::new(FakeProcess::new(name, log.clone())));
         }
         (mgr, log)
     }
@@ -273,23 +464,170 @@ protocols {
         let err = mgr
             .commit(parse("protocols { bgp { local-as: 1 } }").unwrap())
             .unwrap_err();
-        assert!(!err.is_empty());
+        match err {
+            CommitError::Validation(errors) => assert!(!errors.is_empty()),
+            other => panic!("expected a validation error, got {other}"),
+        }
         assert!(log.borrow().events.is_empty());
         assert_eq!(mgr.state("bgp"), Some(ProcessState::Stopped));
         assert!(mgr.running_config().is_none());
     }
 
+    /// Full config with all four ranks of components: commits start
+    /// infrastructure before the RIB before the protocols, and shutdown
+    /// runs in exactly the reverse order.
     #[test]
-    fn failed_start_recorded() {
+    fn dependency_ordered_start_and_reverse_shutdown() {
+        let (mut mgr, log) = manager_with(&["bgp", "rip", "rib", "interfaces"]);
+        let full = r#"
+interfaces { interface eth0 { address: 10.0.0.1
+                              prefix: 10.0.0.0/24 } }
+rib { }
+protocols {
+    bgp { local-as: 65000
+          router-id: 10.0.0.1 }
+    rip { }
+}
+"#;
+        let touched = mgr.commit(parse(full).unwrap()).unwrap();
+        assert_eq!(touched, vec!["interfaces", "rib", "bgp", "rip"]);
+
+        mgr.shutdown();
+        let events = &log.borrow().events;
+        let stops: Vec<&String> = events.iter().filter(|e| e.starts_with("stop")).collect();
+        assert_eq!(
+            stops,
+            ["stop rip", "stop bgp", "stop rib", "stop interfaces"]
+        );
+        assert!(mgr.running_config().is_none());
+    }
+
+    #[test]
+    fn failed_start_reported_and_retryable() {
         let log = Rc::new(RefCell::new(LogState::default()));
         let mut mgr = RouterManager::new();
-        mgr.register(Box::new(FakeProcess {
-            name: "bgp",
-            log: log.clone(),
-            fail_start: true,
-        }));
-        mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        let bgp = FakeProcess::new("bgp", log.clone());
+        bgp.fail_starts.set(1);
+        mgr.register(Box::new(bgp));
+
+        let err = mgr.commit(parse(BGP_RIP).unwrap()).unwrap_err();
+        match err {
+            CommitError::Apply { failed, .. } => assert_eq!(failed, "bgp"),
+            other => panic!("expected an apply error, got {other}"),
+        }
         assert_eq!(mgr.state("bgp"), Some(ProcessState::Failed));
+        // The failed config was NOT recorded as applied, so committing the
+        // exact same configuration again retries the start.
+        let touched = mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        assert_eq!(touched, vec!["bgp"]);
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Running));
+    }
+
+    /// A later section failing rolls back the earlier sections this commit
+    /// already applied — the running config is never half-new.
+    #[test]
+    fn failed_section_rolls_back_earlier_changes() {
+        let log = Rc::new(RefCell::new(LogState::default()));
+        let mut mgr = RouterManager::new();
+        mgr.register(Box::new(FakeProcess::new("rib", log.clone())));
+        let bgp = FakeProcess::new("bgp", log.clone());
+        bgp.fail_starts.set(1);
+        mgr.register(Box::new(bgp));
+
+        let full = r#"
+rib { }
+protocols { bgp { local-as: 65000
+                  router-id: 10.0.0.1 } }
+"#;
+        let err = mgr.commit(parse(full).unwrap()).unwrap_err();
+        match err {
+            CommitError::Apply {
+                failed,
+                rolled_back,
+                ..
+            } => {
+                assert_eq!(failed, "bgp");
+                assert_eq!(rolled_back, vec!["rib"]);
+            }
+            other => panic!("expected an apply error, got {other}"),
+        }
+        // rib was started (before bgp, by rank) then stopped again.
+        let events = &log.borrow().events;
+        assert_eq!(
+            events,
+            &vec![
+                "start rib (0 attrs)".to_string(),
+                "start bgp (2 attrs)".to_string(),
+                "stop rib".to_string(),
+            ]
+        );
+        assert_eq!(mgr.state("rib"), Some(ProcessState::Stopped));
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Failed));
+        assert!(mgr.running_config().is_none());
+    }
+
+    /// A failed reconfigure is rolled back to the previous section on the
+    /// *other* components; the failed one keeps its old applied config.
+    #[test]
+    fn failed_reconfigure_restores_previous_config() {
+        let log2 = Rc::new(RefCell::new(LogState::default()));
+        let mut mgr2 = RouterManager::new();
+        mgr2.register(Box::new(FakeProcess::new("bgp", log2.clone())));
+        let rip = FakeProcess::new("rip", log2.clone());
+        rip.fail_reconfigures.set(1);
+        mgr2.register(Box::new(rip));
+        mgr2.commit(parse(BGP_RIP).unwrap()).unwrap();
+
+        let changed = BGP_RIP
+            .replace("65000", "65001")
+            .replace("rip { }", "rip { metric: 2 }");
+        let err = mgr2.commit(parse(&changed).unwrap()).unwrap_err();
+        match err {
+            CommitError::Apply {
+                failed,
+                rolled_back,
+                ..
+            } => {
+                assert_eq!(failed, "rip");
+                assert_eq!(rolled_back, vec!["bgp"]);
+            }
+            other => panic!("expected an apply error, got {other}"),
+        }
+        // bgp was re-reconfigured back to its previous section; the
+        // running config is still the original commit's.
+        assert_eq!(mgr2.state("bgp"), Some(ProcessState::Running));
+        assert_eq!(mgr2.state("rip"), Some(ProcessState::Failed));
+        assert_eq!(
+            mgr2.running_config().unwrap(),
+            &parse(BGP_RIP).unwrap(),
+            "a failed commit must not replace the running config"
+        );
+        // And the same changed config can be retried: both diffs re-run.
+        let touched = mgr2.commit(parse(&changed).unwrap()).unwrap();
+        assert_eq!(touched, vec!["bgp", "rip"]);
+    }
+
+    /// Satellite fix: shutdown must stop Failed components too — a failed
+    /// reconfigure leaves a live process behind the Failed state.
+    #[test]
+    fn shutdown_stops_failed_components() {
+        let log = Rc::new(RefCell::new(LogState::default()));
+        let mut mgr = RouterManager::new();
+        let bgp = FakeProcess::new("bgp", log.clone());
+        bgp.fail_reconfigures.set(2); // the reconfigure AND its rollback fail
+        mgr.register(Box::new(bgp));
+        mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        let changed = BGP_RIP.replace("65000", "65001");
+        assert!(mgr.commit(parse(&changed).unwrap()).is_err());
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Failed));
+
+        log.borrow_mut().events.clear();
+        mgr.shutdown();
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Stopped));
+        assert!(
+            log.borrow().events.contains(&"stop bgp".to_string()),
+            "Failed component never received stop()"
+        );
     }
 
     #[test]
@@ -301,6 +639,37 @@ protocols {
         let events = &log.borrow().events;
         assert!(events.contains(&"stop bgp".to_string()));
         assert!(events.contains(&"stop rip".to_string()));
+    }
+
+    #[test]
+    fn restart_bounces_a_component_with_its_applied_config() {
+        let (mut mgr, log) = manager_with(&["bgp", "rip"]);
+        mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        log.borrow_mut().events.clear();
+
+        mgr.restart("bgp").unwrap();
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Running));
+        assert_eq!(
+            &log.borrow().events,
+            &vec!["stop bgp".to_string(), "start bgp (2 attrs)".to_string()]
+        );
+        // Unknown or never-started components refuse.
+        assert!(mgr.restart("ospf").is_err());
+        mgr.shutdown();
+        assert!(mgr.restart("bgp").is_err());
+    }
+
+    #[test]
+    fn mark_degraded_is_sticky_until_shutdown() {
+        let (mut mgr, log) = manager_with(&["bgp"]);
+        mgr.commit(parse(BGP_RIP).unwrap()).unwrap();
+        assert!(mgr.mark_degraded("bgp"));
+        assert_eq!(mgr.state("bgp"), Some(ProcessState::Degraded));
+        assert!(!mgr.mark_degraded("ospf"));
+        // Shutdown still stops it (it may hold half-running state).
+        log.borrow_mut().events.clear();
+        mgr.shutdown();
+        assert!(log.borrow().events.contains(&"stop bgp".to_string()));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Supervision keepalives: the `common/1.0/keepalive` XRL every managed
+//! process answers, and the probe helper the router manager uses to ask.
+//!
+//! Liveness detection rides the ordinary XRL plane rather than a side
+//! channel, so it inherits — and is tested against — the same retry
+//! policy and fault injection as real traffic:
+//!
+//! * a **deregistered** target (clean death: its router's shutdown told
+//!   the Finder) fails resolution immediately;
+//! * a **hung** target (registered but not answering) is bounded by the
+//!   probing router's [`crate::RetryPolicy`] timeout;
+//! * a **lossy plane** can eat individual probes, which is why the
+//!   supervisor classifies a crash only after a streak of misses.
+
+use xorp_event::EventLoop;
+
+use crate::atom::XrlArgs;
+use crate::router::XrlRouter;
+use crate::xrl::Xrl;
+
+/// Handler path of the standard keepalive method.
+pub const KEEPALIVE_PATH: &str = "common/1.0/keepalive";
+
+/// Register the standard keepalive responder on a target instance.  Call
+/// after `register_target`; any process that wants to be supervised must.
+pub fn add_keepalive_responder(router: &XrlRouter, instance: &str) {
+    router.add_fn(instance, KEEPALIVE_PATH, |_el, _args| {
+        Ok(XrlArgs::new().add_bool("alive", true))
+    });
+}
+
+/// Probe a component class once: send `common/1.0/keepalive` and report
+/// whether a well-formed answer came back.  Every failure mode — resolve
+/// failure, timeout, transport error, malformed reply — is a miss.
+pub fn probe_liveness(
+    router: &XrlRouter,
+    el: &mut EventLoop,
+    class: &str,
+    cb: impl FnOnce(&mut EventLoop, bool) + 'static,
+) {
+    let xrl = Xrl::generic(class, "common", "1.0", "keepalive", XrlArgs::new());
+    router.send(
+        el,
+        xrl,
+        Box::new(move |el, result| {
+            let alive = matches!(&result, Ok(args) if args.get_bool("alive").unwrap_or(false));
+            cb(el, alive);
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finder::Finder;
+    use crate::router::RetryPolicy;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::time::Duration;
+
+    #[test]
+    fn probe_answers_for_live_target_and_misses_for_dead() {
+        let mut el = EventLoop::new_virtual();
+        let finder = Finder::new();
+        let router = XrlRouter::new(&mut el, finder);
+        router.register_target("bgp", "bgp-0", true).unwrap();
+        add_keepalive_responder(&router, "bgp-0");
+        // Probes of unresolvable classes must fail fast even without a
+        // retry policy (resolution fails before any transport timeout).
+        router.set_retry_policy(Some(RetryPolicy {
+            max_attempts: 1,
+            base_timeout: Duration::from_millis(50),
+            max_timeout: Duration::from_millis(50),
+        }));
+
+        let outcomes: Rc<RefCell<Vec<(&str, bool)>>> = Rc::new(RefCell::new(Vec::new()));
+        let o = outcomes.clone();
+        probe_liveness(&router, &mut el, "bgp", move |_el, alive| {
+            o.borrow_mut().push(("bgp", alive));
+        });
+        let o = outcomes.clone();
+        probe_liveness(&router, &mut el, "ospf", move |_el, alive| {
+            o.borrow_mut().push(("ospf", alive));
+        });
+        el.run_until_idle();
+        let got = outcomes.borrow().clone();
+        assert!(got.contains(&("bgp", true)), "live target: {got:?}");
+        assert!(got.contains(&("ospf", false)), "dead target: {got:?}");
+    }
+
+    #[test]
+    fn deregistered_target_becomes_a_miss() {
+        let mut el = EventLoop::new_virtual();
+        let finder = Finder::new();
+        let router = XrlRouter::new(&mut el, finder);
+        router.register_target("bgp", "bgp-0", true).unwrap();
+        add_keepalive_responder(&router, "bgp-0");
+        router.set_retry_policy(Some(RetryPolicy {
+            max_attempts: 1,
+            base_timeout: Duration::from_millis(50),
+            max_timeout: Duration::from_millis(50),
+        }));
+
+        let alive = Rc::new(RefCell::new(None));
+        let a = alive.clone();
+        probe_liveness(&router, &mut el, "bgp", move |_el, ok| {
+            *a.borrow_mut() = Some(ok);
+        });
+        el.run_until_idle();
+        assert_eq!(*alive.borrow(), Some(true));
+
+        // Clean death: the target deregisters; the next probe fails on
+        // resolution, immediately.
+        router.shutdown(&mut el);
+        let a = alive.clone();
+        probe_liveness(&router, &mut el, "bgp", move |_el, ok| {
+            *a.borrow_mut() = Some(ok);
+        });
+        el.run_until_idle();
+        assert_eq!(*alive.borrow(), Some(false));
+    }
+}

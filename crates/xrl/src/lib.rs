@@ -31,6 +31,7 @@ pub mod error;
 pub mod fault;
 pub mod finder;
 pub mod idl;
+pub mod keepalive;
 pub mod marshal;
 pub mod proxy;
 pub mod router;

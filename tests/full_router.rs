@@ -136,7 +136,8 @@ fn manager() -> (
 fn commit_starts_everything_with_parsed_settings() {
     let (mut mgr, bgp, rip, ifs) = manager();
     let touched = mgr.commit(parse(CONFIG_V1).unwrap()).unwrap();
-    assert_eq!(touched, vec!["bgp", "interfaces", "rip"]);
+    // Dependency order: interfaces first, protocols after.
+    assert_eq!(touched, vec!["interfaces", "bgp", "rip"]);
 
     let b = bgp.borrow();
     assert!(b.started);
@@ -173,8 +174,13 @@ fn invalid_commit_is_rejected_atomically() {
 
     // Typo'd attribute: template rejects; nothing applied.
     let bad = CONFIG_V1.replace("local-as: 65000", "local-az: 65000");
-    let errors = mgr.commit(parse(&bad).unwrap()).unwrap_err();
-    assert!(errors.iter().any(|e| e.message.contains("local-a")));
+    let err = mgr.commit(parse(&bad).unwrap()).unwrap_err();
+    match err {
+        xorp::rtrmgr::CommitError::Validation(errors) => {
+            assert!(errors.iter().any(|e| e.message.contains("local-a")));
+        }
+        other => panic!("expected a validation rejection, got {other}"),
+    }
     assert_eq!(bgp.borrow().local_as, as_before);
     assert_eq!(bgp.borrow().reconfigures, 0);
 }
