@@ -394,6 +394,13 @@ where
         branch.peer_in.borrow_mut().push_batch(el);
     }
 
+    /// Coalesce fanout deliveries: with `n > 1`, up to `n` best-path
+    /// changes flow to every reader (peers + RIB) together; the per-UPDATE
+    /// batch push flushes partial batches so a lone route is never held.
+    pub fn set_coalesce(&mut self, n: usize) {
+        self.fanout.borrow_mut().set_coalesce(n);
+    }
+
     /// Inject a locally originated route (network statement /
     /// redistribution into BGP).  Uses a synthetic "peer 0"-style source.
     pub fn originate(&mut self, el: &mut EventLoop, peer: PeerId, route: BgpRoute<A>) {

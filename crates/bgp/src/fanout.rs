@@ -48,6 +48,12 @@ pub struct FanoutQueue<A: Addr> {
     best: BTreeMap<Prefix<A>, BgpRoute<A>>,
     /// High-water mark of queue length (ablation measurements).
     pub max_queue_len: usize,
+    /// Coalesce threshold: when > 1, `route_op` defers delivery until
+    /// this many entries accumulate or a `push` (batch boundary) arrives.
+    /// At 0/1 every entry is pumped immediately (per-route mode).
+    coalesce: usize,
+    /// Entries enqueued since the last pump.
+    unpumped: usize,
 }
 
 impl<A: Addr> Default for FanoutQueue<A> {
@@ -65,7 +71,17 @@ impl<A: Addr> FanoutQueue<A> {
             readers: HashMap::new(),
             best: BTreeMap::new(),
             max_queue_len: 0,
+            coalesce: 1,
+            unpumped: 0,
         }
+    }
+
+    /// Set the coalesce threshold.  `n > 1` batches deliveries: readers
+    /// see nothing until `n` changes accumulate or a batch boundary
+    /// (`push`) flushes early — so a lone route is only delayed until the
+    /// sender's own push, keeping single-route latency.
+    pub fn set_coalesce(&mut self, n: usize) {
+        self.coalesce = n.max(1);
     }
 
     /// Attach a reader; it starts at the current queue tail and is
@@ -180,6 +196,7 @@ impl<A: Addr> FanoutQueue<A> {
                 reader.cursor = *seq + 1;
             }
         }
+        self.unpumped = 0;
         self.gc();
     }
 
@@ -284,6 +301,12 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for FanoutQueue<A> {
         self.next_seq += 1;
         self.queue.push_back((seq, op));
         self.max_queue_len = self.max_queue_len.max(self.queue.len());
+        self.unpumped += 1;
+        // Size-based flush: under coalescing, hold deliveries until the
+        // threshold fills; the batch boundary (`push`) flushes early.
+        if self.coalesce > 1 && self.unpumped < self.coalesce {
+            return;
+        }
         self.pump(el);
     }
 
@@ -292,6 +315,11 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for FanoutQueue<A> {
     }
 
     fn push(&mut self, el: &mut EventLoop) {
+        // Batch boundary: flush anything the coalescer is holding so a
+        // partial batch never waits on future traffic.
+        if self.unpumped > 0 {
+            self.pump(el);
+        }
         for reader in self.readers.values() {
             if !reader.paused {
                 reader.branch.borrow_mut().push(el);
@@ -507,6 +535,44 @@ mod tests {
             .borrow_mut()
             .remove_reader(ReaderId::Peer(PeerId(2)));
         assert_eq!(rig.fanout.borrow().queue_len(), 0);
+    }
+
+    #[test]
+    fn coalescing_defers_until_threshold() {
+        let mut rig = rig(&[1]);
+        rig.fanout.borrow_mut().set_coalesce(3);
+        rig.send(add(route("10.0.0.0/8", 1)));
+        rig.send(add(route("20.0.0.0/8", 1)));
+        // Below threshold: nothing delivered yet.
+        assert_eq!(rig.table_len(ReaderId::Rib), 0);
+        rig.send(add(route("30.0.0.0/8", 1)));
+        // Third entry fills the batch: all three flow at once.
+        assert_eq!(rig.table_len(ReaderId::Rib), 3);
+    }
+
+    #[test]
+    fn push_flushes_partial_coalesced_batch() {
+        let mut rig = rig(&[1]);
+        rig.fanout.borrow_mut().set_coalesce(100);
+        rig.send(add(route("10.0.0.0/8", 1)));
+        assert_eq!(rig.table_len(ReaderId::Rib), 0);
+        // Batch boundary: the lone route must not wait for 99 more.
+        let f = rig.fanout.clone();
+        f.borrow_mut().push(&mut rig.el);
+        assert_eq!(rig.table_len(ReaderId::Rib), 1);
+        // Back below threshold again; coalescing still active.
+        rig.send(add(route("20.0.0.0/8", 1)));
+        assert_eq!(rig.table_len(ReaderId::Rib), 1);
+        f.borrow_mut().push(&mut rig.el);
+        assert_eq!(rig.table_len(ReaderId::Rib), 2);
+    }
+
+    #[test]
+    fn coalesce_one_is_per_route() {
+        let mut rig = rig(&[1]);
+        rig.fanout.borrow_mut().set_coalesce(1);
+        rig.send(add(route("10.0.0.0/8", 1)));
+        assert_eq!(rig.table_len(ReaderId::Rib), 1);
     }
 
     #[test]

@@ -258,6 +258,11 @@ impl<A: Addr> NexthopResolver<A> {
             for (net, before, after) in diffs {
                 emit_diff(el, &d, origin, net, before, after);
             }
+            // The answer is a batch boundary: the routes it released were
+            // decoupled from their UPDATE's push when they were held, so
+            // a coalescing downstream (the fanout) would otherwise hold a
+            // partial batch forever waiting for traffic that may never come.
+            d.borrow_mut().push(el);
         }
     }
 

@@ -34,6 +34,13 @@ pub enum UpdateOut<A: Addr> {
 /// Writer callback receiving outbound changes.
 pub type UpdateWriter<A> = Rc<dyn Fn(&mut EventLoop, UpdateOut<A>)>;
 
+/// Writer callback receiving whole flushed batches: the withdrawals plus
+/// the announcements grouped by shared attribute block — the shape a wire
+/// UPDATE packs ([`batch_updates`]).
+#[allow(clippy::type_complexity)]
+pub type BatchUpdateWriter<A> =
+    Rc<dyn Fn(&mut EventLoop, Vec<Prefix<A>>, Vec<(Arc<PathAttributes>, Vec<Prefix<A>>)>)>;
+
 /// Per-peering output stage.
 pub struct PeerOut<A: Addr> {
     peer: PeerId,
@@ -48,6 +55,11 @@ pub struct PeerOut<A: Addr> {
     announced: BTreeSet<Prefix<A>>,
     /// Count of UPDATE-visible changes (diagnostics).
     pub updates_sent: u64,
+    /// When set, changes buffer here and flush as grouped batches at the
+    /// size limit or the next `push` (batch boundary) instead of going to
+    /// `writer` one at a time.
+    batch_writer: Option<(BatchUpdateWriter<A>, usize)>,
+    pending: Vec<UpdateOut<A>>,
 }
 
 impl<A: Addr> PeerOut<A> {
@@ -67,6 +79,48 @@ impl<A: Addr> PeerOut<A> {
             writer,
             announced: BTreeSet::new(),
             updates_sent: 0,
+            batch_writer: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Switch to batched output: changes accumulate and flush to `writer`
+    /// as one grouped batch once `limit` changes queue up, or at the next
+    /// `push` — so a lone route flushes at its own batch boundary and
+    /// keeps per-route latency.
+    pub fn set_batch_writer(&mut self, writer: BatchUpdateWriter<A>, limit: usize) {
+        self.batch_writer = Some((writer, limit.max(1)));
+    }
+
+    /// Changes buffered and not yet flushed.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Flush buffered changes (no-op in per-route mode or when empty).
+    pub fn flush(&mut self, el: &mut EventLoop) {
+        let Some((writer, _)) = self.batch_writer.clone() else {
+            return;
+        };
+        if self.pending.is_empty() {
+            return;
+        }
+        let outs = std::mem::take(&mut self.pending);
+        let (withdrawn, announced) = batch_updates(&outs);
+        writer(el, withdrawn, announced);
+    }
+
+    fn emit(&mut self, el: &mut EventLoop, out: UpdateOut<A>) {
+        self.updates_sent += 1;
+        match &self.batch_writer {
+            Some((_, limit)) => {
+                let limit = *limit;
+                self.pending.push(out);
+                if self.pending.len() >= limit {
+                    self.flush(el);
+                }
+            }
+            None => (self.writer)(el, out),
         }
     }
 
@@ -76,9 +130,11 @@ impl<A: Addr> PeerOut<A> {
     }
 
     /// Forget announcement state without emitting withdrawals: the session
-    /// dropped, so the remote peer's table is already gone.
+    /// dropped, so the remote peer's table is already gone.  Buffered
+    /// batch output is dropped with it.
     pub fn reset(&mut self) {
         self.announced.clear();
+        self.pending.clear();
     }
 
     /// Apply the outbound transform; `None` means "do not advertise".
@@ -107,14 +163,12 @@ impl<A: Addr> PeerOut<A> {
 
     fn announce(&mut self, el: &mut EventLoop, net: Prefix<A>, attrs: Arc<PathAttributes>) {
         self.announced.insert(net);
-        self.updates_sent += 1;
-        (self.writer)(el, UpdateOut::Announce(net, attrs));
+        self.emit(el, UpdateOut::Announce(net, attrs));
     }
 
     fn withdraw(&mut self, el: &mut EventLoop, net: Prefix<A>) {
         if self.announced.remove(&net) {
-            self.updates_sent += 1;
-            (self.writer)(el, UpdateOut::Withdraw(net));
+            self.emit(el, UpdateOut::Withdraw(net));
         }
     }
 }
@@ -141,7 +195,10 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for PeerOut<A> {
         None // terminal stage
     }
 
-    fn push(&mut self, _el: &mut EventLoop) {}
+    fn push(&mut self, el: &mut EventLoop) {
+        // Batch boundary: flush whatever the coalescer is holding.
+        self.flush(el);
+    }
 }
 
 /// Helper: collect a run of [`UpdateOut`]s into per-attribute batches, the
@@ -300,6 +357,43 @@ mod tests {
         );
         assert_eq!(po.announced_count(), 0);
         assert!(matches!(seen.borrow()[1], UpdateOut::Withdraw(_)));
+    }
+
+    #[test]
+    fn batch_writer_flushes_on_limit_and_push() {
+        let mut el = EventLoop::new_virtual();
+        let batches: Rc<RefCell<Vec<(usize, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let b = batches.clone();
+        let mut po: PeerOut<Ipv4Addr> = PeerOut::new(
+            PeerId(1),
+            AsNum(65000),
+            true,
+            IpAddr::V4("10.0.0.1".parse().unwrap()),
+            Rc::new(|_el, _u| panic!("per-route writer must not fire in batch mode")),
+        );
+        po.set_batch_writer(
+            Rc::new(move |_el, withdrawn, announced| {
+                let nets: usize = announced.iter().map(|(_, n)| n.len()).sum();
+                b.borrow_mut().push((withdrawn.len(), nets));
+            }),
+            3,
+        );
+        for net in ["10.0.0.0/8", "11.0.0.0/8"] {
+            po.route_op(&mut el, OriginId(2), add(route(net, |_| {})));
+        }
+        // Below the limit: buffered, nothing written.
+        assert!(batches.borrow().is_empty());
+        assert_eq!(po.pending_count(), 2);
+        po.route_op(&mut el, OriginId(2), add(route("12.0.0.0/8", |_| {})));
+        // Limit reached: one batch of three announcements.
+        assert_eq!(*batches.borrow(), vec![(0, 3)]);
+        assert_eq!(po.pending_count(), 0);
+        // A lone change flushes at the batch boundary (push), not never.
+        let r = route("10.0.0.0/8", |_| {});
+        po.route_op(&mut el, OriginId(2), RouteOp::Delete { net: r.net, old: r });
+        assert_eq!(batches.borrow().len(), 1);
+        po.push(&mut el);
+        assert_eq!(*batches.borrow(), vec![(0, 3), (1, 0)]);
     }
 
     #[test]

@@ -318,7 +318,12 @@ impl EventLoop {
             if top.deadline > now {
                 return false;
             }
-            let Reverse(entry) = self.timers.pop().unwrap();
+            // Unreachable panic: `peek()` just returned `Some` and nothing
+            // between the peek and this pop can mutate the heap.
+            let Reverse(entry) = self
+                .timers
+                .pop()
+                .expect("timer heap non-empty: peek returned Some");
             if self.cancelled.remove(&entry.id) {
                 continue; // cancelled; swallow and keep looking
             }
@@ -346,7 +351,12 @@ impl EventLoop {
     fn next_deadline(&mut self) -> Option<Time> {
         while let Some(Reverse(top)) = self.timers.peek() {
             if self.cancelled.contains(&top.id) {
-                let Reverse(entry) = self.timers.pop().unwrap();
+                // Unreachable panic: same peek-then-pop pattern as
+                // `fire_due_timer` — the heap cannot empty in between.
+                let Reverse(entry) = self
+                    .timers
+                    .pop()
+                    .expect("timer heap non-empty: peek returned Some");
                 self.cancelled.remove(&entry.id);
                 continue;
             }
@@ -718,5 +728,61 @@ mod tests {
         el.defer(move |_| l2.borrow_mut().push("second"));
         el.run_until_idle();
         assert_eq!(*log.borrow(), vec!["first", "second", "chained"]);
+    }
+
+    // ----- panic-regression tests for the timer-heap hot paths ----------
+    //
+    // `fire_due_timer` and `next_deadline` both pop immediately after a
+    // successful peek; these tests drive every adversarial shape we could
+    // construct (cancelled heads, fully-cancelled heaps, stale handles)
+    // through both paths and must complete without panicking.
+
+    #[test]
+    fn cancelled_head_timer_is_swallowed_without_panic() {
+        let mut el = EventLoop::new_virtual();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let h1 = el.after(Duration::from_secs(1), move |_| l1.borrow_mut().push(1));
+        let l2 = log.clone();
+        el.after(Duration::from_secs(2), move |_| l2.borrow_mut().push(2));
+        // The earliest timer is cancelled: next_deadline must skip past it
+        // and fire_due_timer must swallow it, both via peek-then-pop.
+        el.cancel(h1);
+        el.run_until(Time::from_secs(3));
+        assert_eq!(*log.borrow(), vec![2]);
+    }
+
+    #[test]
+    fn fully_cancelled_heap_advances_cleanly() {
+        let mut el = EventLoop::new_virtual();
+        let mut handles = Vec::new();
+        for i in 1..=3u64 {
+            handles.push(el.after(Duration::from_secs(i), |_| panic!("cancelled timer fired")));
+        }
+        for h in handles {
+            el.cancel(h);
+        }
+        // next_deadline drains the whole heap to None; run_until must then
+        // jump straight to `until` without firing anything.
+        el.run_until(Time::from_secs(10));
+        assert_eq!(el.now(), Time::from_secs(10));
+    }
+
+    #[test]
+    fn stale_and_double_cancels_are_harmless() {
+        let mut el = EventLoop::new_virtual();
+        let fired = Rc::new(RefCell::new(0u32));
+        let f = fired.clone();
+        let h = el.after(Duration::from_secs(1), move |_| *f.borrow_mut() += 1);
+        el.run_until(Time::from_secs(2));
+        assert_eq!(*fired.borrow(), 1);
+        // Cancelling an already-fired timer, twice, must not disturb later
+        // timers (ids are never reused).
+        el.cancel(h);
+        el.cancel(h);
+        let f2 = fired.clone();
+        el.after(Duration::from_secs(1), move |_| *f2.borrow_mut() += 10);
+        el.run_until(Time::from_secs(5));
+        assert_eq!(*fired.borrow(), 11);
     }
 }

@@ -1,0 +1,167 @@
+//! Sender-side coalescing of route XRLs into vectorized frames.
+//!
+//! A [`RouteBatcher`] sits between a route-emitting stage (BGP's RIB
+//! output, the RIB's FEA output) and the XRL router.  Instead of one
+//! `add_route` call per route it buffers rows and ships them as
+//! `add_routes` / `delete_routes` frames, flushing when
+//!
+//! - the buffer reaches `batch_size` rows (size-based flush),
+//! - the configured `flush_ms` timer expires (time-based flush), or —
+//!   with `flush_ms == 0` — the event loop goes idle (a deferred flush
+//!   runs after all currently queued events), so a *single* route still
+//!   leaves in the same loop iteration and keeps the Fig-10 latency
+//!   shape.
+//!
+//! Ordering is preserved: rows are buffered in arrival order and a flush
+//! emits one frame per run of consecutive same-direction rows, so an
+//! add/delete/add sequence can never be reordered into delete/add/add.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use xorp_event::EventLoop;
+use xorp_profiler::Profiler;
+use xorp_xrl::{AtomValue, Xrl, XrlArgs, XrlRouter};
+
+/// One buffered route row: direction, encoded atoms, profiling payload.
+struct Row {
+    add: bool,
+    atoms: Vec<AtomValue>,
+    payload: String,
+}
+
+struct Inner {
+    router: XrlRouter,
+    /// XRL target class (e.g. `"rib"`).
+    target: String,
+    /// XRL interface the batched methods live on (e.g. `"rib"`).
+    iface: String,
+    batch_size: usize,
+    /// `None` flushes on idle (deferred); `Some(d)` arms a timer.
+    flush_after: Option<Duration>,
+    profiler: Profiler,
+    /// Profiling point stamped per row when its frame is sent.
+    sent_point: &'static str,
+    pending: Vec<Row>,
+    /// A flush is already scheduled (timer or deferral) — don't stack
+    /// another one per row.
+    scheduled: bool,
+}
+
+/// Coalesces per-route ops into `add_routes`/`delete_routes` XRL frames.
+#[derive(Clone)]
+pub struct RouteBatcher {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl RouteBatcher {
+    pub fn new(
+        router: XrlRouter,
+        target: &str,
+        iface: &str,
+        batch_size: usize,
+        flush_ms: u64,
+        profiler: Profiler,
+        sent_point: &'static str,
+    ) -> RouteBatcher {
+        RouteBatcher {
+            inner: Rc::new(RefCell::new(Inner {
+                router,
+                target: target.to_string(),
+                iface: iface.to_string(),
+                batch_size: batch_size.max(1),
+                flush_after: (flush_ms > 0).then(|| Duration::from_millis(flush_ms)),
+                profiler,
+                sent_point,
+                pending: Vec::new(),
+                scheduled: false,
+            })),
+        }
+    }
+
+    /// Buffer one route row; flush if the batch is full, otherwise make
+    /// sure a flush is scheduled.
+    pub fn push(&self, el: &mut EventLoop, add: bool, atoms: Vec<AtomValue>, payload: String) {
+        let (full, arm) = {
+            let mut b = self.inner.borrow_mut();
+            b.pending.push(Row {
+                add,
+                atoms,
+                payload,
+            });
+            let full = b.pending.len() >= b.batch_size;
+            let arm = !full && !b.scheduled;
+            if arm {
+                b.scheduled = true;
+            }
+            (full, arm)
+        };
+        if full {
+            self.flush(el);
+        } else if arm {
+            let me = self.clone();
+            let after = self.inner.borrow().flush_after;
+            match after {
+                Some(d) => {
+                    el.after(d, move |el| me.flush(el));
+                }
+                None => el.defer(move |el| me.flush(el)),
+            }
+        }
+    }
+
+    /// Ship everything buffered, one frame per same-direction run.
+    pub fn flush(&self, el: &mut EventLoop) {
+        let (rows, router, target, iface) = {
+            let mut b = self.inner.borrow_mut();
+            b.scheduled = false;
+            if b.pending.is_empty() {
+                return;
+            }
+            (
+                std::mem::take(&mut b.pending),
+                b.router.clone(),
+                b.target.clone(),
+                b.iface.clone(),
+            )
+        };
+        let (profiler, sent_point) = {
+            let b = self.inner.borrow();
+            (b.profiler.clone(), b.sent_point)
+        };
+        let mut run: Vec<Row> = Vec::new();
+        let ship = |el: &mut EventLoop, run: &mut Vec<Row>| {
+            if run.is_empty() {
+                return;
+            }
+            let method = if run[0].add {
+                "add_routes"
+            } else {
+                "delete_routes"
+            };
+            let mut encoded = Vec::with_capacity(run.len());
+            for row in run.drain(..) {
+                profiler.record(sent_point, || row.payload.clone());
+                encoded.push(row.atoms);
+            }
+            let args = XrlArgs::new().add_rows("routes", encoded);
+            let xrl = Xrl::generic(&target, &iface, "1.0", method, args);
+            router.send(el, xrl, Box::new(|_el, _res| {}));
+        };
+        for row in rows {
+            if let Some(last) = run.last() {
+                if last.add != row.add {
+                    ship(el, &mut run);
+                }
+            }
+            run.push(row);
+        }
+        ship(el, &mut run);
+    }
+
+    /// Rows currently buffered (test observability).
+    pub fn pending_count(&self) -> usize {
+        self.inner.borrow().pending.len()
+    }
+}

@@ -2,20 +2,26 @@
 //! probes on a DIFFERENT peering — "which exercises different code-paths"
 //! (the alternatives comparison in the decision process).
 //!
-//! Usage: `fig12 [--routes N] [--probes N]` (default 146515 routes)
+//! Usage: `fig12 [--routes N] [--probes N] [--batch-size N]
+//! [--batch-flush-ms N]` (default 146515 routes, per-route XRLs)
 
-use xorp_harness::figures::latency_experiment;
+use xorp_harness::figures::latency_experiment_opts;
 
 fn main() {
     let (probes, routes) = xorp_harness::figargs::parse(xorp_harness::workload::PAPER_TABLE_SIZE);
-    let (report, series) = latency_experiment(
+    let (batch_size, batch_flush_ms) = xorp_harness::figargs::parse_batch();
+    let out = latency_experiment_opts(
         &format!(
-            "Figure 12: route propagation latency (ms), {routes} initial routes, different peering"
+            "Figure 12: route propagation latency (ms), {routes} initial routes, \
+             different peering, batch size {batch_size}"
         ),
         routes,
         true,
         probes,
+        batch_size,
+        batch_flush_ms,
     );
-    println!("{report}");
-    xorp_harness::figargs::print_series(&series);
+    println!("{}", out.report);
+    println!("preload throughput: {:.0} routes/s", out.preload_rps);
+    xorp_harness::figargs::print_series(&out.series);
 }

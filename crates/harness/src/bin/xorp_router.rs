@@ -144,6 +144,31 @@ fn parse_fault_flags(args: &[String]) -> Option<FaultConfig> {
     any.then_some(config)
 }
 
+/// Parse `--batch-size N` and `--batch-flush-ms N` (defaults 1 and 0 —
+/// the per-route pipeline with no timer).
+fn parse_batch_flags(args: &[String]) -> (usize, u64) {
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let int = |flag: &str, default: u64| -> u64 {
+        value_of(flag)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("{flag} expects an integer, got {v:?}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(default)
+    };
+    (
+        int("--batch-size", 1).max(1) as usize,
+        int("--batch-flush-ms", 0),
+    )
+}
+
 /// Parse the supervision knobs into a [`SupervisorConfig`].  `--supervise`
 /// alone enables the defaults; any tuning flag also implies supervision.
 fn parse_supervision_flags(args: &[String]) -> Option<SupervisorConfig> {
@@ -307,6 +332,10 @@ fn main() {
             cfg.grace_period.as_millis()
         );
     }
+    let (batch_size, batch_flush_ms) = parse_batch_flags(&args);
+    if batch_size > 1 {
+        println!("batched route pipeline on: batch-size={batch_size} flush-ms={batch_flush_ms}");
+    }
     let router = MultiProcessRouter::new(RouterOptions {
         local_as,
         peers: peers.clone(),
@@ -315,6 +344,8 @@ fn main() {
         fault,
         retry: None, // defaults to RetryPolicy::default() when fault is set
         supervision,
+        batch_size,
+        batch_flush_ms,
     });
 
     // Static routes from the config go in via the RIB (through BGP's

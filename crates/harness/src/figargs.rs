@@ -24,6 +24,24 @@ pub fn parse(default_routes: usize) -> (u32, usize) {
     (probes, routes)
 }
 
+/// Parse the batched-pipeline knobs: `--batch-size N` (default 1 —
+/// per-route XRLs) and `--batch-flush-ms N` (default 0 — flush on loop
+/// idle).
+pub fn parse_batch() -> (usize, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let int = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    (
+        int("--batch-size", 1).max(1) as usize,
+        int("--batch-flush-ms", 0),
+    )
+}
+
 /// Print the per-probe kernel-latency series (the scatter in the
 /// figures).
 pub fn print_series(series: &[f64]) {

@@ -8,6 +8,17 @@ use crate::router::{MultiProcessRouter, RouterOptions};
 use crate::stats::{format_latency_table, latency_rows};
 use crate::workload::{backbone_table, test_route, WorkloadConfig};
 
+/// Everything a latency figure produces.
+pub struct LatencyOutcome {
+    /// The formatted per-point latency tables.
+    pub report: String,
+    /// Per-probe kernel latencies in ms (the scatter in the figures).
+    pub series: Vec<f64>,
+    /// Preload throughput in routes/s end-to-end to the FEA (0.0 when the
+    /// experiment has no preload phase).
+    pub preload_rps: f64,
+}
+
 /// Figures 10–12: route-propagation latency through the three-process
 /// router, with `initial` backbone routes preloaded on peer 1 and
 /// `test_routes` probes introduced on peer 1 (`!different_peering`) or
@@ -20,14 +31,36 @@ pub fn latency_experiment(
     different_peering: bool,
     test_routes: u32,
 ) -> (String, Vec<f64>) {
-    let router = MultiProcessRouter::new(RouterOptions::default());
+    let out = latency_experiment_opts(title, initial, different_peering, test_routes, 1, 0);
+    (out.report, out.series)
+}
+
+/// [`latency_experiment`] with the batched-pipeline knobs exposed:
+/// `batch_size` routes per `add_routes`/`delete_routes` XRL frame
+/// (1 = per-route `add_route` calls), `batch_flush_ms` for time-based
+/// partial flushes (0 = flush on loop idle).
+pub fn latency_experiment_opts(
+    title: &str,
+    initial: usize,
+    different_peering: bool,
+    test_routes: u32,
+    batch_size: usize,
+    batch_flush_ms: u64,
+) -> LatencyOutcome {
+    let router = MultiProcessRouter::new(RouterOptions {
+        batch_size,
+        batch_flush_ms,
+        ..RouterOptions::default()
+    });
 
     // ---- preload ---------------------------------------------------------
+    let mut preload_rps = 0.0;
     if initial > 0 {
         let table = backbone_table(&WorkloadConfig {
             routes: initial,
             ..Default::default()
         });
+        let start = Instant::now();
         for batch in table.chunks(64) {
             router.feed_backbone(1, batch);
         }
@@ -35,6 +68,7 @@ pub fn latency_experiment(
         let ok = router.wait_for(Duration::from_secs(600), || {
             router.fea_route_count() >= target
         });
+        preload_rps = initial as f64 / start.elapsed().as_secs_f64();
         assert!(
             ok,
             "preload stalled: fea={} rib={} bgp={}",
@@ -94,7 +128,11 @@ pub fn latency_experiment(
     // Per-route kernel latency series (the scatter in the figures).
     let per_key = kernel_latencies(&router.profiler);
     router.stop();
-    (report, per_key)
+    LatencyOutcome {
+        report,
+        series: per_key,
+        preload_rps,
+    }
 }
 
 /// Per-probe "entering kernel" latency (ms), in probe order.

@@ -7,6 +7,7 @@
 //! over real TCP sockets — the same isolation and IPC discipline as
 //! separate Unix processes, minus fork/exec.
 
+pub mod batch;
 pub mod bgp_wire;
 pub mod figargs;
 pub mod figures;

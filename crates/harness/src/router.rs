@@ -40,12 +40,13 @@ use xorp_event::EventLoop;
 use xorp_fea::{test_iface, Fea, FibEntry};
 use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
 use xorp_profiler::{points, Profiler};
-use xorp_rib::Rib;
+use xorp_rib::{BatchOp, Rib};
 use xorp_rtrmgr::{SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
 use xorp_stages::RouteOp;
 use xorp_xrl::keepalive;
-use xorp_xrl::{FaultConfig, Finder, RetryPolicy, Xrl, XrlArgs, XrlRouter};
+use xorp_xrl::{AtomValue, FaultConfig, Finder, RetryPolicy, Xrl, XrlArgs, XrlError, XrlRouter};
 
+use crate::batch::RouteBatcher;
 use crate::process::Process;
 use crate::workload::BackboneRoute;
 
@@ -99,6 +100,14 @@ pub struct RouterOptions {
     /// restart budget, and graceful-restart stale handling in the RIB.
     /// `None` keeps the PR-1 behaviour (death flushes immediately).
     pub supervision: Option<SupervisorConfig>,
+    /// Batch up to this many routes into one `add_routes`/`delete_routes`
+    /// XRL on the BGP→RIB and RIB→FEA hops.  `1` (the default) keeps the
+    /// per-route `add_route`/`delete_route` path verbatim.
+    pub batch_size: usize,
+    /// Time-based flush for partial batches, in milliseconds.  `0` flushes
+    /// on event-loop idle instead, so a lone route still leaves in the
+    /// same loop iteration (preserving the Fig-10 latency shape).
+    pub batch_flush_ms: u64,
 }
 
 impl Default for RouterOptions {
@@ -111,6 +120,8 @@ impl Default for RouterOptions {
             fault: None,
             retry: None,
             supervision: None,
+            batch_size: 1,
+            batch_flush_ms: 0,
         }
     }
 }
@@ -194,6 +205,64 @@ fn route_args(net: Ipv4Net, route: &RouteEntry<Ipv4Addr>) -> XrlArgs {
         .add_str("proto", &route.proto.name())
 }
 
+/// Serialize a route into one batched-XRL row.  The row layout is the
+/// positional twin of [`route_args`]: `[net, nexthop, ifname, metric,
+/// proto]`.  FEA-side decoding ignores the trailing `proto`.
+fn route_row(net: Ipv4Net, route: &RouteEntry<Ipv4Addr>) -> Vec<AtomValue> {
+    vec![
+        AtomValue::Ipv4Net(net),
+        AtomValue::Ipv4(match route.nexthop() {
+            IpAddr::V4(a) => a,
+            IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+        }),
+        AtomValue::Text(route.ifname.as_deref().unwrap_or("").to_string()),
+        AtomValue::U32(route.metric),
+        AtomValue::Text(route.proto.name()),
+    ]
+}
+
+/// A decoded `add_routes` row.
+struct AddRow {
+    net: Ipv4Net,
+    nexthop: Ipv4Addr,
+    ifname: String,
+    metric: u32,
+    proto: ProtocolId,
+}
+
+fn row_err(i: usize, what: &str) -> XrlError {
+    XrlError::BadArgs(format!("routes[{i}]: {what}"))
+}
+
+/// Decode one `[net, nexthop, ifname, metric, proto]` row.
+fn decode_add_row(i: usize, row: &[AtomValue]) -> Result<AddRow, XrlError> {
+    match row {
+        [AtomValue::Ipv4Net(net), AtomValue::Ipv4(nexthop), AtomValue::Text(ifname), AtomValue::U32(metric), AtomValue::Text(proto)] => {
+            Ok(AddRow {
+                net: *net,
+                nexthop: *nexthop,
+                ifname: ifname.clone(),
+                metric: *metric,
+                proto: ProtocolId::from_name(proto).unwrap_or(ProtocolId::Ebgp),
+            })
+        }
+        _ => Err(row_err(i, "expected [net, nexthop, ifname, metric, proto]")),
+    }
+}
+
+/// Decode one `[net, proto]` deletion row (`proto` optional for the FEA,
+/// which keys its FIB purely by prefix).
+fn decode_delete_row(i: usize, row: &[AtomValue]) -> Result<(Ipv4Net, ProtocolId), XrlError> {
+    match row {
+        [AtomValue::Ipv4Net(net)] => Ok((*net, ProtocolId::Ebgp)),
+        [AtomValue::Ipv4Net(net), AtomValue::Text(proto)] => Ok((
+            *net,
+            ProtocolId::from_name(proto).unwrap_or(ProtocolId::Ebgp),
+        )),
+        _ => Err(row_err(i, "expected [net] or [net, proto]")),
+    }
+}
+
 /// Everything needed to (re)spawn the BGP process — the supervisor's
 /// respawn action runs on the rtrmgr loop thread, so this is `Send + Sync`.
 struct BgpFactory {
@@ -206,6 +275,8 @@ struct BgpFactory {
     knobs: Arc<dyn Fn(&XrlRouter) + Send + Sync>,
     replay: ReplayLog,
     crash_on_spawn: Arc<AtomicU32>,
+    batch_size: usize,
+    batch_flush_ms: u64,
 }
 
 impl BgpFactory {
@@ -218,6 +289,8 @@ impl BgpFactory {
         let knobs = self.knobs.clone();
         let replay = self.replay.clone();
         let crash_on_spawn = self.crash_on_spawn.clone();
+        let batch_size = self.batch_size;
+        let batch_flush_ms = self.batch_flush_ms;
         Process::spawn("bgp", self.finder.clone(), move |el, router| {
             knobs(router);
             let config = BgpConfig {
@@ -232,25 +305,56 @@ impl BgpFactory {
             // Best routes → RIB over XRLs (points 2 and 3).
             let out_profiler = profiler.clone();
             let xrl_router = router.clone();
-            bgp.set_rib_output(el, move |el, _origin, op| {
-                let net = op.net();
-                let (method, args, what) = match &op {
-                    RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
-                        ("add_route", route_args(net, route), "add")
-                    }
-                    RouteOp::Delete { old, .. } => (
-                        "delete_route",
-                        XrlArgs::new()
-                            .add_ipv4net("net", net)
-                            .add_str("proto", &old.proto.name()),
-                        "del",
-                    ),
-                };
-                out_profiler.record(points::QUEUED_FOR_RIB, || format!("{what} {net}"));
-                let xrl = Xrl::generic("rib", "rib", "1.0", method, args);
-                xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
-                out_profiler.record(points::SENT_TO_RIB, || format!("{what} {net}"));
-            });
+            if batch_size > 1 {
+                // Batched pipeline: coalesce fanout pumps, then ship
+                // vectorized add_routes/delete_routes frames.
+                bgp.set_coalesce(batch_size);
+                let batcher = RouteBatcher::new(
+                    xrl_router,
+                    "rib",
+                    "rib",
+                    batch_size,
+                    batch_flush_ms,
+                    profiler.clone(),
+                    points::SENT_TO_RIB,
+                );
+                bgp.set_rib_output(el, move |el, _origin, op| {
+                    let net = op.net();
+                    let (add, row, what) = match &op {
+                        RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                            (true, route_row(net, route), "add")
+                        }
+                        RouteOp::Delete { old, .. } => (
+                            false,
+                            vec![AtomValue::Ipv4Net(net), AtomValue::Text(old.proto.name())],
+                            "del",
+                        ),
+                    };
+                    let payload = format!("{what} {net}");
+                    out_profiler.record(points::QUEUED_FOR_RIB, || payload.clone());
+                    batcher.push(el, add, row, payload);
+                });
+            } else {
+                bgp.set_rib_output(el, move |el, _origin, op| {
+                    let net = op.net();
+                    let (method, args, what) = match &op {
+                        RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                            ("add_route", route_args(net, route), "add")
+                        }
+                        RouteOp::Delete { old, .. } => (
+                            "delete_route",
+                            XrlArgs::new()
+                                .add_ipv4net("net", net)
+                                .add_str("proto", &old.proto.name()),
+                            "del",
+                        ),
+                    };
+                    out_profiler.record(points::QUEUED_FOR_RIB, || format!("{what} {net}"));
+                    let xrl = Xrl::generic("rib", "rib", "1.0", method, args);
+                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                    out_profiler.record(points::SENT_TO_RIB, || format!("{what} {net}"));
+                });
+            }
 
             for (id, asn) in peers {
                 let mut cfg = PeerConfig::simple(PeerId(id), xorp_net::AsNum(asn));
@@ -378,6 +482,47 @@ impl MultiProcessRouter {
                 f.borrow_mut().delete_route4(&net);
                 Ok(XrlArgs::new())
             });
+            // Vectorized twins of add_route/delete_route — N FIB edits per
+            // frame.  All rows are validated before any is applied.
+            let profiler = fea_profiler.clone();
+            let f = fea.clone();
+            router.add_fn("fea-0", "fea/1.0/add_routes", move |_el, args| {
+                let rows = args.get_rows("routes")?;
+                let mut parsed = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    parsed.push(decode_add_row(i, row)?);
+                }
+                let n = parsed.len();
+                for p in parsed {
+                    profiler.record(points::FEA_IN, || format!("add {}", p.net));
+                    f.borrow_mut().add_route4(FibEntry {
+                        net: p.net,
+                        nexthop: IpAddr::V4(p.nexthop),
+                        ifname: if p.ifname.is_empty() {
+                            "eth0".to_string()
+                        } else {
+                            p.ifname
+                        },
+                        metric: p.metric,
+                    }); // stamps KERNEL
+                }
+                Ok(XrlArgs::new().add_u32("count", n as u32))
+            });
+            let profiler = fea_profiler.clone();
+            let f = fea.clone();
+            router.add_fn("fea-0", "fea/1.0/delete_routes", move |_el, args| {
+                let rows = args.get_rows("routes")?;
+                let mut parsed = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    parsed.push(decode_delete_row(i, row)?.0);
+                }
+                let n = parsed.len();
+                for net in parsed {
+                    profiler.record(points::FEA_IN, || format!("del {net}"));
+                    f.borrow_mut().delete_route4(&net);
+                }
+                Ok(XrlArgs::new().add_u32("count", n as u32))
+            });
             let f = fea.clone();
             router.add_fn("fea-0", "fea/1.0/route_count", move |_el, _args| {
                 Ok(XrlArgs::new().add_u32("count", f.borrow().route_count4() as u32))
@@ -389,6 +534,8 @@ impl MultiProcessRouter {
         let check = options.consistency_check;
         let knobs = apply_knobs.clone();
         let grace = supervision.map(|cfg| cfg.grace_period);
+        let batch_size = options.batch_size;
+        let batch_flush_ms = options.batch_flush_ms;
         let rib = Process::spawn("rib", finder.clone(), move |el, router| {
             knobs(router);
             let rib = Rc::new(RefCell::new(Rib::<Ipv4Addr>::new(check)));
@@ -427,23 +574,47 @@ impl MultiProcessRouter {
             // Output: install into the FEA over XRLs (points 5 and 6).
             let profiler = rib_profiler.clone();
             let xrl_router = router.clone();
-            rib.borrow_mut().set_output(move |el, _origin, op| {
-                let net = op.net();
-                let (method, args, what) = match &op {
-                    RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
-                        ("add_route", route_args(net, route), "add")
-                    }
-                    RouteOp::Delete { .. } => (
-                        "delete_route",
-                        XrlArgs::new().add_ipv4net("net", net),
-                        "del",
-                    ),
-                };
-                profiler.record(points::QUEUED_FOR_FEA, || format!("{what} {net}"));
-                let xrl = Xrl::generic("fea", "fea", "1.0", method, args);
-                xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
-                profiler.record(points::SENT_TO_FEA, || format!("{what} {net}"));
-            });
+            if batch_size > 1 {
+                let batcher = RouteBatcher::new(
+                    xrl_router,
+                    "fea",
+                    "fea",
+                    batch_size,
+                    batch_flush_ms,
+                    profiler.clone(),
+                    points::SENT_TO_FEA,
+                );
+                rib.borrow_mut().set_output(move |el, _origin, op| {
+                    let net = op.net();
+                    let (add, row, what) = match &op {
+                        RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                            (true, route_row(net, route), "add")
+                        }
+                        RouteOp::Delete { .. } => (false, vec![AtomValue::Ipv4Net(net)], "del"),
+                    };
+                    let payload = format!("{what} {net}");
+                    profiler.record(points::QUEUED_FOR_FEA, || payload.clone());
+                    batcher.push(el, add, row, payload);
+                });
+            } else {
+                rib.borrow_mut().set_output(move |el, _origin, op| {
+                    let net = op.net();
+                    let (method, args, what) = match &op {
+                        RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
+                            ("add_route", route_args(net, route), "add")
+                        }
+                        RouteOp::Delete { .. } => (
+                            "delete_route",
+                            XrlArgs::new().add_ipv4net("net", net),
+                            "del",
+                        ),
+                    };
+                    profiler.record(points::QUEUED_FOR_FEA, || format!("{what} {net}"));
+                    let xrl = Xrl::generic("fea", "fea", "1.0", method, args);
+                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                    profiler.record(points::SENT_TO_FEA, || format!("{what} {net}"));
+                });
+            }
 
             // Pre-install the connected route BGP nexthops resolve via.
             {
@@ -515,6 +686,58 @@ impl MultiProcessRouter {
                     responder.reply(el, reply);
                 },
             );
+            // Vectorized twins: N routes per frame, applied through
+            // Rib::apply_batch (one resolve/redistribution pass).  Row
+            // validation is transactional — a malformed row rejects the
+            // whole frame before any route is applied.
+            let profiler = rib_profiler.clone();
+            let r = rib.clone();
+            router.add_handler("rib-0", "rib/1.0/add_routes", move |el, args, responder| {
+                let reply = (|| {
+                    let rows = args.get_rows("routes")?;
+                    let mut parsed = Vec::with_capacity(rows.len());
+                    for (i, row) in rows.iter().enumerate() {
+                        parsed.push(decode_add_row(i, row)?);
+                    }
+                    let mut ops = Vec::with_capacity(parsed.len());
+                    for p in parsed {
+                        profiler.record(points::RIB_IN, || format!("add {}", p.net));
+                        let mut attrs = PathAttributes::new(IpAddr::V4(p.nexthop));
+                        attrs.ebgp = p.proto == ProtocolId::Ebgp;
+                        let mut route = RouteEntry::new(p.net, Arc::new(attrs), p.metric, p.proto);
+                        if !p.ifname.is_empty() {
+                            route.ifname = Some(p.ifname.as_str().into());
+                        }
+                        ops.push(BatchOp::Add(route));
+                    }
+                    let n = r.borrow_mut().apply_batch(el, ops);
+                    Ok(XrlArgs::new().add_u32("count", n as u32))
+                })();
+                responder.reply(el, reply);
+            });
+            let profiler = rib_profiler.clone();
+            let r = rib.clone();
+            router.add_handler(
+                "rib-0",
+                "rib/1.0/delete_routes",
+                move |el, args, responder| {
+                    let reply = (|| {
+                        let rows = args.get_rows("routes")?;
+                        let mut parsed = Vec::with_capacity(rows.len());
+                        for (i, row) in rows.iter().enumerate() {
+                            parsed.push(decode_delete_row(i, row)?);
+                        }
+                        let mut ops = Vec::with_capacity(parsed.len());
+                        for (net, proto) in parsed {
+                            profiler.record(points::RIB_IN, || format!("del {net}"));
+                            ops.push(BatchOp::Delete { proto, net });
+                        }
+                        let n = r.borrow_mut().apply_batch(el, ops);
+                        Ok(XrlArgs::new().add_u32("count", n as u32))
+                    })();
+                    responder.reply(el, reply);
+                },
+            );
             let r = rib.clone();
             router.add_fn("rib-0", "rib/1.0/register_interest", move |_el, args| {
                 let addr = args.get_ipv4("addr")?;
@@ -564,6 +787,8 @@ impl MultiProcessRouter {
             knobs: apply_knobs.clone(),
             replay: replay.clone(),
             crash_on_spawn: crash_on_spawn.clone(),
+            batch_size: options.batch_size,
+            batch_flush_ms: options.batch_flush_ms,
         });
         let bgp: SharedBgp = Arc::new(Mutex::new(Some(factory.spawn())));
 

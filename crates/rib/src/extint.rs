@@ -45,6 +45,11 @@ pub struct ExtIntStage<A: Addr> {
     /// Origin id used for messages this stage originates itself
     /// (resolution-driven announcements/withdrawals).
     self_origin: OriginId,
+    /// `Some` while a batch is open ([`ExtIntStage::begin_batch`]):
+    /// internal prefixes whose changes have not yet been re-resolved
+    /// against the external nexthop index.  `None` is per-route mode —
+    /// every internal change re-resolves immediately.
+    deferred: Option<BTreeSet<Prefix<A>>>,
 }
 
 impl<A: Addr> ExtIntStage<A> {
@@ -63,7 +68,22 @@ impl<A: Addr> ExtIntStage<A> {
             by_nexthop: BTreeMap::new(),
             downstream: None,
             self_origin,
+            deferred: None,
         }
+    }
+
+    /// Open a batch: internal changes accumulate instead of re-resolving
+    /// external nexthops per-route.  The next [`Stage::push`] drains the
+    /// accumulated set in one pass — each affected external route is
+    /// re-resolved exactly once no matter how many internal changes
+    /// touched it — and returns the stage to per-route mode.
+    pub fn begin_batch(&mut self) {
+        self.deferred.get_or_insert_with(BTreeSet::new);
+    }
+
+    /// Internal prefixes with a pending (deferred) re-resolution.
+    pub fn deferred_count(&self) -> usize {
+        self.deferred.as_ref().map(|d| d.len()).unwrap_or(0)
     }
 
     /// Plumb the downstream neighbor.
@@ -205,13 +225,34 @@ impl<A: Addr> ExtIntStage<A> {
 
         // Re-resolve external routes whose nexthop falls inside the changed
         // internal prefix — their resolution (or its annotation) may have
-        // changed.
-        let affected: Vec<Prefix<A>> = self
-            .by_nexthop
-            .iter()
-            .filter(|(nh, _)| net.contains_addr(**nh))
-            .flat_map(|(_, nets)| nets.iter().copied())
-            .collect();
+        // changed.  In batch mode just record the prefix; the push-time
+        // flush re-resolves everything affected in one pass.
+        if let Some(pending) = &mut self.deferred {
+            pending.insert(net);
+            return;
+        }
+        let affected = self.affected_by([net]);
+        self.reresolve(el, affected);
+    }
+
+    /// External prefixes whose nexthop falls inside any of `nets`,
+    /// deduplicated in deterministic (prefix) order — so an external
+    /// route touched by many internal changes appears once.
+    fn affected_by(&self, nets: impl IntoIterator<Item = Prefix<A>>) -> BTreeSet<Prefix<A>> {
+        let mut affected = BTreeSet::new();
+        for net in nets {
+            for (nh, ext_nets) in &self.by_nexthop {
+                if net.contains_addr(*nh) {
+                    affected.extend(ext_nets.iter().copied());
+                }
+            }
+        }
+        affected
+    }
+
+    /// Re-resolve each external route in `affected` once, emitting the
+    /// state delta downstream.
+    fn reresolve(&mut self, el: &mut EventLoop, affected: BTreeSet<Prefix<A>>) {
         for ext_net in affected {
             let before = self.effective(&ext_net);
             let entry = match self.ext.get(&ext_net) {
@@ -225,6 +266,17 @@ impl<A: Addr> ExtIntStage<A> {
             let after = self.effective(&ext_net);
             self.emit_diff(el, self.self_origin, ext_net, before, after);
         }
+    }
+
+    /// Drain the batch opened by [`ExtIntStage::begin_batch`]: one
+    /// re-resolution pass over every affected external route, then back
+    /// to per-route mode.  No-op outside a batch.
+    pub fn flush_deferred(&mut self, el: &mut EventLoop) {
+        let Some(pending) = self.deferred.take() else {
+            return;
+        };
+        let affected = self.affected_by(pending);
+        self.reresolve(el, affected);
     }
 }
 
@@ -250,6 +302,7 @@ impl<A: Addr> Stage<A, RibRoute<A>> for ExtIntStage<A> {
     }
 
     fn push(&mut self, el: &mut EventLoop) {
+        self.flush_deferred(el);
         if let Some(d) = &self.downstream {
             d.borrow_mut().push(el);
         }

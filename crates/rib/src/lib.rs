@@ -41,7 +41,7 @@ pub use merge::MergeStage;
 pub use origin::OriginTable;
 pub use redist::{RedistStage, RedistWatcher};
 pub use register::{covering_answer, RegisterAnswer, RegisterStage};
-pub use rib::Rib;
+pub use rib::{BatchOp, Rib};
 
 use xorp_net::Addr;
 

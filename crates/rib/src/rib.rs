@@ -20,6 +20,16 @@ use crate::{is_external, RibRoute, RibStageRef};
 /// Origin id the ExtInt stage uses for resolution-driven messages.
 const EXTINT_SELF_ORIGIN: OriginId = OriginId(0);
 
+/// One element of a batched route update (the vectorized
+/// `rib/1.0/add_routes` / `delete_routes` XRLs decode into these).
+#[derive(Clone, Debug)]
+pub enum BatchOp<A: Addr> {
+    /// Install (or update) a route.
+    Add(RibRoute<A>),
+    /// Withdraw `proto`'s route for `net` (no-op if absent).
+    Delete { proto: ProtocolId, net: Prefix<A> },
+}
+
 struct Chain<A: Addr> {
     head: Option<RibStageRef<A>>,
     origins: Vec<OriginId>,
@@ -150,7 +160,14 @@ where
     /// created on demand.
     pub fn add_route(&mut self, el: &mut EventLoop, route: RibRoute<A>) {
         self.add_protocol(route.proto);
-        self.origins[&route.proto].borrow_mut().add_route(el, route);
+        let origin = self
+            .origins
+            .get(&route.proto)
+            // Unreachable panic: add_protocol just inserted (or found) the
+            // entry for this protocol and nothing in between removes it.
+            .expect("origin table exists: add_protocol ensured it")
+            .clone();
+        origin.borrow_mut().add_route(el, route);
     }
 
     /// Withdraw a route.
@@ -201,6 +218,44 @@ where
             .get(&proto)
             .map(|o| o.borrow().stale_count())
             .unwrap_or(0)
+    }
+
+    /// Apply a batch of route operations with **one** resolve/redistribute
+    /// recompute pass instead of one per route.
+    ///
+    /// Per-route, every internal change makes the ExtInt stage re-scan its
+    /// nexthop index immediately.  Here the stage defers that scan for the
+    /// duration of the batch and the final [`Rib::push`] resolves every
+    /// affected external route exactly once.  A batch of size 1 is
+    /// event-for-event identical to the per-route path (the deferred scan
+    /// runs right after the single op, in the same order the immediate
+    /// scan would have), so single routes keep the Fig-10 latency shape.
+    ///
+    /// Returns the number of operations applied.
+    pub fn apply_batch(&mut self, el: &mut EventLoop, ops: Vec<BatchOp<A>>) -> usize {
+        // Plumb origin tables for every protocol in the batch up front:
+        // merge-splicing is idempotent and safe at any time, but doing it
+        // before any route flows keeps the deferred-resolution window free
+        // of topology changes.
+        for op in &ops {
+            if let BatchOp::Add(r) = op {
+                self.add_protocol(r.proto);
+            }
+        }
+        self.extint.borrow_mut().begin_batch();
+        let n = ops.len();
+        for op in ops {
+            match op {
+                BatchOp::Add(r) => self.add_route(el, r),
+                BatchOp::Delete { proto, net } => {
+                    self.delete_route(el, proto, net);
+                }
+            }
+        }
+        // One push: drains the ExtInt deferred re-resolution in a single
+        // pass and signals the batch boundary downstream.
+        self.push(el);
+        n
     }
 
     /// Signal a batch boundary through the network.
@@ -575,6 +630,148 @@ mod tests {
         assert_eq!(rib.route_count(), 10);
         rib.clear_protocol(&mut el, ProtocolId::Rip);
         assert_eq!(rib.route_count(), 0);
+        assert!(rib.consistency_violations().is_empty());
+    }
+
+    // ----- apply_batch ---------------------------------------------------
+
+    /// Render an output op as a comparable line (origin ids may differ
+    /// between topologies, so only the op itself is compared).
+    fn fmt_op(op: &RouteOp<Ipv4Addr, RibRoute<Ipv4Addr>>) -> String {
+        match op {
+            RouteOp::Add { net, route } => {
+                format!("add {net} {:?} {:?}", route.proto, route.ifname)
+            }
+            RouteOp::Replace { net, new, .. } => {
+                format!("replace {net} {:?} {:?}", new.proto, new.ifname)
+            }
+            RouteOp::Delete { net, old } => format!("delete {net} {:?}", old.proto),
+        }
+    }
+
+    fn recording_rib() -> (Rib<Ipv4Addr>, Rc<RefCell<Vec<String>>>) {
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        rib.set_output(move |_el, _o, op| l.borrow_mut().push(fmt_op(&op)));
+        (rib, log)
+    }
+
+    fn mixed_ops() -> Vec<BatchOp<Ipv4Addr>> {
+        vec![
+            BatchOp::Add(route("192.168.0.0/16", "0.0.0.0", ProtocolId::Connected)),
+            BatchOp::Add(route("203.0.113.0/24", "192.168.5.1", ProtocolId::Ebgp)),
+            BatchOp::Add(route("10.1.0.0/16", "192.0.2.1", ProtocolId::Rip)),
+            BatchOp::Delete {
+                proto: ProtocolId::Rip,
+                net: p("10.1.0.0/16"),
+            },
+            BatchOp::Add(route("10.2.0.0/16", "192.0.2.1", ProtocolId::Static)),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_per_route_final_state() {
+        let mut el = EventLoop::new_virtual();
+        let (mut per_route, _) = recording_rib();
+        for op in mixed_ops() {
+            match op {
+                BatchOp::Add(r) => per_route.add_route(&mut el, r),
+                BatchOp::Delete { proto, net } => {
+                    per_route.delete_route(&mut el, proto, net);
+                }
+            }
+        }
+        let (mut batched, _) = recording_rib();
+        batched.apply_batch(&mut el, mixed_ops());
+
+        assert_eq!(per_route.route_count(), batched.route_count());
+        for net in ["192.168.0.0/16", "203.0.113.0/24", "10.2.0.0/16"] {
+            assert_eq!(
+                per_route.lookup_exact(&p(net)),
+                batched.lookup_exact(&p(net)),
+                "{net}"
+            );
+        }
+        assert!(per_route.consistency_violations().is_empty());
+        assert!(batched.consistency_violations().is_empty());
+    }
+
+    #[test]
+    fn batch_of_one_is_event_identical_to_per_route() {
+        let mut el = EventLoop::new_virtual();
+        let (mut per_route, log_a) = recording_rib();
+        let (mut batched, log_b) = recording_rib();
+        for op in mixed_ops() {
+            match op.clone() {
+                BatchOp::Add(r) => per_route.add_route(&mut el, r),
+                BatchOp::Delete { proto, net } => {
+                    per_route.delete_route(&mut el, proto, net);
+                }
+            }
+            per_route.push(&mut el);
+            batched.apply_batch(&mut el, vec![op]);
+        }
+        assert_eq!(*log_a.borrow(), *log_b.borrow());
+    }
+
+    /// N internal changes covering one external nexthop inside a batch
+    /// trigger exactly ONE downstream event for the external route — the
+    /// tentpole's "one resolve pass instead of N".
+    #[test]
+    fn batch_reresolves_externals_once() {
+        let mut el = EventLoop::new_virtual();
+        let (mut rib, log) = recording_rib();
+        rib.add_route(
+            &mut el,
+            route("203.0.113.0/24", "192.168.1.1", ProtocolId::Ebgp),
+        );
+        assert_eq!(rib.unresolved_count(), 1);
+        log.borrow_mut().clear();
+
+        // Four internal routes all cover the BGP nexthop; per-route each
+        // would re-resolve (and re-announce) the external route.
+        rib.apply_batch(
+            &mut el,
+            vec![
+                BatchOp::Add(route("192.168.0.0/16", "0.0.0.0", ProtocolId::Connected)),
+                BatchOp::Add(route("192.168.0.0/17", "0.0.0.0", ProtocolId::Static)),
+                BatchOp::Add(route("192.168.1.0/24", "0.0.0.0", ProtocolId::Static)),
+                BatchOp::Add(route("192.168.1.0/25", "0.0.0.0", ProtocolId::Static)),
+            ],
+        );
+        let ext_events: Vec<_> = log
+            .borrow()
+            .iter()
+            .filter(|l| l.contains("203.0.113.0/24"))
+            .cloned()
+            .collect();
+        assert_eq!(ext_events.len(), 1, "{ext_events:?}");
+        // And it resolved via the most specific internal route.
+        assert!(ext_events[0].starts_with("add"), "{ext_events:?}");
+        assert_eq!(rib.unresolved_count(), 0);
+        assert!(rib.consistency_violations().is_empty());
+    }
+
+    /// Resolution lost inside a batch withdraws the external route at the
+    /// batch boundary.
+    #[test]
+    fn batch_handles_resolution_loss() {
+        let mut el = EventLoop::new_virtual();
+        let (mut rib, _) = recording_rib();
+        rib.apply_batch(
+            &mut el,
+            vec![
+                BatchOp::Add(route("192.168.0.0/16", "0.0.0.0", ProtocolId::Connected)),
+                BatchOp::Add(route("203.0.113.0/24", "192.168.5.1", ProtocolId::Ebgp)),
+                BatchOp::Delete {
+                    proto: ProtocolId::Connected,
+                    net: p("192.168.0.0/16"),
+                },
+            ],
+        );
+        assert!(rib.lookup_exact(&p("203.0.113.0/24")).is_none());
+        assert_eq!(rib.unresolved_count(), 1);
         assert!(rib.consistency_violations().is_empty());
     }
 }

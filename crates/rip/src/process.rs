@@ -64,6 +64,10 @@ struct RipRoute {
 pub type PacketSender = Rc<dyn Fn(&mut EventLoop, &str, Ipv4Addr, RipPacket)>;
 /// Route-output callback: deltas for the RIB.
 pub type RouteSink = Rc<dyn Fn(&mut EventLoop, RouteOp<Ipv4Addr, RouteEntry<Ipv4Addr>>)>;
+/// Batched route-output callback: one whole flush of RIB deltas,
+/// delivered at a natural boundary (end of packet/timer processing) or
+/// when the size limit fills.
+pub type BatchRouteSink = Rc<dyn Fn(&mut EventLoop, Vec<RouteOp<Ipv4Addr, RouteEntry<Ipv4Addr>>>)>;
 
 /// The RIPv2 protocol engine.
 pub struct RipProcess {
@@ -73,6 +77,10 @@ pub struct RipProcess {
     routes: BTreeMap<Ipv4Net, RipRoute>,
     send: PacketSender,
     rib: RouteSink,
+    /// When set, RIB deltas buffer here and flush as one batch at the
+    /// size limit or the end of the packet/timer that produced them.
+    batch_rib: Option<(BatchRouteSink, usize)>,
+    pending_rib: Vec<RouteOp<Ipv4Addr, RouteEntry<Ipv4Addr>>>,
     me: Option<std::rc::Weak<RefCell<RipProcess>>>,
     /// Updates sent (diagnostics).
     pub updates_sent: u64,
@@ -88,8 +96,66 @@ impl RipProcess {
             routes: BTreeMap::new(),
             send,
             rib,
+            batch_rib: None,
+            pending_rib: Vec::new(),
             me: None,
             updates_sent: 0,
+        }
+    }
+
+    /// Switch RIB output to batched delivery: deltas accumulate and flush
+    /// to `sink` once `limit` queue up or the packet/timer event that
+    /// produced them finishes — a single change still flushes at its own
+    /// boundary, keeping per-route latency.
+    pub fn set_batch_sink(&mut self, sink: BatchRouteSink, limit: usize) {
+        self.batch_rib = Some((sink, limit.max(1)));
+    }
+
+    /// Deliver one RIB delta, buffering under batch mode.
+    fn deliver_rib(
+        el: &mut EventLoop,
+        me: &Rc<RefCell<RipProcess>>,
+        op: RouteOp<Ipv4Addr, RouteEntry<Ipv4Addr>>,
+    ) {
+        let per_route = {
+            let mut s = me.borrow_mut();
+            if s.batch_rib.is_some() {
+                s.pending_rib.push(op);
+                None
+            } else {
+                Some((s.rib.clone(), op))
+            }
+        };
+        match per_route {
+            Some((rib, op)) => rib(el, op),
+            None => {
+                let full = {
+                    let s = me.borrow();
+                    s.batch_rib
+                        .as_ref()
+                        .is_some_and(|(_, limit)| s.pending_rib.len() >= *limit)
+                };
+                if full {
+                    Self::flush_rib(el, me);
+                }
+            }
+        }
+    }
+
+    /// Flush buffered RIB deltas (no-op per-route or when empty).
+    pub fn flush_rib(el: &mut EventLoop, me: &Rc<RefCell<RipProcess>>) {
+        let flush = {
+            let mut s = me.borrow_mut();
+            match (&s.batch_rib, s.pending_rib.is_empty()) {
+                (Some((sink, _)), false) => {
+                    let sink = sink.clone();
+                    Some((sink, std::mem::take(&mut s.pending_rib)))
+                }
+                _ => None,
+            }
+        };
+        if let Some((sink, ops)) = flush {
+            sink(el, ops);
         }
     }
 
@@ -139,6 +205,7 @@ impl RipProcess {
             );
         }
         Self::emit_rib(el, me, net, true);
+        Self::flush_rib(el, me);
         Self::triggered(el, me, net);
     }
 
@@ -150,6 +217,7 @@ impl RipProcess {
         };
         if existed {
             Self::emit_rib(el, me, net, false);
+            Self::flush_rib(el, me);
             Self::triggered(el, me, net);
         }
     }
@@ -183,6 +251,8 @@ impl RipProcess {
                         changed.push(entry.net);
                     }
                 }
+                // End of packet: natural batch boundary for RIB deltas.
+                Self::flush_rib(el, me);
                 if me.borrow().config.triggered_updates {
                     for net in changed {
                         Self::triggered(el, me, net);
@@ -338,6 +408,7 @@ impl RipProcess {
             if let Some(gc_deadline) = expired_now {
                 Self::arm_gc(el, &rc, net, gc_deadline);
                 Self::emit_rib(el, &rc, net, false);
+                Self::flush_rib(el, &rc);
                 Self::triggered(el, &rc, net);
             }
         });
@@ -447,10 +518,9 @@ impl RipProcess {
     }
 
     fn emit_rib(el: &mut EventLoop, me: &Rc<RefCell<RipProcess>>, net: Ipv4Net, up: bool) {
-        let (op, rib) = {
+        let op = {
             let s = me.borrow();
-            let rib = s.rib.clone();
-            let op = if up {
+            if up {
                 Self::make_route_entry(&s, net).map(|route| RouteOp::Add { net, route })
             } else {
                 // Synthesize the delete from what we can still see; the
@@ -466,11 +536,10 @@ impl RipProcess {
                         )
                     }),
                 })
-            };
-            (op, rib)
+            }
         };
         if let Some(op) = op {
-            rib(el, op);
+            Self::deliver_rib(el, me, op);
         }
     }
 
@@ -494,6 +563,7 @@ impl RipProcess {
         for net in &nets {
             Self::emit_rib_replace(el, me, *net);
         }
+        Self::flush_rib(el, me);
         Self::send_full_table(el, me);
         nets.len()
     }
@@ -833,6 +903,40 @@ mod tests {
         assert_eq!(r.rib.borrow().len(), 1);
         RipProcess::withdraw(&mut r.el, &r.rip, "10.5.0.0/16".parse().unwrap());
         assert!(r.rib.borrow().is_empty());
+    }
+
+    #[test]
+    fn batch_sink_receives_whole_packet_as_one_flush() {
+        let mut r = rig(RipConfig::default());
+        let batches: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let b = batches.clone();
+        r.rip
+            .borrow_mut()
+            .set_batch_sink(Rc::new(move |_el, ops| b.borrow_mut().push(ops.len())), 64);
+        // Ten entries in one packet: one flush of ten deltas at the end
+        // of packet processing, not ten calls.
+        let nets: Vec<(String, u32)> = (0..10u8).map(|i| (format!("10.{i}.0.0/16"), 2)).collect();
+        let refs: Vec<(&str, u32)> = nets.iter().map(|(n, m)| (n.as_str(), *m)).collect();
+        RipProcess::on_packet(&mut r.el, &r.rip, "eth0", neighbor(), response(&refs));
+        assert_eq!(*batches.borrow(), vec![10]);
+        // A single local change flushes at its own boundary immediately.
+        RipProcess::originate(&mut r.el, &r.rip, "172.16.0.0/16".parse().unwrap(), 1);
+        assert_eq!(*batches.borrow(), vec![10, 1]);
+    }
+
+    #[test]
+    fn batch_sink_size_limit_forces_early_flush() {
+        let mut r = rig(RipConfig::default());
+        let batches: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let b = batches.clone();
+        r.rip
+            .borrow_mut()
+            .set_batch_sink(Rc::new(move |_el, ops| b.borrow_mut().push(ops.len())), 4);
+        let nets: Vec<(String, u32)> = (0..10u8).map(|i| (format!("10.{i}.0.0/16"), 2)).collect();
+        let refs: Vec<(&str, u32)> = nets.iter().map(|(n, m)| (n.as_str(), *m)).collect();
+        RipProcess::on_packet(&mut r.el, &r.rip, "eth0", neighbor(), response(&refs));
+        // 10 deltas at limit 4: two full flushes plus the boundary tail.
+        assert_eq!(*batches.borrow(), vec![4, 4, 2]);
     }
 
     /// The graceful-restart refresh path: a restarted RIB forgot our

@@ -131,7 +131,16 @@ fn type_code(t: AtomType) -> u8 {
     }
 }
 
+/// Maximum list nesting a decoded frame may carry.  Batched route frames
+/// use two levels (rows inside a batch); anything deeper than this is an
+/// adversarial frame trying to exhaust the decoder's stack.
+const MAX_LIST_DEPTH: u32 = 16;
+
 fn get_value(buf: &mut Bytes) -> Result<AtomValue, XrlError> {
+    get_value_depth(buf, 0)
+}
+
+fn get_value_depth(buf: &mut Bytes, depth: u32) -> Result<AtomValue, XrlError> {
     let short = || XrlError::BadFrame("truncated value".into());
     if buf.remaining() < 1 {
         return Err(short());
@@ -220,11 +229,16 @@ fn get_value(buf: &mut Bytes) -> Result<AtomValue, XrlError> {
             AtomValue::Binary(buf.copy_to_bytes(len).to_vec())
         }
         13 => {
+            if depth >= MAX_LIST_DEPTH {
+                return Err(XrlError::BadFrame(format!(
+                    "list nesting exceeds {MAX_LIST_DEPTH}"
+                )));
+            }
             need!(2);
             let count = buf.get_u16() as usize;
             let mut items = Vec::with_capacity(count.min(1024));
             for _ in 0..count {
-                items.push(get_value(buf)?);
+                items.push(get_value_depth(buf, depth + 1)?);
             }
             AtomValue::List(items)
         }
@@ -482,6 +496,85 @@ mod tests {
     fn unknown_kind_rejected() {
         assert!(Frame::decode(Bytes::from_static(&[99])).is_err());
         assert!(Frame::decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn batched_route_rows_roundtrip() {
+        // The shape the vectorized rib/1.0/add_routes frame uses: one
+        // `routes` atom, rows nested as lists.
+        let rows: Vec<Vec<AtomValue>> = (0..300u32)
+            .map(|i| {
+                vec![
+                    AtomValue::Ipv4Net(format!("10.{}.{}.0/24", i / 256, i % 256).parse().unwrap()),
+                    AtomValue::Ipv4(format!("192.168.0.{}", i % 250 + 1).parse().unwrap()),
+                    AtomValue::Text("eth0".into()),
+                    AtomValue::U32(i),
+                ]
+            })
+            .collect();
+        let args = XrlArgs::new().add_rows("routes", rows.clone());
+        roundtrip(Frame::Request {
+            seq: 9,
+            sender: 3,
+            target: "rib".into(),
+            key: [1u8; 16],
+            path: "rib/1.0/add_routes".into(),
+            args: args.clone(),
+        });
+        assert_eq!(args.get_rows("routes").unwrap(), rows);
+        // Textual form roundtrips too (rows carry nested escaping).
+        assert_eq!(XrlArgs::parse(&args.render()).unwrap(), args);
+    }
+
+    #[test]
+    fn get_rows_rejects_non_list_rows() {
+        let args = XrlArgs::new().add_list(
+            "routes",
+            vec![AtomValue::List(vec![AtomValue::U32(1)]), AtomValue::U32(2)],
+        );
+        assert!(matches!(args.get_rows("routes"), Err(XrlError::BadArgs(_))));
+    }
+
+    #[test]
+    fn deeply_nested_list_rejected() {
+        // 17 levels of nesting: within the u16 count grammar but past the
+        // decoder's depth cap.
+        let mut v = AtomValue::U32(1);
+        for _ in 0..17 {
+            v = AtomValue::List(vec![v]);
+        }
+        let f = Frame::Request {
+            seq: 1,
+            sender: 2,
+            target: "t".into(),
+            key: [0u8; 16],
+            path: "i/1.0/m".into(),
+            args: XrlArgs::new().add_list("deep", vec![v]),
+        };
+        let encoded = f.encode();
+        let mut bytes = Bytes::from(encoded.to_vec());
+        let _ = bytes.get_u32();
+        match Frame::decode(bytes) {
+            Err(XrlError::BadFrame(msg)) => assert!(msg.contains("nesting"), "{msg}"),
+            other => panic!("expected nesting rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_level_nesting_accepted() {
+        // Batch rows are exactly two levels; they must stay well inside
+        // the cap.
+        roundtrip(Frame::Request {
+            seq: 1,
+            sender: 2,
+            target: "t".into(),
+            key: [0u8; 16],
+            path: "i/1.0/m".into(),
+            args: XrlArgs::new().add_rows(
+                "rows",
+                vec![vec![AtomValue::U32(1)], vec![AtomValue::Text("x".into())]],
+            ),
+        });
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use xorp_event::{EventLoop, EventSender, TimerHandle};
+use xorp_event::{EventLoop, EventSender, Time, TimerHandle};
 
 use crate::atom::XrlArgs;
 use crate::error::XrlError;
@@ -103,6 +103,20 @@ impl RetryPolicy {
         self.base_timeout
             .saturating_mul(factor)
             .min(self.max_timeout)
+    }
+
+    /// Upper bound on how long after the *first* transmission a
+    /// retransmission of the same request can still arrive: the sum of all
+    /// armed backoffs, plus one extra `max_timeout` of grace for transit
+    /// delay of the final copy.  The receiver's dedup cache must remember a
+    /// request identity at least this long, or a late retransmission would
+    /// re-dispatch its handler.
+    pub fn retransmission_window(&self) -> Duration {
+        let mut w = Duration::ZERO;
+        for attempt in 1..=self.max_attempts {
+            w = w.saturating_add(self.timeout_for(attempt));
+        }
+        w.saturating_add(self.max_timeout)
     }
 }
 
@@ -209,8 +223,10 @@ enum DedupState {
     Done(XrlResult),
 }
 
-/// Bound on remembered request identities (FIFO eviction).
-const DEDUP_CAP: usize = 8192;
+/// Fallback dedup retention when no [`RetryPolicy`] is configured: with no
+/// retransmissions possible from well-behaved senders, entries only need to
+/// outlive transit reordering.  Kept generous anyway — the cache is tiny.
+const DEDUP_DEFAULT_WINDOW: Duration = Duration::from_secs(30);
 
 struct Target {
     class: String,
@@ -246,13 +262,22 @@ struct RouterInner {
     primary_class: Option<String>,
     next_seq: u64,
     pending: HashMap<u64, Pending>,
-    resolve_cache: HashMap<String, ResolveEntry>,
+    /// Resolve cache keyed by `(target, method path)` — a tuple, not a
+    /// joined string, so a target name containing the old `|` separator
+    /// cannot alias another entry.
+    resolve_cache: HashMap<(String, String), ResolveEntry>,
     tcp: Option<TcpState>,
     udp: Option<UdpState>,
     fault: Option<FaultPlan>,
     retry: Option<RetryPolicy>,
     dedup: HashMap<(u64, u64), DedupState>,
-    dedup_order: VecDeque<(u64, u64)>,
+    /// Insertion-ordered request identities with their arrival time.  An
+    /// entry is evicted only once it is older than the retry policy's
+    /// retransmission window — never by a size cap — so eviction can never
+    /// drop an identity whose retransmission is still within retry budget
+    /// (which would re-dispatch the handler).  Memory stays bounded by
+    /// request rate × window.
+    dedup_order: VecDeque<((u64, u64), Time)>,
     watchdog: Option<TimerHandle>,
     #[allow(clippy::type_complexity)]
     lifetime_cbs: Vec<(u64, String, Rc<dyn Fn(&mut EventLoop, &LifetimeEvent)>)>,
@@ -670,7 +695,7 @@ impl XrlRouter {
     /// Resolve with caching.  Cache key includes the method path because
     /// the Finder's ACL is per-method (§7).
     fn resolve_cached(&self, target: &str, path: &str) -> Result<ResolveEntry, XrlError> {
-        let cache_key = format!("{target}|{path}");
+        let cache_key = (target.to_string(), path.to_string());
         if let Some(e) = self.inner.borrow().resolve_cache.get(&cache_key) {
             return Ok(e.clone());
         }
@@ -987,6 +1012,7 @@ impl XrlRouter {
             _ => Some((sender_id, seq)),
         };
         if let Some(dedup_key) = origin {
+            let now = el.now();
             let cached = {
                 let mut inner = self.inner.borrow_mut();
                 match inner.dedup.get(&dedup_key) {
@@ -994,9 +1020,21 @@ impl XrlRouter {
                     Some(DedupState::Done(result)) => Some(result.clone()),
                     None => {
                         inner.dedup.insert(dedup_key, DedupState::InFlight);
-                        inner.dedup_order.push_back(dedup_key);
-                        while inner.dedup_order.len() > DEDUP_CAP {
-                            if let Some(old) = inner.dedup_order.pop_front() {
+                        inner.dedup_order.push_back((dedup_key, now));
+                        // Evict only identities older than the sender's
+                        // possible retransmission horizon (bounded by the
+                        // retry policy, not a fixed capacity): an entry
+                        // still within retry budget must never be dropped,
+                        // or a late retransmission would dispatch twice.
+                        let window = inner
+                            .retry
+                            .map(|p| p.retransmission_window())
+                            .unwrap_or(DEDUP_DEFAULT_WINDOW);
+                        while let Some(((_, _), at)) = inner.dedup_order.front() {
+                            if now.duration_since(*at) <= window {
+                                break;
+                            }
+                            if let Some((old, _)) = inner.dedup_order.pop_front() {
                                 inner.dedup.remove(&old);
                             }
                         }
@@ -1270,6 +1308,17 @@ impl XrlRouter {
         self.inner.borrow().resolve_cache.len()
     }
 
+    /// Drop every resolve-cache entry (test/diagnostic).
+    pub fn flush_resolve_cache(&self) {
+        self.inner.borrow_mut().resolve_cache.clear();
+    }
+
+    /// Number of remembered request identities in the receiver-side dedup
+    /// cache (test/diagnostic).
+    pub fn dedup_len(&self) -> usize {
+        self.inner.borrow().dedup.len()
+    }
+
     /// Deregister everything, stop transports, and fail outstanding
     /// requests.  The router is unusable afterwards.
     pub fn shutdown(&self, el: &mut EventLoop) {
@@ -1324,5 +1373,42 @@ impl XrlRouter {
             // Wake the reader with a runt datagram so it sees the flag.
             let _ = udp.socket.send_to(&[0u8; 1], udp.local_addr);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retransmission_window_bounds_every_retry() {
+        // The window must cover the sum of all armed backoffs plus one
+        // max_timeout of transit grace — the latest instant at which a
+        // retransmission of attempt `max_attempts` can still arrive.
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_timeout: Duration::from_millis(100),
+            max_timeout: Duration::from_millis(500),
+        };
+        // Backoffs: 100, 200, 400, 500 (capped) = 1200ms; + 500ms grace.
+        assert_eq!(p.retransmission_window(), Duration::from_millis(1700));
+        // A one-shot policy still leaves transit grace.
+        let one = RetryPolicy {
+            max_attempts: 1,
+            base_timeout: Duration::from_millis(50),
+            max_timeout: Duration::from_millis(80),
+        };
+        assert_eq!(one.retransmission_window(), Duration::from_millis(130));
+        // The default policy: backoffs 100+200+400+800+1600+2000+2000+2000
+        // = 9100ms, plus 2000ms transit grace.
+        let d = RetryPolicy::default();
+        assert_eq!(d.retransmission_window(), Duration::from_millis(11_100));
+    }
+
+    #[test]
+    fn default_dedup_window_covers_default_retry_policy() {
+        // A receiver with no explicit policy must still remember request
+        // identities long enough for a sender using the *default* policy.
+        assert!(DEDUP_DEFAULT_WINDOW >= RetryPolicy::default().retransmission_window());
     }
 }

@@ -34,6 +34,20 @@ struct Exchange {
 /// receiver; both routers share `config` (their decision streams still
 /// differ because the lane labels differ).
 fn run_exchange(config: FaultConfig, retry: RetryPolicy, n: u32, timeout: Duration) -> Exchange {
+    run_exchange_linger(config, retry, n, timeout, Duration::ZERO)
+}
+
+/// [`run_exchange`], then keep both loops running for `linger` after the
+/// last response — long enough for maximally-delayed duplicate frames to
+/// reach the receiver, so `dispatch_counts` reflects any late
+/// re-dispatch.
+fn run_exchange_linger(
+    config: FaultConfig,
+    retry: RetryPolicy,
+    n: u32,
+    timeout: Duration,
+    linger: Duration,
+) -> Exchange {
     let class = format!("fe{}", NEXT_CLASS.fetch_add(1, Ordering::SeqCst));
     let instance = format!("{class}-0");
     let finder = Finder::new();
@@ -104,6 +118,13 @@ fn run_exchange(config: FaultConfig, retry: RetryPolicy, n: u32, timeout: Durati
         if std::time::Instant::now() >= deadline {
             break; // return partial results; caller asserts and prints trace
         }
+        el.run_for(Duration::from_millis(1));
+    }
+
+    // Late duplicates are still in flight; give them time to land so a
+    // wrongly-evicted identity shows up as a second dispatch.
+    let linger_deadline = std::time::Instant::now() + linger;
+    while std::time::Instant::now() < linger_deadline {
         el.run_for(Duration::from_millis(1));
     }
 
@@ -216,6 +237,55 @@ fn black_hole_times_out_instead_of_hanging() {
             "request {i} leaked through"
         );
     }
+}
+
+/// Dedup-cache retention is bounded by the sender's retry policy, not a
+/// fixed capacity.  Every request frame is duplicated and a slice of all
+/// frames is delayed by the maximum `--fault` delay, while the flood is
+/// sized well past any plausible capacity cap (the cache once held a
+/// fixed 8192 identities).  If eviction ever dropped an identity whose
+/// duplicate was still in transit — i.e. within the policy's
+/// retransmission window — that late copy would re-dispatch the handler
+/// and the per-request count would exceed one.
+#[test]
+fn flooded_dedup_cache_never_redispatches_delayed_duplicates() {
+    let max_delay = Duration::from_millis(300);
+    let config = FaultConfig {
+        seed: 0xDED0_0CAC,
+        drop: 0.0,
+        duplicate: 1.0,
+        delay: 0.08,
+        delay_ms: (100, max_delay.as_millis() as u64),
+        disconnect: 0.0,
+    };
+    let retry = RetryPolicy {
+        max_attempts: 4,
+        base_timeout: Duration::from_millis(400),
+        max_timeout: Duration::from_secs(1),
+    };
+    // The property only means something if the window really covers the
+    // longest transit a duplicate can take.
+    assert!(retry.retransmission_window() > max_delay * 2);
+
+    let n = 9000;
+    let ex = run_exchange_linger(
+        config,
+        retry,
+        n,
+        Duration::from_secs(120),
+        max_delay + Duration::from_millis(200),
+    );
+    assert_exactly_once(&ex, n);
+    assert!(
+        ex.sender_report.contains("Duplicate"),
+        "expected duplicates in the trace:\n{}",
+        ex.sender_report
+    );
+    assert!(
+        ex.sender_report.contains("Delay"),
+        "expected delays in the trace:\n{}",
+        ex.sender_report
+    );
 }
 
 // Determinism: the wire-level behaviour is a pure function of the seed.

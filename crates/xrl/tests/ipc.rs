@@ -318,6 +318,49 @@ fn resolve_cache_used_and_invalidated() {
 }
 
 #[test]
+fn resolve_cache_key_cannot_collide_across_target_and_path() {
+    // Regression: the resolve cache used to key on the joined string
+    // `"{target}|{path}"`, so target `svc|x` + path `y/1.0/m` and target
+    // `svc` + path `x|y/1.0/m` shared the key `svc|x|y/1.0/m`.  Whichever
+    // resolved first hijacked the other's dispatch — the second call went
+    // to the wrong instance with the wrong method key.  The key is now the
+    // `(target, path)` tuple; both calls must reach their own handler.
+    let finder = Finder::new();
+    let mut el = EventLoop::new();
+    let router = XrlRouter::new(&mut el, finder);
+
+    router.register_target("svc|x", "svcx-0", true).unwrap();
+    router.add_fn("svcx-0", "y/1.0/m", |_el, _args| {
+        Ok(XrlArgs::new().add_str("who", "pipe-class"))
+    });
+    router.register_target("svc", "svc-0", true).unwrap();
+    router.add_fn("svc-0", "x|y/1.0/m", |_el, _args| {
+        Ok(XrlArgs::new().add_str("who", "plain-class"))
+    });
+
+    let call = |el: &mut EventLoop, router: &XrlRouter, target: &str, iface: &str| {
+        let (tx, rx) = mpsc::channel();
+        router.send(
+            el,
+            Xrl::generic(target, iface, "1.0", "m", XrlArgs::new()),
+            Box::new(move |_el, result| tx.send(result).unwrap()),
+        );
+        el.run_until_idle();
+        rx.try_recv().unwrap().unwrap().get_text("who").unwrap()
+    };
+
+    // Prime the cache with the first identity, then send the colliding one.
+    assert_eq!(call(&mut el, &router, "svc|x", "y"), "pipe-class");
+    assert_eq!(call(&mut el, &router, "svc", "x|y"), "plain-class");
+    // And in reverse order against a fresh cache.
+    router.flush_resolve_cache();
+    assert_eq!(call(&mut el, &router, "svc", "x|y"), "plain-class");
+    assert_eq!(call(&mut el, &router, "svc|x", "y"), "pipe-class");
+    // Two distinct identities, two cache entries — not one shared slot.
+    assert_eq!(router.cache_len(), 2);
+}
+
+#[test]
 fn kill_family_stops_target() {
     let finder = Finder::new();
     let (_echo_sender, echo_thread) = spawn_echo(finder.clone(), "kecho", "kecho-0");

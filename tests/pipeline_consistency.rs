@@ -212,6 +212,196 @@ fn run_ops(ops: Vec<Op>) {
     }
 }
 
+// ---- batched vs per-route RIB equivalence --------------------------------
+//
+// The vectorized pipeline (`Rib::apply_batch`, one resolve/redistribution
+// pass per frame) must be a pure performance transform: for ANY sequence
+// of adds/deletes and ANY partition of that sequence into batches, the
+// final RIB answers and the FIB replayed from the redistribution stream
+// must be byte-identical to the per-route pipeline's, and a batch size of
+// one must reproduce the per-route redistribution event sequence exactly.
+
+use xorp::net::ProtocolId;
+use xorp::rib::{BatchOp, Rib};
+
+#[derive(Debug, Clone)]
+enum RibOp {
+    Add {
+        net_ix: u8,
+        proto_ix: u8,
+        nh_ix: u8,
+        metric: u8,
+    },
+    Delete {
+        net_ix: u8,
+        proto_ix: u8,
+    },
+}
+
+const RIB_PROTOS: [ProtocolId; 4] = [
+    ProtocolId::Connected,
+    ProtocolId::Static,
+    ProtocolId::Rip,
+    ProtocolId::Ebgp,
+];
+
+fn arb_rib_op() -> impl Strategy<Value = RibOp> {
+    prop_oneof![
+        3 => (0u8..NETS, 0u8..4, 0u8..NETS, 0u8..4).prop_map(|(n, p, h, m)| RibOp::Add {
+            net_ix: n,
+            proto_ix: p,
+            nh_ix: h,
+            metric: m,
+        }),
+        2 => (0u8..NETS, 0u8..4).prop_map(|(n, p)| RibOp::Delete {
+            net_ix: n,
+            proto_ix: p,
+        }),
+    ]
+}
+
+/// Build the route an `Add` op installs.  EBGP routes take a nexthop
+/// *inside* one of the test prefixes, so internal adds/deletes flip their
+/// resolution — the path the deferred batch re-resolution must get right.
+fn rib_route(op: &RibOp) -> RouteEntry<Ipv4Addr> {
+    let RibOp::Add {
+        net_ix,
+        proto_ix,
+        nh_ix,
+        metric,
+    } = op
+    else {
+        unreachable!("rib_route is only called for adds");
+    };
+    let proto = RIB_PROTOS[*proto_ix as usize];
+    let nh = Ipv4Addr::from(0x0a00_0000u32 | ((*nh_ix as u32 + 1) << 8) | 1);
+    let mut a = PathAttributes::new(IpAddr::V4(nh));
+    a.ebgp = proto == ProtocolId::Ebgp;
+    let mut r = RouteEntry::new(net(*net_ix), Arc::new(a), *metric as u32 + 1, proto);
+    if proto != ProtocolId::Ebgp {
+        r.ifname = Some("eth0".into());
+    }
+    r
+}
+
+/// Drive a consistency-checked RIB through `ops`.  With `partition`
+/// empty, every op goes through the per-route path (`add_route` /
+/// `delete_route` + `push`, as the scalar XRL handlers do).  Otherwise
+/// ops are chunked into batches of the given sizes (cycled) and applied
+/// through `apply_batch`.  Returns the redistribution event log, the FIB
+/// replayed from it, the final per-net RIB answers, and any consistency
+/// violations.
+#[allow(clippy::type_complexity)]
+fn run_rib_ops(
+    ops: &[RibOp],
+    partition: &[usize],
+) -> (Vec<String>, BTreeMap<Net, String>, Vec<String>, Vec<String>) {
+    let mut el = EventLoop::new_virtual();
+    let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+    let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let l = log.clone();
+    rib.set_output(move |_el, _origin, op| l.borrow_mut().push(format!("{op:?}")));
+
+    let to_batch_op = |op: &RibOp| match op {
+        RibOp::Add { .. } => BatchOp::Add(rib_route(op)),
+        RibOp::Delete { net_ix, proto_ix } => BatchOp::Delete {
+            proto: RIB_PROTOS[*proto_ix as usize],
+            net: net(*net_ix),
+        },
+    };
+
+    if partition.is_empty() {
+        for op in ops {
+            match op {
+                RibOp::Add { .. } => rib.add_route(&mut el, rib_route(op)),
+                RibOp::Delete { net_ix, proto_ix } => {
+                    rib.delete_route(&mut el, RIB_PROTOS[*proto_ix as usize], net(*net_ix));
+                }
+            }
+            rib.push(&mut el);
+            el.run_until_idle();
+        }
+    } else {
+        let mut sizes = partition.iter().cycle();
+        let mut i = 0;
+        while i < ops.len() {
+            let n = (*sizes.next().unwrap()).max(1).min(ops.len() - i);
+            let batch: Vec<BatchOp<Ipv4Addr>> = ops[i..i + n].iter().map(to_batch_op).collect();
+            rib.apply_batch(&mut el, batch);
+            el.run_until_idle();
+            i += n;
+        }
+    }
+    el.run_until_idle();
+
+    // Replay the redistribution stream into a FIB mirror, exactly as the
+    // FEA applies it: adds/replaces install by prefix, deletes remove.
+    let events = log.borrow().clone();
+    let mut fib: BTreeMap<Net, String> = BTreeMap::new();
+    for ev in &events {
+        let net_str = ev
+            .split("net: ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .expect("RouteOp debug form carries the net");
+        let n: Net = net_str.parse().expect("net parses back");
+        if ev.starts_with("Delete") {
+            fib.remove(&n);
+        } else {
+            // What the FEA installs is the *new* route; batching may
+            // legitimately coalesce a transient route away, turning a
+            // per-route Replace into a plain Add of the same winner.
+            let marker = if ev.starts_with("Replace") {
+                "new: "
+            } else {
+                "route: "
+            };
+            let installed = ev
+                .split_once(marker)
+                .map(|(_, rest)| rest.trim_end_matches(" }").to_string())
+                .expect("RouteOp debug form carries the installed route");
+            fib.insert(n, installed);
+        }
+    }
+
+    // Final per-net answers straight from the RIB.
+    let mut finals = Vec::new();
+    for ix in 0..NETS {
+        finals.push(format!("{:?}", rib.lookup_exact(&net(ix))));
+    }
+    finals.push(format!("count {}", rib.route_count()));
+
+    (events, fib, finals, rib.consistency_violations())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batched_rib_is_state_identical_to_per_route(
+        ops in proptest::collection::vec(arb_rib_op(), 1..60),
+        partition in proptest::collection::vec(1usize..9, 1..16),
+    ) {
+        let (_, fib_a, finals_a, viol_a) = run_rib_ops(&ops, &[]);
+        let (_, fib_b, finals_b, viol_b) = run_rib_ops(&ops, &partition);
+        prop_assert!(viol_a.is_empty(), "per-route violations: {viol_a:?}");
+        prop_assert!(viol_b.is_empty(), "batched violations: {viol_b:?}");
+        prop_assert_eq!(finals_a, finals_b);
+        prop_assert_eq!(fib_a, fib_b);
+    }
+
+    #[test]
+    fn batch_of_one_preserves_redistribution_sequence(
+        ops in proptest::collection::vec(arb_rib_op(), 1..40),
+    ) {
+        let (events_a, fib_a, finals_a, _) = run_rib_ops(&ops, &[]);
+        let (events_b, fib_b, finals_b, _) = run_rib_ops(&ops, &[1]);
+        prop_assert_eq!(events_a, events_b);
+        prop_assert_eq!(finals_a, finals_b);
+        prop_assert_eq!(fib_a, fib_b);
+    }
+}
+
 /// Manual stress search used to hunt for failing sequences offline;
 /// kept `#[ignore]`d — run with `-- --ignored stress_search`.
 #[test]
