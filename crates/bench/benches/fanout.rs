@@ -45,11 +45,7 @@ fn bench_fanout(c: &mut Criterion) {
                 let mut el = EventLoop::new_virtual();
                 let mut fanout: FanoutQueue<Ipv4Addr> = FanoutQueue::new();
                 for p in 0..PEERS {
-                    fanout.add_reader(
-                        &mut el,
-                        ReaderId::Peer(PeerId(p)),
-                        stage_ref(SinkStage::new()),
-                    );
+                    fanout.add_reader(ReaderId::Peer(PeerId(p)), stage_ref(SinkStage::new()));
                 }
                 for p in 0..SLOW {
                     fanout.pause(ReaderId::Peer(PeerId(p)));

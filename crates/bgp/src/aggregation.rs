@@ -36,6 +36,8 @@ pub struct AggregationStage<A: xorp_net::Addr> {
     self_origin: PeerId,
     aggregates: BTreeMap<Prefix<A>, AggregateState<A>>,
     downstream: Option<StageRef<A, BgpRoute<A>>>,
+    /// Lookup relay for prefixes this stage is transparent to.
+    upstream: Option<StageRef<A, BgpRoute<A>>>,
 }
 
 impl<A: xorp_net::Addr> AggregationStage<A> {
@@ -62,12 +64,20 @@ impl<A: xorp_net::Addr> AggregationStage<A> {
                 })
                 .collect(),
             downstream: None,
+            upstream: None,
         }
     }
 
     /// Plumb the downstream neighbor.
     pub fn set_downstream(&mut self, s: StageRef<A, BgpRoute<A>>) {
         self.downstream = Some(s);
+    }
+
+    /// Plumb the upstream neighbor: `lookup_route` relays to it for every
+    /// prefix this stage passes through untouched, so downstream stages
+    /// (background dumps in particular) see the whole table through us.
+    pub fn set_upstream(&mut self, s: StageRef<A, BgpRoute<A>>) {
+        self.upstream = Some(s);
     }
 
     /// Number of live contributors for an aggregate (diagnostics).
@@ -181,7 +191,12 @@ impl<A: xorp_net::Addr> Stage<A, BgpRoute<A>> for AggregationStage<A> {
                     state.contributors.get(net).cloned()
                 }
             }
-            None => None, // transparent for everything else; callers use upstream
+            // Transparent for everything else: relay upstream, consistent
+            // with having passed those ops through untouched.
+            None => self
+                .upstream
+                .as_ref()
+                .and_then(|u| u.borrow().lookup_route(net)),
         }
     }
 

@@ -9,19 +9,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use xorp_event::{EventLoop, SliceResult, TimerHandle};
-use xorp_net::{Addr, AsNum, PathAttributes, Prefix, ProtocolId};
+use xorp_net::{Addr, AsNum, HeapSize, PathAttributes, Prefix, ProtocolId};
 use xorp_policy::{FilterBank, PolicyTarget};
 use xorp_profiler::{points, Profiler};
-use xorp_stages::{stage_ref, CacheStage, FnStage, OriginId, RouteOp, Stage, StageRef};
+use xorp_stages::{stage_ref, CacheStage, DumpStage, FnStage, OriginId, RouteOp, Stage, StageRef};
 
 use crate::aggregation::AggregationStage;
 use crate::damping::{DampingConfig, DampingStage};
 use crate::decision::DecisionStage;
-use crate::deletion::DeletionStage;
-use crate::fanout::{FanoutQueue, ReaderId};
+use crate::deletion::{DeletionStage, DeletionTableSource};
+use crate::fanout::{dump_transform, FanoutQueue, ReaderId};
 use crate::filter::FilterStage;
 use crate::nexthop::{NexthopResolver, NexthopService};
-use crate::peer_in::PeerIn;
+use crate::peer_in::{PeerIn, PeerTableSource};
 use crate::peer_out::{PeerOut, UpdateWriter};
 use crate::{BgpRoute, PeerId};
 
@@ -128,6 +128,7 @@ where
         let decision = stage_ref(DecisionStage::new());
         let fanout = stage_ref(FanoutQueue::new());
         decision.borrow_mut().set_downstream(fanout.clone());
+        fanout.borrow_mut().set_upstream(decision.clone());
         BgpProcess {
             config,
             service,
@@ -154,7 +155,11 @@ where
             aggregates,
         ));
         agg.borrow_mut().set_downstream(self.fanout.clone());
+        agg.borrow_mut().set_upstream(self.decision.clone());
         self.decision.borrow_mut().set_downstream(agg.clone());
+        // Lookups (and background dumps) relay through the aggregation
+        // stage so they see aggregates and suppressions.
+        self.fanout.borrow_mut().set_upstream(agg.clone());
     }
 
     /// Our configuration.
@@ -171,7 +176,71 @@ where
         f: impl FnMut(&mut EventLoop, OriginId, RouteOp<A, BgpRoute<A>>) + 'static,
     ) {
         let sink = stage_ref(FnStage::new("bgp-to-rib", f));
-        self.fanout.borrow_mut().add_reader(el, ReaderId::Rib, sink);
+        self.fanout.borrow_mut().add_reader(ReaderId::Rib, sink);
+        // A late subscriber learns any existing table lazily, in the
+        // background — never via a synchronous full-table walk.
+        if self.route_count() > 0 {
+            self.start_dump(el, ReaderId::Rib);
+        }
+    }
+
+    /// Splice a background dump in front of reader `id`, walking every
+    /// peer table with safe iterators and streaming the best routes in
+    /// bounded slices.  Returns the number of stored routes the walk will
+    /// visit.
+    fn start_dump(&mut self, el: &mut EventLoop, id: ReaderId) -> usize {
+        let label = match id {
+            ReaderId::Peer(p) => format!("peer[{}]", p.0),
+            ReaderId::Rib => "rib".to_string(),
+        };
+        let lookup = self
+            .fanout
+            .borrow()
+            .upstream()
+            .expect("fanout upstream plumbed at construction");
+        let mut dump = DumpStage::new(label, lookup);
+        let mut total = 0;
+        for (pid, branch) in &self.peers {
+            // The reader's own routes are withheld by split horizon, and a
+            // freshly re-established peer's table only holds its own: skip
+            // the whole source.
+            if id == ReaderId::Peer(*pid) {
+                continue;
+            }
+            if !branch.peer_in.borrow().is_empty() {
+                total += branch.peer_in.borrow().len();
+                dump.add_source(Box::new(PeerTableSource::new(branch.peer_in.clone())));
+            }
+            // Routes parked in this branch's deletion stages are still
+            // visible upstream until drained — walk them too, or the dump
+            // completes without them and the drain's deletes later reach
+            // the reader as deletes of never-announced prefixes.
+            for del in branch.deletions.borrow().iter() {
+                if del.borrow().pending_count() > 0 {
+                    total += del.borrow().pending_count();
+                    dump.add_source(Box::new(DeletionTableSource::new(del.clone())));
+                }
+            }
+        }
+        dump.set_transform(dump_transform(id));
+        // Flush the reader's queued fanout entries before every slice so
+        // the walk's lookups agree with what the reader has consumed
+        // (otherwise a queued-but-undelivered change double-announces).
+        let fanout = Rc::downgrade(&self.fanout);
+        dump.set_before_slice(move |el| {
+            if let Some(f) = fanout.upgrade() {
+                f.borrow_mut().pump_reader(el, id);
+            }
+        });
+        if self
+            .fanout
+            .borrow_mut()
+            .attach_dump(el, id, stage_ref(dump))
+        {
+            total
+        } else {
+            0
+        }
     }
 
     /// Create a peering's pipelines.  The session starts down; call
@@ -277,7 +346,9 @@ where
     }
 
     /// The peering reached Established: plumb its reader into the fanout
-    /// (which replays the current best table) and mark it live.
+    /// and stream the existing table to it with a background dump (§5.3)
+    /// — attach itself delivers nothing synchronously, however large the
+    /// table.
     pub fn peering_up(&mut self, el: &mut EventLoop, peer: PeerId) {
         let Some(branch) = self.peers.get_mut(&peer) else {
             return;
@@ -287,9 +358,11 @@ where
         }
         branch.established = true;
         if branch.peer_out.is_some() {
+            let export = branch.export.clone();
             self.fanout
                 .borrow_mut()
-                .add_reader(el, ReaderId::Peer(peer), branch.export.clone());
+                .add_reader(ReaderId::Peer(peer), export);
+            self.start_dump(el, ReaderId::Peer(peer));
         }
     }
 
@@ -317,6 +390,14 @@ where
         }
         let table = branch.peer_in.borrow_mut().take_table();
         let del = stage_ref(DeletionStage::new(peer, table));
+
+        // The handover just invalidated any in-flight dump's source over
+        // this peer's table (its iterator epoch is stale).  Those routes
+        // stay visible upstream until the drain gets to them, so every
+        // dump still streaming walks them via the deletion stage instead.
+        self.fanout
+            .borrow_mut()
+            .extend_dumps(|| Box::new(DeletionTableSource::new(del.clone())));
 
         // Splice: PeerIn → del → (previous head of the deletion chain, or
         // the fixed chain).
@@ -480,11 +561,13 @@ where
         self.fanout.borrow().lookup_route(net)
     }
 
-    /// Graceful-restart refresh: re-emit the whole best table to the RIB
-    /// reader (after a RIB restart, its BGP routes are stale until we
-    /// re-advertise them).  Returns how many routes were replayed.
+    /// Graceful-restart refresh: re-stream the whole best table to the
+    /// RIB reader (after a RIB restart, its BGP routes are stale until we
+    /// re-advertise them) as a *background dump* — the event loop is
+    /// never blocked on a full-table walk.  Returns the number of stored
+    /// routes the dump will visit (0 when no RIB reader is attached).
     pub fn readvertise_rib(&mut self, el: &mut EventLoop) -> usize {
-        self.fanout.borrow_mut().replay_to(el, ReaderId::Rib)
+        self.start_dump(el, ReaderId::Rib)
     }
 
     /// Number of prefixes with a best route.
@@ -518,21 +601,34 @@ where
         out
     }
 
-    /// Heap bytes attributable to BGP's structures: PeerIn tables plus the
-    /// fanout mirror.  Compared against the paper's "120 MB for BGP".
+    /// Heap bytes attributable to BGP's structures: PeerIn tables (where
+    /// routes live — the only per-route storage) plus the fanout's queue
+    /// and transient dump state.  Compared against the paper's "120 MB
+    /// for BGP".
     pub fn memory_bytes(&self) -> usize {
         let peer_tables: usize = self
             .peers
             .values()
             .map(|b| b.peer_in.borrow().memory_bytes())
             .sum();
-        // Attribute blocks in the fanout mirror are shared with PeerIn
-        // copies; charge the mirror its entries plus the Arc handles only.
-        let fanout = self.fanout.borrow();
-        let mirror = fanout.best_count()
-            * (std::mem::size_of::<(Prefix<A>, BgpRoute<A>)>()
-                + std::mem::size_of::<Arc<PathAttributes>>());
-        peer_tables + mirror
+        peer_tables + self.fanout.borrow().heap_size()
+    }
+
+    /// Heap bytes of the fanout stage alone (queue + reader bookkeeping +
+    /// in-flight dump state; no route table).
+    pub fn fanout_memory_bytes(&self) -> usize {
+        self.fanout.borrow().heap_size()
+    }
+
+    /// Is a background dump still walking toward this peer's export branch?
+    pub fn dump_in_flight(&self, peer: PeerId) -> bool {
+        self.fanout.borrow().dump_in_flight(ReaderId::Peer(peer))
+    }
+
+    /// Entries currently parked in the fanout queue (unconsumed by some
+    /// reader; a healthy idle router reports 0).
+    pub fn fanout_queue_len(&self) -> usize {
+        self.fanout.borrow().queue_len()
     }
 
     /// Is the peering currently marked established?

@@ -13,14 +13,24 @@
 //! reader has consumed them — one copy of each change, however many slow
 //! peers there are.  The ablation bench compares this against naive
 //! per-peer queues.
+//!
+//! The fanout stores **no route table of its own** — "routes are stored
+//! only in the origin stages" (§5.1), so `lookup_route` relays upstream and
+//! newly attached readers learn the existing table from a background
+//! [`DumpStage`] walking the origin tables (§5.3), never from a mirror.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 
 use xorp_event::EventLoop;
-use xorp_net::{Addr, Prefix};
-use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
+use xorp_net::{Addr, HeapSize, Prefix};
+use xorp_stages::{DumpStage, OriginId, RouteOp, Stage, StageRef};
 
 use crate::{BgpRoute, PeerId};
+
+/// A shared handle to an in-flight background dump feeding one reader.
+pub type DumpRef<A> = Rc<RefCell<DumpStage<A, BgpRoute<A>>>>;
 
 /// A reader identity: a peer branch or the RIB output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,10 +42,25 @@ pub enum ReaderId {
 }
 
 struct Reader<A: Addr> {
+    /// The reader's real output pipeline.
     branch: StageRef<A, BgpRoute<A>>,
+    /// In-flight background dump feeding this reader, if any.  While the
+    /// dump runs, queue deliveries go *through* it (its intercept keeps
+    /// exactly-once semantics); once done, deliveries go straight to the
+    /// branch again.
+    dump: Option<DumpRef<A>>,
     /// Queue sequence this reader will consume next.
     cursor: u64,
     paused: bool,
+}
+
+impl<A: Addr> Reader<A> {
+    fn target(&self) -> StageRef<A, BgpRoute<A>> {
+        match &self.dump {
+            Some(d) if !d.borrow().is_done() => d.clone() as StageRef<A, BgpRoute<A>>,
+            _ => self.branch.clone(),
+        }
+    }
 }
 
 /// The single-queue, n-reader fanout stage.
@@ -43,9 +68,12 @@ pub struct FanoutQueue<A: Addr> {
     queue: VecDeque<(u64, RouteOp<A, BgpRoute<A>>)>,
     next_seq: u64,
     readers: HashMap<ReaderId, Reader<A>>,
-    /// Mirror of the current best table, used to replay state to readers
-    /// added after routes already flowed (a freshly established peering).
-    best: BTreeMap<Prefix<A>, BgpRoute<A>>,
+    /// Upstream neighbor (decision or aggregation stage): the lookup
+    /// relay target, per the stage contract.
+    upstream: Option<StageRef<A, BgpRoute<A>>>,
+    /// Net count of adds minus deletes seen — the size of the best table
+    /// without storing it.
+    best_routes: usize,
     /// High-water mark of queue length (ablation measurements).
     pub max_queue_len: usize,
     /// Coalesce threshold: when > 1, `route_op` defers delivery until
@@ -69,11 +97,22 @@ impl<A: Addr> FanoutQueue<A> {
             queue: VecDeque::new(),
             next_seq: 0,
             readers: HashMap::new(),
-            best: BTreeMap::new(),
+            upstream: None,
+            best_routes: 0,
             max_queue_len: 0,
             coalesce: 1,
             unpumped: 0,
         }
+    }
+
+    /// Plumb the upstream neighbor, the relay target for `lookup_route`.
+    pub fn set_upstream(&mut self, s: StageRef<A, BgpRoute<A>>) {
+        self.upstream = Some(s);
+    }
+
+    /// The upstream neighbor (dump stages look routes up through it).
+    pub fn upstream(&self) -> Option<StageRef<A, BgpRoute<A>>> {
+        self.upstream.clone()
     }
 
     /// Set the coalesce threshold.  `n > 1` batches deliveries: readers
@@ -84,82 +123,106 @@ impl<A: Addr> FanoutQueue<A> {
         self.coalesce = n.max(1);
     }
 
-    /// Attach a reader; it starts at the current queue tail and is
-    /// immediately replayed the current best table as adds.
-    pub fn add_reader(
-        &mut self,
-        el: &mut EventLoop,
-        id: ReaderId,
-        branch: StageRef<A, BgpRoute<A>>,
-    ) {
+    /// Attach a reader at the current queue tail.  The reader starts
+    /// *empty*: existing state reaches it via a background dump
+    /// ([`FanoutQueue::attach_dump`]), never a synchronous replay.
+    pub fn add_reader(&mut self, id: ReaderId, branch: StageRef<A, BgpRoute<A>>) {
         let cursor = self.next_seq;
-        // Replay current state so a new peering learns the table (skipping
-        // its own routes).
-        for (net, route) in &self.best {
-            if let Some(op) = translate(
-                id,
-                &RouteOp::Add {
-                    net: *net,
-                    route: route.clone(),
-                },
-            ) {
-                branch.borrow_mut().route_op(el, origin_of(route), op);
-            }
-        }
         self.readers.insert(
             id,
             Reader {
                 branch,
+                dump: None,
                 cursor,
                 paused: false,
             },
         );
     }
 
-    /// Re-emit the current best table to one *existing* reader as adds —
-    /// the graceful-restart refresh: a restarted RIB (or peer) re-learns
-    /// our contribution without bouncing the session.  Split horizon
-    /// applies as usual.  Returns how many routes were replayed.
-    pub fn replay_to(&mut self, el: &mut EventLoop, id: ReaderId) -> usize {
-        let Some(reader) = self.readers.get(&id) else {
-            return 0;
+    /// Splice a background dump in front of an existing reader and start
+    /// its walk.  Any previous in-flight dump for the reader is aborted
+    /// (a re-dump supersedes it).  Returns false for unknown readers.
+    pub fn attach_dump(&mut self, el: &mut EventLoop, id: ReaderId, dump: DumpRef<A>) -> bool {
+        let Some(reader) = self.readers.get_mut(&id) else {
+            return false;
         };
-        let branch = reader.branch.clone();
-        let mut replayed = 0;
-        for (net, route) in &self.best {
-            if let Some(op) = translate(
-                id,
-                &RouteOp::Add {
-                    net: *net,
-                    route: route.clone(),
-                },
-            ) {
-                branch.borrow_mut().route_op(el, origin_of(route), op);
-                replayed += 1;
-            }
+        if let Some(old) = reader.dump.take() {
+            old.borrow_mut().abort();
         }
-        replayed
+        dump.borrow_mut().set_downstream(reader.branch.clone());
+        if reader.paused {
+            dump.borrow_mut().suspend();
+        }
+        reader.dump = Some(dump.clone());
+        DumpStage::start(el, dump);
+        true
     }
 
-    /// Detach a reader.  The caller withdraws its routes separately.
+    /// True while `id` has a dump still streaming.
+    pub fn dump_in_flight(&self, id: ReaderId) -> bool {
+        self.readers
+            .get(&id)
+            .and_then(|r| r.dump.as_ref())
+            .is_some_and(|d| !d.borrow().is_done())
+    }
+
+    /// Hand every in-flight dump an extra source (one each — a source
+    /// owns its iterator cursor).  Called when a peer table moves into a
+    /// deletion stage mid-dump: the dump's source over the old table goes
+    /// stale, but the parked routes stay visible upstream until drained,
+    /// so each dump walks them through a fresh source over the deletion
+    /// stage instead of completing without them.
+    pub fn extend_dumps(&mut self, mut make: impl FnMut() -> Box<dyn xorp_stages::DumpSource<A>>) {
+        for reader in self.readers.values() {
+            if let Some(dump) = &reader.dump {
+                let mut dump = dump.borrow_mut();
+                if !dump.is_done() {
+                    dump.add_source(make());
+                }
+            }
+        }
+    }
+
+    /// Detach a reader, aborting any in-flight dump (its iterator handles
+    /// are released) and recomputing the GC floor so a dead slow reader
+    /// stops pinning queue entries.  The caller withdraws the reader's
+    /// routes separately.
     pub fn remove_reader(&mut self, id: ReaderId) {
-        self.readers.remove(&id);
+        if let Some(reader) = self.readers.remove(&id) {
+            if let Some(dump) = reader.dump {
+                dump.borrow_mut().abort();
+            }
+        }
         self.gc();
     }
 
-    /// Pause a reader (slow peer): entries queue up for it.
+    /// Pause a reader (slow peer): entries queue up for it and any
+    /// in-flight dump parks.
     pub fn pause(&mut self, id: ReaderId) {
         if let Some(r) = self.readers.get_mut(&id) {
             r.paused = true;
+            if let Some(dump) = &r.dump {
+                dump.borrow_mut().suspend();
+            }
         }
     }
 
-    /// Resume a paused reader, draining its backlog.
+    /// Resume a paused reader, draining its backlog and un-parking any
+    /// in-flight dump.
     pub fn resume(&mut self, el: &mut EventLoop, id: ReaderId) {
-        if let Some(r) = self.readers.get_mut(&id) {
+        let dump = {
+            let Some(r) = self.readers.get_mut(&id) else {
+                return;
+            };
             r.paused = false;
-        }
+            r.dump.clone()
+        };
         self.pump(el);
+        if let Some(dump) = dump {
+            if !dump.borrow().is_done() {
+                DumpStage::resume(el, dump);
+            }
+        }
     }
 
     /// Entries currently queued (bounded by the slowest reader).
@@ -167,14 +230,10 @@ impl<A: Addr> FanoutQueue<A> {
         self.queue.len()
     }
 
-    /// Routes in the mirrored best table.
+    /// Size of the best table flowing through this stage (adds minus
+    /// deletes — counted, not mirrored).
     pub fn best_count(&self) -> usize {
-        self.best.len()
-    }
-
-    /// The current best route for a prefix.
-    pub fn best(&self, net: &Prefix<A>) -> Option<&BgpRoute<A>> {
-        self.best.get(net)
+        self.best_routes
     }
 
     /// Deliver queued entries to every unpaused reader, then collect
@@ -184,6 +243,7 @@ impl<A: Addr> FanoutQueue<A> {
             if reader.paused {
                 continue;
             }
+            let target = reader.target();
             // Find this reader's position in the queue.
             for (seq, op) in &self.queue {
                 if *seq < reader.cursor {
@@ -191,12 +251,38 @@ impl<A: Addr> FanoutQueue<A> {
                 }
                 if let Some(translated) = translate(*id, op) {
                     let origin = op_origin(op);
-                    reader.branch.borrow_mut().route_op(el, origin, translated);
+                    target.borrow_mut().route_op(el, origin, translated);
                 }
                 reader.cursor = *seq + 1;
             }
         }
         self.unpumped = 0;
+        self.gc();
+    }
+
+    /// Deliver queued entries to ONE reader — the dump stage's
+    /// before-slice hook, guaranteeing upstream lookups made by the dump
+    /// walk agree with what the reader has already consumed.
+    pub fn pump_reader(&mut self, el: &mut EventLoop, id: ReaderId) {
+        {
+            let Some(reader) = self.readers.get_mut(&id) else {
+                return;
+            };
+            if reader.paused {
+                return;
+            }
+            let target = reader.target();
+            for (seq, op) in &self.queue {
+                if *seq < reader.cursor {
+                    continue;
+                }
+                if let Some(translated) = translate(id, op) {
+                    let origin = op_origin(op);
+                    target.borrow_mut().route_op(el, origin, translated);
+                }
+                reader.cursor = *seq + 1;
+            }
+        }
         self.gc();
     }
 
@@ -225,6 +311,27 @@ fn op_origin<A: Addr>(op: &RouteOp<A, BgpRoute<A>>) -> OriginId {
     match op {
         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => origin_of(route),
         RouteOp::Delete { old, .. } => origin_of(old),
+    }
+}
+
+/// The per-reader route translation a background dump applies to each
+/// looked-up best route: split horizon exactly as [`translate`] would have
+/// applied it had the route arrived as a live add.
+pub(crate) fn dump_transform<A: Addr>(
+    id: ReaderId,
+) -> impl Fn(&BgpRoute<A>) -> Option<(OriginId, BgpRoute<A>)> {
+    move |r| {
+        translate(
+            id,
+            &RouteOp::Add {
+                net: r.net,
+                route: r.clone(),
+            },
+        )
+        .and_then(|op| match op {
+            RouteOp::Add { route, .. } => Some((origin_of(&route), route)),
+            _ => None,
+        })
     }
 }
 
@@ -285,17 +392,10 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for FanoutQueue<A> {
     }
 
     fn route_op(&mut self, el: &mut EventLoop, _origin: OriginId, op: RouteOp<A, BgpRoute<A>>) {
-        // Mirror the best table.
         match &op {
-            RouteOp::Add { net, route }
-            | RouteOp::Replace {
-                net, new: route, ..
-            } => {
-                self.best.insert(*net, route.clone());
-            }
-            RouteOp::Delete { net, .. } => {
-                self.best.remove(net);
-            }
+            RouteOp::Add { .. } => self.best_routes += 1,
+            RouteOp::Replace { .. } => {}
+            RouteOp::Delete { .. } => self.best_routes = self.best_routes.saturating_sub(1),
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -311,7 +411,10 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for FanoutQueue<A> {
     }
 
     fn lookup_route(&self, net: &Prefix<A>) -> Option<BgpRoute<A>> {
-        self.best.get(net).cloned()
+        // No table here: relay upstream, where the routes actually live.
+        self.upstream
+            .as_ref()
+            .and_then(|u| u.borrow().lookup_route(net))
     }
 
     fn push(&mut self, el: &mut EventLoop) {
@@ -322,9 +425,27 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for FanoutQueue<A> {
         }
         for reader in self.readers.values() {
             if !reader.paused {
-                reader.branch.borrow_mut().push(el);
+                reader.target().borrow_mut().push(el);
             }
         }
+    }
+}
+
+impl<A: Addr> HeapSize for FanoutQueue<A> {
+    /// Queue capacity plus reader bookkeeping plus transient dump state.
+    /// Attribute blocks inside queued routes are shared `Arc`s already
+    /// charged to the peer tables, so only the entry slots are counted
+    /// here — the structure holds no route table of its own.
+    fn heap_size(&self) -> usize {
+        self.queue.capacity() * std::mem::size_of::<(u64, RouteOp<A, BgpRoute<A>>)>()
+            + self.readers.capacity()
+                * (std::mem::size_of::<ReaderId>() + std::mem::size_of::<Reader<A>>())
+            + self
+                .readers
+                .values()
+                .filter_map(|r| r.dump.as_ref())
+                .map(|d| d.borrow().heap_size())
+                .sum::<usize>()
     }
 }
 
@@ -333,7 +454,7 @@ mod tests {
     use super::*;
     use std::net::{IpAddr, Ipv4Addr};
     use xorp_net::{AsPath, PathAttributes, ProtocolId};
-    use xorp_stages::{stage_ref, SinkStage};
+    use xorp_stages::{stage_ref, SinkStage, VecSource};
 
     type R = BgpRoute<Ipv4Addr>;
     type Sink = SinkStage<Ipv4Addr, R>;
@@ -356,37 +477,68 @@ mod tests {
     struct Rig {
         el: EventLoop,
         fanout: std::rc::Rc<std::cell::RefCell<FanoutQueue<Ipv4Addr>>>,
+        /// Stand-in for the decision stage: holds the best table the
+        /// fanout's upstream lookups resolve against.
+        upstream: std::rc::Rc<std::cell::RefCell<Sink>>,
         outs: HashMap<ReaderId, std::rc::Rc<std::cell::RefCell<Sink>>>,
     }
 
     fn rig(peers: &[u32]) -> Rig {
-        let mut el = EventLoop::new_virtual();
-        let fanout = stage_ref(FanoutQueue::new());
-        let mut outs = HashMap::new();
+        let mut rig = Rig {
+            el: EventLoop::new_virtual(),
+            fanout: stage_ref(FanoutQueue::new()),
+            upstream: stage_ref(Sink::new()),
+            outs: HashMap::new(),
+        };
+        rig.fanout.borrow_mut().set_upstream(rig.upstream.clone());
         let rib = stage_ref(Sink::new());
-        fanout
+        rig.fanout
             .borrow_mut()
-            .add_reader(&mut el, ReaderId::Rib, rib.clone());
-        outs.insert(ReaderId::Rib, rib);
+            .add_reader(ReaderId::Rib, rib.clone());
+        rig.outs.insert(ReaderId::Rib, rib);
         for &p in peers {
             let sink = stage_ref(Sink::new());
-            fanout
+            rig.fanout
                 .borrow_mut()
-                .add_reader(&mut el, ReaderId::Peer(PeerId(p)), sink.clone());
-            outs.insert(ReaderId::Peer(PeerId(p)), sink);
+                .add_reader(ReaderId::Peer(PeerId(p)), sink.clone());
+            rig.outs.insert(ReaderId::Peer(PeerId(p)), sink);
         }
-        Rig { el, fanout, outs }
+        rig
     }
 
     impl Rig {
+        /// Apply `op` to the upstream table (where routes live) and then
+        /// flow it through the fanout, as the decision stage would.
         fn send(&mut self, op: RouteOp<Ipv4Addr, R>) {
-            self.fanout
+            let origin = op_origin(&op);
+            self.upstream
                 .borrow_mut()
-                .route_op(&mut self.el, op_origin(&op), op);
+                .route_op(&mut self.el, origin, op.clone());
+            self.fanout.borrow_mut().route_op(&mut self.el, origin, op);
         }
 
         fn table_len(&self, id: ReaderId) -> usize {
             self.outs[&id].borrow().table.len()
+        }
+
+        /// Attach `id` as a brand-new reader fed by a background dump of
+        /// the current upstream table, as `BgpProcess::peering_up` does.
+        fn attach_dumped(&mut self, id: ReaderId) -> std::rc::Rc<std::cell::RefCell<Sink>> {
+            let sink = stage_ref(Sink::new());
+            self.fanout.borrow_mut().add_reader(id, sink.clone());
+            let mut dump = DumpStage::new("test", self.upstream.clone() as StageRef<Ipv4Addr, R>);
+            dump.add_source(Box::new(VecSource::new(self.upstream.borrow().nets())));
+            dump.set_transform(dump_transform(id));
+            let f = std::rc::Rc::downgrade(&self.fanout);
+            dump.set_before_slice(move |el| {
+                if let Some(f) = f.upgrade() {
+                    f.borrow_mut().pump_reader(el, id);
+                }
+            });
+            let dump = stage_ref(dump);
+            assert!(self.fanout.borrow_mut().attach_dump(&mut self.el, id, dump));
+            self.outs.insert(id, sink.clone());
+            sink
         }
     }
 
@@ -453,32 +605,39 @@ mod tests {
         assert_eq!(rig.table_len(ReaderId::Rib), 1);
     }
 
+    /// A new peering learns the existing table from a background dump —
+    /// nothing is delivered synchronously at attach time.
     #[test]
-    fn late_reader_gets_replay() {
+    fn late_reader_learns_table_from_background_dump() {
         let mut rig = rig(&[1]);
         rig.send(add(route("10.0.0.0/8", 1)));
         rig.send(add(route("20.0.0.0/8", 1)));
-        // A new peering comes up: it must learn the existing table.
-        let late = stage_ref(Sink::new());
-        rig.fanout
-            .borrow_mut()
-            .add_reader(&mut rig.el, ReaderId::Peer(PeerId(9)), late.clone());
+        let late = rig.attach_dumped(ReaderId::Peer(PeerId(9)));
+        // Attach itself delivered nothing: the walk is a background task.
+        assert_eq!(late.borrow().table.len(), 0);
+        assert!(rig
+            .fanout
+            .borrow()
+            .dump_in_flight(ReaderId::Peer(PeerId(9))));
+        rig.el.run_until_idle();
         assert_eq!(late.borrow().table.len(), 2);
+        assert!(!rig
+            .fanout
+            .borrow()
+            .dump_in_flight(ReaderId::Peer(PeerId(9))));
         // And subsequent changes flow normally.
         rig.send(add(route("30.0.0.0/8", 1)));
         assert_eq!(late.borrow().table.len(), 3);
     }
 
     #[test]
-    fn late_reader_replay_respects_split_horizon() {
+    fn dump_respects_split_horizon() {
         let mut rig = rig(&[1]);
         rig.send(add(route("10.0.0.0/8", 2))); // from peer 2 (not attached)
         rig.send(add(route("20.0.0.0/8", 1)));
-        let peer2 = stage_ref(Sink::new());
-        rig.fanout
-            .borrow_mut()
-            .add_reader(&mut rig.el, ReaderId::Peer(PeerId(2)), peer2.clone());
-        // Replay must skip peer 2's own route.
+        let peer2 = rig.attach_dumped(ReaderId::Peer(PeerId(2)));
+        rig.el.run_until_idle();
+        // The dump must skip peer 2's own route.
         assert_eq!(peer2.borrow().table.len(), 1);
         assert!(peer2
             .borrow()
@@ -486,30 +645,114 @@ mod tests {
             .contains_key(&"20.0.0.0/8".parse().unwrap()));
     }
 
-    /// Graceful-restart refresh: an existing reader (here the RIB) can be
-    /// replayed the whole best table, with split horizon still applied.
+    /// Live churn racing the dump: a prefix withdrawn before the walk
+    /// reaches it never reaches the new reader; one announced twice
+    /// (live overtaking the walk) arrives exactly once.
     #[test]
-    fn replay_to_existing_reader_refreshes_table() {
+    fn dump_interleaves_with_live_churn_exactly_once() {
         let mut rig = rig(&[1]);
-        rig.send(add(route("10.0.0.0/8", 1)));
-        rig.send(add(route("20.0.0.0/8", 2)));
-        // Simulate the RIB forgetting what it learned (it restarted).
-        rig.outs[&ReaderId::Rib].borrow_mut().table.clear();
-        let f = rig.fanout.clone();
-        let n = f.borrow_mut().replay_to(&mut rig.el, ReaderId::Rib);
-        assert_eq!(n, 2);
-        assert_eq!(rig.table_len(ReaderId::Rib), 2);
-        // Split horizon: replaying to peer 1 skips its own route.
-        let n = f
-            .borrow_mut()
-            .replay_to(&mut rig.el, ReaderId::Peer(PeerId(1)));
-        assert_eq!(n, 1);
-        // Unknown readers are a no-op.
+        for i in 0..200u16 {
+            rig.send(add(route(&format!("10.{}.{}.0/24", i >> 8, i & 0xff), 1)));
+        }
+        let late = rig.attach_dumped(ReaderId::Peer(PeerId(9)));
+        rig.el.run_one(); // one slice
+        let after_one_slice = late.borrow().table.len();
+        assert!(after_one_slice < 200, "walk must be sliced");
+        // Live delete of a not-yet-dumped prefix...
+        let dead = route("10.0.199.0/24", 1);
+        rig.send(RouteOp::Delete {
+            net: dead.net,
+            old: dead.clone(),
+        });
+        // ...and a live replace of another.
+        let repl_old = route("10.0.198.0/24", 1);
+        let repl_new = route("10.0.198.0/24", 2);
+        rig.send(RouteOp::Replace {
+            net: repl_old.net,
+            old: repl_old,
+            new: repl_new.clone(),
+        });
+        rig.el.run_until_idle();
+        // 200 routes minus the withdrawn one.
+        assert_eq!(late.borrow().table.len(), 199);
+        assert!(!late.borrow().table.contains_key(&dead.net));
+        // The replaced prefix holds the new route, delivered exactly once.
         assert_eq!(
-            f.borrow_mut()
-                .replay_to(&mut rig.el, ReaderId::Peer(PeerId(9))),
-            0
+            late.borrow().table[&repl_new.net].source,
+            Some(2),
+            "reader must hold the replacement route"
         );
+        let touches = late
+            .borrow()
+            .log
+            .iter()
+            .filter(|(_, op)| op.net() == repl_new.net)
+            .count();
+        assert_eq!(touches, 1, "prefix delivered more than once");
+        // The dead prefix never reached the reader at all.
+        assert!(late.borrow().log.iter().all(|(_, op)| op.net() != dead.net));
+    }
+
+    #[test]
+    fn pausing_reader_parks_its_dump() {
+        let mut rig = rig(&[1]);
+        for i in 0..200u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        let late = rig.attach_dumped(ReaderId::Peer(PeerId(9)));
+        rig.el.run_one();
+        rig.fanout.borrow_mut().pause(ReaderId::Peer(PeerId(9)));
+        // The parked walk exits rather than spinning run_until_idle.
+        rig.el.run_until_idle();
+        let parked = late.borrow().table.len();
+        assert!(parked < 200);
+        assert!(rig
+            .fanout
+            .borrow()
+            .dump_in_flight(ReaderId::Peer(PeerId(9))));
+        let f = rig.fanout.clone();
+        f.borrow_mut()
+            .resume(&mut rig.el, ReaderId::Peer(PeerId(9)));
+        rig.el.run_until_idle();
+        assert_eq!(late.borrow().table.len(), 200);
+    }
+
+    /// Satellite regression: killing a paused peer must let the queue
+    /// drain to empty — remove_reader drops its cursor from the GC floor
+    /// and aborts its dump.
+    #[test]
+    fn removing_dead_paused_reader_drains_queue() {
+        let mut rig = rig(&[1, 2]);
+        rig.fanout.borrow_mut().pause(ReaderId::Peer(PeerId(2)));
+        for i in 0..50u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        assert_eq!(rig.fanout.borrow().queue_len(), 50);
+        // The slow peer dies without ever resuming.
+        rig.fanout
+            .borrow_mut()
+            .remove_reader(ReaderId::Peer(PeerId(2)));
+        assert_eq!(rig.fanout.borrow().queue_len(), 0);
+        // And traffic keeps flowing for the survivors.
+        rig.send(add(route("172.16.0.0/12", 1)));
+        assert_eq!(rig.fanout.borrow().queue_len(), 0);
+        assert_eq!(rig.table_len(ReaderId::Peer(PeerId(1))), 0); // own routes
+        assert_eq!(rig.table_len(ReaderId::Rib), 51);
+    }
+
+    #[test]
+    fn remove_reader_aborts_dump() {
+        let mut rig = rig(&[1]);
+        for i in 0..200u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        let late = rig.attach_dumped(ReaderId::Peer(PeerId(9)));
+        rig.el.run_one();
+        rig.fanout
+            .borrow_mut()
+            .remove_reader(ReaderId::Peer(PeerId(9)));
+        rig.el.run_until_idle();
+        assert!(late.borrow().table.len() < 200, "dump must stop at removal");
     }
 
     #[test]
@@ -550,6 +793,33 @@ mod tests {
         assert_eq!(rig.table_len(ReaderId::Rib), 3);
     }
 
+    /// A queued-but-undelivered entry must not double-announce through a
+    /// racing dump: the before-slice pump flushes the reader's backlog so
+    /// the walk's lookups agree with what the reader consumed.
+    #[test]
+    fn coalesced_backlog_is_flushed_before_each_dump_slice() {
+        let mut rig = rig(&[1]);
+        for i in 0..100u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        rig.fanout.borrow_mut().set_coalesce(64);
+        let late = rig.attach_dumped(ReaderId::Peer(PeerId(9)));
+        // A live add sits in the queue below the coalesce threshold,
+        // undelivered, while the dump walks — its lookup sees the route
+        // as current state.
+        rig.send(add(route("172.16.0.0/12", 1)));
+        assert_eq!(rig.fanout.borrow().queue_len(), 1);
+        rig.el.run_until_idle();
+        assert_eq!(late.borrow().table.len(), 101);
+        let touches = late
+            .borrow()
+            .log
+            .iter()
+            .filter(|(_, op)| op.net() == "172.16.0.0/12".parse().unwrap())
+            .count();
+        assert_eq!(touches, 1, "queued entry double-delivered through dump");
+    }
+
     #[test]
     fn push_flushes_partial_coalesced_batch() {
         let mut rig = rig(&[1]);
@@ -576,13 +846,38 @@ mod tests {
     }
 
     #[test]
-    fn lookup_reflects_best_mirror() {
+    fn lookup_relays_upstream_no_mirror() {
         let mut rig = rig(&[1]);
         let r = route("10.0.0.0/8", 1);
         rig.send(add(r.clone()));
+        // The answer comes from upstream (where routes live) — the fanout
+        // itself stores nothing.
         assert_eq!(
             rig.fanout.borrow().lookup_route(&r.net).unwrap().source,
             Some(1)
         );
+        assert_eq!(rig.fanout.borrow().best_count(), 1);
+        rig.send(RouteOp::Delete {
+            net: r.net,
+            old: r.clone(),
+        });
+        assert_eq!(rig.fanout.borrow().lookup_route(&r.net), None);
+        assert_eq!(rig.fanout.borrow().best_count(), 0);
+    }
+
+    #[test]
+    fn heap_size_has_no_per_route_term() {
+        let mut rig = rig(&[1]);
+        let empty = rig.fanout.borrow().heap_size();
+        for i in 0..200u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        // All entries consumed, nothing mirrored: heap stays queue-sized,
+        // not table-sized.
+        let loaded = rig.fanout.borrow().heap_size();
+        assert_eq!(rig.fanout.borrow().queue_len(), 0);
+        // Queue capacity may have grown transiently, but there is no
+        // 200-route table term.
+        assert!(loaded < empty + 220 * std::mem::size_of::<(u64, RouteOp<Ipv4Addr, R>)>());
     }
 }

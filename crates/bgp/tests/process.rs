@@ -427,3 +427,155 @@ fn aggregation_stage_in_the_full_pipeline() {
     assert!(!r.rib_has("11.0.0.0/8"));
     r.assert_consistent();
 }
+
+/// Satellite regression: a slow peer is paused (its reader pins fanout
+/// queue entries) and then dies without ever resuming.  Removing the
+/// reader must recompute the GC floor so the queue drains to empty —
+/// before the fix a dead paused peer pinned every later entry forever.
+#[test]
+fn killing_paused_peer_lets_queue_drain() {
+    let mut r = router(&[(1, 65001), (2, 65002)]);
+    r.bgp.set_peer_flow(&mut r.el, PeerId(2), false);
+    let nets: Vec<String> = (0..40u8).map(|j| format!("10.4.{}.0/24", j)).collect();
+    let refs: Vec<&str> = nets.iter().map(|s| s.as_str()).collect();
+    r.recv(1, update("192.168.1.1", &[65001], &refs));
+    assert_eq!(r.sent_to(2), 0);
+    assert!(
+        r.bgp.fanout_queue_len() > 0,
+        "paused reader should pin queue entries"
+    );
+
+    // The paused peering dies.  Its cursor must leave the GC minimum.
+    r.bgp.peering_down(&mut r.el, PeerId(2));
+    r.el.run_until_idle();
+    assert_eq!(
+        r.bgp.fanout_queue_len(),
+        0,
+        "dead paused reader must not pin the queue"
+    );
+
+    // Later churn keeps draining normally.
+    r.recv(1, update("192.168.1.1", &[65001], &["10.5.0.0/24"]));
+    assert_eq!(r.bgp.fanout_queue_len(), 0);
+    r.assert_consistent();
+}
+
+/// Per-net stream sanity at a neighbor: a flap (down, immediately up,
+/// re-announce of identical routes) while the deletion drain is still in
+/// flight must not double-announce.  For every prefix the stream peer 2
+/// sees must alternate announce/withdraw — two identical consecutive
+/// announcements would mean a route arrived both from the drain
+/// interleaving and the re-learn path.
+#[test]
+fn flap_during_drain_does_not_double_announce() {
+    let mut r = router(&[(1, 65001), (2, 65002)]);
+    let nets: Vec<String> = (0..120u8).map(|j| format!("10.6.{}.0/24", j)).collect();
+    let refs: Vec<&str> = nets.iter().map(|s| s.as_str()).collect();
+    r.recv(1, update("192.168.1.1", &[65001], &refs));
+    assert_eq!(r.sent_to(2), 120);
+
+    // Down: drain starts.  Step it partially so some deletes are already
+    // past the fanout when the peering returns.
+    r.bgp.peering_down(&mut r.el, PeerId(1));
+    for _ in 0..3 {
+        r.el.run_one();
+    }
+    r.bgp.peering_up(&mut r.el, PeerId(1));
+    // Re-learn the identical routes mid-drain.
+    r.bgp
+        .apply_update(&mut r.el, PeerId(1), update("192.168.1.1", &[65001], &refs));
+    r.el.run_until_idle();
+
+    assert_eq!(r.bgp.deletion_stage_count(PeerId(1)), 0);
+    assert_eq!(r.rib.borrow().len(), 120);
+    r.assert_consistent();
+
+    // No prefix may see two identical consecutive announcements.
+    let sent = r.sent.borrow();
+    let mut streams: BTreeMap<Net, Vec<String>> = BTreeMap::new();
+    for u in sent.get(&2).into_iter().flatten() {
+        match u {
+            UpdateOut::Announce(n, a) => {
+                streams
+                    .entry(*n)
+                    .or_default()
+                    .push(format!("A {:?}", a.as_path));
+            }
+            UpdateOut::Withdraw(n) => {
+                streams.entry(*n).or_default().push("W".to_string());
+            }
+        }
+    }
+    for (n, stream) in &streams {
+        for w in stream.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate consecutive {:?} for {}", w[0], n);
+        }
+        assert!(
+            stream.last().map(|s| s.starts_with('A')).unwrap_or(false),
+            "{n} must end announced: {stream:?}"
+        );
+    }
+}
+
+/// Dump/deletion interleaving at the process level: a brand-new peering
+/// comes up while another peer's deletion drain is mid-flight.  Routes
+/// parked in the deletion stage are still visible upstream, so the
+/// background dump walks them too; the drain's deletes then reach the new
+/// peer as consistent delete-after-add, and the final table it holds is
+/// exactly the surviving peer's contribution.
+#[test]
+fn late_peer_attach_during_deletion_drain() {
+    let mut r = router(&[(1, 65001), (2, 65002)]);
+    let dying: Vec<String> = (0..150u8).map(|j| format!("10.7.{}.0/24", j)).collect();
+    let dying_refs: Vec<&str> = dying.iter().map(|s| s.as_str()).collect();
+    r.recv(1, update("192.168.1.1", &[65001], &dying_refs));
+    r.recv(
+        2,
+        update("192.168.2.1", &[65002], &["20.1.0.0/16", "20.2.0.0/16"]),
+    );
+
+    // Peer 1 dies; step the drain only partially.
+    r.bgp.peering_down(&mut r.el, PeerId(1));
+    for _ in 0..2 {
+        r.el.run_one();
+    }
+    assert!(r.bgp.deletion_stage_count(PeerId(1)) > 0);
+
+    // New peering attaches mid-drain; its table arrives as a background
+    // dump interleaved with the remaining deletes.
+    let s = r.sent.clone();
+    let mut cfg = PeerConfig::simple(PeerId(5), AsNum(65005));
+    cfg.consistency_check = true;
+    r.bgp.add_peer(
+        &mut r.el,
+        cfg,
+        Some(Rc::new(move |_el, u| {
+            s.borrow_mut().entry(5).or_default().push(u);
+        })),
+    );
+    r.bgp.peering_up(&mut r.el, PeerId(5));
+    r.el.run_until_idle();
+
+    assert_eq!(r.bgp.deletion_stage_count(PeerId(1)), 0);
+    assert!(!r.bgp.dump_in_flight(PeerId(5)));
+    r.assert_consistent();
+
+    // Replay peer 5's stream: the surviving routes and nothing else.
+    let sent = r.sent.borrow();
+    let mut table: BTreeMap<Net, ()> = BTreeMap::new();
+    for u in sent.get(&5).into_iter().flatten() {
+        match u {
+            UpdateOut::Announce(n, _) => {
+                table.insert(*n, ());
+            }
+            UpdateOut::Withdraw(n) => {
+                table.remove(n);
+            }
+        }
+    }
+    let want: Vec<Net> = vec![
+        "20.1.0.0/16".parse().unwrap(),
+        "20.2.0.0/16".parse().unwrap(),
+    ];
+    assert_eq!(table.keys().copied().collect::<Vec<_>>(), want);
+}

@@ -346,6 +346,7 @@ fn main() {
         supervision,
         batch_size,
         batch_flush_ms,
+        down_peers: vec![],
     });
 
     // Static routes from the config go in via the RIB (through BGP's

@@ -88,31 +88,9 @@ pub fn latency_experiment_opts(
         "192.168.1.1".parse().unwrap()
     };
 
-    for i in 0..test_routes {
-        let net = test_route(i);
-        let add_key = format!("add {net}");
-        router.announce_one(probe_peer, net, nexthop);
-        let ok = router.wait_for(Duration::from_secs(10), || {
-            router
-                .profiler
-                .snapshot(points::KERNEL)
-                .iter()
-                .any(|r| r.payload == add_key)
-        });
-        assert!(ok, "probe {net} never reached the kernel");
-        // "wait a second, and then remove the route" — we wait for the
-        // install instead; the spacing in the paper only isolates samples.
-        let del_key = format!("del {net}");
-        router.withdraw_one(probe_peer, net);
-        let ok = router.wait_for(Duration::from_secs(10), || {
-            router
-                .profiler
-                .snapshot(points::KERNEL)
-                .iter()
-                .any(|r| r.payload == del_key)
-        });
-        assert!(ok, "withdrawal of {net} never reached the kernel");
-    }
+    // "wait a second, and then remove the route" — we wait for each
+    // install instead; the spacing in the paper only isolates samples.
+    run_probes(&router, probe_peer, nexthop, 0, test_routes);
 
     let rows = latency_rows(&router.profiler, "add");
     let mut report = format_latency_table(title, &rows);
@@ -132,6 +110,136 @@ pub fn latency_experiment_opts(
         report,
         series: per_key,
         preload_rps,
+    }
+}
+
+/// Outcome of the peer-up dump experiment (§5.3).
+pub struct PeerUpOutcome {
+    /// Human-readable report.
+    pub report: String,
+    /// Max probe kernel latency (ms) with no dump running.
+    pub steady_max_ms: f64,
+    /// Max probe kernel latency (ms) while the background dump walked.
+    pub during_max_ms: f64,
+    /// Routes the new peer had been sent when the dump completed.
+    pub dumped: usize,
+    /// Probes that completed while the dump was still in flight.
+    pub overlapped: u32,
+}
+
+/// The §5.3 claim measured: bringing a new peering up on a full table
+/// must not blind the router — the table walk runs as a background task,
+/// so live route propagation stays fast *during* the dump.
+///
+/// `initial` backbone routes are preloaded on peer 1.  A steady-state
+/// probe phase on peer 2 establishes the baseline kernel latency; then
+/// peer 9 (configured down) comes up, triggering a background dump of
+/// the whole table toward it, and a second probe phase runs while that
+/// dump is in flight.
+pub fn peerup_experiment(initial: usize, probes: u32) -> PeerUpOutcome {
+    let router = MultiProcessRouter::new(RouterOptions {
+        peers: vec![(1, 65001), (2, 65002), (9, 65009)],
+        down_peers: vec![9],
+        ..RouterOptions::default()
+    });
+
+    // ---- preload ---------------------------------------------------------
+    let table = backbone_table(&WorkloadConfig {
+        routes: initial,
+        ..Default::default()
+    });
+    for batch in table.chunks(64) {
+        router.feed_backbone(1, batch);
+    }
+    let ok = router.wait_for(Duration::from_secs(600), || {
+        router.fea_route_count() > initial
+    });
+    assert!(
+        ok,
+        "preload stalled: fea={} rib={} bgp={}",
+        router.fea_route_count(),
+        router.rib_route_count(),
+        router.bgp_route_count()
+    );
+
+    // ---- steady-state baseline ------------------------------------------
+    router.profiler.enable_route_flow();
+    router.profiler.clear();
+    let nexthop: std::net::Ipv4Addr = "192.168.1.200".parse().unwrap();
+    run_probes(&router, 2, nexthop, 0, probes);
+    let steady = kernel_latencies(&router.profiler);
+
+    // ---- peer-up: probe while the dump walks -----------------------------
+    // No wait between peering_up and the first probe: the dump runs only
+    // when the BGP loop is idle, so with a big enough table it is still
+    // walking while the early probes flow.  `overlapped` records how many
+    // probes actually raced it (polling — a lower bound).
+    router.profiler.clear();
+    router.peering_up(9);
+    let mut overlapped = 0;
+    for i in 0..probes {
+        if router.bgp_dump_in_flight(9) {
+            overlapped += 1;
+        }
+        run_probes(&router, 2, nexthop, 1000 + i, 1);
+    }
+    let during = kernel_latencies(&router.profiler);
+
+    let ok = router.wait_for(Duration::from_secs(600), || !router.bgp_dump_in_flight(9));
+    assert!(ok, "peer-up dump never finished");
+    let dumped = router.bgp_announced_count(9);
+    router.stop();
+
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+    let steady_max_ms = max(&steady);
+    let during_max_ms = max(&during);
+    let report = format!(
+        "Peer-up background dump (§5.3): {initial} routes, {probes} probes/phase\n\
+         steady-state max probe latency:  {steady_max_ms:.2} ms\n\
+         during-dump  max probe latency:  {during_max_ms:.2} ms\n\
+         probes overlapping the dump:     {overlapped}/{probes}\n\
+         routes dumped to the new peer:   {dumped}"
+    );
+    PeerUpOutcome {
+        report,
+        steady_max_ms,
+        during_max_ms,
+        dumped,
+        overlapped,
+    }
+}
+
+/// Announce+withdraw `count` probes on `peer`, waiting for each to reach
+/// the kernel (the Fig-10/11 probe discipline).
+fn run_probes(
+    router: &MultiProcessRouter,
+    peer: u32,
+    nexthop: std::net::Ipv4Addr,
+    offset: u32,
+    count: u32,
+) {
+    for i in offset..offset + count {
+        let net = test_route(i);
+        let add_key = format!("add {net}");
+        router.announce_one(peer, net, nexthop);
+        let ok = router.wait_for(Duration::from_secs(10), || {
+            router
+                .profiler
+                .snapshot(points::KERNEL)
+                .iter()
+                .any(|r| r.payload == add_key)
+        });
+        assert!(ok, "probe {net} never reached the kernel");
+        let del_key = format!("del {net}");
+        router.withdraw_one(peer, net);
+        let ok = router.wait_for(Duration::from_secs(10), || {
+            router
+                .profiler
+                .snapshot(points::KERNEL)
+                .iter()
+                .any(|r| r.payload == del_key)
+        });
+        assert!(ok, "withdrawal of {net} never reached the kernel");
     }
 }
 

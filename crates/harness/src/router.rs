@@ -87,6 +87,11 @@ pub struct RouterOptions {
     pub local_as: u32,
     /// (peer id, peer AS) pairs.
     pub peers: Vec<(u32, u32)>,
+    /// Peer ids configured but NOT brought up at spawn.  Bring one up later
+    /// with [`MultiProcessRouter::peering_up`] — its export feed then
+    /// starts with a §5.3 background dump of the existing table (the
+    /// peer-up experiment).
+    pub down_peers: Vec<u32>,
     /// Optional per-peer policies, by peer id.
     pub peer_policies: std::collections::HashMap<u32, PeerPolicy>,
     /// Splice consistency-checking cache stages (debug configuration).
@@ -115,6 +120,7 @@ impl Default for RouterOptions {
         RouterOptions {
             local_as: 65000,
             peers: vec![(1, 65001), (2, 65002)],
+            down_peers: vec![],
             peer_policies: Default::default(),
             consistency_check: false,
             fault: None,
@@ -270,6 +276,7 @@ struct BgpFactory {
     profiler: Profiler,
     local_as: u32,
     peers: Vec<(u32, u32)>,
+    down_peers: Vec<u32>,
     peer_policies: HashMap<u32, PeerPolicy>,
     consistency_check: bool,
     knobs: Arc<dyn Fn(&XrlRouter) + Send + Sync>,
@@ -283,6 +290,7 @@ impl BgpFactory {
     fn spawn(&self) -> Process {
         let profiler = self.profiler.clone();
         let peers = self.peers.clone();
+        let down_peers = self.down_peers.clone();
         let peer_policies = self.peer_policies.clone();
         let local_as = self.local_as;
         let check = self.consistency_check;
@@ -375,7 +383,9 @@ impl BgpFactory {
                     }
                 }
                 bgp.add_peer(el, cfg, Some(Rc::new(|_el, _update| {})));
-                bgp.peering_up(el, PeerId(id));
+                if !down_peers.contains(&id) {
+                    bgp.peering_up(el, PeerId(id));
+                }
             }
 
             let bgp = Rc::new(RefCell::new(bgp));
@@ -390,7 +400,10 @@ impl BgpFactory {
                 Ok(XrlArgs::new())
             });
             // Graceful-restart refresh on demand (e.g. after a RIB
-            // restart): re-emit the best table to the RIB reader.
+            // restart): schedule a background dump of the best table to
+            // the RIB reader.  `count` is the number of stored routes the
+            // dump will visit — the walk itself proceeds in event-loop
+            // slices after this reply.
             let b = bgp.clone();
             router.add_fn("bgp-0", "bgp/1.0/readvertise", move |el, _args| {
                 let n = b.borrow_mut().readvertise_rib(el);
@@ -782,6 +795,7 @@ impl MultiProcessRouter {
             profiler: profiler.clone(),
             local_as: options.local_as,
             peers: options.peers.clone(),
+            down_peers: options.down_peers.clone(),
             peer_policies: options.peer_policies.clone(),
             consistency_check: options.consistency_check,
             knobs: apply_knobs.clone(),
@@ -1000,6 +1014,49 @@ impl MultiProcessRouter {
                     .unwrap_or(0)
             })
             .unwrap_or(0)
+    }
+
+    /// Bring a configured-but-down peering up (runs on the BGP loop).  The
+    /// peer's export feed starts with a §5.3 background dump of the
+    /// existing table, interleaved with live churn.
+    pub fn peering_up(&self, peer: u32) {
+        if let Some(bgp) = self.bgp.lock().as_ref() {
+            bgp.post(move |el| {
+                let slot = el.slot::<BgpSlot>().expect("bgp slot").0.clone();
+                slot.borrow_mut().peering_up(el, PeerId(peer));
+            });
+        }
+    }
+
+    /// Is a background dump still walking toward `peer`'s export branch?
+    pub fn bgp_dump_in_flight(&self, peer: u32) -> bool {
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(move |el| {
+                    el.slot::<BgpSlot>()
+                        .map(|s| s.0.borrow().dump_in_flight(PeerId(peer)))
+                        .unwrap_or(false)
+                })
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// Routes a peering has announced to its neighbor so far (dump
+    /// progress observability).
+    pub fn bgp_announced_count(&self, peer: u32) -> usize {
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(move |el| {
+                    el.slot::<BgpSlot>()
+                        .map(|s| s.0.borrow().announced_count(PeerId(peer)))
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0),
+            None => 0,
+        }
     }
 
     /// BGP PeerIn route count across peers.

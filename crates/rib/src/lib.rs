@@ -38,7 +38,7 @@ pub mod rib;
 
 pub use extint::ExtIntStage;
 pub use merge::MergeStage;
-pub use origin::OriginTable;
+pub use origin::{OriginTable, OriginTableSource};
 pub use redist::{RedistStage, RedistWatcher};
 pub use register::{covering_answer, RegisterAnswer, RegisterStage};
 pub use rib::{BatchOp, Rib};

@@ -11,18 +11,22 @@
 //! removed at runtime — one of the "dynamic stages inserted as different
 //! watchers register themselves with the RIB".
 
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 
-use xorp_event::EventLoop;
+use xorp_event::{EventLoop, SliceResult};
 use xorp_net::{Addr, Prefix, ProtocolId};
 use xorp_policy::{FilterBank, PolicyTarget};
-use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
+use xorp_stages::{DumpSource, OriginId, RouteOp, Stage, StageRef, DUMP_SLICE_SIZE};
 
 use crate::RibRoute;
 
 /// Callback receiving the filtered stream for one watcher.
 pub type RedistSink<A> = Rc<dyn Fn(&mut EventLoop, RouteOp<A, RibRoute<A>>)>;
+
+/// A route operation as delivered to redistribution sinks.
+pub type RedistOp<A> = RouteOp<A, RibRoute<A>>;
 
 /// A redistribution subscription.
 pub struct RedistWatcher<A: Addr> {
@@ -118,9 +122,81 @@ where
 
     /// Add a watcher.  Existing routes are not replayed; callers wanting a
     /// full feed add the watcher before protocols start (XORP's behaviour)
-    /// or request a dump separately.
+    /// or use [`RedistStage::add_watcher_dumped`].
     pub fn add_watcher(&mut self, w: RedistWatcher<A>) {
         self.watchers.insert(w.name.clone(), w);
+    }
+
+    /// Add a watcher AND stream it the pre-existing table as a background
+    /// dump (§5.3) — the late-subscriber path.  `sources` supply the
+    /// prefixes to visit (safe-iterator walks of the origin tables); each
+    /// prefix is looked up through the upstream stage so the dump carries
+    /// the *current* post-arbitration route, never a stale copy.
+    ///
+    /// The watcher's own `delivered` set doubles as the dump's sync set:
+    /// live ops tapped while the dump runs mark prefixes delivered (or
+    /// remove them), and the walk skips anything already marked — so the
+    /// watcher sees each prefix at most once during the dump, exactly the
+    /// intercept rules of `DumpStage`.
+    pub fn add_watcher_dumped(
+        el: &mut EventLoop,
+        me: &Rc<RefCell<Self>>,
+        w: RedistWatcher<A>,
+        mut sources: Vec<Box<dyn DumpSource<A>>>,
+    ) {
+        let name = w.name.clone();
+        let upstream = me.borrow().upstream.clone();
+        me.borrow_mut().add_watcher(w);
+        let Some(upstream) = upstream else {
+            return; // nothing to look routes up in: no dump possible
+        };
+        if sources.is_empty() {
+            return; // empty table: the live stream is the whole feed
+        }
+        let me = Rc::downgrade(me);
+        el.spawn_background(move |el| {
+            let Some(stage) = me.upgrade() else {
+                return SliceResult::Done;
+            };
+            // Collect this slice's deliveries under the stage borrow, emit
+            // after releasing it (sinks may call back into the pipeline).
+            let mut out: Vec<(RedistSink<A>, RedistOp<A>)> = Vec::new();
+            {
+                let mut s = stage.borrow_mut();
+                let Some(w) = s.watchers.get_mut(&name) else {
+                    return SliceResult::Done; // watcher removed: abort walk
+                };
+                let mut visited = 0;
+                while visited < DUMP_SLICE_SIZE {
+                    let Some(src) = sources.first_mut() else {
+                        break;
+                    };
+                    let Some(net) = src.next_prefix() else {
+                        sources.remove(0);
+                        continue;
+                    };
+                    visited += 1;
+                    if w.delivered.contains(&net) {
+                        continue; // a live op beat the dump to it
+                    }
+                    let Some(route) = upstream.borrow().lookup_route(&net) else {
+                        continue; // died (or lost arbitration) before we got here
+                    };
+                    if let Some(copy) = w.filter(&route) {
+                        w.delivered.insert(net);
+                        out.push((w.sink.clone(), RouteOp::Add { net, route: copy }));
+                    }
+                }
+            }
+            for (sink, op) in out {
+                sink(el, op);
+            }
+            if sources.is_empty() {
+                SliceResult::Done
+            } else {
+                SliceResult::Continue
+            }
+        });
     }
 
     /// Remove a watcher by name.

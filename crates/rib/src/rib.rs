@@ -8,11 +8,11 @@ use std::rc::Rc;
 use xorp_event::EventLoop;
 use xorp_net::{Addr, Prefix, ProtocolId, RouteEntry};
 use xorp_policy::PolicyTarget;
-use xorp_stages::{stage_ref, CacheStage, FnStage, OriginId, RouteOp, Stage};
+use xorp_stages::{stage_ref, CacheStage, DumpSource, FnStage, OriginId, RouteOp, Stage};
 
 use crate::extint::ExtIntStage;
 use crate::merge::MergeStage;
-use crate::origin::OriginTable;
+use crate::origin::{OriginTable, OriginTableSource};
 use crate::redist::{RedistStage, RedistWatcher};
 use crate::register::{InvalidationCb, RegisterAnswer, RegisterStage};
 use crate::{is_external, RibRoute, RibStageRef};
@@ -303,9 +303,18 @@ where
         self.register.borrow_mut().set_invalidation_cb(client, cb);
     }
 
-    /// Add a redistribution watcher (§5.2).
-    pub fn add_redist_watcher(&mut self, w: RedistWatcher<A>) {
-        self.redist.borrow_mut().add_watcher(w);
+    /// Add a redistribution watcher (§5.2).  A late subscriber — one
+    /// registering after routes already flowed — is brought up to date by a
+    /// background dump walking the origin tables with safe iterators
+    /// (§5.3); at no point is the full table replayed in one callback.
+    pub fn add_redist_watcher(&mut self, el: &mut EventLoop, w: RedistWatcher<A>) {
+        let sources: Vec<Box<dyn DumpSource<A>>> = self
+            .origins
+            .values()
+            .filter(|o| !o.borrow().is_empty())
+            .map(|o| Box::new(OriginTableSource::new(o.clone())) as Box<dyn DumpSource<A>>)
+            .collect();
+        RedistStage::add_watcher_dumped(el, &self.redist, w, sources);
     }
 
     /// Remove a redistribution watcher.
@@ -533,12 +542,15 @@ mod tests {
         policy
             .push_source("export-rip", "add-tag 7; accept;")
             .unwrap();
-        rib.add_redist_watcher(RedistWatcher::new(
-            "rip-to-bgp",
-            Some([ProtocolId::Rip].into_iter().collect()),
-            policy,
-            Rc::new(move |_el, op| s.borrow_mut().push(op)),
-        ));
+        rib.add_redist_watcher(
+            &mut el,
+            RedistWatcher::new(
+                "rip-to-bgp",
+                Some([ProtocolId::Rip].into_iter().collect()),
+                policy,
+                Rc::new(move |_el, op| s.borrow_mut().push(op)),
+            ),
+        );
         rib.add_route(&mut el, route("10.1.0.0/16", "192.0.2.1", ProtocolId::Rip));
         rib.add_route(
             &mut el,
@@ -553,6 +565,64 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    /// A watcher registering *after* routes exist learns the table from a
+    /// background dump — sliced, filtered, and deduplicated against live
+    /// churn arriving mid-dump.
+    #[test]
+    fn late_redist_watcher_gets_background_dump() {
+        let mut el = EventLoop::new_virtual();
+        let mut rib: Rib<Ipv4Addr> = Rib::new(true);
+        for i in 0..150u32 {
+            rib.add_route(
+                &mut el,
+                route(
+                    &format!("10.{}.{}.0/24", i / 256, i % 256),
+                    "192.0.2.1",
+                    ProtocolId::Rip,
+                ),
+            );
+        }
+        rib.add_route(
+            &mut el,
+            route("172.16.0.0/16", "192.0.2.1", ProtocolId::Static),
+        );
+
+        let seen = Rc::new(RefCell::new(std::collections::BTreeMap::new()));
+        let s = seen.clone();
+        rib.add_redist_watcher(
+            &mut el,
+            RedistWatcher::new(
+                "late-rip",
+                Some([ProtocolId::Rip].into_iter().collect()),
+                xorp_policy::FilterBank::accept_by_default(),
+                Rc::new(move |_el, op| match op {
+                    RouteOp::Add { net, .. } | RouteOp::Replace { net, .. } => {
+                        let prev = s.borrow_mut().insert(net, ());
+                        assert!(prev.is_none(), "{net} delivered twice");
+                    }
+                    RouteOp::Delete { net, .. } => {
+                        s.borrow_mut().remove(&net);
+                    }
+                }),
+            ),
+        );
+        // Nothing delivered synchronously: the walk is a background task.
+        assert!(seen.borrow().is_empty());
+
+        // Live churn lands while the dump is still walking: a fresh route
+        // and a deletion of one not yet reached.
+        el.run_one();
+        rib.add_route(&mut el, route("10.3.0.0/24", "192.0.2.1", ProtocolId::Rip));
+        rib.delete_route(&mut el, ProtocolId::Rip, p("10.0.149.0/24"));
+
+        el.run_until_idle();
+        // 150 - 1 deleted + 1 added; the Static route never qualifies.
+        assert_eq!(seen.borrow().len(), 150);
+        assert!(!seen.borrow().contains_key(&p("10.0.149.0/24")));
+        assert!(seen.borrow().contains_key(&p("10.3.0.0/24")));
+        assert!(rib.consistency_violations().is_empty());
     }
 
     #[test]

@@ -7,11 +7,14 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use xorp_event::{EventLoop, Time};
+use xorp_event::{EventLoop, SliceResult, Time};
 use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
 use xorp_stages::RouteOp;
 
 use crate::packet::{RipCommand, RipEntry, RipPacket, INFINITY, MAX_ENTRIES};
+
+/// Routes re-emitted per background readvertise slice.
+const READVERTISE_SLICE: usize = 64;
 
 /// Protocol timers (RFC 2453 defaults).
 #[derive(Debug, Clone, Copy)]
@@ -549,23 +552,56 @@ impl RipProcess {
     }
 
     /// Graceful-restart refresh: re-emit every valid route to the RIB sink
-    /// (after a RIB restart, our routes are stale until re-advertised) and
-    /// follow with a full-table advertisement to the neighbors.  Returns
-    /// how many routes were re-emitted.
+    /// (after a RIB restart, our routes are stale until re-advertised),
+    /// then follow with a full-table advertisement to the neighbors.  The
+    /// walk runs as a background task in bounded slices — a keyed cursor
+    /// over the route map, re-anchored each slice so concurrent
+    /// adds/expiries are safe — never as one synchronous table scan.
+    /// Returns how many routes the walk will re-emit.
     pub fn readvertise(el: &mut EventLoop, me: &Rc<RefCell<RipProcess>>) -> usize {
-        let nets: Vec<Ipv4Net> = me
+        let total = me
             .borrow()
             .routes
-            .iter()
-            .filter(|(_, r)| r.state == RipRouteState::Valid)
-            .map(|(net, _)| *net)
-            .collect();
-        for net in &nets {
-            Self::emit_rib_replace(el, me, *net);
-        }
-        Self::flush_rib(el, me);
-        Self::send_full_table(el, me);
-        nets.len()
+            .values()
+            .filter(|r| r.state == RipRouteState::Valid)
+            .count();
+        let me_weak = Rc::downgrade(me);
+        let mut cursor: Option<Ipv4Net> = None;
+        el.spawn_background(move |el| {
+            use std::ops::Bound;
+            let Some(me) = me_weak.upgrade() else {
+                return SliceResult::Done;
+            };
+            let nets: Vec<Ipv4Net> = {
+                let p = me.borrow();
+                let start = match &cursor {
+                    Some(c) => Bound::Excluded(*c),
+                    None => Bound::Unbounded,
+                };
+                p.routes
+                    .range((start, Bound::Unbounded))
+                    .filter(|(_, r)| r.state == RipRouteState::Valid)
+                    .take(READVERTISE_SLICE)
+                    .map(|(net, _)| *net)
+                    .collect()
+            };
+            match nets.last() {
+                None => {
+                    Self::flush_rib(el, &me);
+                    Self::send_full_table(el, &me);
+                    SliceResult::Done
+                }
+                Some(last) => {
+                    cursor = Some(*last);
+                    for net in &nets {
+                        Self::emit_rib_replace(el, &me, *net);
+                    }
+                    Self::flush_rib(el, &me);
+                    SliceResult::Continue
+                }
+            }
+        });
+        total
     }
 
     // ---- introspection ----------------------------------------------------
@@ -974,6 +1010,9 @@ mod tests {
         r.sent.borrow_mut().clear();
         let n = RipProcess::readvertise(&mut r.el, &r.rip);
         assert_eq!(n, 2);
+        // The walk is lazy: nothing re-emitted until the loop idles.
+        assert!(r.rib.borrow().is_empty());
+        r.el.run_until_idle();
         assert_eq!(r.rib.borrow().len(), 2);
         assert!(r.rib.borrow().contains_key(&"10.5.0.0/16".parse().unwrap()));
         assert!(!r.sent.borrow().is_empty(), "no wire advertisement sent");

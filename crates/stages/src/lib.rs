@@ -32,8 +32,10 @@ use xorp_event::EventLoop;
 use xorp_net::{Addr, Prefix};
 
 pub mod cache;
+pub mod dump;
 
 pub use cache::{CacheStage, ConsistencyViolation};
+pub use dump::{DumpSource, DumpStage, VecSource, DUMP_SLICE_SIZE};
 
 /// Identifies the source of a route at the head of a pipeline: a BGP
 /// peering index, a RIB origin-table index, etc.  Stages pass it through so

@@ -140,16 +140,19 @@ fn main() {
         .unwrap();
     let redistributed = Rc::new(RefCell::new(Vec::new()));
     let r2 = redistributed.clone();
-    rib.add_redist_watcher(RedistWatcher::new(
-        "rip-to-bgp",
-        Some([ProtocolId::Rip].into_iter().collect()),
-        redist_policy,
-        Rc::new(move |_el, op| {
-            if let RouteOp::Add { net, route } = op {
-                r2.borrow_mut().push((net, route.attrs.tags.clone()));
-            }
-        }),
-    ));
+    rib.add_redist_watcher(
+        &mut el,
+        RedistWatcher::new(
+            "rip-to-bgp",
+            Some([ProtocolId::Rip].into_iter().collect()),
+            redist_policy,
+            Rc::new(move |_el, op| {
+                if let RouteOp::Add { net, route } = op {
+                    r2.borrow_mut().push((net, route.attrs.tags.clone()));
+                }
+            }),
+        ),
+    );
 
     let rip_route = |net: &str, metric: u32| {
         let mut r = RouteEntry::new(
