@@ -19,7 +19,7 @@
 //! newly attached readers learn the existing table from a background
 //! [`DumpStage`] walking the origin tables (§5.3), never from a mirror.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
@@ -52,6 +52,11 @@ struct Reader<A: Addr> {
     /// Queue sequence this reader will consume next.
     cursor: u64,
     paused: bool,
+    /// Synchronous flow gate (XRL backpressure): an Xoff handler flips
+    /// this to `false` *during* a pump — the drain loop re-checks it per
+    /// entry and stops immediately, where the asynchronous `pause` could
+    /// only take effect after the whole backlog had been delivered.
+    gate: Option<Rc<Cell<bool>>>,
 }
 
 impl<A: Addr> Reader<A> {
@@ -60,6 +65,10 @@ impl<A: Addr> Reader<A> {
             Some(d) if !d.borrow().is_done() => d.clone() as StageRef<A, BgpRoute<A>>,
             _ => self.branch.clone(),
         }
+    }
+
+    fn gated_off(&self) -> bool {
+        self.gate.as_ref().is_some_and(|g| !g.get())
     }
 }
 
@@ -135,8 +144,19 @@ impl<A: Addr> FanoutQueue<A> {
                 dump: None,
                 cursor,
                 paused: false,
+                gate: None,
             },
         );
+    }
+
+    /// Attach a shared flow gate to a reader.  While the gate reads
+    /// `false`, pumps stop delivering to this reader between entries —
+    /// checked synchronously, so a congestion signal raised by a delivery
+    /// halts the drain mid-backlog instead of after it.
+    pub fn set_reader_gate(&mut self, id: ReaderId, gate: Rc<Cell<bool>>) {
+        if let Some(r) = self.readers.get_mut(&id) {
+            r.gate = Some(gate);
+        }
     }
 
     /// Splice a background dump in front of an existing reader and start
@@ -240,20 +260,29 @@ impl<A: Addr> FanoutQueue<A> {
     /// entries all readers have consumed.
     pub fn pump(&mut self, el: &mut EventLoop) {
         for (id, reader) in &mut self.readers {
-            if reader.paused {
+            if reader.paused || reader.gated_off() {
                 continue;
             }
             let target = reader.target();
-            // Find this reader's position in the queue.
-            for (seq, op) in &self.queue {
-                if *seq < reader.cursor {
-                    continue;
-                }
+            // Jump straight to this reader's position: seqs are contiguous
+            // (ascending by one, trimmed only at the front), so the cursor
+            // maps to an index.  Scanning from the front instead would cost
+            // O(backlog) per delivery once a gated reader pins the queue.
+            let start = self.queue.front().map_or(0, |(front, _)| {
+                reader.cursor.saturating_sub(*front) as usize
+            });
+            for (seq, op) in self.queue.iter().skip(start) {
+                debug_assert!(*seq >= reader.cursor);
                 if let Some(translated) = translate(*id, op) {
                     let origin = op_origin(op);
                     target.borrow_mut().route_op(el, origin, translated);
                 }
                 reader.cursor = *seq + 1;
+                // A delivery may have congested this reader's lane; stop
+                // pulling immediately, leaving the rest queued here.
+                if reader.gated_off() {
+                    break;
+                }
             }
         }
         self.unpumped = 0;
@@ -268,19 +297,23 @@ impl<A: Addr> FanoutQueue<A> {
             let Some(reader) = self.readers.get_mut(&id) else {
                 return;
             };
-            if reader.paused {
+            if reader.paused || reader.gated_off() {
                 return;
             }
             let target = reader.target();
-            for (seq, op) in &self.queue {
-                if *seq < reader.cursor {
-                    continue;
-                }
+            let start = self.queue.front().map_or(0, |(front, _)| {
+                reader.cursor.saturating_sub(*front) as usize
+            });
+            for (seq, op) in self.queue.iter().skip(start) {
+                debug_assert!(*seq >= reader.cursor);
                 if let Some(translated) = translate(id, op) {
                     let origin = op_origin(op);
                     target.borrow_mut().route_op(el, origin, translated);
                 }
                 reader.cursor = *seq + 1;
+                if reader.gated_off() {
+                    break;
+                }
             }
         }
         self.gc();
@@ -550,6 +583,69 @@ mod tests {
         assert_eq!(rig.table_len(ReaderId::Peer(PeerId(1))), 0); // split horizon
         assert_eq!(rig.table_len(ReaderId::Peer(PeerId(2))), 1);
         assert_eq!(rig.table_len(ReaderId::Peer(PeerId(3))), 1);
+    }
+
+    /// A delivery can congest its own lane: the flow gate flips mid-drain
+    /// and the pump must stop at that entry, leaving the rest queued —
+    /// the synchronous half of the Xoff path.  Other readers keep
+    /// flowing, and re-opening the gate lets a pump finish the backlog.
+    #[test]
+    fn flow_gate_halts_drain_mid_backlog() {
+        /// Forwards to an inner sink, closing `gate` at the `trip`-th op
+        /// (an XRL send crossing its high watermark).
+        struct Tripwire {
+            inner: Sink,
+            gate: Rc<Cell<bool>>,
+            trip: usize,
+        }
+        impl Stage<Ipv4Addr, R> for Tripwire {
+            fn name(&self) -> String {
+                "tripwire".into()
+            }
+            fn route_op(&mut self, el: &mut EventLoop, origin: OriginId, op: RouteOp<Ipv4Addr, R>) {
+                self.inner.route_op(el, origin, op);
+                if self.inner.log.len() == self.trip {
+                    self.gate.set(false);
+                }
+            }
+            fn lookup_route(&self, net: &Prefix<Ipv4Addr>) -> Option<R> {
+                self.inner.lookup_route(net)
+            }
+        }
+
+        let mut rig = rig(&[1]);
+        let gate = Rc::new(Cell::new(true));
+        let tripwire = stage_ref(Tripwire {
+            inner: Sink::new(),
+            gate: gate.clone(),
+            trip: 3,
+        });
+        {
+            let mut f = rig.fanout.borrow_mut();
+            f.add_reader(ReaderId::Peer(PeerId(2)), tripwire.clone());
+            f.set_reader_gate(ReaderId::Peer(PeerId(2)), gate.clone());
+            // Build a backlog while the gate is closed, then reopen it so
+            // the next pump drains — and trips the gate again mid-drain.
+            gate.set(false);
+        }
+        for i in 0..10u8 {
+            rig.send(add(route(&format!("10.{i}.0.0/16"), 1)));
+        }
+        assert_eq!(tripwire.borrow().inner.log.len(), 0);
+        gate.set(true);
+        let f = rig.fanout.clone();
+        f.borrow_mut().pump(&mut rig.el);
+        // The third delivery closed the gate; the drain stopped there.
+        assert!(!gate.get());
+        assert_eq!(tripwire.borrow().inner.log.len(), 3);
+        assert_eq!(rig.fanout.borrow().queue_len(), 7);
+        // The ungated RIB reader saw everything regardless.
+        assert_eq!(rig.table_len(ReaderId::Rib), 10);
+        // Reopening finishes the backlog (no second trip at 3+10 > 10).
+        gate.set(true);
+        f.borrow_mut().pump(&mut rig.el);
+        assert_eq!(tripwire.borrow().inner.log.len(), 10);
+        assert_eq!(rig.fanout.borrow().queue_len(), 0);
     }
 
     #[test]

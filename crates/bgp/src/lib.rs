@@ -49,7 +49,7 @@ pub use bgp::{BgpConfig, BgpProcess, PeerConfig};
 pub use damping::{DampingConfig, DampingStage};
 pub use decision::DecisionStage;
 pub use deletion::{DeletionStage, DeletionTableSource};
-pub use fanout::FanoutQueue;
+pub use fanout::{FanoutQueue, ReaderId};
 pub use filter::FilterStage;
 pub use fsm::{FsmAction, FsmEvent, FsmState, PeerFsm};
 pub use msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};

@@ -3,6 +3,7 @@
 use std::any::{Any, TypeId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
@@ -56,6 +57,7 @@ impl Ord for TimerEntry {
 #[derive(Clone)]
 pub struct EventSender {
     tx: Sender<RemoteEvent>,
+    pri: Arc<Mutex<VecDeque<RemoteEvent>>>,
 }
 
 impl EventSender {
@@ -63,6 +65,22 @@ impl EventSender {
     /// loop has been dropped.
     pub fn post<F: FnOnce(&mut EventLoop) + Send + 'static>(&self, f: F) -> bool {
         self.tx.send(Box::new(f)).is_ok()
+    }
+
+    /// Post a closure on the priority lane: it runs before anything still
+    /// queued on the bulk lane, however deep that backlog is.  This is the
+    /// receive-side half of overload control — a saturated loop may hold
+    /// seconds of bulk posts, and control traffic (supervision keepalives,
+    /// congestion signals) must not FIFO behind them.  Ordering *within*
+    /// each lane is still arrival order.
+    pub fn post_priority<F: FnOnce(&mut EventLoop) + Send + 'static>(&self, f: F) -> bool {
+        // Push before the wakeup: once a blocked loop receives the no-op
+        // marker on the bulk channel, the lane already holds the event.
+        self.pri
+            .lock()
+            .expect("priority lane lock")
+            .push_back(Box::new(f));
+        self.tx.send(Box::new(|_| {})).is_ok()
     }
 
     /// Ask the loop to stop after the current event.
@@ -83,6 +101,10 @@ pub struct EventLoop {
     seq: u64,
     rx: Receiver<RemoteEvent>,
     tx: Sender<RemoteEvent>,
+    /// Cross-thread priority lane, drained ahead of `rx`.  A plain shared
+    /// deque: senders push here and then post a no-op wakeup on `rx`, so
+    /// the blocking receives below need only watch one channel.
+    pri: Arc<Mutex<VecDeque<RemoteEvent>>>,
     local: VecDeque<LocalEvent>,
     background: VecDeque<BackgroundTask>,
     cancelled_bg: HashSet<u64>,
@@ -120,6 +142,7 @@ impl EventLoop {
             seq: 0,
             rx,
             tx,
+            pri: Arc::new(Mutex::new(VecDeque::new())),
             local: VecDeque::new(),
             background: VecDeque::new(),
             cancelled_bg: HashSet::new(),
@@ -145,6 +168,7 @@ impl EventLoop {
     pub fn sender(&self) -> EventSender {
         EventSender {
             tx: self.tx.clone(),
+            pri: self.pri.clone(),
         }
     }
 
@@ -299,6 +323,13 @@ impl EventLoop {
             f(self);
             return true;
         }
+        // Priority lane drains ahead of the bulk lane: control traffic
+        // posted by reader threads must not wait behind a data backlog.
+        let pri = self.pri.lock().expect("priority lane lock").pop_front();
+        if let Some(f) = pri {
+            f(self);
+            return true;
+        }
         match self.rx.try_recv() {
             Ok(f) => {
                 f(self);
@@ -450,7 +481,8 @@ impl EventLoop {
                     Some(d) => self.vnow = self.vnow.max(d),
                     None => {
                         // A virtual loop with no timers can only be woken by
-                        // a remote event; block for one.
+                        // a remote event; block for one.  Priority posts
+                        // also wake this via their bulk-lane marker.
                         match self.rx.recv() {
                             Ok(f) => f(self),
                             Err(_) => return,
@@ -489,6 +521,32 @@ mod tests {
         }
         el.run_until_idle();
         assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn priority_posts_overtake_bulk_posts() {
+        let mut el = EventLoop::new_virtual();
+        let sender = el.sender();
+        let log: Rc<RefCell<Vec<i32>>> = Rc::new(RefCell::new(Vec::new()));
+        el.set_slot(log.clone());
+        // Three bulk posts, then a priority post: despite arriving last it
+        // must run first.  Within each lane, arrival order holds.
+        for i in 0..3 {
+            sender.post(move |el| {
+                el.slot::<Rc<RefCell<Vec<i32>>>>()
+                    .unwrap()
+                    .borrow_mut()
+                    .push(i)
+            });
+        }
+        sender.post_priority(|el| {
+            el.slot::<Rc<RefCell<Vec<i32>>>>()
+                .unwrap()
+                .borrow_mut()
+                .push(99)
+        });
+        el.run_until_idle();
+        assert_eq!(*log.borrow(), vec![99, 0, 1, 2]);
     }
 
     #[test]

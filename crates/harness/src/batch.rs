@@ -47,6 +47,9 @@ struct Inner {
     /// A flush is already scheduled (timer or deferral) — don't stack
     /// another one per row.
     scheduled: bool,
+    /// Backpressure gate: while closed (`true`), flushes hold and rows
+    /// accumulate; reopening flushes immediately.
+    gated: bool,
 }
 
 /// Coalesces per-route ops into `add_routes`/`delete_routes` XRL frames.
@@ -76,6 +79,7 @@ impl RouteBatcher {
                 sent_point,
                 pending: Vec::new(),
                 scheduled: false,
+                gated: false,
             })),
         }
     }
@@ -111,12 +115,22 @@ impl RouteBatcher {
         }
     }
 
+    /// Close or open the backpressure gate.  While closed, `flush` holds
+    /// rows in the buffer (the destination lane signalled Xoff); opening
+    /// the gate ships whatever accumulated.
+    pub fn set_gate(&self, el: &mut EventLoop, closed: bool) {
+        self.inner.borrow_mut().gated = closed;
+        if !closed {
+            self.flush(el);
+        }
+    }
+
     /// Ship everything buffered, one frame per same-direction run.
     pub fn flush(&self, el: &mut EventLoop) {
         let (rows, router, target, iface) = {
             let mut b = self.inner.borrow_mut();
             b.scheduled = false;
-            if b.pending.is_empty() {
+            if b.gated || b.pending.is_empty() {
                 return;
             }
             (

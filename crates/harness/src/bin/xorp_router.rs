@@ -39,6 +39,18 @@
 //!     --miss-threshold 3 --backoff-ms 200:5000 --restart-budget 5 \
 //!     --grace-ms 10000
 //! ```
+//!
+//! ## Backpressure
+//!
+//! `--xrl-queue-cap N` bounds every per-peer XRL send queue at N frames
+//! (shedding beyond it), with Xoff/Xon watermarks defaulting to N/4 and
+//! N/16; `--xoff-watermark HIGH:LOW` overrides them.  Crossing the high
+//! watermark pauses the congested pipeline reader until the lane drains:
+//!
+//! ```sh
+//! xorp-router --example-config --xrl-queue-cap 2048
+//! xorp-router config.boot --xrl-queue-cap 1024 --xoff-watermark 256:64
+//! ```
 
 use std::net::IpAddr;
 use std::time::Duration;
@@ -47,7 +59,7 @@ use xorp_harness::router::{MultiProcessRouter, PeerPolicy, RouterOptions};
 use xorp_harness::workload::{backbone_table, WorkloadConfig};
 use xorp_rtrmgr::template::standard_template;
 use xorp_rtrmgr::{parse, ConfigNode, SupervisorConfig};
-use xorp_xrl::FaultConfig;
+use xorp_xrl::{FaultConfig, QueuePolicy};
 
 const EXAMPLE: &str = r#"
 # Example xorp-rs configuration.
@@ -167,6 +179,44 @@ fn parse_batch_flags(args: &[String]) -> (usize, u64) {
         int("--batch-size", 1).max(1) as usize,
         int("--batch-flush-ms", 0),
     )
+}
+
+/// Parse `--xrl-queue-cap N` and `--xoff-watermark HIGH:LOW` into a
+/// [`QueuePolicy`].  Either flag alone enables overload control: the cap
+/// defaults to [`QueuePolicy::default`]'s, the watermarks to cap/4 and
+/// cap/16.
+fn parse_overload_flags(args: &[String]) -> Option<QueuePolicy> {
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let cap: Option<usize> = value_of("--xrl-queue-cap").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--xrl-queue-cap expects an integer, got {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let marks: Option<(usize, usize)> = value_of("--xoff-watermark").map(|v| {
+        v.split_once(':')
+            .and_then(|(h, l)| Some((h.parse().ok()?, l.parse().ok()?)))
+            .unwrap_or_else(|| {
+                eprintln!("--xoff-watermark expects HIGH:LOW frames, got {v:?}");
+                std::process::exit(2);
+            })
+    });
+    if cap.is_none() && marks.is_none() {
+        return None;
+    }
+    let hard_cap = cap.unwrap_or(QueuePolicy::default().hard_cap).max(1);
+    let (high_watermark, low_watermark) =
+        marks.unwrap_or(((hard_cap / 4).max(1), (hard_cap / 16).max(1)));
+    Some(QueuePolicy {
+        high_watermark,
+        low_watermark,
+        hard_cap,
+    })
 }
 
 /// Parse the supervision knobs into a [`SupervisorConfig`].  `--supervise`
@@ -336,6 +386,13 @@ fn main() {
     if batch_size > 1 {
         println!("batched route pipeline on: batch-size={batch_size} flush-ms={batch_flush_ms}");
     }
+    let overload = parse_overload_flags(&args);
+    if let Some(p) = &overload {
+        println!(
+            "xrl backpressure on: hard-cap={} xoff at {} / xon at {}",
+            p.hard_cap, p.high_watermark, p.low_watermark
+        );
+    }
     let router = MultiProcessRouter::new(RouterOptions {
         local_as,
         peers: peers.clone(),
@@ -346,6 +403,8 @@ fn main() {
         supervision,
         batch_size,
         batch_flush_ms,
+        overload,
+        rib_delay_ms: 0,
         down_peers: vec![],
     });
 

@@ -209,6 +209,270 @@ pub fn peerup_experiment(initial: usize, probes: u32) -> PeerUpOutcome {
     }
 }
 
+/// Outcome of the churn-storm overload experiment (fig-storm).
+pub struct StormOutcome {
+    /// Human-readable report.
+    pub report: String,
+    /// Max keepalive round-trip (ms) on the idle router.
+    pub steady_probe_ms: f64,
+    /// Max keepalive round-trip (ms) sampled while the storm drained
+    /// (timeouts are clamped to the 2 s probe deadline).
+    pub storm_probe_max_ms: f64,
+    /// Peak outstanding XRLs on the BGP router's pending map — the
+    /// quantity the hard cap bounds, unbounded when the cap is off.
+    pub peak_outstanding: usize,
+    /// Peak depth charged to the BGP→RIB lane (0 without a policy:
+    /// lane accounting only runs under one).
+    pub peak_lane_depth: usize,
+    /// Peak routes held back in the fanout while the RIB reader was
+    /// gated off — where backpressure moves the overload.
+    pub peak_fanout_queue: usize,
+    /// Peak BGP heap proxy (route storage + fanout holdback), bytes.
+    pub peak_memory_bytes: usize,
+    /// Data frames shed at the hard cap (must be 0: backpressure holds
+    /// the excess upstream before the cap is ever reached).
+    pub shed: u64,
+    /// Supervised restarts observed — a saturated process must never be
+    /// mistaken for a dead one, so this must stay 0.
+    pub restarts: u32,
+    /// Whether the supervisor's verdict ever left Healthy.
+    pub degraded: bool,
+    /// Whether the final table converged exactly (routes + connected).
+    pub converged: bool,
+    /// Wall-clock seconds from first storm update to convergence.
+    pub elapsed_s: f64,
+}
+
+/// The overload claim measured: flap a full backbone table through a
+/// deliberately slow RIB (every route ack held 2 ms) and watch what the
+/// XRL plane does with the excess.  With a [`QueuePolicy`] the BGP→RIB
+/// lane raises Xoff at its high watermark, the fanout reader gates off,
+/// and the outstanding-request queue stays bounded while supervision
+/// keepalives keep landing on the priority lane — busy is never
+/// classified as dead.  Without a policy the pending map grows with the
+/// whole storm.  Either way the table must converge exactly: this is
+/// flow control, not loss.
+///
+/// `routes` prefixes are flapped (announce + withdraw) `rounds` times
+/// and then re-announced, so the storm is `(2*rounds + 1) * routes`
+/// updates and the converged table is `routes + 1` (connected).
+pub fn storm_experiment(
+    routes: usize,
+    rounds: u32,
+    policy: Option<xorp_xrl::QueuePolicy>,
+) -> StormOutcome {
+    use xorp_rtrmgr::{SupervisedState, SupervisorConfig};
+
+    // Fast keepalives so a false restart would show up quickly; an
+    // overload budget far beyond the storm so sustained Xoff alone never
+    // escalates to Degraded inside the experiment window.
+    let supervision = SupervisorConfig {
+        keepalive_interval: Duration::from_millis(40),
+        miss_threshold: 3,
+        backoff_base: Duration::from_millis(300),
+        backoff_max: Duration::from_millis(800),
+        restart_budget: 5,
+        grace_period: Duration::from_secs(30),
+        overload_budget: Duration::from_secs(600),
+    };
+    let router = MultiProcessRouter::new(RouterOptions {
+        supervision: Some(supervision),
+        overload: policy,
+        rib_delay_ms: 2,
+        ..RouterOptions::default()
+    });
+    assert!(
+        router.wait_for(Duration::from_secs(10), || router.fea_route_count() == 1),
+        "connected route never installed"
+    );
+
+    // ---- steady-state baseline ------------------------------------------
+    let probe_ms = |timeout: Duration| {
+        router
+            .probe_bgp_latency(timeout)
+            .map_or(timeout.as_secs_f64() * 1e3, |d| d.as_secs_f64() * 1e3)
+    };
+    let mut steady_probe_ms = 0.0f64;
+    for _ in 0..16 {
+        steady_probe_ms = steady_probe_ms.max(probe_ms(Duration::from_secs(2)));
+    }
+
+    // ---- the storm -------------------------------------------------------
+    struct Peaks {
+        outstanding: usize,
+        lane: usize,
+        fanout: usize,
+        mem: usize,
+    }
+    impl Peaks {
+        fn sample(&mut self, r: &MultiProcessRouter) {
+            self.outstanding = self.outstanding.max(r.bgp_outstanding_xrls());
+            self.lane = self.lane.max(r.bgp_rib_lane_depth());
+            self.fanout = self.fanout.max(r.bgp_fanout_queue_len());
+        }
+        // The memory proxy walks the whole table — sampled sparsely so
+        // the instrumentation doesn't become the load.
+        fn sample_mem(&mut self, r: &MultiProcessRouter) {
+            self.mem = self.mem.max(r.bgp_memory_bytes());
+        }
+    }
+    let mut peaks = Peaks {
+        outstanding: 0,
+        lane: 0,
+        fanout: 0,
+        mem: 0,
+    };
+    let mut storm_probes: Vec<f64> = Vec::new();
+    let table = backbone_table(&WorkloadConfig {
+        routes,
+        ..Default::default()
+    });
+
+    // The feed posts updates straight into the BGP loop (bypassing the
+    // XRL plane), so probes taken here would measure the harness's own
+    // post flood, not the router — sampling happens in the drain loop,
+    // where the lane is congested but the loop is merely paced.
+    let start = Instant::now();
+    let mut chunk_i = 0usize;
+    let mut feed = |announce: bool, peaks: &mut Peaks| {
+        for batch in table.chunks(64) {
+            if announce {
+                router.feed_backbone(1, batch);
+            } else {
+                router.withdraw_backbone(1, batch);
+            }
+            chunk_i += 1;
+            if chunk_i % 8 == 0 {
+                peaks.sample(&router);
+            }
+            if chunk_i % 64 == 0 {
+                peaks.sample_mem(&router);
+                eprintln!(
+                    "  [feed  {:>5.1}s] chunk={} fanout={} out={} restarts={} state={:?}",
+                    start.elapsed().as_secs_f64(),
+                    chunk_i,
+                    router.bgp_fanout_queue_len(),
+                    router.bgp_outstanding_xrls(),
+                    router.supervised_restarts(),
+                    router.supervisor_state("bgp"),
+                );
+            }
+        }
+    };
+    for _ in 0..rounds {
+        feed(true, &mut peaks);
+        feed(false, &mut peaks);
+    }
+    feed(true, &mut peaks);
+
+    // ---- drain: keep sampling until the final announce converges ---------
+    let target = routes + 1;
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let mut restarts = 0u32;
+    let mut degraded = false;
+    let mut converged = false;
+    let mut settled = false;
+    let mut tick = 0usize;
+    let mut last_progress = Instant::now();
+    while Instant::now() < deadline {
+        peaks.sample(&router);
+        tick += 1;
+        if last_progress.elapsed() > Duration::from_secs(2) {
+            last_progress = Instant::now();
+            eprintln!(
+                "  [storm {:>5.1}s] bgp={} rib={} fea={} fanout={} out={} rib_out={} parked={} shed={} rib_shed={} restarts={} state={:?}",
+                start.elapsed().as_secs_f64(),
+                router.bgp_route_count(),
+                router.rib_route_count(),
+                router.fea_route_count(),
+                router.bgp_fanout_queue_len(),
+                router.bgp_outstanding_xrls(),
+                router.rib_outstanding_xrls(),
+                router.rib_fea_backlog(),
+                router.bgp_shed_count(),
+                router.rib_shed_count(),
+                router.supervised_restarts(),
+                router.supervisor_state("bgp"),
+            );
+        }
+        if tick % 16 == 0 {
+            peaks.sample_mem(&router);
+        }
+        if tick % 32 == 0 {
+            storm_probes.push(probe_ms(Duration::from_secs(2)));
+        }
+        restarts = restarts.max(router.supervised_restarts());
+        // Transient Suspect (one late probe on a loaded host) is tolerated;
+        // what must never happen under backpressure alone is the sticky
+        // escalation.
+        if router.supervisor_state("bgp") == Some(SupervisedState::Degraded) {
+            degraded = true;
+        }
+        // The counts pass through `target` between flap rounds, so require
+        // an empty pipeline twice, 50 ms apart, before calling it done.
+        let done = router.fea_route_count() == target
+            && router.rib_route_count() == target
+            && router.bgp_fanout_queue_len() == 0
+            && router.bgp_outstanding_xrls() == 0
+            && router.rib_fea_backlog() == 0
+            && router.rib_outstanding_xrls() == 0;
+        if done && settled {
+            converged = true;
+            break;
+        }
+        settled = done;
+        std::thread::sleep(Duration::from_millis(if done { 50 } else { 2 }));
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    // Both policed senders: a shed anywhere on the path is data loss.
+    let shed = router.bgp_shed_count() + router.rib_shed_count();
+    restarts = restarts.max(router.supervised_restarts());
+    router.stop();
+
+    let storm_probe_max_ms = storm_probes.iter().cloned().fold(0.0, f64::max);
+    let updates = routes * (2 * rounds as usize + 1);
+    let mode = match policy {
+        Some(p) => format!(
+            "backpressure on: xoff {} / xon {} / cap {}",
+            p.high_watermark, p.low_watermark, p.hard_cap
+        ),
+        None => "backpressure off".to_string(),
+    };
+    let report = format!(
+        "Churn storm ({mode}): {routes} routes x {rounds} flap rounds = {updates} updates, RIB ack +2 ms\n\
+         peak outstanding XRLs:          {}\n\
+         peak BGP->RIB lane depth:       {}\n\
+         peak fanout holdback (routes):  {}\n\
+         peak BGP memory proxy:          {:.1} MiB\n\
+         steady-state max probe:         {steady_probe_ms:.2} ms\n\
+         during-storm max probe:         {storm_probe_max_ms:.2} ms\n\
+         shed at hard cap:               {shed}\n\
+         supervised restarts:            {restarts}\n\
+         degraded:                       {degraded}\n\
+         converged exactly:              {converged} ({:.1} s, {:.0} updates/s)",
+        peaks.outstanding,
+        peaks.lane,
+        peaks.fanout,
+        peaks.mem as f64 / (1024.0 * 1024.0),
+        elapsed_s,
+        updates as f64 / elapsed_s,
+    );
+    StormOutcome {
+        report,
+        steady_probe_ms,
+        storm_probe_max_ms,
+        peak_outstanding: peaks.outstanding,
+        peak_lane_depth: peaks.lane,
+        peak_fanout_queue: peaks.fanout,
+        peak_memory_bytes: peaks.mem,
+        shed,
+        restarts,
+        degraded,
+        converged,
+        elapsed_s,
+    }
+}
+
 /// Announce+withdraw `count` probes on `peer`, waiting for each to reach
 /// the kernel (the Fig-10/11 probe discipline).
 fn run_probes(

@@ -24,7 +24,7 @@
 //! and its routes are flushed immediately — permanent death gets the old
 //! §4.1 policy, as does every death when supervision is off.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::rc::Rc;
@@ -35,16 +35,21 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use xorp_bgp::bgp::UpdateIn;
 use xorp_bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
-use xorp_bgp::{BgpConfig, BgpProcess, PeerConfig, PeerId};
+use xorp_bgp::{BgpConfig, BgpProcess, PeerConfig, PeerId, ReaderId};
 use xorp_event::EventLoop;
 use xorp_fea::{test_iface, Fea, FibEntry};
 use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
+use xorp_policy::FilterBank;
 use xorp_profiler::{points, Profiler};
-use xorp_rib::{BatchOp, Rib};
+use xorp_rib::redist::RedistSink;
+use xorp_rib::{BatchOp, RedistWatcher, Rib};
 use xorp_rtrmgr::{SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
 use xorp_stages::RouteOp;
 use xorp_xrl::keepalive;
-use xorp_xrl::{AtomValue, FaultConfig, Finder, RetryPolicy, Xrl, XrlArgs, XrlError, XrlRouter};
+use xorp_xrl::{
+    AtomValue, CongestionSignal, FaultConfig, Finder, QueuePolicy, RetryPolicy, Xrl, XrlArgs,
+    XrlError, XrlRouter,
+};
 
 use crate::batch::RouteBatcher;
 use crate::process::Process;
@@ -113,6 +118,15 @@ pub struct RouterOptions {
     /// on event-loop idle instead, so a lone route still leaves in the
     /// same loop iteration (preserving the Fig-10 latency shape).
     pub batch_flush_ms: u64,
+    /// Bound every process's per-lane XRL send queue: crossing the high
+    /// watermark pauses the congested pipeline reader (Xoff) until the
+    /// lane drains below the low watermark (Xon); the hard cap sheds
+    /// frames outright.  `None` (the default) keeps queues unbounded.
+    pub overload: Option<QueuePolicy>,
+    /// Artificial service delay, per route XRL, in the RIB's handlers —
+    /// models a busy RIB for the overload experiments.  `0` replies
+    /// inline.
+    pub rib_delay_ms: u64,
 }
 
 impl Default for RouterOptions {
@@ -128,6 +142,8 @@ impl Default for RouterOptions {
             supervision: None,
             batch_size: 1,
             batch_flush_ms: 0,
+            overload: None,
+            rib_delay_ms: 0,
         }
     }
 }
@@ -313,19 +329,21 @@ impl BgpFactory {
             // Best routes → RIB over XRLs (points 2 and 3).
             let out_profiler = profiler.clone();
             let xrl_router = router.clone();
-            if batch_size > 1 {
-                // Batched pipeline: coalesce fanout pumps, then ship
-                // vectorized add_routes/delete_routes frames.
-                bgp.set_coalesce(batch_size);
-                let batcher = RouteBatcher::new(
-                    xrl_router,
+            let batcher = (batch_size > 1).then(|| {
+                RouteBatcher::new(
+                    xrl_router.clone(),
                     "rib",
                     "rib",
                     batch_size,
                     batch_flush_ms,
                     profiler.clone(),
                     points::SENT_TO_RIB,
-                );
+                )
+            });
+            if let Some(batcher) = batcher.clone() {
+                // Batched pipeline: coalesce fanout pumps, then ship
+                // vectorized add_routes/delete_routes frames.
+                bgp.set_coalesce(batch_size);
                 bgp.set_rib_output(el, move |el, _origin, op| {
                     let net = op.net();
                     let (add, row, what) = match &op {
@@ -359,8 +377,11 @@ impl BgpFactory {
                     };
                     out_profiler.record(points::QUEUED_FOR_RIB, || format!("{what} {net}"));
                     let xrl = Xrl::generic("rib", "rib", "1.0", method, args);
-                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                    // Stamp before the send: once the frame is on the wire the
+                    // peer's reader thread may stamp its arrival point first,
+                    // breaking pipeline monotonicity.
                     out_profiler.record(points::SENT_TO_RIB, || format!("{what} {net}"));
+                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
                 });
             }
 
@@ -390,6 +411,38 @@ impl BgpFactory {
 
             let bgp = Rc::new(RefCell::new(bgp));
             el.set_slot(BgpSlot(bgp.clone()));
+
+            // Backpressure: when the lane to the RIB crosses its high
+            // watermark, stop pulling best-path deliveries out of the
+            // fanout (whose queue coalesces per prefix, so holdback
+            // memory is bounded by table size, not churn rate) and hold
+            // batched flushes; Xon resumes the reader and ships what
+            // accumulated.  Handling is deferred because the signal
+            // fires inside the send path, which may already hold the
+            // process borrow.
+            let flow_gate = Rc::new(Cell::new(true));
+            bgp.borrow_mut()
+                .set_reader_gate(ReaderId::Rib, flow_gate.clone());
+            let b = bgp.clone();
+            let lane_router = router.clone();
+            let gate = batcher.clone();
+            router.set_congestion_cb(move |el, sig| {
+                if lane_router.lane_of("rib", "rib/1.0/add_route").as_deref() != Some(sig.lane()) {
+                    return;
+                }
+                let ready = matches!(sig, CongestionSignal::Xon { .. });
+                // The gate flips synchronously so an Xoff raised by a send
+                // stops the in-progress fanout drain at the next entry.
+                flow_gate.set(ready);
+                let b = b.clone();
+                let gate = gate.clone();
+                el.defer(move |el| {
+                    if let Some(gate) = &gate {
+                        gate.set_gate(el, !ready);
+                    }
+                    b.borrow_mut().set_reader_flow(el, ReaderId::Rib, ready);
+                });
+            });
 
             router.register_target("bgp", "bgp-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "bgp-0");
@@ -444,12 +497,14 @@ impl MultiProcessRouter {
         let retry = options
             .retry
             .or_else(|| fault.as_ref().map(|_| RetryPolicy::default()));
+        let overload = options.overload;
         let apply_knobs: Arc<dyn Fn(&XrlRouter) + Send + Sync> =
             Arc::new(move |router: &XrlRouter| {
                 if let Some(cfg) = &fault {
                     router.set_fault_plan(cfg.clone());
                 }
                 router.set_retry_policy(retry);
+                router.set_overload_policy(overload);
             });
         let supervision = options.supervision;
 
@@ -549,8 +604,24 @@ impl MultiProcessRouter {
         let grace = supervision.map(|cfg| cfg.grace_period);
         let batch_size = options.batch_size;
         let batch_flush_ms = options.batch_flush_ms;
+        let rib_delay = options.rib_delay_ms;
         let rib = Process::spawn("rib", finder.clone(), move |el, router| {
             knobs(router);
+            // Busy-RIB model for the overload experiments: route XRLs are
+            // applied on arrival but acknowledged only after `delay`, so
+            // the sender sees a slow consumer and its lane backs up.
+            let delay = (rib_delay > 0).then(|| Duration::from_millis(rib_delay));
+            let reply_after =
+                move |el: &mut EventLoop,
+                      responder: xorp_xrl::Responder,
+                      reply: Result<XrlArgs, XrlError>| {
+                    match delay {
+                        Some(d) => {
+                            el.after(d, move |el| responder.reply(el, reply));
+                        }
+                        None => responder.reply(el, reply),
+                    }
+                };
             let rib = Rc::new(RefCell::new(Rib::<Ipv4Addr>::new(check)));
             el.set_slot(RibSlot(rib.clone()));
 
@@ -585,19 +656,27 @@ impl MultiProcessRouter {
             }
 
             // Output: install into the FEA over XRLs (points 5 and 6).
+            // The stream is delivered through a redistribution watcher
+            // rather than a bare output stage, so a congested FEA lane can
+            // park the excess in the watcher's backlog — without a
+            // consumer for the Xoff, the RIB would pump its own lane
+            // through the hard cap and silently shed installs, leaving
+            // the FIB permanently short of the RIB.
             let profiler = rib_profiler.clone();
             let xrl_router = router.clone();
-            if batch_size > 1 {
-                let batcher = RouteBatcher::new(
-                    xrl_router,
+            let batcher = (batch_size > 1).then(|| {
+                RouteBatcher::new(
+                    xrl_router.clone(),
                     "fea",
                     "fea",
                     batch_size,
                     batch_flush_ms,
                     profiler.clone(),
                     points::SENT_TO_FEA,
-                );
-                rib.borrow_mut().set_output(move |el, _origin, op| {
+                )
+            });
+            let sink: RedistSink<Ipv4Addr> = match batcher.clone() {
+                Some(batcher) => Rc::new(move |el, op| {
                     let net = op.net();
                     let (add, row, what) = match &op {
                         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
@@ -608,9 +687,8 @@ impl MultiProcessRouter {
                     let payload = format!("{what} {net}");
                     profiler.record(points::QUEUED_FOR_FEA, || payload.clone());
                     batcher.push(el, add, row, payload);
-                });
-            } else {
-                rib.borrow_mut().set_output(move |el, _origin, op| {
+                }),
+                None => Rc::new(move |el, op| {
                     let net = op.net();
                     let (method, args, what) = match &op {
                         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
@@ -624,10 +702,41 @@ impl MultiProcessRouter {
                     };
                     profiler.record(points::QUEUED_FOR_FEA, || format!("{what} {net}"));
                     let xrl = Xrl::generic("fea", "fea", "1.0", method, args);
-                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                    // Stamp before the send (see the RIB-ward path above).
                     profiler.record(points::SENT_TO_FEA, || format!("{what} {net}"));
-                });
-            }
+                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                }),
+            };
+            rib.borrow_mut().add_redist_watcher(
+                el,
+                RedistWatcher::new("fea", None, FilterBank::accept_by_default(), sink),
+            );
+            // A congested FEA lane parks the redistribution stream.  The
+            // watcher's flow cell flips synchronously inside the send path
+            // (overshoot is bounded at the watermark); the backlog replay
+            // and the batched-flush gate run deferred, once the loop is
+            // back at its top.
+            let flow = rib
+                .borrow()
+                .redist_watcher_flow("fea")
+                .expect("fea watcher just added");
+            let lane_router = router.clone();
+            let gate = batcher.clone();
+            let r = rib.clone();
+            router.set_congestion_cb(move |el, sig| {
+                if lane_router.lane_of("fea", "fea/1.0/add_route").as_deref() != Some(sig.lane()) {
+                    return;
+                }
+                let ready = matches!(sig, CongestionSignal::Xon { .. });
+                if !ready {
+                    flow.set(false);
+                }
+                let r = r.clone();
+                el.defer(move |el| r.borrow_mut().set_redist_watcher_flow(el, "fea", ready));
+                if let Some(gate) = gate.clone() {
+                    el.defer(move |el| gate.set_gate(el, !ready));
+                }
+            });
 
             // Pre-install the connected route BGP nexthops resolve via.
             {
@@ -680,7 +789,7 @@ impl MultiProcessRouter {
                     r.borrow_mut().add_route(el, route);
                     Ok(XrlArgs::new())
                 })();
-                responder.reply(el, reply);
+                reply_after(el, responder, reply);
             });
             let profiler = rib_profiler.clone();
             let r = rib.clone();
@@ -696,7 +805,7 @@ impl MultiProcessRouter {
                         r.borrow_mut().delete_route(el, proto, net);
                         Ok(XrlArgs::new())
                     })();
-                    responder.reply(el, reply);
+                    reply_after(el, responder, reply);
                 },
             );
             // Vectorized twins: N routes per frame, applied through
@@ -726,7 +835,7 @@ impl MultiProcessRouter {
                     let n = r.borrow_mut().apply_batch(el, ops);
                     Ok(XrlArgs::new().add_u32("count", n as u32))
                 })();
-                responder.reply(el, reply);
+                reply_after(el, responder, reply);
             });
             let profiler = rib_profiler.clone();
             let r = rib.clone();
@@ -748,7 +857,7 @@ impl MultiProcessRouter {
                         let n = r.borrow_mut().apply_batch(el, ops);
                         Ok(XrlArgs::new().add_u32("count", n as u32))
                     })();
-                    responder.reply(el, reply);
+                    reply_after(el, responder, reply);
                 },
             );
             let r = rib.clone();
@@ -855,23 +964,36 @@ impl MultiProcessRouter {
                     if sup.lock().should_probe("bgp") {
                         let sup = sup.clone();
                         let flush_router = probe_router.clone();
-                        keepalive::probe_liveness(&probe_router, el, "bgp", move |el, alive| {
-                            let now = Duration::from_nanos(el.now().as_nanos());
-                            let verdict = sup.lock().record_probe("bgp", alive, now);
-                            if verdict == SupervisorVerdict::Degraded {
-                                // Budget spent: permanent death.  Flush the
-                                // protocol's routes now — the grace window
-                                // no longer applies.
-                                let xrl = Xrl::generic(
-                                    "rib",
-                                    "rib",
-                                    "1.0",
-                                    "flush_protocol",
-                                    XrlArgs::new().add_str("proto", &ProtocolId::Ebgp.name()),
-                                );
-                                flush_router.send(el, xrl, Box::new(|_el, _res| {}));
-                            }
-                        });
+                        keepalive::probe_liveness(
+                            &probe_router,
+                            el,
+                            "bgp",
+                            move |el, alive, congested| {
+                                let now = Duration::from_nanos(el.now().as_nanos());
+                                let verdict = sup.lock().record_probe("bgp", alive, now);
+                                if alive {
+                                    // Busy-but-alive is not dead: congestion
+                                    // feeds the overload budget, which only
+                                    // escalates to Degraded when sustained past
+                                    // it.  No flush — the component is still
+                                    // serving its routes.
+                                    sup.lock().record_overload("bgp", congested, now);
+                                }
+                                if verdict == SupervisorVerdict::Degraded {
+                                    // Budget spent: permanent death.  Flush the
+                                    // protocol's routes now — the grace window
+                                    // no longer applies.
+                                    let xrl = Xrl::generic(
+                                        "rib",
+                                        "rib",
+                                        "1.0",
+                                        "flush_protocol",
+                                        XrlArgs::new().add_str("proto", &ProtocolId::Ebgp.name()),
+                                    );
+                                    flush_router.send(el, xrl, Box::new(|_el, _res| {}));
+                                }
+                            },
+                        );
                     }
                 });
             })
@@ -971,6 +1093,19 @@ impl MultiProcessRouter {
         );
     }
 
+    /// Withdraw a pre-generated backbone batch as one UPDATE (the flap
+    /// half of the churn-storm workload).
+    pub fn withdraw_backbone(&self, peer: u32, batch: &[BackboneRoute]) {
+        let nets: Vec<Ipv4Net> = batch.iter().map(|r| r.net).collect();
+        self.apply_update(
+            peer,
+            UpdateIn {
+                withdrawn: nets,
+                announce: None,
+            },
+        );
+    }
+
     /// Withdraw one prefix.
     pub fn withdraw_one(&self, peer: u32, net: Ipv4Net) {
         self.apply_update(
@@ -999,6 +1134,18 @@ impl MultiProcessRouter {
             .call(|el| {
                 el.slot::<RibSlot>()
                     .map(|s| s.0.borrow().route_count())
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+
+    /// FEA installs parked in the RIB's redistribution watcher while the
+    /// RIB→FEA lane is congested (backpressure observability).
+    pub fn rib_fea_backlog(&self) -> usize {
+        self._rib
+            .call(|el| {
+                el.slot::<RibSlot>()
+                    .map(|s| s.0.borrow().redist_watcher_backlog("fea"))
                     .unwrap_or(0)
             })
             .unwrap_or(0)
@@ -1072,6 +1219,141 @@ impl MultiProcessRouter {
                 .unwrap_or(0),
             None => 0,
         }
+    }
+
+    /// Whether any lane on the BGP process's XRL router is currently
+    /// above its high watermark (an Xoff is in force).
+    pub fn bgp_congested(&self) -> bool {
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(|el| {
+                    el.slot::<XrlRouter>()
+                        .map(|r| r.any_lane_congested())
+                        .unwrap_or(false)
+                })
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// Outstanding requests charged to the BGP→RIB lane (the storm
+    /// experiment's bounded quantity).
+    pub fn bgp_rib_lane_depth(&self) -> usize {
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(|el| {
+                    el.slot::<XrlRouter>()
+                        .map(|r| {
+                            r.lane_of("rib", "rib/1.0/add_route")
+                                .map(|lane| r.lane_depth(&lane))
+                                .unwrap_or(0)
+                        })
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Total outstanding XRL requests on the BGP router's pending map,
+    /// regardless of lane or policy.  This is the quantity that grows
+    /// without bound when backpressure is disabled (lane accounting only
+    /// runs under a policy, so the storm comparison uses this instead).
+    pub fn bgp_outstanding_xrls(&self) -> usize {
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(|el| el.slot::<XrlRouter>().map(|r| r.pending_len()).unwrap_or(0))
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Frames the BGP router shed at a lane's hard cap.
+    pub fn bgp_shed_count(&self) -> u64 {
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(|el| el.slot::<XrlRouter>().map(|r| r.shed_count()).unwrap_or(0))
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Routes held back in the fanout while a reader is paused (the
+    /// app-layer queue backpressure moves the overload into).
+    pub fn bgp_fanout_queue_len(&self) -> usize {
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(|el| {
+                    el.slot::<BgpSlot>()
+                        .map(|s| s.0.borrow().fanout_queue_len())
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// BGP process heap proxy: route storage, fanout holdback, and the
+    /// XRL layer's retained frames (retransmission copies + UDP parking).
+    /// The last term is where an uncapped storm's backlog actually lives.
+    pub fn bgp_memory_bytes(&self) -> usize {
+        let guard = self.bgp.lock();
+        match guard.as_ref() {
+            Some(bgp) => bgp
+                .call(|el| {
+                    let routes = el
+                        .slot::<BgpSlot>()
+                        .map(|s| s.0.borrow().memory_bytes())
+                        .unwrap_or(0);
+                    let xrl = el
+                        .slot::<XrlRouter>()
+                        .map(|r| r.retained_frame_bytes())
+                        .unwrap_or(0);
+                    routes + xrl
+                })
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Round-trip a supervision keepalive to the BGP process over the
+    /// priority lane, from the RIB's loop, and time it.  `None` on
+    /// timeout or a dead process.
+    pub fn probe_bgp_latency(&self, timeout: Duration) -> Option<Duration> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self._rib.post(move |el| {
+            let router = el
+                .slot::<XrlRouter>()
+                .expect("xrl router on rib loop")
+                .clone();
+            let t0 = Instant::now();
+            keepalive::probe_liveness(&router, el, "bgp", move |_el, alive, _congested| {
+                if alive {
+                    let _ = tx.send(t0.elapsed());
+                }
+            });
+        });
+        rx.recv_timeout(timeout).ok()
+    }
+
+    /// Frames the RIB's XRL router shed at a lane's hard cap (its lane
+    /// to the FEA is policed by the same policy as BGP's lane to it).
+    pub fn rib_shed_count(&self) -> u64 {
+        self._rib
+            .call(|el| el.slot::<XrlRouter>().map(|r| r.shed_count()).unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// Outstanding XRLs on the RIB's pending map (RIB→FEA in flight).
+    pub fn rib_outstanding_xrls(&self) -> usize {
+        self._rib
+            .call(|el| el.slot::<XrlRouter>().map(|r| r.pending_len()).unwrap_or(0))
+            .unwrap_or(0)
     }
 
     /// Consistency violations from the RIB's cache stage, if enabled.

@@ -11,8 +11,8 @@
 //! removed at runtime — one of the "dynamic stages inserted as different
 //! watchers register themselves with the RIB".
 
-use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use xorp_event::{EventLoop, SliceResult};
@@ -41,6 +41,16 @@ pub struct RedistWatcher<A: Addr> {
     /// Prefixes this watcher currently holds (maintains delete/add
     /// symmetry when the policy verdict changes across a replace).
     delivered: BTreeSet<Prefix<A>>,
+    /// Flow control (XRL backpressure): while the cell reads `false`,
+    /// deliveries are parked in the backlog instead of hitting the sink,
+    /// and replayed in order on resume.  The policy/delivered bookkeeping
+    /// runs either way, so the watcher's view stays consistent across the
+    /// pause.  The cell is shared ([`RedistStage::watcher_flow`]) so a
+    /// congestion callback can flip it synchronously from inside the send
+    /// path — overshoot past an Xoff is bounded at the watermark, exactly
+    /// like a sender-side flow gate.
+    flow: Rc<Cell<bool>>,
+    backlog: VecDeque<RedistOp<A>>,
 }
 
 impl<A: Addr> RedistWatcher<A> {
@@ -57,6 +67,17 @@ impl<A: Addr> RedistWatcher<A> {
             policy,
             sink,
             delivered: BTreeSet::new(),
+            flow: Rc::new(Cell::new(true)),
+            backlog: VecDeque::new(),
+        }
+    }
+
+    /// Deliver now, or park while paused.
+    fn emit(&mut self, el: &mut EventLoop, op: RedistOp<A>) {
+        if !self.flow.get() {
+            self.backlog.push_back(op);
+        } else {
+            (self.sink)(el, op);
         }
     }
 
@@ -184,7 +205,12 @@ where
                     };
                     if let Some(copy) = w.filter(&route) {
                         w.delivered.insert(net);
-                        out.push((w.sink.clone(), RouteOp::Add { net, route: copy }));
+                        let op = RouteOp::Add { net, route: copy };
+                        if !w.flow.get() {
+                            w.backlog.push_back(op);
+                        } else {
+                            out.push((w.sink.clone(), op));
+                        }
                     }
                 }
             }
@@ -204,6 +230,55 @@ where
         self.watchers.remove(name).is_some()
     }
 
+    /// Flow control for one watcher (XRL backpressure): `ready = false`
+    /// parks deliveries in the watcher's backlog; `ready = true` replays
+    /// the backlog in order and goes back to direct delivery.  Unknown
+    /// names are ignored.
+    ///
+    /// The replay re-checks the watcher's flow cell between sends: a
+    /// delivery can re-congest the lane it feeds, and the congestion
+    /// callback flips the shared cell synchronously — the remainder stays
+    /// parked at the watermark instead of blowing through the hard cap.
+    pub fn set_watcher_flow(&mut self, el: &mut EventLoop, name: &str, ready: bool) {
+        {
+            let Some(w) = self.watchers.get_mut(name) else {
+                return;
+            };
+            w.flow.set(ready);
+        }
+        if !ready {
+            return;
+        }
+        loop {
+            let (sink, op) = {
+                let Some(w) = self.watchers.get_mut(name) else {
+                    return;
+                };
+                if !w.flow.get() {
+                    return; // re-congested mid-replay: keep the rest parked
+                }
+                match w.backlog.pop_front() {
+                    Some(op) => (w.sink.clone(), op),
+                    None => return,
+                }
+            };
+            sink(el, op);
+        }
+    }
+
+    /// The shared flow cell for one watcher.  A congestion callback flips
+    /// it to `false` synchronously on Xoff (parking takes effect before
+    /// the next delivery) and pairs that with a deferred
+    /// [`RedistStage::set_watcher_flow`] call for the replay on Xon.
+    pub fn watcher_flow(&self, name: &str) -> Option<Rc<Cell<bool>>> {
+        self.watchers.get(name).map(|w| w.flow.clone())
+    }
+
+    /// Parked deliveries for a paused watcher (diagnostic).
+    pub fn watcher_backlog(&self, name: &str) -> usize {
+        self.watchers.get(name).map_or(0, |w| w.backlog.len())
+    }
+
     /// Number of registered watchers.
     pub fn watcher_count(&self) -> usize {
         self.watchers.len()
@@ -221,13 +296,13 @@ where
             match (had, now) {
                 (false, Some(new)) => {
                     w.delivered.insert(net);
-                    (w.sink)(el, RouteOp::Add { net, route: new });
+                    w.emit(el, RouteOp::Add { net, route: new });
                 }
                 (true, Some(new)) => {
                     // The watcher saw a (filtered) old version; send a
                     // replace carrying the *unfiltered* old route as
                     // identity — watchers key on prefix.
-                    (w.sink)(
+                    w.emit(
                         el,
                         RouteOp::Replace {
                             net,
@@ -238,7 +313,7 @@ where
                 }
                 (true, None) => {
                     w.delivered.remove(&net);
-                    (w.sink)(
+                    w.emit(
                         el,
                         RouteOp::Delete {
                             net,
@@ -451,6 +526,71 @@ mod tests {
         stage.route_op(&mut el, OriginId(0), add(r.clone()));
         stage.route_op(&mut el, OriginId(0), RouteOp::Delete { net: r.net, old: r });
         assert!(seen.borrow().is_empty());
+    }
+
+    #[test]
+    fn paused_watcher_parks_and_resume_replays_in_order() {
+        let mut el = EventLoop::new_virtual();
+        let mut stage = RedistStage::new();
+        let seen = collect_watcher(&mut stage, "w", None, FilterBank::accept_by_default());
+
+        stage.set_watcher_flow(&mut el, "w", false);
+        let r1 = route("10.0.0.0/8", ProtocolId::Rip, 1);
+        let r2 = route("20.0.0.0/8", ProtocolId::Rip, 1);
+        stage.route_op(&mut el, OriginId(0), add(r1.clone()));
+        stage.route_op(&mut el, OriginId(0), add(r2));
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            RouteOp::Delete {
+                net: r1.net,
+                old: r1,
+            },
+        );
+        assert!(seen.borrow().is_empty(), "paused watcher must not deliver");
+        assert_eq!(stage.watcher_backlog("w"), 3);
+
+        stage.set_watcher_flow(&mut el, "w", true);
+        assert_eq!(stage.watcher_backlog("w"), 0);
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 3);
+        assert!(matches!(seen[0], RouteOp::Add { .. }));
+        assert_eq!(seen[0].net(), "10.0.0.0/8".parse().unwrap());
+        assert!(matches!(seen[1], RouteOp::Add { .. }));
+        assert_eq!(seen[1].net(), "20.0.0.0/8".parse().unwrap());
+        assert!(matches!(seen[2], RouteOp::Delete { .. }));
+    }
+
+    #[test]
+    fn bookkeeping_stays_consistent_across_pause() {
+        // A replace arriving while paused must still update the delivered
+        // set, so the post-resume stream carries the right op kinds.
+        let mut el = EventLoop::new_virtual();
+        let mut stage = RedistStage::new();
+        let seen = collect_watcher(&mut stage, "w", None, FilterBank::accept_by_default());
+
+        let old = route("10.0.0.0/8", ProtocolId::Rip, 1);
+        stage.route_op(&mut el, OriginId(0), add(old.clone()));
+        assert_eq!(seen.borrow().len(), 1);
+
+        stage.set_watcher_flow(&mut el, "w", false);
+        let new = route("10.0.0.0/8", ProtocolId::Rip, 2);
+        stage.route_op(
+            &mut el,
+            OriginId(0),
+            RouteOp::Replace {
+                net: old.net,
+                old,
+                new: new.clone(),
+            },
+        );
+        stage.set_watcher_flow(&mut el, "w", true);
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 2);
+        match &seen[1] {
+            RouteOp::Replace { new: got, .. } => assert_eq!(got.metric, new.metric),
+            other => panic!("expected replace, got {other:?}"),
+        }
     }
 
     #[test]

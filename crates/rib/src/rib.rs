@@ -1,7 +1,7 @@
 //! The RIB façade: wires the Figure 7 stage network and exposes the
 //! operations a RIB "process" serves over XRLs.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -320,6 +320,28 @@ where
     /// Remove a redistribution watcher.
     pub fn remove_redist_watcher(&mut self, name: &str) -> bool {
         self.redist.borrow_mut().remove_watcher(name)
+    }
+
+    /// Flow control for a redistribution watcher (XRL backpressure):
+    /// `ready = false` parks deliveries in the watcher's backlog,
+    /// `ready = true` replays them in order — re-checking the flow cell
+    /// between sends, so a replay that re-congests its lane stops at the
+    /// watermark instead of shedding at the hard cap.
+    pub fn set_redist_watcher_flow(&mut self, el: &mut EventLoop, name: &str, ready: bool) {
+        self.redist.borrow_mut().set_watcher_flow(el, name, ready);
+    }
+
+    /// The watcher's shared flow cell — flip it to `false` synchronously
+    /// from a congestion callback so parking takes effect before the next
+    /// delivery, then defer the [`Rib::set_redist_watcher_flow`] call that
+    /// replays the backlog on Xon.
+    pub fn redist_watcher_flow(&self, name: &str) -> Option<Rc<Cell<bool>>> {
+        self.redist.borrow().watcher_flow(name)
+    }
+
+    /// Parked deliveries held for a paused redistribution watcher.
+    pub fn redist_watcher_backlog(&self, name: &str) -> usize {
+        self.redist.borrow().watcher_backlog(name)
     }
 
     /// Consistency violations recorded by the optional cache stage.

@@ -49,6 +49,12 @@ pub struct SupervisorConfig {
     /// Graceful-restart window: how long the RIB keeps a dead supervised
     /// protocol's routes installed (stale) waiting for re-advertisement.
     pub grace_period: Duration,
+    /// How long a component may report itself *congested* (keepalives
+    /// answering — it is alive — but its XRL lanes Xoff'd) before the
+    /// supervisor opens the circuit and degrades it.  Overload past this
+    /// budget is treated like a spent restart budget: better a degraded
+    /// component with flushed routes than one ballooning toward OOM.
+    pub overload_budget: Duration,
 }
 
 impl Default for SupervisorConfig {
@@ -60,6 +66,7 @@ impl Default for SupervisorConfig {
             backoff_max: Duration::from_secs(5),
             restart_budget: 5,
             grace_period: Duration::from_secs(10),
+            overload_budget: Duration::from_secs(30),
         }
     }
 }
@@ -96,6 +103,9 @@ struct Entry {
     rank: u32,
     state: SupervisedState,
     restarts_used: u32,
+    /// When the component first reported sustained congestion (cleared by
+    /// the first uncongested report).
+    congested_since: Option<Duration>,
 }
 
 /// The supervision state machine over a set of named components.
@@ -122,6 +132,7 @@ impl Supervisor {
             rank: dependency_rank(name),
             state: SupervisedState::Healthy,
             restarts_used: 0,
+            congested_since: None,
         });
     }
 
@@ -189,6 +200,44 @@ impl Supervisor {
         }
     }
 
+    /// Feed in one overload observation at time `now`: whether the
+    /// component's keepalive answer carried the `congested` flag.  An
+    /// answering-but-congested component is *not* a crash (that is the
+    /// whole point of the priority lane) — but congestion sustained past
+    /// [`SupervisorConfig::overload_budget`] opens the circuit exactly
+    /// like a spent restart budget: the component degrades and the caller
+    /// flushes its routes rather than letting queues grow to OOM.
+    pub fn record_overload(
+        &mut self,
+        name: &str,
+        congested: bool,
+        now: Duration,
+    ) -> SupervisorVerdict {
+        let budget = self.config.overload_budget;
+        let Some(entry) = self.entries.get_mut(name) else {
+            return SupervisorVerdict::None;
+        };
+        if !congested {
+            entry.congested_since = None;
+            return SupervisorVerdict::None;
+        }
+        // Only live components can be overloaded; one awaiting restart or
+        // already degraded has been classified.
+        if !matches!(
+            entry.state,
+            SupervisedState::Healthy | SupervisedState::Suspect(_)
+        ) {
+            return SupervisorVerdict::None;
+        }
+        let since = *entry.congested_since.get_or_insert(now);
+        if now.saturating_sub(since) >= budget {
+            entry.state = SupervisedState::Degraded;
+            SupervisorVerdict::Degraded
+        } else {
+            SupervisorVerdict::None
+        }
+    }
+
     /// Components whose restart is due at `now`, in dependency order
     /// (interfaces/FEA before RIB before protocols — a protocol restarted
     /// before the RIB it registers with would just fail again).  States
@@ -212,6 +261,7 @@ impl Supervisor {
     pub fn restarted(&mut self, name: &str) {
         if let Some(entry) = self.entries.get_mut(name) {
             entry.state = SupervisedState::Healthy;
+            entry.congested_since = None;
         }
     }
 }
@@ -232,6 +282,7 @@ mod tests {
             backoff_max: ms(400),
             restart_budget: 3,
             grace_period: ms(1000),
+            overload_budget: ms(500),
         }
     }
 
@@ -328,6 +379,55 @@ mod tests {
         assert!(s.due_restarts(ms(1_000_000)).is_empty());
         assert_eq!(s.record_probe("bgp", true, now), SupervisorVerdict::None);
         assert_eq!(s.state("bgp"), Some(SupervisedState::Degraded));
+    }
+
+    #[test]
+    fn sustained_overload_past_budget_degrades() {
+        let mut s = Supervisor::new(config());
+        s.manage("bgp");
+        // Congested but alive, within budget: nothing happens — this is
+        // exactly the busy-but-alive case that must NOT restart.
+        assert_eq!(
+            s.record_overload("bgp", true, ms(0)),
+            SupervisorVerdict::None
+        );
+        assert_eq!(
+            s.record_overload("bgp", true, ms(400)),
+            SupervisorVerdict::None
+        );
+        assert_eq!(s.state("bgp"), Some(SupervisedState::Healthy));
+        // Budget (500 ms) spent: circuit opens.
+        assert_eq!(
+            s.record_overload("bgp", true, ms(500)),
+            SupervisorVerdict::Degraded
+        );
+        assert_eq!(s.state("bgp"), Some(SupervisedState::Degraded));
+        // Terminal, like restart-budget exhaustion.
+        assert!(!s.should_probe("bgp"));
+        assert_eq!(
+            s.record_overload("bgp", true, ms(10_000)),
+            SupervisorVerdict::None
+        );
+    }
+
+    #[test]
+    fn intermittent_congestion_never_degrades() {
+        let mut s = Supervisor::new(config());
+        s.manage("bgp");
+        // Xoff/Xon cycles: each uncongested report resets the clock, so
+        // total congested time can exceed the budget without ever
+        // *sustaining* it.
+        let mut now = ms(0);
+        for _ in 0..10 {
+            assert_eq!(s.record_overload("bgp", true, now), SupervisorVerdict::None);
+            now += ms(400);
+            assert_eq!(
+                s.record_overload("bgp", false, now),
+                SupervisorVerdict::None
+            );
+            now += ms(100);
+        }
+        assert_eq!(s.state("bgp"), Some(SupervisedState::Healthy));
     }
 
     #[test]

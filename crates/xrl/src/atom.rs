@@ -115,6 +115,24 @@ impl AtomValue {
         }
     }
 
+    /// Approximate wire size of this value in the binary frame format
+    /// (type byte + payload), without encoding.  Used by overload
+    /// instrumentation to estimate queue memory cheaply.
+    pub fn approx_wire_len(&self) -> usize {
+        1 + match self {
+            AtomValue::I32(_) | AtomValue::U32(_) | AtomValue::Ipv4(_) => 4,
+            AtomValue::I64(_) | AtomValue::U64(_) => 8,
+            AtomValue::Bool(_) => 1,
+            AtomValue::Text(s) => 4 + s.len(),
+            AtomValue::Ipv6(_) => 16,
+            AtomValue::Ipv4Net(_) => 5,
+            AtomValue::Ipv6Net(_) => 17,
+            AtomValue::Mac(_) => 6,
+            AtomValue::Binary(b) => 4 + b.len(),
+            AtomValue::List(items) => 2 + items.iter().map(|v| v.approx_wire_len()).sum::<usize>(),
+        }
+    }
+
     /// Render the value (without name/type) in textual XRL form, escaped.
     pub fn render(&self) -> String {
         match self {
@@ -273,6 +291,16 @@ impl XrlArgs {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.atoms.is_empty()
+    }
+
+    /// Approximate wire size of the argument block (count + named values),
+    /// without encoding.
+    pub fn approx_wire_len(&self) -> usize {
+        2 + self
+            .atoms
+            .iter()
+            .map(|a| 2 + a.name.len() + a.value.approx_wire_len())
+            .sum::<usize>()
     }
 
     /// Append an atom.

@@ -29,6 +29,10 @@ pub enum XrlError {
     TargetDied,
     /// The request exhausted its retry budget without a response.
     Timeout,
+    /// The sending router shed this frame: the destination lane was at its
+    /// hard queue cap (see `QueuePolicy`).  Backpressure, not transport
+    /// failure — the caller should slow down, not retry immediately.
+    Overloaded,
 }
 
 impl fmt::Display for XrlError {
@@ -45,6 +49,7 @@ impl fmt::Display for XrlError {
             XrlError::BadFrame(s) => write!(f, "bad frame: {s}"),
             XrlError::TargetDied => write!(f, "target died"),
             XrlError::Timeout => write!(f, "request timed out"),
+            XrlError::Overloaded => write!(f, "lane overloaded; frame shed"),
         }
     }
 }
@@ -66,6 +71,7 @@ impl XrlError {
             XrlError::BadFrame(_) => 9,
             XrlError::TargetDied => 10,
             XrlError::Timeout => 11,
+            XrlError::Overloaded => 12,
         }
     }
 
@@ -81,6 +87,7 @@ impl XrlError {
             8 => XrlError::CommandFailed(msg),
             10 => XrlError::TargetDied,
             11 => XrlError::Timeout,
+            12 => XrlError::Overloaded,
             _ => XrlError::BadFrame(msg),
         }
     }
@@ -103,6 +110,7 @@ mod tests {
             XrlError::CommandFailed("c".into()),
             XrlError::TargetDied,
             XrlError::Timeout,
+            XrlError::Overloaded,
         ];
         for e in errors {
             let msg = match &e {

@@ -23,28 +23,43 @@ pub const KEEPALIVE_PATH: &str = "common/1.0/keepalive";
 
 /// Register the standard keepalive responder on a target instance.  Call
 /// after `register_target`; any process that wants to be supervised must.
+///
+/// The reply carries a `congested` flag alongside `alive`: whether any of
+/// the answering router's lanes is currently Xoff.  A priority probe always
+/// gets through a saturated process, and this is how the overload it is
+/// drowning in travels back to the supervisor.
 pub fn add_keepalive_responder(router: &XrlRouter, instance: &str) {
-    router.add_fn(instance, KEEPALIVE_PATH, |_el, _args| {
-        Ok(XrlArgs::new().add_bool("alive", true))
+    let me = router.clone();
+    router.add_fn(instance, KEEPALIVE_PATH, move |_el, _args| {
+        Ok(XrlArgs::new()
+            .add_bool("alive", true)
+            .add_bool("congested", me.any_lane_congested()))
     });
 }
 
 /// Probe a component class once: send `common/1.0/keepalive` and report
-/// whether a well-formed answer came back.  Every failure mode — resolve
-/// failure, timeout, transport error, malformed reply — is a miss.
+/// whether a well-formed answer came back, plus whether the answerer
+/// reported itself congested.  Every failure mode — resolve failure,
+/// timeout, transport error, malformed reply — is a miss.
+///
+/// Probes ride the priority lane ([`XrlRouter::send_priority`]): they are
+/// never queued behind, or shed with, data traffic, so a process that is
+/// merely busy keeps answering and is not misclassified as dead.
 pub fn probe_liveness(
     router: &XrlRouter,
     el: &mut EventLoop,
     class: &str,
-    cb: impl FnOnce(&mut EventLoop, bool) + 'static,
+    cb: impl FnOnce(&mut EventLoop, bool, bool) + 'static,
 ) {
     let xrl = Xrl::generic(class, "common", "1.0", "keepalive", XrlArgs::new());
-    router.send(
+    router.send_priority(
         el,
         xrl,
         Box::new(move |el, result| {
             let alive = matches!(&result, Ok(args) if args.get_bool("alive").unwrap_or(false));
-            cb(el, alive);
+            let congested =
+                matches!(&result, Ok(args) if args.get_bool("congested").unwrap_or(false));
+            cb(el, alive, congested);
         }),
     );
 }
@@ -75,11 +90,11 @@ mod tests {
 
         let outcomes: Rc<RefCell<Vec<(&str, bool)>>> = Rc::new(RefCell::new(Vec::new()));
         let o = outcomes.clone();
-        probe_liveness(&router, &mut el, "bgp", move |_el, alive| {
+        probe_liveness(&router, &mut el, "bgp", move |_el, alive, _congested| {
             o.borrow_mut().push(("bgp", alive));
         });
         let o = outcomes.clone();
-        probe_liveness(&router, &mut el, "ospf", move |_el, alive| {
+        probe_liveness(&router, &mut el, "ospf", move |_el, alive, _congested| {
             o.borrow_mut().push(("ospf", alive));
         });
         el.run_until_idle();
@@ -103,7 +118,7 @@ mod tests {
 
         let alive = Rc::new(RefCell::new(None));
         let a = alive.clone();
-        probe_liveness(&router, &mut el, "bgp", move |_el, ok| {
+        probe_liveness(&router, &mut el, "bgp", move |_el, ok, _congested| {
             *a.borrow_mut() = Some(ok);
         });
         el.run_until_idle();
@@ -113,7 +128,7 @@ mod tests {
         // resolution, immediately.
         router.shutdown(&mut el);
         let a = alive.clone();
-        probe_liveness(&router, &mut el, "bgp", move |_el, ok| {
+        probe_liveness(&router, &mut el, "bgp", move |_el, ok, _congested| {
             *a.borrow_mut() = Some(ok);
         });
         el.run_until_idle();

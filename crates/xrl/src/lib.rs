@@ -45,7 +45,9 @@ pub use fault::{FaultAction, FaultConfig, FaultEvent, FaultPlan};
 pub use finder::{Finder, LifetimeEvent, ResolveEntry};
 pub use idl::{Interface, MethodSig};
 pub use proxy::{ArgConstraint, MethodPolicy, XrlProxy};
-pub use router::{Responder, ResponseCb, RetryPolicy, TransportPref, XrlRouter};
+pub use router::{
+    CongestionSignal, QueuePolicy, Responder, ResponseCb, RetryPolicy, TransportPref, XrlRouter,
+};
 pub use xrl::{Xrl, XrlPath};
 
 /// Result of an XRL dispatch: the response atoms or a transport/dispatch

@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! u32  length of remainder
-//! u8   kind (0 = request, 1 = response, 2 = kill)
+//! u8   kind (low 7 bits: 0 = request, 1 = response, 2 = kill;
+//!            bit 7: priority — deliver ahead of queued bulk frames)
 //! request:  u64 seq | u64 sender | str target | [u8;16] key | str path | args
 //! response: u64 seq | u8 code (0 = ok) | str errmsg | args
 //! kill:     u32 signal
@@ -40,6 +41,12 @@ pub enum Frame {
         path: String,
         /// Arguments.
         args: XrlArgs,
+        /// Wire-carried priority mark.  The *receiver's* reader thread
+        /// routes priority frames onto its loop's priority lane so they
+        /// overtake queued bulk posts — without this, a supervision
+        /// keepalive FIFO-queues behind seconds of data frames on a
+        /// saturated process and the prober misdiagnoses busy as dead.
+        priority: bool,
     },
     /// The reply to a request.
     Response {
@@ -47,6 +54,9 @@ pub enum Frame {
         seq: u64,
         /// `Ok(args)` or the error the dispatch produced.
         result: Result<XrlArgs, XrlError>,
+        /// Copied from the request, so the reply jumps receive queues on
+        /// the way back just as the request did on the way in.
+        priority: bool,
     },
     /// The kill protocol family's single message: a UNIX-style signal.
     Kill {
@@ -58,6 +68,8 @@ pub enum Frame {
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
 const KIND_KILL: u8 = 2;
+/// High bit of the kind byte: priority delivery.
+const KIND_PRIORITY: u8 = 0x80;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     debug_assert!(s.len() <= u16::MAX as usize);
@@ -269,9 +281,37 @@ fn get_args(buf: &mut Bytes) -> Result<XrlArgs, XrlError> {
 }
 
 impl Frame {
+    /// Whether this frame asks for priority delivery on the receive side.
+    pub fn is_priority(&self) -> bool {
+        match self {
+            Frame::Request { priority, .. } | Frame::Response { priority, .. } => *priority,
+            Frame::Kill { .. } => true, // kill is control-plane: never queue it
+        }
+    }
+
+    /// Approximate encoded size (including the length header), without
+    /// encoding.  Overload instrumentation uses this to estimate the
+    /// memory held by queued and retained frames.
+    pub fn approx_wire_len(&self) -> usize {
+        5 + match self {
+            Frame::Request {
+                target, path, args, ..
+            } => 16 + 2 + target.len() + 16 + 2 + path.len() + args.approx_wire_len(),
+            Frame::Response { result, .. } => {
+                8 + 1
+                    + match result {
+                        Ok(args) => 2 + args.approx_wire_len(),
+                        Err(e) => 2 + e.to_string().len() + 2,
+                    }
+            }
+            Frame::Kill { .. } => 4,
+        }
+    }
+
     /// Encode this frame, including the length header.
     pub fn encode(&self) -> BytesMut {
         let mut body = BytesMut::with_capacity(128);
+        let pri = |p: &bool| if *p { KIND_PRIORITY } else { 0 };
         match self {
             Frame::Request {
                 seq,
@@ -280,8 +320,9 @@ impl Frame {
                 key,
                 path,
                 args,
+                priority,
             } => {
-                body.put_u8(KIND_REQUEST);
+                body.put_u8(KIND_REQUEST | pri(priority));
                 body.put_u64(*seq);
                 body.put_u64(*sender);
                 put_str(&mut body, target);
@@ -289,8 +330,12 @@ impl Frame {
                 put_str(&mut body, path);
                 put_args(&mut body, args);
             }
-            Frame::Response { seq, result } => {
-                body.put_u8(KIND_RESPONSE);
+            Frame::Response {
+                seq,
+                result,
+                priority,
+            } => {
+                body.put_u8(KIND_RESPONSE | pri(priority));
                 body.put_u64(*seq);
                 match result {
                     Ok(args) => {
@@ -322,7 +367,9 @@ impl Frame {
         if buf.remaining() < 1 {
             return Err(XrlError::BadFrame("empty frame".into()));
         }
-        match buf.get_u8() {
+        let kind = buf.get_u8();
+        let priority = kind & KIND_PRIORITY != 0;
+        match kind & !KIND_PRIORITY {
             KIND_REQUEST => {
                 if buf.remaining() < 16 {
                     return Err(XrlError::BadFrame("truncated request".into()));
@@ -344,6 +391,7 @@ impl Frame {
                     key,
                     path,
                     args,
+                    priority,
                 })
             }
             KIND_RESPONSE => {
@@ -359,7 +407,11 @@ impl Frame {
                 } else {
                     Err(XrlError::from_code(code, msg))
                 };
-                Ok(Frame::Response { seq, result })
+                Ok(Frame::Response {
+                    seq,
+                    result,
+                    priority,
+                })
             }
             KIND_KILL => {
                 if buf.remaining() < 4 {
@@ -413,6 +465,7 @@ mod tests {
             key: [7u8; 16],
             path: "bgp/1.0/set_local_as".into(),
             args: XrlArgs::new().add_u32("as", 1777),
+            priority: false,
         });
     }
 
@@ -423,6 +476,7 @@ mod tests {
             result: Ok(XrlArgs::new()
                 .add_str("status", "fine")
                 .add_ipv6("addr", "2001:db8::1".parse().unwrap())),
+            priority: false,
         });
     }
 
@@ -431,6 +485,7 @@ mod tests {
         let f = Frame::Response {
             seq: 44,
             result: Err(XrlError::NoSuchMethod("no such method: x".into())),
+            priority: false,
         };
         let encoded = f.encode();
         let mut bytes = Bytes::from(encoded.to_vec());
@@ -439,6 +494,7 @@ mod tests {
             Frame::Response {
                 seq: 44,
                 result: Err(XrlError::NoSuchMethod(_)),
+                priority: false,
             } => {}
             other => panic!("bad decode: {other:?}"),
         }
@@ -447,6 +503,46 @@ mod tests {
     #[test]
     fn kill_roundtrip() {
         roundtrip(Frame::Kill { signal: 15 });
+    }
+
+    #[test]
+    fn priority_bit_roundtrips_and_marks_frame() {
+        let req = Frame::Request {
+            seq: 50,
+            sender: 8,
+            target: "bgp".into(),
+            key: [3u8; 16],
+            path: "common/0.1/keepalive".into(),
+            args: XrlArgs::new(),
+            priority: true,
+        };
+        assert!(req.is_priority());
+        roundtrip(req);
+        let resp = Frame::Response {
+            seq: 50,
+            result: Ok(XrlArgs::new()),
+            priority: true,
+        };
+        assert!(resp.is_priority());
+        roundtrip(resp);
+        // The bit rides the kind byte: same frame without it differs only
+        // there, and decodes as non-priority.
+        let plain = Frame::Response {
+            seq: 50,
+            result: Ok(XrlArgs::new()),
+            priority: false,
+        };
+        assert!(!plain.is_priority());
+        let hot = Frame::Response {
+            seq: 50,
+            result: Ok(XrlArgs::new()),
+            priority: true,
+        }
+        .encode();
+        let cold = plain.encode();
+        assert_eq!(hot.len(), cold.len());
+        assert_eq!(hot[4], cold[4] | 0x80);
+        assert_eq!(&hot[5..], &cold[5..]);
     }
 
     #[test]
@@ -471,6 +567,7 @@ mod tests {
                 .add_mac("k", "00:11:22:33:44:55".parse().unwrap())
                 .add_binary("l", vec![1, 2, 3])
                 .add_list("m", vec![AtomValue::U32(1), AtomValue::Text("x".into())]),
+            priority: false,
         });
     }
 
@@ -483,6 +580,7 @@ mod tests {
             key: [0u8; 16],
             path: "i/1.0/m".into(),
             args: XrlArgs::new().add_u32("a", 1),
+            priority: false,
         };
         let encoded = f.encode().to_vec();
         // Every strict prefix of the body must fail to decode, not panic.
@@ -520,6 +618,7 @@ mod tests {
             key: [1u8; 16],
             path: "rib/1.0/add_routes".into(),
             args: args.clone(),
+            priority: false,
         });
         assert_eq!(args.get_rows("routes").unwrap(), rows);
         // Textual form roundtrips too (rows carry nested escaping).
@@ -550,6 +649,7 @@ mod tests {
             key: [0u8; 16],
             path: "i/1.0/m".into(),
             args: XrlArgs::new().add_list("deep", vec![v]),
+            priority: false,
         };
         let encoded = f.encode();
         let mut bytes = Bytes::from(encoded.to_vec());
@@ -574,6 +674,7 @@ mod tests {
                 "rows",
                 vec![vec![AtomValue::U32(1)], vec![AtomValue::Text("x".into())]],
             ),
+            priority: false,
         });
     }
 

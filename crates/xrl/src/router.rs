@@ -28,6 +28,18 @@
 //!   replayed instead of a second dispatch;
 //! * duplicate responses are dropped by the existing correlation map (the
 //!   pending entry is gone after the first).
+//!
+//! # Overload control
+//!
+//! A router with a [`QueuePolicy`] bounds what used to grow silently: the
+//! `pending` map entries (and, for UDP, the unpipelined per-peer queues)
+//! charged to each transport lane.  Crossing the high watermark emits a
+//! per-lane [`CongestionSignal::Xoff`] through the callback installed with
+//! [`XrlRouter::set_congestion_cb`]; draining below the low watermark emits
+//! [`CongestionSignal::Xon`].  Past the hard cap, data sends fail fast with
+//! [`XrlError::Overloaded`] instead of queueing.  Control traffic uses
+//! [`XrlRouter::send_priority`], which bypasses all of it — a keepalive
+//! answers even when every data lane is parked.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -91,6 +103,64 @@ impl Default for RetryPolicy {
             max_attempts: 8,
             base_timeout: Duration::from_millis(100),
             max_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Bounds on the per-lane send queue: the count of this router's requests
+/// outstanding toward one remote endpoint (the `pending` retransmission
+/// entries routed to that lane, which for UDP also covers every frame
+/// parked in the peer's unpipelined queue).
+///
+/// Crossing `high_watermark` emits [`CongestionSignal::Xoff`] for the lane;
+/// draining back to `low_watermark` emits [`CongestionSignal::Xon`].  The
+/// gap between the two is hysteresis — producers that react to `Xoff`
+/// should not be whipsawed by a single completion.  A data-priority send
+/// finding the lane at `hard_cap` is shed outright with
+/// [`XrlError::Overloaded`] instead of growing the queue; priority sends
+/// ([`XrlRouter::send_priority`] — supervision keepalives) always pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Lane depth at which `Xoff` fires.
+    pub high_watermark: usize,
+    /// Lane depth a congested lane must drain to before `Xon` fires.
+    pub low_watermark: usize,
+    /// Depth beyond which data frames are shed with `Overloaded`.
+    pub hard_cap: usize,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> Self {
+        QueuePolicy {
+            high_watermark: 512,
+            low_watermark: 128,
+            hard_cap: 2048,
+        }
+    }
+}
+
+/// Flow-control event for one transport lane, delivered through the
+/// callback installed with [`XrlRouter::set_congestion_cb`].  Lane labels
+/// match [`XrlRouter::lane_of`] (`tcp:127.0.0.1:5000`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestionSignal {
+    /// The lane crossed its high watermark: stop producing toward it.
+    Xoff {
+        /// Transport lane label.
+        lane: String,
+    },
+    /// The congested lane drained below its low watermark: resume.
+    Xon {
+        /// Transport lane label.
+        lane: String,
+    },
+}
+
+impl CongestionSignal {
+    /// The lane this signal concerns.
+    pub fn lane(&self) -> &str {
+        match self {
+            CongestionSignal::Xoff { lane } | CongestionSignal::Xon { lane } => lane,
         }
     }
 }
@@ -159,6 +229,9 @@ pub struct Responder {
     /// receiver-side dedup cache.  `None` for local dispatch.
     origin: Option<(u64, u64)>,
     path: ReplyPath,
+    /// The request arrived priority-marked; the reply is marked too, so
+    /// the probe's round trip jumps receive queues in both directions.
+    priority: bool,
 }
 
 impl Responder {
@@ -169,6 +242,7 @@ impl Responder {
             seq,
             origin,
             path,
+            priority,
         } = self;
         if let Some(key) = origin {
             // Cache the outcome so a retransmission of this request replays
@@ -182,7 +256,15 @@ impl Responder {
             ReplyPath::Local => router.complete(el, seq, result),
             remote => {
                 let transport = reply_transport(&remote).expect("remote reply path");
-                let _ = router.transport_write(el, transport, &Frame::Response { seq, result });
+                let _ = router.transport_write(
+                    el,
+                    transport,
+                    &Frame::Response {
+                        seq,
+                        result,
+                        priority,
+                    },
+                );
             }
         }
     }
@@ -212,6 +294,22 @@ struct Pending {
     timer: Option<TimerHandle>,
     /// Retransmission copy of the request frame (remote vias only).
     frame: Option<Frame>,
+    /// Lane this entry is charged against in the overload accounting, when
+    /// a [`QueuePolicy`] was active at send time and the send was data
+    /// priority.  Priority and intra sends are never charged.
+    counted_lane: Option<String>,
+    /// Sent via [`XrlRouter::send_priority`]: over UDP it never owned the
+    /// unpipelined per-peer slot, so completion must not pump the queue.
+    priority: bool,
+}
+
+/// Per-lane overload accounting.
+#[derive(Default)]
+struct LaneLoad {
+    /// Outstanding data-priority requests charged to the lane.
+    depth: usize,
+    /// Whether the lane is currently in the Xoff state.
+    xoff: bool,
 }
 
 /// Receiver-side state for one `(sender, seq)` request identity.
@@ -270,6 +368,17 @@ struct RouterInner {
     udp: Option<UdpState>,
     fault: Option<FaultPlan>,
     retry: Option<RetryPolicy>,
+    /// Per-lane queue bounds; `None` preserves the legacy unbounded
+    /// behaviour.
+    overload: Option<QueuePolicy>,
+    /// Overload accounting per transport lane (only maintained while an
+    /// overload policy is set).
+    lane_load: HashMap<String, LaneLoad>,
+    /// Receives Xoff/Xon as lanes cross their watermarks.
+    #[allow(clippy::type_complexity)]
+    congestion_cb: Option<Rc<dyn Fn(&mut EventLoop, &CongestionSignal)>>,
+    /// Data frames shed at the hard cap (diagnostic).
+    shed: u64,
     dedup: HashMap<(u64, u64), DedupState>,
     /// Insertion-ordered request identities with their arrival time.  An
     /// entry is evicted only once it is older than the retry policy's
@@ -316,6 +425,10 @@ impl XrlRouter {
                 udp: None,
                 fault: None,
                 retry: None,
+                overload: None,
+                lane_load: HashMap::new(),
+                congestion_cb: None,
+                shed: 0,
                 dedup: HashMap::new(),
                 dedup_order: VecDeque::new(),
                 watchdog: None,
@@ -369,6 +482,179 @@ impl XrlRouter {
     /// default) keeps requests pending until their transport dies.
     pub fn set_retry_policy(&self, policy: Option<RetryPolicy>) {
         self.inner.borrow_mut().retry = policy;
+    }
+
+    // ----- overload control -------------------------------------------------
+
+    /// Bound every transport lane's outstanding-request queue.  `None` (the
+    /// default) restores the legacy unbounded behaviour and resets all
+    /// accounting — no `Xon` is emitted for lanes that were congested.
+    pub fn set_overload_policy(&self, policy: Option<QueuePolicy>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.overload = policy;
+        if policy.is_none() {
+            inner.lane_load.clear();
+        }
+    }
+
+    /// Install the callback that receives [`CongestionSignal`]s as lanes
+    /// cross their watermarks.  Replaces any existing callback.
+    pub fn set_congestion_cb<F>(&self, cb: F)
+    where
+        F: Fn(&mut EventLoop, &CongestionSignal) + 'static,
+    {
+        self.inner.borrow_mut().congestion_cb = Some(Rc::new(cb));
+    }
+
+    /// Outstanding data-priority requests charged to `lane`
+    /// (diagnostic; 0 when no overload policy is set).
+    pub fn lane_depth(&self, lane: &str) -> usize {
+        self.inner
+            .borrow()
+            .lane_load
+            .get(lane)
+            .map(|l| l.depth)
+            .unwrap_or(0)
+    }
+
+    /// Lanes currently in the Xoff state.
+    pub fn congested_lanes(&self) -> Vec<String> {
+        self.inner
+            .borrow()
+            .lane_load
+            .iter()
+            .filter(|(_, l)| l.xoff)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Whether any lane is currently Xoff — what the keepalive responder
+    /// reports back to the supervisor as "busy but alive".
+    pub fn any_lane_congested(&self) -> bool {
+        self.inner.borrow().lane_load.values().any(|l| l.xoff)
+    }
+
+    /// Data frames shed at the hard cap so far (diagnostic).
+    pub fn shed_count(&self) -> u64 {
+        self.inner.borrow().shed
+    }
+
+    /// Total outstanding requests (diagnostic).
+    pub fn pending_len(&self) -> usize {
+        self.inner.borrow().pending.len()
+    }
+
+    /// Approximate bytes held by the XRL layer for in-flight traffic:
+    /// per-request bookkeeping (`Pending`, excluding callback captures),
+    /// frames retained for retransmission, and frames parked in UDP
+    /// per-peer queues.  This is the queue memory the hard cap bounds —
+    /// without a cap it grows with every un-acked send.  Walks the maps,
+    /// so sample it sparsely.
+    pub fn retained_frame_bytes(&self) -> usize {
+        let inner = self.inner.borrow();
+        let pending: usize = inner
+            .pending
+            .values()
+            .map(|p| {
+                std::mem::size_of::<Pending>() + p.frame.as_ref().map_or(0, |f| f.approx_wire_len())
+            })
+            .sum();
+        let parked: usize = inner
+            .udp
+            .iter()
+            .flat_map(|u| u.queues.values())
+            .flat_map(|q| q.queue.iter())
+            .map(|f| f.approx_wire_len())
+            .sum();
+        pending + parked
+    }
+
+    /// Total frames parked in UDP per-peer queues awaiting their slot
+    /// (diagnostic; the dead-peer eviction test watches this drain).
+    pub fn udp_queue_depth(&self) -> usize {
+        self.inner
+            .borrow()
+            .udp
+            .as_ref()
+            .map(|u| u.queues.values().map(|q| q.queue.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// The transport lane an Auto-preference send to `target`/`path` would
+    /// use right now — `None` for intra-process dispatch (intra lanes have
+    /// no queue and are never congested).  Lets a producer map a
+    /// [`CongestionSignal`]'s lane label back to the consumer it feeds.
+    pub fn lane_of(&self, target: &str, path: &str) -> Option<String> {
+        let entry = self.resolve_cached(target, path).ok()?;
+        let my_id = self.inner.borrow().router_id;
+        let mut tcp = None;
+        let mut udp = None;
+        for ep in &entry.endpoints {
+            match ep {
+                Endpoint::Intra { router_id } if *router_id == my_id => return None,
+                Endpoint::Tcp(a) => tcp = Some(*a),
+                Endpoint::Udp(a) => udp = Some(*a),
+                Endpoint::Intra { .. } => {}
+            }
+        }
+        tcp.map(|a| format!("tcp:{a}"))
+            .or_else(|| udp.map(|a| format!("udp:{a}")))
+    }
+
+    /// Charge one outstanding request to `lane`, emitting `Xoff` when the
+    /// high watermark is crossed.
+    fn note_lane_enqueue(&self, el: &mut EventLoop, lane: &str) {
+        let signal = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(policy) = inner.overload else {
+                return;
+            };
+            let load = inner.lane_load.entry(lane.to_string()).or_default();
+            load.depth += 1;
+            if !load.xoff && load.depth >= policy.high_watermark {
+                load.xoff = true;
+                Some(CongestionSignal::Xoff {
+                    lane: lane.to_string(),
+                })
+            } else {
+                None
+            }
+        };
+        if let Some(sig) = signal {
+            self.emit_congestion(el, sig);
+        }
+    }
+
+    /// Release one outstanding request from `lane`, emitting `Xon` once a
+    /// congested lane drains to the low watermark.
+    fn note_lane_dequeue(&self, el: &mut EventLoop, lane: &str) {
+        let signal = {
+            let mut inner = self.inner.borrow_mut();
+            let policy = inner.overload;
+            let Some(load) = inner.lane_load.get_mut(lane) else {
+                return;
+            };
+            load.depth = load.depth.saturating_sub(1);
+            match policy {
+                Some(p) if load.xoff && load.depth <= p.low_watermark => {
+                    load.xoff = false;
+                    Some(CongestionSignal::Xon {
+                        lane: lane.to_string(),
+                    })
+                }
+                _ => None,
+            }
+        };
+        if let Some(sig) = signal {
+            self.emit_congestion(el, sig);
+        }
+    }
+
+    fn emit_congestion(&self, el: &mut EventLoop, sig: CongestionSignal) {
+        let cb = self.inner.borrow().congestion_cb.clone();
+        if let Some(cb) = cb {
+            cb(el, &sig);
+        }
     }
 
     // ----- transports ------------------------------------------------------
@@ -561,11 +847,32 @@ impl XrlRouter {
 
     /// Dispatch an XRL; `cb` fires on this loop with the response.
     pub fn send(&self, el: &mut EventLoop, xrl: Xrl, cb: ResponseCb) {
-        self.send_pref(el, xrl, TransportPref::Auto, cb);
+        self.send_inner(el, xrl, TransportPref::Auto, false, cb);
     }
 
     /// Dispatch an XRL over a specific protocol family.
     pub fn send_pref(&self, el: &mut EventLoop, xrl: Xrl, pref: TransportPref, cb: ResponseCb) {
+        self.send_inner(el, xrl, pref, false, cb);
+    }
+
+    /// Dispatch an XRL on the priority lane: never charged against the
+    /// overload accounting, never shed at the hard cap, and over UDP it
+    /// skips the unpipelined per-peer queue.  For control traffic that must
+    /// get through precisely when the data lanes are saturated —
+    /// supervision keepalives above all, so a busy-but-alive process is
+    /// never misclassified as dead.
+    pub fn send_priority(&self, el: &mut EventLoop, xrl: Xrl, cb: ResponseCb) {
+        self.send_inner(el, xrl, TransportPref::Auto, true, cb);
+    }
+
+    fn send_inner(
+        &self,
+        el: &mut EventLoop,
+        xrl: Xrl,
+        pref: TransportPref,
+        priority: bool,
+        cb: ResponseCb,
+    ) {
         let path = xrl.path.dotted();
         let entry = match self.resolve_cached(xrl.target(), &path) {
             Ok(e) => e,
@@ -616,6 +923,34 @@ impl XrlRouter {
             }
         };
 
+        // Overload control: charge data sends against their lane; shed at
+        // the hard cap instead of growing without bound.  Priority and
+        // intra sends pass untouched.
+        let lane = match via {
+            Via::Intra => None,
+            Via::Tcp(a) => Some(format!("tcp:{a}")),
+            Via::Udp(a) => Some(format!("udp:{a}")),
+        };
+        let counted_lane = match (&lane, priority) {
+            (Some(lane), false) => {
+                let mut inner = self.inner.borrow_mut();
+                match inner.overload {
+                    Some(policy) => {
+                        let depth = inner.lane_load.get(lane).map(|l| l.depth).unwrap_or(0);
+                        if depth >= policy.hard_cap {
+                            inner.shed += 1;
+                            drop(inner);
+                            cb(el, Err(XrlError::Overloaded));
+                            return;
+                        }
+                        Some(lane.clone())
+                    }
+                    None => None,
+                }
+            }
+            _ => None,
+        };
+
         let seq = {
             let mut inner = self.inner.borrow_mut();
             let seq = inner.next_seq;
@@ -628,10 +963,15 @@ impl XrlRouter {
                     attempt: 1,
                     timer: None,
                     frame: None,
+                    counted_lane: counted_lane.clone(),
+                    priority,
                 },
             );
             seq
         };
+        if let Some(l) = &counted_lane {
+            self.note_lane_enqueue(el, l);
+        }
 
         match via {
             Via::Intra => {
@@ -651,6 +991,7 @@ impl XrlRouter {
                         &path,
                         &args,
                         ReplyPath::Local,
+                        priority,
                     );
                 });
             }
@@ -662,6 +1003,7 @@ impl XrlRouter {
                     key: entry.key,
                     path,
                     args: xrl.args,
+                    priority,
                 };
                 match self.tcp_stream(addr) {
                     Ok(stream) => {
@@ -683,8 +1025,9 @@ impl XrlRouter {
                     key: entry.key,
                     path,
                     args: xrl.args,
+                    priority,
                 };
-                match self.udp_send_or_queue(el, addr, frame.clone()) {
+                match self.udp_send_or_queue(el, addr, frame.clone(), priority) {
                     Ok(()) => self.arm_retry(el, seq, frame),
                     Err(e) => self.write_failed(el, seq, None, frame, e),
                 }
@@ -809,11 +1152,14 @@ impl XrlRouter {
 
     /// UDP is deliberately unpipelined (§8.1): at most one outstanding
     /// request per peer; later requests queue until the response arrives.
+    /// Priority frames skip the queue discipline entirely — a keepalive
+    /// must not wait behind a saturated data queue.
     fn udp_send_or_queue(
         &self,
         el: &mut EventLoop,
         addr: SocketAddr,
         frame: Frame,
+        priority: bool,
     ) -> Result<(), XrlError> {
         let socket = {
             let mut inner = self.inner.borrow_mut();
@@ -821,13 +1167,17 @@ impl XrlRouter {
                 .udp
                 .as_mut()
                 .ok_or_else(|| XrlError::Transport("udp family not enabled".into()))?;
-            let q = udp.queues.entry(addr).or_default();
-            if q.in_flight {
-                q.queue.push_back(frame);
-                return Ok(());
+            if priority {
+                udp.socket.clone()
+            } else {
+                let q = udp.queues.entry(addr).or_default();
+                if q.in_flight {
+                    q.queue.push_back(frame);
+                    return Ok(());
+                }
+                q.in_flight = true;
+                udp.socket.clone()
             }
-            q.in_flight = true;
-            udp.socket.clone()
         };
         let transport: Rc<dyn Transport> = Rc::new(UdpTransport { socket, peer: addr });
         self.transport_write(el, transport, &frame)
@@ -873,22 +1223,31 @@ impl XrlRouter {
         let Some(policy) = self.inner.borrow().retry else {
             return;
         };
-        let retry = {
+        let (via, retry) = {
             let mut inner = self.inner.borrow_mut();
             let Some(p) = inner.pending.get_mut(&seq) else {
                 return; // answered in the meantime
             };
             p.timer = None;
             if p.attempt >= policy.max_attempts {
-                None
+                (p.via, None)
             } else {
                 p.attempt += 1;
-                Some((p.via, p.frame.clone()))
+                (p.via, Some(p.frame.clone()))
             }
         };
         match retry {
-            None => self.fail_pending(el, seq, XrlError::Timeout),
-            Some((via, Some(frame))) => {
+            None => {
+                // Budget spent: for UDP this declares the peer dead, which
+                // also evicts its parked queue and fails everything else
+                // outstanding toward it (including this request).
+                if let Via::Udp(peer) = via {
+                    self.udp_peer_dead(el, peer);
+                } else {
+                    self.fail_pending(el, seq, XrlError::Timeout);
+                }
+            }
+            Some(Some(frame)) => {
                 let written = match via {
                     Via::Intra => Ok(()),
                     Via::Tcp(addr) => self.tcp_stream(addr).and_then(|stream| {
@@ -925,7 +1284,7 @@ impl XrlRouter {
                     }
                 }
             }
-            Some((_, None)) => self.fail_pending(el, seq, XrlError::Timeout),
+            Some(None) => self.fail_pending(el, seq, XrlError::Timeout),
         }
     }
 
@@ -954,7 +1313,8 @@ impl XrlRouter {
         }
     }
 
-    /// Fail one pending request, releasing its timer and UDP slot.
+    /// Fail one pending request, releasing its timer, UDP slot and
+    /// overload charge.
     fn fail_pending(&self, el: &mut EventLoop, seq: u64, err: XrlError) {
         let entry = self.inner.borrow_mut().pending.remove(&seq);
         let Some(p) = entry else {
@@ -963,10 +1323,39 @@ impl XrlRouter {
         if let Some(t) = p.timer {
             el.cancel(t);
         }
+        if let Some(lane) = &p.counted_lane {
+            self.note_lane_dequeue(el, lane);
+        }
         if let Via::Udp(peer) = p.via {
-            self.udp_pump(el, peer);
+            if !p.priority {
+                self.udp_pump(el, peer);
+            }
         }
         (p.cb)(el, Err(err));
+    }
+
+    /// A UDP peer exhausted a request's whole retry budget: declare it
+    /// dead.  Its parked per-peer queue is evicted (those frames would
+    /// otherwise persist until process exit) and every request outstanding
+    /// toward it fails now instead of serially burning its own budget.
+    fn udp_peer_dead(&self, el: &mut EventLoop, peer: SocketAddr) {
+        let victims: Vec<u64> = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(udp) = inner.udp.as_mut() {
+                udp.queues.remove(&peer);
+            }
+            inner
+                .pending
+                .iter()
+                .filter(|(_, p)| p.via == Via::Udp(peer))
+                .map(|(s, _)| *s)
+                .collect()
+        };
+        // The queue entry is gone, so the fail path's udp_pump finds
+        // nothing to send toward the dead peer.
+        for seq in victims {
+            self.fail_pending(el, seq, XrlError::Timeout);
+        }
     }
 
     // ----- incoming ----------------------------------------------------------
@@ -985,8 +1374,9 @@ impl XrlRouter {
                 key,
                 path,
                 args,
-            } => router.dispatch(el, seq, sender, &target, key, &path, &args, reply),
-            Frame::Response { seq, result } => router.complete(el, seq, result),
+                priority,
+            } => router.dispatch(el, seq, sender, &target, key, &path, &args, reply, priority),
+            Frame::Response { seq, result, .. } => router.complete(el, seq, result),
             Frame::Kill { signal } => router.handle_kill(el, signal),
         }
     }
@@ -1004,6 +1394,7 @@ impl XrlRouter {
         path: &str,
         args: &XrlArgs,
         reply: ReplyPath,
+        priority: bool,
     ) {
         // Local dispatch can't be retransmitted; only remote requests carry
         // a meaningful (sender, seq) identity.
@@ -1046,7 +1437,15 @@ impl XrlRouter {
                 // Retransmission of an already-answered request: replay the
                 // cached response, don't re-run the handler.
                 if let Some(transport) = reply_transport(&reply) {
-                    let _ = self.transport_write(el, transport, &Frame::Response { seq, result });
+                    let _ = self.transport_write(
+                        el,
+                        transport,
+                        &Frame::Response {
+                            seq,
+                            result,
+                            priority,
+                        },
+                    );
                 }
                 return;
             }
@@ -1056,6 +1455,7 @@ impl XrlRouter {
             seq,
             origin,
             path: reply,
+            priority,
         };
         let handler = {
             let inner = self.inner.borrow();
@@ -1093,9 +1493,15 @@ impl XrlRouter {
         if let Some(t) = p.timer {
             el.cancel(t);
         }
-        // UDP flow control: the response frees the peer's slot.
+        if let Some(lane) = &p.counted_lane {
+            self.note_lane_dequeue(el, lane);
+        }
+        // UDP flow control: the response frees the peer's slot (priority
+        // frames never held it).
         if let Via::Udp(peer) = p.via {
-            self.udp_pump(el, peer);
+            if !p.priority {
+                self.udp_pump(el, peer);
+            }
         }
         (p.cb)(el, result);
     }

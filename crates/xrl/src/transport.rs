@@ -103,7 +103,14 @@ pub(crate) fn spawn_tcp_reader(stream: TcpStream, sender: EventSender) -> Shared
             match Frame::decode(body) {
                 Ok(frame) => {
                     let reply = ReplyPath::Tcp(write_half.clone());
-                    if !sender.post(move |el| XrlRouter::incoming_frame(el, frame, reply)) {
+                    // Priority frames overtake the loop's bulk post queue:
+                    // this is where a keepalive passes a route-storm backlog.
+                    let posted = if frame.is_priority() {
+                        sender.post_priority(move |el| XrlRouter::incoming_frame(el, frame, reply))
+                    } else {
+                        sender.post(move |el| XrlRouter::incoming_frame(el, frame, reply))
+                    };
+                    if !posted {
                         return; // loop gone
                     }
                 }
@@ -159,7 +166,14 @@ pub(crate) fn spawn_udp(
                             socket: reader.clone(),
                             peer,
                         };
-                        if !sender.post(move |el| XrlRouter::incoming_frame(el, frame, reply)) {
+                        let posted = if frame.is_priority() {
+                            sender.post_priority(move |el| {
+                                XrlRouter::incoming_frame(el, frame, reply)
+                            })
+                        } else {
+                            sender.post(move |el| XrlRouter::incoming_frame(el, frame, reply))
+                        };
+                        if !posted {
                             return;
                         }
                     }

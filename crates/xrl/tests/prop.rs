@@ -65,7 +65,12 @@ proptest! {
     }
 
     #[test]
-    fn frame_binary_roundtrip(args in arb_args(), seq in any::<u64>(), key in any::<[u8; 16]>()) {
+    fn frame_binary_roundtrip(
+        args in arb_args(),
+        seq in any::<u64>(),
+        key in any::<[u8; 16]>(),
+        priority in any::<bool>(),
+    ) {
         let frame = Frame::Request {
             seq,
             sender: seq ^ 0x5a5a,
@@ -73,6 +78,7 @@ proptest! {
             key,
             path: "i/1.0/m".into(),
             args,
+            priority,
         };
         let mut encoded = frame.encode();
         use bytes::Buf;
@@ -84,8 +90,8 @@ proptest! {
     }
 
     #[test]
-    fn response_binary_roundtrip(args in arb_args(), seq in any::<u64>()) {
-        let frame = Frame::Response { seq, result: Ok(args) };
+    fn response_binary_roundtrip(args in arb_args(), seq in any::<u64>(), priority in any::<bool>()) {
+        let frame = Frame::Response { seq, result: Ok(args), priority };
         let encoded = frame.encode();
         use bytes::Buf;
         let mut bytes = bytes::Bytes::from(encoded.to_vec());
@@ -111,6 +117,7 @@ proptest! {
             key: [9u8; 16],
             path: "i/1.0/m".into(),
             args,
+            priority: false,
         };
         let encoded = frame.encode().to_vec();
         let body = &encoded[4..];

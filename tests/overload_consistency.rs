@@ -1,0 +1,369 @@
+//! Property test for the backpressure plane: an `Xoff` on any fanout
+//! reader — an established peer, or the late peer whose background dump
+//! is mid-walk — parks its deliveries and suspends its dump, while every
+//! other reader keeps flowing.  For ANY interleaving of (Xoff/Xon →
+//! live churn → dump slices → session flaps), once flow is restored and
+//! the loop settles, the late peer's table must equal a fresh
+//! synchronous replay and no prefix may have been delivered twice (the
+//! per-peer consistency cache flags a double-delivery as an `Add` of an
+//! already-present prefix).  Backpressure must be pure flow control:
+//! it may reorder work in time, never change what is delivered.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xorp::bgp::bgp::UpdateIn;
+use xorp::bgp::nexthop::{AnswerCb, NexthopService, RibNexthopAnswer};
+use xorp::bgp::peer_out::{UpdateOut, UpdateWriter};
+use xorp::bgp::{BgpConfig, BgpProcess, PeerConfig, PeerId, ReaderId};
+use xorp::event::EventLoop;
+use xorp::net::{AsNum, AsPath, PathAttributes, Prefix};
+
+type Net = Prefix<Ipv4Addr>;
+
+struct Flat;
+impl NexthopService<Ipv4Addr> for Flat {
+    fn resolve_nexthop(&self, el: &mut EventLoop, addr: Ipv4Addr, cb: AnswerCb<Ipv4Addr>) {
+        let valid: Net = "192.168.0.0/16".parse().unwrap();
+        cb(
+            el,
+            RibNexthopAnswer {
+                valid,
+                metric: valid.contains_addr(addr).then_some(1),
+            },
+        );
+    }
+}
+
+/// Established churn peers.  Peer 9 is the mid-churn attach whose dump
+/// races the flow control; peer 8 is the oracle attached after
+/// everything settles.
+const PEERS: [u32; 3] = [1, 2, 3];
+const LATE: u32 = 9;
+const ORACLE: u32 = 8;
+const NETS: u8 = 12;
+
+/// Readers an Xoff/Xon may land on: any established peer or the late
+/// peer (pausing a reader that does not exist yet is a no-op, exactly
+/// as a congestion signal for an unknown lane is).
+const FLOW_TARGETS: [u32; 4] = [1, 2, 3, LATE];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Live churn from an established peer.
+    Announce {
+        peer: u32,
+        net_ix: u8,
+        path_len: u8,
+    },
+    Withdraw {
+        peer: u32,
+        net_ix: u8,
+    },
+    /// Session flap of an established peer: spawns a background
+    /// DeletionStage drain that interleaves with the dump.
+    Flap {
+        peer: u32,
+    },
+    /// Step the event loop: each step runs one queued callback, due
+    /// timer, or ONE background slice (dump or deletion drain).
+    Slices {
+        n: u8,
+    },
+    /// Detach the mid-dump peer and immediately re-attach it: the
+    /// in-flight dump must abort and a fresh one must restart (with
+    /// flow restored — a new session starts un-paused).
+    FlapNew,
+    /// Congestion raised on a reader's lane: deliveries park, an
+    /// in-flight dump suspends between slices.
+    Xoff {
+        peer: u32,
+    },
+    /// Congestion cleared: the parked backlog replays in order and the
+    /// dump reschedules.
+    Xon {
+        peer: u32,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u32..3, 0u8..NETS, 1u8..6).prop_map(|(p, n, l)| Op::Announce {
+            peer: PEERS[p as usize],
+            net_ix: n,
+            path_len: l,
+        }),
+        3 => (0u32..3, 0u8..NETS).prop_map(|(p, n)| Op::Withdraw {
+            peer: PEERS[p as usize],
+            net_ix: n,
+        }),
+        1 => (0u32..3).prop_map(|p| Op::Flap { peer: PEERS[p as usize] }),
+        4 => (1u8..6).prop_map(|n| Op::Slices { n }),
+        1 => Just(Op::FlapNew),
+        3 => (0u32..4).prop_map(|p| Op::Xoff { peer: FLOW_TARGETS[p as usize] }),
+        3 => (0u32..4).prop_map(|p| Op::Xon { peer: FLOW_TARGETS[p as usize] }),
+    ]
+}
+
+fn net(ix: u8) -> Net {
+    Prefix::new(Ipv4Addr::from(0x0a00_0000u32 | ((ix as u32 + 1) << 8)), 24).unwrap()
+}
+
+fn attrs(peer: u32, path_len: u8) -> Arc<PathAttributes> {
+    let mut a = PathAttributes::new(IpAddr::V4(Ipv4Addr::from(0xc0a8_0100 + peer)));
+    a.as_path = AsPath::from_sequence((0..path_len as u32).map(|i| 64512 + peer * 100 + i));
+    a.ebgp = true;
+    Arc::new(a)
+}
+
+/// A peer-facing mirror of what the neighbor would hold: announcements
+/// install (implicit replace included), withdrawals remove.  Rendered
+/// attrs keep the comparison independent of Arc identity.
+type Mirror = Rc<RefCell<BTreeMap<Net, String>>>;
+
+fn mirror_writer(mirror: &Mirror) -> UpdateWriter<Ipv4Addr> {
+    let m = mirror.clone();
+    Rc::new(move |_el, out| match out {
+        UpdateOut::Announce(n, a) => {
+            m.borrow_mut()
+                .insert(n, format!("{:?} nh {:?}", a.as_path, a.nexthop));
+        }
+        UpdateOut::Withdraw(n) => {
+            m.borrow_mut().remove(&n);
+        }
+    })
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Churn applied (and fully settled) before the late peer attaches.
+    pre_ops: Vec<Op>,
+    /// Interleaving driven op-by-op while the dump is in flight.
+    ops: Vec<Op>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec(arb_op(), 0..24),
+        proptest::collection::vec(arb_op(), 1..80),
+    )
+        .prop_map(|(pre_ops, ops)| Scenario { pre_ops, ops })
+}
+
+fn apply(bgp: &mut BgpProcess<Ipv4Addr>, el: &mut EventLoop, op: &Op, mirror9: &Mirror) {
+    match op {
+        Op::Announce {
+            peer,
+            net_ix,
+            path_len,
+        } => bgp.apply_update(
+            el,
+            PeerId(*peer),
+            UpdateIn {
+                withdrawn: vec![],
+                announce: Some((attrs(*peer, *path_len), vec![net(*net_ix)])),
+            },
+        ),
+        Op::Withdraw { peer, net_ix } => bgp.apply_update(
+            el,
+            PeerId(*peer),
+            UpdateIn {
+                withdrawn: vec![net(*net_ix)],
+                announce: None,
+            },
+        ),
+        Op::Flap { peer } => {
+            bgp.peering_down(el, PeerId(*peer));
+            bgp.peering_up(el, PeerId(*peer));
+        }
+        Op::Slices { n } => {
+            for _ in 0..*n {
+                el.run_one();
+            }
+        }
+        Op::FlapNew => {
+            bgp.peering_down(el, PeerId(LATE));
+            // The remote speaker's table dies with the session.
+            mirror9.borrow_mut().clear();
+            bgp.peering_up(el, PeerId(LATE));
+        }
+        Op::Xoff { peer } => bgp.set_reader_flow(el, ReaderId::Peer(PeerId(*peer)), false),
+        Op::Xon { peer } => bgp.set_reader_flow(el, ReaderId::Peer(PeerId(*peer)), true),
+    }
+}
+
+fn run_scenario(s: &Scenario) {
+    let mut el = EventLoop::new_virtual();
+    let mut bgp = BgpProcess::new(
+        BgpConfig {
+            local_as: AsNum(65000),
+            router_id: "10.0.0.1".parse().unwrap(),
+            local_addr: IpAddr::V4("10.0.0.1".parse().unwrap()),
+            hold_time: 90,
+        },
+        Rc::new(Flat),
+    );
+    for p in PEERS {
+        let mut cfg = PeerConfig::simple(PeerId(p), AsNum(65000 + p));
+        cfg.consistency_check = true;
+        bgp.add_peer(&mut el, cfg, Some(Rc::new(|_el, _u| {})));
+        bgp.peering_up(&mut el, PeerId(p));
+    }
+    let mirror9: Mirror = Rc::new(RefCell::new(BTreeMap::new()));
+    let mirror8: Mirror = Rc::new(RefCell::new(BTreeMap::new()));
+    for (id, mirror) in [(LATE, &mirror9), (ORACLE, &mirror8)] {
+        let mut cfg = PeerConfig::simple(PeerId(id), AsNum(65000 + id));
+        cfg.consistency_check = true; // flags any double-delivered Add
+        bgp.add_peer(&mut el, cfg, Some(mirror_writer(mirror)));
+        // NOT brought up yet: peer 9 attaches mid-churn, peer 8 at the end.
+    }
+
+    // Phase A: settle some initial table before the late peer shows up.
+    // Xoff/Xon may already be in force here: congestion on an
+    // established peer's lane predating the attach is a valid start.
+    for op in &s.pre_ops {
+        if !matches!(op, Op::FlapNew) {
+            apply(&mut bgp, &mut el, op, &mirror9);
+        }
+        el.run_until_idle();
+    }
+
+    // Phase B: attach the late peer and drive the interleaving by hand.
+    // `run_until_idle` is deliberately NOT called here — dump slices only
+    // advance through explicit `Slices` steps, interleaved with churn
+    // and congestion flips.
+    bgp.peering_up(&mut el, PeerId(LATE));
+    for op in &s.ops {
+        apply(&mut bgp, &mut el, op, &mirror9);
+    }
+
+    // Phase C: clear every outstanding Xoff — the hysteresis guarantees
+    // a drained lane eventually raises Xon — then let everything settle
+    // and take the oracle replay.
+    for p in FLOW_TARGETS {
+        bgp.set_reader_flow(&mut el, ReaderId::Peer(PeerId(p)), true);
+    }
+    el.run_until_idle();
+    assert!(
+        !bgp.dump_in_flight(PeerId(LATE)),
+        "dump must complete once flow is restored and the loop idles"
+    );
+    bgp.peering_up(&mut el, PeerId(ORACLE));
+    el.run_until_idle();
+
+    // At-most-once delivery: a prefix replayed from a parked backlog (or
+    // dumped after a live add already covered it) reaches the
+    // consistency cache as an Add of an already-present prefix and is
+    // recorded as a violation.
+    let violations = bgp.consistency_violations();
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Convergence: flow control changed only the timing, never the
+    // content — the late peer holds exactly what a fresh replay produces.
+    assert_eq!(
+        &*mirror9.borrow(),
+        &*mirror8.borrow(),
+        "late peer's table diverged from fresh replay after Xoff/Xon churn"
+    );
+}
+
+/// Deterministic replay of the motivating shape: the late peer's dump is
+/// Xoff'd mid-walk, churn lands on the paused reader's queue AND on the
+/// still-flowing peers, the dump is stepped (it must NOT advance), then
+/// Xon replays the backlog and the dump finishes.
+#[test]
+fn regression_xoff_suspends_dump_and_xon_replays_backlog() {
+    run_scenario(&Scenario {
+        pre_ops: vec![
+            Op::Announce {
+                peer: 1,
+                net_ix: 0,
+                path_len: 1,
+            },
+            Op::Announce {
+                peer: 2,
+                net_ix: 1,
+                path_len: 2,
+            },
+            Op::Announce {
+                peer: 3,
+                net_ix: 2,
+                path_len: 3,
+            },
+        ],
+        ops: vec![
+            Op::Slices { n: 1 },
+            Op::Xoff { peer: LATE },
+            Op::Announce {
+                peer: 1,
+                net_ix: 3,
+                path_len: 1,
+            },
+            Op::Withdraw { peer: 2, net_ix: 1 },
+            Op::Slices { n: 4 },
+            Op::Xon { peer: LATE },
+            Op::Slices { n: 2 },
+        ],
+    });
+}
+
+/// A session flap while its reader is Xoff'd: the down/up pair replaces
+/// the paused reader with a fresh flowing one, and the deletion-stage
+/// drain of the old session must still reconcile with the dump.
+#[test]
+fn regression_flap_of_xoffed_contributor_mid_dump() {
+    run_scenario(&Scenario {
+        pre_ops: vec![
+            Op::Announce {
+                peer: 3,
+                net_ix: 2,
+                path_len: 5,
+            },
+            Op::Announce {
+                peer: 3,
+                net_ix: 3,
+                path_len: 5,
+            },
+        ],
+        ops: vec![
+            Op::Xoff { peer: 3 },
+            Op::Flap { peer: 3 },
+            Op::Slices { n: 2 },
+            Op::Announce {
+                peer: 1,
+                net_ix: 8,
+                path_len: 1,
+            },
+            Op::Xoff { peer: LATE },
+            Op::FlapNew,
+            Op::Slices { n: 3 },
+        ],
+    });
+}
+
+/// Xoff with nothing behind it (the late peer attaches to an empty
+/// table) must still complete the trivial dump after Xon.
+#[test]
+fn regression_xoff_on_empty_table() {
+    run_scenario(&Scenario {
+        pre_ops: vec![],
+        ops: vec![Op::Xoff { peer: LATE }, Op::Slices { n: 2 }],
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backpressure_preserves_exactly_once_convergence(s in arb_scenario()) {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_scenario(&s)));
+        if let Err(e) = r {
+            eprintln!("FAILING SCENARIO: {s:?}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
