@@ -11,7 +11,7 @@ use std::time::Duration;
 use xorp_event::{EventLoop, SliceResult, TimerHandle};
 use xorp_net::{Addr, AsNum, HeapSize, PathAttributes, Prefix, ProtocolId};
 use xorp_policy::{FilterBank, PolicyTarget};
-use xorp_profiler::{points, Profiler};
+use xorp_profiler::{points, Metrics, PointHandle, Profiler};
 use xorp_stages::{stage_ref, CacheStage, DumpStage, FnStage, OriginId, RouteOp, Stage, StageRef};
 
 use crate::aggregation::AggregationStage;
@@ -114,7 +114,9 @@ where
     decision: Rc<RefCell<DecisionStage<A>>>,
     fanout: Rc<RefCell<FanoutQueue<A>>>,
     peers: HashMap<PeerId, PeerBranch<A>>,
-    profiler: Option<Profiler>,
+    /// BGP_IN stamping handle: one relaxed load per route when the point
+    /// is dormant, instead of the profiler's global lock per stamp.
+    bgp_in: Option<PointHandle>,
     /// Timer period for damping sweeps.
     damping_sweep: Duration,
 }
@@ -135,14 +137,20 @@ where
             decision,
             fanout,
             peers: HashMap::new(),
-            profiler: None,
+            bgp_in: None,
             damping_sweep: Duration::from_secs(10),
         }
     }
 
     /// Attach a profiler (the §8.2 instrumentation).
     pub fn set_profiler(&mut self, p: Profiler) {
-        self.profiler = Some(p);
+        self.bgp_in = Some(p.point(points::BGP_IN));
+    }
+
+    /// Attach a metrics registry; the fanout queue reports its depth,
+    /// coalesced batch sizes and dump progress under `fanout.*`.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.fanout.borrow_mut().set_metrics(metrics);
     }
 
     /// Splice an [`AggregationStage`] between the decision process and the
@@ -449,12 +457,14 @@ where
         } else {
             ProtocolId::Ibgp
         };
-        if let Some(p) = &self.profiler {
-            for net in &update.withdrawn {
-                p.record(points::BGP_IN, || format!("del {net}"));
-            }
-            for net in update.announce.iter().flat_map(|(_, nets)| nets.iter()) {
-                p.record(points::BGP_IN, || format!("add {net}"));
+        if let Some(h) = &self.bgp_in {
+            if h.is_enabled() {
+                for net in &update.withdrawn {
+                    h.record(|| format!("del {net}"));
+                }
+                for net in update.announce.iter().flat_map(|(_, nets)| nets.iter()) {
+                    h.record(|| format!("add {net}"));
+                }
             }
         }
         for net in update.withdrawn {

@@ -25,6 +25,7 @@ use std::rc::Rc;
 
 use xorp_event::EventLoop;
 use xorp_net::{Addr, HeapSize, Prefix};
+use xorp_profiler::{Gauge, Histogram, Metrics};
 use xorp_stages::{DumpStage, OriginId, RouteOp, Stage, StageRef};
 
 use crate::{BgpRoute, PeerId};
@@ -91,6 +92,19 @@ pub struct FanoutQueue<A: Addr> {
     coalesce: usize,
     /// Entries enqueued since the last pump.
     unpumped: usize,
+    metrics: Option<FanoutMetrics>,
+}
+
+/// Registry handles for the fanout's queue and dump state.
+struct FanoutMetrics {
+    /// `fanout.queue_len` — entries queued (gauge max = true peak, with
+    /// no sampling loop).
+    queue_len: Gauge,
+    /// `fanout.batch_size` — entries delivered per pump under coalescing.
+    batch_size: Histogram,
+    /// `fanout.dumps_in_flight` — readers currently fed by a background
+    /// dump.
+    dumps: Gauge,
 }
 
 impl<A: Addr> Default for FanoutQueue<A> {
@@ -111,6 +125,34 @@ impl<A: Addr> FanoutQueue<A> {
             max_queue_len: 0,
             coalesce: 1,
             unpumped: 0,
+            metrics: None,
+        }
+    }
+
+    /// Attach a metrics registry (`fanout.queue_len`, `fanout.batch_size`,
+    /// `fanout.dumps_in_flight`).
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = Some(FanoutMetrics {
+            queue_len: metrics.gauge("fanout.queue_len"),
+            batch_size: metrics.histogram("fanout.batch_size"),
+            dumps: metrics.gauge("fanout.dumps_in_flight"),
+        });
+        self.note_metrics();
+    }
+
+    /// Refresh the queue-depth and dump gauges.  A dump mid-slice holds
+    /// its own `RefCell` borrow while this runs (the before-slice hook
+    /// pumps through us), so an unborrowable dump counts as in flight.
+    fn note_metrics(&self) {
+        if let Some(m) = &self.metrics {
+            m.queue_len.set(self.queue.len() as i64);
+            let dumps = self
+                .readers
+                .values()
+                .filter_map(|r| r.dump.as_ref())
+                .filter(|d| d.try_borrow().map_or(true, |d| !d.is_done()))
+                .count();
+            m.dumps.set(dumps as i64);
         }
     }
 
@@ -175,6 +217,7 @@ impl<A: Addr> FanoutQueue<A> {
         }
         reader.dump = Some(dump.clone());
         DumpStage::start(el, dump);
+        self.note_metrics();
         true
     }
 
@@ -214,6 +257,7 @@ impl<A: Addr> FanoutQueue<A> {
             }
         }
         self.gc();
+        self.note_metrics();
     }
 
     /// Pause a reader (slow peer): entries queue up for it and any
@@ -243,6 +287,7 @@ impl<A: Addr> FanoutQueue<A> {
                 DumpStage::resume(el, dump);
             }
         }
+        self.note_metrics();
     }
 
     /// Entries currently queued (bounded by the slowest reader).
@@ -259,6 +304,11 @@ impl<A: Addr> FanoutQueue<A> {
     /// Deliver queued entries to every unpaused reader, then collect
     /// entries all readers have consumed.
     pub fn pump(&mut self, el: &mut EventLoop) {
+        if self.unpumped > 0 {
+            if let Some(m) = &self.metrics {
+                m.batch_size.observe(self.unpumped as u64);
+            }
+        }
         for (id, reader) in &mut self.readers {
             if reader.paused || reader.gated_off() {
                 continue;
@@ -287,6 +337,7 @@ impl<A: Addr> FanoutQueue<A> {
         }
         self.unpumped = 0;
         self.gc();
+        self.note_metrics();
     }
 
     /// Deliver queued entries to ONE reader — the dump stage's
@@ -317,6 +368,7 @@ impl<A: Addr> FanoutQueue<A> {
             }
         }
         self.gc();
+        self.note_metrics();
     }
 
     fn gc(&mut self) {
@@ -434,6 +486,9 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for FanoutQueue<A> {
         self.next_seq += 1;
         self.queue.push_back((seq, op));
         self.max_queue_len = self.max_queue_len.max(self.queue.len());
+        if let Some(m) = &self.metrics {
+            m.queue_len.set(self.queue.len() as i64);
+        }
         self.unpumped += 1;
         // Size-based flush: under coalescing, hold deliveries until the
         // threshold fills; the batch boundary (`push`) flushes early.

@@ -3,10 +3,16 @@
 use std::any::{Any, TypeId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+// parking_lot, not std::sync: a panic in a posting thread must not poison
+// the priority lane — supervision keepalives ride it, and a poisoned lane
+// would panic the whole loop on the next post or drain.
+use parking_lot::Mutex;
+use xorp_profiler::{Gauge, Histogram, Metrics};
 
 use crate::background::{BackgroundTask, SliceResult};
 use crate::time::{ClockKind, Time};
@@ -58,13 +64,26 @@ impl Ord for TimerEntry {
 pub struct EventSender {
     tx: Sender<RemoteEvent>,
     pri: Arc<Mutex<VecDeque<RemoteEvent>>>,
+    metrics: Arc<OnceLock<LoopMetrics>>,
+    /// Bulk-lane depth, counted from loop birth — the gauge attached
+    /// later by `set_metrics` mirrors this, so posts made before the
+    /// registry existed are never under-counted.
+    depth: Arc<AtomicI64>,
 }
 
 impl EventSender {
     /// Post a closure to run on the loop thread.  Returns `false` if the
     /// loop has been dropped.
     pub fn post<F: FnOnce(&mut EventLoop) + Send + 'static>(&self, f: F) -> bool {
-        self.tx.send(Box::new(f)).is_ok()
+        // Count BEFORE the send: once the event is in the channel the loop
+        // may consume (and decrement) it immediately, and a decrement that
+        // lands first would swing the depth negative.
+        note_bulk_change(&self.depth, &self.metrics, 1);
+        let ok = self.tx.send(Box::new(f)).is_ok();
+        if !ok {
+            note_bulk_change(&self.depth, &self.metrics, -1);
+        }
+        ok
     }
 
     /// Post a closure on the priority lane: it runs before anything still
@@ -76,11 +95,20 @@ impl EventSender {
     pub fn post_priority<F: FnOnce(&mut EventLoop) + Send + 'static>(&self, f: F) -> bool {
         // Push before the wakeup: once a blocked loop receives the no-op
         // marker on the bulk channel, the lane already holds the event.
-        self.pri
-            .lock()
-            .expect("priority lane lock")
-            .push_back(Box::new(f));
-        self.tx.send(Box::new(|_| {})).is_ok()
+        let depth = {
+            let mut lane = self.pri.lock();
+            lane.push_back(Box::new(f));
+            lane.len()
+        };
+        if let Some(m) = self.metrics.get() {
+            m.pri_depth.set(depth as i64);
+        }
+        note_bulk_change(&self.depth, &self.metrics, 1);
+        let ok = self.tx.send(Box::new(|_| {})).is_ok();
+        if !ok {
+            note_bulk_change(&self.depth, &self.metrics, -1);
+        }
+        ok
     }
 
     /// Ask the loop to stop after the current event.
@@ -110,6 +138,28 @@ pub struct EventLoop {
     cancelled_bg: HashSet<u64>,
     stopped: bool,
     slots: HashMap<TypeId, Box<dyn Any>>,
+    /// Loop health metrics, armed once by [`EventLoop::set_metrics`] and
+    /// shared with every [`EventSender`] (a sender handed out before the
+    /// registry was attached still reports once it is).
+    metrics: Arc<OnceLock<LoopMetrics>>,
+    /// Bulk-lane depth (see [`EventSender::depth`]).
+    depth: Arc<AtomicI64>,
+}
+
+/// The loop's own instrumentation: lane depths and timer slack.
+struct LoopMetrics {
+    bulk_depth: Gauge,
+    pri_depth: Gauge,
+    timer_slack_us: Histogram,
+}
+
+/// Apply a bulk-lane depth change to the always-present counter and
+/// mirror the new depth into the gauge when a registry is attached.
+fn note_bulk_change(depth: &AtomicI64, metrics: &OnceLock<LoopMetrics>, delta: i64) {
+    let now = depth.fetch_add(delta, Ordering::Relaxed) + delta;
+    if let Some(m) = metrics.get() {
+        m.bulk_depth.set(now);
+    }
 }
 
 impl Default for EventLoop {
@@ -148,6 +198,25 @@ impl EventLoop {
             cancelled_bg: HashSet::new(),
             stopped: false,
             slots: HashMap::new(),
+            metrics: Arc::new(OnceLock::new()),
+            depth: Arc::new(AtomicI64::new(0)),
+        }
+    }
+
+    /// Attach a metrics registry: the loop reports its bulk/priority lane
+    /// depths as gauges (`event.bulk_depth`, `event.pri_depth`) and timer
+    /// firing slack as a histogram (`event.timer_slack_us`).  First call
+    /// wins; later calls are ignored.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        let _ = self.metrics.set(LoopMetrics {
+            bulk_depth: metrics.gauge("event.bulk_depth"),
+            pri_depth: metrics.gauge("event.pri_depth"),
+            timer_slack_us: metrics.histogram("event.timer_slack_us"),
+        });
+        // Seed the gauge with whatever was already queued before the
+        // registry arrived — depth has been counted since loop birth.
+        if let Some(m) = self.metrics.get() {
+            m.bulk_depth.set(self.depth.load(Ordering::Relaxed));
         }
     }
 
@@ -169,6 +238,8 @@ impl EventLoop {
         EventSender {
             tx: self.tx.clone(),
             pri: self.pri.clone(),
+            metrics: self.metrics.clone(),
+            depth: self.depth.clone(),
         }
     }
 
@@ -325,13 +396,23 @@ impl EventLoop {
         }
         // Priority lane drains ahead of the bulk lane: control traffic
         // posted by reader threads must not wait behind a data backlog.
-        let pri = self.pri.lock().expect("priority lane lock").pop_front();
+        let pri = {
+            let mut lane = self.pri.lock();
+            let f = lane.pop_front();
+            if f.is_some() {
+                if let Some(m) = self.metrics.get() {
+                    m.pri_depth.set(lane.len() as i64);
+                }
+            }
+            f
+        };
         if let Some(f) = pri {
             f(self);
             return true;
         }
         match self.rx.try_recv() {
             Ok(f) => {
+                note_bulk_change(&self.depth, &self.metrics, -1);
                 f(self);
                 return true;
             }
@@ -357,6 +438,12 @@ impl EventLoop {
                 .expect("timer heap non-empty: peek returned Some");
             if self.cancelled.remove(&entry.id) {
                 continue; // cancelled; swallow and keep looking
+            }
+            if let Some(m) = self.metrics.get() {
+                // Slack: how late past its deadline the timer fired — the
+                // loop's scheduling-latency signal under load.
+                m.timer_slack_us
+                    .observe((now - entry.deadline).as_micros() as u64);
             }
             (entry.cb)(self);
             return true;
@@ -450,6 +537,7 @@ impl EventLoop {
                     let dur = wait_until - now;
                     match self.rx.recv_timeout(dur) {
                         Ok(f) => {
+                            note_bulk_change(&self.depth, &self.metrics, -1);
                             f(self);
                             n += 1;
                         }
@@ -484,7 +572,10 @@ impl EventLoop {
                         // a remote event; block for one.  Priority posts
                         // also wake this via their bulk-lane marker.
                         match self.rx.recv() {
-                            Ok(f) => f(self),
+                            Ok(f) => {
+                                note_bulk_change(&self.depth, &self.metrics, -1);
+                                f(self)
+                            }
                             Err(_) => return,
                         }
                     }
@@ -495,6 +586,7 @@ impl EventLoop {
                         .map(|d| d - self.now())
                         .unwrap_or(Duration::from_millis(100));
                     if let Ok(f) = self.rx.recv_timeout(wait.max(Duration::from_micros(1))) {
+                        note_bulk_change(&self.depth, &self.metrics, -1);
                         f(self)
                     }
                 }
@@ -794,6 +886,83 @@ mod tests {
     // successful peek; these tests drive every adversarial shape we could
     // construct (cancelled heads, fully-cancelled heaps, stale handles)
     // through both paths and must complete without panicking.
+
+    /// Regression for the poisoned-priority-lane bug: the lane used
+    /// `std::sync::Mutex` + `expect("priority lane lock")`, so a panic in
+    /// any posting thread poisoned the lock and the next `post_priority`
+    /// or drain panicked the whole event loop — the exact keepalive path
+    /// supervision depends on.  With `parking_lot::Mutex` there is no
+    /// poisoning: even a panic inside the critical section just unlocks,
+    /// so the lane survives any dying poster.
+    #[test]
+    fn panicking_poster_does_not_kill_the_loop() {
+        let mut el = EventLoop::new_virtual();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let sender = el.sender();
+        let c = counter.clone();
+        let t = std::thread::spawn(move || {
+            sender.post_priority(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            panic!("poster dies after posting");
+        });
+        assert!(t.join().is_err(), "poster thread must have panicked");
+        // The already-posted event still runs...
+        el.run_until_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        // ...and the lane still accepts and drains new posts, from other
+        // threads and in priority order.
+        let sender = el.sender();
+        let c = counter.clone();
+        let t = std::thread::spawn(move || {
+            assert!(sender.post_priority(move |_| {
+                c.fetch_add(10, Ordering::SeqCst);
+            }));
+        });
+        t.join().unwrap();
+        el.run_until_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn loop_metrics_report_lane_depths_and_timer_slack() {
+        use xorp_profiler::MetricValue;
+        let mut el = EventLoop::new_virtual();
+        let metrics = Metrics::new();
+        el.set_metrics(&metrics);
+        let sender = el.sender();
+        for _ in 0..3 {
+            sender.post(|_| {});
+        }
+        sender.post_priority(|_| {});
+        // Depth gauges track the posts (the priority marker rides the bulk
+        // lane too, hence 4).
+        match metrics.get("event.bulk_depth") {
+            Some(MetricValue::Gauge { max, .. }) => assert_eq!(max, 4),
+            other => panic!("bulk_depth: {other:?}"),
+        }
+        match metrics.get("event.pri_depth") {
+            Some(MetricValue::Gauge { max, .. }) => assert_eq!(max, 1),
+            other => panic!("pri_depth: {other:?}"),
+        }
+        el.run_until_idle();
+        match metrics.get("event.pri_depth") {
+            Some(MetricValue::Gauge { value, .. }) => assert_eq!(value, 0),
+            other => panic!("pri_depth: {other:?}"),
+        }
+        // A timer whose deadline (t=1s) is already 2s in the past when it
+        // fires shows 2s of slack.
+        el.run_until(Time::from_secs(3));
+        el.at(Time::from_secs(1), |_| {});
+        el.run_until_idle();
+        match metrics.get("event.timer_slack_us") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.max, 2_000_000);
+            }
+            other => panic!("timer_slack_us: {other:?}"),
+        }
+    }
 
     #[test]
     fn cancelled_head_timer_is_swallowed_without_panic() {

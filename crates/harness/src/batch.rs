@@ -21,7 +21,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use xorp_event::EventLoop;
-use xorp_profiler::Profiler;
+use xorp_profiler::PointHandle;
 use xorp_xrl::{AtomValue, Xrl, XrlArgs, XrlRouter};
 
 /// One buffered route row: direction, encoded atoms, profiling payload.
@@ -40,9 +40,9 @@ struct Inner {
     batch_size: usize,
     /// `None` flushes on idle (deferred); `Some(d)` arms a timer.
     flush_after: Option<Duration>,
-    profiler: Profiler,
-    /// Profiling point stamped per row when its frame is sent.
-    sent_point: &'static str,
+    /// Profiling point stamped per row when its frame is sent.  A
+    /// pre-resolved handle: dormant stamping costs one relaxed load.
+    sent_point: PointHandle,
     pending: Vec<Row>,
     /// A flush is already scheduled (timer or deferral) — don't stack
     /// another one per row.
@@ -65,8 +65,7 @@ impl RouteBatcher {
         iface: &str,
         batch_size: usize,
         flush_ms: u64,
-        profiler: Profiler,
-        sent_point: &'static str,
+        sent_point: PointHandle,
     ) -> RouteBatcher {
         RouteBatcher {
             inner: Rc::new(RefCell::new(Inner {
@@ -75,7 +74,6 @@ impl RouteBatcher {
                 iface: iface.to_string(),
                 batch_size: batch_size.max(1),
                 flush_after: (flush_ms > 0).then(|| Duration::from_millis(flush_ms)),
-                profiler,
                 sent_point,
                 pending: Vec::new(),
                 scheduled: false,
@@ -140,10 +138,7 @@ impl RouteBatcher {
                 b.iface.clone(),
             )
         };
-        let (profiler, sent_point) = {
-            let b = self.inner.borrow();
-            (b.profiler.clone(), b.sent_point)
-        };
+        let sent_point = self.inner.borrow().sent_point.clone();
         let mut run: Vec<Row> = Vec::new();
         let ship = |el: &mut EventLoop, run: &mut Vec<Row>| {
             if run.is_empty() {
@@ -156,7 +151,7 @@ impl RouteBatcher {
             };
             let mut encoded = Vec::with_capacity(run.len());
             for row in run.drain(..) {
-                profiler.record(sent_point, || row.payload.clone());
+                sent_point.record(|| row.payload.clone());
                 encoded.push(row.atoms);
             }
             let args = XrlArgs::new().add_rows("routes", encoded);

@@ -1,0 +1,206 @@
+//! `xorp-stats`: the §8.2 external observer as a tool.  Spawns the
+//! three-process router, drives a small workload, and then — from its own
+//! event loop, over the real XRL transport — polls any process's
+//! `profile/1.0` target for its profiling points and the shared metrics
+//! registry, printing the tables one-shot or periodically.
+//!
+//! The observer shares nothing with the observed processes but the
+//! Finder: every number printed crossed a socket, exactly as an operator
+//! console would see it.
+//!
+//! Usage: `xorp-stats [--routes N] [--target bgp|rib|fea]
+//!                    [--interval-ms N] [--iterations N] [--check]`
+//!
+//! With `--check`, asserts the whole surface end to end: enable over
+//! XRL, a stamped route flow with monotone timestamps, bounded
+//! `get_records` slices, and the registry serving every process's
+//! queue-depth gauges.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use xorp_harness::router::{MultiProcessRouter, RouterOptions};
+use xorp_harness::stats::{format_metrics_table, format_points_table};
+use xorp_harness::workload::{backbone_table, WorkloadConfig};
+use xorp_xrl::profile::{decode_metrics, decode_points, decode_records, ROUTE_FLOW_ALIAS};
+use xorp_xrl::{Xrl, XrlArgs, XrlError, XrlRouter};
+
+/// Send one XRL from the observer loop and spin until the reply lands.
+fn call(
+    el: &mut xorp_event::EventLoop,
+    router: &XrlRouter,
+    target: &str,
+    method: &str,
+    args: XrlArgs,
+) -> Result<XrlArgs, XrlError> {
+    let slot: Rc<RefCell<Option<Result<XrlArgs, XrlError>>>> = Rc::new(RefCell::new(None));
+    let s2 = slot.clone();
+    let xrl = Xrl::generic(target, "profile", "1.0", method, args);
+    router.send(
+        el,
+        xrl,
+        Box::new(move |_el, res| {
+            *s2.borrow_mut() = Some(res);
+        }),
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(res) = slot.borrow_mut().take() {
+            return res;
+        }
+        if Instant::now() > deadline {
+            return Err(XrlError::Transport(format!("{target}/{method} timed out")));
+        }
+        if !el.run_one() {
+            el.run_for(Duration::from_millis(1));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let int = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let routes = int("--routes", 500);
+    let interval_ms = int("--interval-ms", 0) as u64;
+    let iterations = int("--iterations", if interval_ms > 0 { 3 } else { 1 });
+    let target = args
+        .iter()
+        .position(|a| a == "--target")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "bgp".to_string());
+
+    // ---- the observed router --------------------------------------------
+    let router = MultiProcessRouter::new(RouterOptions::default());
+
+    // ---- the observer: its own loop, talking XRLs -----------------------
+    let mut el = xorp_event::EventLoop::new();
+    let observer = XrlRouter::new(&mut el, router.finder.clone());
+    observer.enable_tcp().unwrap();
+    observer.register_target("stats", "stats-0", true).unwrap();
+
+    // Arm the route-flow points over the wire, then drive the workload so
+    // there is something to see.
+    let reply = call(
+        &mut el,
+        &observer,
+        &target,
+        "enable",
+        XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
+    )
+    .expect("profile enable failed");
+    assert_eq!(reply.get_bool("ok"), Ok(true));
+
+    let table = backbone_table(&WorkloadConfig {
+        routes,
+        ..Default::default()
+    });
+    for batch in table.chunks(64) {
+        router.feed_backbone(1, batch);
+    }
+    assert!(
+        router.wait_for(Duration::from_secs(120), || {
+            router.fea_route_count() > routes
+        }),
+        "workload never converged: fea={}",
+        router.fea_route_count()
+    );
+
+    for iter in 0..iterations {
+        if iter > 0 {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+        let points = decode_points(
+            &call(&mut el, &observer, &target, "list", XrlArgs::new())
+                .expect("profile list failed"),
+        )
+        .expect("bad list reply");
+        print!(
+            "{}",
+            format_points_table(
+                &format!("[{target}] profiling points (iteration {iter})"),
+                &points
+            )
+        );
+
+        let metrics = decode_metrics(
+            &call(&mut el, &observer, &target, "get_metrics", XrlArgs::new())
+                .expect("profile get_metrics failed"),
+        )
+        .expect("bad metrics reply");
+        println!();
+        print!(
+            "{}",
+            format_metrics_table("shared metrics registry (all processes)", &metrics)
+        );
+        println!();
+
+        if check {
+            // The registry is shared: one target serves every process's
+            // instrumentation, fully qualified.
+            for name in [
+                "bgp.xrl.pending",
+                "bgp.fanout.queue_len",
+                "rib.xrl.pending",
+                "rib.batch_size",
+                "fea.event.bulk_depth",
+            ] {
+                assert!(
+                    metrics.iter().any(|m| m.name == name),
+                    "metric {name} missing from registry"
+                );
+            }
+            // All eight §8.2 points armed by the alias, and the BGP entry
+            // point saw the workload.
+            assert_eq!(points.len(), 8, "expected the 8 route-flow points");
+            assert!(points.iter().all(|p| p.enabled), "alias left a point off");
+            let bgpin = points.iter().find(|p| p.name == "route_bgpin").unwrap();
+            assert!(bgpin.len > 0, "no records buffered at route_bgpin");
+
+            // Drain it in bounded slices; stamps must be monotone.
+            let mut collected = Vec::new();
+            loop {
+                let slice = decode_records(
+                    &call(
+                        &mut el,
+                        &observer,
+                        &target,
+                        "get_records",
+                        XrlArgs::new()
+                            .add_str("point", "route_bgpin")
+                            .add_u32("max", 256),
+                    )
+                    .expect("profile get_records failed"),
+                )
+                .expect("bad records reply");
+                assert!(slice.records.len() <= 256, "slice overflowed max");
+                collected.extend(slice.records);
+                if slice.remaining == 0 {
+                    assert_eq!(slice.dropped, 0, "flood-dropped records in a small run");
+                    break;
+                }
+            }
+            assert_eq!(collected.len(), routes, "lost records across slices");
+            assert!(
+                collected.windows(2).all(|w| w[0].nanos <= w[1].nanos),
+                "timestamps not monotone"
+            );
+            println!(
+                "xorp-stats --check: ok ({} records, {} metrics)",
+                collected.len(),
+                metrics.len()
+            );
+        }
+    }
+
+    observer.shutdown(&mut el);
+    router.stop();
+}

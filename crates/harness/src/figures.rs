@@ -2,11 +2,36 @@
 
 use std::time::{Duration, Instant};
 
-use xorp_profiler::points;
+use xorp_profiler::{points, MetricValue};
 
 use crate::router::{MultiProcessRouter, RouterOptions};
 use crate::stats::{format_latency_table, latency_rows};
 use crate::workload::{backbone_table, test_route, WorkloadConfig};
+
+/// High-water mark of a gauge in the router's shared registry (0 when the
+/// metric was never registered).
+fn gauge_max(router: &MultiProcessRouter, name: &str) -> usize {
+    match router.metrics.get(name) {
+        Some(MetricValue::Gauge { max, .. }) => max.max(0) as usize,
+        _ => 0,
+    }
+}
+
+/// Live value of a gauge in the shared registry.
+fn gauge_value(router: &MultiProcessRouter, name: &str) -> i64 {
+    match router.metrics.get(name) {
+        Some(MetricValue::Gauge { value, .. }) => value,
+        _ => 0,
+    }
+}
+
+/// Current value of a counter in the shared registry.
+fn counter_value(router: &MultiProcessRouter, name: &str) -> u64 {
+    match router.metrics.get(name) {
+        Some(MetricValue::Counter(v)) => v,
+        _ => 0,
+    }
+}
 
 /// Everything a latency figure produces.
 pub struct LatencyOutcome {
@@ -178,13 +203,19 @@ pub fn peerup_experiment(initial: usize, probes: u32) -> PeerUpOutcome {
     router.peering_up(9);
     let mut overlapped = 0;
     for i in 0..probes {
-        if router.bgp_dump_in_flight(9) {
+        // The shared registry's dump gauge, refreshed by the fanout on
+        // every pump — the probe traffic itself keeps it live while the
+        // walk is in flight.
+        if gauge_value(&router, "bgp.fanout.dumps_in_flight") > 0 {
             overlapped += 1;
         }
         run_probes(&router, 2, nexthop, 1000 + i, 1);
     }
     let during = kernel_latencies(&router.profiler);
 
+    // Completion still polls the live cross-thread accessor: the gauge
+    // only refreshes on BGP-loop activity, so once probing stops it could
+    // hold its last value and park this wait forever.
     let ok = router.wait_for(Duration::from_secs(600), || !router.bgp_dump_in_flight(9));
     assert!(ok, "peer-up dump never finished");
     let dumped = router.bgp_announced_count(9);
@@ -298,30 +329,23 @@ pub fn storm_experiment(
     }
 
     // ---- the storm -------------------------------------------------------
+    // The queue peaks come from the shared registry's gauge high-water
+    // marks (`bgp.xrl.pending`, `bgp.xrl.lane_depth`,
+    // `bgp.fanout.queue_len`) — tracked by the writers themselves on
+    // every update, so no sampling loop can miss a spike between polls.
+    // The memory proxy has no gauge (it walks the whole table on demand)
+    // and keeps the sparse sampler.
     struct Peaks {
-        outstanding: usize,
-        lane: usize,
-        fanout: usize,
         mem: usize,
     }
     impl Peaks {
-        fn sample(&mut self, r: &MultiProcessRouter) {
-            self.outstanding = self.outstanding.max(r.bgp_outstanding_xrls());
-            self.lane = self.lane.max(r.bgp_rib_lane_depth());
-            self.fanout = self.fanout.max(r.bgp_fanout_queue_len());
-        }
         // The memory proxy walks the whole table — sampled sparsely so
         // the instrumentation doesn't become the load.
         fn sample_mem(&mut self, r: &MultiProcessRouter) {
             self.mem = self.mem.max(r.bgp_memory_bytes());
         }
     }
-    let mut peaks = Peaks {
-        outstanding: 0,
-        lane: 0,
-        fanout: 0,
-        mem: 0,
-    };
+    let mut peaks = Peaks { mem: 0 };
     let mut storm_probes: Vec<f64> = Vec::new();
     let table = backbone_table(&WorkloadConfig {
         routes,
@@ -342,9 +366,6 @@ pub fn storm_experiment(
                 router.withdraw_backbone(1, batch);
             }
             chunk_i += 1;
-            if chunk_i % 8 == 0 {
-                peaks.sample(&router);
-            }
             if chunk_i % 64 == 0 {
                 peaks.sample_mem(&router);
                 eprintln!(
@@ -375,7 +396,6 @@ pub fn storm_experiment(
     let mut tick = 0usize;
     let mut last_progress = Instant::now();
     while Instant::now() < deadline {
-        peaks.sample(&router);
         tick += 1;
         if last_progress.elapsed() > Duration::from_secs(2) {
             last_progress = Instant::now();
@@ -425,7 +445,12 @@ pub fn storm_experiment(
     }
     let elapsed_s = start.elapsed().as_secs_f64();
     // Both policed senders: a shed anywhere on the path is data loss.
-    let shed = router.bgp_shed_count() + router.rib_shed_count();
+    // (Registry counters — `xorp-stats` shows the same numbers live.)
+    let shed =
+        counter_value(&router, "bgp.xrl.shed_total") + counter_value(&router, "rib.xrl.shed_total");
+    let peak_outstanding = gauge_max(&router, "bgp.xrl.pending");
+    let peak_lane_depth = gauge_max(&router, "bgp.xrl.lane_depth");
+    let peak_fanout_queue = gauge_max(&router, "bgp.fanout.queue_len");
     restarts = restarts.max(router.supervised_restarts());
     router.stop();
 
@@ -450,9 +475,9 @@ pub fn storm_experiment(
          supervised restarts:            {restarts}\n\
          degraded:                       {degraded}\n\
          converged exactly:              {converged} ({:.1} s, {:.0} updates/s)",
-        peaks.outstanding,
-        peaks.lane,
-        peaks.fanout,
+        peak_outstanding,
+        peak_lane_depth,
+        peak_fanout_queue,
         peaks.mem as f64 / (1024.0 * 1024.0),
         elapsed_s,
         updates as f64 / elapsed_s,
@@ -461,9 +486,9 @@ pub fn storm_experiment(
         report,
         steady_probe_ms,
         storm_probe_max_ms,
-        peak_outstanding: peaks.outstanding,
-        peak_lane_depth: peaks.lane,
-        peak_fanout_queue: peaks.fanout,
+        peak_outstanding,
+        peak_lane_depth,
+        peak_fanout_queue,
         peak_memory_bytes: peaks.mem,
         shed,
         restarts,

@@ -40,12 +40,13 @@ use xorp_event::EventLoop;
 use xorp_fea::{test_iface, Fea, FibEntry};
 use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
 use xorp_policy::FilterBank;
-use xorp_profiler::{points, Profiler};
+use xorp_profiler::{points, Metrics, Profiler};
 use xorp_rib::redist::RedistSink;
 use xorp_rib::{BatchOp, RedistWatcher, Rib};
 use xorp_rtrmgr::{SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
 use xorp_stages::RouteOp;
 use xorp_xrl::keepalive;
+use xorp_xrl::profile::add_profile_responder;
 use xorp_xrl::{
     AtomValue, CongestionSignal, FaultConfig, Finder, QueuePolicy, RetryPolicy, Xrl, XrlArgs,
     XrlError, XrlRouter,
@@ -153,6 +154,10 @@ impl Default for RouterOptions {
 pub struct MultiProcessRouter {
     /// Shared profiler (all eight §8.2 points).
     pub profiler: Profiler,
+    /// Shared metrics registry.  Every process writes through a scoped
+    /// view (`bgp.`, `rib.`, `fea.`, `rtrmgr.`); any process's
+    /// `profile/1.0/get_metrics` serves the whole registry.
+    pub metrics: Metrics,
     /// The broker.
     pub finder: Finder,
     bgp: SharedBgp,
@@ -290,6 +295,9 @@ fn decode_delete_row(i: usize, row: &[AtomValue]) -> Result<(Ipv4Net, ProtocolId
 struct BgpFactory {
     finder: Finder,
     profiler: Profiler,
+    /// Scoped (`bgp.`) view of the shared registry.  Registration is
+    /// idempotent, so a respawned process reattaches to the same slots.
+    metrics: Metrics,
     local_as: u32,
     peers: Vec<(u32, u32)>,
     down_peers: Vec<u32>,
@@ -305,6 +313,7 @@ struct BgpFactory {
 impl BgpFactory {
     fn spawn(&self) -> Process {
         let profiler = self.profiler.clone();
+        let metrics = self.metrics.clone();
         let peers = self.peers.clone();
         let down_peers = self.down_peers.clone();
         let peer_policies = self.peer_policies.clone();
@@ -317,6 +326,8 @@ impl BgpFactory {
         let batch_flush_ms = self.batch_flush_ms;
         Process::spawn("bgp", self.finder.clone(), move |el, router| {
             knobs(router);
+            router.set_metrics(&metrics);
+            el.set_metrics(&metrics);
             let config = BgpConfig {
                 local_as: xorp_net::AsNum(local_as),
                 router_id: "10.255.0.1".parse().unwrap(),
@@ -325,9 +336,11 @@ impl BgpFactory {
             };
             let mut bgp = BgpProcess::new(config, Rc::new(XrlNexthopService));
             bgp.set_profiler(profiler.clone());
+            bgp.set_metrics(&metrics);
 
             // Best routes → RIB over XRLs (points 2 and 3).
-            let out_profiler = profiler.clone();
+            let queued_rib = profiler.point(points::QUEUED_FOR_RIB);
+            let sent_rib = profiler.point(points::SENT_TO_RIB);
             let xrl_router = router.clone();
             let batcher = (batch_size > 1).then(|| {
                 RouteBatcher::new(
@@ -336,8 +349,7 @@ impl BgpFactory {
                     "rib",
                     batch_size,
                     batch_flush_ms,
-                    profiler.clone(),
-                    points::SENT_TO_RIB,
+                    sent_rib.clone(),
                 )
             });
             if let Some(batcher) = batcher.clone() {
@@ -357,7 +369,7 @@ impl BgpFactory {
                         ),
                     };
                     let payload = format!("{what} {net}");
-                    out_profiler.record(points::QUEUED_FOR_RIB, || payload.clone());
+                    queued_rib.record(|| payload.clone());
                     batcher.push(el, add, row, payload);
                 });
             } else {
@@ -375,12 +387,12 @@ impl BgpFactory {
                             "del",
                         ),
                     };
-                    out_profiler.record(points::QUEUED_FOR_RIB, || format!("{what} {net}"));
+                    queued_rib.record(|| format!("{what} {net}"));
                     let xrl = Xrl::generic("rib", "rib", "1.0", method, args);
                     // Stamp before the send: once the frame is on the wire the
                     // peer's reader thread may stamp its arrival point first,
                     // breaking pipeline monotonicity.
-                    out_profiler.record(points::SENT_TO_RIB, || format!("{what} {net}"));
+                    sent_rib.record(|| format!("{what} {net}"));
                     xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
                 });
             }
@@ -446,6 +458,7 @@ impl BgpFactory {
 
             router.register_target("bgp", "bgp-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "bgp-0");
+            add_profile_responder(router, "bgp-0", &profiler, &metrics);
             let b = bgp.clone();
             router.add_fn("bgp-0", "bgp/1.0/invalidate", move |el, args| {
                 let net = args.get_ipv4net("net")?;
@@ -490,6 +503,7 @@ impl MultiProcessRouter {
     pub fn new(options: RouterOptions) -> MultiProcessRouter {
         let finder = Finder::new();
         let profiler = Profiler::new();
+        let metrics = Metrics::new();
 
         // Every process gets the same fault plan and retry policy; fault
         // decision streams still diverge per lane (peer address).
@@ -510,9 +524,12 @@ impl MultiProcessRouter {
 
         // ---- FEA process ----------------------------------------------------
         let fea_profiler = profiler.clone();
+        let fea_metrics = metrics.scoped("fea");
         let knobs = apply_knobs.clone();
         let fea = Process::spawn("fea", finder.clone(), move |el, router| {
             knobs(router);
+            router.set_metrics(&fea_metrics);
+            el.set_metrics(&fea_metrics);
             let mut fea = Fea::new();
             fea.configure_interface(test_iface("eth0", "192.168.0.1", 16));
             fea.set_profiler(fea_profiler.clone());
@@ -521,11 +538,13 @@ impl MultiProcessRouter {
 
             router.register_target("fea", "fea-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "fea-0");
-            let profiler = fea_profiler.clone();
+            add_profile_responder(router, "fea-0", &fea_profiler, &fea_metrics);
+            let fea_in = fea_profiler.point(points::FEA_IN);
+            let point = fea_in.clone();
             let f = fea.clone();
             router.add_fn("fea-0", "fea/1.0/add_route", move |_el, args| {
                 let net = args.get_ipv4net("net")?;
-                profiler.record(points::FEA_IN, || format!("add {net}"));
+                point.record(|| format!("add {net}"));
                 let entry = FibEntry {
                     net,
                     nexthop: IpAddr::V4(args.get_ipv4("nexthop")?),
@@ -542,17 +561,17 @@ impl MultiProcessRouter {
                 f.borrow_mut().add_route4(entry); // stamps KERNEL
                 Ok(XrlArgs::new())
             });
-            let profiler = fea_profiler.clone();
+            let point = fea_in.clone();
             let f = fea.clone();
             router.add_fn("fea-0", "fea/1.0/delete_route", move |_el, args| {
                 let net = args.get_ipv4net("net")?;
-                profiler.record(points::FEA_IN, || format!("del {net}"));
+                point.record(|| format!("del {net}"));
                 f.borrow_mut().delete_route4(&net);
                 Ok(XrlArgs::new())
             });
             // Vectorized twins of add_route/delete_route — N FIB edits per
             // frame.  All rows are validated before any is applied.
-            let profiler = fea_profiler.clone();
+            let point = fea_in.clone();
             let f = fea.clone();
             router.add_fn("fea-0", "fea/1.0/add_routes", move |_el, args| {
                 let rows = args.get_rows("routes")?;
@@ -562,7 +581,7 @@ impl MultiProcessRouter {
                 }
                 let n = parsed.len();
                 for p in parsed {
-                    profiler.record(points::FEA_IN, || format!("add {}", p.net));
+                    point.record(|| format!("add {}", p.net));
                     f.borrow_mut().add_route4(FibEntry {
                         net: p.net,
                         nexthop: IpAddr::V4(p.nexthop),
@@ -576,7 +595,7 @@ impl MultiProcessRouter {
                 }
                 Ok(XrlArgs::new().add_u32("count", n as u32))
             });
-            let profiler = fea_profiler.clone();
+            let point = fea_in.clone();
             let f = fea.clone();
             router.add_fn("fea-0", "fea/1.0/delete_routes", move |_el, args| {
                 let rows = args.get_rows("routes")?;
@@ -586,7 +605,7 @@ impl MultiProcessRouter {
                 }
                 let n = parsed.len();
                 for net in parsed {
-                    profiler.record(points::FEA_IN, || format!("del {net}"));
+                    point.record(|| format!("del {net}"));
                     f.borrow_mut().delete_route4(&net);
                 }
                 Ok(XrlArgs::new().add_u32("count", n as u32))
@@ -599,6 +618,7 @@ impl MultiProcessRouter {
 
         // ---- RIB process ----------------------------------------------------
         let rib_profiler = profiler.clone();
+        let rib_metrics = metrics.scoped("rib");
         let check = options.consistency_check;
         let knobs = apply_knobs.clone();
         let grace = supervision.map(|cfg| cfg.grace_period);
@@ -607,6 +627,8 @@ impl MultiProcessRouter {
         let rib_delay = options.rib_delay_ms;
         let rib = Process::spawn("rib", finder.clone(), move |el, router| {
             knobs(router);
+            router.set_metrics(&rib_metrics);
+            el.set_metrics(&rib_metrics);
             // Busy-RIB model for the overload experiments: route XRLs are
             // applied on arrival but acknowledged only after `delay`, so
             // the sender sees a slow consumer and its lane backs up.
@@ -623,6 +645,7 @@ impl MultiProcessRouter {
                     }
                 };
             let rib = Rc::new(RefCell::new(Rib::<Ipv4Addr>::new(check)));
+            rib.borrow_mut().set_metrics(&rib_metrics);
             el.set_slot(RibSlot(rib.clone()));
 
             // §4.1: "if a routing protocol dies, the RIB will deregister all
@@ -662,7 +685,8 @@ impl MultiProcessRouter {
             // consumer for the Xoff, the RIB would pump its own lane
             // through the hard cap and silently shed installs, leaving
             // the FIB permanently short of the RIB.
-            let profiler = rib_profiler.clone();
+            let queued_fea = rib_profiler.point(points::QUEUED_FOR_FEA);
+            let sent_fea = rib_profiler.point(points::SENT_TO_FEA);
             let xrl_router = router.clone();
             let batcher = (batch_size > 1).then(|| {
                 RouteBatcher::new(
@@ -671,8 +695,7 @@ impl MultiProcessRouter {
                     "fea",
                     batch_size,
                     batch_flush_ms,
-                    profiler.clone(),
-                    points::SENT_TO_FEA,
+                    sent_fea.clone(),
                 )
             });
             let sink: RedistSink<Ipv4Addr> = match batcher.clone() {
@@ -685,7 +708,7 @@ impl MultiProcessRouter {
                         RouteOp::Delete { .. } => (false, vec![AtomValue::Ipv4Net(net)], "del"),
                     };
                     let payload = format!("{what} {net}");
-                    profiler.record(points::QUEUED_FOR_FEA, || payload.clone());
+                    queued_fea.record(|| payload.clone());
                     batcher.push(el, add, row, payload);
                 }),
                 None => Rc::new(move |el, op| {
@@ -700,10 +723,10 @@ impl MultiProcessRouter {
                             "del",
                         ),
                     };
-                    profiler.record(points::QUEUED_FOR_FEA, || format!("{what} {net}"));
+                    queued_fea.record(|| format!("{what} {net}"));
                     let xrl = Xrl::generic("fea", "fea", "1.0", method, args);
                     // Stamp before the send (see the RIB-ward path above).
-                    profiler.record(points::SENT_TO_FEA, || format!("{what} {net}"));
+                    sent_fea.record(|| format!("{what} {net}"));
                     xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
                 }),
             };
@@ -770,12 +793,14 @@ impl MultiProcessRouter {
 
             router.register_target("rib", "rib-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "rib-0");
-            let profiler = rib_profiler.clone();
+            add_profile_responder(router, "rib-0", &rib_profiler, &rib_metrics);
+            let rib_in = rib_profiler.point(points::RIB_IN);
+            let point = rib_in.clone();
             let r = rib.clone();
             router.add_handler("rib-0", "rib/1.0/add_route", move |el, args, responder| {
                 let reply = (|| {
                     let net = args.get_ipv4net("net")?;
-                    profiler.record(points::RIB_IN, || format!("add {net}"));
+                    point.record(|| format!("add {net}"));
                     let proto =
                         ProtocolId::from_name(&args.get_text("proto")?).unwrap_or(ProtocolId::Ebgp);
                     let mut attrs = PathAttributes::new(IpAddr::V4(args.get_ipv4("nexthop")?));
@@ -791,7 +816,7 @@ impl MultiProcessRouter {
                 })();
                 reply_after(el, responder, reply);
             });
-            let profiler = rib_profiler.clone();
+            let point = rib_in.clone();
             let r = rib.clone();
             router.add_handler(
                 "rib-0",
@@ -799,7 +824,7 @@ impl MultiProcessRouter {
                 move |el, args, responder| {
                     let reply = (|| {
                         let net = args.get_ipv4net("net")?;
-                        profiler.record(points::RIB_IN, || format!("del {net}"));
+                        point.record(|| format!("del {net}"));
                         let proto = ProtocolId::from_name(&args.get_text("proto")?)
                             .unwrap_or(ProtocolId::Ebgp);
                         r.borrow_mut().delete_route(el, proto, net);
@@ -812,7 +837,7 @@ impl MultiProcessRouter {
             // Rib::apply_batch (one resolve/redistribution pass).  Row
             // validation is transactional — a malformed row rejects the
             // whole frame before any route is applied.
-            let profiler = rib_profiler.clone();
+            let point = rib_in.clone();
             let r = rib.clone();
             router.add_handler("rib-0", "rib/1.0/add_routes", move |el, args, responder| {
                 let reply = (|| {
@@ -823,7 +848,7 @@ impl MultiProcessRouter {
                     }
                     let mut ops = Vec::with_capacity(parsed.len());
                     for p in parsed {
-                        profiler.record(points::RIB_IN, || format!("add {}", p.net));
+                        point.record(|| format!("add {}", p.net));
                         let mut attrs = PathAttributes::new(IpAddr::V4(p.nexthop));
                         attrs.ebgp = p.proto == ProtocolId::Ebgp;
                         let mut route = RouteEntry::new(p.net, Arc::new(attrs), p.metric, p.proto);
@@ -837,7 +862,7 @@ impl MultiProcessRouter {
                 })();
                 reply_after(el, responder, reply);
             });
-            let profiler = rib_profiler.clone();
+            let point = rib_in.clone();
             let r = rib.clone();
             router.add_handler(
                 "rib-0",
@@ -851,7 +876,7 @@ impl MultiProcessRouter {
                         }
                         let mut ops = Vec::with_capacity(parsed.len());
                         for (net, proto) in parsed {
-                            profiler.record(points::RIB_IN, || format!("del {net}"));
+                            point.record(|| format!("del {net}"));
                             ops.push(BatchOp::Delete { proto, net });
                         }
                         let n = r.borrow_mut().apply_batch(el, ops);
@@ -902,6 +927,7 @@ impl MultiProcessRouter {
         let factory = Arc::new(BgpFactory {
             finder: finder.clone(),
             profiler: profiler.clone(),
+            metrics: metrics.scoped("bgp"),
             local_as: options.local_as,
             peers: options.peers.clone(),
             down_peers: options.down_peers.clone(),
@@ -920,6 +946,7 @@ impl MultiProcessRouter {
         let sup_state = supervision.map(|cfg| {
             let mut sup = Supervisor::new(cfg);
             sup.manage("bgp");
+            sup.set_metrics(&metrics.scoped("rtrmgr"));
             Arc::new(Mutex::new(sup))
         });
         let supervisor = sup_state.as_ref().map(|sup| {
@@ -929,8 +956,12 @@ impl MultiProcessRouter {
             let factory = factory.clone();
             let shared = bgp.clone();
             let restarts = restarts.clone();
+            let sup_profiler = profiler.clone();
+            let sup_metrics = metrics.scoped("rtrmgr");
             Process::spawn("rtrmgr", finder.clone(), move |el, router| {
                 knobs(router);
+                router.set_metrics(&sup_metrics);
+                el.set_metrics(&sup_metrics);
                 // Probes run on a short leash: a hung component must
                 // classify as a miss within roughly one keepalive
                 // interval, not wait out the data-plane retry policy.
@@ -941,7 +972,10 @@ impl MultiProcessRouter {
                 }));
                 router.register_target("rtrmgr", "rtrmgr-0", true).unwrap();
                 keepalive::add_keepalive_responder(router, "rtrmgr-0");
+                add_profile_responder(router, "rtrmgr-0", &sup_profiler, &sup_metrics);
 
+                // Probe round-trip latency, µs (§3.1 liveness telemetry).
+                let probe_latency = sup_metrics.histogram("probe_latency_us");
                 let probe_router = router.clone();
                 el.every(cfg.keepalive_interval, move |el| {
                     let now = Duration::from_nanos(el.now().as_nanos());
@@ -964,11 +998,16 @@ impl MultiProcessRouter {
                     if sup.lock().should_probe("bgp") {
                         let sup = sup.clone();
                         let flush_router = probe_router.clone();
+                        let probe_latency = probe_latency.clone();
+                        let t0 = Instant::now();
                         keepalive::probe_liveness(
                             &probe_router,
                             el,
                             "bgp",
                             move |el, alive, congested| {
+                                if alive {
+                                    probe_latency.observe(t0.elapsed().as_micros() as u64);
+                                }
                                 let now = Duration::from_nanos(el.now().as_nanos());
                                 let verdict = sup.lock().record_probe("bgp", alive, now);
                                 if alive {
@@ -1001,6 +1040,7 @@ impl MultiProcessRouter {
 
         MultiProcessRouter {
             profiler,
+            metrics,
             finder,
             bgp,
             _rib: rib,

@@ -1,8 +1,10 @@
-//! Report formatting: the paper-style latency tables of Figures 10–12.
+//! Report formatting: the paper-style latency tables of Figures 10–12,
+//! plus the `xorp-stats` metrics and profiling-point tables.
 
 use std::collections::HashMap;
 
-use xorp_profiler::{points, LatencyStats, Profiler, Record};
+use xorp_profiler::{points, LatencyStats, PointInfo, Profiler, Record};
+use xorp_xrl::profile::MetricRow;
 
 /// One row of the Figure 10–12 tables.
 #[derive(Debug, Clone)]
@@ -87,6 +89,43 @@ pub fn format_latency_table(title: &str, rows: &[LatencyRow]) -> String {
                 row.label, s.avg_ms, s.sd_ms, s.min_ms, s.max_ms
             )),
         }
+    }
+    out
+}
+
+/// Render a `profile/1.0/get_metrics` reply as an aligned table.
+pub fn format_metrics_table(title: &str, rows: &[MetricRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<36} {:<10} {:>12}  {}\n",
+        "Metric", "Kind", "Value", "Detail"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<36} {:<10} {:>12}  {}\n",
+            row.name, row.kind, row.primary, row.detail
+        ));
+    }
+    out
+}
+
+/// Render a `profile/1.0/list` reply as an aligned table.
+pub fn format_points_table(title: &str, points: &[PointInfo]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<20} {:>8} {:>10} {:>10}\n",
+        "Point", "Enabled", "Buffered", "Dropped"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<20} {:>8} {:>10} {:>10}\n",
+            p.name,
+            if p.enabled { "yes" } else { "no" },
+            p.len,
+            p.dropped
+        ));
     }
     out
 }

@@ -1,0 +1,588 @@
+//! Scalar runtime metrics: counters, gauges and bounded histograms.
+//!
+//! The profiler half of this crate answers "*when* did route X pass point
+//! Y"; this module answers "*how much* — queue depths, shed counts, restart
+//! budgets, probe latencies" — the overload and supervision state earlier
+//! PRs accumulated in scattered ad-hoc fields, now in one registry the
+//! `profile/1.0` XRL target can export cross-process.
+//!
+//! Design constraints, in order:
+//!
+//! * **hot-path writes are lock-free** — a [`Counter`], [`Gauge`] or
+//!   [`Histogram`] handle is an `Arc` of atomics; `inc`/`set`/`observe`
+//!   never take a lock, so instrumentation is safe inside the XRL router's
+//!   send path and the event loop's drain loop;
+//! * **registration is idempotent** — asking for the same name returns the
+//!   same underlying atomics, so a respawned BGP process reattaches to its
+//!   counters and totals survive supervised restarts;
+//! * **memory is bounded** — histograms are 64 fixed log2 buckets, never a
+//!   sample list;
+//! * **cheaply clonable** — like [`crate::Profiler`], a [`Metrics`] clone
+//!   shares the registry; [`Metrics::scoped`] adds a name prefix (one
+//!   registry, per-process namespaces: `bgp.xrl.shed_total`).
+//!
+//! Readers call [`Metrics::snapshot`]; a snapshot is a point-in-time copy
+//! taken with relaxed loads — individual metrics are exact, cross-metric
+//! consistency is not promised (nor needed for a stats poller).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing event count.
+#[derive(Clone, Default)]
+pub struct Counter {
+    n: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.n.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `by`.
+    #[inline]
+    pub fn add(&self, by: u64) {
+        self.n.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.n.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, in-flight count) that also tracks
+/// its high-water mark, so peaks need no sampling loop: `max()` after a run
+/// is the true peak no matter how briefly it stood.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<GaugeCell>,
+}
+
+#[derive(Default)]
+struct GaugeCell {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the level (and advance the high-water mark).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.value.store(v, Ordering::Relaxed);
+        self.value.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Add a delta (and advance the high-water mark).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let now = self.value.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.value.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation (or last [`Gauge::reset_max`]).
+    pub fn max(&self) -> i64 {
+        self.value.max.load(Ordering::Relaxed)
+    }
+
+    /// Restart peak tracking from the current level.
+    pub fn reset_max(&self) {
+        self.value
+            .max
+            .store(self.value.value.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Number of log2 buckets: bucket `i` counts samples whose value has
+/// `i` significant bits, i.e. `v == 0` → bucket 0, otherwise
+/// `64 - v.leading_zeros()`.  Covers the full `u64` range in fixed space.
+const BUCKETS: usize = 65;
+
+/// A fixed-size log2 histogram of `u64` samples (latencies in µs, batch
+/// sizes).  Bounded by construction: 65 buckets plus count/sum/max, never a
+/// sample list.
+#[derive(Clone)]
+pub struct Histogram {
+    h: Arc<HistogramCell>,
+}
+
+struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            h: Arc::new(HistogramCell {
+                buckets: [const { AtomicU64::new(0) }; BUCKETS],
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Upper bound of bucket `i` (inclusive): the largest value that lands in it.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.h.sum.fetch_add(v, Ordering::Relaxed);
+        self.h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the distribution.  `count` is derived from
+    /// the buckets, so it always equals their sum even while writers race
+    /// the copy (there is no separate count to fall out of step).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (b, src) in buckets.iter_mut().zip(self.h.buckets.iter()) {
+            *b = src.load(Ordering::Relaxed);
+            count += *b;
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.h.sum.load(Ordering::Relaxed),
+            max: self.h.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copied-out histogram, with derived statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=1): the upper bound of the bucket
+    /// containing the q-th sample, so at most one power of two above the
+    /// true value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One metric's name and value in a [`Metrics::snapshot`].
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    pub name: String,
+    pub value: MetricValue,
+}
+
+/// A snapshotted metric value.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge { value: i64, max: i64 },
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl MetricValue {
+    /// Kind tag as used on the `profile/1.0/get_metrics` wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge { .. } => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+
+    /// The single most useful number: total, level, or sample count.
+    pub fn primary(&self) -> i64 {
+        match self {
+            MetricValue::Counter(n) => *n as i64,
+            MetricValue::Gauge { value, .. } => *value,
+            MetricValue::Histogram(h) => h.count as i64,
+        }
+    }
+
+    /// Human-readable rendering for tables and the wire's detail column.
+    pub fn render(&self) -> String {
+        match self {
+            MetricValue::Counter(n) => format!("{n}"),
+            MetricValue::Gauge { value, max } => format!("{value} (max {max})"),
+            MetricValue::Histogram(h) => {
+                if h.count == 0 {
+                    "n=0".to_string()
+                } else {
+                    format!(
+                        "n={} mean={:.1} p99<={} max={}",
+                        h.count,
+                        h.mean(),
+                        h.quantile(0.99),
+                        h.max
+                    )
+                }
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    slots: BTreeMap<String, Slot>,
+}
+
+/// The shared metrics registry.  Clones share state; [`Metrics::scoped`]
+/// clones share state under a longer name prefix.
+#[derive(Clone)]
+pub struct Metrics {
+    prefix: String,
+    inner: Arc<RwLock<Registry>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            prefix: String::new(),
+            inner: Arc::new(RwLock::new(Registry::default())),
+        }
+    }
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// A view of the same registry that prepends `prefix` + `.` to every
+    /// name — how the harness gives each process its namespace while the
+    /// `profile/1.0` target exports the single global table.
+    pub fn scoped(&self, prefix: &str) -> Metrics {
+        let prefix = if self.prefix.is_empty() {
+            format!("{prefix}.")
+        } else {
+            format!("{}{prefix}.", self.prefix)
+        };
+        Metrics {
+            prefix,
+            inner: self.inner.clone(),
+        }
+    }
+
+    fn full(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
+    /// The counter named `name` (in this view's scope), registering it on
+    /// first use.  The same name always yields the same underlying total;
+    /// a name already registered as a different kind yields a detached
+    /// handle (counted nowhere) rather than a panic.
+    pub fn counter(&self, name: &str) -> Counter {
+        let full = self.full(name);
+        if let Some(Slot::Counter(c)) = self.inner.read().slots.get(&full) {
+            return c.clone();
+        }
+        let mut reg = self.inner.write();
+        match reg
+            .slots
+            .entry(full)
+            .or_insert_with(|| Slot::Counter(Counter::default()))
+        {
+            Slot::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let full = self.full(name);
+        if let Some(Slot::Gauge(g)) = self.inner.read().slots.get(&full) {
+            return g.clone();
+        }
+        let mut reg = self.inner.write();
+        match reg
+            .slots
+            .entry(full)
+            .or_insert_with(|| Slot::Gauge(Gauge::default()))
+        {
+            Slot::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let full = self.full(name);
+        if let Some(Slot::Histogram(h)) = self.inner.read().slots.get(&full) {
+            return h.clone();
+        }
+        let mut reg = self.inner.write();
+        match reg
+            .slots
+            .entry(full)
+            .or_insert_with(|| Slot::Histogram(Histogram::default()))
+        {
+            Slot::Histogram(h) => h.clone(),
+            _ => Histogram::default(),
+        }
+    }
+
+    /// Every registered metric (whole registry, ignoring this view's
+    /// prefix), sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        self.inner
+            .read()
+            .slots
+            .iter()
+            .map(|(name, slot)| MetricSample {
+                name: name.clone(),
+                value: match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge {
+                        value: g.get(),
+                        max: g.max(),
+                    },
+                    Slot::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect()
+    }
+
+    /// Convenience for tests and assertions: the snapshot value of one
+    /// fully qualified name.
+    pub fn get(&self, full_name: &str) -> Option<MetricValue> {
+        let reg = self.inner.read();
+        reg.slots.get(full_name).map(|slot| match slot {
+            Slot::Counter(c) => MetricValue::Counter(c.get()),
+            Slot::Gauge(g) => MetricValue::Gauge {
+                value: g.get(),
+                max: g.max(),
+            },
+            Slot::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let m = Metrics::new();
+        let a = m.counter("xrl.shed_total");
+        let b = m.counter("xrl.shed_total");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        match m.get("xrl.shed_total") {
+            Some(MetricValue::Counter(5)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gauges_track_high_water_marks() {
+        let m = Metrics::new();
+        let g = m.gauge("depth");
+        g.set(3);
+        g.set(17);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.max(), 17);
+        g.add(5);
+        assert_eq!((g.get(), g.max()), (7, 17));
+        g.reset_max();
+        assert_eq!(g.max(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let m = Metrics::new();
+        let h = m.histogram("lat_us");
+        for v in [0, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1_001_106);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 1_000_000);
+        // p50 is the 4th of 7 samples (value 3) → bucket upper bound 3.
+        assert_eq!(s.quantile(0.5), 3);
+        assert!((s.mean() - 1_001_106.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn scoped_views_share_the_registry() {
+        let m = Metrics::new();
+        let bgp = m.scoped("bgp");
+        let nested = bgp.scoped("fanout");
+        bgp.counter("xrl.shed_total").add(2);
+        nested.gauge("queue_len").set(9);
+        let names: Vec<String> = m.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["bgp.fanout.queue_len", "bgp.xrl.shed_total"]);
+        // The unscoped view reaches the same counter by full name.
+        m.counter("bgp.xrl.shed_total").inc();
+        assert_eq!(bgp.counter("xrl.shed_total").get(), 3);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle_not_panic() {
+        let m = Metrics::new();
+        m.counter("x").inc();
+        let g = m.gauge("x");
+        g.set(99);
+        match m.get("x") {
+            Some(MetricValue::Counter(1)) => {}
+            other => panic!("registry slot clobbered: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_and_primary() {
+        let m = Metrics::new();
+        m.counter("c").add(7);
+        m.gauge("g").set(3);
+        let h = m.histogram("h");
+        h.observe(10);
+        let snap = m.snapshot();
+        let by_name: BTreeMap<String, MetricValue> =
+            snap.into_iter().map(|s| (s.name, s.value)).collect();
+        assert_eq!(by_name["c"].primary(), 7);
+        assert_eq!(by_name["c"].render(), "7");
+        assert_eq!(by_name["g"].primary(), 3);
+        assert_eq!(by_name["g"].render(), "3 (max 3)");
+        assert_eq!(by_name["h"].primary(), 1);
+        assert!(by_name["h"].render().starts_with("n=1 "));
+        assert_eq!(by_name["c"].kind(), "counter");
+        assert_eq!(by_name["g"].kind(), "gauge");
+        assert_eq!(by_name["h"].kind(), "histogram");
+    }
+
+    /// The satellite concurrency test: N writer threads hammer a counter
+    /// and a histogram while a reader snapshots continuously.  Every
+    /// snapshot must be internally sane, and the final totals exactly
+    /// conserved.
+    #[test]
+    fn concurrent_writers_with_snapshotting_reader_conserve_totals() {
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 50_000;
+        let m = Metrics::new();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let reader = {
+            let m = m.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut last_count = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(MetricValue::Histogram(h)) = m.get("lat_us") {
+                        let bucket_total: u64 = h.buckets.iter().sum();
+                        assert_eq!(bucket_total, h.count, "buckets must sum to count");
+                        assert!(h.count >= last_count, "count must be monotone");
+                        last_count = h.count;
+                    }
+                }
+            })
+        };
+
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let c = m.counter("events_total");
+                let g = m.gauge("depth");
+                let h = m.histogram("lat_us");
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        c.inc();
+                        h.observe(w * 1000 + i % 7);
+                        g.add(1);
+                        g.add(-1);
+                    }
+                })
+            })
+            .collect();
+        for t in writers {
+            t.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+
+        let total = WRITERS * PER_WRITER;
+        assert_eq!(m.counter("events_total").get(), total);
+        let Some(MetricValue::Histogram(h)) = m.get("lat_us") else {
+            panic!("histogram missing");
+        };
+        assert_eq!(h.count, total);
+        assert_eq!(h.buckets.iter().sum::<u64>(), total);
+        let g = m.gauge("depth");
+        assert_eq!(g.get(), 0);
+        assert!(g.max() >= 1 && g.max() <= WRITERS as i64);
+    }
+}

@@ -8,6 +8,7 @@ use std::rc::Rc;
 use xorp_event::EventLoop;
 use xorp_net::{Addr, Prefix, ProtocolId, RouteEntry};
 use xorp_policy::PolicyTarget;
+use xorp_profiler::{Counter, Histogram, Metrics};
 use xorp_stages::{stage_ref, CacheStage, DumpSource, FnStage, OriginId, RouteOp, Stage};
 
 use crate::extint::ExtIntStage;
@@ -64,6 +65,16 @@ where
     redist: Rc<RefCell<RedistStage<A>>>,
     register: Rc<RefCell<RegisterStage<A>>>,
     next_origin: u32,
+    metrics: Option<RibMetrics>,
+}
+
+/// Registry handles for the RIB's pipeline work.
+struct RibMetrics {
+    /// `rib.batch_size` — operations per applied batch.
+    batch_size: Histogram,
+    /// `rib.stale_swept_total` — routes withdrawn by graceful-restart
+    /// sweeps (never re-advertised in time).
+    stale_swept: Counter,
 }
 
 impl<A: Addr> Rib<A>
@@ -100,7 +111,19 @@ where
             redist,
             register,
             next_origin: 1,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: applied batch sizes become the
+    /// `batch_size` histogram and graceful-restart sweep withdrawals the
+    /// `stale_swept_total` counter (callers pass a process-scoped view,
+    /// e.g. `rib.batch_size` from the harness).
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = Some(RibMetrics {
+            batch_size: metrics.histogram("batch_size"),
+            stale_swept: metrics.counter("stale_swept_total"),
+        });
     }
 
     /// Direct the final route stream (what would go to the FEA) into a
@@ -206,10 +229,15 @@ where
     /// route the restarted process did not re-advertise.  Returns how
     /// many were swept.
     pub fn sweep_stale(&mut self, el: &mut EventLoop, proto: ProtocolId) -> usize {
-        self.origins
+        let swept = self
+            .origins
             .get(&proto)
             .map(|o| o.borrow_mut().sweep_stale(el))
-            .unwrap_or(0)
+            .unwrap_or(0);
+        if let Some(m) = &self.metrics {
+            m.stale_swept.add(swept as u64);
+        }
+        swept
     }
 
     /// Routes of `proto` still marked stale.
@@ -255,6 +283,9 @@ where
         // One push: drains the ExtInt deferred re-resolution in a single
         // pass and signals the batch boundary downstream.
         self.push(el);
+        if let Some(m) = &self.metrics {
+            m.batch_size.observe(n as u64);
+        }
         n
     }
 

@@ -28,6 +28,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use xorp_profiler::{Counter, Gauge, Metrics};
+
 use crate::manager::dependency_rank;
 
 /// Supervision knobs (see EXPERIMENTS.md for how they interact).
@@ -112,6 +114,26 @@ struct Entry {
 pub struct Supervisor {
     config: SupervisorConfig,
     entries: BTreeMap<String, Entry>,
+    metrics: Option<SupMetrics>,
+}
+
+/// Registry handles for supervision outcomes (verdicts, not probe I/O —
+/// probe latency is measured where the probes are sent).
+struct SupMetrics {
+    /// `sup.probe_miss_total` — probes that came back dead.
+    probe_miss: Counter,
+    /// `sup.miss_streak` — current consecutive-miss streak, worst
+    /// component (gauge max shows how close the router came to a crash
+    /// classification).
+    miss_streak: Gauge,
+    /// `sup.restart_total` — crash classifications that scheduled a restart.
+    restarts: Counter,
+    /// `sup.degraded_total` — circuit-open verdicts (budget spent or
+    /// overload sustained).
+    degraded: Counter,
+    /// `sup.congested_probe_total` — probes answered with the congested
+    /// flag set (the overload signal feeding the circuit breaker).
+    congested_probes: Counter,
 }
 
 impl Supervisor {
@@ -119,7 +141,22 @@ impl Supervisor {
         Supervisor {
             config,
             entries: BTreeMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry; supervision verdicts become counters
+    /// (`sup.probe_miss_total`, `sup.restart_total`, `sup.degraded_total`,
+    /// `sup.congested_probe_total`) and the consecutive-miss streak a
+    /// gauge (`sup.miss_streak`).
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = Some(SupMetrics {
+            probe_miss: metrics.counter("sup.probe_miss_total"),
+            miss_streak: metrics.gauge("sup.miss_streak"),
+            restarts: metrics.counter("sup.restart_total"),
+            degraded: metrics.counter("sup.degraded_total"),
+            congested_probes: metrics.counter("sup.congested_probe_total"),
+        });
     }
 
     pub fn config(&self) -> &SupervisorConfig {
@@ -165,6 +202,9 @@ impl Supervisor {
             // Recovery or steady state.
             (SupervisedState::Healthy, true) | (SupervisedState::Suspect(_), true) => {
                 entry.state = SupervisedState::Healthy;
+                if let Some(m) = &self.metrics {
+                    m.miss_streak.set(0);
+                }
                 SupervisorVerdict::None
             }
             // A late answer while a restart is pending or after degrading
@@ -178,6 +218,10 @@ impl Supervisor {
                     SupervisedState::Suspect(n) => n + 1,
                     _ => 1,
                 };
+                if let Some(m) = &self.metrics {
+                    m.probe_miss.inc();
+                    m.miss_streak.set(misses as i64);
+                }
                 if misses < config.miss_threshold {
                     entry.state = SupervisedState::Suspect(misses);
                     return SupervisorVerdict::None;
@@ -185,6 +229,9 @@ impl Supervisor {
                 // Crash classified.
                 if entry.restarts_used >= config.restart_budget {
                     entry.state = SupervisedState::Degraded;
+                    if let Some(m) = &self.metrics {
+                        m.degraded.inc();
+                    }
                     return SupervisorVerdict::Degraded;
                 }
                 entry.restarts_used += 1;
@@ -195,6 +242,9 @@ impl Supervisor {
                     .min(config.backoff_max);
                 let at = now + backoff;
                 entry.state = SupervisedState::PendingRestart { at, attempt };
+                if let Some(m) = &self.metrics {
+                    m.restarts.inc();
+                }
                 SupervisorVerdict::RestartScheduled { at, attempt }
             }
         }
@@ -221,6 +271,9 @@ impl Supervisor {
             entry.congested_since = None;
             return SupervisorVerdict::None;
         }
+        if let Some(m) = &self.metrics {
+            m.congested_probes.inc();
+        }
         // Only live components can be overloaded; one awaiting restart or
         // already degraded has been classified.
         if !matches!(
@@ -232,6 +285,9 @@ impl Supervisor {
         let since = *entry.congested_since.get_or_insert(now);
         if now.saturating_sub(since) >= budget {
             entry.state = SupervisedState::Degraded;
+            if let Some(m) = &self.metrics {
+                m.degraded.inc();
+            }
             SupervisorVerdict::Degraded
         } else {
             SupervisorVerdict::None
@@ -301,6 +357,48 @@ mod tests {
         assert_eq!(s.record_probe("bgp", true, ms(20)), SupervisorVerdict::None);
         assert_eq!(s.state("bgp"), Some(SupervisedState::Healthy));
         assert_eq!(s.restarts_used("bgp"), 0);
+    }
+
+    #[test]
+    fn metrics_track_misses_restarts_and_degradation() {
+        use xorp_profiler::MetricValue;
+        let metrics = Metrics::new();
+        let mut s = Supervisor::new(config());
+        s.set_metrics(&metrics);
+        s.manage("bgp");
+        // Two misses, then recovery: streak peaks at 2 and resets.
+        s.record_probe("bgp", false, ms(0));
+        s.record_probe("bgp", false, ms(10));
+        s.record_probe("bgp", true, ms(20));
+        match metrics.get("sup.miss_streak") {
+            Some(MetricValue::Gauge { value, max }) => assert_eq!((value, max), (0, 2)),
+            other => panic!("miss_streak: {other:?}"),
+        }
+        // Crash classification (3 more misses) schedules a restart.
+        for t in 3..6 {
+            s.record_probe("bgp", false, ms(t * 10));
+        }
+        match metrics.get("sup.probe_miss_total") {
+            Some(MetricValue::Counter(n)) => assert_eq!(n, 5),
+            other => panic!("probe_miss_total: {other:?}"),
+        }
+        match metrics.get("sup.restart_total") {
+            Some(MetricValue::Counter(n)) => assert_eq!(n, 1),
+            other => panic!("restart_total: {other:?}"),
+        }
+        // Sustained overload degrades and counts.
+        s.restarted("bgp");
+        s.record_overload("bgp", true, ms(100));
+        let v = s.record_overload("bgp", true, ms(700));
+        assert_eq!(v, SupervisorVerdict::Degraded);
+        match metrics.get("sup.congested_probe_total") {
+            Some(MetricValue::Counter(n)) => assert_eq!(n, 2),
+            other => panic!("congested_probe_total: {other:?}"),
+        }
+        match metrics.get("sup.degraded_total") {
+            Some(MetricValue::Counter(n)) => assert_eq!(n, 1),
+            other => panic!("degraded_total: {other:?}"),
+        }
     }
 
     #[test]

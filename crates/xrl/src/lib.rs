@@ -33,6 +33,7 @@ pub mod finder;
 pub mod idl;
 pub mod keepalive;
 pub mod marshal;
+pub mod profile;
 pub mod proxy;
 pub mod router;
 pub mod script;

@@ -1,0 +1,365 @@
+//! The `profile/1.0` XRL interface: §8.2's external-observer story.
+//!
+//! "The profiling variables can be enabled and the results collected via
+//! XRLs, typically by the `xorp_profiler` program" — this module is that
+//! XRL surface.  [`add_profile_responder`] registers the interface on an
+//! existing target instance (the same pattern as
+//! [`crate::keepalive::add_keepalive_responder`]), so every harness
+//! process exports its shared [`Profiler`] and [`Metrics`] over the same
+//! transports, retry policy and fault plane as real traffic:
+//!
+//! | method        | arguments                 | reply                                         |
+//! |---------------|---------------------------|-----------------------------------------------|
+//! | `enable`      | `point:txt`               | `ok:bool`                                     |
+//! | `disable`     | `point:txt`               | `ok:bool`                                     |
+//! | `list`        | —                         | `points` rows: name, enabled, len, dropped    |
+//! | `get_records` | `point:txt`, `max:u32`    | `records` rows: nanos, payload; `remaining:u32`, `dropped:u64` |
+//! | `get_metrics` | —                         | `metrics` rows: name, kind, primary, detail   |
+//!
+//! `enable`/`disable` accept the pseudo-point `route_flow`, expanding to
+//! all eight §8.2 route-flow points.
+//!
+//! `get_records` **clears** what it returns and serves at most
+//! [`MAX_RECORDS_PER_SLICE`] records per call (the `remaining` count says
+//! whether to call again): a point that buffered tens of thousands of
+//! records during a storm is collected in bounded slices, never as one
+//! reply that would stall the answering event loop and trip its keepalive.
+
+use xorp_profiler::{points, Metrics, PointInfo, Profiler, Record};
+
+use crate::atom::{AtomValue, XrlArgs};
+use crate::error::XrlError;
+use crate::router::XrlRouter;
+
+/// Handler paths of the profile interface.
+pub const PROFILE_ENABLE_PATH: &str = "profile/1.0/enable";
+pub const PROFILE_DISABLE_PATH: &str = "profile/1.0/disable";
+pub const PROFILE_LIST_PATH: &str = "profile/1.0/list";
+pub const PROFILE_GET_RECORDS_PATH: &str = "profile/1.0/get_records";
+pub const PROFILE_GET_METRICS_PATH: &str = "profile/1.0/get_metrics";
+
+/// Pseudo-point expanding to all eight §8.2 route-flow points.
+pub const ROUTE_FLOW_ALIAS: &str = "route_flow";
+
+/// Upper bound on records per `get_records` reply, whatever `max` the
+/// caller asked for.
+pub const MAX_RECORDS_PER_SLICE: usize = 4096;
+
+/// Register the `profile/1.0` interface on a target instance, exporting
+/// this process's profiler and metrics registry.  Call after
+/// `register_target`, alongside the keepalive responder.
+pub fn add_profile_responder(
+    router: &XrlRouter,
+    instance: &str,
+    profiler: &Profiler,
+    metrics: &Metrics,
+) {
+    let p = profiler.clone();
+    router.add_fn(instance, PROFILE_ENABLE_PATH, move |_el, args| {
+        let point = args.get_text("point")?;
+        if point == ROUTE_FLOW_ALIAS {
+            p.enable_route_flow();
+        } else {
+            p.enable(&point);
+        }
+        Ok(XrlArgs::new().add_bool("ok", true))
+    });
+
+    let p = profiler.clone();
+    router.add_fn(instance, PROFILE_DISABLE_PATH, move |_el, args| {
+        let point = args.get_text("point")?;
+        if point == ROUTE_FLOW_ALIAS {
+            for pt in points::ROUTE_FLOW {
+                p.disable(pt);
+            }
+        } else {
+            p.disable(&point);
+        }
+        Ok(XrlArgs::new().add_bool("ok", true))
+    });
+
+    let p = profiler.clone();
+    router.add_fn(instance, PROFILE_LIST_PATH, move |_el, _args| {
+        let rows = p
+            .list()
+            .into_iter()
+            .map(|info| {
+                vec![
+                    AtomValue::Text(info.name),
+                    AtomValue::Bool(info.enabled),
+                    AtomValue::U64(info.len as u64),
+                    AtomValue::U64(info.dropped),
+                ]
+            })
+            .collect();
+        Ok(XrlArgs::new().add_rows("points", rows))
+    });
+
+    let p = profiler.clone();
+    router.add_fn(instance, PROFILE_GET_RECORDS_PATH, move |_el, args| {
+        let point = args.get_text("point")?;
+        let max = args.get_u32("max").unwrap_or(MAX_RECORDS_PER_SLICE as u32);
+        let drained = p.drain(&point, (max as usize).min(MAX_RECORDS_PER_SLICE));
+        let rows = drained
+            .records
+            .into_iter()
+            .map(|r| vec![AtomValue::U64(r.nanos), AtomValue::Text(r.payload)])
+            .collect();
+        Ok(XrlArgs::new()
+            .add_rows("records", rows)
+            .add_u32("remaining", drained.remaining as u32)
+            .add_u64("dropped", drained.dropped))
+    });
+
+    let m = metrics.clone();
+    router.add_fn(instance, PROFILE_GET_METRICS_PATH, move |_el, _args| {
+        let rows = m
+            .snapshot()
+            .into_iter()
+            .map(|s| {
+                vec![
+                    AtomValue::Text(s.name),
+                    AtomValue::Text(s.value.kind().to_string()),
+                    AtomValue::I64(s.value.primary()),
+                    AtomValue::Text(s.value.render()),
+                ]
+            })
+            .collect();
+        Ok(XrlArgs::new().add_rows("metrics", rows))
+    });
+}
+
+fn row_text(row: &[AtomValue], i: usize, what: &str) -> Result<String, XrlError> {
+    match row.get(i) {
+        Some(AtomValue::Text(s)) => Ok(s.clone()),
+        other => Err(XrlError::BadArgs(format!(
+            "{what}[{i}]: not text: {other:?}"
+        ))),
+    }
+}
+
+fn row_u64(row: &[AtomValue], i: usize, what: &str) -> Result<u64, XrlError> {
+    match row.get(i) {
+        Some(AtomValue::U64(v)) => Ok(*v),
+        other => Err(XrlError::BadArgs(format!(
+            "{what}[{i}]: not u64: {other:?}"
+        ))),
+    }
+}
+
+/// Decode a `list` reply into [`PointInfo`] rows.
+pub fn decode_points(args: &XrlArgs) -> Result<Vec<PointInfo>, XrlError> {
+    args.get_rows("points")?
+        .iter()
+        .map(|row| {
+            let enabled = match row.get(1) {
+                Some(AtomValue::Bool(b)) => *b,
+                other => return Err(XrlError::BadArgs(format!("points[1]: not bool: {other:?}"))),
+            };
+            Ok(PointInfo {
+                name: row_text(row, 0, "points")?,
+                enabled,
+                len: row_u64(row, 2, "points")? as usize,
+                dropped: row_u64(row, 3, "points")?,
+            })
+        })
+        .collect()
+}
+
+/// A decoded `get_records` reply.
+#[derive(Debug, Clone)]
+pub struct RecordsSlice {
+    pub records: Vec<Record>,
+    /// Records still buffered server-side; call again until 0.
+    pub remaining: u32,
+    /// Ring-buffer evictions at this point (the record stream has a hole
+    /// older than `records[0]` when nonzero).
+    pub dropped: u64,
+}
+
+/// Decode a `get_records` reply.
+pub fn decode_records(args: &XrlArgs) -> Result<RecordsSlice, XrlError> {
+    let records = args
+        .get_rows("records")?
+        .iter()
+        .map(|row| {
+            Ok(Record {
+                nanos: row_u64(row, 0, "records")?,
+                payload: row_text(row, 1, "records")?,
+            })
+        })
+        .collect::<Result<Vec<_>, XrlError>>()?;
+    Ok(RecordsSlice {
+        records,
+        remaining: args.get_u32("remaining")?,
+        dropped: args.get_u64("dropped")?,
+    })
+}
+
+/// One decoded `get_metrics` row.
+#[derive(Debug, Clone)]
+pub struct MetricRow {
+    pub name: String,
+    /// `counter`, `gauge` or `histogram`.
+    pub kind: String,
+    /// The metric's single most useful number (total, level, or count).
+    pub primary: i64,
+    /// Human-readable rendering (includes gauge max / histogram stats).
+    pub detail: String,
+}
+
+/// Decode a `get_metrics` reply.
+pub fn decode_metrics(args: &XrlArgs) -> Result<Vec<MetricRow>, XrlError> {
+    args.get_rows("metrics")?
+        .iter()
+        .map(|row| {
+            let primary = match row.get(2) {
+                Some(AtomValue::I64(v)) => *v,
+                other => return Err(XrlError::BadArgs(format!("metrics[2]: not i64: {other:?}"))),
+            };
+            Ok(MetricRow {
+                name: row_text(row, 0, "metrics")?,
+                kind: row_text(row, 1, "metrics")?,
+                primary,
+                detail: row_text(row, 3, "metrics")?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finder::Finder;
+    use crate::xrl::Xrl;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use xorp_event::EventLoop;
+
+    fn call(
+        el: &mut EventLoop,
+        router: &XrlRouter,
+        method: &str,
+        args: XrlArgs,
+    ) -> Result<XrlArgs, XrlError> {
+        let xrl = Xrl::generic("prof", "profile", "1.0", method, args);
+        let out: Rc<RefCell<Option<Result<XrlArgs, XrlError>>>> = Rc::new(RefCell::new(None));
+        let o = out.clone();
+        router.send(
+            el,
+            xrl,
+            Box::new(move |_el, r| {
+                *o.borrow_mut() = Some(r);
+            }),
+        );
+        el.run_until_idle();
+        let got = out.borrow_mut().take();
+        got.expect("profile call completed")
+    }
+
+    #[test]
+    fn profile_interface_round_trips_intra_process() {
+        let mut el = EventLoop::new_virtual();
+        let finder = Finder::new();
+        let router = XrlRouter::new(&mut el, finder);
+        router.register_target("prof", "prof-0", true).unwrap();
+        let profiler = Profiler::new();
+        let metrics = Metrics::new();
+        metrics.counter("xrl.shed_total").add(7);
+        add_profile_responder(&router, "prof-0", &profiler, &metrics);
+
+        // Enable the whole route-flow set via the alias.
+        let r = call(
+            &mut el,
+            &router,
+            "enable",
+            XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
+        )
+        .unwrap();
+        assert_eq!(r.get_bool("ok"), Ok(true));
+        for pt in points::ROUTE_FLOW {
+            assert!(profiler.is_enabled(pt));
+        }
+
+        for i in 0..10 {
+            profiler.record(points::BGP_IN, || format!("add 10.0.{i}.0/24"));
+        }
+
+        let r = call(&mut el, &router, "list", XrlArgs::new()).unwrap();
+        let pts = decode_points(&r).unwrap();
+        let bgp_in = pts.iter().find(|p| p.name == points::BGP_IN).unwrap();
+        assert!(bgp_in.enabled);
+        assert_eq!((bgp_in.len, bgp_in.dropped), (10, 0));
+
+        // Paginated, clearing reads.
+        let r = call(
+            &mut el,
+            &router,
+            "get_records",
+            XrlArgs::new()
+                .add_str("point", points::BGP_IN)
+                .add_u32("max", 6),
+        )
+        .unwrap();
+        let a = decode_records(&r).unwrap();
+        assert_eq!((a.records.len(), a.remaining, a.dropped), (6, 4, 0));
+        assert_eq!(a.records[0].payload, "add 10.0.0.0/24");
+        let r = call(
+            &mut el,
+            &router,
+            "get_records",
+            XrlArgs::new()
+                .add_str("point", points::BGP_IN)
+                .add_u32("max", 6),
+        )
+        .unwrap();
+        let b = decode_records(&r).unwrap();
+        assert_eq!((b.records.len(), b.remaining), (4, 0));
+        assert_eq!(b.records[0].payload, "add 10.0.6.0/24");
+
+        // Metrics export.
+        let r = call(&mut el, &router, "get_metrics", XrlArgs::new()).unwrap();
+        let rows = decode_metrics(&r).unwrap();
+        let shed = rows.iter().find(|m| m.name == "xrl.shed_total").unwrap();
+        assert_eq!((shed.kind.as_str(), shed.primary), ("counter", 7));
+
+        // Disable via the alias.
+        let r = call(
+            &mut el,
+            &router,
+            "disable",
+            XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
+        )
+        .unwrap();
+        assert_eq!(r.get_bool("ok"), Ok(true));
+        assert!(!profiler.is_enabled(points::BGP_IN));
+    }
+
+    #[test]
+    fn get_records_slices_are_bounded() {
+        let mut el = EventLoop::new_virtual();
+        let finder = Finder::new();
+        let router = XrlRouter::new(&mut el, finder);
+        router.register_target("prof", "prof-0", true).unwrap();
+        let profiler = Profiler::new();
+        let metrics = Metrics::new();
+        add_profile_responder(&router, "prof-0", &profiler, &metrics);
+        profiler.enable("x");
+        for i in 0..(MAX_RECORDS_PER_SLICE + 100) {
+            profiler.record("x", || format!("r{i}"));
+        }
+        // Asking for more than the slice cap still gets at most the cap.
+        let r = call(
+            &mut el,
+            &router,
+            "get_records",
+            XrlArgs::new()
+                .add_str("point", "x")
+                .add_u32("max", u32::MAX),
+        )
+        .unwrap();
+        let s = decode_records(&r).unwrap();
+        assert_eq!(s.records.len(), MAX_RECORDS_PER_SLICE);
+        assert_eq!(s.remaining, 100);
+    }
+}

@@ -50,6 +50,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use xorp_event::{EventLoop, EventSender, Time, TimerHandle};
+use xorp_profiler::{Counter, Gauge, Metrics};
 
 use crate::atom::XrlArgs;
 use crate::error::XrlError;
@@ -393,6 +394,28 @@ struct RouterInner {
     #[allow(clippy::type_complexity)]
     kill_handler: Option<Rc<dyn Fn(&mut EventLoop, u32)>>,
     shut_down: bool,
+    /// Observability hooks, attached by [`XrlRouter::set_metrics`].
+    metrics: Option<XrlMetrics>,
+}
+
+/// The router's registry handles.  The `pending` gauge is maintained even
+/// without a [`QueuePolicy`] — an *unbounded* run's peak outstanding count
+/// is exactly what an observer needs to see to know a cap is missing.
+#[derive(Clone)]
+struct XrlMetrics {
+    /// `xrl.pending` — outstanding requests (gauge tracks the peak).
+    pending: Gauge,
+    /// `xrl.lane_depth` — per-lane charged depth, across all lanes
+    /// (only maintained while an overload policy is set, like the
+    /// accounting it mirrors).
+    lane_depth: Gauge,
+    /// `xrl.xoff_total` / `xrl.xon_total` — watermark crossings.
+    xoff: Counter,
+    xon: Counter,
+    /// `xrl.shed_total` — data sends refused at the hard cap.
+    shed: Counter,
+    /// `xrl.retransmit_total` — timeout-driven retransmissions.
+    retransmit: Counter,
 }
 
 static NEXT_ROUTER_ID: AtomicU64 = AtomicU64::new(1);
@@ -435,6 +458,7 @@ impl XrlRouter {
                 lifetime_cbs: Vec::new(),
                 kill_handler: None,
                 shut_down: false,
+                metrics: None,
             })),
         };
         el.set_slot::<XrlRouter>(router.clone());
@@ -450,6 +474,23 @@ impl XrlRouter {
     /// The Finder this router talks to.
     pub fn finder(&self) -> Finder {
         self.inner.borrow().finder.clone()
+    }
+
+    /// Attach a metrics registry.  The router reports outstanding requests
+    /// (`xrl.pending`), charged lane depth (`xrl.lane_depth`), watermark
+    /// crossings (`xrl.xoff_total`/`xrl.xon_total`), hard-cap sheds
+    /// (`xrl.shed_total`) and retransmissions (`xrl.retransmit_total`).
+    /// Scope the registry per process (`metrics.scoped("bgp")`) to keep
+    /// routers apart.
+    pub fn set_metrics(&self, metrics: &Metrics) {
+        self.inner.borrow_mut().metrics = Some(XrlMetrics {
+            pending: metrics.gauge("xrl.pending"),
+            lane_depth: metrics.gauge("xrl.lane_depth"),
+            xoff: metrics.counter("xrl.xoff_total"),
+            xon: metrics.counter("xrl.xon_total"),
+            shed: metrics.counter("xrl.shed_total"),
+            retransmit: metrics.counter("xrl.retransmit_total"),
+        });
     }
 
     // ----- failure-handling knobs -------------------------------------------
@@ -605,14 +646,20 @@ impl XrlRouter {
     /// high watermark is crossed.
     fn note_lane_enqueue(&self, el: &mut EventLoop, lane: &str) {
         let signal = {
-            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *self.inner.borrow_mut();
             let Some(policy) = inner.overload else {
                 return;
             };
             let load = inner.lane_load.entry(lane.to_string()).or_default();
             load.depth += 1;
+            if let Some(m) = &inner.metrics {
+                m.lane_depth.set(load.depth as i64);
+            }
             if !load.xoff && load.depth >= policy.high_watermark {
                 load.xoff = true;
+                if let Some(m) = &inner.metrics {
+                    m.xoff.inc();
+                }
                 Some(CongestionSignal::Xoff {
                     lane: lane.to_string(),
                 })
@@ -629,15 +676,21 @@ impl XrlRouter {
     /// congested lane drains to the low watermark.
     fn note_lane_dequeue(&self, el: &mut EventLoop, lane: &str) {
         let signal = {
-            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *self.inner.borrow_mut();
             let policy = inner.overload;
             let Some(load) = inner.lane_load.get_mut(lane) else {
                 return;
             };
             load.depth = load.depth.saturating_sub(1);
+            if let Some(m) = &inner.metrics {
+                m.lane_depth.set(load.depth as i64);
+            }
             match policy {
                 Some(p) if load.xoff && load.depth <= p.low_watermark => {
                     load.xoff = false;
+                    if let Some(m) = &inner.metrics {
+                        m.xon.inc();
+                    }
                     Some(CongestionSignal::Xon {
                         lane: lane.to_string(),
                     })
@@ -939,6 +992,9 @@ impl XrlRouter {
                         let depth = inner.lane_load.get(lane).map(|l| l.depth).unwrap_or(0);
                         if depth >= policy.hard_cap {
                             inner.shed += 1;
+                            if let Some(m) = &inner.metrics {
+                                m.shed.inc();
+                            }
                             drop(inner);
                             cb(el, Err(XrlError::Overloaded));
                             return;
@@ -967,6 +1023,9 @@ impl XrlRouter {
                     priority,
                 },
             );
+            if let Some(m) = &inner.metrics {
+                m.pending.set(inner.pending.len() as i64);
+            }
             seq
         };
         if let Some(l) = &counted_lane {
@@ -1248,6 +1307,12 @@ impl XrlRouter {
                 }
             }
             Some(Some(frame)) => {
+                {
+                    let inner = self.inner.borrow();
+                    if let Some(m) = &inner.metrics {
+                        m.retransmit.inc();
+                    }
+                }
                 let written = match via {
                     Via::Intra => Ok(()),
                     Via::Tcp(addr) => self.tcp_stream(addr).and_then(|stream| {
@@ -1316,7 +1381,16 @@ impl XrlRouter {
     /// Fail one pending request, releasing its timer, UDP slot and
     /// overload charge.
     fn fail_pending(&self, el: &mut EventLoop, seq: u64, err: XrlError) {
-        let entry = self.inner.borrow_mut().pending.remove(&seq);
+        let entry = {
+            let mut inner = self.inner.borrow_mut();
+            let entry = inner.pending.remove(&seq);
+            if entry.is_some() {
+                if let Some(m) = &inner.metrics {
+                    m.pending.set(inner.pending.len() as i64);
+                }
+            }
+            entry
+        };
         let Some(p) = entry else {
             return;
         };
@@ -1486,7 +1560,16 @@ impl XrlRouter {
     /// responses find no pending entry and are dropped, never
     /// double-dispatched.
     pub(crate) fn complete(&self, el: &mut EventLoop, seq: u64, result: XrlResult) {
-        let entry = self.inner.borrow_mut().pending.remove(&seq);
+        let entry = {
+            let mut inner = self.inner.borrow_mut();
+            let entry = inner.pending.remove(&seq);
+            if entry.is_some() {
+                if let Some(m) = &inner.metrics {
+                    m.pending.set(inner.pending.len() as i64);
+                }
+            }
+            entry
+        };
         let Some(p) = entry else {
             return; // response for a request we gave up on, or a duplicate
         };
