@@ -22,7 +22,9 @@ use std::time::Duration;
 
 use xorp_event::EventLoop;
 use xorp_profiler::PointHandle;
-use xorp_xrl::{AtomValue, Xrl, XrlArgs, XrlRouter};
+use xorp_xrl::AtomValue;
+
+use crate::xrl_ifaces::BulkRouteSink;
 
 /// One buffered route row: direction, encoded atoms, profiling payload.
 struct Row {
@@ -32,11 +34,9 @@ struct Row {
 }
 
 struct Inner {
-    router: XrlRouter,
-    /// XRL target class (e.g. `"rib"`).
-    target: String,
-    /// XRL interface the batched methods live on (e.g. `"rib"`).
-    iface: String,
+    /// The typed `add_routes`/`delete_routes` pair frames are shipped
+    /// through (an interned stub of the destination interface).
+    sink: BulkRouteSink,
     batch_size: usize,
     /// `None` flushes on idle (deferred); `Some(d)` arms a timer.
     flush_after: Option<Duration>,
@@ -60,18 +60,14 @@ pub struct RouteBatcher {
 
 impl RouteBatcher {
     pub fn new(
-        router: XrlRouter,
-        target: &str,
-        iface: &str,
+        sink: BulkRouteSink,
         batch_size: usize,
         flush_ms: u64,
         sent_point: PointHandle,
     ) -> RouteBatcher {
         RouteBatcher {
             inner: Rc::new(RefCell::new(Inner {
-                router,
-                target: target.to_string(),
-                iface: iface.to_string(),
+                sink,
                 batch_size: batch_size.max(1),
                 flush_after: (flush_ms > 0).then(|| Duration::from_millis(flush_ms)),
                 sent_point,
@@ -125,18 +121,13 @@ impl RouteBatcher {
 
     /// Ship everything buffered, one frame per same-direction run.
     pub fn flush(&self, el: &mut EventLoop) {
-        let (rows, router, target, iface) = {
+        let (rows, sink) = {
             let mut b = self.inner.borrow_mut();
             b.scheduled = false;
             if b.gated || b.pending.is_empty() {
                 return;
             }
-            (
-                std::mem::take(&mut b.pending),
-                b.router.clone(),
-                b.target.clone(),
-                b.iface.clone(),
-            )
+            (std::mem::take(&mut b.pending), b.sink.clone())
         };
         let sent_point = self.inner.borrow().sent_point.clone();
         let mut run: Vec<Row> = Vec::new();
@@ -144,19 +135,13 @@ impl RouteBatcher {
             if run.is_empty() {
                 return;
             }
-            let method = if run[0].add {
-                "add_routes"
-            } else {
-                "delete_routes"
-            };
+            let add = run[0].add;
             let mut encoded = Vec::with_capacity(run.len());
             for row in run.drain(..) {
                 sent_point.record(|| row.payload.clone());
-                encoded.push(row.atoms);
+                encoded.push(AtomValue::List(row.atoms));
             }
-            let args = XrlArgs::new().add_rows("routes", encoded);
-            let xrl = Xrl::generic(&target, &iface, "1.0", method, args);
-            router.send(el, xrl, Box::new(|_el, _res| {}));
+            sink.send(el, add, encoded);
         };
         for row in rows {
             if let Some(last) = run.last() {

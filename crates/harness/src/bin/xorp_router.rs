@@ -406,6 +406,7 @@ fn main() {
         overload,
         rib_delay_ms: 0,
         down_peers: vec![],
+        wire_v1_only: None,
     });
 
     // Static routes from the config go in via the RIB (through BGP's

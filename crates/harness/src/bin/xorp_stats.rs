@@ -23,34 +23,25 @@ use std::time::{Duration, Instant};
 use xorp_harness::router::{MultiProcessRouter, RouterOptions};
 use xorp_harness::stats::{format_metrics_table, format_points_table};
 use xorp_harness::workload::{backbone_table, WorkloadConfig};
+use xorp_xrl::profile::profile::Client as ProfileClient;
 use xorp_xrl::profile::{decode_metrics, decode_points, decode_records, ROUTE_FLOW_ALIAS};
-use xorp_xrl::{Xrl, XrlArgs, XrlError, XrlRouter};
+use xorp_xrl::{XrlError, XrlRouter};
 
-/// Send one XRL from the observer loop and spin until the reply lands.
-fn call(
-    el: &mut xorp_event::EventLoop,
-    router: &XrlRouter,
-    target: &str,
-    method: &str,
-    args: XrlArgs,
-) -> Result<XrlArgs, XrlError> {
-    let slot: Rc<RefCell<Option<Result<XrlArgs, XrlError>>>> = Rc::new(RefCell::new(None));
-    let s2 = slot.clone();
-    let xrl = Xrl::generic(target, "profile", "1.0", method, args);
-    router.send(
-        el,
-        xrl,
-        Box::new(move |_el, res| {
-            *s2.borrow_mut() = Some(res);
-        }),
-    );
+type Slot<T> = Rc<RefCell<Option<Result<T, XrlError>>>>;
+
+fn slot<T>() -> Slot<T> {
+    Rc::new(RefCell::new(None))
+}
+
+/// Spin the observer loop until a typed reply lands in `slot`.
+fn wait<T>(el: &mut xorp_event::EventLoop, slot: &Slot<T>, what: &str) -> T {
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         if let Some(res) = slot.borrow_mut().take() {
-            return res;
+            return res.unwrap_or_else(|e| panic!("{what} failed: {e}"));
         }
         if Instant::now() > deadline {
-            return Err(XrlError::Transport(format!("{target}/{method} timed out")));
+            panic!("{what} timed out");
         }
         if !el.run_one() {
             el.run_for(Duration::from_millis(1));
@@ -81,23 +72,22 @@ fn main() {
     // ---- the observed router --------------------------------------------
     let router = MultiProcessRouter::new(RouterOptions::default());
 
-    // ---- the observer: its own loop, talking XRLs -----------------------
+    // ---- the observer: its own loop, talking typed XRL stubs ------------
     let mut el = xorp_event::EventLoop::new();
     let observer = XrlRouter::new(&mut el, router.finder.clone());
     observer.enable_tcp().unwrap();
     observer.register_target("stats", "stats-0", true).unwrap();
+    let client = ProfileClient::new(&observer, &target);
 
     // Arm the route-flow points over the wire, then drive the workload so
     // there is something to see.
-    let reply = call(
-        &mut el,
-        &observer,
-        &target,
-        "enable",
-        XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
-    )
-    .expect("profile enable failed");
-    assert_eq!(reply.get_bool("ok"), Ok(true));
+    let r = slot();
+    let s = r.clone();
+    client.enable(&mut el, ROUTE_FLOW_ALIAS.to_string(), move |_el, reply| {
+        *s.borrow_mut() = Some(reply);
+    });
+    let (ok,) = wait(&mut el, &r, "profile enable");
+    assert!(ok, "profile enable rejected the alias");
 
     let table = backbone_table(&WorkloadConfig {
         routes,
@@ -118,11 +108,13 @@ fn main() {
         if iter > 0 {
             std::thread::sleep(Duration::from_millis(interval_ms));
         }
-        let points = decode_points(
-            &call(&mut el, &observer, &target, "list", XrlArgs::new())
-                .expect("profile list failed"),
-        )
-        .expect("bad list reply");
+        let r = slot();
+        let s = r.clone();
+        client.list(&mut el, move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (rows,) = wait(&mut el, &r, "profile list");
+        let points = decode_points(&rows).expect("bad list reply");
         print!(
             "{}",
             format_points_table(
@@ -131,11 +123,13 @@ fn main() {
             )
         );
 
-        let metrics = decode_metrics(
-            &call(&mut el, &observer, &target, "get_metrics", XrlArgs::new())
-                .expect("profile get_metrics failed"),
-        )
-        .expect("bad metrics reply");
+        let r = slot();
+        let s = r.clone();
+        client.get_metrics(&mut el, move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (rows,) = wait(&mut el, &r, "profile get_metrics");
+        let metrics = decode_metrics(&rows).expect("bad metrics reply");
         println!();
         print!(
             "{}",
@@ -168,19 +162,18 @@ fn main() {
             // Drain it in bounded slices; stamps must be monotone.
             let mut collected = Vec::new();
             loop {
-                let slice = decode_records(
-                    &call(
-                        &mut el,
-                        &observer,
-                        &target,
-                        "get_records",
-                        XrlArgs::new()
-                            .add_str("point", "route_bgpin")
-                            .add_u32("max", 256),
-                    )
-                    .expect("profile get_records failed"),
-                )
-                .expect("bad records reply");
+                let r = slot();
+                let s = r.clone();
+                client.get_records(
+                    &mut el,
+                    "route_bgpin".to_string(),
+                    256,
+                    move |_el, reply| {
+                        *s.borrow_mut() = Some(reply);
+                    },
+                );
+                let (rows, remaining, dropped) = wait(&mut el, &r, "profile get_records");
+                let slice = decode_records(&rows, remaining, dropped).expect("bad records reply");
                 assert!(slice.records.len() <= 256, "slice overflowed max");
                 collected.extend(slice.records);
                 if slice.remaining == 0 {

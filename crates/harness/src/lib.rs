@@ -15,6 +15,7 @@ pub mod process;
 pub mod router;
 pub mod stats;
 pub mod workload;
+pub mod xrl_ifaces;
 
 pub use process::Process;
 pub use router::{MultiProcessRouter, RouterOptions};

@@ -40,7 +40,7 @@ use xorp_event::EventLoop;
 use xorp_fea::{test_iface, Fea, FibEntry};
 use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
 use xorp_policy::FilterBank;
-use xorp_profiler::{points, Metrics, Profiler};
+use xorp_profiler::{points, Metrics, PointHandle, Profiler};
 use xorp_rib::redist::RedistSink;
 use xorp_rib::{BatchOp, RedistWatcher, Rib};
 use xorp_rtrmgr::{SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
@@ -48,13 +48,14 @@ use xorp_stages::RouteOp;
 use xorp_xrl::keepalive;
 use xorp_xrl::profile::add_profile_responder;
 use xorp_xrl::{
-    AtomValue, CongestionSignal, FaultConfig, Finder, QueuePolicy, RetryPolicy, Xrl, XrlArgs,
-    XrlError, XrlRouter,
+    AtomValue, CongestionSignal, FaultConfig, Finder, QueuePolicy, RetTuple, RetryPolicy,
+    TypedResponder, XrlError, XrlRouter,
 };
 
 use crate::batch::RouteBatcher;
 use crate::process::Process;
 use crate::workload::BackboneRoute;
+use crate::xrl_ifaces::{self, BulkRouteSink, RouteWire};
 
 /// Loop-slot wrapper for the BGP process state.
 pub struct BgpSlot(pub Rc<RefCell<BgpProcess<Ipv4Addr>>>);
@@ -128,6 +129,11 @@ pub struct RouterOptions {
     /// models a busy RIB for the overload experiments.  `0` replies
     /// inline.
     pub rib_delay_ms: u64,
+    /// Pin the named process ("bgp", "rib" or "fea") to the v1 named wire
+    /// encoding, modelling a pre-v2 build in an otherwise-upgraded router:
+    /// it neither advertises signatures nor emits positional frames, and
+    /// its peers negotiate back to v1 on the affected hops.
+    pub wire_v1_only: Option<&'static str>,
 }
 
 impl Default for RouterOptions {
@@ -145,6 +151,7 @@ impl Default for RouterOptions {
             batch_flush_ms: 0,
             overload: None,
             rib_delay_ms: 0,
+            wire_v1_only: None,
         }
     }
 }
@@ -174,119 +181,307 @@ pub struct MultiProcessRouter {
 
 /// BGP's nexthop service backed by the RIB's interest-registration XRL
 /// (§5.1.1: "The Nexthop Resolver stages talk asynchronously to the RIB").
-struct XrlNexthopService;
+/// The typed stub is built lazily on first resolve (the loop's XRL router
+/// isn't in its slot yet when the service is constructed) and reused for
+/// every query after.
+struct XrlNexthopService {
+    client: RefCell<Option<xrl_ifaces::rib::Client>>,
+}
+
+impl XrlNexthopService {
+    fn new() -> XrlNexthopService {
+        XrlNexthopService {
+            client: RefCell::new(None),
+        }
+    }
+}
 
 impl NexthopService<Ipv4Addr> for XrlNexthopService {
     fn resolve_nexthop(&self, el: &mut EventLoop, addr: Ipv4Addr, cb: AnswerCb<Ipv4Addr>) {
-        let router = el
-            .slot::<XrlRouter>()
-            .expect("xrl router on bgp loop")
-            .clone();
-        let xrl = Xrl::generic(
-            "rib",
-            "rib",
-            "1.0",
-            "register_interest",
-            XrlArgs::new().add_ipv4("addr", addr),
-        );
-        router.send(
-            el,
-            xrl,
-            Box::new(move |el, result| {
-                let ans = match result {
-                    Ok(args) => {
-                        let valid = args
-                            .get_ipv4net("valid")
-                            .unwrap_or_else(|_| xorp_net::Prefix::host(addr));
-                        let reachable = args.get_bool("reachable").unwrap_or(false);
-                        let metric = args.get_u32("metric").unwrap_or(0);
-                        RibNexthopAnswer {
-                            valid,
-                            metric: reachable.then_some(metric),
-                        }
-                    }
-                    Err(_) => RibNexthopAnswer {
-                        valid: xorp_net::Prefix::host(addr),
-                        metric: None,
-                    },
-                };
-                cb(el, ans);
-            }),
-        );
+        let client = {
+            let mut slot = self.client.borrow_mut();
+            if slot.is_none() {
+                let router = el
+                    .slot::<XrlRouter>()
+                    .expect("xrl router on bgp loop")
+                    .clone();
+                *slot = Some(xrl_ifaces::rib::Client::new(&router, "rib"));
+            }
+            slot.as_ref().unwrap().clone()
+        };
+        client.register_interest(el, addr, move |el, result| {
+            let ans = match result {
+                Ok((valid, reachable, metric)) => RibNexthopAnswer {
+                    valid,
+                    metric: reachable.then_some(metric),
+                },
+                Err(_) => RibNexthopAnswer {
+                    valid: xorp_net::Prefix::host(addr),
+                    metric: None,
+                },
+            };
+            cb(el, ans);
+        });
     }
 }
 
-/// Serialize a route op into XRL args (shared by BGP→RIB and RIB→FEA).
-fn route_args(net: Ipv4Net, route: &RouteEntry<Ipv4Addr>) -> XrlArgs {
-    XrlArgs::new()
-        .add_ipv4net("net", net)
-        .add_ipv4(
-            "nexthop",
-            match route.nexthop() {
-                IpAddr::V4(a) => a,
-                IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+/// The BGP process's `bgp/1.0` server (nexthop invalidation and the
+/// graceful-restart readvertisement trigger).
+struct BgpServer {
+    bgp: Rc<RefCell<BgpProcess<Ipv4Addr>>>,
+}
+
+impl xrl_ifaces::bgp::Server for BgpServer {
+    fn invalidate(&self, el: &mut EventLoop, net: Ipv4Net, responder: TypedResponder<()>) {
+        self.bgp.borrow_mut().invalidate_nexthops(el, net);
+        responder.ok(el, ());
+    }
+
+    // Graceful-restart refresh on demand (e.g. after a RIB restart):
+    // schedule a background dump of the best table to the RIB reader.
+    // `count` is the number of stored routes the dump will visit — the
+    // walk itself proceeds in event-loop slices after this reply.
+    fn readvertise(&self, el: &mut EventLoop, responder: TypedResponder<(u32,)>) {
+        let n = self.bgp.borrow_mut().readvertise_rib(el);
+        responder.ok(el, (n as u32,));
+    }
+}
+
+/// The FEA process's `fea/1.0` server: FIB edits, per-route and
+/// vectorized.
+struct FeaServer {
+    fea: Rc<RefCell<Fea>>,
+    fea_in: PointHandle,
+}
+
+impl FeaServer {
+    fn install(&self, w: RouteWire) {
+        self.fea_in.record(|| format!("add {}", w.net));
+        self.fea.borrow_mut().add_route4(FibEntry {
+            net: w.net,
+            nexthop: IpAddr::V4(w.nexthop),
+            ifname: if w.ifname.is_empty() {
+                "eth0".to_string()
+            } else {
+                w.ifname
             },
-        )
-        .add_str("ifname", route.ifname.as_deref().unwrap_or(""))
-        .add_u32("metric", route.metric)
-        .add_str("proto", &route.proto.name())
-}
-
-/// Serialize a route into one batched-XRL row.  The row layout is the
-/// positional twin of [`route_args`]: `[net, nexthop, ifname, metric,
-/// proto]`.  FEA-side decoding ignores the trailing `proto`.
-fn route_row(net: Ipv4Net, route: &RouteEntry<Ipv4Addr>) -> Vec<AtomValue> {
-    vec![
-        AtomValue::Ipv4Net(net),
-        AtomValue::Ipv4(match route.nexthop() {
-            IpAddr::V4(a) => a,
-            IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
-        }),
-        AtomValue::Text(route.ifname.as_deref().unwrap_or("").to_string()),
-        AtomValue::U32(route.metric),
-        AtomValue::Text(route.proto.name()),
-    ]
-}
-
-/// A decoded `add_routes` row.
-struct AddRow {
-    net: Ipv4Net,
-    nexthop: Ipv4Addr,
-    ifname: String,
-    metric: u32,
-    proto: ProtocolId,
-}
-
-fn row_err(i: usize, what: &str) -> XrlError {
-    XrlError::BadArgs(format!("routes[{i}]: {what}"))
-}
-
-/// Decode one `[net, nexthop, ifname, metric, proto]` row.
-fn decode_add_row(i: usize, row: &[AtomValue]) -> Result<AddRow, XrlError> {
-    match row {
-        [AtomValue::Ipv4Net(net), AtomValue::Ipv4(nexthop), AtomValue::Text(ifname), AtomValue::U32(metric), AtomValue::Text(proto)] => {
-            Ok(AddRow {
-                net: *net,
-                nexthop: *nexthop,
-                ifname: ifname.clone(),
-                metric: *metric,
-                proto: ProtocolId::from_name(proto).unwrap_or(ProtocolId::Ebgp),
-            })
-        }
-        _ => Err(row_err(i, "expected [net, nexthop, ifname, metric, proto]")),
+            metric: w.metric,
+        }); // stamps KERNEL
     }
 }
 
-/// Decode one `[net, proto]` deletion row (`proto` optional for the FEA,
-/// which keys its FIB purely by prefix).
-fn decode_delete_row(i: usize, row: &[AtomValue]) -> Result<(Ipv4Net, ProtocolId), XrlError> {
-    match row {
-        [AtomValue::Ipv4Net(net)] => Ok((*net, ProtocolId::Ebgp)),
-        [AtomValue::Ipv4Net(net), AtomValue::Text(proto)] => Ok((
-            *net,
-            ProtocolId::from_name(proto).unwrap_or(ProtocolId::Ebgp),
-        )),
-        _ => Err(row_err(i, "expected [net] or [net, proto]")),
+impl xrl_ifaces::fea::Server for FeaServer {
+    fn add_route(
+        &self,
+        el: &mut EventLoop,
+        net: Ipv4Net,
+        nexthop: Ipv4Addr,
+        ifname: String,
+        metric: u32,
+        responder: TypedResponder<()>,
+    ) {
+        self.install(RouteWire {
+            net,
+            nexthop,
+            ifname,
+            metric,
+            proto: ProtocolId::Ebgp,
+        });
+        responder.ok(el, ());
+    }
+
+    fn delete_route(&self, el: &mut EventLoop, net: Ipv4Net, responder: TypedResponder<()>) {
+        self.fea_in.record(|| format!("del {net}"));
+        self.fea.borrow_mut().delete_route4(&net);
+        responder.ok(el, ());
+    }
+
+    // Vectorized twins of add_route/delete_route — N FIB edits per
+    // frame.  All rows are validated before any is applied.
+    fn add_routes(
+        &self,
+        el: &mut EventLoop,
+        routes: Vec<AtomValue>,
+        responder: TypedResponder<(u32,)>,
+    ) {
+        let parsed = match xrl_ifaces::decode_add_rows(&routes) {
+            Ok(p) => p,
+            Err(e) => return responder.fail(el, e),
+        };
+        let n = parsed.len() as u32;
+        for w in parsed {
+            self.install(w);
+        }
+        responder.ok(el, (n,));
+    }
+
+    fn delete_routes(
+        &self,
+        el: &mut EventLoop,
+        routes: Vec<AtomValue>,
+        responder: TypedResponder<(u32,)>,
+    ) {
+        let parsed = match xrl_ifaces::decode_delete_rows(&routes) {
+            Ok(p) => p,
+            Err(e) => return responder.fail(el, e),
+        };
+        let n = parsed.len() as u32;
+        for (net, _proto) in parsed {
+            self.fea_in.record(|| format!("del {net}"));
+            self.fea.borrow_mut().delete_route4(&net);
+        }
+        responder.ok(el, (n,));
+    }
+
+    fn route_count(&self, el: &mut EventLoop, responder: TypedResponder<(u32,)>) {
+        responder.ok(el, (self.fea.borrow().route_count4() as u32,));
+    }
+}
+
+/// The RIB process's `rib/1.0` server.  Route edits go through
+/// [`RibServer::reply`], which models a busy RIB for the overload
+/// experiments: XRLs are applied on arrival but acknowledged only after
+/// `delay`, so the sender sees a slow consumer and its lane backs up.
+struct RibServer {
+    rib: Rc<RefCell<Rib<Ipv4Addr>>>,
+    rib_in: PointHandle,
+    delay: Option<Duration>,
+}
+
+impl RibServer {
+    fn reply<R: RetTuple>(
+        &self,
+        el: &mut EventLoop,
+        responder: TypedResponder<R>,
+        reply: Result<R, XrlError>,
+    ) {
+        match self.delay {
+            Some(d) => {
+                el.after(d, move |el| responder.reply(el, reply));
+            }
+            None => responder.reply(el, reply),
+        }
+    }
+
+    fn entry(w: RouteWire) -> RouteEntry<Ipv4Addr> {
+        let mut attrs = PathAttributes::new(IpAddr::V4(w.nexthop));
+        attrs.ebgp = w.proto == ProtocolId::Ebgp;
+        let mut route = RouteEntry::new(w.net, Arc::new(attrs), w.metric, w.proto);
+        if !w.ifname.is_empty() {
+            route.ifname = Some(w.ifname.as_str().into());
+        }
+        route
+    }
+}
+
+impl xrl_ifaces::rib::Server for RibServer {
+    fn add_route(
+        &self,
+        el: &mut EventLoop,
+        net: Ipv4Net,
+        nexthop: Ipv4Addr,
+        ifname: String,
+        metric: u32,
+        proto: String,
+        responder: TypedResponder<()>,
+    ) {
+        self.rib_in.record(|| format!("add {net}"));
+        let proto = ProtocolId::from_name(&proto).unwrap_or(ProtocolId::Ebgp);
+        let route = Self::entry(RouteWire {
+            net,
+            nexthop,
+            ifname,
+            metric,
+            proto,
+        });
+        self.rib.borrow_mut().add_route(el, route);
+        self.reply(el, responder, Ok(()));
+    }
+
+    fn delete_route(
+        &self,
+        el: &mut EventLoop,
+        net: Ipv4Net,
+        proto: String,
+        responder: TypedResponder<()>,
+    ) {
+        self.rib_in.record(|| format!("del {net}"));
+        let proto = ProtocolId::from_name(&proto).unwrap_or(ProtocolId::Ebgp);
+        self.rib.borrow_mut().delete_route(el, proto, net);
+        self.reply(el, responder, Ok(()));
+    }
+
+    // Vectorized twins: N routes per frame, applied through
+    // Rib::apply_batch (one resolve/redistribution pass).  Row
+    // validation is transactional — a malformed row rejects the whole
+    // frame before any route is applied.
+    fn add_routes(
+        &self,
+        el: &mut EventLoop,
+        routes: Vec<AtomValue>,
+        responder: TypedResponder<(u32,)>,
+    ) {
+        let parsed = match xrl_ifaces::decode_add_rows(&routes) {
+            Ok(p) => p,
+            Err(e) => return self.reply(el, responder, Err(e)),
+        };
+        let mut ops = Vec::with_capacity(parsed.len());
+        for w in parsed {
+            self.rib_in.record(|| format!("add {}", w.net));
+            ops.push(BatchOp::Add(Self::entry(w)));
+        }
+        let n = self.rib.borrow_mut().apply_batch(el, ops);
+        self.reply(el, responder, Ok((n as u32,)));
+    }
+
+    fn delete_routes(
+        &self,
+        el: &mut EventLoop,
+        routes: Vec<AtomValue>,
+        responder: TypedResponder<(u32,)>,
+    ) {
+        let parsed = match xrl_ifaces::decode_delete_rows(&routes) {
+            Ok(p) => p,
+            Err(e) => return self.reply(el, responder, Err(e)),
+        };
+        let mut ops = Vec::with_capacity(parsed.len());
+        for (net, proto) in parsed {
+            self.rib_in.record(|| format!("del {net}"));
+            ops.push(BatchOp::Delete { proto, net });
+        }
+        let n = self.rib.borrow_mut().apply_batch(el, ops);
+        self.reply(el, responder, Ok((n as u32,)));
+    }
+
+    fn register_interest(
+        &self,
+        el: &mut EventLoop,
+        addr: Ipv4Addr,
+        responder: TypedResponder<(Ipv4Net, bool, u32)>,
+    ) {
+        let ans = self.rib.borrow_mut().register_interest(1, addr);
+        let reply = match ans.route {
+            Some(route) => (ans.valid, true, route.metric),
+            None => (ans.valid, false, 0),
+        };
+        responder.ok(el, reply);
+    }
+
+    fn route_count(&self, el: &mut EventLoop, responder: TypedResponder<(u32,)>) {
+        responder.ok(el, (self.rib.borrow().route_count() as u32,));
+    }
+
+    // Immediate flush of a protocol's routes — the supervisor's
+    // permanent-death action when a restart budget is spent.
+    fn flush_protocol(&self, el: &mut EventLoop, proto: String, responder: TypedResponder<()>) {
+        let proto = ProtocolId::from_name(&proto).unwrap_or(ProtocolId::Ebgp);
+        self.rib.borrow_mut().clear_protocol(el, proto);
+        responder.ok(el, ());
+    }
+
+    fn stale_count(&self, el: &mut EventLoop, proto: String, responder: TypedResponder<(u32,)>) {
+        let proto = ProtocolId::from_name(&proto).unwrap_or(ProtocolId::Ebgp);
+        responder.ok(el, (self.rib.borrow().stale_count(proto) as u32,));
     }
 }
 
@@ -308,6 +503,7 @@ struct BgpFactory {
     crash_on_spawn: Arc<AtomicU32>,
     batch_size: usize,
     batch_flush_ms: u64,
+    wire_v1_only: bool,
 }
 
 impl BgpFactory {
@@ -324,8 +520,10 @@ impl BgpFactory {
         let crash_on_spawn = self.crash_on_spawn.clone();
         let batch_size = self.batch_size;
         let batch_flush_ms = self.batch_flush_ms;
+        let wire_v1_only = self.wire_v1_only;
         Process::spawn("bgp", self.finder.clone(), move |el, router| {
             knobs(router);
+            router.set_wire_v1_only(wire_v1_only);
             router.set_metrics(&metrics);
             el.set_metrics(&metrics);
             let config = BgpConfig {
@@ -334,19 +532,19 @@ impl BgpFactory {
                 local_addr: IpAddr::V4("192.168.0.1".parse().unwrap()),
                 hold_time: 90,
             };
-            let mut bgp = BgpProcess::new(config, Rc::new(XrlNexthopService));
+            let mut bgp = BgpProcess::new(config, Rc::new(XrlNexthopService::new()));
             bgp.set_profiler(profiler.clone());
             bgp.set_metrics(&metrics);
 
-            // Best routes → RIB over XRLs (points 2 and 3).
+            // Best routes → RIB over typed `rib/1.0` stubs (points 2 and
+            // 3).  The client interns every method once; per-route sends
+            // do no path hashing and negotiate the positional wire.
             let queued_rib = profiler.point(points::QUEUED_FOR_RIB);
             let sent_rib = profiler.point(points::SENT_TO_RIB);
-            let xrl_router = router.clone();
+            let rib_client = xrl_ifaces::rib::Client::new(router, "rib");
             let batcher = (batch_size > 1).then(|| {
                 RouteBatcher::new(
-                    xrl_router.clone(),
-                    "rib",
-                    "rib",
+                    BulkRouteSink::rib(&rib_client),
                     batch_size,
                     batch_flush_ms,
                     sent_rib.clone(),
@@ -360,13 +558,11 @@ impl BgpFactory {
                     let net = op.net();
                     let (add, row, what) = match &op {
                         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
-                            (true, route_row(net, route), "add")
+                            (true, xrl_ifaces::add_row(net, route), "add")
                         }
-                        RouteOp::Delete { old, .. } => (
-                            false,
-                            vec![AtomValue::Ipv4Net(net), AtomValue::Text(old.proto.name())],
-                            "del",
-                        ),
+                        RouteOp::Delete { old, .. } => {
+                            (false, xrl_ifaces::delete_row(net, Some(old.proto)), "del")
+                        }
                     };
                     let payload = format!("{what} {net}");
                     queued_rib.record(|| payload.clone());
@@ -375,25 +571,31 @@ impl BgpFactory {
             } else {
                 bgp.set_rib_output(el, move |el, _origin, op| {
                     let net = op.net();
-                    let (method, args, what) = match &op {
+                    match &op {
                         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
-                            ("add_route", route_args(net, route), "add")
+                            let w = RouteWire::from_entry(net, route);
+                            queued_rib.record(|| format!("add {net}"));
+                            // Stamp before the send: once the frame is on the
+                            // wire the peer's reader thread may stamp its
+                            // arrival point first, breaking pipeline
+                            // monotonicity.
+                            sent_rib.record(|| format!("add {net}"));
+                            rib_client.add_route(
+                                el,
+                                w.net,
+                                w.nexthop,
+                                w.ifname,
+                                w.metric,
+                                w.proto.name(),
+                                |_el, _res| {},
+                            );
                         }
-                        RouteOp::Delete { old, .. } => (
-                            "delete_route",
-                            XrlArgs::new()
-                                .add_ipv4net("net", net)
-                                .add_str("proto", &old.proto.name()),
-                            "del",
-                        ),
-                    };
-                    queued_rib.record(|| format!("{what} {net}"));
-                    let xrl = Xrl::generic("rib", "rib", "1.0", method, args);
-                    // Stamp before the send: once the frame is on the wire the
-                    // peer's reader thread may stamp its arrival point first,
-                    // breaking pipeline monotonicity.
-                    sent_rib.record(|| format!("{what} {net}"));
-                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                        RouteOp::Delete { old, .. } => {
+                            queued_rib.record(|| format!("del {net}"));
+                            sent_rib.record(|| format!("del {net}"));
+                            rib_client.delete_route(el, net, old.proto.name(), |_el, _res| {});
+                        }
+                    }
                 });
             }
 
@@ -459,22 +661,7 @@ impl BgpFactory {
             router.register_target("bgp", "bgp-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "bgp-0");
             add_profile_responder(router, "bgp-0", &profiler, &metrics);
-            let b = bgp.clone();
-            router.add_fn("bgp-0", "bgp/1.0/invalidate", move |el, args| {
-                let net = args.get_ipv4net("net")?;
-                b.borrow_mut().invalidate_nexthops(el, net);
-                Ok(XrlArgs::new())
-            });
-            // Graceful-restart refresh on demand (e.g. after a RIB
-            // restart): schedule a background dump of the best table to
-            // the RIB reader.  `count` is the number of stored routes the
-            // dump will visit — the walk itself proceeds in event-loop
-            // slices after this reply.
-            let b = bgp.clone();
-            router.add_fn("bgp-0", "bgp/1.0/readvertise", move |el, _args| {
-                let n = b.borrow_mut().readvertise_rib(el);
-                Ok(XrlArgs::new().add_u32("count", n as u32))
-            });
+            xrl_ifaces::bgp::register(router, "bgp-0", BgpServer { bgp: bgp.clone() });
 
             // A restarted BGP re-learns its table from its peers, which
             // re-announce when the sessions re-establish; the harness
@@ -526,8 +713,10 @@ impl MultiProcessRouter {
         let fea_profiler = profiler.clone();
         let fea_metrics = metrics.scoped("fea");
         let knobs = apply_knobs.clone();
+        let fea_v1_only = options.wire_v1_only == Some("fea");
         let fea = Process::spawn("fea", finder.clone(), move |el, router| {
             knobs(router);
+            router.set_wire_v1_only(fea_v1_only);
             router.set_metrics(&fea_metrics);
             el.set_metrics(&fea_metrics);
             let mut fea = Fea::new();
@@ -539,81 +728,14 @@ impl MultiProcessRouter {
             router.register_target("fea", "fea-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "fea-0");
             add_profile_responder(router, "fea-0", &fea_profiler, &fea_metrics);
-            let fea_in = fea_profiler.point(points::FEA_IN);
-            let point = fea_in.clone();
-            let f = fea.clone();
-            router.add_fn("fea-0", "fea/1.0/add_route", move |_el, args| {
-                let net = args.get_ipv4net("net")?;
-                point.record(|| format!("add {net}"));
-                let entry = FibEntry {
-                    net,
-                    nexthop: IpAddr::V4(args.get_ipv4("nexthop")?),
-                    ifname: {
-                        let i = args.get_text("ifname")?;
-                        if i.is_empty() {
-                            "eth0".to_string()
-                        } else {
-                            i
-                        }
-                    },
-                    metric: args.get_u32("metric")?,
-                };
-                f.borrow_mut().add_route4(entry); // stamps KERNEL
-                Ok(XrlArgs::new())
-            });
-            let point = fea_in.clone();
-            let f = fea.clone();
-            router.add_fn("fea-0", "fea/1.0/delete_route", move |_el, args| {
-                let net = args.get_ipv4net("net")?;
-                point.record(|| format!("del {net}"));
-                f.borrow_mut().delete_route4(&net);
-                Ok(XrlArgs::new())
-            });
-            // Vectorized twins of add_route/delete_route — N FIB edits per
-            // frame.  All rows are validated before any is applied.
-            let point = fea_in.clone();
-            let f = fea.clone();
-            router.add_fn("fea-0", "fea/1.0/add_routes", move |_el, args| {
-                let rows = args.get_rows("routes")?;
-                let mut parsed = Vec::with_capacity(rows.len());
-                for (i, row) in rows.iter().enumerate() {
-                    parsed.push(decode_add_row(i, row)?);
-                }
-                let n = parsed.len();
-                for p in parsed {
-                    point.record(|| format!("add {}", p.net));
-                    f.borrow_mut().add_route4(FibEntry {
-                        net: p.net,
-                        nexthop: IpAddr::V4(p.nexthop),
-                        ifname: if p.ifname.is_empty() {
-                            "eth0".to_string()
-                        } else {
-                            p.ifname
-                        },
-                        metric: p.metric,
-                    }); // stamps KERNEL
-                }
-                Ok(XrlArgs::new().add_u32("count", n as u32))
-            });
-            let point = fea_in.clone();
-            let f = fea.clone();
-            router.add_fn("fea-0", "fea/1.0/delete_routes", move |_el, args| {
-                let rows = args.get_rows("routes")?;
-                let mut parsed = Vec::with_capacity(rows.len());
-                for (i, row) in rows.iter().enumerate() {
-                    parsed.push(decode_delete_row(i, row)?.0);
-                }
-                let n = parsed.len();
-                for net in parsed {
-                    point.record(|| format!("del {net}"));
-                    f.borrow_mut().delete_route4(&net);
-                }
-                Ok(XrlArgs::new().add_u32("count", n as u32))
-            });
-            let f = fea.clone();
-            router.add_fn("fea-0", "fea/1.0/route_count", move |_el, _args| {
-                Ok(XrlArgs::new().add_u32("count", f.borrow().route_count4() as u32))
-            });
+            xrl_ifaces::fea::register(
+                router,
+                "fea-0",
+                FeaServer {
+                    fea: fea.clone(),
+                    fea_in: fea_profiler.point(points::FEA_IN),
+                },
+            );
         });
 
         // ---- RIB process ----------------------------------------------------
@@ -625,25 +747,16 @@ impl MultiProcessRouter {
         let batch_size = options.batch_size;
         let batch_flush_ms = options.batch_flush_ms;
         let rib_delay = options.rib_delay_ms;
+        let rib_v1_only = options.wire_v1_only == Some("rib");
         let rib = Process::spawn("rib", finder.clone(), move |el, router| {
             knobs(router);
+            router.set_wire_v1_only(rib_v1_only);
             router.set_metrics(&rib_metrics);
             el.set_metrics(&rib_metrics);
             // Busy-RIB model for the overload experiments: route XRLs are
             // applied on arrival but acknowledged only after `delay`, so
             // the sender sees a slow consumer and its lane backs up.
             let delay = (rib_delay > 0).then(|| Duration::from_millis(rib_delay));
-            let reply_after =
-                move |el: &mut EventLoop,
-                      responder: xorp_xrl::Responder,
-                      reply: Result<XrlArgs, XrlError>| {
-                    match delay {
-                        Some(d) => {
-                            el.after(d, move |el| responder.reply(el, reply));
-                        }
-                        None => responder.reply(el, reply),
-                    }
-                };
             let rib = Rc::new(RefCell::new(Rib::<Ipv4Addr>::new(check)));
             rib.borrow_mut().set_metrics(&rib_metrics);
             el.set_slot(RibSlot(rib.clone()));
@@ -687,12 +800,10 @@ impl MultiProcessRouter {
             // the FIB permanently short of the RIB.
             let queued_fea = rib_profiler.point(points::QUEUED_FOR_FEA);
             let sent_fea = rib_profiler.point(points::SENT_TO_FEA);
-            let xrl_router = router.clone();
+            let fea_client = xrl_ifaces::fea::Client::new(router, "fea");
             let batcher = (batch_size > 1).then(|| {
                 RouteBatcher::new(
-                    xrl_router.clone(),
-                    "fea",
-                    "fea",
+                    BulkRouteSink::fea(&fea_client),
                     batch_size,
                     batch_flush_ms,
                     sent_fea.clone(),
@@ -703,9 +814,9 @@ impl MultiProcessRouter {
                     let net = op.net();
                     let (add, row, what) = match &op {
                         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
-                            (true, route_row(net, route), "add")
+                            (true, xrl_ifaces::add_row(net, route), "add")
                         }
-                        RouteOp::Delete { .. } => (false, vec![AtomValue::Ipv4Net(net)], "del"),
+                        RouteOp::Delete { .. } => (false, xrl_ifaces::delete_row(net, None), "del"),
                     };
                     let payload = format!("{what} {net}");
                     queued_fea.record(|| payload.clone());
@@ -713,21 +824,28 @@ impl MultiProcessRouter {
                 }),
                 None => Rc::new(move |el, op| {
                     let net = op.net();
-                    let (method, args, what) = match &op {
+                    match &op {
                         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
-                            ("add_route", route_args(net, route), "add")
+                            let w = RouteWire::from_entry(net, route);
+                            queued_fea.record(|| format!("add {net}"));
+                            // Stamp before the send (see the RIB-ward path
+                            // above).
+                            sent_fea.record(|| format!("add {net}"));
+                            fea_client.add_route(
+                                el,
+                                w.net,
+                                w.nexthop,
+                                w.ifname,
+                                w.metric,
+                                |_el, _r| {},
+                            );
                         }
-                        RouteOp::Delete { .. } => (
-                            "delete_route",
-                            XrlArgs::new().add_ipv4net("net", net),
-                            "del",
-                        ),
-                    };
-                    queued_fea.record(|| format!("{what} {net}"));
-                    let xrl = Xrl::generic("fea", "fea", "1.0", method, args);
-                    // Stamp before the send (see the RIB-ward path above).
-                    sent_fea.record(|| format!("{what} {net}"));
-                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                        RouteOp::Delete { .. } => {
+                            queued_fea.record(|| format!("del {net}"));
+                            sent_fea.record(|| format!("del {net}"));
+                            fea_client.delete_route(el, net, |_el, _r| {});
+                        }
+                    }
                 }),
             };
             rib.borrow_mut().add_redist_watcher(
@@ -776,149 +894,26 @@ impl MultiProcessRouter {
             }
 
             // Invalidation: tell BGP its cached answers died (§5.2.1).
-            let xrl_router = router.clone();
+            let bgp_client = xrl_ifaces::bgp::Client::new(router, "bgp");
             rib.borrow_mut().set_invalidation_cb(
                 1, // client id for the BGP process
                 Rc::new(move |el, _client, valid| {
-                    let xrl = Xrl::generic(
-                        "bgp",
-                        "bgp",
-                        "1.0",
-                        "invalidate",
-                        XrlArgs::new().add_ipv4net("net", valid),
-                    );
-                    xrl_router.send(el, xrl, Box::new(|_el, _res| {}));
+                    bgp_client.invalidate(el, valid, |_el, _r| {});
                 }),
             );
 
             router.register_target("rib", "rib-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "rib-0");
             add_profile_responder(router, "rib-0", &rib_profiler, &rib_metrics);
-            let rib_in = rib_profiler.point(points::RIB_IN);
-            let point = rib_in.clone();
-            let r = rib.clone();
-            router.add_handler("rib-0", "rib/1.0/add_route", move |el, args, responder| {
-                let reply = (|| {
-                    let net = args.get_ipv4net("net")?;
-                    point.record(|| format!("add {net}"));
-                    let proto =
-                        ProtocolId::from_name(&args.get_text("proto")?).unwrap_or(ProtocolId::Ebgp);
-                    let mut attrs = PathAttributes::new(IpAddr::V4(args.get_ipv4("nexthop")?));
-                    attrs.ebgp = proto == ProtocolId::Ebgp;
-                    let mut route =
-                        RouteEntry::new(net, Arc::new(attrs), args.get_u32("metric")?, proto);
-                    let ifname = args.get_text("ifname")?;
-                    if !ifname.is_empty() {
-                        route.ifname = Some(ifname.as_str().into());
-                    }
-                    r.borrow_mut().add_route(el, route);
-                    Ok(XrlArgs::new())
-                })();
-                reply_after(el, responder, reply);
-            });
-            let point = rib_in.clone();
-            let r = rib.clone();
-            router.add_handler(
+            xrl_ifaces::rib::register(
+                router,
                 "rib-0",
-                "rib/1.0/delete_route",
-                move |el, args, responder| {
-                    let reply = (|| {
-                        let net = args.get_ipv4net("net")?;
-                        point.record(|| format!("del {net}"));
-                        let proto = ProtocolId::from_name(&args.get_text("proto")?)
-                            .unwrap_or(ProtocolId::Ebgp);
-                        r.borrow_mut().delete_route(el, proto, net);
-                        Ok(XrlArgs::new())
-                    })();
-                    reply_after(el, responder, reply);
+                RibServer {
+                    rib: rib.clone(),
+                    rib_in: rib_profiler.point(points::RIB_IN),
+                    delay,
                 },
             );
-            // Vectorized twins: N routes per frame, applied through
-            // Rib::apply_batch (one resolve/redistribution pass).  Row
-            // validation is transactional — a malformed row rejects the
-            // whole frame before any route is applied.
-            let point = rib_in.clone();
-            let r = rib.clone();
-            router.add_handler("rib-0", "rib/1.0/add_routes", move |el, args, responder| {
-                let reply = (|| {
-                    let rows = args.get_rows("routes")?;
-                    let mut parsed = Vec::with_capacity(rows.len());
-                    for (i, row) in rows.iter().enumerate() {
-                        parsed.push(decode_add_row(i, row)?);
-                    }
-                    let mut ops = Vec::with_capacity(parsed.len());
-                    for p in parsed {
-                        point.record(|| format!("add {}", p.net));
-                        let mut attrs = PathAttributes::new(IpAddr::V4(p.nexthop));
-                        attrs.ebgp = p.proto == ProtocolId::Ebgp;
-                        let mut route = RouteEntry::new(p.net, Arc::new(attrs), p.metric, p.proto);
-                        if !p.ifname.is_empty() {
-                            route.ifname = Some(p.ifname.as_str().into());
-                        }
-                        ops.push(BatchOp::Add(route));
-                    }
-                    let n = r.borrow_mut().apply_batch(el, ops);
-                    Ok(XrlArgs::new().add_u32("count", n as u32))
-                })();
-                reply_after(el, responder, reply);
-            });
-            let point = rib_in.clone();
-            let r = rib.clone();
-            router.add_handler(
-                "rib-0",
-                "rib/1.0/delete_routes",
-                move |el, args, responder| {
-                    let reply = (|| {
-                        let rows = args.get_rows("routes")?;
-                        let mut parsed = Vec::with_capacity(rows.len());
-                        for (i, row) in rows.iter().enumerate() {
-                            parsed.push(decode_delete_row(i, row)?);
-                        }
-                        let mut ops = Vec::with_capacity(parsed.len());
-                        for (net, proto) in parsed {
-                            point.record(|| format!("del {net}"));
-                            ops.push(BatchOp::Delete { proto, net });
-                        }
-                        let n = r.borrow_mut().apply_batch(el, ops);
-                        Ok(XrlArgs::new().add_u32("count", n as u32))
-                    })();
-                    reply_after(el, responder, reply);
-                },
-            );
-            let r = rib.clone();
-            router.add_fn("rib-0", "rib/1.0/register_interest", move |_el, args| {
-                let addr = args.get_ipv4("addr")?;
-                let ans = r.borrow_mut().register_interest(1, addr);
-                let mut out = XrlArgs::new().add_ipv4net("valid", ans.valid);
-                match ans.route {
-                    Some(route) => {
-                        out = out
-                            .add_bool("reachable", true)
-                            .add_u32("metric", route.metric)
-                    }
-                    None => out = out.add_bool("reachable", false).add_u32("metric", 0),
-                }
-                Ok(out)
-            });
-            let r = rib.clone();
-            router.add_fn("rib-0", "rib/1.0/route_count", move |_el, _args| {
-                Ok(XrlArgs::new().add_u32("count", r.borrow().route_count() as u32))
-            });
-            // Immediate flush of a protocol's routes — the supervisor's
-            // permanent-death action when a restart budget is spent.
-            let r = rib.clone();
-            router.add_fn("rib-0", "rib/1.0/flush_protocol", move |el, args| {
-                let proto =
-                    ProtocolId::from_name(&args.get_text("proto")?).unwrap_or(ProtocolId::Ebgp);
-                r.borrow_mut().clear_protocol(el, proto);
-                Ok(XrlArgs::new())
-            });
-            let r = rib.clone();
-            router.add_fn("rib-0", "rib/1.0/stale_count", move |_el, args| {
-                let proto =
-                    ProtocolId::from_name(&args.get_text("proto")?).unwrap_or(ProtocolId::Ebgp);
-                Ok(XrlArgs::new().add_u32("count", r.borrow().stale_count(proto) as u32))
-            });
         });
 
         // ---- BGP process ----------------------------------------------------
@@ -938,6 +933,7 @@ impl MultiProcessRouter {
             crash_on_spawn: crash_on_spawn.clone(),
             batch_size: options.batch_size,
             batch_flush_ms: options.batch_flush_ms,
+            wire_v1_only: options.wire_v1_only == Some("bgp"),
         });
         let bgp: SharedBgp = Arc::new(Mutex::new(Some(factory.spawn())));
 
@@ -976,6 +972,7 @@ impl MultiProcessRouter {
 
                 // Probe round-trip latency, µs (§3.1 liveness telemetry).
                 let probe_latency = sup_metrics.histogram("probe_latency_us");
+                let rib_client = xrl_ifaces::rib::Client::new(router, "rib");
                 let probe_router = router.clone();
                 el.every(cfg.keepalive_interval, move |el| {
                     let now = Duration::from_nanos(el.now().as_nanos());
@@ -997,7 +994,7 @@ impl MultiProcessRouter {
                     }
                     if sup.lock().should_probe("bgp") {
                         let sup = sup.clone();
-                        let flush_router = probe_router.clone();
+                        let rib_client = rib_client.clone();
                         let probe_latency = probe_latency.clone();
                         let t0 = Instant::now();
                         keepalive::probe_liveness(
@@ -1022,14 +1019,11 @@ impl MultiProcessRouter {
                                     // Budget spent: permanent death.  Flush the
                                     // protocol's routes now — the grace window
                                     // no longer applies.
-                                    let xrl = Xrl::generic(
-                                        "rib",
-                                        "rib",
-                                        "1.0",
-                                        "flush_protocol",
-                                        XrlArgs::new().add_str("proto", &ProtocolId::Ebgp.name()),
+                                    rib_client.flush_protocol(
+                                        el,
+                                        ProtocolId::Ebgp.name(),
+                                        |_el, _r| {},
                                     );
-                                    flush_router.send(el, xrl, Box::new(|_el, _res| {}));
                                 }
                             },
                         );

@@ -1,0 +1,205 @@
+//! The harness router's XRL interfaces, declared once with
+//! [`xorp_xrl::xrl_interface!`] — the single source of truth for the
+//! typed client stubs, the server traits, the dispatch tables, and the
+//! wire-v2 signature hashes of the `rib/1.0`, `fea/1.0` and `bgp/1.0`
+//! surfaces.
+//!
+//! Alongside the interfaces lives the shared **route codec**: the one
+//! place that knows how a route crosses the wire, both as the positional
+//! arguments of `add_route`/`delete_route` and as the row layout inside
+//! the vectorized `add_routes`/`delete_routes` frames.  BGP→RIB and
+//! RIB→FEA use the same encoding; previously each hop carried its own
+//! copy of these helpers.
+
+use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
+
+use xorp_event::EventLoop;
+use xorp_net::{Ipv4Net, ProtocolId, RouteEntry};
+use xorp_xrl::{xrl_interface, AtomValue, XrlError};
+
+xrl_interface! {
+    /// The RIB's route surface: per-route and vectorized edits, nexthop
+    /// interest registration (§5.1.1), and the supervision hooks
+    /// (`flush_protocol`, `stale_count`).
+    pub interface rib("rib", "1.0") {
+        fn add_route(net: Ipv4Net, nexthop: Ipv4Addr, ifname: String, metric: u32, proto: String);
+        fn delete_route(net: Ipv4Net, proto: String);
+        fn add_routes(routes: Vec<AtomValue>) -> (count: u32);
+        fn delete_routes(routes: Vec<AtomValue>) -> (count: u32);
+        fn register_interest(addr: Ipv4Addr) -> (valid: Ipv4Net, reachable: bool, metric: u32);
+        fn route_count() -> (count: u32);
+        fn flush_protocol(proto: String);
+        fn stale_count(proto: String) -> (count: u32);
+    }
+}
+
+xrl_interface! {
+    /// The FEA's FIB surface.  The FEA keys its FIB purely by prefix, so
+    /// deletions carry no protocol.
+    pub interface fea("fea", "1.0") {
+        fn add_route(net: Ipv4Net, nexthop: Ipv4Addr, ifname: String, metric: u32);
+        fn delete_route(net: Ipv4Net);
+        fn add_routes(routes: Vec<AtomValue>) -> (count: u32);
+        fn delete_routes(routes: Vec<AtomValue>) -> (count: u32);
+        fn route_count() -> (count: u32);
+    }
+}
+
+xrl_interface! {
+    /// BGP's session-facing surface: nexthop-cache invalidation (§5.2.1)
+    /// and the graceful-restart readvertisement trigger.
+    pub interface bgp("bgp", "1.0") {
+        fn invalidate(net: Ipv4Net);
+        fn readvertise() -> (count: u32);
+    }
+}
+
+/// A route as it crosses the wire: the decoded form of one
+/// `add_route` argument set or one `add_routes` row.
+pub struct RouteWire {
+    pub net: Ipv4Net,
+    pub nexthop: Ipv4Addr,
+    pub ifname: String,
+    pub metric: u32,
+    pub proto: ProtocolId,
+}
+
+impl RouteWire {
+    /// Project a RIB route entry onto its wire form (IPv6 nexthops map to
+    /// the unspecified v4 address; this harness routes IPv4).
+    pub fn from_entry(net: Ipv4Net, route: &RouteEntry<Ipv4Addr>) -> RouteWire {
+        RouteWire {
+            net,
+            nexthop: match route.nexthop() {
+                IpAddr::V4(a) => a,
+                IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+            },
+            ifname: route.ifname.as_deref().unwrap_or("").to_string(),
+            metric: route.metric,
+            proto: route.proto,
+        }
+    }
+}
+
+/// Encode a route into one batched-XRL row: `[net, nexthop, ifname,
+/// metric, proto]` — the positional twin of the `add_route` argument
+/// list.  FEA-side decoding ignores the trailing `proto`.
+pub fn add_row(net: Ipv4Net, route: &RouteEntry<Ipv4Addr>) -> Vec<AtomValue> {
+    let w = RouteWire::from_entry(net, route);
+    vec![
+        AtomValue::Ipv4Net(w.net),
+        AtomValue::Ipv4(w.nexthop),
+        AtomValue::Text(w.ifname),
+        AtomValue::U32(w.metric),
+        AtomValue::Text(w.proto.name()),
+    ]
+}
+
+/// Encode a deletion row: `[net]`, or `[net, proto]` when the receiver
+/// keys by protocol (the RIB does, the FEA does not).
+pub fn delete_row(net: Ipv4Net, proto: Option<ProtocolId>) -> Vec<AtomValue> {
+    match proto {
+        Some(p) => vec![AtomValue::Ipv4Net(net), AtomValue::Text(p.name())],
+        None => vec![AtomValue::Ipv4Net(net)],
+    }
+}
+
+fn row_err(i: usize, what: &str) -> XrlError {
+    XrlError::BadArgs(format!("routes[{i}]: {what}"))
+}
+
+fn as_row(i: usize, value: &AtomValue) -> Result<&[AtomValue], XrlError> {
+    match value {
+        AtomValue::List(items) => Ok(items),
+        _ => Err(row_err(i, "row is not a list")),
+    }
+}
+
+/// Decode one `[net, nexthop, ifname, metric, proto]` row.
+pub fn decode_add_row(i: usize, value: &AtomValue) -> Result<RouteWire, XrlError> {
+    match as_row(i, value)? {
+        [AtomValue::Ipv4Net(net), AtomValue::Ipv4(nexthop), AtomValue::Text(ifname), AtomValue::U32(metric), AtomValue::Text(proto)] => {
+            Ok(RouteWire {
+                net: *net,
+                nexthop: *nexthop,
+                ifname: ifname.clone(),
+                metric: *metric,
+                proto: ProtocolId::from_name(proto).unwrap_or(ProtocolId::Ebgp),
+            })
+        }
+        _ => Err(row_err(i, "expected [net, nexthop, ifname, metric, proto]")),
+    }
+}
+
+/// Decode one `[net]` or `[net, proto]` deletion row.
+pub fn decode_delete_row(i: usize, value: &AtomValue) -> Result<(Ipv4Net, ProtocolId), XrlError> {
+    match as_row(i, value)? {
+        [AtomValue::Ipv4Net(net)] => Ok((*net, ProtocolId::Ebgp)),
+        [AtomValue::Ipv4Net(net), AtomValue::Text(proto)] => Ok((
+            *net,
+            ProtocolId::from_name(proto).unwrap_or(ProtocolId::Ebgp),
+        )),
+        _ => Err(row_err(i, "expected [net] or [net, proto]")),
+    }
+}
+
+/// Decode every row of an `add_routes` frame, transactionally: one bad
+/// row rejects the whole frame before any route is applied.
+pub fn decode_add_rows(rows: &[AtomValue]) -> Result<Vec<RouteWire>, XrlError> {
+    rows.iter()
+        .enumerate()
+        .map(|(i, v)| decode_add_row(i, v))
+        .collect()
+}
+
+/// Decode every row of a `delete_routes` frame, transactionally.
+pub fn decode_delete_rows(rows: &[AtomValue]) -> Result<Vec<(Ipv4Net, ProtocolId)>, XrlError> {
+    rows.iter()
+        .enumerate()
+        .map(|(i, v)| decode_delete_row(i, v))
+        .collect()
+}
+
+/// A direction-agnostic handle on one target's vectorized route methods,
+/// so the [`crate::batch::RouteBatcher`] works over either typed stub
+/// (BGP→RIB and RIB→FEA) without knowing which interface it feeds.
+#[derive(Clone)]
+pub struct BulkRouteSink {
+    add: RowSender,
+    del: RowSender,
+}
+
+/// One direction of a sink: ship a vector of packed route rows.
+type RowSender = Rc<dyn Fn(&mut EventLoop, Vec<AtomValue>)>;
+
+impl BulkRouteSink {
+    /// Wrap a RIB client's `add_routes`/`delete_routes`.
+    pub fn rib(client: &rib::Client) -> BulkRouteSink {
+        let a = client.clone();
+        let d = client.clone();
+        BulkRouteSink {
+            add: Rc::new(move |el, rows| a.add_routes(el, rows, |_el, _r| {})),
+            del: Rc::new(move |el, rows| d.delete_routes(el, rows, |_el, _r| {})),
+        }
+    }
+
+    /// Wrap a FEA client's `add_routes`/`delete_routes`.
+    pub fn fea(client: &fea::Client) -> BulkRouteSink {
+        let a = client.clone();
+        let d = client.clone();
+        BulkRouteSink {
+            add: Rc::new(move |el, rows| a.add_routes(el, rows, |_el, _r| {})),
+            del: Rc::new(move |el, rows| d.delete_routes(el, rows, |_el, _r| {})),
+        }
+    }
+
+    /// Ship one same-direction run of encoded rows.
+    pub fn send(&self, el: &mut EventLoop, add: bool, rows: Vec<AtomValue>) {
+        if add {
+            (self.add)(el, rows)
+        } else {
+            (self.del)(el, rows)
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! End-to-end `profile/1.0` tests: an external observer with its own
 //! event loop arms the §8.2 route-flow points over the real XRL
-//! transport, drives a workload through the three-process router, and
-//! reads the records and the shared metrics registry back over the wire.
+//! transport — through the typed `profile/1.0` client stub — drives a
+//! workload through the three-process router, and reads the records and
+//! the shared metrics registry back over the wire.
 //!
 //! The second test congests the BGP→RIB data lane (tight watermarks plus
 //! a slow RIB) and shows the profiling target still answers while the
@@ -15,35 +16,27 @@ use std::time::{Duration, Instant};
 
 use xorp_harness::router::{MultiProcessRouter, RouterOptions};
 use xorp_harness::workload::{backbone_table, WorkloadConfig};
-use xorp_xrl::profile::{decode_metrics, decode_points, decode_records, ROUTE_FLOW_ALIAS};
-use xorp_xrl::{QueuePolicy, Xrl, XrlArgs, XrlError, XrlRouter};
+use xorp_xrl::profile::profile::Client as ProfileClient;
+use xorp_xrl::profile::{
+    decode_metrics, decode_points, decode_records, MetricRow, ROUTE_FLOW_ALIAS,
+};
+use xorp_xrl::{QueuePolicy, XrlError, XrlRouter};
 
-/// Send one `profile/1.0` XRL from the observer loop and spin until the
-/// reply lands.
-fn call(
-    el: &mut xorp_event::EventLoop,
-    router: &XrlRouter,
-    target: &str,
-    method: &str,
-    args: XrlArgs,
-) -> Result<XrlArgs, XrlError> {
-    let slot: Rc<RefCell<Option<Result<XrlArgs, XrlError>>>> = Rc::new(RefCell::new(None));
-    let s2 = slot.clone();
-    let xrl = Xrl::generic(target, "profile", "1.0", method, args);
-    router.send(
-        el,
-        xrl,
-        Box::new(move |_el, res| {
-            *s2.borrow_mut() = Some(res);
-        }),
-    );
+type Slot<T> = Rc<RefCell<Option<Result<T, XrlError>>>>;
+
+fn slot<T>() -> Slot<T> {
+    Rc::new(RefCell::new(None))
+}
+
+/// Spin the observer loop until the typed reply lands.
+fn wait<T>(el: &mut xorp_event::EventLoop, slot: &Slot<T>, what: &str) -> T {
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         if let Some(res) = slot.borrow_mut().take() {
-            return res;
+            return res.unwrap_or_else(|e| panic!("{what} failed: {e}"));
         }
         if Instant::now() > deadline {
-            return Err(XrlError::Transport(format!("{target}/{method} timed out")));
+            panic!("{what} timed out");
         }
         if !el.run_one() {
             el.run_for(Duration::from_millis(1));
@@ -62,28 +55,57 @@ fn observer(router: &MultiProcessRouter) -> (xorp_event::EventLoop, XrlRouter) {
     (el, obs)
 }
 
+/// `enable`/`disable` one point (or alias) and return the `ok` flag.
+fn arm(el: &mut xorp_event::EventLoop, client: &ProfileClient, point: &str, on: bool) -> bool {
+    let r = slot();
+    let s = r.clone();
+    let cb = move |_el: &mut xorp_event::EventLoop, reply| *s.borrow_mut() = Some(reply);
+    if on {
+        client.enable(el, point.to_string(), cb);
+    } else {
+        client.disable(el, point.to_string(), cb);
+    }
+    wait(el, &r, "profile enable/disable").0
+}
+
+/// Fetch and decode the point listing.
+fn list_points(
+    el: &mut xorp_event::EventLoop,
+    client: &ProfileClient,
+) -> Vec<xorp_profiler::PointInfo> {
+    let r = slot();
+    let s = r.clone();
+    client.list(el, move |_el, reply| *s.borrow_mut() = Some(reply));
+    let (rows,) = wait(el, &r, "profile list");
+    decode_points(&rows).expect("bad list reply")
+}
+
+/// Fetch and decode the shared metrics registry.
+fn fetch_metrics(el: &mut xorp_event::EventLoop, client: &ProfileClient) -> Vec<MetricRow> {
+    let r = slot();
+    let s = r.clone();
+    client.get_metrics(el, move |_el, reply| *s.borrow_mut() = Some(reply));
+    let (rows,) = wait(el, &r, "profile get_metrics");
+    decode_metrics(&rows).expect("bad metrics reply")
+}
+
 /// Drain every buffered record for `point` over the wire in bounded
 /// slices, returning (records, dropped).
 fn drain_records(
     el: &mut xorp_event::EventLoop,
-    obs: &XrlRouter,
-    target: &str,
+    client: &ProfileClient,
     point: &str,
     max: u32,
 ) -> (Vec<xorp_profiler::Record>, u64) {
     let mut collected = Vec::new();
     loop {
-        let slice = decode_records(
-            &call(
-                el,
-                obs,
-                target,
-                "get_records",
-                XrlArgs::new().add_str("point", point).add_u32("max", max),
-            )
-            .expect("get_records failed"),
-        )
-        .expect("bad records reply");
+        let r = slot();
+        let s = r.clone();
+        client.get_records(el, point.to_string(), max, move |_el, reply| {
+            *s.borrow_mut() = Some(reply)
+        });
+        let (rows, remaining, dropped) = wait(el, &r, "profile get_records");
+        let slice = decode_records(&rows, remaining, dropped).expect("bad records reply");
         assert!(slice.records.len() <= max as usize, "slice overflowed max");
         collected.extend(slice.records);
         if slice.remaining == 0 {
@@ -99,17 +121,14 @@ fn profile_target_serves_records_and_metrics_over_xrl() {
     const ROUTES: usize = 400;
     let router = MultiProcessRouter::new(RouterOptions::default());
     let (mut el, obs) = observer(&router);
+    let bgp = ProfileClient::new(&obs, "bgp");
+
+    // Let the pre-installed connected route finish its RIB→FEA trip before
+    // arming, so the workload's stamps are the only ones recorded.
+    assert!(router.wait_for(Duration::from_secs(10), || router.fea_route_count() == 1));
 
     // Points start dormant; arm the whole route flow through BGP's target.
-    let reply = call(
-        &mut el,
-        &obs,
-        "bgp",
-        "enable",
-        XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
-    )
-    .expect("enable failed");
-    assert_eq!(reply.get_bool("ok"), Ok(true));
+    assert!(arm(&mut el, &bgp, ROUTE_FLOW_ALIAS, true));
 
     let table = backbone_table(&WorkloadConfig {
         routes: ROUTES,
@@ -127,18 +146,16 @@ fn profile_target_serves_records_and_metrics_over_xrl() {
     );
 
     // `list` sees all 8 points armed, and the entry point buffered the run.
-    let points =
-        decode_points(&call(&mut el, &obs, "bgp", "list", XrlArgs::new()).expect("list failed"))
-            .expect("bad list reply");
+    let points = list_points(&mut el, &bgp);
     assert_eq!(points.len(), 8, "expected the 8 route-flow points");
     assert!(points.iter().all(|p| p.enabled), "alias left a point off");
     let bgpin = points.iter().find(|p| p.name == "route_bgpin").unwrap();
-    assert_eq!(bgpin.len as usize, ROUTES, "entry point missed records");
+    assert_eq!(bgpin.len, ROUTES, "entry point missed records");
 
     // Records drain in bounded slices, clear as they go, and each point's
     // stamps are monotone (stamped under the profiler lock).
     for point in ["route_bgpin", "route_ribin", "route_feain"] {
-        let (records, dropped) = drain_records(&mut el, &obs, "bgp", point, 128);
+        let (records, dropped) = drain_records(&mut el, &bgp, point, 128);
         assert_eq!(records.len(), ROUTES, "{point}: lost records");
         assert_eq!(dropped, 0, "{point}: dropped in a small run");
         assert!(
@@ -147,15 +164,12 @@ fn profile_target_serves_records_and_metrics_over_xrl() {
         );
     }
     // get_records clears: a second drain of the same point is empty.
-    let (again, _) = drain_records(&mut el, &obs, "bgp", "route_bgpin", 128);
+    let (again, _) = drain_records(&mut el, &bgp, "route_bgpin", 128);
     assert!(again.is_empty(), "get_records did not clear the buffer");
 
     // The registry is process-shared: one target serves every process's
     // instrumentation, fully qualified, with sane values.
-    let metrics = decode_metrics(
-        &call(&mut el, &obs, "bgp", "get_metrics", XrlArgs::new()).expect("get_metrics failed"),
-    )
-    .expect("bad metrics reply");
+    let metrics = fetch_metrics(&mut el, &bgp);
     for name in [
         "bgp.xrl.pending",
         "bgp.fanout.queue_len",
@@ -171,22 +185,12 @@ fn profile_target_serves_records_and_metrics_over_xrl() {
         );
     }
     // The same registry is visible through a different process's target.
-    let via_rib = decode_metrics(
-        &call(&mut el, &obs, "rib", "get_metrics", XrlArgs::new()).expect("rib get_metrics failed"),
-    )
-    .expect("bad rib metrics reply");
+    let rib = ProfileClient::new(&obs, "rib");
+    let via_rib = fetch_metrics(&mut el, &rib);
     assert_eq!(via_rib.len(), metrics.len(), "registry views disagree");
 
     // disable stops recording: more routes arrive, no new records buffer.
-    let reply = call(
-        &mut el,
-        &obs,
-        "bgp",
-        "disable",
-        XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
-    )
-    .expect("disable failed");
-    assert_eq!(reply.get_bool("ok"), Ok(true));
+    assert!(arm(&mut el, &bgp, ROUTE_FLOW_ALIAS, false));
     router.announce_one(
         1,
         "172.16.0.0/16".parse().unwrap(),
@@ -195,9 +199,7 @@ fn profile_target_serves_records_and_metrics_over_xrl() {
     assert!(router.wait_for(Duration::from_secs(10), || {
         router.fea_route_count() >= ROUTES + 2
     }));
-    let points =
-        decode_points(&call(&mut el, &obs, "bgp", "list", XrlArgs::new()).expect("list failed"))
-            .expect("bad list reply");
+    let points = list_points(&mut el, &bgp);
     let bgpin = points.iter().find(|p| p.name == "route_bgpin").unwrap();
     assert!(!bgpin.enabled, "disable left the point armed");
     assert_eq!(bgpin.len, 0, "dormant point still buffered a record");
@@ -224,16 +226,9 @@ fn profile_target_answers_while_data_lane_xoffed() {
         ..Default::default()
     });
     let (mut el, obs) = observer(&router);
+    let bgp = ProfileClient::new(&obs, "bgp");
 
-    let reply = call(
-        &mut el,
-        &obs,
-        "bgp",
-        "enable",
-        XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
-    )
-    .expect("enable failed");
-    assert_eq!(reply.get_bool("ok"), Ok(true));
+    assert!(arm(&mut el, &bgp, ROUTE_FLOW_ALIAS, true));
 
     let table = backbone_table(&WorkloadConfig {
         routes: ROUTES,
@@ -253,15 +248,9 @@ fn profile_target_answers_while_data_lane_xoffed() {
     let mut congested_queries = 0;
     while router.bgp_congested() && congested_queries < 5 {
         let t0 = Instant::now();
-        let points = decode_points(
-            &call(&mut el, &obs, "bgp", "list", XrlArgs::new()).expect("list failed"),
-        )
-        .expect("bad list reply");
+        let points = list_points(&mut el, &bgp);
         assert_eq!(points.len(), 8);
-        let metrics = decode_metrics(
-            &call(&mut el, &obs, "bgp", "get_metrics", XrlArgs::new()).expect("get_metrics failed"),
-        )
-        .expect("bad metrics reply");
+        let metrics = fetch_metrics(&mut el, &bgp);
         assert!(!metrics.is_empty());
         assert!(
             t0.elapsed() < Duration::from_secs(5),
@@ -286,17 +275,14 @@ fn profile_target_answers_while_data_lane_xoffed() {
     // Stamps taken while the lane cycled Xoff/Xon are still monotone per
     // point, and the Xoff counter actually moved.
     for point in ["route_bgpin", "route_sent_rib", "route_ribin"] {
-        let (records, _) = drain_records(&mut el, &obs, "bgp", point, 512);
+        let (records, _) = drain_records(&mut el, &bgp, point, 512);
         assert!(!records.is_empty(), "{point}: no records under load");
         assert!(
             records.windows(2).all(|w| w[0].nanos <= w[1].nanos),
             "{point}: timestamps not monotone under backpressure"
         );
     }
-    let metrics = decode_metrics(
-        &call(&mut el, &obs, "bgp", "get_metrics", XrlArgs::new()).expect("get_metrics failed"),
-    )
-    .expect("bad metrics reply");
+    let metrics = fetch_metrics(&mut el, &bgp);
     // The sender charges its own lane, so BGP's router is where the
     // BGP→RIB watermark crossing is counted.
     let xoff = metrics

@@ -1,0 +1,74 @@
+//! Mixed-version smoke: one process pinned to the v1 named wire inside an
+//! otherwise wire-v2 router.  Negotiation is per-hop — the pinned
+//! process's peers fall back to named frames on the affected hops while
+//! the rest of the pipeline stays positional — and the route flow must
+//! converge exactly as an all-v2 router does, per-route and batched.
+
+use std::time::Duration;
+
+use xorp_harness::{backbone_table, test_route, MultiProcessRouter, RouterOptions, WorkloadConfig};
+
+/// Drive a workload through a router with `pinned` speaking v1 only, and
+/// assert full convergence plus a clean withdraw.
+fn converges_with_v1_only(pinned: &'static str, batch_size: usize) {
+    const ROUTES: usize = 300;
+    let router = MultiProcessRouter::new(RouterOptions {
+        wire_v1_only: Some(pinned),
+        batch_size,
+        ..Default::default()
+    });
+
+    let table = backbone_table(&WorkloadConfig {
+        routes: ROUTES,
+        ..Default::default()
+    });
+    for batch in table.chunks(64) {
+        router.feed_backbone(1, batch);
+    }
+    assert!(
+        router.wait_for(Duration::from_secs(60), || {
+            router.fea_route_count() > ROUTES
+        }),
+        "mixed-version router ({pinned} on v1, batch {batch_size}) never converged: \
+         fea={} rib={} bgp={}",
+        router.fea_route_count(),
+        router.rib_route_count(),
+        router.bgp_route_count(),
+    );
+
+    // Deletions cross the downgraded hop too: announce one probe route
+    // (outside the backbone's prefix space), then withdraw it.
+    let converged = router.fea_route_count();
+    router.announce_one(1, test_route(0), "192.168.1.1".parse().unwrap());
+    assert!(router.wait_for(Duration::from_secs(10), || {
+        router.fea_route_count() > converged
+    }));
+    router.withdraw_one(1, test_route(0));
+    assert!(
+        router.wait_for(Duration::from_secs(10), || {
+            router.fea_route_count() <= converged
+        }),
+        "withdraw never reached the FEA over the v1 hop"
+    );
+    router.stop();
+}
+
+/// BGP→RIB downgraded to v1 (BGP is the old build): per-route path.
+#[test]
+fn converges_with_v1_only_bgp() {
+    converges_with_v1_only("bgp", 1);
+}
+
+/// Both of the RIB's hops downgraded (RIB is the old build): its inbound
+/// peers fall back for it, and it emits v1 toward the FEA — batched, so
+/// the vectorized frames cross as named v1 frames.
+#[test]
+fn converges_with_v1_only_rib_batched() {
+    converges_with_v1_only("rib", 8);
+}
+
+/// RIB→FEA downgraded (FEA is the old build): per-route path.
+#[test]
+fn converges_with_v1_only_fea() {
+    converges_with_v1_only("fea", 1);
+}

@@ -10,6 +10,7 @@
 
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
 
 use xorp_net::{Ipv4Net, Ipv6Net, Mac};
 
@@ -244,10 +245,25 @@ impl fmt::Display for XrlAtom {
 }
 
 /// An ordered list of named atoms, with typed accessors.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Arguments decoded from a wire-v2 (positional) frame have empty names;
+/// [`XrlArgs::get_arg`] reads them by index.  `context` carries the method
+/// path being decoded so accessor errors can name the call they belong to —
+/// it is metadata, not an argument, and is excluded from equality.
+#[derive(Debug, Clone, Default)]
 pub struct XrlArgs {
     atoms: Vec<XrlAtom>,
+    /// Method path this argument block belongs to, for error attribution.
+    context: Option<Arc<str>>,
 }
+
+impl PartialEq for XrlArgs {
+    fn eq(&self, other: &Self) -> bool {
+        self.atoms == other.atoms
+    }
+}
+
+impl Eq for XrlArgs {}
 
 macro_rules! typed_accessors {
     ($get:ident, $add:ident, $variant:ident, $ty:ty) => {
@@ -256,11 +272,15 @@ macro_rules! typed_accessors {
             match self.find(name) {
                 Some(AtomValue::$variant(v)) => Ok(v.clone()),
                 Some(other) => Err(XrlError::BadArgs(format!(
-                    "{name}: expected {}, got {}",
+                    "{}{name}: expected {}, got {}",
+                    self.ctx_prefix(),
                     stringify!($variant),
                     other.atom_type().tag()
                 ))),
-                None => Err(XrlError::BadArgs(format!("missing argument {name}"))),
+                None => Err(XrlError::BadArgs(format!(
+                    "{}missing argument {name}",
+                    self.ctx_prefix()
+                ))),
             }
         }
 
@@ -281,6 +301,24 @@ impl XrlArgs {
     /// The atoms in order.
     pub fn atoms(&self) -> &[XrlAtom] {
         &self.atoms
+    }
+
+    /// Attach the method path being decoded; accessor errors will carry it.
+    pub fn set_context(&mut self, path: Arc<str>) {
+        self.context = Some(path);
+    }
+
+    /// The attached method path, if any.
+    pub fn context(&self) -> Option<&str> {
+        self.context.as_deref()
+    }
+
+    /// `"path: "` prefix for error messages, empty when no context is set.
+    fn ctx_prefix(&self) -> String {
+        match &self.context {
+            Some(p) => format!("{p}: "),
+            None => String::new(),
+        }
     }
 
     /// Number of arguments.
@@ -308,9 +346,74 @@ impl XrlArgs {
         self.atoms.push(atom);
     }
 
+    /// Append an unnamed (positional) value.  Wire-v2 frames carry their
+    /// arguments this way; [`XrlArgs::get_arg`] reads them back by index.
+    pub fn push_value(&mut self, value: AtomValue) {
+        self.atoms.push(XrlAtom {
+            name: String::new(),
+            value,
+        });
+    }
+
+    /// Label unnamed atoms with `names`, by position.  Used when a
+    /// positionally-built argument block must fall back to the v1 named
+    /// encoding for a peer without signature negotiation.  Atoms that
+    /// already carry a name, and positions past `names`, are left alone.
+    pub fn label_names(&mut self, names: &[&'static str]) {
+        for (a, n) in self.atoms.iter_mut().zip(names) {
+            if a.name.is_empty() {
+                a.name = (*n).to_string();
+            }
+        }
+    }
+
     /// Find a value by name.
     pub fn find(&self, name: &str) -> Option<&AtomValue> {
         self.atoms.iter().find(|a| a.name == name).map(|a| &a.value)
+    }
+
+    /// Fetch argument `idx`/`name` as a native type.  Positional fast
+    /// path first: if the atom at `idx` is unnamed (a wire-v2 frame) it is
+    /// used directly; otherwise the lookup falls back to by-name search so
+    /// the same generated decoder accepts named v1 frames from old peers.
+    pub fn get_arg<T: AtomCodec>(&self, idx: usize, name: &str) -> Result<T, XrlError> {
+        let positional = self.atoms.get(idx).filter(|a| a.name.is_empty());
+        let value = match positional {
+            Some(a) => &a.value,
+            None => self.find(name).ok_or_else(|| {
+                XrlError::BadArgs(format!("{}missing argument {name}", self.ctx_prefix()))
+            })?,
+        };
+        T::from_atom(value).ok_or_else(|| {
+            XrlError::BadArgs(format!(
+                "{}{name}: expected {}, got {}",
+                self.ctx_prefix(),
+                T::TYPE.tag(),
+                value.atom_type().tag()
+            ))
+        })
+    }
+
+    /// Like [`XrlArgs::get_arg`] but `None` (not an error) when the
+    /// argument is absent.  Generated stubs use it for trailing optional
+    /// arguments.
+    pub fn get_arg_opt<T: AtomCodec>(&self, idx: usize, name: &str) -> Result<Option<T>, XrlError> {
+        let positional = self.atoms.get(idx).filter(|a| a.name.is_empty());
+        let value = match positional {
+            Some(a) => &a.value,
+            None => match self.find(name) {
+                Some(v) => v,
+                None => return Ok(None),
+            },
+        };
+        T::from_atom(value).map(Some).ok_or_else(|| {
+            XrlError::BadArgs(format!(
+                "{}{name}: expected {}, got {}",
+                self.ctx_prefix(),
+                T::TYPE.tag(),
+                value.atom_type().tag()
+            ))
+        })
     }
 
     typed_accessors!(get_i32, add_i32, I32, i32);
@@ -351,7 +454,8 @@ impl XrlArgs {
                 AtomValue::List(row) => rows.push(row),
                 other => {
                     return Err(XrlError::BadArgs(format!(
-                        "{name}[{i}]: expected list row, got {}",
+                        "{}{name}[{i}]: expected list row, got {}",
+                        self.ctx_prefix(),
                         other.atom_type().tag()
                     )))
                 }
@@ -392,9 +496,53 @@ impl FromIterator<XrlAtom> for XrlArgs {
     fn from_iter<I: IntoIterator<Item = XrlAtom>>(iter: I) -> Self {
         XrlArgs {
             atoms: iter.into_iter().collect(),
+            context: None,
         }
     }
 }
+
+/// Conversion between native Rust types and [`AtomValue`]s.  The typed
+/// stubs generated by [`crate::xrl_interface!`] use this to encode
+/// arguments and decode replies without naming atom variants by hand.
+pub trait AtomCodec: Sized {
+    /// The wire type this native type maps to.
+    const TYPE: AtomType;
+    /// Encode into an atom value.
+    fn into_atom(self) -> AtomValue;
+    /// Decode from an atom value; `None` on a type mismatch.
+    fn from_atom(value: &AtomValue) -> Option<Self>;
+}
+
+macro_rules! atom_codec {
+    ($ty:ty, $variant:ident) => {
+        impl AtomCodec for $ty {
+            const TYPE: AtomType = AtomType::$variant;
+            fn into_atom(self) -> AtomValue {
+                AtomValue::$variant(self)
+            }
+            fn from_atom(value: &AtomValue) -> Option<Self> {
+                match value {
+                    AtomValue::$variant(v) => Some(v.clone()),
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+atom_codec!(i32, I32);
+atom_codec!(u32, U32);
+atom_codec!(i64, I64);
+atom_codec!(u64, U64);
+atom_codec!(bool, Bool);
+atom_codec!(String, Text);
+atom_codec!(Ipv4Addr, Ipv4);
+atom_codec!(Ipv6Addr, Ipv6);
+atom_codec!(Ipv4Net, Ipv4Net);
+atom_codec!(Ipv6Net, Ipv6Net);
+atom_codec!(Mac, Mac);
+atom_codec!(Vec<u8>, Binary);
+atom_codec!(Vec<AtomValue>, List);
 
 /// Percent-escape characters reserved by the XRL grammar.
 pub(crate) fn escape(s: &str) -> String {
@@ -537,5 +685,68 @@ mod tests {
     fn empty_args() {
         assert_eq!(XrlArgs::parse("").unwrap(), XrlArgs::new());
         assert_eq!(XrlArgs::new().render(), "");
+    }
+
+    #[test]
+    fn accessor_errors_carry_context() {
+        let mut args = XrlArgs::new().add_u32("x", 7);
+        args.set_context(Arc::from("rib/1.0/add_route"));
+        let err = args.get_text("x").unwrap_err().to_string();
+        assert!(err.contains("rib/1.0/add_route"), "{err}");
+        assert!(err.contains("x"), "{err}");
+        let err = args.get_u32("missing").unwrap_err().to_string();
+        assert!(err.contains("rib/1.0/add_route"), "{err}");
+        assert!(err.contains("missing"), "{err}");
+        let err = args.get_arg::<bool>(0, "x").unwrap_err().to_string();
+        assert!(err.contains("rib/1.0/add_route"), "{err}");
+    }
+
+    #[test]
+    fn context_does_not_affect_equality() {
+        let plain = XrlArgs::new().add_u32("x", 7);
+        let mut tagged = plain.clone();
+        tagged.set_context(Arc::from("rib/1.0/add_route"));
+        assert_eq!(plain, tagged);
+    }
+
+    #[test]
+    fn get_arg_positional_and_named() {
+        // v2 shape: unnamed atoms, read by position.
+        let mut pos = XrlArgs::new();
+        pos.push_value(AtomValue::U32(9));
+        pos.push_value(AtomValue::Text("eth0".into()));
+        assert_eq!(pos.get_arg::<u32>(0, "metric").unwrap(), 9);
+        assert_eq!(pos.get_arg::<String>(1, "ifname").unwrap(), "eth0");
+        // v1 shape: named atoms, possibly reordered — index is ignored.
+        let named = XrlArgs::new()
+            .add_str("ifname", "eth0")
+            .add_u32("metric", 9);
+        assert_eq!(named.get_arg::<u32>(0, "metric").unwrap(), 9);
+        assert_eq!(named.get_arg::<String>(1, "ifname").unwrap(), "eth0");
+        // Missing entirely.
+        assert!(named.get_arg::<u32>(5, "absent").is_err());
+        assert_eq!(named.get_arg_opt::<u32>(5, "absent").unwrap(), None);
+        assert_eq!(named.get_arg_opt::<u32>(0, "metric").unwrap(), Some(9));
+    }
+
+    #[test]
+    fn atom_codec_roundtrip() {
+        fn rt<T: AtomCodec + Clone + PartialEq + std::fmt::Debug>(v: T) {
+            let atom = v.clone().into_atom();
+            assert_eq!(atom.atom_type(), T::TYPE);
+            assert_eq!(T::from_atom(&atom).unwrap(), v);
+        }
+        rt(-5i32);
+        rt(7u32);
+        rt(-9i64);
+        rt(11u64);
+        rt(true);
+        rt(String::from("hi"));
+        rt(Ipv4Addr::new(192, 0, 2, 1));
+        rt("2001:db8::1".parse::<Ipv6Addr>().unwrap());
+        rt("10.0.0.0/8".parse::<Ipv4Net>().unwrap());
+        rt(vec![0xde, 0xad]);
+        rt(vec![AtomValue::U32(1), AtomValue::Bool(false)]);
+        assert!(u32::from_atom(&AtomValue::Bool(true)).is_none());
     }
 }

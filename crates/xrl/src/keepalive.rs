@@ -14,12 +14,29 @@
 
 use xorp_event::EventLoop;
 
-use crate::atom::XrlArgs;
+use crate::idl::TypedResponder;
 use crate::router::XrlRouter;
-use crate::xrl::Xrl;
+use crate::xrl_interface;
 
 /// Handler path of the standard keepalive method.
 pub const KEEPALIVE_PATH: &str = "common/1.0/keepalive";
+
+xrl_interface! {
+    /// The standard supervision surface every managed process exposes.
+    pub interface common("common", "1.0") {
+        fn keepalive() -> (alive: bool, congested: bool);
+    }
+}
+
+struct KeepaliveServer {
+    router: XrlRouter,
+}
+
+impl common::Server for KeepaliveServer {
+    fn keepalive(&self, el: &mut EventLoop, responder: TypedResponder<(bool, bool)>) {
+        responder.ok(el, (true, self.router.any_lane_congested()));
+    }
+}
 
 /// Register the standard keepalive responder on a target instance.  Call
 /// after `register_target`; any process that wants to be supervised must.
@@ -29,12 +46,13 @@ pub const KEEPALIVE_PATH: &str = "common/1.0/keepalive";
 /// gets through a saturated process, and this is how the overload it is
 /// drowning in travels back to the supervisor.
 pub fn add_keepalive_responder(router: &XrlRouter, instance: &str) {
-    let me = router.clone();
-    router.add_fn(instance, KEEPALIVE_PATH, move |_el, _args| {
-        Ok(XrlArgs::new()
-            .add_bool("alive", true)
-            .add_bool("congested", me.any_lane_congested()))
-    });
+    common::register(
+        router,
+        instance,
+        KeepaliveServer {
+            router: router.clone(),
+        },
+    );
 }
 
 /// Probe a component class once: send `common/1.0/keepalive` and report
@@ -42,26 +60,20 @@ pub fn add_keepalive_responder(router: &XrlRouter, instance: &str) {
 /// reported itself congested.  Every failure mode — resolve failure,
 /// timeout, transport error, malformed reply — is a miss.
 ///
-/// Probes ride the priority lane ([`XrlRouter::send_priority`]): they are
-/// never queued behind, or shed with, data traffic, so a process that is
-/// merely busy keeps answering and is not misclassified as dead.
+/// Probes ride the priority lane (the stub's `priority()` variant): they
+/// are never queued behind, or shed with, data traffic, so a process that
+/// is merely busy keeps answering and is not misclassified as dead.
 pub fn probe_liveness(
     router: &XrlRouter,
     el: &mut EventLoop,
     class: &str,
     cb: impl FnOnce(&mut EventLoop, bool, bool) + 'static,
 ) {
-    let xrl = Xrl::generic(class, "common", "1.0", "keepalive", XrlArgs::new());
-    router.send_priority(
-        el,
-        xrl,
-        Box::new(move |el, result| {
-            let alive = matches!(&result, Ok(args) if args.get_bool("alive").unwrap_or(false));
-            let congested =
-                matches!(&result, Ok(args) if args.get_bool("congested").unwrap_or(false));
-            cb(el, alive, congested);
-        }),
-    );
+    let client = common::Client::new(router, class).priority();
+    client.keepalive(el, move |el, result| {
+        let (alive, congested) = result.unwrap_or((false, false));
+        cb(el, alive, congested);
+    });
 }
 
 #[cfg(test)]

@@ -40,17 +40,31 @@ pub mod script;
 pub mod transport;
 pub mod xrl;
 
-pub use atom::{AtomType, AtomValue, XrlArgs, XrlAtom};
+pub use atom::{AtomCodec, AtomType, AtomValue, XrlArgs, XrlAtom};
 pub use error::XrlError;
 pub use fault::{FaultAction, FaultConfig, FaultEvent, FaultPlan};
 pub use finder::{Finder, LifetimeEvent, ResolveEntry};
-pub use idl::{Interface, MethodSig};
+pub use idl::{sig_hash, Interface, MethodSig, RetTuple, TypedResponder};
 pub use proxy::{ArgConstraint, MethodPolicy, XrlProxy};
 pub use router::{
-    CongestionSignal, QueuePolicy, Responder, ResponseCb, RetryPolicy, TransportPref, XrlRouter,
+    CongestionSignal, InternedCall, QueuePolicy, Responder, ResponseCb, RetryPolicy, TransportPref,
+    XrlRouter,
 };
 pub use xrl::{Xrl, XrlPath};
 
 /// Result of an XRL dispatch: the response atoms or a transport/dispatch
 /// error.
 pub type XrlResult = Result<XrlArgs, XrlError>;
+
+/// Items the [`xrl_interface!`] macro expansion needs in scope, re-exported
+/// under one path so generated code works regardless of what the caller
+/// imported.  Not part of the public API.
+#[doc(hidden)]
+pub mod idl_support {
+    pub use crate::atom::{AtomCodec, AtomType, AtomValue, XrlArgs, XrlAtom};
+    pub use crate::error::XrlError;
+    pub use crate::idl::{sig_hash, Interface, RetTuple, TypedResponder};
+    pub use crate::router::{InternedCall, Responder, XrlRouter};
+    pub use std::rc::Rc;
+    pub use xorp_event::EventLoop;
+}

@@ -8,14 +8,24 @@
 //!
 //! ```text
 //! u32  length of remainder
-//! u8   kind (low 7 bits: 0 = request, 1 = response, 2 = kill;
+//! u8   kind (low 7 bits: 0 = request, 1 = response, 2 = kill,
+//!            3 = request v2 (positional);
 //!            bit 7: priority — deliver ahead of queued bulk frames)
-//! request:  u64 seq | u64 sender | str target | [u8;16] key | str path | args
-//! response: u64 seq | u8 code (0 = ok) | str errmsg | args
-//! kill:     u32 signal
-//! str:      u16 len | bytes
-//! args:     u16 count | (str name | u8 type | value)*
+//! request:    u64 seq | u64 sender | str target | [u8;16] key | str path | args
+//! request v2: u64 seq | u64 sender | str target | [u8;16] key | u32 method_id
+//!             | u16 count | (u8 type | value)*
+//! response:   u64 seq | u8 code (0 = ok) | str errmsg | args
+//! kill:       u32 signal
+//! str:        u16 len | bytes
+//! args:       u16 count | (str name | u8 type | value)*
 //! ```
+//!
+//! A v2 request carries neither the method path nor argument names: the
+//! sender negotiated a per-target signature at resolution time (the
+//! Finder advertises `(path → method_id, sig_hash)` for targets registered
+//! through signed interfaces), so both sides agree on argument order.
+//! Senders fall back to v1 named frames for peers that never advertised a
+//! signature — mixed-version interop is transparent.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -37,8 +47,12 @@ pub enum Frame {
         target: String,
         /// The 16-byte method key issued at registration (§7).
         key: [u8; 16],
-        /// `iface/version/method`.
+        /// `iface/version/method`.  Empty on a decoded v2 frame: the
+        /// receiver resolves the method from `method_id` instead.
         path: String,
+        /// Interned method id, present when the sender negotiated the
+        /// target's signature.  `Some` selects the v2 positional encoding.
+        method_id: Option<u32>,
         /// Arguments.
         args: XrlArgs,
         /// Wire-carried priority mark.  The *receiver's* reader thread
@@ -68,6 +82,8 @@ pub enum Frame {
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
 const KIND_KILL: u8 = 2;
+/// Positional request: no path string, no argument names.
+const KIND_REQUEST_V2: u8 = 3;
 /// High bit of the kind byte: priority delivery.
 const KIND_PRIORITY: u8 = 0x80;
 
@@ -280,6 +296,29 @@ fn get_args(buf: &mut Bytes) -> Result<XrlArgs, XrlError> {
     Ok(args)
 }
 
+/// Encode an argument block positionally: values only, no names.  Any
+/// names the atoms carry are dropped — the signature both sides agreed on
+/// at negotiation time defines the order.
+fn put_args_positional(buf: &mut BytesMut, args: &XrlArgs) {
+    buf.put_u16(args.len() as u16);
+    for atom in args.atoms() {
+        put_value(buf, &atom.value);
+    }
+}
+
+/// Decode a positional argument block into unnamed atoms.
+fn get_args_positional(buf: &mut Bytes) -> Result<XrlArgs, XrlError> {
+    if buf.remaining() < 2 {
+        return Err(XrlError::BadFrame("truncated arg count".into()));
+    }
+    let count = buf.get_u16() as usize;
+    let mut args = XrlArgs::new();
+    for _ in 0..count {
+        args.push_value(get_value(buf)?);
+    }
+    Ok(args)
+}
+
 impl Frame {
     /// Whether this frame asks for priority delivery on the receive side.
     pub fn is_priority(&self) -> bool {
@@ -295,8 +334,22 @@ impl Frame {
     pub fn approx_wire_len(&self) -> usize {
         5 + match self {
             Frame::Request {
-                target, path, args, ..
-            } => 16 + 2 + target.len() + 16 + 2 + path.len() + args.approx_wire_len(),
+                target,
+                path,
+                args,
+                method_id,
+                ..
+            } => {
+                let method = match method_id {
+                    // v2: fixed 4-byte id, and names are dropped from the
+                    // arg block (approx_wire_len counts 2 + name.len per
+                    // atom; positional atoms from push_value have empty
+                    // names so the estimate stays close).
+                    Some(_) => 4,
+                    None => 2 + path.len(),
+                };
+                16 + 2 + target.len() + 16 + method + args.approx_wire_len()
+            }
             Frame::Response { result, .. } => {
                 8 + 1
                     + match result {
@@ -320,16 +373,28 @@ impl Frame {
                 key,
                 path,
                 args,
+                method_id,
                 priority,
-            } => {
-                body.put_u8(KIND_REQUEST | pri(priority));
-                body.put_u64(*seq);
-                body.put_u64(*sender);
-                put_str(&mut body, target);
-                body.put_slice(key);
-                put_str(&mut body, path);
-                put_args(&mut body, args);
-            }
+            } => match method_id {
+                Some(id) => {
+                    body.put_u8(KIND_REQUEST_V2 | pri(priority));
+                    body.put_u64(*seq);
+                    body.put_u64(*sender);
+                    put_str(&mut body, target);
+                    body.put_slice(key);
+                    body.put_u32(*id);
+                    put_args_positional(&mut body, args);
+                }
+                None => {
+                    body.put_u8(KIND_REQUEST | pri(priority));
+                    body.put_u64(*seq);
+                    body.put_u64(*sender);
+                    put_str(&mut body, target);
+                    body.put_slice(key);
+                    put_str(&mut body, path);
+                    put_args(&mut body, args);
+                }
+            },
             Frame::Response {
                 seq,
                 result,
@@ -391,6 +456,32 @@ impl Frame {
                     key,
                     path,
                     args,
+                    method_id: None,
+                    priority,
+                })
+            }
+            KIND_REQUEST_V2 => {
+                if buf.remaining() < 16 {
+                    return Err(XrlError::BadFrame("truncated request".into()));
+                }
+                let seq = buf.get_u64();
+                let sender = buf.get_u64();
+                let target = get_str(&mut buf)?;
+                if buf.remaining() < 20 {
+                    return Err(XrlError::BadFrame("truncated key".into()));
+                }
+                let mut key = [0u8; 16];
+                buf.copy_to_slice(&mut key);
+                let method_id = buf.get_u32();
+                let args = get_args_positional(&mut buf)?;
+                Ok(Frame::Request {
+                    seq,
+                    sender,
+                    target,
+                    key,
+                    path: String::new(),
+                    args,
+                    method_id: Some(method_id),
                     priority,
                 })
             }
@@ -465,6 +556,7 @@ mod tests {
             key: [7u8; 16],
             path: "bgp/1.0/set_local_as".into(),
             args: XrlArgs::new().add_u32("as", 1777),
+            method_id: None,
             priority: false,
         });
     }
@@ -514,6 +606,7 @@ mod tests {
             key: [3u8; 16],
             path: "common/0.1/keepalive".into(),
             args: XrlArgs::new(),
+            method_id: None,
             priority: true,
         };
         assert!(req.is_priority());
@@ -567,6 +660,7 @@ mod tests {
                 .add_mac("k", "00:11:22:33:44:55".parse().unwrap())
                 .add_binary("l", vec![1, 2, 3])
                 .add_list("m", vec![AtomValue::U32(1), AtomValue::Text("x".into())]),
+            method_id: None,
             priority: false,
         });
     }
@@ -580,6 +674,7 @@ mod tests {
             key: [0u8; 16],
             path: "i/1.0/m".into(),
             args: XrlArgs::new().add_u32("a", 1),
+            method_id: None,
             priority: false,
         };
         let encoded = f.encode().to_vec();
@@ -618,6 +713,7 @@ mod tests {
             key: [1u8; 16],
             path: "rib/1.0/add_routes".into(),
             args: args.clone(),
+            method_id: None,
             priority: false,
         });
         assert_eq!(args.get_rows("routes").unwrap(), rows);
@@ -649,6 +745,7 @@ mod tests {
             key: [0u8; 16],
             path: "i/1.0/m".into(),
             args: XrlArgs::new().add_list("deep", vec![v]),
+            method_id: None,
             priority: false,
         };
         let encoded = f.encode();
@@ -674,6 +771,7 @@ mod tests {
                 "rows",
                 vec![vec![AtomValue::U32(1)], vec![AtomValue::Text("x".into())]],
             ),
+            method_id: None,
             priority: false,
         });
     }
@@ -685,5 +783,83 @@ mod tests {
         let mut cursor = std::io::Cursor::new(encoded);
         let body = read_frame(&mut cursor).unwrap();
         assert_eq!(Frame::decode(body).unwrap(), f);
+    }
+
+    /// The canonical v2 positional request used across the v2 tests:
+    /// rib/1.0/add_route's argument tuple, unnamed.
+    fn v2_add_route() -> Frame {
+        let mut args = XrlArgs::new();
+        args.push_value(AtomValue::Ipv4Net("10.1.2.0/24".parse().unwrap()));
+        args.push_value(AtomValue::Ipv4("192.168.0.1".parse().unwrap()));
+        args.push_value(AtomValue::Text("eth0".into()));
+        args.push_value(AtomValue::U32(5));
+        args.push_value(AtomValue::Text("ebgp".into()));
+        Frame::Request {
+            seq: 42,
+            sender: 7,
+            target: "rib-0".into(),
+            key: [7u8; 16],
+            path: String::new(),
+            args,
+            method_id: Some(3),
+            priority: false,
+        }
+    }
+
+    #[test]
+    fn v2_request_roundtrip() {
+        roundtrip(v2_add_route());
+    }
+
+    #[test]
+    fn v2_priority_bit_roundtrips() {
+        let mut f = v2_add_route();
+        if let Frame::Request { priority, .. } = &mut f {
+            *priority = true;
+        }
+        assert!(f.is_priority());
+        roundtrip(f);
+    }
+
+    #[test]
+    fn v2_drops_path_and_names_from_wire() {
+        // The same add_route call both ways: v1 named vs v2 positional.
+        let v1 = Frame::Request {
+            seq: 42,
+            sender: 7,
+            target: "rib-0".into(),
+            key: [7u8; 16],
+            path: "rib/1.0/add_route".into(),
+            args: XrlArgs::new()
+                .add_ipv4net("net", "10.1.2.0/24".parse().unwrap())
+                .add_ipv4("nexthop", "192.168.0.1".parse().unwrap())
+                .add_str("ifname", "eth0")
+                .add_u32("metric", 5)
+                .add_str("proto", "ebgp"),
+            method_id: None,
+            priority: false,
+        };
+        let v2 = v2_add_route();
+        let v1_len = v1.encode().len();
+        let v2_len = v2.encode().len();
+        assert!(
+            (v2_len as f64) <= (v1_len as f64) * 0.70,
+            "v2 must shave >= 30% off add_route: v1 {v1_len}B, v2 {v2_len}B"
+        );
+        // The encoded v2 frame must not contain the path or any arg name.
+        let bytes = v2.encode().to_vec();
+        let hay = String::from_utf8_lossy(&bytes).into_owned();
+        for s in ["add_route", "net", "nexthop", "ifname", "metric", "proto"] {
+            assert!(!hay.contains(s), "v2 wire leaks {s:?}");
+        }
+    }
+
+    #[test]
+    fn v2_truncated_frames_rejected() {
+        let encoded = v2_add_route().encode().to_vec();
+        for cut in 1..encoded.len() - 4 {
+            let body = Bytes::from(encoded[4..4 + cut].to_vec());
+            assert!(Frame::decode(body).is_err(), "prefix len {cut} decoded");
+        }
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! "The profiling variables can be enabled and the results collected via
 //! XRLs, typically by the `xorp_profiler` program" — this module is that
-//! XRL surface.  [`add_profile_responder`] registers the interface on an
-//! existing target instance (the same pattern as
+//! XRL surface.  The interface is declared once with
+//! [`crate::xrl_interface!`]; [`add_profile_responder`] registers the
+//! generated server on an existing target instance (the same pattern as
 //! [`crate::keepalive::add_keepalive_responder`]), so every harness
 //! process exports its shared [`Profiler`] and [`Metrics`] over the same
 //! transports, retry policy and fault plane as real traffic:
@@ -25,18 +26,14 @@
 //! records during a storm is collected in bounded slices, never as one
 //! reply that would stall the answering event loop and trip its keepalive.
 
+use xorp_event::EventLoop;
 use xorp_profiler::{points, Metrics, PointInfo, Profiler, Record};
 
-use crate::atom::{AtomValue, XrlArgs};
+use crate::atom::AtomValue;
 use crate::error::XrlError;
+use crate::idl::TypedResponder;
 use crate::router::XrlRouter;
-
-/// Handler paths of the profile interface.
-pub const PROFILE_ENABLE_PATH: &str = "profile/1.0/enable";
-pub const PROFILE_DISABLE_PATH: &str = "profile/1.0/disable";
-pub const PROFILE_LIST_PATH: &str = "profile/1.0/list";
-pub const PROFILE_GET_RECORDS_PATH: &str = "profile/1.0/get_records";
-pub const PROFILE_GET_METRICS_PATH: &str = "profile/1.0/get_metrics";
+use crate::xrl_interface;
 
 /// Pseudo-point expanding to all eight §8.2 route-flow points.
 pub const ROUTE_FLOW_ALIAS: &str = "route_flow";
@@ -44,6 +41,99 @@ pub const ROUTE_FLOW_ALIAS: &str = "route_flow";
 /// Upper bound on records per `get_records` reply, whatever `max` the
 /// caller asked for.
 pub const MAX_RECORDS_PER_SLICE: usize = 4096;
+
+xrl_interface! {
+    /// The profiling/metrics observer surface.  Row-valued returns travel
+    /// as lists of lists; [`decode_points`], [`decode_records`] and
+    /// [`decode_metrics`] turn them back into native structs.
+    pub interface profile("profile", "1.0") {
+        fn enable(point: String) -> (ok: bool);
+        fn disable(point: String) -> (ok: bool);
+        fn list() -> (points: Vec<AtomValue>);
+        fn get_records(point: String, max: u32)
+            -> (records: Vec<AtomValue>, remaining: u32, dropped: u64);
+        fn get_metrics() -> (metrics: Vec<AtomValue>);
+    }
+}
+
+struct ProfileServer {
+    profiler: Profiler,
+    metrics: Metrics,
+}
+
+impl profile::Server for ProfileServer {
+    fn enable(&self, el: &mut EventLoop, point: String, responder: TypedResponder<(bool,)>) {
+        if point == ROUTE_FLOW_ALIAS {
+            self.profiler.enable_route_flow();
+        } else {
+            self.profiler.enable(&point);
+        }
+        responder.ok(el, (true,));
+    }
+
+    fn disable(&self, el: &mut EventLoop, point: String, responder: TypedResponder<(bool,)>) {
+        if point == ROUTE_FLOW_ALIAS {
+            for pt in points::ROUTE_FLOW {
+                self.profiler.disable(pt);
+            }
+        } else {
+            self.profiler.disable(&point);
+        }
+        responder.ok(el, (true,));
+    }
+
+    fn list(&self, el: &mut EventLoop, responder: TypedResponder<(Vec<AtomValue>,)>) {
+        let rows = self
+            .profiler
+            .list()
+            .into_iter()
+            .map(|info| {
+                AtomValue::List(vec![
+                    AtomValue::Text(info.name),
+                    AtomValue::Bool(info.enabled),
+                    AtomValue::U64(info.len as u64),
+                    AtomValue::U64(info.dropped),
+                ])
+            })
+            .collect();
+        responder.ok(el, (rows,));
+    }
+
+    fn get_records(
+        &self,
+        el: &mut EventLoop,
+        point: String,
+        max: u32,
+        responder: TypedResponder<(Vec<AtomValue>, u32, u64)>,
+    ) {
+        let drained = self
+            .profiler
+            .drain(&point, (max as usize).min(MAX_RECORDS_PER_SLICE));
+        let rows = drained
+            .records
+            .into_iter()
+            .map(|r| AtomValue::List(vec![AtomValue::U64(r.nanos), AtomValue::Text(r.payload)]))
+            .collect();
+        responder.ok(el, (rows, drained.remaining as u32, drained.dropped));
+    }
+
+    fn get_metrics(&self, el: &mut EventLoop, responder: TypedResponder<(Vec<AtomValue>,)>) {
+        let rows = self
+            .metrics
+            .snapshot()
+            .into_iter()
+            .map(|s| {
+                AtomValue::List(vec![
+                    AtomValue::Text(s.name),
+                    AtomValue::Text(s.value.kind().to_string()),
+                    AtomValue::I64(s.value.primary()),
+                    AtomValue::Text(s.value.render()),
+                ])
+            })
+            .collect();
+        responder.ok(el, (rows,));
+    }
+}
 
 /// Register the `profile/1.0` interface on a target instance, exporting
 /// this process's profiler and metrics registry.  Call after
@@ -54,79 +144,23 @@ pub fn add_profile_responder(
     profiler: &Profiler,
     metrics: &Metrics,
 ) {
-    let p = profiler.clone();
-    router.add_fn(instance, PROFILE_ENABLE_PATH, move |_el, args| {
-        let point = args.get_text("point")?;
-        if point == ROUTE_FLOW_ALIAS {
-            p.enable_route_flow();
-        } else {
-            p.enable(&point);
-        }
-        Ok(XrlArgs::new().add_bool("ok", true))
-    });
+    profile::register(
+        router,
+        instance,
+        ProfileServer {
+            profiler: profiler.clone(),
+            metrics: metrics.clone(),
+        },
+    );
+}
 
-    let p = profiler.clone();
-    router.add_fn(instance, PROFILE_DISABLE_PATH, move |_el, args| {
-        let point = args.get_text("point")?;
-        if point == ROUTE_FLOW_ALIAS {
-            for pt in points::ROUTE_FLOW {
-                p.disable(pt);
-            }
-        } else {
-            p.disable(&point);
-        }
-        Ok(XrlArgs::new().add_bool("ok", true))
-    });
-
-    let p = profiler.clone();
-    router.add_fn(instance, PROFILE_LIST_PATH, move |_el, _args| {
-        let rows = p
-            .list()
-            .into_iter()
-            .map(|info| {
-                vec![
-                    AtomValue::Text(info.name),
-                    AtomValue::Bool(info.enabled),
-                    AtomValue::U64(info.len as u64),
-                    AtomValue::U64(info.dropped),
-                ]
-            })
-            .collect();
-        Ok(XrlArgs::new().add_rows("points", rows))
-    });
-
-    let p = profiler.clone();
-    router.add_fn(instance, PROFILE_GET_RECORDS_PATH, move |_el, args| {
-        let point = args.get_text("point")?;
-        let max = args.get_u32("max").unwrap_or(MAX_RECORDS_PER_SLICE as u32);
-        let drained = p.drain(&point, (max as usize).min(MAX_RECORDS_PER_SLICE));
-        let rows = drained
-            .records
-            .into_iter()
-            .map(|r| vec![AtomValue::U64(r.nanos), AtomValue::Text(r.payload)])
-            .collect();
-        Ok(XrlArgs::new()
-            .add_rows("records", rows)
-            .add_u32("remaining", drained.remaining as u32)
-            .add_u64("dropped", drained.dropped))
-    });
-
-    let m = metrics.clone();
-    router.add_fn(instance, PROFILE_GET_METRICS_PATH, move |_el, _args| {
-        let rows = m
-            .snapshot()
-            .into_iter()
-            .map(|s| {
-                vec![
-                    AtomValue::Text(s.name),
-                    AtomValue::Text(s.value.kind().to_string()),
-                    AtomValue::I64(s.value.primary()),
-                    AtomValue::Text(s.value.render()),
-                ]
-            })
-            .collect();
-        Ok(XrlArgs::new().add_rows("metrics", rows))
-    });
+fn row<'a>(value: &'a AtomValue, what: &str) -> Result<&'a [AtomValue], XrlError> {
+    match value {
+        AtomValue::List(items) => Ok(items),
+        other => Err(XrlError::BadArgs(format!(
+            "{what}: row not a list: {other:?}"
+        ))),
+    }
 }
 
 fn row_text(row: &[AtomValue], i: usize, what: &str) -> Result<String, XrlError> {
@@ -147,11 +181,11 @@ fn row_u64(row: &[AtomValue], i: usize, what: &str) -> Result<u64, XrlError> {
     }
 }
 
-/// Decode a `list` reply into [`PointInfo`] rows.
-pub fn decode_points(args: &XrlArgs) -> Result<Vec<PointInfo>, XrlError> {
-    args.get_rows("points")?
-        .iter()
-        .map(|row| {
+/// Decode a `list` reply's `points` rows into [`PointInfo`] values.
+pub fn decode_points(rows: &[AtomValue]) -> Result<Vec<PointInfo>, XrlError> {
+    rows.iter()
+        .map(|value| {
+            let row = row(value, "points")?;
             let enabled = match row.get(1) {
                 Some(AtomValue::Bool(b)) => *b,
                 other => return Err(XrlError::BadArgs(format!("points[1]: not bool: {other:?}"))),
@@ -177,12 +211,16 @@ pub struct RecordsSlice {
     pub dropped: u64,
 }
 
-/// Decode a `get_records` reply.
-pub fn decode_records(args: &XrlArgs) -> Result<RecordsSlice, XrlError> {
-    let records = args
-        .get_rows("records")?
+/// Decode a `get_records` reply's parts into a [`RecordsSlice`].
+pub fn decode_records(
+    rows: &[AtomValue],
+    remaining: u32,
+    dropped: u64,
+) -> Result<RecordsSlice, XrlError> {
+    let records = rows
         .iter()
-        .map(|row| {
+        .map(|value| {
+            let row = row(value, "records")?;
             Ok(Record {
                 nanos: row_u64(row, 0, "records")?,
                 payload: row_text(row, 1, "records")?,
@@ -191,8 +229,8 @@ pub fn decode_records(args: &XrlArgs) -> Result<RecordsSlice, XrlError> {
         .collect::<Result<Vec<_>, XrlError>>()?;
     Ok(RecordsSlice {
         records,
-        remaining: args.get_u32("remaining")?,
-        dropped: args.get_u64("dropped")?,
+        remaining,
+        dropped,
     })
 }
 
@@ -208,11 +246,11 @@ pub struct MetricRow {
     pub detail: String,
 }
 
-/// Decode a `get_metrics` reply.
-pub fn decode_metrics(args: &XrlArgs) -> Result<Vec<MetricRow>, XrlError> {
-    args.get_rows("metrics")?
-        .iter()
-        .map(|row| {
+/// Decode a `get_metrics` reply's `metrics` rows.
+pub fn decode_metrics(rows: &[AtomValue]) -> Result<Vec<MetricRow>, XrlError> {
+    rows.iter()
+        .map(|value| {
+            let row = row(value, "metrics")?;
             let primary = match row.get(2) {
                 Some(AtomValue::I64(v)) => *v,
                 other => return Err(XrlError::BadArgs(format!("metrics[2]: not i64: {other:?}"))),
@@ -231,30 +269,16 @@ pub fn decode_metrics(args: &XrlArgs) -> Result<Vec<MetricRow>, XrlError> {
 mod tests {
     use super::*;
     use crate::finder::Finder;
-    use crate::xrl::Xrl;
     use std::cell::RefCell;
     use std::rc::Rc;
-    use xorp_event::EventLoop;
 
-    fn call(
-        el: &mut EventLoop,
-        router: &XrlRouter,
-        method: &str,
-        args: XrlArgs,
-    ) -> Result<XrlArgs, XrlError> {
-        let xrl = Xrl::generic("prof", "profile", "1.0", method, args);
-        let out: Rc<RefCell<Option<Result<XrlArgs, XrlError>>>> = Rc::new(RefCell::new(None));
-        let o = out.clone();
-        router.send(
-            el,
-            xrl,
-            Box::new(move |_el, r| {
-                *o.borrow_mut() = Some(r);
-            }),
-        );
+    fn wait<T: 'static>(el: &mut EventLoop, slot: Rc<RefCell<Option<T>>>) -> T {
         el.run_until_idle();
-        let got = out.borrow_mut().take();
-        got.expect("profile call completed")
+        slot.borrow_mut().take().expect("profile call completed")
+    }
+
+    fn slot<T>() -> Rc<RefCell<Option<T>>> {
+        Rc::new(RefCell::new(None))
     }
 
     #[test]
@@ -267,16 +291,16 @@ mod tests {
         let metrics = Metrics::new();
         metrics.counter("xrl.shed_total").add(7);
         add_profile_responder(&router, "prof-0", &profiler, &metrics);
+        let client = profile::Client::new(&router, "prof");
 
         // Enable the whole route-flow set via the alias.
-        let r = call(
-            &mut el,
-            &router,
-            "enable",
-            XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
-        )
-        .unwrap();
-        assert_eq!(r.get_bool("ok"), Ok(true));
+        let r = slot();
+        let s = r.clone();
+        client.enable(&mut el, ROUTE_FLOW_ALIAS.to_string(), move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (ok,) = wait(&mut el, r).unwrap();
+        assert!(ok);
         for pt in points::ROUTE_FLOW {
             assert!(profiler.is_enabled(pt));
         }
@@ -285,53 +309,60 @@ mod tests {
             profiler.record(points::BGP_IN, || format!("add 10.0.{i}.0/24"));
         }
 
-        let r = call(&mut el, &router, "list", XrlArgs::new()).unwrap();
-        let pts = decode_points(&r).unwrap();
+        let r = slot();
+        let s = r.clone();
+        client.list(&mut el, move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (rows,) = wait(&mut el, r).unwrap();
+        let pts = decode_points(&rows).unwrap();
         let bgp_in = pts.iter().find(|p| p.name == points::BGP_IN).unwrap();
         assert!(bgp_in.enabled);
         assert_eq!((bgp_in.len, bgp_in.dropped), (10, 0));
 
         // Paginated, clearing reads.
-        let r = call(
-            &mut el,
-            &router,
-            "get_records",
-            XrlArgs::new()
-                .add_str("point", points::BGP_IN)
-                .add_u32("max", 6),
-        )
-        .unwrap();
-        let a = decode_records(&r).unwrap();
+        let r = slot();
+        let s = r.clone();
+        client.get_records(&mut el, points::BGP_IN.to_string(), 6, move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (rows, remaining, dropped) = wait(&mut el, r).unwrap();
+        let a = decode_records(&rows, remaining, dropped).unwrap();
         assert_eq!((a.records.len(), a.remaining, a.dropped), (6, 4, 0));
         assert_eq!(a.records[0].payload, "add 10.0.0.0/24");
-        let r = call(
-            &mut el,
-            &router,
-            "get_records",
-            XrlArgs::new()
-                .add_str("point", points::BGP_IN)
-                .add_u32("max", 6),
-        )
-        .unwrap();
-        let b = decode_records(&r).unwrap();
+
+        let r = slot();
+        let s = r.clone();
+        client.get_records(&mut el, points::BGP_IN.to_string(), 6, move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (rows, remaining, dropped) = wait(&mut el, r).unwrap();
+        let b = decode_records(&rows, remaining, dropped).unwrap();
         assert_eq!((b.records.len(), b.remaining), (4, 0));
         assert_eq!(b.records[0].payload, "add 10.0.6.0/24");
 
         // Metrics export.
-        let r = call(&mut el, &router, "get_metrics", XrlArgs::new()).unwrap();
-        let rows = decode_metrics(&r).unwrap();
-        let shed = rows.iter().find(|m| m.name == "xrl.shed_total").unwrap();
+        let r = slot();
+        let s = r.clone();
+        client.get_metrics(&mut el, move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (rows,) = wait(&mut el, r).unwrap();
+        let metric_rows = decode_metrics(&rows).unwrap();
+        let shed = metric_rows
+            .iter()
+            .find(|m| m.name == "xrl.shed_total")
+            .unwrap();
         assert_eq!((shed.kind.as_str(), shed.primary), ("counter", 7));
 
         // Disable via the alias.
-        let r = call(
-            &mut el,
-            &router,
-            "disable",
-            XrlArgs::new().add_str("point", ROUTE_FLOW_ALIAS),
-        )
-        .unwrap();
-        assert_eq!(r.get_bool("ok"), Ok(true));
+        let r = slot();
+        let s = r.clone();
+        client.disable(&mut el, ROUTE_FLOW_ALIAS.to_string(), move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (ok,) = wait(&mut el, r).unwrap();
+        assert!(ok);
         assert!(!profiler.is_enabled(points::BGP_IN));
     }
 
@@ -344,22 +375,20 @@ mod tests {
         let profiler = Profiler::new();
         let metrics = Metrics::new();
         add_profile_responder(&router, "prof-0", &profiler, &metrics);
+        let client = profile::Client::new(&router, "prof");
         profiler.enable("x");
         for i in 0..(MAX_RECORDS_PER_SLICE + 100) {
             profiler.record("x", || format!("r{i}"));
         }
         // Asking for more than the slice cap still gets at most the cap.
-        let r = call(
-            &mut el,
-            &router,
-            "get_records",
-            XrlArgs::new()
-                .add_str("point", "x")
-                .add_u32("max", u32::MAX),
-        )
-        .unwrap();
-        let s = decode_records(&r).unwrap();
-        assert_eq!(s.records.len(), MAX_RECORDS_PER_SLICE);
-        assert_eq!(s.remaining, 100);
+        let r = slot();
+        let s = r.clone();
+        client.get_records(&mut el, "x".to_string(), u32::MAX, move |_el, reply| {
+            *s.borrow_mut() = Some(reply);
+        });
+        let (rows, remaining, dropped) = wait(&mut el, r).unwrap();
+        let sl = decode_records(&rows, remaining, dropped).unwrap();
+        assert_eq!(sl.records.len(), MAX_RECORDS_PER_SLICE);
+        assert_eq!(sl.remaining, 100);
     }
 }

@@ -41,7 +41,7 @@
 //! [`XrlRouter::send_priority`], which bypasses all of it — a keepalive
 //! answers even when every data lane is parked.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::rc::Rc;
@@ -233,9 +233,19 @@ pub struct Responder {
     /// The request arrived priority-marked; the reply is marked too, so
     /// the probe's round trip jumps receive queues in both directions.
     priority: bool,
+    /// The request arrived as a wire-v2 positional frame: the caller
+    /// negotiated our signature, so reply atoms may go unnamed too.
+    wire_v2: bool,
 }
 
 impl Responder {
+    /// Whether the request arrived as a wire-v2 positional frame.
+    /// Generated repliers emit unnamed (positional) reply atoms when true —
+    /// the caller decodes by signature order — and named atoms otherwise.
+    pub fn wire_v2(&self) -> bool {
+        self.wire_v2
+    }
+
     /// Send the result back to the caller.
     pub fn reply(self, el: &mut EventLoop, result: XrlResult) {
         let Responder {
@@ -244,6 +254,7 @@ impl Responder {
             origin,
             path,
             priority,
+            wire_v2: _,
         } = self;
         if let Some(key) = origin {
             // Cache the outcome so a retransmission of this request replays
@@ -297,8 +308,10 @@ struct Pending {
     frame: Option<Frame>,
     /// Lane this entry is charged against in the overload accounting, when
     /// a [`QueuePolicy`] was active at send time and the send was data
-    /// priority.  Priority and intra sends are never charged.
-    counted_lane: Option<String>,
+    /// priority.  Priority and intra sends are never charged.  `Rc<str>`
+    /// so interned senders share one precomputed label per lane instead of
+    /// allocating a fresh `String` per route.
+    counted_lane: Option<Rc<str>>,
     /// Sent via [`XrlRouter::send_priority`]: over UDP it never owned the
     /// unpipelined per-peer slot, so completion must not pump the queue.
     priority: bool,
@@ -327,11 +340,24 @@ enum DedupState {
 /// outlive transit reordering.  Kept generous anyway — the cache is tiny.
 const DEDUP_DEFAULT_WINDOW: Duration = Duration::from_secs(30);
 
+/// One registered method on a target: its interned slot is its index in
+/// [`Target::methods`], which doubles as the wire-v2 `method_id`.
+struct MethodEntry {
+    /// Full `iface/version/method` path.  `Arc` (not `Rc`): clones of it
+    /// are attached to decoded argument blocks as error context, and those
+    /// travel inside frames that cross reader threads.
+    path: Arc<str>,
+    handler: Handler,
+}
+
 struct Target {
     class: String,
     key: [u8; 16],
     sole: bool,
-    handlers: HashMap<String, Handler>,
+    /// Method table in registration order; index == wire-v2 method id.
+    methods: Vec<MethodEntry>,
+    /// Path -> index into `methods`, for v1 named dispatch.
+    by_path: HashMap<String, u32>,
 }
 
 #[derive(Default)]
@@ -365,6 +391,14 @@ struct RouterInner {
     /// joined string, so a target name containing the old `|` separator
     /// cannot alias another entry.
     resolve_cache: HashMap<(String, String), ResolveEntry>,
+    /// Bumped whenever `resolve_cache` is flushed or partially invalidated
+    /// (and on wire-mode changes).  [`InternedCall`]s remember the
+    /// generation they resolved under and re-resolve when it moves — no
+    /// registry of interned calls to walk.
+    cache_generation: u64,
+    /// Never emit wire-v2 frames and never advertise signatures: this
+    /// router behaves like a pre-v2 peer.  For mixed-version testing.
+    wire_v1_only: bool,
     tcp: Option<TcpState>,
     udp: Option<UdpState>,
     fault: Option<FaultPlan>,
@@ -418,6 +452,57 @@ struct XrlMetrics {
     retransmit: Counter,
 }
 
+/// What an [`InternedCall`] remembers between sends: the resolution, the
+/// chosen transport, the precomputed lane label, and whether wire-v2 was
+/// negotiated.  Valid only while the router's cache generation matches.
+struct InternedCached {
+    instance: String,
+    key: [u8; 16],
+    via: Via,
+    /// Precomputed overload-lane label (`None` for intra dispatch).
+    lane: Option<Rc<str>>,
+    /// The peer advertised a matching signature: send positional frames.
+    method_id: Option<u32>,
+}
+
+struct InternedInner {
+    target: String,
+    path: String,
+    /// This side's signature hash; v2 only when the peer advertises the
+    /// same value for `path`.
+    sig_hash: u64,
+    /// Argument names in signature order, used to label positional args
+    /// when falling back to v1 named frames.
+    arg_names: &'static [&'static str],
+    cached: RefCell<Option<InternedCached>>,
+    /// Router cache generation the entry was resolved under.
+    generation: Cell<u64>,
+}
+
+/// A pre-resolved outgoing method path.  Created once per call site with
+/// [`XrlRouter::intern`]; [`XrlRouter::send_interned`] then skips the
+/// per-send path rendering, `(String, String)` cache-key allocation, and
+/// lane-label formatting that [`XrlRouter::send`] pays per route, and
+/// negotiates the positional wire-v2 encoding when the resolved target
+/// advertised a matching signature.  Self-invalidates when the router's
+/// resolve cache is flushed.
+#[derive(Clone)]
+pub struct InternedCall {
+    inner: Rc<InternedInner>,
+}
+
+impl InternedCall {
+    /// The target this call resolves (class or instance name).
+    pub fn target(&self) -> &str {
+        &self.inner.target
+    }
+
+    /// The full `iface/version/method` path.
+    pub fn path(&self) -> &str {
+        &self.inner.path
+    }
+}
+
 static NEXT_ROUTER_ID: AtomicU64 = AtomicU64::new(1);
 
 /// The per-loop XRL dispatcher.  Clone-cheap handle.
@@ -444,6 +529,8 @@ impl XrlRouter {
                 next_seq: 1,
                 pending: HashMap::new(),
                 resolve_cache: HashMap::new(),
+                cache_generation: 1,
+                wire_v1_only: false,
                 tcp: None,
                 udp: None,
                 fault: None,
@@ -780,7 +867,8 @@ impl XrlRouter {
                 class: class.to_string(),
                 key,
                 sole,
-                handlers: HashMap::new(),
+                methods: Vec::new(),
+                by_path: HashMap::new(),
             },
         );
         Ok(())
@@ -791,12 +879,53 @@ impl XrlRouter {
     where
         F: Fn(&mut EventLoop, &XrlArgs, Responder) + 'static,
     {
-        let mut inner = self.inner.borrow_mut();
-        let target = inner
-            .targets
-            .get_mut(instance)
-            .unwrap_or_else(|| panic!("no such target: {instance}"));
-        target.handlers.insert(path.to_string(), Rc::new(f));
+        self.add_handler_inner(instance, path, Rc::new(f), None);
+    }
+
+    /// Attach a handler registered through a signed interface: like
+    /// [`XrlRouter::add_handler`], but also advertises the method's
+    /// interned id and signature hash to the Finder, so callers holding
+    /// the same signature can switch to positional wire-v2 frames.
+    pub fn add_handler_signed<F>(&self, instance: &str, path: &str, sig_hash: u64, f: F)
+    where
+        F: Fn(&mut EventLoop, &XrlArgs, Responder) + 'static,
+    {
+        self.add_handler_inner(instance, path, Rc::new(f), Some(sig_hash));
+    }
+
+    fn add_handler_inner(&self, instance: &str, path: &str, h: Handler, sig_hash: Option<u64>) {
+        let (method_id, finder, advertise) = {
+            let mut inner = self.inner.borrow_mut();
+            let advertise = !inner.wire_v1_only;
+            let finder = inner.finder.clone();
+            let target = inner
+                .targets
+                .get_mut(instance)
+                .unwrap_or_else(|| panic!("no such target: {instance}"));
+            let id = match target.by_path.get(path) {
+                Some(&i) => {
+                    // Re-registration replaces the handler in its slot so
+                    // existing interned ids stay valid.
+                    target.methods[i as usize].handler = h;
+                    i
+                }
+                None => {
+                    let i = target.methods.len() as u32;
+                    target.methods.push(MethodEntry {
+                        path: Arc::from(path),
+                        handler: h,
+                    });
+                    target.by_path.insert(path.to_string(), i);
+                    i
+                }
+            };
+            (id, finder, advertise)
+        };
+        if let Some(hash) = sig_hash {
+            if advertise {
+                finder.advertise_sig(instance, path, method_id, hash);
+            }
+        }
     }
 
     /// Attach a synchronous handler: the closure's return value is the
@@ -809,6 +938,15 @@ impl XrlRouter {
             let result = f(el, args);
             responder.reply(el, result);
         });
+    }
+
+    /// Pin this router to wire v1: never advertise signatures, never emit
+    /// positional frames.  Models a peer from before the v2 encoding, for
+    /// mixed-version interop testing.  Set before registering handlers.
+    pub fn set_wire_v1_only(&self, v1_only: bool) {
+        let mut inner = self.inner.borrow_mut();
+        inner.wire_v1_only = v1_only;
+        inner.cache_generation += 1;
     }
 
     /// Handler for kill-family signals (default: stop the loop).
@@ -892,7 +1030,9 @@ impl XrlRouter {
         }
         if repaired {
             // Everyone's endpoints may have changed across the restart.
-            self.inner.borrow_mut().resolve_cache.clear();
+            let mut inner = self.inner.borrow_mut();
+            inner.resolve_cache.clear();
+            inner.cache_generation += 1;
         }
     }
 
@@ -999,7 +1139,7 @@ impl XrlRouter {
                             cb(el, Err(XrlError::Overloaded));
                             return;
                         }
-                        Some(lane.clone())
+                        Some(Rc::from(lane.as_str()))
                     }
                     None => None,
                 }
@@ -1048,7 +1188,8 @@ impl XrlRouter {
                         &instance,
                         key,
                         &path,
-                        &args,
+                        args,
+                        None,
                         ReplyPath::Local,
                         priority,
                     );
@@ -1062,6 +1203,7 @@ impl XrlRouter {
                     key: entry.key,
                     path,
                     args: xrl.args,
+                    method_id: None,
                     priority,
                 };
                 match self.tcp_stream(addr) {
@@ -1084,6 +1226,241 @@ impl XrlRouter {
                     key: entry.key,
                     path,
                     args: xrl.args,
+                    method_id: None,
+                    priority,
+                };
+                match self.udp_send_or_queue(el, addr, frame.clone(), priority) {
+                    Ok(()) => self.arm_retry(el, seq, frame),
+                    Err(e) => self.write_failed(el, seq, None, frame, e),
+                }
+            }
+        }
+    }
+
+    /// Intern an outgoing `(target, path)` call site.  `sig_hash` is this
+    /// side's hash of the method signature; `arg_names` are the argument
+    /// names in signature order, used to label positional arguments when
+    /// falling back to v1 named frames.  Generated client stubs intern
+    /// every method once at construction.
+    pub fn intern(
+        &self,
+        target: &str,
+        path: &str,
+        sig_hash: u64,
+        arg_names: &'static [&'static str],
+    ) -> InternedCall {
+        InternedCall {
+            inner: Rc::new(InternedInner {
+                target: target.to_string(),
+                path: path.to_string(),
+                sig_hash,
+                arg_names,
+                cached: RefCell::new(None),
+                generation: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Dispatch through an [`InternedCall`]: the hot-path counterpart of
+    /// [`XrlRouter::send`].  After the first send (and after any cache
+    /// flush) the per-route cost is one array-indexed cache check — no
+    /// path rendering, no `(String, String)` resolve-cache key, no lane
+    /// label `format!`.  `args` is positional (built with
+    /// [`XrlArgs::push_value`] in signature order); when wire v2 was not
+    /// negotiated with the resolved peer the atoms are labeled from
+    /// `arg_names` and the frame goes out as v1 named.
+    pub fn send_interned(
+        &self,
+        el: &mut EventLoop,
+        call: &InternedCall,
+        args: XrlArgs,
+        priority: bool,
+        cb: ResponseCb,
+    ) {
+        // Revalidate the interned entry against the cache generation.
+        let generation = self.inner.borrow().cache_generation;
+        if call.inner.generation.get() != generation || call.inner.cached.borrow().is_none() {
+            let entry = match self.resolve_cached(&call.inner.target, &call.inner.path) {
+                Ok(e) => e,
+                Err(e) => {
+                    cb(el, Err(e));
+                    return;
+                }
+            };
+            let my_id = self.inner.borrow().router_id;
+            let mut intra = false;
+            let mut tcp = None;
+            let mut udp = None;
+            for ep in &entry.endpoints {
+                match ep {
+                    Endpoint::Intra { router_id } if *router_id == my_id => intra = true,
+                    Endpoint::Tcp(a) => tcp = Some(*a),
+                    Endpoint::Udp(a) => udp = Some(*a),
+                    Endpoint::Intra { .. } => {}
+                }
+            }
+            let (via, lane) = if intra {
+                (Via::Intra, None)
+            } else if let Some(a) = tcp {
+                (Via::Tcp(a), Some(Rc::from(format!("tcp:{a}").as_str())))
+            } else if let Some(a) = udp {
+                (Via::Udp(a), Some(Rc::from(format!("udp:{a}").as_str())))
+            } else {
+                cb(
+                    el,
+                    Err(XrlError::Transport(format!(
+                        "no usable endpoint for {}",
+                        entry.instance
+                    ))),
+                );
+                return;
+            };
+            let v1_only = self.inner.borrow().wire_v1_only;
+            let method_id = if !v1_only && entry.sig_hash == Some(call.inner.sig_hash) {
+                entry.method_id
+            } else {
+                None
+            };
+            *call.inner.cached.borrow_mut() = Some(InternedCached {
+                instance: entry.instance,
+                key: entry.key,
+                via,
+                lane,
+                method_id,
+            });
+            call.inner.generation.set(generation);
+        }
+
+        let (instance, key, via, lane, method_id) = {
+            let cached = call.inner.cached.borrow();
+            let c = cached.as_ref().expect("interned cache populated");
+            (
+                c.instance.clone(),
+                c.key,
+                c.via,
+                c.lane.clone(),
+                c.method_id,
+            )
+        };
+
+        // v1 fallback: the peer never advertised our signature, so label
+        // the positional atoms with their names before the frame leaves.
+        let mut args = args;
+        if method_id.is_none() {
+            args.label_names(call.inner.arg_names);
+        }
+
+        // Overload control, identical to `send_inner` but with the lane
+        // label precomputed.
+        let counted_lane = match (&lane, priority) {
+            (Some(lane), false) => {
+                let mut inner = self.inner.borrow_mut();
+                match inner.overload {
+                    Some(policy) => {
+                        let depth = inner
+                            .lane_load
+                            .get(lane.as_ref())
+                            .map(|l| l.depth)
+                            .unwrap_or(0);
+                        if depth >= policy.hard_cap {
+                            inner.shed += 1;
+                            if let Some(m) = &inner.metrics {
+                                m.shed.inc();
+                            }
+                            drop(inner);
+                            cb(el, Err(XrlError::Overloaded));
+                            return;
+                        }
+                        Some(lane.clone())
+                    }
+                    None => None,
+                }
+            }
+            _ => None,
+        };
+
+        let (seq, my_id) = {
+            let mut inner = self.inner.borrow_mut();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.pending.insert(
+                seq,
+                Pending {
+                    cb,
+                    via,
+                    attempt: 1,
+                    timer: None,
+                    frame: None,
+                    counted_lane: counted_lane.clone(),
+                    priority,
+                },
+            );
+            if let Some(m) = &inner.metrics {
+                m.pending.set(inner.pending.len() as i64);
+            }
+            (seq, inner.router_id)
+        };
+        if let Some(l) = &counted_lane {
+            self.note_lane_enqueue(el, l);
+        }
+
+        match via {
+            Via::Intra => {
+                let router = self.clone();
+                let path = call.inner.path.clone();
+                el.defer(move |el| {
+                    router.dispatch(
+                        el,
+                        seq,
+                        my_id,
+                        &instance,
+                        key,
+                        &path,
+                        args,
+                        method_id,
+                        ReplyPath::Local,
+                        priority,
+                    );
+                });
+            }
+            Via::Tcp(addr) => {
+                let frame = Frame::Request {
+                    seq,
+                    sender: my_id,
+                    target: instance,
+                    key,
+                    path: match method_id {
+                        Some(_) => String::new(),
+                        None => call.inner.path.clone(),
+                    },
+                    args,
+                    method_id,
+                    priority,
+                };
+                match self.tcp_stream(addr) {
+                    Ok(stream) => {
+                        let transport: Rc<dyn Transport> =
+                            Rc::new(TcpTransport { stream, peer: addr });
+                        match self.transport_write(el, transport, &frame) {
+                            Ok(()) => self.arm_retry(el, seq, frame),
+                            Err(e) => self.write_failed(el, seq, Some(addr), frame, e),
+                        }
+                    }
+                    Err(e) => self.write_failed(el, seq, Some(addr), frame, e),
+                }
+            }
+            Via::Udp(addr) => {
+                let frame = Frame::Request {
+                    seq,
+                    sender: my_id,
+                    target: instance,
+                    key,
+                    path: match method_id {
+                        Some(_) => String::new(),
+                        None => call.inner.path.clone(),
+                    },
+                    args,
+                    method_id,
                     priority,
                 };
                 match self.udp_send_or_queue(el, addr, frame.clone(), priority) {
@@ -1448,8 +1825,11 @@ impl XrlRouter {
                 key,
                 path,
                 args,
+                method_id,
                 priority,
-            } => router.dispatch(el, seq, sender, &target, key, &path, &args, reply, priority),
+            } => router.dispatch(
+                el, seq, sender, &target, key, &path, args, method_id, reply, priority,
+            ),
             Frame::Response { seq, result, .. } => router.complete(el, seq, result),
             Frame::Kill { signal } => router.handle_kill(el, signal),
         }
@@ -1457,6 +1837,11 @@ impl XrlRouter {
 
     /// Dispatch an incoming request to the matching handler, deduplicating
     /// retransmissions so every request runs its handler exactly once.
+    ///
+    /// `method_id` is present for wire-v2 frames (and interned intra
+    /// dispatch): the handler is found by array index in the target's
+    /// method table, with no path hashing.  v1 frames go through the
+    /// path-keyed index instead.
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
@@ -1466,7 +1851,8 @@ impl XrlRouter {
         instance: &str,
         key: [u8; 16],
         path: &str,
-        args: &XrlArgs,
+        mut args: XrlArgs,
+        method_id: Option<u32>,
         reply: ReplyPath,
         priority: bool,
     ) {
@@ -1530,6 +1916,7 @@ impl XrlRouter {
             origin,
             path: reply,
             priority,
+            wire_v2: method_id.is_some(),
         };
         let handler = {
             let inner = self.inner.borrow();
@@ -1542,16 +1929,30 @@ impl XrlRouter {
                     // match the registered method name" (§7).
                     Err(XrlError::BadMethodKey)
                 }
-                Some(t) => match t.handlers.get(path) {
-                    Some(h) => Ok(h.clone()),
-                    None => Err(XrlError::NoSuchMethod(format!(
-                        "{instance} has no method {path}"
-                    ))),
-                },
+                Some(t) => {
+                    let entry = match method_id {
+                        Some(id) => t.methods.get(id as usize),
+                        None => t.by_path.get(path).and_then(|&i| t.methods.get(i as usize)),
+                    };
+                    match entry {
+                        Some(m) => Ok((m.handler.clone(), m.path.clone())),
+                        None => Err(XrlError::NoSuchMethod(match method_id {
+                            Some(id) => format!("{instance} has no method id {id}"),
+                            None => format!("{instance} has no method {path}"),
+                        })),
+                    }
+                }
             }
         };
         match handler {
-            Ok(h) => h(el, args, responder),
+            Ok((h, method_path)) => {
+                // Attach the method path so argument-decode errors name the
+                // call they belong to.  For v2 dispatch this is the only
+                // place the path string appears — the frame doesn't carry
+                // it — and it's a refcount bump, not an allocation.
+                args.set_context(method_path);
+                h(el, &args, responder)
+            }
             Err(e) => responder.reply(el, Err(e)),
         }
     }
@@ -1777,7 +2178,9 @@ impl XrlRouter {
     pub(crate) fn flush_cache_on(el: &mut EventLoop) {
         if let Some(r) = el.slot::<XrlRouter>() {
             let r = r.clone();
-            r.inner.borrow_mut().resolve_cache.clear();
+            let mut inner = r.inner.borrow_mut();
+            inner.resolve_cache.clear();
+            inner.cache_generation += 1;
         }
     }
 
@@ -1785,10 +2188,12 @@ impl XrlRouter {
     pub(crate) fn invalidate_cache_on(el: &mut EventLoop, class: &str) {
         if let Some(r) = el.slot::<XrlRouter>() {
             let r = r.clone();
-            r.inner
-                .borrow_mut()
-                .resolve_cache
-                .retain(|_, e| e.class != class);
+            let mut inner = r.inner.borrow_mut();
+            inner.resolve_cache.retain(|_, e| e.class != class);
+            // Interned calls can't be invalidated per class (they hold no
+            // registry); moving the generation makes every one re-resolve,
+            // which hits the still-warm resolve cache for other classes.
+            inner.cache_generation += 1;
         }
     }
 
@@ -1799,7 +2204,9 @@ impl XrlRouter {
 
     /// Drop every resolve-cache entry (test/diagnostic).
     pub fn flush_resolve_cache(&self) {
-        self.inner.borrow_mut().resolve_cache.clear();
+        let mut inner = self.inner.borrow_mut();
+        inner.resolve_cache.clear();
+        inner.cache_generation += 1;
     }
 
     /// Number of remembered request identities in the receiver-side dedup

@@ -77,6 +77,7 @@ proptest! {
             target: "t".into(),
             key,
             path: "i/1.0/m".into(),
+            method_id: None,
             args,
             priority,
         };
@@ -99,11 +100,53 @@ proptest! {
         prop_assert_eq!(Frame::decode(bytes).unwrap(), frame);
     }
 
+    /// Wire-v2 positional frames round-trip: no path string, no argument
+    /// names, just `method_id` plus typed values in signature order.
+    #[test]
+    fn frame_v2_binary_roundtrip(
+        values in proptest::collection::vec(arb_value(), 0..8),
+        seq in any::<u64>(),
+        method_id in any::<u32>(),
+        key in any::<[u8; 16]>(),
+        priority in any::<bool>(),
+    ) {
+        let mut args = XrlArgs::new();
+        for v in values {
+            args.push_value(v);
+        }
+        let frame = Frame::Request {
+            seq,
+            sender: seq ^ 0xa5a5,
+            target: "t".into(),
+            key,
+            path: String::new(),
+            method_id: Some(method_id),
+            args,
+            priority,
+        };
+        let mut encoded = frame.encode();
+        use bytes::Buf;
+        let mut bytes = bytes::Bytes::from(encoded.split().to_vec());
+        let len = bytes.get_u32() as usize;
+        prop_assert_eq!(len, bytes.remaining());
+        let decoded = Frame::decode(bytes).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
     /// Arbitrary garbage never panics the decoder; it errors or yields a
     /// frame.
     #[test]
     fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = Frame::decode(bytes::Bytes::from(bytes));
+    }
+
+    /// Garbage stamped with the v2 kind byte never panics either: the
+    /// positional decoder hits the same truncation/type guards.
+    #[test]
+    fn v2_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut stamped = vec![3u8]; // KIND_REQUEST_V2
+        stamped.extend(bytes);
+        let _ = Frame::decode(bytes::Bytes::from(stamped));
     }
 
     /// Every strict prefix of a valid frame body fails to decode (no
@@ -116,6 +159,31 @@ proptest! {
             target: "t".into(),
             key: [9u8; 16],
             path: "i/1.0/m".into(),
+            method_id: None,
+            args,
+            priority: false,
+        };
+        let encoded = frame.encode().to_vec();
+        let body = &encoded[4..];
+        for cut in 0..body.len() {
+            prop_assert!(Frame::decode(bytes::Bytes::copy_from_slice(&body[..cut])).is_err());
+        }
+    }
+
+    /// Likewise for v2 bodies: every strict prefix errors cleanly.
+    #[test]
+    fn truncated_v2_frames_error(values in proptest::collection::vec(arb_value(), 0..6)) {
+        let mut args = XrlArgs::new();
+        for v in values {
+            args.push_value(v);
+        }
+        let frame = Frame::Request {
+            seq: 7,
+            sender: 3,
+            target: "t".into(),
+            key: [9u8; 16],
+            path: String::new(),
+            method_id: Some(42),
             args,
             priority: false,
         };
