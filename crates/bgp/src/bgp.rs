@@ -11,6 +11,7 @@ use std::time::Duration;
 use xorp_event::{EventLoop, SliceResult, TimerHandle};
 use xorp_net::{Addr, AsNum, HeapSize, PathAttributes, Prefix, ProtocolId};
 use xorp_policy::{FilterBank, PolicyTarget};
+use xorp_profiler::tracing::{self as xtrace, SpanRecorder};
 use xorp_profiler::{points, Metrics, PointHandle, Profiler};
 use xorp_stages::{stage_ref, CacheStage, DumpStage, FnStage, OriginId, RouteOp, Stage, StageRef};
 
@@ -117,6 +118,9 @@ where
     /// BGP_IN stamping handle: one relaxed load per route when the point
     /// is dormant, instead of the profiler's global lock per stamp.
     bgp_in: Option<PointHandle>,
+    /// Trace ingress: sampled UPDATEs root a `bgp_in` span whose context
+    /// rides ambiently through decision and fanout.
+    tracer: Option<SpanRecorder>,
     /// Timer period for damping sweeps.
     damping_sweep: Duration,
 }
@@ -138,6 +142,7 @@ where
             fanout,
             peers: HashMap::new(),
             bgp_in: None,
+            tracer: None,
             damping_sweep: Duration::from_secs(10),
         }
     }
@@ -145,6 +150,13 @@ where
     /// Attach a profiler (the §8.2 instrumentation).
     pub fn set_profiler(&mut self, p: Profiler) {
         self.bgp_in = Some(p.point(points::BGP_IN));
+    }
+
+    /// Attach a span recorder: UPDATE ingress becomes the tracing root.
+    /// Dormant cost matches [`PointHandle`] — one relaxed load per
+    /// UPDATE when sampling is off.
+    pub fn set_tracer(&mut self, recorder: SpanRecorder) {
+        self.tracer = Some(recorder);
     }
 
     /// Attach a metrics registry; the fanout queue reports its depth,
@@ -467,6 +479,15 @@ where
                 }
             }
         }
+        // A sampled UPDATE roots a trace: every route it carries flows
+        // through decision and into the fanout under the `bgp_in` span's
+        // ambient context.
+        let traced = self.tracer.as_ref().and_then(|t| {
+            let ctx = t.sample()?;
+            let span = t.begin(ctx, "bgp_in");
+            let prev = xtrace::set_current(Some(span.ctx));
+            Some((span, prev))
+        });
         for net in update.withdrawn {
             branch.peer_in.borrow_mut().withdraw(el, net);
         }
@@ -483,6 +504,12 @@ where
             }
         }
         branch.peer_in.borrow_mut().push_batch(el);
+        if let Some((span, prev)) = traced {
+            xtrace::set_current(prev);
+            if let Some(t) = &self.tracer {
+                t.finish(span);
+            }
+        }
     }
 
     /// Coalesce fanout deliveries: with `n > 1`, up to `n` best-path

@@ -25,6 +25,7 @@ use std::rc::Rc;
 
 use xorp_event::EventLoop;
 use xorp_net::{Addr, HeapSize, Prefix};
+use xorp_profiler::tracing::{self as xtrace, TraceContext};
 use xorp_profiler::{Gauge, Histogram, Metrics};
 use xorp_stages::{DumpStage, OriginId, RouteOp, Stage, StageRef};
 
@@ -92,6 +93,10 @@ pub struct FanoutQueue<A: Addr> {
     coalesce: usize,
     /// Entries enqueued since the last pump.
     unpumped: usize,
+    /// Trace contexts of sampled entries, keyed by queue seq.  Sparse:
+    /// only sampled routes appear, so the untraced hot path pays one
+    /// `is_empty` check per delivery.  Entries die with their seqs at GC.
+    trace_by_seq: HashMap<u64, TraceContext>,
     metrics: Option<FanoutMetrics>,
 }
 
@@ -125,6 +130,7 @@ impl<A: Addr> FanoutQueue<A> {
             max_queue_len: 0,
             coalesce: 1,
             unpumped: 0,
+            trace_by_seq: HashMap::new(),
             metrics: None,
         }
     }
@@ -325,7 +331,18 @@ impl<A: Addr> FanoutQueue<A> {
                 debug_assert!(*seq >= reader.cursor);
                 if let Some(translated) = translate(*id, op) {
                     let origin = op_origin(op);
-                    target.borrow_mut().route_op(el, origin, translated);
+                    let trace = if self.trace_by_seq.is_empty() {
+                        None
+                    } else {
+                        self.trace_by_seq.get(seq).copied()
+                    };
+                    if let Some(ctx) = trace {
+                        let prev = xtrace::set_current(Some(ctx));
+                        target.borrow_mut().route_op(el, origin, translated);
+                        xtrace::set_current(prev);
+                    } else {
+                        target.borrow_mut().route_op(el, origin, translated);
+                    }
                 }
                 reader.cursor = *seq + 1;
                 // A delivery may have congested this reader's lane; stop
@@ -359,7 +376,18 @@ impl<A: Addr> FanoutQueue<A> {
                 debug_assert!(*seq >= reader.cursor);
                 if let Some(translated) = translate(id, op) {
                     let origin = op_origin(op);
-                    target.borrow_mut().route_op(el, origin, translated);
+                    let trace = if self.trace_by_seq.is_empty() {
+                        None
+                    } else {
+                        self.trace_by_seq.get(seq).copied()
+                    };
+                    if let Some(ctx) = trace {
+                        let prev = xtrace::set_current(Some(ctx));
+                        target.borrow_mut().route_op(el, origin, translated);
+                        xtrace::set_current(prev);
+                    } else {
+                        target.borrow_mut().route_op(el, origin, translated);
+                    }
                 }
                 reader.cursor = *seq + 1;
                 if reader.gated_off() {
@@ -380,6 +408,9 @@ impl<A: Addr> FanoutQueue<A> {
             .unwrap_or(self.next_seq);
         while let Some((seq, _)) = self.queue.front() {
             if *seq < min_cursor {
+                if !self.trace_by_seq.is_empty() {
+                    self.trace_by_seq.remove(seq);
+                }
                 self.queue.pop_front();
             } else {
                 break;
@@ -484,6 +515,12 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for FanoutQueue<A> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        // A sampled route arrives under its UPDATE's ambient context;
+        // remember it so deliveries (possibly deferred by coalescing or
+        // a gated reader) re-establish the same context.
+        if let Some(ctx) = xtrace::current() {
+            self.trace_by_seq.insert(seq, ctx);
+        }
         self.queue.push_back((seq, op));
         self.max_queue_len = self.max_queue_len.max(self.queue.len());
         if let Some(m) = &self.metrics {

@@ -19,6 +19,7 @@ use std::rc::{Rc, Weak};
 
 use xorp_event::EventLoop;
 use xorp_net::{Addr, Prefix};
+use xorp_profiler::tracing as xtrace;
 use xorp_stages::{OriginId, RouteOp, Stage, StageRef};
 
 use crate::{BgpRoute, PeerId};
@@ -109,6 +110,9 @@ enum HeldState {
 struct Held<A: Addr> {
     route: BgpRoute<A>,
     state: HeldState,
+    /// Ambient trace context the route arrived under, re-established
+    /// when an asynchronous answer releases it downstream.
+    trace: Option<xtrace::TraceContext>,
 }
 
 /// The per-peer nexthop resolver stage.
@@ -249,14 +253,19 @@ impl<A: Addr> NexthopResolver<A> {
                 }
                 let after = s.view(&net);
                 if before != after {
-                    diffs.push((net, before, after));
+                    let trace = s.held.get(&net).and_then(|h| h.trace);
+                    diffs.push((net, before, after, trace));
                 }
             }
             (diffs, s.downstream.clone(), OriginId(s.peer.0))
         };
         if let Some(d) = downstream {
-            for (net, before, after) in diffs {
+            for (net, before, after, trace) in diffs {
+                // The answer callback runs with no ambient context; the
+                // held route remembered the one it arrived under.
+                let prev = xtrace::set_current(trace);
                 emit_diff(el, &d, origin, net, before, after);
+                xtrace::set_current(prev);
             }
             // The answer is a batch boundary: the routes it released were
             // decoupled from their UPDATE's push when they were held, so
@@ -322,7 +331,14 @@ impl<A: Addr> NexthopResolver<A> {
                         state
                     }
                 };
-                s.held.insert(net, Held { route: new, state });
+                s.held.insert(
+                    net,
+                    Held {
+                        route: new,
+                        state,
+                        trace: xtrace::current(),
+                    },
+                );
             }
             let after = s.view(&net);
             (
@@ -388,9 +404,14 @@ impl<A: Addr> Stage<A, BgpRoute<A>> for NexthopResolver<A> {
         // borrow, defer to the event loop (still the same logical event —
         // a deferred closure runs before any queued external event only if
         // queued first; acceptable and keeps the one-borrow discipline).
+        // The deferral would strip a sampled route of its ambient trace
+        // context, so carry it across explicitly.
+        let trace = xtrace::current();
         el.defer(move |el| {
             let op = op;
+            let prev = xtrace::set_current(trace);
             NexthopResolver::route_op_rc(el, &me, origin, op);
+            xtrace::set_current(prev);
         });
     }
 

@@ -21,16 +21,19 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use xorp_event::EventLoop;
+use xorp_profiler::tracing::{self as xtrace, SpanRecorder, TraceContext};
 use xorp_profiler::PointHandle;
 use xorp_xrl::AtomValue;
 
 use crate::xrl_ifaces::BulkRouteSink;
 
-/// One buffered route row: direction, encoded atoms, profiling payload.
+/// One buffered route row: direction, encoded atoms, profiling payload,
+/// and the ambient trace context at push time (sampled routes only).
 struct Row {
     add: bool,
     atoms: Vec<AtomValue>,
     payload: String,
+    trace: Option<TraceContext>,
 }
 
 struct Inner {
@@ -50,6 +53,10 @@ struct Inner {
     /// Backpressure gate: while closed (`true`), flushes hold and rows
     /// accumulate; reopening flushes immediately.
     gated: bool,
+    /// Span recorder for the `batch` hop.  When set, a flushed frame
+    /// rides the first traced row's context (the *carrier*) and every
+    /// other traced row coalesced into it records a fan-in link.
+    tracer: Option<SpanRecorder>,
 }
 
 /// Coalesces per-route ops into `add_routes`/`delete_routes` XRL frames.
@@ -74,8 +81,14 @@ impl RouteBatcher {
                 pending: Vec::new(),
                 scheduled: false,
                 gated: false,
+                tracer: None,
             })),
         }
+    }
+
+    /// Attach the `batch` hop's span recorder.
+    pub fn set_tracer(&self, recorder: SpanRecorder) {
+        self.inner.borrow_mut().tracer = Some(recorder);
     }
 
     /// Buffer one route row; flush if the batch is full, otherwise make
@@ -87,6 +100,7 @@ impl RouteBatcher {
                 add,
                 atoms,
                 payload,
+                trace: xtrace::current(),
             });
             let full = b.pending.len() >= b.batch_size;
             let arm = !full && !b.scheduled;
@@ -129,19 +143,52 @@ impl RouteBatcher {
             }
             (std::mem::take(&mut b.pending), b.sink.clone())
         };
-        let sent_point = self.inner.borrow().sent_point.clone();
+        let (sent_point, recorder) = {
+            let b = self.inner.borrow();
+            (b.sent_point.clone(), b.tracer.clone())
+        };
         let mut run: Vec<Row> = Vec::new();
         let ship = |el: &mut EventLoop, run: &mut Vec<Row>| {
             if run.is_empty() {
                 return;
             }
             let add = run[0].add;
+            // The first traced row carries the frame's context; the other
+            // traced rows coalesced into it record fan-in links so their
+            // traces keep causality instead of dead-ending at the merge.
+            let carrier = run.iter().find_map(|r| r.trace);
+            let mut span = None;
+            let prev = carrier.map(|ctx| {
+                let child = match &recorder {
+                    Some(t) => {
+                        for r in run.iter() {
+                            if let Some(c) = r.trace {
+                                if c.trace_id != ctx.trace_id {
+                                    t.fan_in(c, ctx.trace_id);
+                                }
+                            }
+                        }
+                        let s = t.begin(ctx, "batch");
+                        let child = s.ctx;
+                        span = Some(s);
+                        child
+                    }
+                    None => ctx,
+                };
+                xtrace::set_current(Some(child))
+            });
             let mut encoded = Vec::with_capacity(run.len());
             for row in run.drain(..) {
                 sent_point.record(|| row.payload.clone());
                 encoded.push(AtomValue::List(row.atoms));
             }
             sink.send(el, add, encoded);
+            if let Some(p) = prev {
+                xtrace::set_current(p);
+            }
+            if let (Some(s), Some(t)) = (span, &recorder) {
+                t.finish(s);
+            }
         };
         for row in rows {
             if let Some(last) = run.last() {

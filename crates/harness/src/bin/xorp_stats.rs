@@ -9,7 +9,14 @@
 //! console would see it.
 //!
 //! Usage: `xorp-stats [--routes N] [--target bgp|rib|fea]
-//!                    [--interval-ms N] [--iterations N] [--check]`
+//!                    [--interval-ms N] [--iterations N]
+//!                    [--trace-every N] [--check]`
+//!
+//! With `--iterations > 1`, successive metric snapshots derive a
+//! rate-per-second column.  With `--trace-every N`, 1-in-N UPDATEs are
+//! trace-sampled; the observer then polls every process's
+//! `profile/1.0/get_spans`, stitches the spans by trace id, and prints
+//! per-hop and end-to-end latency percentiles.
 //!
 //! With `--check`, asserts the whole surface end to end: enable over
 //! XRL, a stamped route flow with monotone timestamps, bounded
@@ -21,10 +28,16 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use xorp_harness::router::{MultiProcessRouter, RouterOptions};
-use xorp_harness::stats::{format_metrics_table, format_points_table};
+use xorp_harness::stats::{
+    format_metrics_table_with_rates, format_points_table, format_trace_report, metric_rates,
+    stitch_spans,
+};
 use xorp_harness::workload::{backbone_table, WorkloadConfig};
+use xorp_profiler::tracing::Span;
 use xorp_xrl::profile::profile::Client as ProfileClient;
-use xorp_xrl::profile::{decode_metrics, decode_points, decode_records, ROUTE_FLOW_ALIAS};
+use xorp_xrl::profile::{
+    decode_metrics, decode_points, decode_records, decode_spans, ROUTE_FLOW_ALIAS,
+};
 use xorp_xrl::{XrlError, XrlRouter};
 
 type Slot<T> = Rc<RefCell<Option<Result<T, XrlError>>>>;
@@ -62,6 +75,7 @@ fn main() {
     let routes = int("--routes", 500);
     let interval_ms = int("--interval-ms", 0) as u64;
     let iterations = int("--iterations", if interval_ms > 0 { 3 } else { 1 });
+    let trace_every = int("--trace-every", 0) as u64;
     let target = args
         .iter()
         .position(|a| a == "--target")
@@ -71,6 +85,9 @@ fn main() {
 
     // ---- the observed router --------------------------------------------
     let router = MultiProcessRouter::new(RouterOptions::default());
+    if trace_every > 0 {
+        router.tracer.set_sampling(trace_every);
+    }
 
     // ---- the observer: its own loop, talking typed XRL stubs ------------
     let mut el = xorp_event::EventLoop::new();
@@ -104,6 +121,7 @@ fn main() {
         router.fea_route_count()
     );
 
+    let mut prev_metrics: Option<(Instant, Vec<xorp_xrl::profile::MetricRow>)> = None;
     for iter in 0..iterations {
         if iter > 0 {
             std::thread::sleep(Duration::from_millis(interval_ms));
@@ -130,12 +148,22 @@ fn main() {
         });
         let (rows,) = wait(&mut el, &r, "profile get_metrics");
         let metrics = decode_metrics(&rows).expect("bad metrics reply");
+        let now = Instant::now();
+        // A previous snapshot turns counters into per-second rates.
+        let rates = prev_metrics
+            .as_ref()
+            .map(|(t0, prev)| metric_rates(prev, &metrics, now - *t0));
         println!();
         print!(
             "{}",
-            format_metrics_table("shared metrics registry (all processes)", &metrics)
+            format_metrics_table_with_rates(
+                "shared metrics registry (all processes)",
+                &metrics,
+                rates.as_ref(),
+            )
         );
         println!();
+        prev_metrics = Some((now, metrics.clone()));
 
         if check {
             // The registry is shared: one target serves every process's
@@ -190,6 +218,44 @@ fn main() {
                 "xorp-stats --check: ok ({} records, {} metrics)",
                 collected.len(),
                 metrics.len()
+            );
+        }
+    }
+
+    // ---- trace assembly ---------------------------------------------------
+    // The tracer is shared router-wide, so any `profile/1.0` target can
+    // serve any process's span ring; we still ask over the real wire, in
+    // bounded slices, like an external console would.
+    if trace_every > 0 {
+        let mut all: Vec<Span> = Vec::new();
+        for process in ["bgp", "rib", "fea"] {
+            loop {
+                let r = slot();
+                let s = r.clone();
+                client.get_spans(&mut el, process.to_string(), 4096, move |_el, reply| {
+                    *s.borrow_mut() = Some(reply);
+                });
+                let (rows, remaining, dropped) = wait(&mut el, &r, "profile get_spans");
+                let slice = decode_spans(&rows, remaining, dropped).expect("bad spans reply");
+                assert!(slice.spans.len() <= 4096, "span slice overflowed max");
+                all.extend(slice.spans);
+                if slice.remaining == 0 {
+                    break;
+                }
+            }
+        }
+        let views = stitch_spans(all);
+        print!(
+            "{}",
+            format_trace_report(
+                &format!("stitched traces (1-in-{trace_every} sampling)"),
+                &views
+            )
+        );
+        if check {
+            assert!(
+                views.iter().any(|v| v.is_root()),
+                "sampling on but no rooted trace assembled"
             );
         }
     }

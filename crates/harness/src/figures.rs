@@ -78,6 +78,17 @@ pub fn latency_experiment_opts(
         ..RouterOptions::default()
     });
 
+    // Sampling-overhead runs: XORP_TRACE_EVERY=N samples 1-in-N UPDATEs
+    // into causal trace spans during the experiment.  Unset or 0 keeps
+    // the tracer dormant (one relaxed load per UPDATE).
+    if let Some(every) = std::env::var("XORP_TRACE_EVERY")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|n| *n > 0)
+    {
+        router.tracer.set_sampling(every);
+    }
+
     // ---- preload ---------------------------------------------------------
     let mut preload_rps = 0.0;
     if initial > 0 {

@@ -40,10 +40,11 @@ use xorp_event::EventLoop;
 use xorp_fea::{test_iface, Fea, FibEntry};
 use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
 use xorp_policy::FilterBank;
+use xorp_profiler::tracing::{self as xtrace, ActiveSpan, SpanRecorder, TraceContext, Tracer};
 use xorp_profiler::{points, Metrics, PointHandle, Profiler};
 use xorp_rib::redist::RedistSink;
 use xorp_rib::{BatchOp, RedistWatcher, Rib};
-use xorp_rtrmgr::{SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
+use xorp_rtrmgr::{FlightReport, SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
 use xorp_stages::RouteOp;
 use xorp_xrl::keepalive;
 use xorp_xrl::profile::add_profile_responder;
@@ -165,6 +166,11 @@ pub struct MultiProcessRouter {
     /// view (`bgp.`, `rib.`, `fea.`, `rtrmgr.`); any process's
     /// `profile/1.0/get_metrics` serves the whole registry.
     pub metrics: Metrics,
+    /// Shared trace recorder: sampled UPDATEs root causal spans that ride
+    /// the XRL wire across all three processes.  Sampling starts off
+    /// (`set_sampling`); any process's `profile/1.0/get_spans` serves its
+    /// ring.
+    pub tracer: Tracer,
     /// The broker.
     pub finder: Finder,
     bgp: SharedBgp,
@@ -177,6 +183,8 @@ pub struct MultiProcessRouter {
     replay: ReplayLog,
     crash_on_spawn: Arc<AtomicU32>,
     restarts: Arc<AtomicU32>,
+    /// Post-mortems the supervisor captured at crash classification.
+    flights: Arc<Mutex<Vec<FlightReport>>>,
 }
 
 /// BGP's nexthop service backed by the RIB's interest-registration XRL
@@ -252,9 +260,18 @@ impl xrl_ifaces::bgp::Server for BgpServer {
 struct FeaServer {
     fea: Rc<RefCell<Fea>>,
     fea_in: PointHandle,
+    recorder: SpanRecorder,
 }
 
 impl FeaServer {
+    /// Terminal trace hop: one `fea` point span per traced frame (the
+    /// dispatcher scoped the frame's context over this handler).
+    fn trace_arrival(&self) {
+        if let Some(ctx) = xtrace::current() {
+            self.recorder.instant(ctx, "fea");
+        }
+    }
+
     fn install(&self, w: RouteWire) {
         self.fea_in.record(|| format!("add {}", w.net));
         self.fea.borrow_mut().add_route4(FibEntry {
@@ -280,6 +297,7 @@ impl xrl_ifaces::fea::Server for FeaServer {
         metric: u32,
         responder: TypedResponder<()>,
     ) {
+        self.trace_arrival();
         self.install(RouteWire {
             net,
             nexthop,
@@ -308,6 +326,7 @@ impl xrl_ifaces::fea::Server for FeaServer {
             Ok(p) => p,
             Err(e) => return responder.fail(el, e),
         };
+        self.trace_arrival();
         let n = parsed.len() as u32;
         for w in parsed {
             self.install(w);
@@ -346,9 +365,30 @@ struct RibServer {
     rib: Rc<RefCell<Rib<Ipv4Addr>>>,
     rib_in: PointHandle,
     delay: Option<Duration>,
+    recorder: SpanRecorder,
 }
 
+/// An open `rib` span plus the ambient context it displaced.
+type RibSpan = Option<(ActiveSpan, Option<TraceContext>)>;
+
 impl RibServer {
+    /// Open a `rib` span under the frame's context (scoped over this
+    /// handler by the dispatcher) and make its child context ambient, so
+    /// the redistribution sink — which runs inside the route apply —
+    /// threads it on toward the FEA.
+    fn begin_span(&self) -> RibSpan {
+        let ctx = xtrace::current()?;
+        let span = self.recorder.begin(ctx, "rib");
+        let prev = xtrace::set_current(Some(span.ctx));
+        Some((span, prev))
+    }
+
+    fn end_span(&self, traced: RibSpan) {
+        if let Some((span, prev)) = traced {
+            xtrace::set_current(prev);
+            self.recorder.finish(span);
+        }
+    }
     fn reply<R: RetTuple>(
         &self,
         el: &mut EventLoop,
@@ -394,7 +434,9 @@ impl xrl_ifaces::rib::Server for RibServer {
             metric,
             proto,
         });
+        let traced = self.begin_span();
         self.rib.borrow_mut().add_route(el, route);
+        self.end_span(traced);
         self.reply(el, responder, Ok(()));
     }
 
@@ -407,7 +449,9 @@ impl xrl_ifaces::rib::Server for RibServer {
     ) {
         self.rib_in.record(|| format!("del {net}"));
         let proto = ProtocolId::from_name(&proto).unwrap_or(ProtocolId::Ebgp);
+        let traced = self.begin_span();
         self.rib.borrow_mut().delete_route(el, proto, net);
+        self.end_span(traced);
         self.reply(el, responder, Ok(()));
     }
 
@@ -430,7 +474,9 @@ impl xrl_ifaces::rib::Server for RibServer {
             self.rib_in.record(|| format!("add {}", w.net));
             ops.push(BatchOp::Add(Self::entry(w)));
         }
+        let traced = self.begin_span();
         let n = self.rib.borrow_mut().apply_batch(el, ops);
+        self.end_span(traced);
         self.reply(el, responder, Ok((n as u32,)));
     }
 
@@ -449,7 +495,9 @@ impl xrl_ifaces::rib::Server for RibServer {
             self.rib_in.record(|| format!("del {net}"));
             ops.push(BatchOp::Delete { proto, net });
         }
+        let traced = self.begin_span();
         let n = self.rib.borrow_mut().apply_batch(el, ops);
+        self.end_span(traced);
         self.reply(el, responder, Ok((n as u32,)));
     }
 
@@ -490,6 +538,7 @@ impl xrl_ifaces::rib::Server for RibServer {
 struct BgpFactory {
     finder: Finder,
     profiler: Profiler,
+    tracer: Tracer,
     /// Scoped (`bgp.`) view of the shared registry.  Registration is
     /// idempotent, so a respawned process reattaches to the same slots.
     metrics: Metrics,
@@ -509,6 +558,7 @@ struct BgpFactory {
 impl BgpFactory {
     fn spawn(&self) -> Process {
         let profiler = self.profiler.clone();
+        let tracer = self.tracer.clone();
         let metrics = self.metrics.clone();
         let peers = self.peers.clone();
         let down_peers = self.down_peers.clone();
@@ -534,6 +584,7 @@ impl BgpFactory {
             };
             let mut bgp = BgpProcess::new(config, Rc::new(XrlNexthopService::new()));
             bgp.set_profiler(profiler.clone());
+            bgp.set_tracer(tracer.recorder("bgp"));
             bgp.set_metrics(&metrics);
 
             // Best routes → RIB over typed `rib/1.0` stubs (points 2 and
@@ -543,18 +594,26 @@ impl BgpFactory {
             let sent_rib = profiler.point(points::SENT_TO_RIB);
             let rib_client = xrl_ifaces::rib::Client::new(router, "rib");
             let batcher = (batch_size > 1).then(|| {
-                RouteBatcher::new(
+                let b = RouteBatcher::new(
                     BulkRouteSink::rib(&rib_client),
                     batch_size,
                     batch_flush_ms,
                     sent_rib.clone(),
-                )
+                );
+                b.set_tracer(tracer.recorder("bgp"));
+                b
             });
+            // Fanout delivery re-establishes a sampled route's context;
+            // stamp the hop and thread the child context into the batcher
+            // (or straight onto the per-route wire).
+            let fanout_rec = tracer.recorder("bgp");
             if let Some(batcher) = batcher.clone() {
                 // Batched pipeline: coalesce fanout pumps, then ship
                 // vectorized add_routes/delete_routes frames.
                 bgp.set_coalesce(batch_size);
                 bgp.set_rib_output(el, move |el, _origin, op| {
+                    let trace_prev = xtrace::current()
+                        .map(|ctx| xtrace::set_current(Some(fanout_rec.instant(ctx, "fanout"))));
                     let net = op.net();
                     let (add, row, what) = match &op {
                         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
@@ -567,9 +626,14 @@ impl BgpFactory {
                     let payload = format!("{what} {net}");
                     queued_rib.record(|| payload.clone());
                     batcher.push(el, add, row, payload);
+                    if let Some(prev) = trace_prev {
+                        xtrace::set_current(prev);
+                    }
                 });
             } else {
                 bgp.set_rib_output(el, move |el, _origin, op| {
+                    let trace_prev = xtrace::current()
+                        .map(|ctx| xtrace::set_current(Some(fanout_rec.instant(ctx, "fanout"))));
                     let net = op.net();
                     match &op {
                         RouteOp::Add { route, .. } | RouteOp::Replace { new: route, .. } => {
@@ -595,6 +659,9 @@ impl BgpFactory {
                             sent_rib.record(|| format!("del {net}"));
                             rib_client.delete_route(el, net, old.proto.name(), |_el, _res| {});
                         }
+                    }
+                    if let Some(prev) = trace_prev {
+                        xtrace::set_current(prev);
                     }
                 });
             }
@@ -660,7 +727,7 @@ impl BgpFactory {
 
             router.register_target("bgp", "bgp-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "bgp-0");
-            add_profile_responder(router, "bgp-0", &profiler, &metrics);
+            add_profile_responder(router, "bgp-0", &profiler, &metrics, &tracer);
             xrl_ifaces::bgp::register(router, "bgp-0", BgpServer { bgp: bgp.clone() });
 
             // A restarted BGP re-learns its table from its peers, which
@@ -691,6 +758,7 @@ impl MultiProcessRouter {
         let finder = Finder::new();
         let profiler = Profiler::new();
         let metrics = Metrics::new();
+        let tracer = Tracer::new();
 
         // Every process gets the same fault plan and retry policy; fault
         // decision streams still diverge per lane (peer address).
@@ -711,6 +779,7 @@ impl MultiProcessRouter {
 
         // ---- FEA process ----------------------------------------------------
         let fea_profiler = profiler.clone();
+        let fea_tracer = tracer.clone();
         let fea_metrics = metrics.scoped("fea");
         let knobs = apply_knobs.clone();
         let fea_v1_only = options.wire_v1_only == Some("fea");
@@ -727,19 +796,21 @@ impl MultiProcessRouter {
 
             router.register_target("fea", "fea-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "fea-0");
-            add_profile_responder(router, "fea-0", &fea_profiler, &fea_metrics);
+            add_profile_responder(router, "fea-0", &fea_profiler, &fea_metrics, &fea_tracer);
             xrl_ifaces::fea::register(
                 router,
                 "fea-0",
                 FeaServer {
                     fea: fea.clone(),
                     fea_in: fea_profiler.point(points::FEA_IN),
+                    recorder: fea_tracer.recorder("fea"),
                 },
             );
         });
 
         // ---- RIB process ----------------------------------------------------
         let rib_profiler = profiler.clone();
+        let rib_tracer = tracer.clone();
         let rib_metrics = metrics.scoped("rib");
         let check = options.consistency_check;
         let knobs = apply_knobs.clone();
@@ -802,12 +873,14 @@ impl MultiProcessRouter {
             let sent_fea = rib_profiler.point(points::SENT_TO_FEA);
             let fea_client = xrl_ifaces::fea::Client::new(router, "fea");
             let batcher = (batch_size > 1).then(|| {
-                RouteBatcher::new(
+                let b = RouteBatcher::new(
                     BulkRouteSink::fea(&fea_client),
                     batch_size,
                     batch_flush_ms,
                     sent_fea.clone(),
-                )
+                );
+                b.set_tracer(rib_tracer.recorder("rib"));
+                b
             });
             let sink: RedistSink<Ipv4Addr> = match batcher.clone() {
                 Some(batcher) => Rc::new(move |el, op| {
@@ -904,7 +977,7 @@ impl MultiProcessRouter {
 
             router.register_target("rib", "rib-0", true).unwrap();
             keepalive::add_keepalive_responder(router, "rib-0");
-            add_profile_responder(router, "rib-0", &rib_profiler, &rib_metrics);
+            add_profile_responder(router, "rib-0", &rib_profiler, &rib_metrics, &rib_tracer);
             xrl_ifaces::rib::register(
                 router,
                 "rib-0",
@@ -912,6 +985,7 @@ impl MultiProcessRouter {
                     rib: rib.clone(),
                     rib_in: rib_profiler.point(points::RIB_IN),
                     delay,
+                    recorder: rib_tracer.recorder("rib"),
                 },
             );
         });
@@ -922,6 +996,7 @@ impl MultiProcessRouter {
         let factory = Arc::new(BgpFactory {
             finder: finder.clone(),
             profiler: profiler.clone(),
+            tracer: tracer.clone(),
             metrics: metrics.scoped("bgp"),
             local_as: options.local_as,
             peers: options.peers.clone(),
@@ -939,6 +1014,7 @@ impl MultiProcessRouter {
 
         // ---- supervisor (rtrmgr) process ------------------------------------
         let restarts = Arc::new(AtomicU32::new(0));
+        let flights: Arc<Mutex<Vec<FlightReport>>> = Arc::new(Mutex::new(Vec::new()));
         let sup_state = supervision.map(|cfg| {
             let mut sup = Supervisor::new(cfg);
             sup.manage("bgp");
@@ -953,7 +1029,12 @@ impl MultiProcessRouter {
             let shared = bgp.clone();
             let restarts = restarts.clone();
             let sup_profiler = profiler.clone();
+            let sup_tracer = tracer.clone();
             let sup_metrics = metrics.scoped("rtrmgr");
+            // The flight recorder reads the whole registry (unscoped): a
+            // post-mortem filters to the dead process's prefix itself.
+            let flight_metrics = metrics.clone();
+            let flights = flights.clone();
             Process::spawn("rtrmgr", finder.clone(), move |el, router| {
                 knobs(router);
                 router.set_metrics(&sup_metrics);
@@ -968,12 +1049,13 @@ impl MultiProcessRouter {
                 }));
                 router.register_target("rtrmgr", "rtrmgr-0", true).unwrap();
                 keepalive::add_keepalive_responder(router, "rtrmgr-0");
-                add_profile_responder(router, "rtrmgr-0", &sup_profiler, &sup_metrics);
+                add_profile_responder(router, "rtrmgr-0", &sup_profiler, &sup_metrics, &sup_tracer);
 
                 // Probe round-trip latency, µs (§3.1 liveness telemetry).
                 let probe_latency = sup_metrics.histogram("probe_latency_us");
                 let rib_client = xrl_ifaces::rib::Client::new(router, "rib");
                 let probe_router = router.clone();
+                let flight_tracer = sup_tracer.clone();
                 el.every(cfg.keepalive_interval, move |el| {
                     let now = Duration::from_nanos(el.now().as_nanos());
                     // Respawns due now, in dependency order.  Only the BGP
@@ -996,6 +1078,9 @@ impl MultiProcessRouter {
                         let sup = sup.clone();
                         let rib_client = rib_client.clone();
                         let probe_latency = probe_latency.clone();
+                        let flights = flights.clone();
+                        let flight_tracer = flight_tracer.clone();
+                        let flight_metrics = flight_metrics.clone();
                         let t0 = Instant::now();
                         keepalive::probe_liveness(
                             &probe_router,
@@ -1014,6 +1099,30 @@ impl MultiProcessRouter {
                                     // it.  No flush — the component is still
                                     // serving its routes.
                                     sup.lock().record_overload("bgp", congested, now);
+                                }
+                                // Flight recorder: crash classification is
+                                // the moment to snapshot what the dead
+                                // process was doing — its span ring and
+                                // metrics outlive it in the shared
+                                // registries.
+                                match &verdict {
+                                    SupervisorVerdict::RestartScheduled { .. } => {
+                                        flights.lock().push(FlightReport::capture(
+                                            "bgp",
+                                            "crash classified, restart scheduled",
+                                            &flight_tracer,
+                                            &flight_metrics,
+                                        ));
+                                    }
+                                    SupervisorVerdict::Degraded => {
+                                        flights.lock().push(FlightReport::capture(
+                                            "bgp",
+                                            "restart budget spent, degraded",
+                                            &flight_tracer,
+                                            &flight_metrics,
+                                        ));
+                                    }
+                                    SupervisorVerdict::None => {}
                                 }
                                 if verdict == SupervisorVerdict::Degraded {
                                     // Budget spent: permanent death.  Flush the
@@ -1035,6 +1144,7 @@ impl MultiProcessRouter {
         MultiProcessRouter {
             profiler,
             metrics,
+            tracer,
             finder,
             bgp,
             _rib: rib,
@@ -1044,7 +1154,14 @@ impl MultiProcessRouter {
             replay,
             crash_on_spawn,
             restarts,
+            flights,
         }
+    }
+
+    /// Post-mortem flight reports the supervisor captured so far (crash
+    /// classifications and Degraded escalations), oldest first.
+    pub fn flight_reports(&self) -> Vec<FlightReport> {
+        self.flights.lock().clone()
     }
 
     /// Kill the BGP process, as a fault test would: its router deregisters

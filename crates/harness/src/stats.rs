@@ -1,8 +1,12 @@
 //! Report formatting: the paper-style latency tables of Figures 10–12,
-//! plus the `xorp-stats` metrics and profiling-point tables.
+//! plus the `xorp-stats` metrics and profiling-point tables, rate
+//! derivation between metric snapshots, and cross-process trace
+//! stitching (spans → causal trees → per-hop/total latency).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::time::Duration;
 
+use xorp_profiler::tracing::Span;
 use xorp_profiler::{points, LatencyStats, PointInfo, Profiler, Record};
 use xorp_xrl::profile::MetricRow;
 
@@ -95,17 +99,65 @@ pub fn format_latency_table(title: &str, rows: &[LatencyRow]) -> String {
 
 /// Render a `profile/1.0/get_metrics` reply as an aligned table.
 pub fn format_metrics_table(title: &str, rows: &[MetricRow]) -> String {
+    format_metrics_table_with_rates(title, rows, None)
+}
+
+/// Per-second rates between two successive `get_metrics` snapshots, by
+/// metric name.  Counters rate their totals, histograms their sample
+/// counts; gauges are levels, not flows, and are skipped.
+pub fn metric_rates(prev: &[MetricRow], cur: &[MetricRow], dt: Duration) -> HashMap<String, f64> {
+    let secs = dt.as_secs_f64();
+    if secs <= 0.0 {
+        return HashMap::new();
+    }
+    let before: HashMap<&str, i64> = prev.iter().map(|m| (m.name.as_str(), m.primary)).collect();
+    cur.iter()
+        .filter(|m| m.kind != "gauge")
+        .filter_map(|m| {
+            let delta = m.primary - before.get(m.name.as_str()).copied()?;
+            Some((m.name.clone(), delta as f64 / secs))
+        })
+        .collect()
+}
+
+/// [`format_metrics_table`], with a rate-per-second column when a
+/// previous snapshot provided one (dash otherwise).
+pub fn format_metrics_table_with_rates(
+    title: &str,
+    rows: &[MetricRow],
+    rates: Option<&HashMap<String, f64>>,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
-    out.push_str(&format!(
-        "{:<36} {:<10} {:>12}  {}\n",
-        "Metric", "Kind", "Value", "Detail"
-    ));
-    for row in rows {
-        out.push_str(&format!(
-            "{:<36} {:<10} {:>12}  {}\n",
-            row.name, row.kind, row.primary, row.detail
-        ));
+    match rates {
+        None => {
+            out.push_str(&format!(
+                "{:<36} {:<10} {:>12}  {}\n",
+                "Metric", "Kind", "Value", "Detail"
+            ));
+            for row in rows {
+                out.push_str(&format!(
+                    "{:<36} {:<10} {:>12}  {}\n",
+                    row.name, row.kind, row.primary, row.detail
+                ));
+            }
+        }
+        Some(rates) => {
+            out.push_str(&format!(
+                "{:<36} {:<10} {:>12} {:>10}  {}\n",
+                "Metric", "Kind", "Value", "Rate/s", "Detail"
+            ));
+            for row in rows {
+                let rate = match rates.get(&row.name) {
+                    Some(r) => format!("{r:.1}"),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!(
+                    "{:<36} {:<10} {:>12} {:>10}  {}\n",
+                    row.name, row.kind, row.primary, rate, row.detail
+                ));
+            }
+        }
     }
     out
 }
@@ -125,6 +177,181 @@ pub fn format_points_table(title: &str, points: &[PointInfo]) -> String {
             if p.enabled { "yes" } else { "no" },
             p.len,
             p.dropped
+        ));
+    }
+    out
+}
+
+// ---- cross-process trace stitching ---------------------------------------
+
+/// All spans of one trace, across processes, sorted by start stamp (every
+/// process shares the tracer's epoch, so stamps compare cross-process).
+#[derive(Debug, Clone)]
+pub struct TraceView {
+    pub trace_id: u64,
+    pub spans: Vec<Span>,
+}
+
+impl TraceView {
+    /// Whether this trace owns a root `bgp_in` (or `rip_in`) ingress span
+    /// — contributor traces whose frames were coalesced away end in a
+    /// `fan_in` stub instead of a full chain.
+    pub fn is_root(&self) -> bool {
+        self.spans
+            .iter()
+            .any(|s| s.parent_span == 0 && s.point.ends_with("_in"))
+    }
+}
+
+/// Group drained spans by `trace_id` into per-trace views, oldest first.
+pub fn stitch_spans(spans: Vec<Span>) -> Vec<TraceView> {
+    let mut by_trace: BTreeMap<u64, Vec<Span>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    let mut views: Vec<TraceView> = by_trace
+        .into_iter()
+        .map(|(trace_id, mut spans)| {
+            spans.sort_by_key(|s| (s.start_ns, s.span_id));
+            TraceView { trace_id, spans }
+        })
+        .collect();
+    views.sort_by_key(|v| v.spans.first().map_or(0, |s| s.start_ns));
+    views
+}
+
+/// Every span causally downstream of `trace_id`: its own spans plus —
+/// transitively, via `fan_in` links — the spans of the carrier traces
+/// that transported its coalesced routes.  Sorted by start stamp.
+pub fn causal_spans(views: &[TraceView], trace_id: u64) -> Vec<Span> {
+    let by_id: HashMap<u64, &TraceView> = views.iter().map(|v| (v.trace_id, v)).collect();
+    let mut seen = HashSet::new();
+    let mut stack = vec![trace_id];
+    let mut out = Vec::new();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        if let Some(v) = by_id.get(&id) {
+            for s in &v.spans {
+                if s.point == "fan_in" && s.link != 0 {
+                    stack.push(s.link);
+                }
+                out.push(s.clone());
+            }
+        }
+    }
+    out.sort_by_key(|s| (s.start_ns, s.span_id));
+    out
+}
+
+/// The hop names `trace_id` covers, fan-in links followed.
+pub fn covered_hops(views: &[TraceView], trace_id: u64) -> BTreeSet<String> {
+    causal_spans(views, trace_id)
+        .into_iter()
+        .filter(|s| s.point != "fan_in")
+        .map(|s| s.point)
+        .collect()
+}
+
+/// End-to-end latency of one root trace in nanoseconds: ingress
+/// (`bgp_in`/`rip_in`) start to the last `fea` arrival reachable through
+/// fan-in links.  `None` until the trace reaches the FEA.
+pub fn end_to_end_ns(views: &[TraceView], trace_id: u64) -> Option<u64> {
+    let spans = causal_spans(views, trace_id);
+    let start = spans
+        .iter()
+        .filter(|s| s.trace_id == trace_id && s.parent_span == 0 && s.point.ends_with("_in"))
+        .map(|s| s.start_ns)
+        .min()?;
+    let end = spans
+        .iter()
+        .filter(|s| s.point == "fea")
+        .map(|s| s.end_ns)
+        .max()?;
+    (end >= start).then_some(end - start)
+}
+
+/// The q-th percentile (0..=1) of a sample set, by nearest-rank.
+pub fn percentile(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize).max(1);
+    samples[rank - 1]
+}
+
+/// Per-hop duration statistics over a set of stitched spans.
+#[derive(Debug, Clone)]
+pub struct HopStats {
+    pub process: String,
+    pub point: String,
+    pub n: usize,
+    pub p50_us: f64,
+    pub p90_us: f64,
+    pub p99_us: f64,
+}
+
+/// Aggregate span durations per (process, point) hop.  Point spans
+/// (`fanout`, `fea`, `fan_in`) have zero duration and report 0s — their
+/// value is their position on the timeline, not their width.
+pub fn hop_stats(spans: &[Span]) -> Vec<HopStats> {
+    let mut by_hop: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
+    for s in spans {
+        by_hop
+            .entry((s.process.clone(), s.point.clone()))
+            .or_default()
+            .push(s.end_ns.saturating_sub(s.start_ns));
+    }
+    by_hop
+        .into_iter()
+        .map(|((process, point), mut durs)| HopStats {
+            n: durs.len(),
+            p50_us: percentile(&mut durs, 0.50) as f64 / 1_000.0,
+            p90_us: percentile(&mut durs, 0.90) as f64 / 1_000.0,
+            p99_us: percentile(&mut durs, 0.99) as f64 / 1_000.0,
+            process,
+            point,
+        })
+        .collect()
+}
+
+/// Render stitched traces: per-hop percentiles, then the end-to-end
+/// distribution over all root traces that reached the FEA.
+pub fn format_trace_report(title: &str, views: &[TraceView]) -> String {
+    let all: Vec<Span> = views.iter().flat_map(|v| v.spans.iter().cloned()).collect();
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<8} {:<12} {:>6} {:>10} {:>10} {:>10}\n",
+        "Process", "Hop", "N", "p50(us)", "p90(us)", "p99(us)"
+    ));
+    for h in hop_stats(&all) {
+        out.push_str(&format!(
+            "{:<8} {:<12} {:>6} {:>10.1} {:>10.1} {:>10.1}\n",
+            h.process, h.point, h.n, h.p50_us, h.p90_us, h.p99_us
+        ));
+    }
+    let mut e2e: Vec<u64> = views
+        .iter()
+        .filter(|v| v.is_root())
+        .filter_map(|v| end_to_end_ns(views, v.trace_id))
+        .collect();
+    let complete = e2e.len();
+    let roots = views.iter().filter(|v| v.is_root()).count();
+    out.push_str(&format!(
+        "traces: {} total, {} rooted, {} complete (ingress → FEA)\n",
+        views.len(),
+        roots,
+        complete
+    ));
+    if !e2e.is_empty() {
+        out.push_str(&format!(
+            "end-to-end: p50={:.1}us p90={:.1}us p99={:.1}us\n",
+            percentile(&mut e2e, 0.50) as f64 / 1_000.0,
+            percentile(&mut e2e, 0.90) as f64 / 1_000.0,
+            percentile(&mut e2e, 0.99) as f64 / 1_000.0,
         ));
     }
     out
@@ -198,5 +425,102 @@ mod tests {
         p.record(points::BGP_IN, || "add 10.0.1.0/24".to_string());
         let rows = latency_rows(&p, "add");
         assert!(rows[7].stats.is_none());
+    }
+
+    fn span(trace: u64, id: u32, parent: u32, process: &str, point: &str, t: u64) -> Span {
+        Span {
+            trace_id: trace,
+            span_id: id,
+            parent_span: parent,
+            process: process.into(),
+            point: point.into(),
+            wall_us: t / 1_000,
+            start_ns: t,
+            end_ns: t + 100,
+            link: 0,
+        }
+    }
+
+    #[test]
+    fn stitch_groups_by_trace_and_sorts_by_start() {
+        let views = stitch_spans(vec![
+            span(2, 5, 0, "bgp", "bgp_in", 900),
+            span(1, 2, 1, "rib", "rib", 500),
+            span(1, 1, 0, "bgp", "bgp_in", 100),
+        ]);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].trace_id, 1);
+        assert_eq!(views[0].spans[0].point, "bgp_in");
+        assert!(views[0].is_root());
+    }
+
+    #[test]
+    fn fan_in_links_carry_contributors_to_the_carrier_chain() {
+        // Trace 1 is the carrier: full bgp_in → batch → rib → fea chain.
+        // Trace 2 contributed a route to trace 1's frame: its own bgp_in
+        // plus a fan_in stub pointing at trace 1.
+        let mut fan = span(2, 9, 0, "bgp", "fan_in", 260);
+        fan.link = 1;
+        let views = stitch_spans(vec![
+            span(1, 1, 0, "bgp", "bgp_in", 100),
+            span(1, 2, 1, "bgp", "batch", 300),
+            span(1, 3, 2, "rib", "rib", 400),
+            span(1, 4, 3, "fea", "fea", 600),
+            span(2, 8, 0, "bgp", "bgp_in", 250),
+            fan,
+        ]);
+        let hops = covered_hops(&views, 2);
+        assert!(hops.contains("fea"), "{hops:?}");
+        // e2e for the contributor runs from ITS ingress to the carrier's
+        // FEA arrival: 700 (end of fea span) - 250.
+        assert_eq!(end_to_end_ns(&views, 2), Some(450));
+        // The carrier's own e2e ignores the contributor's ingress.
+        assert_eq!(end_to_end_ns(&views, 1), Some(600));
+        // An unfinished trace has no e2e yet.
+        let partial = stitch_spans(vec![span(3, 1, 0, "bgp", "bgp_in", 0)]);
+        assert_eq!(end_to_end_ns(&partial, 3), None);
+    }
+
+    #[test]
+    fn trace_report_renders_hops_and_percentiles() {
+        let views = stitch_spans(vec![
+            span(1, 1, 0, "bgp", "bgp_in", 100),
+            span(1, 2, 1, "fea", "fea", 700),
+        ]);
+        let report = format_trace_report("traces", &views);
+        assert!(report.contains("bgp_in"));
+        assert!(report.contains("1 complete"));
+        assert!(report.contains("end-to-end: p50="));
+    }
+
+    #[test]
+    fn rates_derive_from_successive_snapshots() {
+        let row = |name: &str, kind: &str, primary: i64| MetricRow {
+            name: name.into(),
+            kind: kind.into(),
+            primary,
+            detail: String::new(),
+        };
+        let prev = vec![row("a.count", "counter", 100), row("a.depth", "gauge", 5)];
+        let cur = vec![
+            row("a.count", "counter", 300),
+            row("a.depth", "gauge", 9),
+            row("a.new", "counter", 7),
+        ];
+        let rates = metric_rates(&prev, &cur, Duration::from_secs(2));
+        assert_eq!(rates.get("a.count"), Some(&100.0));
+        assert!(!rates.contains_key("a.depth"), "gauges are levels");
+        assert!(!rates.contains_key("a.new"), "no baseline, no rate");
+        let table = format_metrics_table_with_rates("m", &cur, Some(&rates));
+        assert!(table.contains("Rate/s"));
+        assert!(table.contains("100.0"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut s = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&mut s, 0.50), 50);
+        assert_eq!(percentile(&mut s, 0.99), 100);
+        assert_eq!(percentile(&mut [], 0.5), 0);
     }
 }

@@ -38,10 +38,12 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 pub mod metrics;
+pub mod tracing;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, Metrics,
 };
+pub use tracing::{Span, SpanRecorder, TraceContext, Tracer};
 
 /// The eight §8.2 route-flow profiling points, in pipeline order.
 pub mod points {
@@ -181,8 +183,9 @@ pub struct Drained {
     pub records: Vec<Record>,
     /// Records still buffered after this slice (paginate until 0).
     pub remaining: usize,
-    /// Cumulative ring-buffer evictions for this point: nonzero means the
-    /// record stream has a hole older than `records[0]`.
+    /// Ring-buffer evictions since the previous drain: nonzero means the
+    /// record stream has a hole older than `records[0]`.  Reported on the
+    /// first slice of a paginated read only, then reset.
     pub dropped: u64,
 }
 
@@ -338,7 +341,9 @@ impl Profiler {
     /// Remove and return up to `max` of the oldest records at `point` —
     /// the bounded slice behind `profile/1.0/get_records`, sized so one
     /// reply can never stall an event loop on a huge buffer.  The drop
-    /// counter resets once the buffer fully drains.
+    /// counter is surfaced on the *first* slice of a paginated read and
+    /// reset immediately; re-reporting it on every page made accumulating
+    /// readers double-count the hole.
     pub fn drain(&self, point: &str, max: usize) -> Drained {
         let mut inner = self.inner.lock();
         let Some(p) = inner.points.get_mut(point) else {
@@ -350,10 +355,7 @@ impl Profiler {
         };
         let n = max.min(p.records.len());
         let records: Vec<Record> = p.records.drain(..n).collect();
-        let dropped = p.dropped;
-        if p.records.is_empty() {
-            p.dropped = 0;
-        }
+        let dropped = std::mem::take(&mut p.dropped);
         Drained {
             records,
             remaining: p.records.len(),
@@ -558,6 +560,52 @@ mod tests {
         assert!(p.drain("x", 4).records.is_empty());
         // Unknown points drain empty rather than erroring.
         assert_eq!(p.drain("nope", 4).remaining, 0);
+    }
+
+    /// Pagination edge: a slice that lands exactly on the ring boundary
+    /// must report `remaining == 0` on that slice — a reader paginating
+    /// "until remaining is 0" never fetches a spurious empty page.
+    #[test]
+    fn drain_slice_on_ring_boundary_reports_remaining_zero() {
+        let p = Profiler::new();
+        p.enable("x");
+        for i in 0..8 {
+            p.record("x", || format!("r{i}"));
+        }
+        let a = p.drain("x", 4);
+        assert_eq!((a.records.len(), a.remaining), (4, 4));
+        let b = p.drain("x", 4);
+        assert_eq!(
+            (b.records.len(), b.remaining),
+            (4, 0),
+            "exact-boundary slice must close the pagination"
+        );
+    }
+
+    /// `dropped` is a delta, reported on the first page of a paginated
+    /// read only: a reader summing `dropped` across pages must count each
+    /// eviction exactly once, even when later slices leave records behind.
+    #[test]
+    fn drain_reports_dropped_on_first_page_only() {
+        let p = Profiler::with_capacity(10);
+        p.enable("x");
+        for i in 0..25 {
+            p.record("x", || format!("r{i}"));
+        }
+        let a = p.drain("x", 4);
+        assert_eq!((a.records.len(), a.remaining, a.dropped), (4, 6, 15));
+        let b = p.drain("x", 4);
+        assert_eq!(
+            (b.records.len(), b.remaining, b.dropped),
+            (4, 2, 0),
+            "later pages must not re-report the first page's drop count"
+        );
+        // New evictions after the read surface on the next first page.
+        for i in 0..13 {
+            p.record("x", || format!("s{i}"));
+        }
+        let c = p.drain("x", 100);
+        assert_eq!((c.remaining, c.dropped), (0, 5));
     }
 
     #[test]

@@ -265,9 +265,11 @@ impl MetricValue {
                     "n=0".to_string()
                 } else {
                     format!(
-                        "n={} mean={:.1} p99<={} max={}",
+                        "n={} mean={:.1} p50<={} p90<={} p99<={} max={}",
                         h.count,
                         h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.90),
                         h.quantile(0.99),
                         h.max
                     )

@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use xorp_event::{EventLoop, SliceResult, Time};
 use xorp_net::{Ipv4Net, PathAttributes, ProtocolId, RouteEntry};
+use xorp_profiler::tracing::{self as xtrace, SpanRecorder};
 use xorp_stages::RouteOp;
 
 use crate::packet::{RipCommand, RipEntry, RipPacket, INFINITY, MAX_ENTRIES};
@@ -85,6 +86,9 @@ pub struct RipProcess {
     batch_rib: Option<(BatchRouteSink, usize)>,
     pending_rib: Vec<RouteOp<Ipv4Addr, RouteEntry<Ipv4Addr>>>,
     me: Option<std::rc::Weak<RefCell<RipProcess>>>,
+    /// Ingress trace sampler: a sampled RESPONSE roots a `rip_in` span
+    /// whose ambient context every RIB delta it causes inherits.
+    tracer: Option<SpanRecorder>,
     /// Updates sent (diagnostics).
     pub updates_sent: u64,
 }
@@ -102,8 +106,15 @@ impl RipProcess {
             batch_rib: None,
             pending_rib: Vec::new(),
             me: None,
+            tracer: None,
             updates_sent: 0,
         }
+    }
+
+    /// Attach a trace recorder; received RESPONSE packets become trace
+    /// ingress points (sampled 1-in-N by the shared tracer).
+    pub fn set_tracer(&mut self, recorder: SpanRecorder) {
+        self.tracer = Some(recorder);
     }
 
     /// Switch RIB output to batched delivery: deltas accumulate and flush
@@ -248,6 +259,14 @@ impl RipProcess {
                 if me.borrow().ifaces.values().any(|a| *a == src) {
                     return;
                 }
+                // A sampled RESPONSE roots a trace: every table change and
+                // RIB delta it causes runs under the `rip_in` span.
+                let traced = me.borrow().tracer.as_ref().cloned().and_then(|t| {
+                    let ctx = t.sample()?;
+                    let span = t.begin(ctx, "rip_in");
+                    let prev = xtrace::set_current(Some(span.ctx));
+                    Some((t, span, prev))
+                });
                 let mut changed = Vec::new();
                 for entry in pkt.entries {
                     if Self::process_entry(el, me, iface, src, &entry) {
@@ -260,6 +279,10 @@ impl RipProcess {
                     for net in changed {
                         Self::triggered(el, me, net);
                     }
+                }
+                if let Some((t, span, prev)) = traced {
+                    xtrace::set_current(prev);
+                    t.finish(span);
                 }
             }
         }
@@ -687,6 +710,39 @@ mod tests {
 
     fn neighbor() -> Ipv4Addr {
         "10.0.0.2".parse().unwrap()
+    }
+
+    /// A sampled RESPONSE roots a `rip_in` trace span; the RIB deltas it
+    /// causes run under the span's ambient context.  Unsampled packets
+    /// leave no ambient residue.
+    #[test]
+    fn sampled_response_roots_a_rip_in_span() {
+        use xorp_profiler::tracing::Tracer;
+        let tracer = Tracer::new();
+        tracer.set_sampling(2); // sample every other packet
+        let mut r = rig(RipConfig::default());
+        r.rip.borrow_mut().set_tracer(tracer.recorder("rip"));
+        RipProcess::on_packet(
+            &mut r.el,
+            &r.rip,
+            "eth0",
+            neighbor(),
+            response(&[("192.168.0.0/16", 3)]),
+        );
+        RipProcess::on_packet(
+            &mut r.el,
+            &r.rip,
+            "eth0",
+            neighbor(),
+            response(&[("192.168.1.0/24", 3)]),
+        );
+        let spans = tracer.snapshot("rip");
+        assert_eq!(spans.len(), 1, "1-in-2 sampling must root one span");
+        assert_eq!(spans[0].point, "rip_in");
+        assert_eq!(spans[0].parent_span, 0, "ingress span is a trace root");
+        assert!(spans[0].end_ns >= spans[0].start_ns);
+        // The handler restored the ambient context on the way out.
+        assert_eq!(xtrace::current(), None);
     }
 
     #[test]

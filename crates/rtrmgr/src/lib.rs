@@ -17,14 +17,19 @@
 //!   driving start/reconfigure/stop in dependency order, transactionally;
 //! * a **supervisor** ([`Supervisor`]) — liveness probing, crash
 //!   classification, dependency-ordered restart with exponential backoff,
-//!   a restart budget and a circuit-breaker `Degraded` state.
+//!   a restart budget and a circuit-breaker `Degraded` state;
+//! * a **flight recorder** ([`FlightReport`]) — on crash classification,
+//!   a post-mortem snapshot of the dead component's last trace spans and
+//!   metrics out of the shared registries.
 
 pub mod config;
+pub mod flight;
 pub mod manager;
 pub mod supervisor;
 pub mod template;
 
 pub use config::{parse, ConfigError, ConfigNode, ConfigValue};
+pub use flight::FlightReport;
 pub use manager::{dependency_rank, CommitError, ManagedProcess, ProcessState, RouterManager};
 pub use supervisor::{SupervisedState, Supervisor, SupervisorConfig, SupervisorVerdict};
 pub use template::{Template, TemplateError, ValueType};

@@ -8,12 +8,13 @@
 //!
 //! ```text
 //! u32  length of remainder
-//! u8   kind (low 7 bits: 0 = request, 1 = response, 2 = kill,
+//! u8   kind (low 6 bits: 0 = request, 1 = response, 2 = kill,
 //!            3 = request v2 (positional);
+//!            bit 6: trace — a v2 request ends in a 12-byte trace trailer;
 //!            bit 7: priority — deliver ahead of queued bulk frames)
 //! request:    u64 seq | u64 sender | str target | [u8;16] key | str path | args
 //! request v2: u64 seq | u64 sender | str target | [u8;16] key | u32 method_id
-//!             | u16 count | (u8 type | value)*
+//!             | u16 count | (u8 type | value)* | [u64 trace_id | u32 parent_span]
 //! response:   u64 seq | u8 code (0 = ok) | str errmsg | args
 //! kill:       u32 signal
 //! str:        u16 len | bytes
@@ -26,8 +27,15 @@
 //! through signed interfaces), so both sides agree on argument order.
 //! Senders fall back to v1 named frames for peers that never advertised a
 //! signature — mixed-version interop is transparent.
+//!
+//! The trace bit exists only on the v2 kind byte: a sampled route's
+//! [`TraceContext`] rides the frame as a fixed 12-byte trailer after the
+//! positional arguments.  v1 frames and unflagged v2 frames are
+//! byte-identical to the pre-tracing encoding, so v1-pinned peers and
+//! unsampled traffic never see the extension.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use xorp_profiler::tracing::TraceContext;
 
 use crate::atom::{AtomType, AtomValue, XrlArgs, XrlAtom};
 use crate::error::XrlError;
@@ -61,6 +69,11 @@ pub enum Frame {
         /// keepalive FIFO-queues behind seconds of data frames on a
         /// saturated process and the prober misdiagnoses busy as dead.
         priority: bool,
+        /// Causal trace context carried as a v2 trailer.  Only encoded
+        /// when `method_id` is `Some`: the v1 wire has no trailer and a
+        /// trace on a v1 frame is silently dropped, so v1-pinned peers
+        /// never receive a flagged frame.
+        trace: Option<TraceContext>,
     },
     /// The reply to a request.
     Response {
@@ -84,6 +97,11 @@ const KIND_RESPONSE: u8 = 1;
 const KIND_KILL: u8 = 2;
 /// Positional request: no path string, no argument names.
 const KIND_REQUEST_V2: u8 = 3;
+/// Trace flag: the frame ends in a 12-byte `TraceContext` trailer.
+/// Valid only in combination with [`KIND_REQUEST_V2`].
+const KIND_TRACED: u8 = 0x40;
+/// A traced v2 request's kind bits (modulo priority).
+const KIND_REQUEST_V2_TRACED: u8 = KIND_REQUEST_V2 | KIND_TRACED;
 /// High bit of the kind byte: priority delivery.
 const KIND_PRIORITY: u8 = 0x80;
 
@@ -338,6 +356,7 @@ impl Frame {
                 path,
                 args,
                 method_id,
+                trace,
                 ..
             } => {
                 let method = match method_id {
@@ -348,7 +367,11 @@ impl Frame {
                     Some(_) => 4,
                     None => 2 + path.len(),
                 };
-                16 + 2 + target.len() + 16 + method + args.approx_wire_len()
+                let trailer = match (method_id, trace) {
+                    (Some(_), Some(_)) => 12,
+                    _ => 0,
+                };
+                16 + 2 + target.len() + 16 + method + args.approx_wire_len() + trailer
             }
             Frame::Response { result, .. } => {
                 8 + 1
@@ -375,15 +398,24 @@ impl Frame {
                 args,
                 method_id,
                 priority,
+                trace,
             } => match method_id {
                 Some(id) => {
-                    body.put_u8(KIND_REQUEST_V2 | pri(priority));
+                    let kind = match trace {
+                        Some(_) => KIND_REQUEST_V2_TRACED,
+                        None => KIND_REQUEST_V2,
+                    };
+                    body.put_u8(kind | pri(priority));
                     body.put_u64(*seq);
                     body.put_u64(*sender);
                     put_str(&mut body, target);
                     body.put_slice(key);
                     body.put_u32(*id);
                     put_args_positional(&mut body, args);
+                    if let Some(t) = trace {
+                        body.put_u64(t.trace_id);
+                        body.put_u32(t.parent_span);
+                    }
                 }
                 None => {
                     body.put_u8(KIND_REQUEST | pri(priority));
@@ -458,9 +490,10 @@ impl Frame {
                     args,
                     method_id: None,
                     priority,
+                    trace: None,
                 })
             }
-            KIND_REQUEST_V2 => {
+            kind_v2 @ (KIND_REQUEST_V2 | KIND_REQUEST_V2_TRACED) => {
                 if buf.remaining() < 16 {
                     return Err(XrlError::BadFrame("truncated request".into()));
                 }
@@ -474,6 +507,17 @@ impl Frame {
                 buf.copy_to_slice(&mut key);
                 let method_id = buf.get_u32();
                 let args = get_args_positional(&mut buf)?;
+                let trace = if kind_v2 == KIND_REQUEST_V2_TRACED {
+                    if buf.remaining() < 12 {
+                        return Err(XrlError::BadFrame("truncated trace trailer".into()));
+                    }
+                    Some(TraceContext {
+                        trace_id: buf.get_u64(),
+                        parent_span: buf.get_u32(),
+                    })
+                } else {
+                    None
+                };
                 Ok(Frame::Request {
                     seq,
                     sender,
@@ -483,6 +527,7 @@ impl Frame {
                     args,
                     method_id: Some(method_id),
                     priority,
+                    trace,
                 })
             }
             KIND_RESPONSE => {
@@ -558,6 +603,7 @@ mod tests {
             args: XrlArgs::new().add_u32("as", 1777),
             method_id: None,
             priority: false,
+            trace: None,
         });
     }
 
@@ -608,6 +654,7 @@ mod tests {
             args: XrlArgs::new(),
             method_id: None,
             priority: true,
+            trace: None,
         };
         assert!(req.is_priority());
         roundtrip(req);
@@ -662,6 +709,7 @@ mod tests {
                 .add_list("m", vec![AtomValue::U32(1), AtomValue::Text("x".into())]),
             method_id: None,
             priority: false,
+            trace: None,
         });
     }
 
@@ -676,6 +724,7 @@ mod tests {
             args: XrlArgs::new().add_u32("a", 1),
             method_id: None,
             priority: false,
+            trace: None,
         };
         let encoded = f.encode().to_vec();
         // Every strict prefix of the body must fail to decode, not panic.
@@ -715,6 +764,7 @@ mod tests {
             args: args.clone(),
             method_id: None,
             priority: false,
+            trace: None,
         });
         assert_eq!(args.get_rows("routes").unwrap(), rows);
         // Textual form roundtrips too (rows carry nested escaping).
@@ -747,6 +797,7 @@ mod tests {
             args: XrlArgs::new().add_list("deep", vec![v]),
             method_id: None,
             priority: false,
+            trace: None,
         };
         let encoded = f.encode();
         let mut bytes = Bytes::from(encoded.to_vec());
@@ -773,6 +824,7 @@ mod tests {
             ),
             method_id: None,
             priority: false,
+            trace: None,
         });
     }
 
@@ -803,6 +855,7 @@ mod tests {
             args,
             method_id: Some(3),
             priority: false,
+            trace: None,
         }
     }
 
@@ -838,6 +891,7 @@ mod tests {
                 .add_str("proto", "ebgp"),
             method_id: None,
             priority: false,
+            trace: None,
         };
         let v2 = v2_add_route();
         let v1_len = v1.encode().len();
@@ -861,5 +915,89 @@ mod tests {
             let body = Bytes::from(encoded[4..4 + cut].to_vec());
             assert!(Frame::decode(body).is_err(), "prefix len {cut} decoded");
         }
+    }
+
+    fn traced(mut f: Frame) -> Frame {
+        if let Frame::Request { trace, .. } = &mut f {
+            *trace = Some(TraceContext {
+                trace_id: 0xDEAD_BEEF_0BAD_CAFE,
+                parent_span: 0x1234_5678,
+            });
+        }
+        f
+    }
+
+    #[test]
+    fn traced_v2_request_roundtrips() {
+        roundtrip(traced(v2_add_route()));
+        let mut f = traced(v2_add_route());
+        if let Frame::Request { priority, .. } = &mut f {
+            *priority = true;
+        }
+        roundtrip(f);
+    }
+
+    /// The trailer is strictly additive: a traced frame differs from its
+    /// untraced twin by the 0x40 kind bit and exactly 12 trailing bytes —
+    /// everything in between is untouched, which is why unsampled traffic
+    /// stays byte-identical to the pre-tracing wire.
+    #[test]
+    fn trace_trailer_is_flag_bit_plus_twelve_bytes() {
+        let plain = v2_add_route().encode();
+        let hot = traced(v2_add_route()).encode();
+        assert_eq!(hot.len(), plain.len() + 12);
+        assert_eq!(hot[4], plain[4] | 0x40);
+        assert_eq!(&hot[5..plain.len()], &plain[5..]);
+        assert_eq!(
+            &hot[plain.len()..],
+            &[0xDE, 0xAD, 0xBE, 0xEF, 0x0B, 0xAD, 0xCA, 0xFE, 0x12, 0x34, 0x56, 0x78][..]
+        );
+    }
+
+    /// A v1 (named) frame never grows a trailer, whatever the trace field
+    /// says: the context is dropped at encode time so a v1-pinned peer
+    /// cannot receive a flagged frame.
+    #[test]
+    fn v1_frames_drop_trace_silently() {
+        let plain = Frame::Request {
+            seq: 1,
+            sender: 2,
+            target: "t".into(),
+            key: [0u8; 16],
+            path: "i/1.0/m".into(),
+            args: XrlArgs::new().add_u32("a", 1),
+            method_id: None,
+            priority: false,
+            trace: None,
+        };
+        let hot = traced(plain.clone());
+        assert_eq!(hot.encode(), plain.encode());
+        assert_eq!(plain.encode()[4], 0, "v1 kind byte must stay 0");
+    }
+
+    /// The trace bit on anything but a v2 request is an invalid frame,
+    /// not a silent pass-through.
+    #[test]
+    fn trace_bit_on_non_v2_kinds_rejected() {
+        for kind in [0x40u8, 0x41, 0x42, 0x44] {
+            let body = Bytes::from(vec![kind, 0, 0, 0, 0]);
+            assert!(Frame::decode(body).is_err(), "kind {kind:#x} decoded");
+        }
+    }
+
+    #[test]
+    fn traced_truncated_frames_rejected() {
+        let encoded = traced(v2_add_route()).encode().to_vec();
+        for cut in 1..encoded.len() - 4 {
+            let body = Bytes::from(encoded[4..4 + cut].to_vec());
+            assert!(Frame::decode(body).is_err(), "prefix len {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn traced_frames_report_trailer_in_approx_len() {
+        let plain = v2_add_route();
+        let hot = traced(v2_add_route());
+        assert_eq!(hot.approx_wire_len(), plain.approx_wire_len() + 12);
     }
 }

@@ -16,18 +16,23 @@
 //! | `list`        | —                         | `points` rows: name, enabled, len, dropped    |
 //! | `get_records` | `point:txt`, `max:u32`    | `records` rows: nanos, payload; `remaining:u32`, `dropped:u64` |
 //! | `get_metrics` | —                         | `metrics` rows: name, kind, primary, detail   |
+//! | `get_spans`   | `process:txt`, `max:u32`  | `spans` rows (see [`decode_spans`]); `remaining:u32`, `dropped:u64` |
 //!
 //! `enable`/`disable` accept the pseudo-point `route_flow`, expanding to
 //! all eight §8.2 route-flow points.
 //!
-//! `get_records` **clears** what it returns and serves at most
-//! [`MAX_RECORDS_PER_SLICE`] records per call (the `remaining` count says
-//! whether to call again): a point that buffered tens of thousands of
-//! records during a storm is collected in bounded slices, never as one
-//! reply that would stall the answering event loop and trip its keepalive.
+//! `get_records` and `get_spans` **clear** what they return and serve at
+//! most [`MAX_RECORDS_PER_SLICE`] rows per call (the `remaining` count
+//! says whether to call again): a buffer that filled during a storm is
+//! collected in bounded slices, never as one reply that would stall the
+//! answering event loop and trip its keepalive.  Because the tracer is
+//! shared router-wide, any process's responder can serve any process's
+//! span ring — `xorp-stats` asks each process for its own name, and the
+//! supervisor can read a dead process's spans through a survivor.
 
 use xorp_event::EventLoop;
-use xorp_profiler::{points, Metrics, PointInfo, Profiler, Record};
+use xorp_profiler::tracing::Span;
+use xorp_profiler::{points, Metrics, PointInfo, Profiler, Record, Tracer};
 
 use crate::atom::AtomValue;
 use crate::error::XrlError;
@@ -53,12 +58,17 @@ xrl_interface! {
         fn get_records(point: String, max: u32)
             -> (records: Vec<AtomValue>, remaining: u32, dropped: u64);
         fn get_metrics() -> (metrics: Vec<AtomValue>);
+        // Appended after get_metrics: method ids are registration-order
+        // indices, so new methods must go last to keep v2 ids stable.
+        fn get_spans(process: String, max: u32)
+            -> (spans: Vec<AtomValue>, remaining: u32, dropped: u64);
     }
 }
 
 struct ProfileServer {
     profiler: Profiler,
     metrics: Metrics,
+    tracer: Tracer,
 }
 
 impl profile::Server for ProfileServer {
@@ -133,16 +143,47 @@ impl profile::Server for ProfileServer {
             .collect();
         responder.ok(el, (rows,));
     }
+
+    fn get_spans(
+        &self,
+        el: &mut EventLoop,
+        process: String,
+        max: u32,
+        responder: TypedResponder<(Vec<AtomValue>, u32, u64)>,
+    ) {
+        let drained = self
+            .tracer
+            .drain(&process, (max as usize).min(MAX_RECORDS_PER_SLICE));
+        let rows = drained
+            .spans
+            .into_iter()
+            .map(|s| {
+                AtomValue::List(vec![
+                    AtomValue::U64(s.trace_id),
+                    AtomValue::U32(s.span_id),
+                    AtomValue::U32(s.parent_span),
+                    AtomValue::Text(s.process),
+                    AtomValue::Text(s.point),
+                    AtomValue::U64(s.wall_us),
+                    AtomValue::U64(s.start_ns),
+                    AtomValue::U64(s.end_ns),
+                    AtomValue::U64(s.link),
+                ])
+            })
+            .collect();
+        responder.ok(el, (rows, drained.remaining as u32, drained.dropped));
+    }
 }
 
 /// Register the `profile/1.0` interface on a target instance, exporting
-/// this process's profiler and metrics registry.  Call after
+/// this process's profiler, metrics registry and span tracer.  Call after
 /// `register_target`, alongside the keepalive responder.
 pub fn add_profile_responder(
     router: &XrlRouter,
     instance: &str,
     profiler: &Profiler,
     metrics: &Metrics,
+    tracer: &Tracer,
 ) {
     profile::register(
         router,
@@ -150,6 +191,7 @@ pub fn add_profile_responder(
         ProfileServer {
             profiler: profiler.clone(),
             metrics: metrics.clone(),
+            tracer: tracer.clone(),
         },
     );
 }
@@ -177,6 +219,15 @@ fn row_u64(row: &[AtomValue], i: usize, what: &str) -> Result<u64, XrlError> {
         Some(AtomValue::U64(v)) => Ok(*v),
         other => Err(XrlError::BadArgs(format!(
             "{what}[{i}]: not u64: {other:?}"
+        ))),
+    }
+}
+
+fn row_u32(row: &[AtomValue], i: usize, what: &str) -> Result<u32, XrlError> {
+    match row.get(i) {
+        Some(AtomValue::U32(v)) => Ok(*v),
+        other => Err(XrlError::BadArgs(format!(
+            "{what}[{i}]: not u32: {other:?}"
         ))),
     }
 }
@@ -229,6 +280,48 @@ pub fn decode_records(
         .collect::<Result<Vec<_>, XrlError>>()?;
     Ok(RecordsSlice {
         records,
+        remaining,
+        dropped,
+    })
+}
+
+/// A decoded `get_spans` reply.
+#[derive(Debug, Clone)]
+pub struct SpansSlice {
+    pub spans: Vec<Span>,
+    /// Spans still buffered server-side; call again until 0.
+    pub remaining: u32,
+    /// Ring evictions since the previous drain (first page only).
+    pub dropped: u64,
+}
+
+/// Decode a `get_spans` reply's parts into a [`SpansSlice`].  Row layout:
+/// `[trace_id:u64, span_id:u32, parent_span:u32, process:txt, point:txt,
+/// wall_us:u64, start_ns:u64, end_ns:u64, link:u64]`.
+pub fn decode_spans(
+    rows: &[AtomValue],
+    remaining: u32,
+    dropped: u64,
+) -> Result<SpansSlice, XrlError> {
+    let spans = rows
+        .iter()
+        .map(|value| {
+            let row = row(value, "spans")?;
+            Ok(Span {
+                trace_id: row_u64(row, 0, "spans")?,
+                span_id: row_u32(row, 1, "spans")?,
+                parent_span: row_u32(row, 2, "spans")?,
+                process: row_text(row, 3, "spans")?,
+                point: row_text(row, 4, "spans")?,
+                wall_us: row_u64(row, 5, "spans")?,
+                start_ns: row_u64(row, 6, "spans")?,
+                end_ns: row_u64(row, 7, "spans")?,
+                link: row_u64(row, 8, "spans")?,
+            })
+        })
+        .collect::<Result<Vec<_>, XrlError>>()?;
+    Ok(SpansSlice {
+        spans,
         remaining,
         dropped,
     })
@@ -290,7 +383,8 @@ mod tests {
         let profiler = Profiler::new();
         let metrics = Metrics::new();
         metrics.counter("xrl.shed_total").add(7);
-        add_profile_responder(&router, "prof-0", &profiler, &metrics);
+        let tracer = Tracer::new();
+        add_profile_responder(&router, "prof-0", &profiler, &metrics, &tracer);
         let client = profile::Client::new(&router, "prof");
 
         // Enable the whole route-flow set via the alias.
@@ -374,7 +468,8 @@ mod tests {
         router.register_target("prof", "prof-0", true).unwrap();
         let profiler = Profiler::new();
         let metrics = Metrics::new();
-        add_profile_responder(&router, "prof-0", &profiler, &metrics);
+        let tracer = Tracer::new();
+        add_profile_responder(&router, "prof-0", &profiler, &metrics, &tracer);
         let client = profile::Client::new(&router, "prof");
         profiler.enable("x");
         for i in 0..(MAX_RECORDS_PER_SLICE + 100) {
@@ -390,5 +485,51 @@ mod tests {
         let sl = decode_records(&rows, remaining, dropped).unwrap();
         assert_eq!(sl.records.len(), MAX_RECORDS_PER_SLICE);
         assert_eq!(sl.remaining, 100);
+    }
+
+    #[test]
+    fn get_spans_round_trips_and_paginates() {
+        let mut el = EventLoop::new_virtual();
+        let finder = Finder::new();
+        let router = XrlRouter::new(&mut el, finder);
+        router.register_target("prof", "prof-0", true).unwrap();
+        let profiler = Profiler::new();
+        let metrics = Metrics::new();
+        let tracer = Tracer::new();
+        add_profile_responder(&router, "prof-0", &profiler, &metrics, &tracer);
+        let client = profile::Client::new(&router, "prof");
+
+        tracer.set_sampling(1);
+        for _ in 0..10 {
+            let ctx = tracer.sample().unwrap();
+            let child = tracer.instant("bgp", ctx, "bgp_in");
+            tracer.instant("bgp", child, "fanout");
+        }
+
+        let fetch = |el: &mut EventLoop, max: u32| {
+            let r = slot();
+            let s = r.clone();
+            client.get_spans(el, "bgp".to_string(), max, move |_el, reply| {
+                *s.borrow_mut() = Some(reply);
+            });
+            let (rows, remaining, dropped) = wait(el, r).unwrap();
+            decode_spans(&rows, remaining, dropped).unwrap()
+        };
+
+        let a = fetch(&mut el, 12);
+        assert_eq!((a.spans.len(), a.remaining, a.dropped), (12, 8, 0));
+        assert_eq!(a.spans[0].point, "bgp_in");
+        assert_eq!(a.spans[0].process, "bgp");
+        assert_eq!(a.spans[0].parent_span, 0);
+        assert_eq!(a.spans[1].point, "fanout");
+        assert_eq!(a.spans[1].parent_span, a.spans[0].span_id);
+        assert_eq!(a.spans[1].trace_id, a.spans[0].trace_id);
+
+        // Exact-boundary slice closes the pagination.
+        let b = fetch(&mut el, 8);
+        assert_eq!((b.spans.len(), b.remaining), (8, 0));
+        // Unknown processes drain empty rather than erroring.
+        let c = fetch(&mut el, 4);
+        assert_eq!((c.spans.len(), c.remaining), (0, 0));
     }
 }

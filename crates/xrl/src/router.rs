@@ -50,6 +50,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use xorp_event::{EventLoop, EventSender, Time, TimerHandle};
+use xorp_profiler::tracing::{self as xtrace, TraceContext};
 use xorp_profiler::{Counter, Gauge, Metrics};
 
 use crate::atom::XrlArgs;
@@ -1180,6 +1181,9 @@ impl XrlRouter {
                 let instance = entry.instance.clone();
                 let key = entry.key;
                 let args = xrl.args;
+                // Intra-process calls have no wire to lose the ambient
+                // trace context on; carry it through the defer.
+                let trace = xtrace::current();
                 el.defer(move |el| {
                     router.dispatch(
                         el,
@@ -1192,6 +1196,7 @@ impl XrlRouter {
                         None,
                         ReplyPath::Local,
                         priority,
+                        trace,
                     );
                 });
             }
@@ -1205,6 +1210,7 @@ impl XrlRouter {
                     args: xrl.args,
                     method_id: None,
                     priority,
+                    trace: None,
                 };
                 match self.tcp_stream(addr) {
                     Ok(stream) => {
@@ -1228,6 +1234,7 @@ impl XrlRouter {
                     args: xrl.args,
                     method_id: None,
                     priority,
+                    trace: None,
                 };
                 match self.udp_send_or_queue(el, addr, frame.clone(), priority) {
                     Ok(()) => self.arm_retry(el, seq, frame),
@@ -1350,6 +1357,16 @@ impl XrlRouter {
             args.label_names(call.inner.arg_names);
         }
 
+        // A sampled route's ambient context rides v2 frames as the trace
+        // trailer.  v1 peers never see it: the v1 wire has no trailer, so
+        // the context stops here rather than producing a flagged frame
+        // the peer can't parse.
+        let trace = if method_id.is_some() {
+            xtrace::current()
+        } else {
+            None
+        };
+
         // Overload control, identical to `send_inner` but with the lane
         // label precomputed.
         let counted_lane = match (&lane, priority) {
@@ -1408,6 +1425,7 @@ impl XrlRouter {
             Via::Intra => {
                 let router = self.clone();
                 let path = call.inner.path.clone();
+                let trace = xtrace::current();
                 el.defer(move |el| {
                     router.dispatch(
                         el,
@@ -1420,6 +1438,7 @@ impl XrlRouter {
                         method_id,
                         ReplyPath::Local,
                         priority,
+                        trace,
                     );
                 });
             }
@@ -1436,6 +1455,7 @@ impl XrlRouter {
                     args,
                     method_id,
                     priority,
+                    trace,
                 };
                 match self.tcp_stream(addr) {
                     Ok(stream) => {
@@ -1462,6 +1482,7 @@ impl XrlRouter {
                     args,
                     method_id,
                     priority,
+                    trace,
                 };
                 match self.udp_send_or_queue(el, addr, frame.clone(), priority) {
                     Ok(()) => self.arm_retry(el, seq, frame),
@@ -1827,8 +1848,9 @@ impl XrlRouter {
                 args,
                 method_id,
                 priority,
+                trace,
             } => router.dispatch(
-                el, seq, sender, &target, key, &path, args, method_id, reply, priority,
+                el, seq, sender, &target, key, &path, args, method_id, reply, priority, trace,
             ),
             Frame::Response { seq, result, .. } => router.complete(el, seq, result),
             Frame::Kill { signal } => router.handle_kill(el, signal),
@@ -1855,6 +1877,7 @@ impl XrlRouter {
         method_id: Option<u32>,
         reply: ReplyPath,
         priority: bool,
+        trace: Option<TraceContext>,
     ) {
         // Local dispatch can't be retransmitted; only remote requests carry
         // a meaningful (sender, seq) identity.
@@ -1951,7 +1974,13 @@ impl XrlRouter {
                 // place the path string appears — the frame doesn't carry
                 // it — and it's a refcount bump, not an allocation.
                 args.set_context(method_path);
-                h(el, &args, responder)
+                // Scope the frame's trace context over the handler: every
+                // span the handler records (and every onward send it makes)
+                // inherits the caller's causality, then the previous
+                // ambient context is restored.
+                let prev = xtrace::set_current(trace);
+                h(el, &args, responder);
+                xtrace::set_current(prev);
             }
             Err(e) => responder.reply(el, Err(e)),
         }

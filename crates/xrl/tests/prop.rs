@@ -2,8 +2,18 @@
 //! arbitrary atoms, and malformed frames never panic.
 
 use proptest::prelude::*;
+use xorp_profiler::tracing::TraceContext;
 use xorp_xrl::marshal::Frame;
 use xorp_xrl::{AtomValue, Xrl, XrlArgs, XrlAtom};
+
+fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
+    proptest::option::of(
+        (any::<u64>(), any::<u32>()).prop_map(|(trace_id, parent_span)| TraceContext {
+            trace_id,
+            parent_span,
+        }),
+    )
+}
 
 fn arb_value() -> impl Strategy<Value = AtomValue> {
     let leaf = prop_oneof![
@@ -80,6 +90,7 @@ proptest! {
             method_id: None,
             args,
             priority,
+            trace: None,
         };
         let mut encoded = frame.encode();
         use bytes::Buf;
@@ -101,7 +112,9 @@ proptest! {
     }
 
     /// Wire-v2 positional frames round-trip: no path string, no argument
-    /// names, just `method_id` plus typed values in signature order.
+    /// names, just `method_id` plus typed values in signature order — and
+    /// when a trace context rides along, the 12-byte trailer round-trips
+    /// with them.
     #[test]
     fn frame_v2_binary_roundtrip(
         values in proptest::collection::vec(arb_value(), 0..8),
@@ -109,6 +122,7 @@ proptest! {
         method_id in any::<u32>(),
         key in any::<[u8; 16]>(),
         priority in any::<bool>(),
+        trace in arb_trace(),
     ) {
         let mut args = XrlArgs::new();
         for v in values {
@@ -123,6 +137,7 @@ proptest! {
             method_id: Some(method_id),
             args,
             priority,
+            trace,
         };
         let mut encoded = frame.encode();
         use bytes::Buf;
@@ -162,6 +177,7 @@ proptest! {
             method_id: None,
             args,
             priority: false,
+            trace: None,
         };
         let encoded = frame.encode().to_vec();
         let body = &encoded[4..];
@@ -170,9 +186,13 @@ proptest! {
         }
     }
 
-    /// Likewise for v2 bodies: every strict prefix errors cleanly.
+    /// Likewise for v2 bodies, traced or not: every strict prefix errors
+    /// cleanly — including prefixes that cut into the trace trailer.
     #[test]
-    fn truncated_v2_frames_error(values in proptest::collection::vec(arb_value(), 0..6)) {
+    fn truncated_v2_frames_error(
+        values in proptest::collection::vec(arb_value(), 0..6),
+        trace in arb_trace(),
+    ) {
         let mut args = XrlArgs::new();
         for v in values {
             args.push_value(v);
@@ -186,6 +206,7 @@ proptest! {
             method_id: Some(42),
             args,
             priority: false,
+            trace,
         };
         let encoded = frame.encode().to_vec();
         let body = &encoded[4..];

@@ -52,6 +52,7 @@ fn v1_add_route_frame() -> Frame {
             .add_u32("metric", 100)
             .add_str("proto", "ebgp"),
         priority: false,
+        trace: None,
     }
 }
 
@@ -72,6 +73,7 @@ fn v2_add_route_frame() -> Frame {
         method_id: Some(7),
         args,
         priority: false,
+        trace: None,
     }
 }
 
@@ -222,6 +224,132 @@ fn v1_only_caller_reaches_v2_server() {
     router.shutdown(&mut el);
     sender.stop();
     handle.join().unwrap();
+}
+
+// ---- trace-trailer compatibility ----------------------------------------
+
+use xorp_profiler::tracing::{self as xtrace, TraceContext, Tracer};
+
+/// Per-call record: (wire_v2, trace context scoped over the handler).
+type SeenCalls = Arc<Mutex<Vec<(bool, Option<TraceContext>)>>>;
+
+/// Records, per dispatched call, the wire version and the trace context
+/// the dispatcher scoped over the handler.
+struct TracingCalcServer {
+    seen: SeenCalls,
+}
+
+impl calc::Server for TracingCalcServer {
+    fn add(&self, el: &mut EventLoop, a: u32, b: u32, responder: xorp_xrl::TypedResponder<(u32,)>) {
+        self.seen
+            .lock()
+            .unwrap()
+            .push((responder.wire_v2(), xtrace::current()));
+        responder.ok(el, (a + b,));
+    }
+}
+
+fn spawn_tracing_calc(
+    finder: Finder,
+    v1_only: bool,
+    seen: SeenCalls,
+) -> (EventSender, std::thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let mut el = EventLoop::new();
+        let router = XrlRouter::new(&mut el, finder);
+        if v1_only {
+            router.set_wire_v1_only(true);
+        }
+        router.enable_tcp().unwrap();
+        router.register_target("calc", "calc-0", false).unwrap();
+        calc::register(&router, "calc-0", TracingCalcServer { seen });
+        tx.send(el.sender()).unwrap();
+        el.run();
+        router.shutdown(&mut el);
+    });
+    let sender = rx.recv().unwrap();
+    (sender, handle)
+}
+
+/// A sampled context set on the caller rides the v2 trailer to the
+/// server's dispatch scope; unsampled calls from the same caller carry
+/// nothing.
+#[test]
+fn trace_context_rides_v2_wire_to_server() {
+    let finder = Finder::new();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let (sender, handle) = spawn_tracing_calc(finder.clone(), false, seen.clone());
+    let (mut el, router) = caller(finder, false);
+    let client = calc::Client::new(&router, "calc");
+
+    // Unsampled call: no ambient context, no trailer.
+    assert_eq!(call_add(&mut el, &client, 1, 2), 3);
+    // Sampled call: ambient context captured at send time.
+    let ctx = TraceContext {
+        trace_id: 0xABCD_EF01_2345_6789,
+        parent_span: 42,
+    };
+    let prev = xtrace::set_current(Some(ctx));
+    client.add(&mut el, 3, 4, |_el, _r| {});
+    xtrace::set_current(prev);
+    assert_eq!(call_add(&mut el, &client, 5, 6), 11);
+
+    let got = seen.lock().unwrap().clone();
+    assert_eq!(got.len(), 3);
+    assert_eq!(got[0], (true, None), "unsampled call grew a context");
+    assert_eq!(got[1], (true, Some(ctx)), "context lost on the v2 wire");
+    assert_eq!(got[2], (true, None), "context leaked past its scope");
+
+    router.shutdown(&mut el);
+    sender.stop();
+    handle.join().unwrap();
+}
+
+/// A v1-pinned peer must never receive a flagged frame: the caller's
+/// ambient context is dropped at the v1 fallback, so the server decodes
+/// a plain named frame and sees no context.
+#[test]
+fn v1_pinned_peer_never_receives_flagged_frame() {
+    let finder = Finder::new();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let (sender, handle) = spawn_tracing_calc(finder.clone(), true, seen.clone());
+    let (mut el, router) = caller(finder, false);
+    let client = calc::Client::new(&router, "calc");
+
+    let ctx = TraceContext {
+        trace_id: 7,
+        parent_span: 9,
+    };
+    let prev = xtrace::set_current(Some(ctx));
+    let sum = call_add(&mut el, &client, 20, 22);
+    xtrace::set_current(prev);
+    assert_eq!(sum, 42);
+
+    let got = seen.lock().unwrap().clone();
+    assert_eq!(
+        got,
+        vec![(false, None)],
+        "a v1-pinned peer saw a v2 frame or a trace context"
+    );
+
+    router.shutdown(&mut el);
+    sender.stop();
+    handle.join().unwrap();
+}
+
+/// Tracing enabled but unsampled changes nothing on the wire: with a
+/// live tracer whose sampler declines, the ambient context stays unset
+/// and both golden fixtures encode byte-identically.
+#[test]
+fn golden_fixtures_unchanged_with_tracing_enabled_but_unsampled() {
+    let tracer = Tracer::new();
+    tracer.set_sampling(1_000_000);
+    assert!(tracer.sample().is_some(), "first arrival is sampled");
+    assert!(tracer.sample().is_none(), "second arrival must not be");
+    assert_eq!(xtrace::current(), None);
+    assert_eq!(to_hex(&v1_add_route_frame().encode()), V1_ADD_ROUTE_HEX);
+    assert_eq!(to_hex(&v2_add_route_frame().encode()), V2_ADD_ROUTE_HEX);
 }
 
 #[test]
